@@ -1,0 +1,63 @@
+// Fig. 10 reproduction: Fault Activation and Propagation Rate (FAPR) —
+// the probability for a permanent fault in each unit to be activated and to
+// propagate as each instruction-level error model.
+#include <iostream>
+
+#include "common/env.hpp"
+#include "common/table.hpp"
+#include "report/gate_experiments.hpp"
+
+using namespace gpf;
+using errmodel::ErrorModel;
+
+int main() {
+  const std::size_t issues = scaled(400, 100);
+  const std::size_t faults = scaled(4000, 150);  // >= full collapsed lists at scale 1
+  const auto traces = report::collect_profiling_traces(issues);
+  const report::GateCampaigns gc =
+      report::run_gate_campaigns(traces, faults, campaign_seed());
+
+  Table t("Fig. 10 — FAPR per error model (per unit)");
+  std::vector<std::string> hdr{"unit"};
+  for (unsigned m = 0; m < errmodel::kNumErrorModels; ++m)
+    hdr.push_back(std::string(errmodel::name_of(static_cast<ErrorModel>(m))));
+  hdr.push_back("any SW error");
+  t.header(hdr);
+
+  for (const auto& res : gc.units) {
+    const auto n = static_cast<double>(res.faults.size());
+    std::vector<std::string> row{std::string(gate::unit_name(res.unit))};
+    for (unsigned m = 0; m < errmodel::kNumErrorModels; ++m) {
+      const std::size_t k = res.faults_with_model(static_cast<ErrorModel>(m));
+      row.push_back(k ? Table::pct(static_cast<double>(k) / n) : "-");
+    }
+    row.push_back(Table::pct(
+        static_cast<double>(res.count_class(gate::FaultClass::SwError)) / n));
+    t.row(row);
+  }
+  t.print(std::cout);
+
+  // Multi-model faults: the paper observes single permanent faults producing
+  // more than one error type depending on the stimulus.
+  Table mm("Single faults producing multiple error types");
+  mm.header({"unit", "faults with >=2 models", "share of SW-error faults"});
+  for (const auto& res : gc.units) {
+    std::size_t multi = 0, sw = 0;
+    for (const auto& f : res.faults) {
+      if (!f.any_error()) continue;
+      ++sw;
+      if (f.distinct_models() >= 2) ++multi;
+    }
+    mm.row({gate::unit_name(res.unit), std::to_string(multi),
+            sw ? Table::pct(static_cast<double>(multi) / static_cast<double>(sw))
+               : "-"});
+  }
+  mm.print(std::cout);
+
+  std::cout << "\nPaper shape checks: IOC appears in all three units; the\n"
+               "decoder shows the widest error spectrum (it touches the raw\n"
+               "machine code); IVOC concentrates in the fetch unit; IAC is\n"
+               "rare everywhere (coarse-grain CTA management lives outside\n"
+               "these units).\n";
+  return 0;
+}

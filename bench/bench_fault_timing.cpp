@@ -1,0 +1,63 @@
+// Fault-model extension bench: the paper notes the methodology "can be
+// adapted for the evaluation of ... other fault models (e.g. delay or
+// transient)". Here the same pipeline/scheduler fault descriptors run under
+// three temporal profiles — permanent, intermittent (10% duty), and a short
+// transient window — showing how the outcome mix collapses as activation
+// shrinks.
+#include <iostream>
+
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "rtl/campaign.hpp"
+
+using namespace gpf;
+using rtl::FaultTiming;
+using rtl::Site;
+
+int main() {
+  const std::size_t n = scaled(200, 50);
+  const std::uint64_t seed = campaign_seed() + 9;
+
+  Table t("Permanent vs intermittent vs transient faults (IMAD micro-benchmark)");
+  t.header({"site", "timing", "SDC", "DUE", "masked"});
+
+  for (Site site : {Site::Pipeline, Site::Scheduler}) {
+    for (int mode = 0; mode < 3; ++mode) {
+      FaultTiming timing;
+      const char* name = "permanent";
+      if (mode == 1) {
+        timing.mode = FaultTiming::Mode::Intermittent;
+        timing.duty = 0.1;
+        name = "intermittent 10%";
+      } else if (mode == 2) {
+        timing.mode = FaultTiming::Mode::Transient;
+        timing.onset = 4;
+        timing.duration = 8;
+        name = "transient (8 cycles)";
+      }
+      const rtl::MicroBench mb =
+          rtl::make_micro_bench(rtl::MicroOp::IMAD, rtl::InputRange::Medium, 1);
+      rtl::Injector injector(rtl::target_from_micro(mb, false));
+      Rng rng(seed + static_cast<std::uint64_t>(mode) * 131);
+      rtl::AvfSummary s;
+      for (std::size_t i = 0; i < n; ++i) {
+        rtl::FaultSpec f = rtl::random_fault(site, false, rng);
+        f.timing = timing;
+        timing.seed = i;  // fresh intermittent stream per injection
+        f.timing.seed = i;
+        s.add(injector.inject(f));
+      }
+      t.row({std::string(rtl::site_name(site)), name, Table::pct(s.avf_sdc()),
+             Table::pct(s.avf_due()),
+             Table::pct(static_cast<double>(s.masked) /
+                        static_cast<double>(s.injections))});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected ordering: permanent >= intermittent >> transient in\n"
+               "SDC+DUE rate — permanent faults are rarely masked because the\n"
+               "damaged resource is exercised again and again, the core reason\n"
+               "the paper treats them separately from transients.\n";
+  return 0;
+}

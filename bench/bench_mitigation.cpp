@@ -1,0 +1,77 @@
+// Mitigation study (paper §5.3 discussion): the paper proposes control-flow
+// checking (CFC) + scheduling replication against WSC permanent faults, and
+// argues fetch/decoder faults need hardware hardening because they collapse
+// into DUEs. This bench measures CFC detection coverage of the SDCs each
+// error model produces.
+#include <iostream>
+
+#include "common/env.hpp"
+#include "common/table.hpp"
+#include "gate/cosim.hpp"
+#include "perfi/campaign.hpp"
+#include "perfi/cfc.hpp"
+#include "perfi/injector.hpp"
+#include "workloads/workload.hpp"
+
+using namespace gpf;
+using errmodel::ErrorModel;
+
+int main() {
+  const std::size_t n = scaled(40, 12);
+  const std::uint64_t seed = campaign_seed() + 5;
+  const char* apps[] = {"mxm", "hotspot", "bfs", "gemm"};
+
+  Table t("CFC detection coverage of SDCs, per error model");
+  t.header({"group", "error", "SDCs", "detected by CFC", "coverage"});
+
+  for (ErrorModel model : perfi::software_models()) {
+    std::size_t sdcs = 0, detected = 0;
+    for (const char* name : apps) {
+      const workloads::Workload& w = *workloads::find(name);
+      // Golden output + golden control-flow signature.
+      perfi::CfcSignature golden_sig;
+      arch::Gpu gpu;
+      gpu.set_hooks(&golden_sig);
+      const auto golden = workloads::golden_output(w, gpu);
+      gpu.set_hooks(nullptr);
+      const std::uint64_t gsig = golden_sig.digest();
+      const workloads::OutputSpec spec = w.output();
+
+      Rng rng(seed ^ (static_cast<std::uint64_t>(model) << 8));
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto desc = perfi::random_descriptor(model, rng);
+        perfi::ErrorInjector injector(desc);
+        perfi::CfcSignature sig;
+        gate::HookChain chain;
+        chain.add(&injector);
+        chain.add(&sig);
+        arch::Gpu g;
+        g.set_hooks(&chain);
+        w.setup(g);
+        const workloads::RunStats s = w.run(g, 400'000);
+        g.set_hooks(nullptr);
+        if (!s.ok) continue;  // DUE: already "detected" by the device
+        bool differs = false;
+        for (std::size_t k = 0; k < spec.words; ++k)
+          if (g.global()[spec.addr + k] != golden[k]) differs = true;
+        if (!differs) continue;  // masked
+        ++sdcs;
+        if (sig.digest() != gsig) ++detected;
+      }
+    }
+    t.row({std::string(errmodel::name_of(errmodel::group_of(model))),
+           std::string(errmodel::name_of(model)), std::to_string(sdcs),
+           std::to_string(detected),
+           sdcs ? Table::pct(static_cast<double>(detected) /
+                             static_cast<double>(sdcs))
+                : "-"});
+  }
+  t.print(std::cout);
+  std::cout << "\nPaper shape checks: SDCs from control-flow and parallel-\n"
+               "management errors (WV/IAT/IAW — the WSC error population) are\n"
+               "largely CFC-detectable, supporting software mitigation for the\n"
+               "scheduler; pure data corruptions (IIO/IMS) evade CFC, and\n"
+               "fetch/decoder faults mostly DUE before CFC matters — hence the\n"
+               "paper's call for hardware hardening there.\n";
+  return 0;
+}

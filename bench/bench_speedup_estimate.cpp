@@ -1,0 +1,80 @@
+// Discussion (§5.3) reproduction: the time-complexity argument for the
+// two-level methodology. We measure, on this machine, (a) the gate-level
+// replay cost per fault and (b) the software-level injection cost per run,
+// then extrapolate what a gate-level-only campaign over all faults and
+// applications would cost versus the actual two-level flow.
+#include <chrono>
+#include <iostream>
+
+#include "common/env.hpp"
+#include "common/table.hpp"
+#include "perfi/campaign.hpp"
+#include "report/gate_experiments.hpp"
+
+using namespace gpf;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+}  // namespace
+
+int main() {
+  // (a) Gate-level: profile + replay a sample, measure per-fault-cost.
+  auto t0 = Clock::now();
+  const auto traces = report::collect_profiling_traces(scaled(300, 100));
+  const double profiling_s = seconds_since(t0);
+
+  t0 = Clock::now();
+  const std::size_t gate_sample = scaled(200, 60);
+  const report::GateCampaigns gc =
+      report::run_gate_campaigns(traces, gate_sample, campaign_seed());
+  const double gate_s = seconds_since(t0);
+  std::size_t full_list = 0, evaluated = 0;
+  for (const auto& u : gc.units) {
+    full_list += u.full_fault_list_size;
+    evaluated += u.faults.size();
+  }
+  const double gate_per_fault_s = gate_s / static_cast<double>(evaluated);
+
+  // (b) Software level: per-injection cost on a mid-size app.
+  const workloads::Workload& app = *workloads::find("gemm");
+  perfi::AppInjectionRunner runner(app);
+  Rng rng(campaign_seed());
+  t0 = Clock::now();
+  const std::size_t sw_sample = scaled(60, 20);
+  for (std::size_t i = 0; i < sw_sample; ++i)
+    (void)runner.inject(
+        perfi::random_descriptor(errmodel::ErrorModel::IAT, rng));
+  const double sw_per_inj_s = seconds_since(t0) / static_cast<double>(sw_sample);
+
+  // Extrapolations in the paper's style. Gate-level-only evaluation would
+  // need every fault evaluated against every *application* (not just unit
+  // patterns); approximate an application as ~50x the profiled trace cost.
+  const double apps = 15.0, app_trace_ratio = 50.0;
+  const double gate_only_s = static_cast<double>(full_list) * gate_per_fault_s *
+                             app_trace_ratio * apps;
+  const std::size_t sw_campaign = 11 * 15 * 1000;  // paper-sized: 165k injections
+  const double two_level_s = profiling_s +
+                             static_cast<double>(full_list) * gate_per_fault_s +
+                             static_cast<double>(sw_campaign) * sw_per_inj_s;
+
+  Table t("§5.3 — evaluation-time comparison (measured on this machine)");
+  t.header({"quantity", "value"});
+  t.row({"unit fault list (collapsed, 3 units)", std::to_string(full_list)});
+  t.row({"gate-level replay cost / fault", Table::num(gate_per_fault_s * 1e3, 2) + " ms"});
+  t.row({"software injection cost / run (gemm)", Table::num(sw_per_inj_s * 1e3, 2) + " ms"});
+  t.row({"profiling (14 workloads)", Table::num(profiling_s, 2) + " s"});
+  t.row({"gate-level-only campaign (est.)", Table::num(gate_only_s / 3600.0, 1) + " h"});
+  t.row({"two-level flow (est., paper-sized SW campaign)",
+         Table::num(two_level_s / 3600.0, 2) + " h"});
+  t.row({"speed-up", Table::num(gate_only_s / two_level_s, 0) + "x"});
+  t.print(std::cout);
+
+  std::cout << "\nThe paper reports ~1,242 years for gate-level-only vs ~503 h\n"
+               "for the two-level flow (>4 orders of magnitude); the same\n"
+               "gap structure appears here because full applications only\n"
+               "ever run on the fast functional simulator.\n";
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Substrate micro-performance (google-benchmark): netlist evaluation,
+// functional-simulator throughput, softfloat datapaths, encode/decode, and
+// instrumentation overhead. These are the knobs that set campaign cost.
+#include <benchmark/benchmark.h>
+
+#include "arch/machine.hpp"
+#include "common/bitops.hpp"
+#include "gate/sim.hpp"
+#include "gate/units.hpp"
+#include "isa/encoding.hpp"
+#include "perfi/injector.hpp"
+#include "softfloat/fp32.hpp"
+#include "workloads/workload.hpp"
+
+using namespace gpf;
+
+static void BM_EncodeDecode(benchmark::State& state) {
+  isa::Instruction in;
+  in.op = isa::Op::FFMA;
+  in.rd = 3;
+  in.rs1 = 1;
+  in.rs2 = 2;
+  in.rs3 = 3;
+  for (auto _ : state) {
+    const std::uint64_t w = isa::encode(in);
+    benchmark::DoNotOptimize(isa::decode(w));
+  }
+}
+BENCHMARK(BM_EncodeDecode);
+
+static void BM_SoftFloatFma(benchmark::State& state) {
+  std::uint32_t a = f32_bits(1.5f), b = f32_bits(2.25f), c = f32_bits(-0.5f);
+  for (auto _ : state) {
+    c = sf::ffma(a, b, c);
+    benchmark::DoNotOptimize(c);
+    c = f32_bits(-0.5f);
+  }
+}
+BENCHMARK(BM_SoftFloatFma);
+
+static void BM_DecoderNetlistEval(benchmark::State& state) {
+  auto nl = gate::build_decoder_unit();
+  gate::Simulator sim(*nl);
+  isa::Instruction in;
+  in.op = isa::Op::IMAD;
+  in.rd = 1;
+  in.rs1 = 2;
+  in.rs2 = 3;
+  in.rs3 = 4;
+  sim.set_bus(*nl->find_input("instr"), isa::encode(in));
+  sim.set_bus(*nl->find_input("fetch_valid"), 1);
+  for (auto _ : state) {
+    sim.eval();
+    benchmark::DoNotOptimize(sim.bus_value(*nl->find_output("rd")));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(nl->cell_count()));
+}
+BENCHMARK(BM_DecoderNetlistEval);
+
+static void BM_WscNetlistEval(benchmark::State& state) {
+  auto nl = gate::build_wsc_unit();
+  gate::Simulator sim(*nl);
+  for (auto _ : state) {
+    sim.eval();
+    sim.clock();
+    benchmark::DoNotOptimize(sim.bus_value(*nl->find_output("sel_slot")));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(nl->cell_count()));
+}
+BENCHMARK(BM_WscNetlistEval);
+
+static void BM_SimulatorInstructionRate(benchmark::State& state) {
+  const workloads::Workload& w = *workloads::find("gemm");
+  arch::Gpu gpu;
+  w.setup(gpu);
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    const workloads::RunStats s = w.run(gpu);
+    instructions += s.instructions;
+    benchmark::DoNotOptimize(s.cycles);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(instructions));
+}
+BENCHMARK(BM_SimulatorInstructionRate);
+
+static void BM_InstrumentedSimulatorRate(benchmark::State& state) {
+  const workloads::Workload& w = *workloads::find("gemm");
+  arch::Gpu gpu;
+  w.setup(gpu);
+  errmodel::ErrorDescriptor d;
+  d.model = errmodel::ErrorModel::IAT;
+  d.warp_mask = 0x1;
+  d.thread_mask = 0x2;
+  d.bit_err_mask = 0x4;
+  perfi::ErrorInjector injector(d);
+  gpu.set_hooks(&injector);
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    const workloads::RunStats s = w.run(gpu);
+    instructions += s.instructions;
+  }
+  gpu.set_hooks(nullptr);
+  state.SetItemsProcessed(static_cast<int64_t>(instructions));
+}
+BENCHMARK(BM_InstrumentedSimulatorRate);

@@ -1,0 +1,69 @@
+// Quickstart: write a kernel with the KernelBuilder DSL, run it on the GPU
+// model, and read the results — the 60-second tour of the public API.
+//
+//   $ ./examples/quickstart
+#include <iostream>
+
+#include "arch/machine.hpp"
+#include "isa/builder.hpp"
+
+using namespace gpf;
+
+int main() {
+  // 1. Write a SAXPY kernel: y[i] = a*x[i] + y[i].
+  isa::KernelBuilder kb("saxpy");
+  auto tid = kb.reg();
+  auto cta = kb.reg();
+  auto ntid = kb.reg();
+  auto gid = kb.reg();
+  auto x = kb.reg();
+  auto y = kb.reg();
+  auto a = kb.reg();
+  auto p = kb.pred();
+
+  const std::uint32_t kN = 100;
+  const std::uint32_t kX = 0, kY = 1024;
+
+  kb.s2r(tid, isa::SpecialReg::TID_X);
+  kb.s2r(cta, isa::SpecialReg::CTAID_X);
+  kb.s2r(ntid, isa::SpecialReg::NTID_X);
+  kb.imad(gid, cta, ntid, tid);          // gid = ctaid * ntid + tid
+  kb.isetpi(p, isa::Cmp::LT, gid, kN);   // bounds check
+  kb.if_(p, false, [&] {
+    kb.ldg(x, gid, kX);                  // x = X[gid]
+    kb.ldg(y, gid, kY);                  // y = Y[gid]
+    kb.movf(a, 2.5f);
+    kb.ffma(y, a, x, y);                 // y = a*x + y (fused)
+    kb.stg(gid, kY, y);                  // Y[gid] = y
+  });
+  const isa::Program prog = kb.build();
+
+  // 2. Inspect the generated SASS-like code.
+  std::cout << isa::disassemble(prog) << "\n";
+
+  // 3. Run it on the GPU model: 1 SM, 32-lane PPB, warps of 32.
+  arch::Gpu gpu;
+  std::vector<float> xs(kN), ys(kN);
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    xs[i] = static_cast<float>(i);
+    ys[i] = 1.0f;
+  }
+  gpu.write_global_f(kX, xs);
+  gpu.write_global_f(kY, ys);
+
+  const arch::LaunchResult res = gpu.launch(prog, /*grid=*/{2, 1, 1},
+                                            /*block=*/{64, 1, 1});
+  if (!res.ok) {
+    std::cerr << "launch trapped: " << arch::trap_name(res.trap) << "\n";
+    return 1;
+  }
+
+  // 4. Read the results back.
+  const std::vector<float> out = gpu.read_global_f(kY, kN);
+  std::cout << "saxpy over " << kN << " elements: " << res.instructions
+            << " instructions, " << res.cycles << " cycles\n";
+  std::cout << "y[0..7] =";
+  for (int i = 0; i < 8; ++i) std::cout << ' ' << out[static_cast<std::size_t>(i)];
+  std::cout << "\n(expected y[i] = 2.5*i + 1)\n";
+  return 0;
+}

@@ -1,0 +1,107 @@
+#include "arch/exec.hpp"
+
+#include <cmath>
+
+#include "common/bitops.hpp"
+#include "softfloat/fp32.hpp"
+#include "softfloat/intops.hpp"
+#include "softfloat/sfu.hpp"
+
+namespace gpf::arch {
+
+using isa::Op;
+
+std::uint32_t FastExec::alu(Op op, std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                            unsigned /*lane*/) {
+  const auto fa = bits_f32(a);
+  const auto fb = bits_f32(b);
+  const auto fc = bits_f32(c);
+  const auto sa = static_cast<std::int32_t>(a);
+  const auto sb = static_cast<std::int32_t>(b);
+  switch (op) {
+    case Op::IADD: return a + b;
+    case Op::ISUB: return a - b;
+    case Op::IMUL: return a * b;
+    case Op::IMAD: return a * b + c;
+    case Op::IMIN: return static_cast<std::uint32_t>(sa < sb ? sa : sb);
+    case Op::IMAX: return static_cast<std::uint32_t>(sa > sb ? sa : sb);
+    case Op::IABS: return static_cast<std::uint32_t>(sa < 0 ? -sa : sa);
+    case Op::SHL: return b >= 32 ? 0 : a << b;
+    case Op::SHR: return b >= 32 ? 0 : a >> b;
+    case Op::SHRA: return static_cast<std::uint32_t>(b >= 32 ? sa >> 31 : sa >> b);
+    case Op::LOP_AND: return a & b;
+    case Op::LOP_OR: return a | b;
+    case Op::LOP_XOR: return a ^ b;
+    case Op::LOP_NOT: return ~a;
+
+    case Op::FADD: return f32_bits(fa + fb);
+    case Op::FMUL: return f32_bits(fa * fb);
+    case Op::FFMA: return f32_bits(std::fmaf(fa, fb, fc));
+    case Op::FMIN: return f32_bits(std::fmin(fa, fb));
+    case Op::FMAX: return f32_bits(std::fmax(fa, fb));
+    case Op::F2I: return sf::f2i(a);
+    case Op::I2F: return f32_bits(static_cast<float>(sa));
+
+    // SFU ops use the same polynomial pipeline as SoftExec so golden outputs
+    // are identical across backends.
+    case Op::FSIN: return sf::sfu_eval(sf::SfuFunc::Sin, a);
+    case Op::FEXP: return sf::sfu_eval(sf::SfuFunc::Exp2, a);
+    case Op::FRCP: return sf::sfu_eval(sf::SfuFunc::Rcp, a);
+    case Op::FSQRT: return sf::sfu_eval(sf::SfuFunc::Sqrt, a);
+    case Op::FLG2: return sf::sfu_eval(sf::SfuFunc::Lg2, a);
+
+    default: return 0;
+  }
+}
+
+std::uint32_t SoftExec::alu(Op op, std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                            unsigned lane) {
+  const sf::BusFaultSet* lf = lane_faults_[lane % kWarpSize];
+  switch (op) {
+    case Op::IADD: return sf::iadd(a, b, lf);
+    case Op::ISUB: return sf::isub(a, b, lf);
+    case Op::IMUL: return sf::imul(a, b, lf);
+    case Op::IMAD: return sf::imad(a, b, c, lf);
+    case Op::IMIN: return sf::imin(a, b, lf);
+    case Op::IMAX: return sf::imax(a, b, lf);
+
+    case Op::FADD: return sf::fadd(a, b, lf);
+    case Op::FMUL: return sf::fmul(a, b, lf);
+    case Op::FFMA: return sf::ffma(a, b, c, lf);
+    case Op::FMIN: return sf::fmin(a, b, lf);
+    case Op::FMAX: return sf::fmax(a, b, lf);
+    case Op::F2I: return sf::f2i(a, lf);
+    case Op::I2F: return sf::i2f(a, lf);
+
+    case Op::FSIN: case Op::FEXP: case Op::FRCP: case Op::FSQRT: case Op::FLG2: {
+      const sf::BusFaultSet* sfb = sfu_faults_[sfu_of_lane(lane) % sfu_count_];
+      sf::SfuFunc fn = sf::SfuFunc::Sin;
+      if (op == Op::FEXP) fn = sf::SfuFunc::Exp2;
+      if (op == Op::FRCP) fn = sf::SfuFunc::Rcp;
+      if (op == Op::FSQRT) fn = sf::SfuFunc::Sqrt;
+      if (op == Op::FLG2) fn = sf::SfuFunc::Lg2;
+      return sf::sfu_eval(fn, a, sfb);
+    }
+
+    // Pure-logic ops share the fast path (no separately modelled datapath).
+    default: {
+      FastExec fast;
+      return fast.alu(op, a, b, c, lane);
+    }
+  }
+}
+
+const char* trap_name(TrapKind k) {
+  switch (k) {
+    case TrapKind::None: return "none";
+    case TrapKind::InvalidOpcode: return "invalid-opcode";
+    case TrapKind::InvalidRegister: return "invalid-register";
+    case TrapKind::IllegalAddress: return "illegal-address";
+    case TrapKind::StackOverflow: return "stack-overflow";
+    case TrapKind::InvalidPC: return "invalid-pc";
+    case TrapKind::Watchdog: return "watchdog-hang";
+  }
+  return "?";
+}
+
+}  // namespace gpf::arch

@@ -1,0 +1,54 @@
+// Execution-unit backends. FastExec uses host arithmetic (PERfi campaigns);
+// SoftExec routes through the bit-accurate datapaths in src/softfloat and
+// honours per-lane / per-SFU fault overlays (RTL campaigns).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "arch/types.hpp"
+#include "isa/opcode.hpp"
+#include "softfloat/buses.hpp"
+
+namespace gpf::arch {
+
+class ExecUnit {
+ public:
+  virtual ~ExecUnit() = default;
+  /// Evaluate a (non-memory, non-control) operation for one lane.
+  virtual std::uint32_t alu(isa::Op op, std::uint32_t a, std::uint32_t b,
+                            std::uint32_t c, unsigned lane) = 0;
+};
+
+/// Host-arithmetic backend (bitwise-compatible with SoftExec for normal-range
+/// values; FTZ differences only appear with subnormals).
+class FastExec final : public ExecUnit {
+ public:
+  std::uint32_t alu(isa::Op op, std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                    unsigned lane) override;
+};
+
+/// Bit-accurate backend with stuck-at overlays. A fault set can be installed
+/// per lane (per-lane INT/FP32 cores) or per SFU (lanes share SFUs in blocks
+/// of kWarpSize / sfus_per_ppb — the sharing that makes SFU control faults
+/// corrupt multiple threads).
+class SoftExec final : public ExecUnit {
+ public:
+  explicit SoftExec(unsigned sfu_count = 2) : sfu_count_(sfu_count) {}
+
+  void set_lane_fault(unsigned lane, const sf::BusFaultSet* f) { lane_faults_[lane] = f; }
+  void set_sfu_fault(unsigned sfu, const sf::BusFaultSet* f) { sfu_faults_[sfu] = f; }
+  unsigned sfu_of_lane(unsigned lane) const {
+    return lane / (kWarpSize / sfu_count_);
+  }
+
+  std::uint32_t alu(isa::Op op, std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                    unsigned lane) override;
+
+ private:
+  unsigned sfu_count_;
+  std::array<const sf::BusFaultSet*, kWarpSize> lane_faults_{};
+  std::array<const sf::BusFaultSet*, 8> sfu_faults_{};
+};
+
+}  // namespace gpf::arch

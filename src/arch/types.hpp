@@ -1,0 +1,54 @@
+// Configuration and result types for the GPU model.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace gpf::arch {
+
+inline constexpr unsigned kWarpSize = 32;
+
+/// FlexGripPlus-like configuration: the paper configures one PPB per SM
+/// cluster with 32 SP cores per PPB and 2 shared SFUs.
+struct GpuConfig {
+  unsigned num_sms = 1;
+  unsigned ppbs_per_sm = 1;
+  unsigned max_warps_per_ppb = 8;   ///< resident warp slots
+  unsigned sfus_per_ppb = 2;
+  std::size_t global_words = 1u << 21;
+  std::size_t const_words = 1u << 12;
+  std::size_t local_words_per_thread = 64;
+  std::uint64_t watchdog_cycles = 8'000'000;
+};
+
+struct Dim3 {
+  unsigned x = 1, y = 1, z = 1;
+  unsigned count() const { return x * y * z; }
+};
+
+/// DUE surface of the simulator: why a launch was aborted.
+enum class TrapKind : std::uint8_t {
+  None = 0,
+  InvalidOpcode,    ///< word does not decode (IVOC manifestation)
+  InvalidRegister,  ///< register index >= regs_per_thread (IVRA)
+  IllegalAddress,   ///< out-of-bounds memory access
+  StackOverflow,    ///< SIMT reconvergence stack exceeded hardware depth
+  InvalidPC,        ///< fetch past the end of instruction memory
+  Watchdog,         ///< cycle budget exhausted (hang)
+};
+
+const char* trap_name(TrapKind k);
+
+/// Outcome of one kernel launch.
+struct LaunchResult {
+  bool ok = false;
+  TrapKind trap = TrapKind::None;
+  std::uint32_t trap_pc = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  /// Issue counts per unit class (INT, FP32, SFU, MOVE, MEM, CTRL).
+  std::array<std::uint64_t, 6> unit_issues{};
+};
+
+}  // namespace gpf::arch

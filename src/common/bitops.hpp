@@ -1,0 +1,58 @@
+// Bit-manipulation helpers shared by the ISA encoding, the gate-level
+// substrate, and the fault-injection overlays.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+namespace gpf {
+
+/// Extract `width` bits of `word` starting at bit `lo` (LSB = bit 0).
+template <typename T>
+constexpr T bits(T word, unsigned lo, unsigned width) noexcept {
+  static_assert(std::is_unsigned_v<T>);
+  const T mask = width >= sizeof(T) * 8 ? ~T{0} : ((T{1} << width) - 1);
+  return static_cast<T>((word >> lo) & mask);
+}
+
+/// Return `word` with `width` bits starting at `lo` replaced by `value`.
+template <typename T>
+constexpr T set_bits(T word, unsigned lo, unsigned width, T value) noexcept {
+  static_assert(std::is_unsigned_v<T>);
+  const T mask = width >= sizeof(T) * 8 ? ~T{0} : ((T{1} << width) - 1);
+  return static_cast<T>((word & ~(mask << lo)) | ((value & mask) << lo));
+}
+
+/// Test a single bit.
+template <typename T>
+constexpr bool bit(T word, unsigned idx) noexcept {
+  return ((word >> idx) & T{1}) != 0;
+}
+
+/// Set / clear a single bit.
+template <typename T>
+constexpr T with_bit(T word, unsigned idx, bool value) noexcept {
+  const T mask = T{1} << idx;
+  return value ? static_cast<T>(word | mask) : static_cast<T>(word & ~mask);
+}
+
+/// Population count of the low `n` bits.
+template <typename T>
+constexpr int popcount_low(T word, unsigned n) noexcept {
+  const T mask = n >= sizeof(T) * 8 ? ~T{0} : ((T{1} << n) - 1);
+  return std::popcount(static_cast<T>(word & mask));
+}
+
+/// Sign-extend the low `width` bits of `value` to 64 bits.
+constexpr std::int64_t sign_extend(std::uint64_t value, unsigned width) noexcept {
+  const std::uint64_t m = std::uint64_t{1} << (width - 1);
+  const std::uint64_t x = value & ((std::uint64_t{1} << width) - 1);
+  return static_cast<std::int64_t>((x ^ m) - m);
+}
+
+/// Bitcast between float and its raw 32-bit pattern.
+constexpr std::uint32_t f32_bits(float f) noexcept { return std::bit_cast<std::uint32_t>(f); }
+constexpr float bits_f32(std::uint32_t u) noexcept { return std::bit_cast<float>(u); }
+
+}  // namespace gpf

@@ -1,0 +1,32 @@
+#include "common/env.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace gpf {
+
+double campaign_scale() {
+  static const double scale = [] {
+    const char* s = std::getenv("GPF_SCALE");
+    if (!s) return 1.0;
+    const double v = std::atof(s);
+    return v > 0.01 ? v : 0.01;
+  }();
+  return scale;
+}
+
+std::size_t scaled(std::size_t n, std::size_t min_n) {
+  const auto v = static_cast<std::size_t>(static_cast<double>(n) * campaign_scale());
+  return std::clamp(v, std::min(min_n, n), std::max(n, v));
+}
+
+unsigned long long campaign_seed() {
+  static const unsigned long long seed = [] {
+    const char* s = std::getenv("GPF_SEED");
+    return s ? std::strtoull(s, nullptr, 0) : 0xC0FFEEULL;
+  }();
+  return seed;
+}
+
+}  // namespace gpf

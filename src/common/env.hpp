@@ -1,0 +1,19 @@
+// Campaign sizing knobs. The paper's full campaigns (5.8e5 gate faults,
+// 1.65e5 software injections) take hundreds of hours; bench binaries default
+// to a statistically sampled slice and scale up via GPF_SCALE.
+#pragma once
+
+#include <cstddef>
+
+namespace gpf {
+
+/// GPF_SCALE environment variable as a multiplier (default 1.0, min 0.01).
+double campaign_scale();
+
+/// n scaled by campaign_scale(), clamped to [min_n, n].
+std::size_t scaled(std::size_t n, std::size_t min_n = 8);
+
+/// GPF_SEED environment variable (default 0xC0FFEE).
+unsigned long long campaign_seed();
+
+}  // namespace gpf

@@ -1,0 +1,38 @@
+// ASCII table / CSV rendering for paper-style result tables. Every bench
+// binary formats its output through this so tables are uniform and diffable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gpf {
+
+/// A simple column-aligned table with a title, header row, and data rows.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  Table& header(std::vector<std::string> cols);
+  Table& row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with `prec` digits after the point.
+  static std::string num(double v, int prec = 2);
+  /// Percentage with trailing '%'.
+  static std::string pct(double fraction, int prec = 1);
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  const std::string& title() const { return title_; }
+  std::size_t rows() const { return rows_.size(); }
+  const std::vector<std::string>& header_row() const { return header_; }
+  const std::vector<std::string>& row_at(std::size_t i) const { return rows_[i]; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gpf

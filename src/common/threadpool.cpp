@@ -1,0 +1,79 @@
+#include "common/threadpool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace gpf {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_.size() == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  const std::size_t chunk = std::max<std::size_t>(1, n / (threads_.size() * 8));
+  const std::size_t tasks = std::min(threads_.size(), (n + chunk - 1) / chunk);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    submit([next, n, chunk, &fn] {
+      for (;;) {
+        const std::size_t begin = next->fetch_add(chunk);
+        if (begin >= n) return;
+        const std::size_t end = std::min(n, begin + chunk);
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      }
+    });
+  }
+  wait_idle();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      if (--in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace gpf

@@ -1,0 +1,47 @@
+// Fixed-size thread pool with a parallel_for convenience. Fault-injection
+// campaigns are embarrassingly parallel across faults; the paper runs
+// 10-40 parallel processes for the same purpose.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gpf {
+
+class ThreadPool {
+ public:
+  /// `workers == 0` selects hardware_concurrency (minimum 1).
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return threads_.size(); }
+
+  /// Enqueue a task; wait_idle() blocks until all enqueued tasks finish.
+  void submit(std::function<void()> task);
+  void wait_idle();
+
+  /// Run fn(i) for i in [0, n) across the pool and wait for completion.
+  /// Iterations are chunked to keep scheduling overhead low.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace gpf

@@ -1,0 +1,60 @@
+#include "errmodel/models.hpp"
+
+namespace gpf::errmodel {
+
+std::string_view name_of(ErrorModel m) {
+  switch (m) {
+    case ErrorModel::IOC: return "IOC";
+    case ErrorModel::IVOC: return "IVOC";
+    case ErrorModel::IRA: return "IRA";
+    case ErrorModel::IVRA: return "IVRA";
+    case ErrorModel::IIO: return "IIO";
+    case ErrorModel::WV: return "WV";
+    case ErrorModel::IPP: return "IPP";
+    case ErrorModel::IAT: return "IAT";
+    case ErrorModel::IAW: return "IAW";
+    case ErrorModel::IAC: return "IAC";
+    case ErrorModel::IAL: return "IAL";
+    case ErrorModel::IMS: return "IMS";
+    case ErrorModel::IMD: return "IMD";
+    case ErrorModel::COUNT: break;
+  }
+  return "?";
+}
+
+std::string_view name_of(ErrorGroup g) {
+  switch (g) {
+    case ErrorGroup::Operation: return "Operation";
+    case ErrorGroup::ControlFlow: return "Control-flow";
+    case ErrorGroup::ParallelManagement: return "Parallel management";
+    case ErrorGroup::ResourceManagement: return "Resource management";
+  }
+  return "?";
+}
+
+ErrorGroup group_of(ErrorModel m) {
+  switch (m) {
+    case ErrorModel::IOC: case ErrorModel::IVOC: case ErrorModel::IRA:
+    case ErrorModel::IVRA: case ErrorModel::IIO:
+      return ErrorGroup::Operation;
+    case ErrorModel::WV:
+      return ErrorGroup::ControlFlow;
+    case ErrorModel::IPP: case ErrorModel::IAT: case ErrorModel::IAW:
+    case ErrorModel::IAC:
+      return ErrorGroup::ParallelManagement;
+    default:
+      return ErrorGroup::ResourceManagement;
+  }
+}
+
+bool corrupts_whole_warp(ErrorModel m) {
+  switch (m) {
+    case ErrorModel::IOC: case ErrorModel::IVOC: case ErrorModel::IRA:
+    case ErrorModel::IVRA: case ErrorModel::IPP: case ErrorModel::IAW:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace gpf::errmodel

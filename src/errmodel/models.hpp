@@ -1,0 +1,66 @@
+// The paper's 13 instruction-level permanent error models, grouped into the
+// four categories of Section 4, plus descriptors that tie an error to a
+// physical location (SM / PPB / warp set / thread set) and model-specific
+// parameters (bit masks, operand position, replacement opcode).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace gpf::errmodel {
+
+enum class ErrorModel : std::uint8_t {
+  // Operation errors
+  IOC,   ///< incorrect (still valid) operation code
+  IVOC,  ///< invalid operation code
+  IRA,   ///< incorrect (valid) register addressed
+  IVRA,  ///< invalid register addressed (outside regs-per-thread)
+  IIO,   ///< incorrect immediate operand
+  // Control-flow errors
+  WV,    ///< work-flow violation (predicate corruption)
+  // Parallel management errors
+  IPP,   ///< incorrect parallel parameter (shared regions / reg windows)
+  IAT,   ///< incorrect active thread
+  IAW,   ///< incorrect active warp
+  IAC,   ///< incorrect active CTA
+  // Resource management errors
+  IAL,   ///< incorrect active lane
+  IMS,   ///< incorrect memory source
+  IMD,   ///< incorrect memory destination
+  COUNT
+};
+
+inline constexpr unsigned kNumErrorModels = static_cast<unsigned>(ErrorModel::COUNT);
+
+enum class ErrorGroup : std::uint8_t {
+  Operation,
+  ControlFlow,
+  ParallelManagement,
+  ResourceManagement,
+};
+
+std::string_view name_of(ErrorModel m);
+std::string_view name_of(ErrorGroup g);
+ErrorGroup group_of(ErrorModel m);
+
+/// True when the model corrupts all threads of a warp (the paper: IOC, IVOC,
+/// IRA, IVRA, IPP, IAW affect all threads in a warp; the rest corrupt one or
+/// a few threads).
+bool corrupts_whole_warp(ErrorModel m);
+
+/// Error descriptor: "where" the permanent fault lives and "how" it corrupts
+/// instructions (Section 3.4 of the paper).
+struct ErrorDescriptor {
+  ErrorModel model = ErrorModel::IOC;
+  unsigned sm_id = 0;
+  unsigned ppb_id = 0;
+  std::uint32_t warp_mask = 0x1;    ///< resident warp slots affected
+  std::uint32_t thread_mask = 0x1;  ///< lanes affected within each warp
+  std::uint32_t bit_err_mask = 0x1; ///< XOR mask applied to the target field
+  unsigned err_oper_loc = 0;        ///< 0 = destination, 1..3 = source operand
+  std::uint8_t replacement_op = 0;  ///< raw opcode used by IOC
+  std::uint8_t target_pred = 0;     ///< predicate register targeted by WV
+  bool enable_lane = false;         ///< IAL: false = disable lane, true = force-enable
+};
+
+}  // namespace gpf::errmodel

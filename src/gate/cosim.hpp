@@ -1,0 +1,170 @@
+// Gate-in-the-loop co-simulation: the decoder, fetch, and WSC netlists run
+// INSIDE the functional GPU, replacing the corresponding functional stages
+// for one PPB. With no fault installed the co-simulation is cycle-exact with
+// the pure functional model (validated by tests); with a stuck-at installed
+// it yields direct end-to-end gate-fault -> application outcomes, the ground
+// truth the two-level methodology approximates (and the validation bench
+// compares against).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "arch/machine.hpp"
+#include "gate/sim.hpp"
+#include "gate/units.hpp"
+
+namespace gpf::gate {
+
+/// Decoder netlist in the loop (combinational: one evaluation per issue).
+class DecoderCosim : public arch::MachineHooks {
+ public:
+  explicit DecoderCosim(unsigned sm = 0, unsigned ppb = 0);
+
+  void set_fault(StuckFault f) { sim_.set_fault(f); }
+  void clear_fault() { sim_.clear_fault(); }
+  const Netlist& netlist() const { return *nl_; }
+
+  std::uint64_t post_fetch_word(arch::Gpu&, unsigned sm, unsigned ppb, unsigned,
+                                std::uint64_t word) override;
+  void post_decode(arch::Gpu&, unsigned sm, unsigned ppb, isa::Instruction& in,
+                   bool& ok) override;
+
+  std::uint64_t evaluations() const { return evals_; }
+
+ private:
+  unsigned sm_, ppb_;
+  std::unique_ptr<Netlist> nl_;
+  Simulator sim_;
+  std::uint64_t word_ = 0;
+  bool have_word_ = false;
+  std::uint64_t evals_ = 0;
+
+  struct Ports;
+  std::unique_ptr<Ports> p_;
+
+ public:
+  ~DecoderCosim() override;
+};
+
+/// Fetch netlist in the loop: holds the per-warp PC bank in gate-level state,
+/// synchronized with the functional warps the same way the profiler traces
+/// are driven (external redirects for CTA init / reconvergence pops).
+class FetchCosim : public arch::MachineHooks {
+ public:
+  explicit FetchCosim(unsigned sm = 0, unsigned ppb = 0);
+  ~FetchCosim() override;
+
+  void set_fault(StuckFault f) { sim_.set_fault(f); }
+  void clear_fault() { sim_.clear_fault(); }
+  const Netlist& netlist() const { return *nl_; }
+
+  int post_select(arch::Gpu&, unsigned sm, unsigned ppb, int slot) override;
+  std::uint32_t post_fetch_pc(arch::Gpu&, unsigned sm, unsigned ppb, unsigned slot,
+                              std::uint32_t pc) override;
+  std::uint64_t post_fetch_word(arch::Gpu&, unsigned sm, unsigned ppb, unsigned slot,
+                                std::uint64_t word) override;
+  void post_execute(arch::ExecCtx& ctx) override;
+
+ private:
+  void drive_write(std::uint8_t sel_slot, bool sel_valid, bool redirect_en,
+                   std::uint32_t redirect_pc, bool init_en, std::uint8_t init_slot,
+                   std::uint32_t init_pc);
+
+  unsigned sm_, ppb_;
+  std::unique_ptr<Netlist> nl_;
+  Simulator sim_;
+  std::array<std::uint32_t, 8> pc_shadow_{};
+  int cur_slot_ = -1;
+  std::uint32_t cur_pc_ = 0;
+
+  struct Ports;
+  std::unique_ptr<Ports> p_;
+};
+
+/// WSC netlist in the loop: the warp-state table, rotating arbiter, and
+/// dispatch buffer run at gate level, synchronized with the functional warps
+/// exactly like the profiler's traces (state-diff writes before each issue).
+/// The netlist's selection, dispatched mask, and instruction word override
+/// the functional ones.
+class WscCosim : public arch::MachineHooks {
+ public:
+  explicit WscCosim(unsigned sm = 0, unsigned ppb = 0);
+  ~WscCosim() override;
+
+  void set_fault(StuckFault f) { sim_.set_fault(f); }
+  void clear_fault() { sim_.clear_fault(); }
+  const Netlist& netlist() const { return *nl_; }
+
+  void on_launch_begin(arch::Gpu&, const isa::Program&) override;
+  void pre_cycle(arch::Gpu& gpu, unsigned sm, unsigned ppb) override;
+  int post_select(arch::Gpu& gpu, unsigned sm, unsigned ppb, int slot) override;
+  std::uint64_t post_fetch_word(arch::Gpu&, unsigned sm, unsigned ppb,
+                                unsigned slot, std::uint64_t word) override;
+  void pre_execute(arch::ExecCtx& ctx) override;
+  void post_execute(arch::ExecCtx& ctx) override;
+
+ private:
+  void drive_defaults();
+  void write_cycle(const std::function<void()>& set_fields);
+  void sync_state(arch::Gpu& gpu, unsigned sm, unsigned ppb);
+
+  unsigned sm_, ppb_;
+  std::unique_ptr<Netlist> nl_;
+  Simulator sim_;
+  bool lane_cfg_written_ = false;
+  struct WarpShadow {
+    bool valid = false, done = false, barrier = false;
+    std::uint32_t mask = 0;
+  };
+  std::array<WarpShadow, 8> shadow_{};
+  std::uint32_t issue_active_ = 0;  ///< netlist active_lanes for this issue
+  int issue_slot_ = -1;
+  bool issued_ = false;
+
+  struct Ports;
+  std::unique_ptr<Ports> p_;
+};
+
+/// Fan-out MachineHooks to several listeners (e.g., cosim + instrumenter).
+/// Value-returning stages chain left to right.
+class HookChain final : public arch::MachineHooks {
+ public:
+  void add(arch::MachineHooks* h) { hooks_.push_back(h); }
+
+  void on_launch_begin(arch::Gpu& g, const isa::Program& p) override {
+    for (auto* h : hooks_) h->on_launch_begin(g, p);
+  }
+  void pre_cycle(arch::Gpu& g, unsigned sm, unsigned ppb) override {
+    for (auto* h : hooks_) h->pre_cycle(g, sm, ppb);
+  }
+  int post_select(arch::Gpu& g, unsigned sm, unsigned ppb, int slot) override {
+    for (auto* h : hooks_) slot = h->post_select(g, sm, ppb, slot);
+    return slot;
+  }
+  std::uint32_t post_fetch_pc(arch::Gpu& g, unsigned sm, unsigned ppb,
+                              unsigned slot, std::uint32_t pc) override {
+    for (auto* h : hooks_) pc = h->post_fetch_pc(g, sm, ppb, slot, pc);
+    return pc;
+  }
+  std::uint64_t post_fetch_word(arch::Gpu& g, unsigned sm, unsigned ppb,
+                                unsigned slot, std::uint64_t w) override {
+    for (auto* h : hooks_) w = h->post_fetch_word(g, sm, ppb, slot, w);
+    return w;
+  }
+  void post_decode(arch::Gpu& g, unsigned sm, unsigned ppb, isa::Instruction& in,
+                   bool& ok) override {
+    for (auto* h : hooks_) h->post_decode(g, sm, ppb, in, ok);
+  }
+  void pre_execute(arch::ExecCtx& c) override {
+    for (auto* h : hooks_) h->pre_execute(c);
+  }
+  void post_execute(arch::ExecCtx& c) override {
+    for (auto* h : hooks_) h->post_execute(c);
+  }
+
+ private:
+  std::vector<arch::MachineHooks*> hooks_;
+};
+
+}  // namespace gpf::gate

@@ -1,0 +1,52 @@
+#include "gate/dictionary.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gpf::gate {
+
+void write_fault_dictionary(std::ostream& os, const UnitCampaignResult& result) {
+  os << "unit,net,stuck,class,activated,hang";
+  for (unsigned m = 0; m < errmodel::kNumErrorModels; ++m)
+    os << ',' << errmodel::name_of(static_cast<errmodel::ErrorModel>(m));
+  os << '\n';
+  for (const FaultCharacterization& f : result.faults) {
+    os << unit_name(result.unit) << ',' << f.fault.net << ','
+       << (f.fault.stuck_high ? 1 : 0) << ',' << fault_class_name(f.cls()) << ','
+       << (f.activated ? 1 : 0) << ',' << (f.hang ? 1 : 0);
+    for (unsigned m = 0; m < errmodel::kNumErrorModels; ++m)
+      os << ',' << f.error_counts[m];
+    os << '\n';
+  }
+}
+
+std::vector<FaultCharacterization> read_fault_dictionary(std::istream& is) {
+  std::vector<FaultCharacterization> out;
+  std::string line;
+  if (!std::getline(is, line)) return out;  // header
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::stringstream ss(line);
+    std::string cell;
+    auto next = [&]() -> std::string {
+      if (!std::getline(ss, cell, ',')) throw std::runtime_error("short row");
+      return cell;
+    };
+    FaultCharacterization f;
+    (void)next();  // unit name (implied by file)
+    f.fault.net = static_cast<Net>(std::stol(next()));
+    f.fault.stuck_high = next() == "1";
+    (void)next();  // class (derived)
+    f.activated = next() == "1";
+    f.hang = next() == "1";
+    for (unsigned m = 0; m < errmodel::kNumErrorModels; ++m)
+      f.error_counts[m] = static_cast<std::uint32_t>(std::stoul(next()));
+    out.push_back(f);
+  }
+  return out;
+}
+
+}  // namespace gpf::gate

@@ -1,0 +1,21 @@
+// Fault-dictionary export: the per-fault characterization database the
+// paper publishes alongside the tool (gate-level analyses + error models per
+// fault). CSV schema, one row per evaluated stuck-at fault:
+//
+//   unit,net,stuck,class,activated,hang,IOC,IVOC,...,IMD
+//
+// where the 13 trailing columns are the "times produced (SW)" counts.
+#pragma once
+
+#include <iosfwd>
+
+#include "gate/replay.hpp"
+
+namespace gpf::gate {
+
+void write_fault_dictionary(std::ostream& os, const UnitCampaignResult& result);
+
+/// Parse a dictionary back (for downstream tooling / tests).
+std::vector<FaultCharacterization> read_fault_dictionary(std::istream& is);
+
+}  // namespace gpf::gate

@@ -1,0 +1,175 @@
+#include "gate/eventsim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gpf::gate {
+
+EventFaultSim::EventFaultSim(const Netlist& nl) : nl_(nl) {
+  if (!nl.finalized()) throw std::logic_error("netlist not finalized");
+  const std::size_t n = nl.num_nets();
+
+  // Levels: inputs/consts/DFF outputs at 0, combinational gates above.
+  level_.assign(n, 0);
+  int max_level = 0;
+  for (const Net g : nl.eval_order()) {
+    const Gate& gg = nl.gate(g);
+    int lv = 0;
+    for (Net in : {gg.a, gg.b, gg.c})
+      if (in != kNoNet) lv = std::max(lv, level_[static_cast<std::size_t>(in)] + 1);
+    level_[static_cast<std::size_t>(g)] = lv;
+    max_level = std::max(max_level, lv);
+  }
+  buckets_.resize(static_cast<std::size_t>(max_level) + 1);
+
+  // Fan-out CSR over combinational gates AND DFFs (a divergent value feeding
+  // a DFF must flag it as a next-state candidate).
+  std::vector<std::uint32_t> degree(n + 1, 0);
+  auto each_edge = [&](auto&& fn) {
+    for (std::size_t g = 0; g < n; ++g) {
+      const Gate& gg = nl.gate(static_cast<Net>(g));
+      if (gg.kind == GateKind::Input || gg.kind == GateKind::Const0 ||
+          gg.kind == GateKind::Const1)
+        continue;
+      for (Net in : {gg.a, gg.b, gg.c})
+        if (in != kNoNet) fn(in, static_cast<Net>(g));
+    }
+  };
+  each_edge([&](Net src, Net) { ++degree[static_cast<std::size_t>(src)]; });
+  fan_offset_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) fan_offset_[i + 1] = fan_offset_[i] + degree[i];
+  fan_target_.resize(fan_offset_[n]);
+  std::vector<std::uint32_t> cursor(fan_offset_.begin(), fan_offset_.end() - 1);
+  each_edge([&](Net src, Net dst) {
+    fan_target_[cursor[static_cast<std::size_t>(src)]++] = dst;
+  });
+
+  stamp_.assign(n, 0);
+  faulty_val_.assign(n, 0);
+  queued_.assign(n, 0);
+  dff_touched_epoch_.assign(n, 0);
+}
+
+void EventFaultSim::begin(const StuckFault& f) {
+  fault_ = f;
+  divergent_state_.clear();
+}
+
+void EventFaultSim::mark(Net n, bool v) {
+  stamp_[static_cast<std::size_t>(n)] = epoch_;
+  faulty_val_[static_cast<std::size_t>(n)] = v ? 1 : 0;
+  divergent_now_.push_back(n);
+}
+
+void EventFaultSim::enqueue_fanout(Net n) {
+  for (std::uint32_t i = fan_offset_[static_cast<std::size_t>(n)];
+       i < fan_offset_[static_cast<std::size_t>(n) + 1]; ++i) {
+    const Net t = fan_target_[i];
+    const Gate& g = nl_.gate(t);
+    if (g.kind == GateKind::Dff) {
+      if (dff_touched_epoch_[static_cast<std::size_t>(t)] != epoch_) {
+        dff_touched_epoch_[static_cast<std::size_t>(t)] = epoch_;
+        touched_dffs_.push_back(t);
+      }
+      continue;
+    }
+    if (queued_[static_cast<std::size_t>(t)] == epoch_) continue;
+    queued_[static_cast<std::size_t>(t)] = epoch_;
+    buckets_[static_cast<std::size_t>(level_[static_cast<std::size_t>(t)])].push_back(t);
+  }
+}
+
+bool EventFaultSim::eval_cycle(const std::vector<std::uint8_t>& golden) {
+  ++epoch_;
+  divergent_now_.clear();
+  touched_dffs_.clear();
+  for (auto& b : buckets_) b.clear();
+
+  // Seeds: divergent DFF state carried over, plus the fault site itself when
+  // the stuck value differs from the golden value this cycle.
+  for (const auto& [dff, v] : divergent_state_) {
+    // The fault overlay dominates even a DFF's stored state.
+    const bool fvv = dff == fault_.net ? fault_.stuck_high : v != 0;
+    if (fvv != (golden[static_cast<std::size_t>(dff)] != 0)) {
+      mark(dff, fvv);
+      enqueue_fanout(dff);
+    }
+  }
+  if (fault_.net != kNoNet) {
+    const bool gv = golden[static_cast<std::size_t>(fault_.net)] != 0;
+    if (!diverged(fault_.net) && gv != fault_.stuck_high) {
+      mark(fault_.net, fault_.stuck_high);
+      enqueue_fanout(fault_.net);
+    }
+  }
+
+  // Levelized difference propagation.
+  auto fv = [&](Net n) -> bool {
+    return diverged(n) ? faulty_val_[static_cast<std::size_t>(n)] != 0
+                       : golden[static_cast<std::size_t>(n)] != 0;
+  };
+  for (auto& bucket : buckets_) {
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const Net n = bucket[i];
+      const Gate& g = nl_.gate(n);
+      bool v;
+      switch (g.kind) {
+        case GateKind::Buf: v = fv(g.a); break;
+        case GateKind::Not: v = !fv(g.a); break;
+        case GateKind::And: v = fv(g.a) && fv(g.b); break;
+        case GateKind::Or: v = fv(g.a) || fv(g.b); break;
+        case GateKind::Nand: v = !(fv(g.a) && fv(g.b)); break;
+        case GateKind::Nor: v = !(fv(g.a) || fv(g.b)); break;
+        case GateKind::Xor: v = fv(g.a) != fv(g.b); break;
+        case GateKind::Xnor: v = fv(g.a) == fv(g.b); break;
+        case GateKind::Mux: v = fv(g.a) ? fv(g.c) : fv(g.b); break;
+        default: continue;
+      }
+      if (n == fault_.net) v = fault_.stuck_high;
+      if (v != (golden[static_cast<std::size_t>(n)] != 0)) {
+        mark(n, v);
+        enqueue_fanout(n);
+      }
+    }
+  }
+  return !divergent_now_.empty();
+}
+
+void EventFaultSim::clock(const std::vector<std::uint8_t>& golden,
+                          const std::vector<std::uint8_t>& golden_next) {
+  // Candidates: DFFs already divergent, plus DFFs whose D/enable saw a
+  // divergent value this cycle.
+  std::vector<std::pair<Net, std::uint8_t>> next;
+  auto fv = [&](Net n) -> bool {
+    return diverged(n) ? faulty_val_[static_cast<std::size_t>(n)] != 0
+                       : golden[static_cast<std::size_t>(n)] != 0;
+  };
+  auto consider = [&](Net dff) {
+    const Gate& g = nl_.gate(dff);
+    const bool en = g.b == kNoNet ? true : fv(g.b);
+    const bool q = fv(dff);
+    const bool d = g.a == kNoNet ? q : fv(g.a);
+    const bool faulty_next = en ? d : q;
+    const bool golden_next_v = golden_next[static_cast<std::size_t>(dff)] != 0;
+    if (faulty_next != golden_next_v)
+      next.emplace_back(dff, faulty_next ? 1 : 0);
+  };
+  // Candidates: DFFs whose D/enable saw a divergent value (touched_dffs_)
+  // plus DFFs that started the cycle divergent (their state may persist).
+  for (const Net dff : touched_dffs_) consider(dff);
+  for (const auto& [dff, v] : divergent_state_) {
+    (void)v;
+    if (dff_touched_epoch_[static_cast<std::size_t>(dff)] != epoch_) consider(dff);
+  }
+  divergent_state_ = std::move(next);
+}
+
+std::uint64_t EventFaultSim::bus_value(const PortBus& bus,
+                                       const std::vector<std::uint8_t>& golden) const {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bus.nets.size(); ++i)
+    if (value(bus.nets[i], golden)) v |= std::uint64_t{1} << i;
+  return v;
+}
+
+}  // namespace gpf::gate

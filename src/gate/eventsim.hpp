@@ -1,0 +1,75 @@
+// Event-driven single-fault simulation: instead of re-evaluating the whole
+// netlist for every (fault, cycle), propagate only the difference cone
+// between the faulty and the fault-free machine, using the golden per-cycle
+// net values the replay campaign already stores. This is the classic
+// single-fault concurrent-simulation optimization; bench_eventsim measures
+// the speed-up and tests assert classification equivalence with the
+// brute-force simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gate/netlist.hpp"
+#include "gate/sim.hpp"
+
+namespace gpf::gate {
+
+class EventFaultSim {
+ public:
+  explicit EventFaultSim(const Netlist& nl);
+
+  /// Install the fault and clear all divergence state.
+  void begin(const StuckFault& f);
+
+  /// Evaluate one cycle. `golden` holds the fault-free net values of this
+  /// cycle (as stored by UnitReplayer::compute_golden: combinational values
+  /// settled, DFF outputs = state at cycle start). Returns true if any net
+  /// diverges this cycle.
+  bool eval_cycle(const std::vector<std::uint8_t>& golden);
+
+  /// Latch: compute which DFFs will hold a divergent value next cycle.
+  /// `golden_next` is the next cycle's stored snapshot (whose DFF outputs
+  /// are the fault-free next states); pass nullptr on the last cycle.
+  void clock(const std::vector<std::uint8_t>& golden,
+             const std::vector<std::uint8_t>& golden_next);
+
+  /// Faulty value of a net under the current cycle's divergence.
+  bool value(Net n, const std::vector<std::uint8_t>& golden) const {
+    return diverged(n) ? faulty_val_[static_cast<std::size_t>(n)] != 0
+                       : golden[static_cast<std::size_t>(n)] != 0;
+  }
+  std::uint64_t bus_value(const PortBus& bus,
+                          const std::vector<std::uint8_t>& golden) const;
+
+  bool any_divergence() const { return !divergent_now_.empty(); }
+  /// True when some DFF carries a divergent value into the next cycle.
+  bool state_live() const { return !divergent_state_.empty(); }
+
+ private:
+  bool diverged(Net n) const {
+    return stamp_[static_cast<std::size_t>(n)] == epoch_;
+  }
+  void mark(Net n, bool v);
+  void enqueue_fanout(Net n);
+
+  const Netlist& nl_;
+  std::vector<int> level_;
+  // CSR fan-out.
+  std::vector<std::uint32_t> fan_offset_;
+  std::vector<Net> fan_target_;
+
+  StuckFault fault_{};
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> stamp_;       ///< per-net divergence epoch
+  std::vector<std::uint8_t> faulty_val_;   ///< valid when stamp == epoch
+  std::vector<std::uint32_t> queued_;      ///< per-net enqueue epoch
+  std::vector<std::vector<Net>> buckets_;  ///< level-ordered worklist
+  std::vector<Net> divergent_now_;         ///< nets diverged this cycle
+  // DFFs carrying divergent state into the next cycle: (net, faulty state).
+  std::vector<std::pair<Net, std::uint8_t>> divergent_state_;
+  std::vector<Net> touched_dffs_;          ///< DFF candidates this cycle
+  std::vector<std::uint32_t> dff_touched_epoch_;
+};
+
+}  // namespace gpf::gate

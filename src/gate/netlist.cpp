@@ -1,0 +1,140 @@
+#include "gate/netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gpf::gate {
+
+Net Netlist::add(GateKind k, Net a, Net b, Net c) {
+  if (finalized_) throw std::logic_error("netlist already finalized");
+  gates_.push_back(Gate{k, a, b, c});
+  return static_cast<Net>(gates_.size() - 1);
+}
+
+Net Netlist::input() { return add(GateKind::Input); }
+Net Netlist::constant(bool v) { return add(v ? GateKind::Const1 : GateKind::Const0); }
+Net Netlist::buf(Net a) { return add(GateKind::Buf, a); }
+Net Netlist::not_(Net a) { return add(GateKind::Not, a); }
+Net Netlist::and_(Net a, Net b) { return add(GateKind::And, a, b); }
+Net Netlist::or_(Net a, Net b) { return add(GateKind::Or, a, b); }
+Net Netlist::nand_(Net a, Net b) { return add(GateKind::Nand, a, b); }
+Net Netlist::nor_(Net a, Net b) { return add(GateKind::Nor, a, b); }
+Net Netlist::xor_(Net a, Net b) { return add(GateKind::Xor, a, b); }
+Net Netlist::xnor_(Net a, Net b) { return add(GateKind::Xnor, a, b); }
+Net Netlist::mux(Net s, Net a, Net b) { return add(GateKind::Mux, s, a, b); }
+
+Net Netlist::dff(Net d, Net enable) {
+  const Net n = add(GateKind::Dff, d, enable);
+  dffs_.push_back(n);
+  return n;
+}
+
+void Netlist::set_dff_input(Net dff_net, Net d, Net enable) {
+  Gate& g = gates_.at(static_cast<std::size_t>(dff_net));
+  if (g.kind != GateKind::Dff) throw std::logic_error("not a DFF");
+  g.a = d;
+  g.b = enable;
+}
+
+void Netlist::add_input_bus(const std::string& name, std::vector<Net> nets) {
+  inputs_.push_back(PortBus{name, std::move(nets)});
+}
+void Netlist::add_output_bus(const std::string& name, std::vector<Net> nets) {
+  outputs_.push_back(PortBus{name, std::move(nets)});
+}
+
+const PortBus* Netlist::find_input(const std::string& name) const {
+  for (const auto& p : inputs_)
+    if (p.name == name) return &p;
+  return nullptr;
+}
+const PortBus* Netlist::find_output(const std::string& name) const {
+  for (const auto& p : outputs_)
+    if (p.name == name) return &p;
+  return nullptr;
+}
+
+void Netlist::finalize() {
+  if (finalized_) return;
+  // Levelize: Input/Const/Dff outputs are level 0; every combinational gate
+  // is 1 + max(level of fan-ins). The netlist must be acyclic through
+  // combinational gates (feedback only through DFFs).
+  const std::size_t n = gates_.size();
+  std::vector<int> level(n, -1);
+  std::vector<Net> stack;
+  stack.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const GateKind k = gates_[i].kind;
+    if (k == GateKind::Input || k == GateKind::Const0 || k == GateKind::Const1 ||
+        k == GateKind::Dff)
+      level[i] = 0;
+  }
+  auto compute = [&](Net root) {
+    if (level[static_cast<std::size_t>(root)] >= 0) return;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const Net g = stack.back();
+      const Gate& gg = gates_[static_cast<std::size_t>(g)];
+      int lv = 0;
+      bool pending = false;
+      for (Net in : {gg.a, gg.b, gg.c}) {
+        if (in == kNoNet) continue;
+        const int il = level[static_cast<std::size_t>(in)];
+        if (il < 0) {
+          stack.push_back(in);
+          pending = true;
+        } else {
+          lv = std::max(lv, il + 1);
+        }
+      }
+      if (!pending) {
+        level[static_cast<std::size_t>(g)] = lv;
+        stack.pop_back();
+      }
+      if (stack.size() > 4 * n) throw std::logic_error("combinational loop in netlist");
+    }
+  };
+  for (std::size_t i = 0; i < n; ++i)
+    if (level[i] < 0) compute(static_cast<Net>(i));
+
+  eval_order_.clear();
+  eval_order_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    if (level[i] > 0 || (level[i] == 0 && gates_[i].kind == GateKind::Buf))
+      eval_order_.push_back(static_cast<Net>(i));
+  std::stable_sort(eval_order_.begin(), eval_order_.end(), [&](Net x, Net y) {
+    return level[static_cast<std::size_t>(x)] < level[static_cast<std::size_t>(y)];
+  });
+  finalized_ = true;
+}
+
+std::size_t Netlist::cell_count() const {
+  std::size_t c = 0;
+  for (const Gate& g : gates_)
+    if (g.kind != GateKind::Input && g.kind != GateKind::Const0 &&
+        g.kind != GateKind::Const1)
+      ++c;
+  return c;
+}
+
+double cell_area_um2(GateKind k) {
+  // Relative areas in the spirit of a 15nm open cell library.
+  switch (k) {
+    case GateKind::Buf: return 0.59;
+    case GateKind::Not: return 0.39;
+    case GateKind::And: case GateKind::Or: return 0.78;
+    case GateKind::Nand: case GateKind::Nor: return 0.59;
+    case GateKind::Xor: case GateKind::Xnor: return 1.17;
+    case GateKind::Mux: return 1.37;
+    case GateKind::Dff: return 4.49;
+    default: return 0.0;
+  }
+}
+
+double Netlist::area_um2() const {
+  double a = 0.0;
+  for (const Gate& g : gates_) a += cell_area_um2(g.kind);
+  return a;
+}
+
+}  // namespace gpf::gate

@@ -1,0 +1,172 @@
+#include "gate/profiler.hpp"
+
+namespace gpf::gate {
+
+UnitProfiler::UnitProfiler(std::size_t max_issues, unsigned sm, unsigned ppb)
+    : max_issues_(max_issues), sm_(sm), ppb_(ppb) {}
+
+void UnitProfiler::on_launch_begin(arch::Gpu& gpu, const isa::Program& prog) {
+  cur_regs_ = prog.regs_per_thread;
+  cur_prog_size_ = static_cast<std::uint32_t>(prog.words.size());
+  if (!lane_cfg_written_) {
+    WscCycle c;
+    c.lane_cfg_en = true;
+    c.lane_cfg = 0xFFFFFFFFu;
+    traces_.wsc.push_back(c);
+    lane_cfg_written_ = true;
+  }
+  (void)gpu;
+}
+
+void UnitProfiler::sync_wsc_state(arch::Gpu& gpu) {
+  arch::Ppb& ppb = gpu.sm(sm_).ppbs[ppb_];
+  // Count barrier releases (1 -> 0 transitions) to use the WSC's dedicated
+  // release broadcast instead of per-warp rewrites when several clear at once.
+  unsigned released = 0;
+  for (unsigned s = 0; s < 8 && s < ppb.warps.size(); ++s) {
+    const arch::Warp& w = ppb.warps[s];
+    if (wsc_shadow_[s].barrier && w.valid && !w.at_barrier && !w.done) ++released;
+  }
+  if (released >= 2) {
+    WscCycle rel;
+    rel.barrier_release = true;
+    traces_.wsc.push_back(rel);
+    for (auto& sh : wsc_shadow_) sh.barrier = false;
+  }
+
+  for (unsigned s = 0; s < 8 && s < ppb.warps.size(); ++s) {
+    const arch::Warp& w = ppb.warps[s];
+    WarpShadow& sh = wsc_shadow_[s];
+    const bool valid = w.valid;
+    const bool done = w.done || !w.valid;
+    const bool barrier = w.at_barrier;
+    const std::uint32_t mask = w.active_mask();
+    const auto base = static_cast<std::uint8_t>(s << 3);
+    const auto cta = static_cast<std::uint8_t>((w.cta_x + w.cta_y * 16) & 0xF);
+
+    if (sh.valid != valid || sh.done != done || sh.barrier != barrier ||
+        (valid && (sh.base != base || sh.cta != cta))) {
+      WscCycle c;
+      c.wr_slot = static_cast<std::uint8_t>(s);
+      c.wr_state_en = true;
+      c.wr_valid = valid;
+      c.wr_done = done;
+      c.wr_barrier = barrier;
+      c.wr_base_en = true;
+      c.wr_base = base;
+      c.wr_cta_en = true;
+      c.wr_cta = cta;
+      traces_.wsc.push_back(c);
+      sh.valid = valid;
+      sh.done = done;
+      sh.barrier = barrier;
+      sh.base = base;
+      sh.cta = cta;
+    }
+    if (valid && sh.mask != mask) {
+      WscCycle c;
+      c.wr_slot = static_cast<std::uint8_t>(s);
+      c.wr_mask_en = true;
+      c.wr_mask = mask;
+      traces_.wsc.push_back(c);
+      sh.mask = mask;
+    }
+  }
+}
+
+int UnitProfiler::post_select(arch::Gpu& gpu, unsigned sm, unsigned ppb, int slot) {
+  if (sm != sm_ || ppb != ppb_ || traces_.issues >= max_issues_) {
+    cur_slot_ = -1;
+    return slot;
+  }
+  sync_wsc_state(gpu);
+  cur_slot_ = slot;
+  return slot;
+}
+
+std::uint32_t UnitProfiler::post_fetch_pc(arch::Gpu& gpu, unsigned sm, unsigned ppb,
+                                          unsigned slot, std::uint32_t pc) {
+  if (static_cast<int>(slot) != cur_slot_ || sm != sm_ || ppb != ppb_) return pc;
+  if (pc_shadow_[slot & 7] != pc) {
+    // The warp's PC changed outside sequential flow (CTA init, reconvergence
+    // pop): the fetch unit receives an external redirect write.
+    FetchCycle c;
+    c.init_en = true;
+    c.init_slot = static_cast<std::uint8_t>(slot & 7);
+    c.init_pc = pc;
+    traces_.fetch.push_back(c);
+    pc_shadow_[slot & 7] = pc;
+  }
+  cur_pc_ = pc;
+  (void)gpu;
+  return pc;
+}
+
+std::uint64_t UnitProfiler::post_fetch_word(arch::Gpu&, unsigned sm, unsigned ppb,
+                                            unsigned slot, std::uint64_t word) {
+  if (static_cast<int>(slot) != cur_slot_ || sm != sm_ || ppb != ppb_) return word;
+  cur_word_ = word;
+  return word;
+}
+
+void UnitProfiler::post_execute(arch::ExecCtx& ctx) {
+  if (cur_slot_ < 0 || ctx.sm_id != sm_ || ctx.ppb_id != ppb_) return;
+  if (static_cast<int>(ctx.warp().slot) != cur_slot_) return;
+  if (traces_.issues >= max_issues_) return;
+
+  const arch::Warp& w = ctx.warp();
+  const std::uint32_t next = w.done ? cur_pc_ + 1 : w.pc();
+
+  // Fetch issue cycle.
+  FetchCycle fc;
+  fc.sel_slot = static_cast<std::uint8_t>(cur_slot_ & 7);
+  fc.sel_valid = true;
+  fc.instr_in = cur_word_;
+  fc.pc_wr_en = true;
+  fc.redirect_en = next != cur_pc_ + 1;
+  fc.redirect_pc = next;
+  fc.is_issue = true;
+  fc.prog_size = cur_prog_size_;
+  fc.regs_per_thread = cur_regs_;
+  fc.expected_pc = cur_pc_;
+  for (unsigned s = 0; s < 8; ++s)
+    fc.resident_pcs[s] = static_cast<std::uint16_t>(pc_shadow_[s]);
+  traces_.fetch.push_back(fc);
+  pc_shadow_[cur_slot_ & 7] = next;
+
+  // WSC issue cycle (instruction flows through the dispatch buffer).
+  WscCycle wc;
+  wc.ibuf_en = true;
+  wc.ibuf_in = cur_word_;
+  wc.is_issue = true;
+  wc.regs_per_thread = cur_regs_;
+  wc.expected_slot = static_cast<std::uint8_t>(cur_slot_ & 7);
+  traces_.wsc.push_back(wc);
+
+  // Decoder pattern (deduplicated).
+  auto [it, inserted] = decoder_dedup_.try_emplace(cur_word_, traces_.decoder.size());
+  if (inserted) {
+    DecoderPattern p;
+    p.word = cur_word_;
+    p.regs_per_thread = cur_regs_;
+    traces_.decoder.push_back(p);
+  } else {
+    ++traces_.decoder[it->second].count;
+  }
+
+  ++traces_.issues;
+  cur_slot_ = -1;
+}
+
+UnitTraces UnitProfiler::take(std::string workload_name) {
+  traces_.workload = std::move(workload_name);
+  UnitTraces out = std::move(traces_);
+  traces_ = UnitTraces{};
+  decoder_dedup_.clear();
+  wsc_shadow_ = {};
+  pc_shadow_ = {};
+  lane_cfg_written_ = false;
+  return out;
+}
+
+}  // namespace gpf::gate

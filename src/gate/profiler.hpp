@@ -1,0 +1,60 @@
+// Hardware-unit profiling (step 1 of the methodology): a MachineHooks
+// implementation that shadows the decoder / fetch / WSC of one PPB during a
+// fault-free functional run and records the per-cycle stimulus traces the
+// gate-level campaigns replay.
+#pragma once
+
+#include <array>
+#include <unordered_map>
+
+#include "arch/machine.hpp"
+#include "gate/trace.hpp"
+
+namespace gpf::gate {
+
+class UnitProfiler final : public arch::MachineHooks {
+ public:
+  /// Profiles SM `sm` / PPB `ppb`, capturing at most `max_issues` issues.
+  explicit UnitProfiler(std::size_t max_issues = 2000, unsigned sm = 0,
+                        unsigned ppb = 0);
+
+  void on_launch_begin(arch::Gpu&, const isa::Program&) override;
+  int post_select(arch::Gpu&, unsigned sm, unsigned ppb, int slot) override;
+  std::uint32_t post_fetch_pc(arch::Gpu&, unsigned sm, unsigned ppb, unsigned slot,
+                              std::uint32_t pc) override;
+  std::uint64_t post_fetch_word(arch::Gpu&, unsigned sm, unsigned ppb, unsigned slot,
+                                std::uint64_t word) override;
+  void post_execute(arch::ExecCtx& ctx) override;
+
+  /// Harvest the captured traces (call after the run).
+  UnitTraces take(std::string workload_name);
+
+  std::size_t issues() const { return traces_.issues; }
+
+ private:
+  void sync_wsc_state(arch::Gpu& gpu);
+
+  std::size_t max_issues_;
+  unsigned sm_, ppb_;
+  UnitTraces traces_;
+  std::unordered_map<std::uint64_t, std::size_t> decoder_dedup_;
+
+  // Shadow copies of what the hardware units hold.
+  struct WarpShadow {
+    bool valid = false, done = false, barrier = false;
+    std::uint32_t mask = 0;
+    std::uint8_t base = 0, cta = 0;
+  };
+  std::array<WarpShadow, 8> wsc_shadow_{};
+  std::array<std::uint32_t, 8> pc_shadow_{};
+  bool lane_cfg_written_ = false;
+
+  // Per-issue staging.
+  int cur_slot_ = -1;
+  std::uint32_t cur_pc_ = 0;
+  std::uint64_t cur_word_ = 0;
+  std::uint32_t cur_regs_ = 64;
+  std::uint32_t cur_prog_size_ = 0;
+};
+
+}  // namespace gpf::gate

@@ -1,0 +1,621 @@
+#include "gate/replay.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "gate/eventsim.hpp"
+#include "isa/encoding.hpp"
+
+namespace gpf::gate {
+
+using errmodel::ErrorModel;
+
+const char* fault_class_name(FaultClass c) {
+  switch (c) {
+    case FaultClass::Uncontrollable: return "uncontrollable";
+    case FaultClass::Masked: return "hw-masked";
+    case FaultClass::Hang: return "hw-hang";
+    case FaultClass::SwError: return "sw-error";
+  }
+  return "?";
+}
+
+std::size_t UnitCampaignResult::count_class(FaultClass c) const {
+  std::size_t n = 0;
+  for (const auto& f : faults)
+    if (f.cls() == c) ++n;
+  return n;
+}
+
+std::size_t UnitCampaignResult::faults_with_model(ErrorModel m) const {
+  std::size_t n = 0;
+  for (const auto& f : faults)
+    if (f.error_counts[static_cast<unsigned>(m)]) ++n;
+  return n;
+}
+
+std::uint64_t UnitCampaignResult::occurrences_of_model(ErrorModel m) const {
+  std::uint64_t n = 0;
+  for (const auto& f : faults) n += f.error_counts[static_cast<unsigned>(m)];
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Instruction-diff classification (shared across the three units)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void add(std::array<std::uint32_t, errmodel::kNumErrorModels>& counts, ErrorModel m,
+         std::uint32_t n = 1) {
+  counts[static_cast<unsigned>(m)] += n;
+}
+
+bool reg_valid(std::uint8_t r, std::uint32_t regs) { return r == isa::kRZ || r < regs; }
+
+/// Classify a corrupted decoded instruction relative to the golden one.
+bool classify_instr_diff(const isa::Instruction& g, const isa::Instruction& f,
+                         bool f_ok, std::uint32_t regs,
+                         std::array<std::uint32_t, errmodel::kNumErrorModels>& counts,
+                         bool& hang) {
+  bool any = false;
+  if (!f_ok) {
+    add(counts, ErrorModel::IVOC);
+    return true;
+  }
+  if (f.op != g.op) {
+    add(counts, ErrorModel::IOC);
+    any = true;
+  }
+  if (f.guard_pred != g.guard_pred || f.guard_neg != g.guard_neg) {
+    add(counts, ErrorModel::WV);
+    any = true;
+  }
+  if (f.use_imm != g.use_imm) {
+    add(counts, ErrorModel::IIO);
+    any = true;
+  }
+
+  const int srcs = isa::num_sources(g.op);
+  const bool rd_matters = isa::writes_register(g.op) || isa::writes_predicate(g.op) ||
+                          isa::is_store(g.op);
+  if (rd_matters && f.rd != g.rd) {
+    if (isa::writes_predicate(g.op))
+      add(counts, ErrorModel::WV);  // destination predicate corrupted
+    else if (reg_valid(f.rd, regs))
+      add(counts, ErrorModel::IRA);
+    else
+      add(counts, ErrorModel::IVRA);
+    any = true;
+  }
+  if ((srcs >= 1 || g.op == isa::Op::S2R) && f.rs1 != g.rs1) {
+    if (g.op == isa::Op::S2R)
+      add(counts, ErrorModel::IAT);  // thread-index source corrupted
+    else if (reg_valid(f.rs1, regs))
+      add(counts, ErrorModel::IRA);
+    else
+      add(counts, ErrorModel::IVRA);
+    any = true;
+  }
+  const bool rs2_used = srcs >= 2 && !(g.use_imm && srcs == 2);
+  if (rs2_used && f.rs2 != g.rs2) {
+    add(counts, reg_valid(f.rs2, regs) ? ErrorModel::IRA : ErrorModel::IVRA);
+    any = true;
+  }
+  const bool rs3_used = (srcs >= 3 && !g.use_imm) || g.op == isa::Op::SEL;
+  if (rs3_used && f.rs3 != g.rs3) {
+    if (g.op == isa::Op::SEL)
+      add(counts, ErrorModel::WV);  // select predicate corrupted
+    else
+      add(counts, reg_valid(f.rs3, regs) ? ErrorModel::IRA : ErrorModel::IVRA);
+    any = true;
+  }
+  if (g.use_imm && f.use_imm && f.imm != g.imm) {
+    add(counts, ErrorModel::IIO);
+    any = true;
+  }
+  if ((isa::is_load(g.op) || isa::is_store(g.op)) && f.space != g.space) {
+    add(counts, isa::is_store(g.op) ? ErrorModel::IMD : ErrorModel::IMS);
+    any = true;
+  }
+  (void)hang;
+  return any;
+}
+
+}  // namespace
+
+bool classify_word_diff(std::uint64_t golden_word, std::uint64_t faulty_word,
+                        std::uint32_t regs,
+                        std::array<std::uint32_t, errmodel::kNumErrorModels>& counts,
+                        bool& hang) {
+  if (golden_word == faulty_word) return false;
+  const isa::DecodeResult g = isa::decode(golden_word);
+  const isa::DecodeResult f = isa::decode(faulty_word);
+  if (!g.ok) return false;  // traces never carry invalid golden words
+  return classify_instr_diff(g.instr, f.instr, f.ok, regs, counts, hang);
+}
+
+// ---------------------------------------------------------------------------
+// UnitReplayer
+// ---------------------------------------------------------------------------
+
+struct UnitReplayer::Ports {
+  // Decoder.
+  const PortBus* d_instr = nullptr;
+  const PortBus* d_fetch_valid = nullptr;
+  const PortBus* d_valid = nullptr;
+  const PortBus* d_opcode = nullptr;
+  const PortBus* d_guard = nullptr;
+  const PortBus* d_guard_neg = nullptr;
+  const PortBus* d_use_imm = nullptr;
+  const PortBus* d_space = nullptr;
+  const PortBus* d_rd = nullptr;
+  const PortBus* d_rs1 = nullptr;
+  const PortBus* d_rs2 = nullptr;
+  const PortBus* d_rs3 = nullptr;
+  const PortBus* d_imm = nullptr;
+  const PortBus* d_mem_rd_en = nullptr;
+  const PortBus* d_mem_wr_en = nullptr;
+  std::vector<const PortBus*> d_class;
+  // Fetch.
+  const PortBus* f_sel_slot = nullptr;
+  const PortBus* f_sel_valid = nullptr;
+  const PortBus* f_instr_in = nullptr;
+  const PortBus* f_redirect_en = nullptr;
+  const PortBus* f_redirect_pc = nullptr;
+  const PortBus* f_pc_wr_en = nullptr;
+  const PortBus* f_init_en = nullptr;
+  const PortBus* f_init_slot = nullptr;
+  const PortBus* f_init_pc = nullptr;
+  const PortBus* f_pc_out = nullptr;
+  const PortBus* f_instr_out = nullptr;
+  const PortBus* f_fetch_valid = nullptr;
+  // WSC.
+  const PortBus* w_wr_slot = nullptr;
+  const PortBus* w_wr_state_en = nullptr;
+  const PortBus* w_wr_valid = nullptr;
+  const PortBus* w_wr_done = nullptr;
+  const PortBus* w_wr_barrier = nullptr;
+  const PortBus* w_wr_mask_en = nullptr;
+  const PortBus* w_wr_mask = nullptr;
+  const PortBus* w_wr_base_en = nullptr;
+  const PortBus* w_wr_base = nullptr;
+  const PortBus* w_wr_cta_en = nullptr;
+  const PortBus* w_wr_cta = nullptr;
+  const PortBus* w_lane_cfg_en = nullptr;
+  const PortBus* w_lane_cfg = nullptr;
+  const PortBus* w_barrier_release = nullptr;
+  const PortBus* w_ibuf_en = nullptr;
+  const PortBus* w_ibuf_in = nullptr;
+  const PortBus* w_issue_en = nullptr;
+  const PortBus* w_sel_slot = nullptr;
+  const PortBus* w_sel_valid = nullptr;
+  const PortBus* w_mask_out = nullptr;
+  const PortBus* w_lane_en = nullptr;
+  const PortBus* w_base_out = nullptr;
+  const PortBus* w_cta_out = nullptr;
+  const PortBus* w_dispatch = nullptr;
+};
+
+UnitReplayer::UnitReplayer(UnitKind kind)
+    : kind_(kind), nl_(build_unit(kind)), ports_(std::make_unique<Ports>()) {
+  Ports& p = *ports_;
+  const Netlist& nl = *nl_;
+  switch (kind) {
+    case UnitKind::Decoder:
+      p.d_instr = nl.find_input("instr");
+      p.d_fetch_valid = nl.find_input("fetch_valid");
+      p.d_valid = nl.find_output("valid");
+      p.d_opcode = nl.find_output("opcode");
+      p.d_guard = nl.find_output("guard_pred");
+      p.d_guard_neg = nl.find_output("guard_neg");
+      p.d_use_imm = nl.find_output("use_imm");
+      p.d_space = nl.find_output("space");
+      p.d_rd = nl.find_output("rd");
+      p.d_rs1 = nl.find_output("rs1");
+      p.d_rs2 = nl.find_output("rs2");
+      p.d_rs3 = nl.find_output("rs3");
+      p.d_imm = nl.find_output("imm");
+      p.d_mem_rd_en = nl.find_output("mem_rd_en");
+      p.d_mem_wr_en = nl.find_output("mem_wr_en");
+      for (const char* name : {"is_int", "is_fp32", "is_sfu", "is_mem", "is_store",
+                               "is_branch", "is_ssy", "is_bar", "is_exit",
+                               "writes_pred", "is_s2r"})
+        p.d_class.push_back(nl.find_output(name));
+      break;
+    case UnitKind::Fetch:
+      p.f_sel_slot = nl.find_input("sel_slot");
+      p.f_sel_valid = nl.find_input("sel_valid");
+      p.f_instr_in = nl.find_input("instr_in");
+      p.f_redirect_en = nl.find_input("redirect_en");
+      p.f_redirect_pc = nl.find_input("redirect_pc");
+      p.f_pc_wr_en = nl.find_input("pc_wr_en");
+      p.f_init_en = nl.find_input("init_en");
+      p.f_init_slot = nl.find_input("init_slot");
+      p.f_init_pc = nl.find_input("init_pc");
+      p.f_pc_out = nl.find_output("pc_out");
+      p.f_instr_out = nl.find_output("instr_out");
+      p.f_fetch_valid = nl.find_output("fetch_valid");
+      break;
+    case UnitKind::WSC:
+      p.w_wr_slot = nl.find_input("wr_slot");
+      p.w_wr_state_en = nl.find_input("wr_state_en");
+      p.w_wr_valid = nl.find_input("wr_valid");
+      p.w_wr_done = nl.find_input("wr_done");
+      p.w_wr_barrier = nl.find_input("wr_barrier");
+      p.w_wr_mask_en = nl.find_input("wr_mask_en");
+      p.w_wr_mask = nl.find_input("wr_mask");
+      p.w_wr_base_en = nl.find_input("wr_base_en");
+      p.w_wr_base = nl.find_input("wr_base");
+      p.w_wr_cta_en = nl.find_input("wr_cta_en");
+      p.w_wr_cta = nl.find_input("wr_cta");
+      p.w_lane_cfg_en = nl.find_input("lane_cfg_en");
+      p.w_lane_cfg = nl.find_input("lane_cfg");
+      p.w_barrier_release = nl.find_input("barrier_release");
+      p.w_ibuf_en = nl.find_input("ibuf_en");
+      p.w_ibuf_in = nl.find_input("ibuf_in");
+      p.w_issue_en = nl.find_input("issue_en");
+      p.w_sel_slot = nl.find_output("sel_slot");
+      p.w_sel_valid = nl.find_output("sel_valid");
+      p.w_mask_out = nl.find_output("mask_out");
+      p.w_lane_en = nl.find_output("lane_en");
+      p.w_base_out = nl.find_output("base_out");
+      p.w_cta_out = nl.find_output("cta_out");
+      p.w_dispatch = nl.find_output("dispatch");
+      break;
+  }
+}
+
+UnitReplayer::~UnitReplayer() = default;
+
+std::size_t UnitReplayer::num_cycles(const UnitTraces& t) const {
+  switch (kind_) {
+    case UnitKind::Decoder: return t.decoder.size();
+    case UnitKind::Fetch: return t.fetch.size();
+    case UnitKind::WSC: return t.wsc.size();
+  }
+  return 0;
+}
+
+bool UnitReplayer::cycle_is_issue(const UnitTraces& t, std::size_t c) const {
+  switch (kind_) {
+    case UnitKind::Decoder: return true;
+    case UnitKind::Fetch: return t.fetch[c].is_issue;
+    case UnitKind::WSC: return t.wsc[c].is_issue;
+  }
+  return false;
+}
+
+void UnitReplayer::drive_inputs(Simulator& sim, const UnitTraces& t,
+                                std::size_t c) const {
+  const Ports& p = *ports_;
+  switch (kind_) {
+    case UnitKind::Decoder: {
+      const DecoderPattern& pat = t.decoder[c];
+      sim.set_bus(*p.d_instr, pat.word);
+      sim.set_bus(*p.d_fetch_valid, 1);
+      break;
+    }
+    case UnitKind::Fetch: {
+      const FetchCycle& fc = t.fetch[c];
+      sim.set_bus(*p.f_sel_slot, fc.sel_slot);
+      sim.set_bus(*p.f_sel_valid, fc.sel_valid);
+      sim.set_bus(*p.f_instr_in, fc.instr_in);
+      sim.set_bus(*p.f_redirect_en, fc.redirect_en);
+      sim.set_bus(*p.f_redirect_pc, fc.redirect_pc);
+      sim.set_bus(*p.f_pc_wr_en, fc.pc_wr_en);
+      sim.set_bus(*p.f_init_en, fc.init_en);
+      sim.set_bus(*p.f_init_slot, fc.init_slot);
+      sim.set_bus(*p.f_init_pc, fc.init_pc);
+      break;
+    }
+    case UnitKind::WSC: {
+      const WscCycle& wc = t.wsc[c];
+      sim.set_bus(*p.w_wr_slot, wc.wr_slot);
+      sim.set_bus(*p.w_wr_state_en, wc.wr_state_en);
+      sim.set_bus(*p.w_wr_valid, wc.wr_valid);
+      sim.set_bus(*p.w_wr_done, wc.wr_done);
+      sim.set_bus(*p.w_wr_barrier, wc.wr_barrier);
+      sim.set_bus(*p.w_wr_mask_en, wc.wr_mask_en);
+      sim.set_bus(*p.w_wr_mask, wc.wr_mask);
+      sim.set_bus(*p.w_wr_base_en, wc.wr_base_en);
+      sim.set_bus(*p.w_wr_base, wc.wr_base);
+      sim.set_bus(*p.w_wr_cta_en, wc.wr_cta_en);
+      sim.set_bus(*p.w_wr_cta, wc.wr_cta);
+      sim.set_bus(*p.w_lane_cfg_en, wc.lane_cfg_en);
+      sim.set_bus(*p.w_lane_cfg, wc.lane_cfg);
+      sim.set_bus(*p.w_barrier_release, wc.barrier_release);
+      sim.set_bus(*p.w_ibuf_en, wc.ibuf_en);
+      sim.set_bus(*p.w_ibuf_in, wc.ibuf_in);
+      sim.set_bus(*p.w_issue_en, wc.is_issue);
+      break;
+    }
+  }
+}
+
+UnitReplayer::GoldenTrace UnitReplayer::compute_golden(const UnitTraces& t) const {
+  GoldenTrace g;
+  const std::size_t n = num_cycles(t);
+  g.vals.reserve(n);
+  Simulator sim(*nl_);
+  sim.reset();
+  for (std::size_t c = 0; c < n; ++c) {
+    drive_inputs(sim, t, c);
+    sim.eval();
+    g.vals.push_back(sim.values());
+    if (kind_ != UnitKind::Decoder) sim.clock();
+    if (kind_ == UnitKind::Decoder) sim.reset();
+  }
+  return g;
+}
+
+std::uint64_t UnitReplayer::golden_bus(const std::vector<std::uint8_t>& vals,
+                                       const PortBus& bus) const {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bus.nets.size(); ++i)
+    if (vals[static_cast<std::size_t>(bus.nets[i])]) v |= std::uint64_t{1} << i;
+  return v;
+}
+
+namespace {
+
+/// Reassemble an instruction word from decoder output fields so the shared
+/// word classifier can be reused.
+std::uint64_t word_from_decoder_fields(std::uint64_t opcode, std::uint64_t guard,
+                                       std::uint64_t guard_neg, std::uint64_t use_imm,
+                                       std::uint64_t space, std::uint64_t rd,
+                                       std::uint64_t rs1, std::uint64_t rs2,
+                                       std::uint64_t rs3, std::uint64_t imm) {
+  isa::Instruction in;
+  in.op = static_cast<isa::Op>(opcode);
+  in.guard_pred = static_cast<std::uint8_t>(guard);
+  in.guard_neg = guard_neg != 0;
+  in.use_imm = use_imm != 0;
+  in.space = static_cast<isa::MemSpace>(space);
+  in.rd = static_cast<std::uint8_t>(rd);
+  in.rs1 = static_cast<std::uint8_t>(rs1);
+  if (in.use_imm) {
+    in.imm = static_cast<std::uint32_t>(imm);
+  } else {
+    in.rs2 = static_cast<std::uint8_t>(rs2);
+    in.rs3 = static_cast<std::uint8_t>(rs3);
+  }
+  return isa::encode(in);
+}
+
+}  // namespace
+
+void UnitReplayer::compare_outputs(const UnitTraces& t, std::size_t c,
+                                   const std::vector<std::uint8_t>& gv,
+                                   const BusReader& fbus,
+                                   FaultCharacterization& out) const {
+  const Ports& p = *ports_;
+  switch (kind_) {
+    case UnitKind::Decoder: {
+      const DecoderPattern& pat = t.decoder[c];
+      const auto n = static_cast<std::uint32_t>(pat.count);
+
+      const bool g_valid = golden_bus(gv, *p.d_valid) != 0;
+      const bool f_valid = fbus(*p.d_valid) != 0;
+      if (g_valid && !f_valid) {
+        // The decoder silently drops a valid instruction: execution stalls.
+        out.hang = true;
+        return;
+      }
+      const std::uint64_t gw = word_from_decoder_fields(
+          golden_bus(gv, *p.d_opcode), golden_bus(gv, *p.d_guard),
+          golden_bus(gv, *p.d_guard_neg), golden_bus(gv, *p.d_use_imm),
+          golden_bus(gv, *p.d_space), golden_bus(gv, *p.d_rd),
+          golden_bus(gv, *p.d_rs1), golden_bus(gv, *p.d_rs2),
+          golden_bus(gv, *p.d_rs3), golden_bus(gv, *p.d_imm));
+      const bool f_op_valid = isa::is_valid_opcode(
+          static_cast<std::uint8_t>(fbus(*p.d_opcode)));
+      if (!f_op_valid) {
+        add(out.error_counts, ErrorModel::IVOC, n);
+        return;
+      }
+      const std::uint64_t fw = word_from_decoder_fields(
+          fbus(*p.d_opcode), fbus(*p.d_guard),
+          fbus(*p.d_guard_neg), fbus(*p.d_use_imm),
+          fbus(*p.d_space), fbus(*p.d_rd), fbus(*p.d_rs1),
+          fbus(*p.d_rs2), fbus(*p.d_rs3), fbus(*p.d_imm));
+      std::array<std::uint32_t, errmodel::kNumErrorModels> local{};
+      bool hang = false;
+      bool any = classify_word_diff(gw, fw, pat.regs_per_thread, local, hang);
+      // Memory-resource enables: a corrupted read enable misdirects operand
+      // loading (IMS); a corrupted write enable misdirects result storing
+      // (IMD). Only meaningful when the golden instruction uses that port.
+      const std::uint64_t g_rd_en = golden_bus(gv, *p.d_mem_rd_en);
+      const std::uint64_t g_wr_en = golden_bus(gv, *p.d_mem_wr_en);
+      if (g_rd_en != 0 && fbus(*p.d_mem_rd_en) != g_rd_en) {
+        add(local, ErrorModel::IMS);
+        any = true;
+      }
+      if (g_wr_en != 0 && fbus(*p.d_mem_wr_en) != g_wr_en) {
+        add(local, ErrorModel::IMD);
+        any = true;
+      }
+      // Dispatch-class signal corruption without a field diff still routes
+      // the instruction to the wrong unit: an operation error.
+      if (!any) {
+        for (const PortBus* cls : p.d_class) {
+          if (golden_bus(gv, *cls) != fbus(*cls)) {
+            add(local, ErrorModel::IOC);
+            any = true;
+            break;
+          }
+        }
+      }
+      if (any)
+        for (unsigned m = 0; m < errmodel::kNumErrorModels; ++m)
+          out.error_counts[m] += local[m] * n;
+      out.hang |= hang;
+      break;
+    }
+    case UnitKind::Fetch: {
+      const FetchCycle& fc = t.fetch[c];
+      const bool g_fv = golden_bus(gv, *p.f_fetch_valid) != 0;
+      const bool f_fv = fbus(*p.f_fetch_valid) != 0;
+      if (g_fv && !f_fv) {
+        out.hang = true;
+        return;
+      }
+      const std::uint64_t g_pc = golden_bus(gv, *p.f_pc_out);
+      const std::uint64_t f_pc = fbus(*p.f_pc_out);
+      if (g_pc != f_pc) {
+        if (f_pc >= fc.prog_size) {
+          // Fetch wanders outside instruction memory: the unit returns
+          // garbage bits, which decode as an invalid operation.
+          add(out.error_counts, ErrorModel::IVOC);
+        } else {
+          bool other_warp = false;
+          for (unsigned s = 0; s < 8; ++s)
+            if (s != fc.sel_slot && fc.resident_pcs[s] == f_pc) other_warp = true;
+          add(out.error_counts, other_warp ? ErrorModel::IAW : ErrorModel::IOC);
+        }
+      }
+      classify_word_diff(golden_bus(gv, *p.f_instr_out),
+                         fbus(*p.f_instr_out), fc.regs_per_thread,
+                         out.error_counts, out.hang);
+      break;
+    }
+    case UnitKind::WSC: {
+      const WscCycle& wc = t.wsc[c];
+      const bool g_sv = golden_bus(gv, *p.w_sel_valid) != 0;
+      const bool f_sv = fbus(*p.w_sel_valid) != 0;
+      if (g_sv && !f_sv) {
+        out.hang = true;  // scheduler stops issuing
+        return;
+      }
+      if (!g_sv && f_sv) add(out.error_counts, ErrorModel::IAW);
+      if (golden_bus(gv, *p.w_sel_slot) != fbus(*p.w_sel_slot))
+        add(out.error_counts, ErrorModel::IAW);
+      if (golden_bus(gv, *p.w_mask_out) != fbus(*p.w_mask_out))
+        add(out.error_counts, ErrorModel::IAT);
+      if (golden_bus(gv, *p.w_lane_en) != fbus(*p.w_lane_en))
+        add(out.error_counts, ErrorModel::IAL);
+      if (golden_bus(gv, *p.w_base_out) != fbus(*p.w_base_out))
+        add(out.error_counts, ErrorModel::IPP);
+      if (golden_bus(gv, *p.w_cta_out) != fbus(*p.w_cta_out))
+        add(out.error_counts, ErrorModel::IAC);
+      classify_word_diff(golden_bus(gv, *p.w_dispatch), fbus(*p.w_dispatch),
+                         wc.regs_per_thread, out.error_counts, out.hang);
+      break;
+    }
+  }
+}
+
+void UnitReplayer::run_fault(const StuckFault& fault, const UnitTraces& t,
+                             const GoldenTrace& g, FaultCharacterization& out,
+                             bool event_driven) const {
+  const std::size_t n = num_cycles(t);
+  const auto site = static_cast<std::size_t>(fault.net);
+  const std::uint8_t stuck = fault.stuck_high ? 1 : 0;
+
+  if (kind_ == UnitKind::Decoder) {
+    // Combinational: each pattern is independent; skip non-activating ones.
+    Simulator sim(*nl_);
+    EventFaultSim esim(*nl_);
+    for (std::size_t c = 0; c < n; ++c) {
+      if (g.vals[c][site] == stuck) continue;  // not activated by this pattern
+      out.activated = true;
+      if (event_driven) {
+        esim.begin(fault);
+        esim.eval_cycle(g.vals[c]);
+        compare_outputs(
+            t, c, g.vals[c],
+            [&](const PortBus& b) { return esim.bus_value(b, g.vals[c]); }, out);
+      } else {
+        sim.reset();
+        sim.set_fault(fault);
+        drive_inputs(sim, t, c);
+        sim.eval();
+        compare_outputs(t, c, g.vals[c],
+                        [&](const PortBus& b) { return sim.bus_value(b); }, out);
+      }
+    }
+    return;
+  }
+
+  // Sequential: find the first and last activating cycles.
+  std::size_t first = n, last = 0;
+  for (std::size_t c = 0; c < n; ++c) {
+    if (g.vals[c][site] != stuck) {
+      if (first == n) first = c;
+      last = c;
+    }
+  }
+  if (first == n) return;  // never activated
+  out.activated = true;
+
+  if (event_driven) {
+    EventFaultSim esim(*nl_);
+    esim.begin(fault);
+    for (std::size_t c = first; c < n; ++c) {
+      const bool diverges = esim.eval_cycle(g.vals[c]);
+      if (diverges && cycle_is_issue(t, c))
+        compare_outputs(
+            t, c, g.vals[c],
+            [&](const PortBus& b) { return esim.bus_value(b, g.vals[c]); }, out);
+      if (c + 1 < n) esim.clock(g.vals[c], g.vals[c + 1]);
+      // Early exit: past the last activating cycle with no combinational
+      // divergence and no divergent state, the faulty machine equals the
+      // golden one for the rest of the trace.
+      if (c > last && !diverges && !esim.state_live()) break;
+    }
+    return;
+  }
+
+  Simulator sim(*nl_);
+  sim.load_values(g.vals[first]);
+  sim.set_fault(fault);
+  for (std::size_t c = first; c < n; ++c) {
+    drive_inputs(sim, t, c);
+    sim.eval();
+    if (cycle_is_issue(t, c))
+      compare_outputs(t, c, g.vals[c],
+                      [&](const PortBus& b) { return sim.bus_value(b); }, out);
+    sim.clock();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Campaign driver
+// ---------------------------------------------------------------------------
+
+UnitCampaignResult run_unit_campaign(UnitKind unit, std::span<const UnitTraces> traces,
+                                     std::size_t max_faults, std::uint64_t seed,
+                                     ThreadPool* pool, bool event_driven) {
+  UnitReplayer replayer(unit);
+  std::vector<StuckFault> faults = full_fault_list(replayer.netlist());
+
+  UnitCampaignResult result;
+  result.unit = unit;
+  result.full_fault_list_size = faults.size();
+
+  if (max_faults && faults.size() > max_faults) {
+    Rng rng(seed ^ (static_cast<std::uint64_t>(unit) << 32));
+    for (std::size_t i = 0; i < max_faults; ++i) {
+      const std::size_t j = i + rng.below(faults.size() - i);
+      std::swap(faults[i], faults[j]);
+    }
+    faults.resize(max_faults);
+  }
+
+  result.faults.resize(faults.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) result.faults[i].fault = faults[i];
+
+  for (const UnitTraces& t : traces) {
+    const UnitReplayer::GoldenTrace g = replayer.compute_golden(t);
+    auto work = [&](std::size_t i) {
+      replayer.run_fault(faults[i], t, g, result.faults[i], event_driven);
+    };
+    if (pool)
+      pool->parallel_for(faults.size(), work);
+    else
+      for (std::size_t i = 0; i < faults.size(); ++i) work(i);
+  }
+  return result;
+}
+
+}  // namespace gpf::gate

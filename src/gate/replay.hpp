@@ -1,0 +1,118 @@
+// Gate-level fault-injection campaign (step 2+3 of the methodology): replay
+// the profiled stimulus traces on a unit netlist with one stuck-at fault at a
+// time, compare the unit outputs against the fault-free run, and classify
+// every divergence into the paper's instruction-level error models.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/threadpool.hpp"
+#include "errmodel/models.hpp"
+#include "gate/sim.hpp"
+#include "gate/trace.hpp"
+#include "gate/units.hpp"
+
+namespace gpf::gate {
+
+/// Table 4 fault classes.
+enum class FaultClass : std::uint8_t { Uncontrollable, Masked, Hang, SwError };
+const char* fault_class_name(FaultClass c);
+
+struct FaultCharacterization {
+  StuckFault fault;
+  bool activated = false;
+  bool hang = false;
+  /// Issue cycles on which each error model was produced ("times an error
+  /// was produced" column of Table 5).
+  std::array<std::uint32_t, errmodel::kNumErrorModels> error_counts{};
+
+  bool any_error() const {
+    for (auto c : error_counts)
+      if (c) return true;
+    return false;
+  }
+  FaultClass cls() const {
+    if (any_error()) return FaultClass::SwError;
+    if (hang) return FaultClass::Hang;
+    return activated ? FaultClass::Masked : FaultClass::Uncontrollable;
+  }
+  /// Number of distinct error models this single fault produced (the paper
+  /// reports single faults producing multiple error types).
+  unsigned distinct_models() const {
+    unsigned n = 0;
+    for (auto c : error_counts)
+      if (c) ++n;
+    return n;
+  }
+};
+
+struct UnitCampaignResult {
+  UnitKind unit = UnitKind::Decoder;
+  std::size_t full_fault_list_size = 0;  ///< collapsed stuck-at list of the unit
+  std::vector<FaultCharacterization> faults;  ///< evaluated (possibly sampled)
+
+  std::size_t count_class(FaultClass c) const;
+  /// Faults (of the evaluated set) producing error model m.
+  std::size_t faults_with_model(errmodel::ErrorModel m) const;
+  std::uint64_t occurrences_of_model(errmodel::ErrorModel m) const;
+};
+
+/// Classify the difference between a golden and a faulty instruction word
+/// (shared by decoder-output, fetch instruction-bus, and WSC dispatch-buffer
+/// classification). Adds to `counts`; returns true if any model was added.
+bool classify_word_diff(std::uint64_t golden_word, std::uint64_t faulty_word,
+                        std::uint32_t regs_per_thread,
+                        std::array<std::uint32_t, errmodel::kNumErrorModels>& counts,
+                        bool& hang);
+
+/// Replays one unit's traces for a set of faults. Thread-safe across faults.
+class UnitReplayer {
+ public:
+  explicit UnitReplayer(UnitKind kind);
+  ~UnitReplayer();
+
+  UnitKind kind() const { return kind_; }
+  const Netlist& netlist() const { return *nl_; }
+
+  /// Per-trace golden precomputation: full net values for every cycle.
+  struct GoldenTrace {
+    std::vector<std::vector<std::uint8_t>> vals;  ///< [cycle][net]
+  };
+  GoldenTrace compute_golden(const UnitTraces& t) const;
+
+  /// Evaluate one fault against one trace, accumulating into `out`.
+  /// `event_driven` selects the difference-propagation engine (identical
+  /// results, much faster; see bench_eventsim) over brute-force resimulation.
+  void run_fault(const StuckFault& f, const UnitTraces& t, const GoldenTrace& g,
+                 FaultCharacterization& out, bool event_driven = true) const;
+
+ private:
+  std::size_t num_cycles(const UnitTraces& t) const;
+  void drive_inputs(Simulator& sim, const UnitTraces& t, std::size_t cycle) const;
+  bool cycle_is_issue(const UnitTraces& t, std::size_t cycle) const;
+  using BusReader = std::function<std::uint64_t(const PortBus&)>;
+  void compare_outputs(const UnitTraces& t, std::size_t cycle,
+                       const std::vector<std::uint8_t>& golden_vals,
+                       const BusReader& faulty, FaultCharacterization& out) const;
+
+  std::uint64_t golden_bus(const std::vector<std::uint8_t>& vals,
+                           const PortBus& bus) const;
+
+  UnitKind kind_;
+  std::unique_ptr<Netlist> nl_;
+  // Cached port handles.
+  struct Ports;
+  std::unique_ptr<Ports> ports_;
+};
+
+/// Full campaign over (sampled) faults x traces.
+UnitCampaignResult run_unit_campaign(UnitKind unit, std::span<const UnitTraces> traces,
+                                     std::size_t max_faults, std::uint64_t seed,
+                                     ThreadPool* pool = nullptr,
+                                     bool event_driven = true);
+
+}  // namespace gpf::gate

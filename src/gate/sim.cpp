@@ -1,0 +1,98 @@
+#include "gate/sim.hpp"
+
+#include <stdexcept>
+
+namespace gpf::gate {
+
+Simulator::Simulator(const Netlist& nl) : nl_(nl), val_(nl.num_nets(), 0) {
+  if (!nl.finalized()) throw std::logic_error("netlist not finalized");
+}
+
+void Simulator::reset() { std::fill(val_.begin(), val_.end(), 0); }
+
+void Simulator::set_bus(const PortBus& bus, std::uint64_t value) {
+  for (std::size_t i = 0; i < bus.nets.size(); ++i)
+    val_[static_cast<std::size_t>(bus.nets[i])] = (value >> i) & 1;
+}
+
+std::uint64_t Simulator::bus_value(const PortBus& bus) const {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bus.nets.size(); ++i)
+    if (val_[static_cast<std::size_t>(bus.nets[i])]) v |= std::uint64_t{1} << i;
+  return v;
+}
+
+void Simulator::apply_fault_at_sources() {
+  if (fault_.net == kNoNet) return;
+  const GateKind k = nl_.gate(fault_.net).kind;
+  if (k == GateKind::Input || k == GateKind::Const0 || k == GateKind::Const1 ||
+      k == GateKind::Dff) {
+    golden_at_fault_ = val_[static_cast<std::size_t>(fault_.net)];
+    val_[static_cast<std::size_t>(fault_.net)] = fault_.stuck_high ? 1 : 0;
+  }
+}
+
+void Simulator::eval() {
+  // Constants (cheap to refresh each eval).
+  for (std::size_t i = 0; i < nl_.num_nets(); ++i) {
+    const GateKind k = nl_.gate(static_cast<Net>(i)).kind;
+    if (k == GateKind::Const0) val_[i] = 0;
+    if (k == GateKind::Const1) val_[i] = 1;
+  }
+  apply_fault_at_sources();
+
+  for (const Net n : nl_.eval_order()) {
+    const Gate& g = nl_.gate(n);
+    const auto va = [&](Net x) { return val_[static_cast<std::size_t>(x)]; };
+    std::uint8_t v = 0;
+    switch (g.kind) {
+      case GateKind::Buf: v = va(g.a); break;
+      case GateKind::Not: v = !va(g.a); break;
+      case GateKind::And: v = va(g.a) & va(g.b); break;
+      case GateKind::Or: v = va(g.a) | va(g.b); break;
+      case GateKind::Nand: v = !(va(g.a) & va(g.b)); break;
+      case GateKind::Nor: v = !(va(g.a) | va(g.b)); break;
+      case GateKind::Xor: v = va(g.a) ^ va(g.b); break;
+      case GateKind::Xnor: v = !(va(g.a) ^ va(g.b)); break;
+      case GateKind::Mux: v = va(g.a) ? va(g.c) : va(g.b); break;
+      default: continue;
+    }
+    if (n == fault_.net) {
+      golden_at_fault_ = v;
+      v = fault_.stuck_high ? 1 : 0;
+    }
+    val_[static_cast<std::size_t>(n)] = v;
+  }
+}
+
+void Simulator::clock() {
+  // Two-phase: sample all D inputs, then commit, so DFF-to-DFF paths behave
+  // like real registers.
+  std::vector<std::uint8_t> next(nl_.dffs().size());
+  for (std::size_t i = 0; i < nl_.dffs().size(); ++i) {
+    const Net n = nl_.dffs()[i];
+    const Gate& g = nl_.gate(n);
+    const bool en = g.b == kNoNet ? true : val_[static_cast<std::size_t>(g.b)] != 0;
+    const std::uint8_t cur = val_[static_cast<std::size_t>(n)];
+    const std::uint8_t d =
+        g.a == kNoNet ? cur : val_[static_cast<std::size_t>(g.a)];
+    next[i] = en ? d : cur;
+  }
+  for (std::size_t i = 0; i < nl_.dffs().size(); ++i)
+    val_[static_cast<std::size_t>(nl_.dffs()[i])] = next[i];
+  apply_fault_at_sources();
+}
+
+std::vector<StuckFault> full_fault_list(const Netlist& nl) {
+  std::vector<StuckFault> out;
+  out.reserve(nl.num_nets() * 2);
+  for (std::size_t i = 0; i < nl.num_nets(); ++i) {
+    const GateKind k = nl.gate(static_cast<Net>(i)).kind;
+    if (k == GateKind::Const0 || k == GateKind::Const1) continue;
+    out.push_back(StuckFault{static_cast<Net>(i), false});
+    out.push_back(StuckFault{static_cast<Net>(i), true});
+  }
+  return out;
+}
+
+}  // namespace gpf::gate

@@ -1,0 +1,73 @@
+// Unit stimulus traces: the "exciting patterns" the paper extracts from 14
+// representative workloads. The profiler (profiler.hpp) records these from
+// fault-free functional runs; the replay campaign (replay.hpp) drives the
+// gate-level unit netlists with them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gpf::gate {
+
+/// Decoder stimulus: one instruction word (the decoder is combinational, so
+/// identical words are deduplicated with an occurrence count).
+struct DecoderPattern {
+  std::uint64_t word = 0;
+  std::uint32_t regs_per_thread = 64;  ///< IVRA boundary for classification
+  std::uint64_t count = 1;             ///< dynamic occurrences
+};
+
+/// One fetch-unit cycle (write + read ports).
+struct FetchCycle {
+  std::uint8_t sel_slot = 0;
+  bool sel_valid = false;
+  std::uint64_t instr_in = 0;
+  bool redirect_en = false;
+  std::uint32_t redirect_pc = 0;
+  bool pc_wr_en = false;
+  bool init_en = false;
+  std::uint8_t init_slot = 0;
+  std::uint32_t init_pc = 0;
+  bool is_issue = false;  ///< outputs are compared on issue cycles only
+  // Classification context.
+  std::uint32_t prog_size = 0;
+  std::uint32_t regs_per_thread = 64;
+  std::array<std::uint16_t, 8> resident_pcs{};  ///< for IAW detection
+  std::uint32_t expected_pc = 0;  ///< functional PC (netlist-consistency checks)
+};
+
+/// One WSC cycle.
+struct WscCycle {
+  std::uint8_t wr_slot = 0;
+  bool wr_state_en = false;
+  bool wr_valid = false;
+  bool wr_done = false;
+  bool wr_barrier = false;
+  bool wr_mask_en = false;
+  std::uint32_t wr_mask = 0;
+  bool wr_base_en = false;
+  std::uint8_t wr_base = 0;
+  bool wr_cta_en = false;
+  std::uint8_t wr_cta = 0;
+  bool lane_cfg_en = false;
+  std::uint32_t lane_cfg = 0;
+  bool barrier_release = false;
+  bool ibuf_en = false;
+  std::uint64_t ibuf_in = 0;
+  bool is_issue = false;
+  std::uint32_t regs_per_thread = 64;
+  std::uint8_t expected_slot = 0;  ///< functional warp choice (consistency checks)
+};
+
+/// All three unit traces captured from one workload.
+struct UnitTraces {
+  std::string workload;
+  std::size_t issues = 0;
+  std::vector<DecoderPattern> decoder;
+  std::vector<FetchCycle> fetch;
+  std::vector<WscCycle> wsc;
+};
+
+}  // namespace gpf::gate

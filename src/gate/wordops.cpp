@@ -1,0 +1,210 @@
+#include "gate/wordops.hpp"
+
+#include <stdexcept>
+
+namespace gpf::gate {
+
+Word WordOps::inputs(unsigned width) {
+  Word w(width);
+  for (auto& n : w) n = nl_.input();
+  return w;
+}
+
+Word WordOps::constant(std::uint64_t value, unsigned width) {
+  Word w(width);
+  for (unsigned i = 0; i < width; ++i) w[i] = nl_.constant((value >> i) & 1);
+  return w;
+}
+
+Word WordOps::slice(const Word& w, unsigned lo, unsigned width) const {
+  if (lo + width > w.size()) throw std::out_of_range("slice");
+  return Word(w.begin() + lo, w.begin() + lo + width);
+}
+
+Word WordOps::not_(const Word& a) {
+  Word out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = nl_.not_(a[i]);
+  return out;
+}
+
+Word WordOps::and_(const Word& a, const Word& b) {
+  Word out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = nl_.and_(a[i], b[i]);
+  return out;
+}
+
+Word WordOps::or_(const Word& a, const Word& b) {
+  Word out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = nl_.or_(a[i], b[i]);
+  return out;
+}
+
+Word WordOps::xor_(const Word& a, const Word& b) {
+  Word out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = nl_.xor_(a[i], b[i]);
+  return out;
+}
+
+Word WordOps::and_bit(const Word& a, Net bit) {
+  Word out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = nl_.and_(a[i], bit);
+  return out;
+}
+
+Word WordOps::mux(Net sel, const Word& when0, const Word& when1) {
+  Word out(when0.size());
+  for (std::size_t i = 0; i < when0.size(); ++i)
+    out[i] = nl_.mux(sel, when0[i], when1[i]);
+  return out;
+}
+
+Net WordOps::reduce_and(const Word& a) {
+  if (a.empty()) return nl_.constant(true);
+  Net acc = a[0];
+  for (std::size_t i = 1; i < a.size(); ++i) acc = nl_.and_(acc, a[i]);
+  return acc;
+}
+
+Net WordOps::reduce_or(const Word& a) {
+  if (a.empty()) return nl_.constant(false);
+  Net acc = a[0];
+  for (std::size_t i = 1; i < a.size(); ++i) acc = nl_.or_(acc, a[i]);
+  return acc;
+}
+
+Net WordOps::parity(const Word& a) {
+  if (a.empty()) return nl_.constant(false);
+  Net acc = a[0];
+  for (std::size_t i = 1; i < a.size(); ++i) acc = nl_.xor_(acc, a[i]);
+  return acc;
+}
+
+Net WordOps::eq_const(const Word& a, std::uint64_t k) {
+  Word matched(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    matched[i] = ((k >> i) & 1) ? a[i] : nl_.not_(a[i]);
+  return reduce_and(matched);
+}
+
+Net WordOps::eq(const Word& a, const Word& b) {
+  Word x(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) x[i] = nl_.xnor_(a[i], b[i]);
+  return reduce_and(x);
+}
+
+Net WordOps::lt_const(const Word& a, std::uint64_t k) {
+  // a < k: scan from MSB; result = OR over positions where k has 1, a has 0,
+  // and all higher bits are equal.
+  Net lt = nl_.constant(false);
+  Net eq_so_far = nl_.constant(true);
+  for (int i = static_cast<int>(a.size()) - 1; i >= 0; --i) {
+    const bool kb = (k >> i) & 1;
+    const Net ai = a[static_cast<std::size_t>(i)];
+    if (kb) {
+      lt = nl_.or_(lt, nl_.and_(eq_so_far, nl_.not_(ai)));
+      eq_so_far = nl_.and_(eq_so_far, ai);
+    } else {
+      eq_so_far = nl_.and_(eq_so_far, nl_.not_(ai));
+    }
+  }
+  return lt;
+}
+
+Word WordOps::add(const Word& a, const Word& b, Net cin, bool with_carry) {
+  Net carry = cin == kNoNet ? nl_.constant(false) : cin;
+  Word out;
+  out.reserve(a.size() + (with_carry ? 1 : 0));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Net axb = nl_.xor_(a[i], b[i]);
+    out.push_back(nl_.xor_(axb, carry));
+    carry = nl_.or_(nl_.and_(a[i], b[i]), nl_.and_(axb, carry));
+  }
+  if (with_carry) out.push_back(carry);
+  return out;
+}
+
+Word WordOps::increment(const Word& a) {
+  return add(a, constant(1, static_cast<unsigned>(a.size())));
+}
+
+Word WordOps::decode_onehot(const Word& sel) {
+  const unsigned n = 1u << sel.size();
+  Word out(n);
+  for (unsigned v = 0; v < n; ++v) out[v] = eq_const(sel, v);
+  return out;
+}
+
+Word WordOps::encode_priority(const Word& onehot, unsigned out_bits) {
+  // Priority: lowest index wins. valid_i = onehot_i & !any_lower.
+  Word out(out_bits, kNoNet);
+  for (unsigned b = 0; b < out_bits; ++b) out[b] = nl_.constant(false);
+  Net taken = nl_.constant(false);
+  for (std::size_t i = 0; i < onehot.size(); ++i) {
+    const Net sel_i = nl_.and_(onehot[i], nl_.not_(taken));
+    for (unsigned b = 0; b < out_bits; ++b)
+      if ((i >> b) & 1) out[b] = nl_.or_(out[b], sel_i);
+    taken = nl_.or_(taken, onehot[i]);
+  }
+  return out;
+}
+
+Word WordOps::mux_tree(const Word& sel, const std::vector<Word>& options) {
+  if (options.empty()) throw std::invalid_argument("mux_tree: no options");
+  std::vector<Word> layer = options;
+  for (std::size_t s = 0; s < sel.size(); ++s) {
+    std::vector<Word> next;
+    next.reserve((layer.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2)
+      next.push_back(mux(sel[s], layer[i], layer[i + 1]));
+    if (layer.size() % 2 == 1) next.push_back(layer.back());
+    layer = std::move(next);
+  }
+  return layer[0];
+}
+
+WordOps::RegBank WordOps::reg_bank(unsigned count, unsigned width,
+                                   const Word& write_sel_onehot, Net write_en,
+                                   const Word& write_data) {
+  RegBank bank;
+  bank.regs.resize(count);
+  for (unsigned r = 0; r < count; ++r) {
+    const Net en = nl_.and_(write_en, write_sel_onehot[r]);
+    Word q(width);
+    for (unsigned b = 0; b < width; ++b) q[b] = nl_.dff(write_data[b], en);
+    bank.regs[r] = std::move(q);
+  }
+  return bank;
+}
+
+WordOps::Arbiter WordOps::rr_arbiter(const Word& requests, const Word& pointer) {
+  // grant_i = req_i & no request granted earlier in rotated order.
+  // Implemented with an explicit rotated priority chain: for each possible
+  // pointer value p, compute the grant under that rotation, then select by
+  // the decoded pointer — this is how small synthesized arbiters look after
+  // flattening.
+  const unsigned n = static_cast<unsigned>(requests.size());
+  const Word ptr_onehot = decode_onehot(pointer);
+  std::vector<Word> grants_per_ptr;
+  grants_per_ptr.reserve(n);
+  for (unsigned p = 0; p < n; ++p) {
+    Word grant(n);
+    Net taken = nl_.constant(false);
+    for (unsigned k = 0; k < n; ++k) {
+      const unsigned i = (p + k) % n;
+      grant[i] = nl_.and_(requests[i], nl_.not_(taken));
+      taken = nl_.or_(taken, requests[i]);
+    }
+    grants_per_ptr.push_back(std::move(grant));
+  }
+  // Select the rotation matching the pointer.
+  Word grant(n);
+  for (unsigned i = 0; i < n; ++i) {
+    Net acc = nl_.constant(false);
+    for (unsigned p = 0; p < n; ++p)
+      acc = nl_.or_(acc, nl_.and_(ptr_onehot[p], grants_per_ptr[p][i]));
+    grant[i] = acc;
+  }
+  return Arbiter{grant, reduce_or(requests)};
+}
+
+}  // namespace gpf::gate

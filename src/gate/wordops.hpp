@@ -1,0 +1,77 @@
+// Word-level structural generators over a Netlist: the building blocks the
+// unit netlists are assembled from (field extractors, comparators, adders,
+// mux trees, priority arbiters, register banks).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gate/netlist.hpp"
+
+namespace gpf::gate {
+
+using Word = std::vector<Net>;  // LSB first
+
+class WordOps {
+ public:
+  explicit WordOps(Netlist& nl) : nl_(nl) {}
+
+  Word inputs(unsigned width);
+  Word constant(std::uint64_t value, unsigned width);
+  Word slice(const Word& w, unsigned lo, unsigned width) const;
+
+  Word not_(const Word& a);
+  Word and_(const Word& a, const Word& b);
+  Word or_(const Word& a, const Word& b);
+  Word xor_(const Word& a, const Word& b);
+  Word and_bit(const Word& a, Net bit);  ///< gate every bit with `bit`
+  Word mux(Net sel, const Word& when0, const Word& when1);
+
+  Net reduce_and(const Word& a);
+  Net reduce_or(const Word& a);
+  Net parity(const Word& a);
+
+  /// a == k (k constant).
+  Net eq_const(const Word& a, std::uint64_t k);
+  /// a == b.
+  Net eq(const Word& a, const Word& b);
+  /// unsigned a < k (k constant).
+  Net lt_const(const Word& a, std::uint64_t k);
+
+  /// Ripple-carry a + b (+ cin); result has the same width (carry-out last
+  /// element if `with_carry`).
+  Word add(const Word& a, const Word& b, Net cin = kNoNet, bool with_carry = false);
+  Word increment(const Word& a);
+
+  /// One-hot decode of a binary select (width 2^sel_bits).
+  Word decode_onehot(const Word& sel);
+  /// Binary encode of a one-hot word (priority: lowest index wins).
+  Word encode_priority(const Word& onehot, unsigned out_bits);
+
+  /// Mux tree: out = options[sel]; options.size() must be a power of two and
+  /// every option must share a width.
+  Word mux_tree(const Word& sel, const std::vector<Word>& options);
+
+  /// Register bank: `count` registers of `width` bits with per-register
+  /// write-enable, a shared write-data word, and a combinational read mux.
+  struct RegBank {
+    std::vector<Word> regs;  ///< DFF output nets per register
+  };
+  RegBank reg_bank(unsigned count, unsigned width, const Word& write_sel_onehot,
+                   Net write_en, const Word& write_data);
+
+  /// Rotating priority arbiter: grant the first set request at or after
+  /// `pointer` (binary). Returns {grant_onehot, any}.
+  struct Arbiter {
+    Word grant_onehot;
+    Net any;
+  };
+  Arbiter rr_arbiter(const Word& requests, const Word& pointer);
+
+  Netlist& netlist() { return nl_; }
+
+ private:
+  Netlist& nl_;
+};
+
+}  // namespace gpf::gate

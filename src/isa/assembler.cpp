@@ -1,0 +1,379 @@
+#include "isa/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/bitops.hpp"
+
+namespace gpf::isa {
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+/// Split an operand list on commas (whitespace-insensitive); the memory
+/// operand `[R3+100]` stays one token.
+std::vector<std::string> split_operands(std::string_view s) {
+  std::vector<std::string> out;
+  std::string cur;
+  int depth = 0;
+  for (char c : s) {
+    if (c == '[') ++depth;
+    if (c == ']') --depth;
+    if (c == ',' && depth == 0) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  for (auto& t : out) {
+    const auto b = t.find_first_not_of(" \t");
+    const auto e = t.find_last_not_of(" \t");
+    t = b == std::string::npos ? "" : t.substr(b, e - b + 1);
+  }
+  std::erase(out, "");
+  return out;
+}
+
+bool parse_uint(std::string_view s, std::uint32_t& v) {
+  if (s.empty()) return false;
+  try {
+    std::size_t pos = 0;
+    const std::string str(s);
+    const unsigned long long x = std::stoull(str, &pos, 0);  // 0x / decimal
+    if (pos != str.size() || x > 0xFFFFFFFFull) return false;
+    v = static_cast<std::uint32_t>(x);
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+std::optional<std::uint8_t> parse_reg(std::string_view s) {
+  if (s == "RZ") return kRZ;
+  if (s.size() < 2 || s[0] != 'R') return std::nullopt;
+  std::uint32_t v;
+  if (!parse_uint(s.substr(1), v) || v > 255) return std::nullopt;
+  return static_cast<std::uint8_t>(v);
+}
+
+std::optional<std::uint8_t> parse_pred(std::string_view s) {
+  if (s == "PT") return kPT;
+  if (s.size() < 2 || s[0] != 'P') return std::nullopt;
+  std::uint32_t v;
+  if (!parse_uint(s.substr(1), v) || v > 7) return std::nullopt;
+  return static_cast<std::uint8_t>(v);
+}
+
+/// Opcode lookup built from the canonical names (plus LD/ST space suffixes).
+const std::map<std::string, Op, std::less<>>& opcode_table() {
+  static const auto table = [] {
+    std::map<std::string, Op, std::less<>> t;
+    for (int raw = 0; raw < 256; ++raw) {
+      if (!is_valid_opcode(static_cast<std::uint8_t>(raw))) continue;
+      const Op op = static_cast<Op>(raw);
+      t.emplace(std::string(name_of(op)), op);
+    }
+    return t;
+  }();
+  return table;
+}
+
+std::optional<MemSpace> parse_space(std::string_view s) {
+  if (s == "global") return MemSpace::Global;
+  if (s == "shared") return MemSpace::Shared;
+  if (s == "const") return MemSpace::Const;
+  if (s == "local") return MemSpace::Local;
+  return std::nullopt;
+}
+
+struct PendingBranch {
+  std::size_t word_index;
+  std::string label;
+  std::size_t line;
+};
+
+}  // namespace
+
+Program assemble(std::string_view source) {
+  Program prog;
+  prog.name = "asm";
+  std::map<std::string, std::uint32_t, std::less<>> labels;
+  std::vector<PendingBranch> pending;
+  unsigned max_reg = 0;
+  std::optional<unsigned> regs_directive;
+  bool ends_with_exit = false;
+
+  auto touch_reg = [&](std::uint8_t r) {
+    if (r != kRZ) max_reg = std::max<unsigned>(max_reg, r);
+  };
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= source.size()) {
+    const std::size_t nl = source.find('\n', pos);
+    std::string line(source.substr(pos, nl == std::string_view::npos
+                                            ? std::string_view::npos
+                                            : nl - pos));
+    pos = nl == std::string_view::npos ? source.size() + 1 : nl + 1;
+    ++line_no;
+
+    // Strip comments and the disassembler's "pc:\t" prefix.
+    if (const auto c = line.find("//"); c != std::string::npos) line.resize(c);
+    if (const auto c = line.find('#'); c != std::string::npos) line.resize(c);
+    auto trim = [](std::string& s) {
+      const auto b = s.find_first_not_of(" \t\r");
+      const auto e = s.find_last_not_of(" \t\r");
+      s = b == std::string::npos ? "" : s.substr(b, e - b + 1);
+    };
+    trim(line);
+    if (line.empty()) continue;
+
+    // "12:<tab> INSTR" pc prefix from the disassembler.
+    {
+      std::size_t i = 0;
+      while (i < line.size() && std::isdigit(static_cast<unsigned char>(line[i]))) ++i;
+      if (i > 0 && i < line.size() && line[i] == ':') {
+        line = line.substr(i + 1);
+        trim(line);
+        if (line.empty()) continue;
+      }
+    }
+
+    // Directives.
+    if (line[0] == '.') {
+      const auto sp = line.find(' ');
+      const std::string dir = line.substr(0, sp);
+      std::string arg = sp == std::string::npos ? "" : line.substr(sp + 1);
+      trim(arg);
+      std::uint32_t v = 0;
+      if (dir == ".name") {
+        prog.name = arg;
+      } else if (dir == ".shared") {
+        if (!parse_uint(arg, v)) throw AssemblerError(line_no, "bad .shared");
+        prog.shared_words = v;
+      } else if (dir == ".regs") {
+        if (!parse_uint(arg, v) || v == 0 || v > 64)
+          throw AssemblerError(line_no, "bad .regs");
+        regs_directive = v;
+      } else if (dir == ".invalid") {
+        try {
+          std::size_t p2 = 0;
+          const std::uint64_t raw = std::stoull(arg, &p2, 0);
+          if (p2 != arg.size()) throw AssemblerError(line_no, "bad .invalid");
+          prog.words.push_back(raw);  // raw word escape hatch
+        } catch (const AssemblerError&) {
+          throw;
+        } catch (...) {
+          throw AssemblerError(line_no, "bad .invalid");
+        }
+      } else {
+        throw AssemblerError(line_no, "unknown directive " + dir);
+      }
+      continue;
+    }
+
+    // Labels: "ident:" possibly followed by an instruction.
+    {
+      const auto colon = line.find(':');
+      if (colon != std::string::npos &&
+          line.find_first_of(" \t,[") > colon) {
+        std::string label = line.substr(0, colon);
+        if (!label.empty() &&
+            !std::isdigit(static_cast<unsigned char>(label[0]))) {
+          if (labels.count(label))
+            throw AssemblerError(line_no, "duplicate label " + label);
+          labels.emplace(std::move(label),
+                         static_cast<std::uint32_t>(prog.words.size()));
+          line = line.substr(colon + 1);
+          trim(line);
+          if (line.empty()) continue;
+        }
+      }
+    }
+
+    Instruction in;
+
+    // Guard prefix: "@P0" / "@!P3".
+    if (line[0] == '@') {
+      const auto sp = line.find(' ');
+      if (sp == std::string::npos) throw AssemblerError(line_no, "bad guard");
+      std::string g = line.substr(1, sp - 1);
+      if (!g.empty() && g[0] == '!') {
+        in.guard_neg = true;
+        g = g.substr(1);
+      }
+      const auto p = parse_pred(g);
+      if (!p) throw AssemblerError(line_no, "bad guard predicate " + g);
+      in.guard_pred = *p;
+      line = line.substr(sp + 1);
+      trim(line);
+    }
+
+    // Mnemonic (with optional .space suffix for LD/ST).
+    const auto msp = line.find_first_of(" \t");
+    std::string mnem = msp == std::string::npos ? line : line.substr(0, msp);
+    std::string rest = msp == std::string::npos ? "" : line.substr(msp + 1);
+    trim(rest);
+
+    if (mnem.rfind("LD.", 0) == 0 || mnem.rfind("ST.", 0) == 0) {
+      const auto space = parse_space(std::string_view(mnem).substr(3));
+      if (!space) throw AssemblerError(line_no, "bad memory space in " + mnem);
+      in.space = *space;
+      mnem = mnem.substr(0, 2);
+    }
+    const auto& ops = opcode_table();
+    const auto it = ops.find(mnem);
+    if (it == ops.end()) throw AssemblerError(line_no, "unknown mnemonic " + mnem);
+    in.op = it->second;
+
+    // SEL trailing "?Pn".
+    std::optional<std::uint8_t> sel_pred;
+    if (in.op == Op::SEL) {
+      const auto q = rest.find('?');
+      if (q != std::string::npos) {
+        sel_pred = parse_pred(std::string_view(rest).substr(q + 1));
+        if (!sel_pred) throw AssemblerError(line_no, "bad SEL predicate");
+        rest.resize(q);
+      }
+    }
+
+    const std::vector<std::string> operands = split_operands(rest);
+    auto need = [&](std::size_t n) {
+      if (operands.size() != n)
+        throw AssemblerError(line_no, mnem + ": expected " + std::to_string(n) +
+                                          " operands, got " +
+                                          std::to_string(operands.size()));
+    };
+    auto reg_at = [&](std::size_t i) {
+      const auto r = parse_reg(operands[i]);
+      if (!r) throw AssemblerError(line_no, "bad register " + operands[i]);
+      touch_reg(*r);
+      return *r;
+    };
+    auto mem_at = [&](std::size_t i, std::uint8_t& base, std::uint32_t& off) {
+      const std::string& m = operands[i];
+      if (m.size() < 4 || m.front() != '[' || m.back() != ']')
+        throw AssemblerError(line_no, "bad memory operand " + m);
+      const auto plus = m.find('+');
+      const std::string base_s =
+          m.substr(1, (plus == std::string::npos ? m.size() - 1 : plus) - 1);
+      const auto b = parse_reg(base_s);
+      if (!b) throw AssemblerError(line_no, "bad base register " + base_s);
+      base = *b;
+      touch_reg(*b);
+      off = 0;
+      if (plus != std::string::npos &&
+          !parse_uint(m.substr(plus + 1, m.size() - plus - 2), off))
+        throw AssemblerError(line_no, "bad memory offset in " + m);
+    };
+
+    switch (in.op) {
+      case Op::NOP:
+      case Op::EXIT:
+      case Op::BAR:
+        need(0);
+        break;
+      case Op::BRA:
+      case Op::SSY: {
+        need(1);
+        in.use_imm = true;
+        if (!parse_uint(operands[0], in.imm)) {
+          pending.push_back({prog.words.size(), operands[0], line_no});
+          in.imm = 0;
+        }
+        break;
+      }
+      case Op::S2R: {
+        need(2);
+        in.rd = reg_at(0);
+        if (operands[1].rfind("SR", 0) != 0)
+          throw AssemblerError(line_no, "S2R needs an SRn operand");
+        std::uint32_t sr;
+        if (!parse_uint(std::string_view(operands[1]).substr(2), sr) || sr > 255)
+          throw AssemblerError(line_no, "bad special register " + operands[1]);
+        in.rs1 = static_cast<std::uint8_t>(sr);
+        break;
+      }
+      case Op::LD: {
+        need(2);
+        in.rd = reg_at(0);
+        in.use_imm = true;
+        mem_at(1, in.rs1, in.imm);
+        break;
+      }
+      case Op::ST: {
+        need(2);
+        in.use_imm = true;
+        mem_at(0, in.rs1, in.imm);
+        in.rd = reg_at(1);
+        break;
+      }
+      case Op::SEL: {
+        need(3);
+        in.rd = reg_at(0);
+        in.rs1 = reg_at(1);
+        if (const auto r2 = parse_reg(operands[2])) {
+          in.rs2 = *r2;
+          touch_reg(*r2);
+        } else if (parse_uint(operands[2], in.imm)) {
+          in.use_imm = true;
+        } else {
+          throw AssemblerError(line_no, "bad SEL operand " + operands[2]);
+        }
+        in.rs3 = sel_pred.value_or(kPT);
+        break;
+      }
+      default: {
+        const int srcs = num_sources(in.op);
+        const bool pred_dest = writes_predicate(in.op);
+        need(static_cast<std::size_t>(srcs) + 1);
+        if (pred_dest) {
+          const auto p = parse_pred(operands[0]);
+          if (!p) throw AssemblerError(line_no, "bad predicate " + operands[0]);
+          in.rd = *p;
+        } else {
+          in.rd = reg_at(0);
+        }
+        for (int s = 0; s < srcs; ++s) {
+          const std::string& o = operands[static_cast<std::size_t>(s) + 1];
+          const bool last = s == srcs - 1;
+          const auto r = parse_reg(o);
+          if (r) {
+            (s == 0 ? in.rs1 : (s == 1 ? in.rs2 : in.rs3)) = *r;
+            touch_reg(*r);
+          } else if (last && parse_uint(o, in.imm)) {
+            in.use_imm = true;
+          } else {
+            throw AssemblerError(line_no, "bad operand " + o);
+          }
+        }
+        break;
+      }
+    }
+
+    ends_with_exit = in.op == Op::EXIT;
+    prog.words.push_back(encode(in));
+  }
+
+  // Resolve labels.
+  for (const PendingBranch& pb : pending) {
+    const auto it = labels.find(pb.label);
+    if (it == labels.end())
+      throw AssemblerError(pb.line, "unresolved label " + pb.label);
+    prog.words[pb.word_index] = set_bits<std::uint64_t>(
+        prog.words[pb.word_index], field::kImmLo, field::kImmW, it->second);
+  }
+
+  if (!ends_with_exit) prog.words.push_back(encode(Instruction{.op = Op::EXIT}));
+  prog.regs_per_thread = regs_directive.value_or(max_reg + 1);
+  return prog;
+}
+
+}  // namespace gpf::isa

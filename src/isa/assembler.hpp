@@ -1,0 +1,44 @@
+// Text assembler: parses the disassembler's syntax (plus labels and
+// directives) back into a Program, so kernels can be written as plain text.
+//
+//   .name saxpy
+//   .shared 64
+//       S2R R0, SR0
+//       ISETP.LT P0, R0, 100
+//       SSY done
+//       @!P0 BRA done
+//       LD.global R1, [R0+0]
+//       FADD R1, R1, R2
+//       ST.global [R0+1024], R1
+//   done:
+//       EXIT
+//
+// `assemble(disassemble(prog))` reproduces `prog` word-for-word (tested).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "isa/program.hpp"
+
+namespace gpf::isa {
+
+class AssemblerError : public std::runtime_error {
+ public:
+  AssemblerError(std::size_t line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Assemble a full listing into a Program. Throws AssemblerError on syntax
+/// problems, unknown mnemonics, or unresolved labels. `regs_per_thread` is
+/// inferred from the highest register used unless a `.regs` directive is
+/// present; EXIT is appended if the listing does not end with one.
+Program assemble(std::string_view source);
+
+}  // namespace gpf::isa

@@ -1,0 +1,275 @@
+#include "isa/builder.hpp"
+
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+
+namespace gpf::isa {
+
+using Reg = KernelBuilder::Reg;
+using Pred = KernelBuilder::Pred;
+using Label = KernelBuilder::Label;
+
+Reg KernelBuilder::reg() {
+  if (next_reg_ >= 64) throw std::runtime_error(name_ + ": out of registers");
+  return Reg{static_cast<std::uint8_t>(next_reg_++)};
+}
+
+std::vector<Reg> KernelBuilder::regs(int n) {
+  std::vector<Reg> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(reg());
+  return out;
+}
+
+Pred KernelBuilder::pred() {
+  for (std::uint8_t i = 0; i < kNumPredicates; ++i) {
+    if (!(pred_in_use_ & (1u << i))) {
+      pred_in_use_ |= static_cast<std::uint8_t>(1u << i);
+      return Pred{i};
+    }
+  }
+  throw std::runtime_error(name_ + ": out of predicate registers");
+}
+
+void KernelBuilder::release(Pred p) {
+  pred_in_use_ &= static_cast<std::uint8_t>(~(1u << p.idx));
+}
+
+Label KernelBuilder::label() {
+  label_pcs_.push_back(UINT32_MAX);
+  return Label{static_cast<std::uint32_t>(label_pcs_.size() - 1)};
+}
+
+void KernelBuilder::place(Label l) {
+  label_pcs_.at(l.id) = static_cast<std::uint32_t>(words_.size());
+}
+
+KernelBuilder& KernelBuilder::on(Pred p, bool negate) {
+  pending_guard_ = p.idx;
+  pending_neg_ = negate;
+  return *this;
+}
+
+void KernelBuilder::emit(Instruction in) {
+  in.guard_pred = pending_guard_;
+  in.guard_neg = pending_neg_;
+  pending_guard_ = kPT;
+  pending_neg_ = false;
+  words_.push_back(encode(in));
+}
+
+// ---- data movement ---------------------------------------------------------
+
+void KernelBuilder::mov(Reg rd, Reg rs) {
+  emit({.op = Op::MOV, .rd = rd.idx, .rs1 = rs.idx});
+}
+void KernelBuilder::movi(Reg rd, std::uint32_t imm) {
+  emit({.op = Op::MOV, .rd = rd.idx, .use_imm = true, .imm = imm});
+}
+void KernelBuilder::movf(Reg rd, float value) { movi(rd, f32_bits(value)); }
+void KernelBuilder::sel(Reg rd, Reg if_true, Reg if_false, Pred p) {
+  emit({.op = Op::SEL, .rd = rd.idx, .rs1 = if_true.idx, .rs2 = if_false.idx,
+        .rs3 = p.idx});
+}
+void KernelBuilder::s2r(Reg rd, SpecialReg sr) {
+  emit({.op = Op::S2R, .rd = rd.idx, .rs1 = static_cast<std::uint8_t>(sr)});
+}
+
+// ---- generic ALU helpers -----------------------------------------------
+
+void KernelBuilder::alu2(Op op, Reg rd, Reg a, Reg b) {
+  emit({.op = op, .rd = rd.idx, .rs1 = a.idx, .rs2 = b.idx});
+}
+void KernelBuilder::alu2i(Op op, Reg rd, Reg a, std::uint32_t imm) {
+  emit({.op = op, .rd = rd.idx, .rs1 = a.idx, .use_imm = true, .imm = imm});
+}
+void KernelBuilder::alu1(Op op, Reg rd, Reg a) {
+  emit({.op = op, .rd = rd.idx, .rs1 = a.idx});
+}
+
+// ---- integer ---------------------------------------------------------------
+
+void KernelBuilder::iadd(Reg rd, Reg a, Reg b) { alu2(Op::IADD, rd, a, b); }
+void KernelBuilder::iaddi(Reg rd, Reg a, std::uint32_t imm) { alu2i(Op::IADD, rd, a, imm); }
+void KernelBuilder::isub(Reg rd, Reg a, Reg b) { alu2(Op::ISUB, rd, a, b); }
+void KernelBuilder::imul(Reg rd, Reg a, Reg b) { alu2(Op::IMUL, rd, a, b); }
+void KernelBuilder::imuli(Reg rd, Reg a, std::uint32_t imm) { alu2i(Op::IMUL, rd, a, imm); }
+void KernelBuilder::imad(Reg rd, Reg a, Reg b, Reg c) {
+  emit({.op = Op::IMAD, .rd = rd.idx, .rs1 = a.idx, .rs2 = b.idx, .rs3 = c.idx});
+}
+void KernelBuilder::imadi(Reg rd, Reg a, Reg b, std::uint32_t imm) {
+  emit({.op = Op::IMAD, .rd = rd.idx, .rs1 = a.idx, .rs2 = b.idx, .use_imm = true,
+        .imm = imm});
+}
+void KernelBuilder::imin(Reg rd, Reg a, Reg b) { alu2(Op::IMIN, rd, a, b); }
+void KernelBuilder::imax(Reg rd, Reg a, Reg b) { alu2(Op::IMAX, rd, a, b); }
+void KernelBuilder::iabs(Reg rd, Reg a) { alu1(Op::IABS, rd, a); }
+void KernelBuilder::shl(Reg rd, Reg a, std::uint32_t sh) { alu2i(Op::SHL, rd, a, sh); }
+void KernelBuilder::shr(Reg rd, Reg a, std::uint32_t sh) { alu2i(Op::SHR, rd, a, sh); }
+void KernelBuilder::land(Reg rd, Reg a, Reg b) { alu2(Op::LOP_AND, rd, a, b); }
+void KernelBuilder::landi(Reg rd, Reg a, std::uint32_t imm) { alu2i(Op::LOP_AND, rd, a, imm); }
+void KernelBuilder::lor(Reg rd, Reg a, Reg b) { alu2(Op::LOP_OR, rd, a, b); }
+void KernelBuilder::lxor(Reg rd, Reg a, Reg b) { alu2(Op::LOP_XOR, rd, a, b); }
+void KernelBuilder::lnot(Reg rd, Reg a) { alu1(Op::LOP_NOT, rd, a); }
+
+// ---- floating point --------------------------------------------------------
+
+void KernelBuilder::fadd(Reg rd, Reg a, Reg b) { alu2(Op::FADD, rd, a, b); }
+void KernelBuilder::fmul(Reg rd, Reg a, Reg b) { alu2(Op::FMUL, rd, a, b); }
+void KernelBuilder::fmulf(Reg rd, Reg a, float imm) { alu2i(Op::FMUL, rd, a, f32_bits(imm)); }
+void KernelBuilder::faddf(Reg rd, Reg a, float imm) { alu2i(Op::FADD, rd, a, f32_bits(imm)); }
+void KernelBuilder::ffma(Reg rd, Reg a, Reg b, Reg c) {
+  emit({.op = Op::FFMA, .rd = rd.idx, .rs1 = a.idx, .rs2 = b.idx, .rs3 = c.idx});
+}
+void KernelBuilder::fmin(Reg rd, Reg a, Reg b) { alu2(Op::FMIN, rd, a, b); }
+void KernelBuilder::fmax(Reg rd, Reg a, Reg b) { alu2(Op::FMAX, rd, a, b); }
+void KernelBuilder::f2i(Reg rd, Reg a) { alu1(Op::F2I, rd, a); }
+void KernelBuilder::i2f(Reg rd, Reg a) { alu1(Op::I2F, rd, a); }
+void KernelBuilder::fsin(Reg rd, Reg a) { alu1(Op::FSIN, rd, a); }
+void KernelBuilder::fexp(Reg rd, Reg a) { alu1(Op::FEXP, rd, a); }
+void KernelBuilder::frcp(Reg rd, Reg a) { alu1(Op::FRCP, rd, a); }
+void KernelBuilder::fsqrt(Reg rd, Reg a) { alu1(Op::FSQRT, rd, a); }
+void KernelBuilder::flg2(Reg rd, Reg a) { alu1(Op::FLG2, rd, a); }
+
+// ---- predicates --------------------------------------------------------
+
+namespace {
+Op isetp_op(Cmp cmp) {
+  switch (cmp) {
+    case Cmp::LT: return Op::ISETP_LT;
+    case Cmp::LE: return Op::ISETP_LE;
+    case Cmp::GT: return Op::ISETP_GT;
+    case Cmp::GE: return Op::ISETP_GE;
+    case Cmp::EQ: return Op::ISETP_EQ;
+    case Cmp::NE: return Op::ISETP_NE;
+    case Cmp::LTU: return Op::ISETP_LTU;
+    case Cmp::GEU: return Op::ISETP_GEU;
+  }
+  return Op::ISETP_NE;
+}
+Op fsetp_op(Cmp cmp) {
+  switch (cmp) {
+    case Cmp::LT: return Op::FSETP_LT;
+    case Cmp::LE: return Op::FSETP_LE;
+    case Cmp::GT: return Op::FSETP_GT;
+    case Cmp::GE: return Op::FSETP_GE;
+    case Cmp::EQ: return Op::FSETP_EQ;
+    case Cmp::NE: return Op::FSETP_NE;
+    case Cmp::LTU: case Cmp::GEU: break;  // unsigned compares are integer-only
+  }
+  return Op::FSETP_NE;
+}
+}  // namespace
+
+void KernelBuilder::isetp(Pred pd, Cmp cmp, Reg a, Reg b) {
+  emit({.op = isetp_op(cmp), .rd = pd.idx, .rs1 = a.idx, .rs2 = b.idx});
+}
+void KernelBuilder::isetpi(Pred pd, Cmp cmp, Reg a, std::uint32_t imm) {
+  emit({.op = isetp_op(cmp), .rd = pd.idx, .rs1 = a.idx, .use_imm = true, .imm = imm});
+}
+void KernelBuilder::fsetp(Pred pd, Cmp cmp, Reg a, Reg b) {
+  emit({.op = fsetp_op(cmp), .rd = pd.idx, .rs1 = a.idx, .rs2 = b.idx});
+}
+void KernelBuilder::fsetpf(Pred pd, Cmp cmp, Reg a, float imm) {
+  emit({.op = fsetp_op(cmp), .rd = pd.idx, .rs1 = a.idx, .use_imm = true,
+        .imm = f32_bits(imm)});
+}
+
+// ---- memory ----------------------------------------------------------------
+
+void KernelBuilder::ld(Reg rd, MemSpace space, Reg base, std::uint32_t offset) {
+  emit({.op = Op::LD, .rd = rd.idx, .rs1 = base.idx, .use_imm = true,
+        .imm = offset, .space = space});
+}
+void KernelBuilder::st(MemSpace space, Reg base, std::uint32_t offset, Reg data) {
+  emit({.op = Op::ST, .rd = data.idx, .rs1 = base.idx, .use_imm = true,
+        .imm = offset, .space = space});
+}
+
+// ---- control flow ----------------------------------------------------------
+
+void KernelBuilder::emit_branch(Op op, Label target, std::uint8_t pred, bool neg) {
+  Instruction in{.op = op, .guard_pred = pred, .guard_neg = neg, .use_imm = true,
+                 .imm = 0};
+  in.guard_pred = pred;
+  in.guard_neg = neg;
+  fixups_.emplace_back(words_.size(), target.id);
+  words_.push_back(encode(in));
+  pending_guard_ = kPT;
+  pending_neg_ = false;
+}
+
+void KernelBuilder::bra(Label target) { emit_branch(Op::BRA, target, kPT, false); }
+void KernelBuilder::bra(Label target, Pred p, bool negate) {
+  emit_branch(Op::BRA, target, p.idx, negate);
+}
+void KernelBuilder::ssy(Label reconv) { emit_branch(Op::SSY, reconv, kPT, false); }
+void KernelBuilder::bar() { emit({.op = Op::BAR}); }
+
+void KernelBuilder::if_(Pred p, bool negate, const std::function<void()>& then_body,
+                        const std::function<void()>& else_body) {
+  Label join = label();
+  if (else_body) {
+    Label else_lbl = label();
+    ssy(join);
+    bra(else_lbl, p, !negate);  // branch to else when the condition fails
+    then_body();
+    bra(join);                  // active threads jump to reconvergence
+    place(else_lbl);
+    else_body();
+    place(join);
+  } else {
+    ssy(join);
+    bra(join, p, !negate);
+    then_body();
+    place(join);
+  }
+}
+
+void KernelBuilder::while_(Pred p, bool negate, const std::function<void()>& cond,
+                           const std::function<void()>& body) {
+  Label head = label();
+  Label exit = label();
+  ssy(exit);
+  place(head);
+  cond();
+  bra(exit, p, !negate);  // leave the loop when the condition fails
+  body();
+  bra(head);
+  place(exit);
+}
+
+void KernelBuilder::for_lt(Reg counter, std::uint32_t begin, Reg end_reg,
+                           std::uint32_t step, const std::function<void()>& body) {
+  movi(counter, begin);
+  Pred p = pred();
+  while_(p, false,
+         [&] { isetp(p, Cmp::LT, counter, end_reg); },
+         [&] {
+           body();
+           iaddi(counter, counter, step);
+         });
+  release(p);
+}
+
+Program KernelBuilder::build() {
+  if (built_) throw std::runtime_error(name_ + ": build() called twice");
+  built_ = true;
+  emit({.op = Op::EXIT});
+  for (auto [word_idx, label_id] : fixups_) {
+    const std::uint32_t pc = label_pcs_.at(label_id);
+    if (pc == UINT32_MAX)
+      throw std::runtime_error(name_ + ": unplaced label " + std::to_string(label_id));
+    words_[word_idx] = set_bits<std::uint64_t>(words_[word_idx], field::kImmLo,
+                                               field::kImmW, pc);
+  }
+  Program prog;
+  prog.name = name_;
+  prog.words = std::move(words_);
+  prog.regs_per_thread = next_reg_ == 0 ? 1 : next_reg_;
+  prog.shared_words = shared_words_;
+  return prog;
+}
+
+}  // namespace gpf::isa

@@ -1,0 +1,145 @@
+// Structured assembler for kernels. Handles register/predicate allocation,
+// labels with fixups, and — critically — SIMT-correct control flow: every
+// potentially divergent construct emits the SSY reconvergence points the
+// hardware stack requires (mirroring how nvcc lays out SASS).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace gpf::isa {
+
+class KernelBuilder {
+ public:
+  struct Reg {
+    std::uint8_t idx = 0;
+  };
+  struct Pred {
+    std::uint8_t idx = 0;
+  };
+  struct Label {
+    std::uint32_t id = 0;
+  };
+
+  static constexpr Reg RZ{kRZ};
+
+  explicit KernelBuilder(std::string name) : name_(std::move(name)) {}
+
+  // -- resource allocation ---------------------------------------------------
+  Reg reg();                       ///< fresh general register (throws past 64)
+  std::vector<Reg> regs(int n);
+  Pred pred();                     ///< fresh predicate (throws past P6)
+  void release(Pred p);            ///< return a predicate to the pool
+  void set_shared_words(unsigned words) { shared_words_ = words; }
+
+  // -- labels ------------------------------------------------------------
+  Label label();
+  void place(Label l);
+
+  // -- guard for the next instruction -------------------------------------
+  KernelBuilder& on(Pred p, bool negate = false);
+
+  // -- data movement -------------------------------------------------------
+  void mov(Reg rd, Reg rs);
+  void movi(Reg rd, std::uint32_t imm);
+  void movf(Reg rd, float value);
+  void sel(Reg rd, Reg if_true, Reg if_false, Pred p);
+  void s2r(Reg rd, SpecialReg sr);
+
+  // -- integer ---------------------------------------------------------------
+  void iadd(Reg rd, Reg a, Reg b);
+  void iaddi(Reg rd, Reg a, std::uint32_t imm);
+  void isub(Reg rd, Reg a, Reg b);
+  void imul(Reg rd, Reg a, Reg b);
+  void imuli(Reg rd, Reg a, std::uint32_t imm);
+  void imad(Reg rd, Reg a, Reg b, Reg c);
+  void imadi(Reg rd, Reg a, Reg b, std::uint32_t imm);  ///< rd = a*b + imm
+  void imin(Reg rd, Reg a, Reg b);
+  void imax(Reg rd, Reg a, Reg b);
+  void iabs(Reg rd, Reg a);
+  void shl(Reg rd, Reg a, std::uint32_t sh);
+  void shr(Reg rd, Reg a, std::uint32_t sh);
+  void land(Reg rd, Reg a, Reg b);
+  void landi(Reg rd, Reg a, std::uint32_t imm);
+  void lor(Reg rd, Reg a, Reg b);
+  void lxor(Reg rd, Reg a, Reg b);
+  void lnot(Reg rd, Reg a);
+
+  // -- floating point --------------------------------------------------------
+  void fadd(Reg rd, Reg a, Reg b);
+  void fmul(Reg rd, Reg a, Reg b);
+  void fmulf(Reg rd, Reg a, float imm);
+  void faddf(Reg rd, Reg a, float imm);
+  void ffma(Reg rd, Reg a, Reg b, Reg c);
+  void fmin(Reg rd, Reg a, Reg b);
+  void fmax(Reg rd, Reg a, Reg b);
+  void f2i(Reg rd, Reg a);
+  void i2f(Reg rd, Reg a);
+  void fsin(Reg rd, Reg a);
+  void fexp(Reg rd, Reg a);
+  void frcp(Reg rd, Reg a);
+  void fsqrt(Reg rd, Reg a);
+  void flg2(Reg rd, Reg a);
+
+  // -- predicates --------------------------------------------------------
+  void isetp(Pred pd, Cmp cmp, Reg a, Reg b);
+  void isetpi(Pred pd, Cmp cmp, Reg a, std::uint32_t imm);
+  void fsetp(Pred pd, Cmp cmp, Reg a, Reg b);
+  void fsetpf(Pred pd, Cmp cmp, Reg a, float imm);
+
+  // -- memory (word-addressed) ----------------------------------------------
+  void ld(Reg rd, MemSpace space, Reg base, std::uint32_t offset = 0);
+  void st(MemSpace space, Reg base, std::uint32_t offset, Reg data);
+  void ldg(Reg rd, Reg base, std::uint32_t off = 0) { ld(rd, MemSpace::Global, base, off); }
+  void stg(Reg base, std::uint32_t off, Reg data) { st(MemSpace::Global, base, off, data); }
+  void lds(Reg rd, Reg base, std::uint32_t off = 0) { ld(rd, MemSpace::Shared, base, off); }
+  void sts(Reg base, std::uint32_t off, Reg data) { st(MemSpace::Shared, base, off, data); }
+  void ldc(Reg rd, Reg base, std::uint32_t off = 0) { ld(rd, MemSpace::Const, base, off); }
+
+  // -- control flow ----------------------------------------------------------
+  void bra(Label target);                      ///< uniform/unconditional
+  void bra(Label target, Pred p, bool negate); ///< potentially divergent
+  void ssy(Label reconv);
+  void bar();
+
+  /// Structured if: emits SSY/branches; bodies are emitted via callbacks.
+  void if_(Pred p, bool negate, const std::function<void()>& then_body,
+           const std::function<void()>& else_body = nullptr);
+
+  /// Structured while: `cond` must set `p`; loop runs while p (xor negate).
+  void while_(Pred p, bool negate, const std::function<void()>& cond,
+              const std::function<void()>& body);
+
+  /// Counted loop: for (counter = begin; counter < end_reg; counter += step).
+  void for_lt(Reg counter, std::uint32_t begin, Reg end_reg, std::uint32_t step,
+              const std::function<void()>& body);
+
+  // -- finalize ----------------------------------------------------------
+  Program build();  ///< appends EXIT, resolves label fixups
+
+  std::size_t current_pc() const { return words_.size(); }
+
+ private:
+  void emit(Instruction in);
+  void emit_branch(Op op, Label target, std::uint8_t pred, bool neg);
+  void alu2(Op op, Reg rd, Reg a, Reg b);
+  void alu2i(Op op, Reg rd, Reg a, std::uint32_t imm);
+  void alu1(Op op, Reg rd, Reg a);
+
+  std::string name_;
+  std::vector<std::uint64_t> words_;
+  std::vector<std::pair<std::size_t, std::uint32_t>> fixups_;  // word idx -> label id
+  std::vector<std::uint32_t> label_pcs_;                       // label id -> pc
+  unsigned next_reg_ = 0;
+  std::uint8_t pred_in_use_ = 0;  // bitmask over P0..P6
+  unsigned shared_words_ = 0;
+  std::uint8_t pending_guard_ = kPT;
+  bool pending_neg_ = false;
+  bool built_ = false;
+};
+
+}  // namespace gpf::isa

@@ -1,0 +1,51 @@
+#include "isa/encoding.hpp"
+
+#include "common/bitops.hpp"
+
+namespace gpf::isa {
+
+std::uint64_t encode(const Instruction& in) {
+  using namespace field;
+  std::uint64_t w = 0;
+  w = set_bits<std::uint64_t>(w, kOpcodeLo, kOpcodeW, static_cast<std::uint64_t>(in.op));
+  w = set_bits<std::uint64_t>(w, kPredLo, kPredW, in.guard_pred);
+  w = with_bit<std::uint64_t>(w, kPredNeg, in.guard_neg);
+  w = with_bit<std::uint64_t>(w, kFlagImm, in.use_imm);
+  w = set_bits<std::uint64_t>(w, kFlagSpaceLo, kFlagSpaceW,
+                              static_cast<std::uint64_t>(in.space));
+  w = set_bits<std::uint64_t>(w, kRdLo, kRdW, in.rd);
+  w = set_bits<std::uint64_t>(w, kRs1Lo, kRs1W, in.rs1);
+  if (in.use_imm) {
+    w = set_bits<std::uint64_t>(w, kImmLo, kImmW, in.imm);
+  } else {
+    w = set_bits<std::uint64_t>(w, kRs2Lo, kRs2W, in.rs2);
+    w = set_bits<std::uint64_t>(w, kRs3Lo, kRs3W, in.rs3);
+  }
+  return w;
+}
+
+DecodeResult decode(std::uint64_t word) {
+  using namespace field;
+  DecodeResult out;
+  const auto raw_op = static_cast<std::uint8_t>(bits(word, kOpcodeLo, kOpcodeW));
+  if (!is_valid_opcode(raw_op)) return out;
+
+  Instruction& in = out.instr;
+  in.op = static_cast<Op>(raw_op);
+  in.guard_pred = static_cast<std::uint8_t>(bits(word, kPredLo, kPredW));
+  in.guard_neg = bit(word, kPredNeg);
+  in.use_imm = bit(word, kFlagImm);
+  in.space = static_cast<MemSpace>(bits(word, kFlagSpaceLo, kFlagSpaceW));
+  in.rd = static_cast<std::uint8_t>(bits(word, kRdLo, kRdW));
+  in.rs1 = static_cast<std::uint8_t>(bits(word, kRs1Lo, kRs1W));
+  if (in.use_imm) {
+    in.imm = static_cast<std::uint32_t>(bits(word, kImmLo, kImmW));
+  } else {
+    in.rs2 = static_cast<std::uint8_t>(bits(word, kRs2Lo, kRs2W));
+    in.rs3 = static_cast<std::uint8_t>(bits(word, kRs3Lo, kRs3W));
+  }
+  out.ok = true;
+  return out;
+}
+
+}  // namespace gpf::isa

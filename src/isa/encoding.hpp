@@ -1,0 +1,70 @@
+// 64-bit instruction word layout.
+//
+//   [63:56] opcode
+//   [55:53] guard predicate register (7 = PT, always true)
+//   [52]    guard negate
+//   [51:48] flags: bit48 USE_IMM, bits[50:49] memory space, bit51 reserved-0
+//   [47:40] rd   (destination register; data register for ST;
+//                 destination predicate in the low 3 bits for SETP)
+//   [39:32] rs1
+//   if USE_IMM:  [31:0]  imm32 (replaces the last source operand;
+//                               branch / SSY target; LD/ST address offset)
+//   else:        [31:24] rs2, [23:16] rs3, [15:0] must be zero
+//
+// The decoder netlist in src/gate consumes exactly this word, so stuck-at
+// faults on its input/internal nets corrupt these fields the way the paper's
+// decoder faults do.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/opcode.hpp"
+
+namespace gpf::isa {
+
+inline constexpr std::uint8_t kPT = 7;       ///< "always true" guard predicate
+inline constexpr std::uint8_t kRZ = 255;     ///< zero register (reads 0, writes ignored)
+inline constexpr unsigned kNumPredicates = 7;  ///< P0..P6 writable
+
+/// Decoded instruction (the output bundle of the decoder unit).
+struct Instruction {
+  Op op = Op::NOP;
+  std::uint8_t guard_pred = kPT;
+  bool guard_neg = false;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::uint8_t rs3 = 0;
+  bool use_imm = false;
+  std::uint32_t imm = 0;
+  MemSpace space = MemSpace::Global;
+
+  bool operator==(const Instruction&) const = default;
+};
+
+/// Field positions (shared with the gate-level decoder generator).
+namespace field {
+inline constexpr unsigned kOpcodeLo = 56, kOpcodeW = 8;
+inline constexpr unsigned kPredLo = 53, kPredW = 3;
+inline constexpr unsigned kPredNeg = 52;
+inline constexpr unsigned kFlagImm = 48;
+inline constexpr unsigned kFlagSpaceLo = 49, kFlagSpaceW = 2;
+inline constexpr unsigned kRdLo = 40, kRdW = 8;
+inline constexpr unsigned kRs1Lo = 32, kRs1W = 8;
+inline constexpr unsigned kRs2Lo = 24, kRs2W = 8;
+inline constexpr unsigned kRs3Lo = 16, kRs3W = 8;
+inline constexpr unsigned kImmLo = 0, kImmW = 32;
+}  // namespace field
+
+std::uint64_t encode(const Instruction& in);
+
+/// Decode result: `ok == false` means the word does not decode to a valid
+/// instruction (invalid opcode) — the IVOC trap surface.
+struct DecodeResult {
+  Instruction instr;
+  bool ok = false;
+};
+
+DecodeResult decode(std::uint64_t word);
+
+}  // namespace gpf::isa

@@ -1,0 +1,184 @@
+#include "isa/opcode.hpp"
+
+namespace gpf::isa {
+
+bool is_valid_opcode(std::uint8_t raw) {
+  switch (static_cast<Op>(raw)) {
+    case Op::NOP:
+    case Op::IADD: case Op::ISUB: case Op::IMUL: case Op::IMAD:
+    case Op::IMIN: case Op::IMAX: case Op::IABS:
+    case Op::SHL: case Op::SHR: case Op::SHRA:
+    case Op::LOP_AND: case Op::LOP_OR: case Op::LOP_XOR: case Op::LOP_NOT:
+    case Op::ISETP_LT: case Op::ISETP_LE: case Op::ISETP_GT:
+    case Op::ISETP_GE: case Op::ISETP_EQ: case Op::ISETP_NE:
+    case Op::ISETP_LTU: case Op::ISETP_GEU:
+    case Op::FADD: case Op::FMUL: case Op::FFMA:
+    case Op::FMIN: case Op::FMAX: case Op::F2I: case Op::I2F:
+    case Op::FSETP_LT: case Op::FSETP_LE: case Op::FSETP_GT:
+    case Op::FSETP_GE: case Op::FSETP_EQ: case Op::FSETP_NE:
+    case Op::FSIN: case Op::FEXP: case Op::FRCP: case Op::FSQRT: case Op::FLG2:
+    case Op::MOV: case Op::SEL: case Op::S2R:
+    case Op::LD: case Op::ST:
+    case Op::BRA: case Op::SSY: case Op::BAR: case Op::EXIT:
+      return true;
+    default:
+      return false;
+  }
+}
+
+UnitClass unit_of(Op op) {
+  switch (op) {
+    case Op::IADD: case Op::ISUB: case Op::IMUL: case Op::IMAD:
+    case Op::IMIN: case Op::IMAX: case Op::IABS:
+    case Op::SHL: case Op::SHR: case Op::SHRA:
+    case Op::LOP_AND: case Op::LOP_OR: case Op::LOP_XOR: case Op::LOP_NOT:
+    case Op::ISETP_LT: case Op::ISETP_LE: case Op::ISETP_GT:
+    case Op::ISETP_GE: case Op::ISETP_EQ: case Op::ISETP_NE:
+    case Op::ISETP_LTU: case Op::ISETP_GEU:
+      return UnitClass::INT;
+    case Op::FADD: case Op::FMUL: case Op::FFMA:
+    case Op::FMIN: case Op::FMAX: case Op::F2I: case Op::I2F:
+    case Op::FSETP_LT: case Op::FSETP_LE: case Op::FSETP_GT:
+    case Op::FSETP_GE: case Op::FSETP_EQ: case Op::FSETP_NE:
+      return UnitClass::FP32;
+    case Op::FSIN: case Op::FEXP: case Op::FRCP: case Op::FSQRT: case Op::FLG2:
+      return UnitClass::SFU;
+    case Op::MOV: case Op::SEL: case Op::S2R:
+      return UnitClass::MOVE;
+    case Op::LD: case Op::ST:
+      return UnitClass::MEM;
+    default:
+      return UnitClass::CTRL;
+  }
+}
+
+int num_sources(Op op) {
+  switch (op) {
+    case Op::IMAD: case Op::FFMA:
+      return 3;
+    case Op::SEL:  // rd = P(rs3) ? rs1 : rs2 — rs3 carries the predicate id
+      return 2;
+    case Op::IADD: case Op::ISUB: case Op::IMUL:
+    case Op::IMIN: case Op::IMAX:
+    case Op::SHL: case Op::SHR: case Op::SHRA:
+    case Op::LOP_AND: case Op::LOP_OR: case Op::LOP_XOR:
+    case Op::ISETP_LT: case Op::ISETP_LE: case Op::ISETP_GT:
+    case Op::ISETP_GE: case Op::ISETP_EQ: case Op::ISETP_NE:
+    case Op::ISETP_LTU: case Op::ISETP_GEU:
+    case Op::FADD: case Op::FMUL: case Op::FMIN: case Op::FMAX:
+    case Op::FSETP_LT: case Op::FSETP_LE: case Op::FSETP_GT:
+    case Op::FSETP_GE: case Op::FSETP_EQ: case Op::FSETP_NE:
+      return 2;
+    case Op::IABS: case Op::LOP_NOT:
+    case Op::F2I: case Op::I2F:
+    case Op::FSIN: case Op::FEXP: case Op::FRCP: case Op::FSQRT: case Op::FLG2:
+    case Op::MOV: case Op::LD: case Op::ST:  // LD/ST: rs1 is the address base
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+bool writes_register(Op op) {
+  switch (op) {
+    case Op::ST: case Op::BRA: case Op::SSY: case Op::BAR:
+    case Op::EXIT: case Op::NOP:
+      return false;
+    default:
+      return !writes_predicate(op);
+  }
+}
+
+bool writes_predicate(Op op) {
+  switch (op) {
+    case Op::ISETP_LT: case Op::ISETP_LE: case Op::ISETP_GT:
+    case Op::ISETP_GE: case Op::ISETP_EQ: case Op::ISETP_NE:
+    case Op::ISETP_LTU: case Op::ISETP_GEU:
+    case Op::FSETP_LT: case Op::FSETP_LE: case Op::FSETP_GT:
+    case Op::FSETP_GE: case Op::FSETP_EQ: case Op::FSETP_NE:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_load(Op op) { return op == Op::LD; }
+bool is_store(Op op) { return op == Op::ST; }
+bool is_branch(Op op) { return op == Op::BRA; }
+bool is_sfu(Op op) { return unit_of(op) == UnitClass::SFU; }
+
+bool is_float(Op op) {
+  const UnitClass u = unit_of(op);
+  return u == UnitClass::FP32 || u == UnitClass::SFU;
+}
+
+std::string_view name_of(Op op) {
+  switch (op) {
+    case Op::NOP: return "NOP";
+    case Op::IADD: return "IADD";
+    case Op::ISUB: return "ISUB";
+    case Op::IMUL: return "IMUL";
+    case Op::IMAD: return "IMAD";
+    case Op::IMIN: return "IMIN";
+    case Op::IMAX: return "IMAX";
+    case Op::IABS: return "IABS";
+    case Op::SHL: return "SHL";
+    case Op::SHR: return "SHR";
+    case Op::SHRA: return "SHRA";
+    case Op::LOP_AND: return "LOP.AND";
+    case Op::LOP_OR: return "LOP.OR";
+    case Op::LOP_XOR: return "LOP.XOR";
+    case Op::LOP_NOT: return "LOP.NOT";
+    case Op::ISETP_LT: return "ISETP.LT";
+    case Op::ISETP_LE: return "ISETP.LE";
+    case Op::ISETP_GT: return "ISETP.GT";
+    case Op::ISETP_GE: return "ISETP.GE";
+    case Op::ISETP_EQ: return "ISETP.EQ";
+    case Op::ISETP_NE: return "ISETP.NE";
+    case Op::ISETP_LTU: return "ISETP.LTU";
+    case Op::ISETP_GEU: return "ISETP.GEU";
+    case Op::FADD: return "FADD";
+    case Op::FMUL: return "FMUL";
+    case Op::FFMA: return "FFMA";
+    case Op::FMIN: return "FMIN";
+    case Op::FMAX: return "FMAX";
+    case Op::F2I: return "F2I";
+    case Op::I2F: return "I2F";
+    case Op::FSETP_LT: return "FSETP.LT";
+    case Op::FSETP_LE: return "FSETP.LE";
+    case Op::FSETP_GT: return "FSETP.GT";
+    case Op::FSETP_GE: return "FSETP.GE";
+    case Op::FSETP_EQ: return "FSETP.EQ";
+    case Op::FSETP_NE: return "FSETP.NE";
+    case Op::FSIN: return "FSIN";
+    case Op::FEXP: return "FEXP";
+    case Op::FRCP: return "FRCP";
+    case Op::FSQRT: return "FSQRT";
+    case Op::FLG2: return "FLG2";
+    case Op::MOV: return "MOV";
+    case Op::SEL: return "SEL";
+    case Op::S2R: return "S2R";
+    case Op::LD: return "LD";
+    case Op::ST: return "ST";
+    case Op::BRA: return "BRA";
+    case Op::SSY: return "SSY";
+    case Op::BAR: return "BAR";
+    case Op::EXIT: return "EXIT";
+  }
+  return "???";
+}
+
+Cmp cmp_of(Op op) {
+  switch (op) {
+    case Op::ISETP_LT: case Op::FSETP_LT: return Cmp::LT;
+    case Op::ISETP_LE: case Op::FSETP_LE: return Cmp::LE;
+    case Op::ISETP_GT: case Op::FSETP_GT: return Cmp::GT;
+    case Op::ISETP_GE: case Op::FSETP_GE: return Cmp::GE;
+    case Op::ISETP_EQ: case Op::FSETP_EQ: return Cmp::EQ;
+    case Op::ISETP_LTU: return Cmp::LTU;
+    case Op::ISETP_GEU: return Cmp::GEU;
+    default: return Cmp::NE;
+  }
+}
+
+}  // namespace gpf::isa

@@ -1,0 +1,114 @@
+// SASS-like instruction set for the GPU model. The opcode space is 8 bits
+// wide and sparsely populated, exactly the property that makes decoder /
+// fetch faults yield the paper's IOC (incorrect-but-valid opcode) vs IVOC
+// (invalid opcode) split.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace gpf::isa {
+
+enum class Op : std::uint8_t {
+  NOP = 0x00,
+
+  // Integer ALU (per-lane INT unit).
+  IADD = 0x08,
+  ISUB = 0x09,
+  IMUL = 0x0A,
+  IMAD = 0x0B,
+  IMIN = 0x0C,
+  IMAX = 0x0D,
+  IABS = 0x0E,
+  SHL = 0x10,
+  SHR = 0x11,   // logical
+  SHRA = 0x12,  // arithmetic
+  LOP_AND = 0x13,
+  LOP_OR = 0x14,
+  LOP_XOR = 0x15,
+  LOP_NOT = 0x16,
+
+  // Integer set-predicate family (comparison folded into the opcode).
+  ISETP_LT = 0x18,
+  ISETP_LE = 0x19,
+  ISETP_GT = 0x1A,
+  ISETP_GE = 0x1B,
+  ISETP_EQ = 0x1C,
+  ISETP_NE = 0x1D,
+  ISETP_LTU = 0x1E,  // unsigned
+  ISETP_GEU = 0x1F,  // unsigned
+
+  // FP32 (per-lane FP32 unit).
+  FADD = 0x20,
+  FMUL = 0x21,
+  FFMA = 0x22,
+  FMIN = 0x24,
+  FMAX = 0x25,
+  F2I = 0x26,
+  I2F = 0x27,
+
+  FSETP_LT = 0x28,
+  FSETP_LE = 0x29,
+  FSETP_GT = 0x2A,
+  FSETP_GE = 0x2B,
+  FSETP_EQ = 0x2C,
+  FSETP_NE = 0x2D,
+
+  // Special Function Unit (shared, 2 per PPB).
+  FSIN = 0x30,
+  FEXP = 0x31,  // 2^x, like SASS EX2
+  FRCP = 0x32,
+  FSQRT = 0x33,
+  FLG2 = 0x34,
+
+  // Data movement.
+  MOV = 0x40,
+  SEL = 0x41,  // rd = guard-pred(rs3 low bits) ? rs1 : rs2
+  S2R = 0x42,  // read special register (id in rs1 field)
+
+  // Memory (space selected by the flags field).
+  LD = 0x50,
+  ST = 0x51,
+
+  // Control flow.
+  BRA = 0x60,
+  SSY = 0x61,
+  BAR = 0x62,
+  EXIT = 0x63,
+};
+
+/// Unit that executes the instruction — the paper's injection sites.
+enum class UnitClass : std::uint8_t { INT, FP32, SFU, MOVE, MEM, CTRL };
+
+enum class MemSpace : std::uint8_t { Global = 0, Shared = 1, Const = 2, Local = 3 };
+
+/// Special registers readable via S2R.
+enum class SpecialReg : std::uint8_t {
+  TID_X = 0, TID_Y, TID_Z,
+  NTID_X, NTID_Y, NTID_Z,
+  CTAID_X, CTAID_Y,
+  NCTAID_X, NCTAID_Y,
+  LANEID, WARPID, SMID,
+  COUNT
+};
+
+/// True if the raw byte is a defined opcode.
+bool is_valid_opcode(std::uint8_t raw);
+
+/// Classification helpers.
+UnitClass unit_of(Op op);
+int num_sources(Op op);          // register source operands (max 3)
+bool writes_register(Op op);
+bool writes_predicate(Op op);    // SETP family
+bool is_load(Op op);
+bool is_store(Op op);
+bool is_branch(Op op);           // BRA
+bool is_sfu(Op op);
+bool is_float(Op op);            // operates on FP32 data
+std::string_view name_of(Op op);
+
+/// Comparison selector carried by the SETP opcodes.
+enum class Cmp : std::uint8_t { LT, LE, GT, GE, EQ, NE, LTU, GEU };
+Cmp cmp_of(Op op);  // valid only for SETP family
+
+}  // namespace gpf::isa

@@ -1,0 +1,25 @@
+// A compiled kernel: the instruction words plus launch-relevant metadata.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/encoding.hpp"
+
+namespace gpf::isa {
+
+struct Program {
+  std::string name;
+  std::vector<std::uint64_t> words;   ///< instruction memory, PC-indexed
+  unsigned regs_per_thread = 8;       ///< IVRA boundary: register index >= this traps
+  unsigned shared_words = 0;          ///< per-CTA shared memory, in 32-bit words
+
+  std::size_t size() const { return words.size(); }
+};
+
+/// Human-readable form of one instruction word (for logs and tests).
+std::string disassemble(std::uint64_t word);
+std::string disassemble(const Program& prog);
+
+}  // namespace gpf::isa

@@ -1,0 +1,103 @@
+#include "perfi/campaign.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gpf::perfi {
+
+using errmodel::ErrorModel;
+
+const char* outcome_name(AppOutcome o) {
+  switch (o) {
+    case AppOutcome::Masked: return "Masked";
+    case AppOutcome::SDC: return "SDC";
+    case AppOutcome::DUE: return "DUE";
+  }
+  return "?";
+}
+
+void EprCell::merge(const EprCell& other) {
+  injections += other.injections;
+  masked += other.masked;
+  sdc += other.sdc;
+  due += other.due;
+  due_illegal_address += other.due_illegal_address;
+  due_invalid_register += other.due_invalid_register;
+  due_invalid_opcode += other.due_invalid_opcode;
+  due_hang += other.due_hang;
+  due_other += other.due_other;
+}
+
+AppInjectionRunner::AppInjectionRunner(const workloads::Workload& w) : w_(w) {
+  gpu_.clear_memories();
+  w_.setup(gpu_);
+  const workloads::RunStats stats = w_.run(gpu_);
+  if (!stats.ok)
+    throw std::runtime_error("golden run failed for " + std::string(w.name()));
+  golden_cycles_ = stats.cycles;
+  const workloads::OutputSpec spec = w_.output();
+  golden_.assign(
+      gpu_.global().begin() + static_cast<std::ptrdiff_t>(spec.addr),
+      gpu_.global().begin() + static_cast<std::ptrdiff_t>(spec.addr + spec.words));
+  // Per-launch hang budget: generous multiple of the whole golden run.
+  budget_ = std::max<std::uint64_t>(golden_cycles_ * 30, 100'000);
+}
+
+AppOutcome AppInjectionRunner::inject(const errmodel::ErrorDescriptor& desc) {
+  ErrorInjector injector(desc);
+  gpu_.clear_memories();
+  w_.setup(gpu_);
+  gpu_.set_hooks(&injector);
+  const workloads::RunStats stats = w_.run(gpu_, budget_);
+  gpu_.set_hooks(nullptr);
+
+  if (!stats.ok) {
+    last_trap_ = stats.trap;
+    return AppOutcome::DUE;
+  }
+  last_trap_ = arch::TrapKind::None;
+  const workloads::OutputSpec spec = w_.output();
+  const bool equal = std::equal(
+      golden_.begin(), golden_.end(),
+      gpu_.global().begin() + static_cast<std::ptrdiff_t>(spec.addr));
+  return equal ? AppOutcome::Masked : AppOutcome::SDC;
+}
+
+EprCell run_epr_cell(const workloads::Workload& w, ErrorModel model, std::size_t n,
+                     std::uint64_t seed) {
+  EprCell cell;
+  AppInjectionRunner runner(w);
+  Rng rng(seed ^ (static_cast<std::uint64_t>(model) * 0x9E3779B9u));
+  for (std::size_t i = 0; i < n; ++i) {
+    const errmodel::ErrorDescriptor desc = random_descriptor(model, rng);
+    const AppOutcome out = runner.inject(desc);
+    ++cell.injections;
+    switch (out) {
+      case AppOutcome::Masked: ++cell.masked; break;
+      case AppOutcome::SDC: ++cell.sdc; break;
+      case AppOutcome::DUE: {
+        ++cell.due;
+        switch (runner.last_trap()) {
+          case arch::TrapKind::IllegalAddress:
+          case arch::TrapKind::InvalidPC:
+            ++cell.due_illegal_address;
+            break;
+          case arch::TrapKind::InvalidRegister: ++cell.due_invalid_register; break;
+          case arch::TrapKind::InvalidOpcode: ++cell.due_invalid_opcode; break;
+          case arch::TrapKind::Watchdog: ++cell.due_hang; break;
+          default: ++cell.due_other; break;
+        }
+        break;
+      }
+    }
+  }
+  return cell;
+}
+
+std::vector<ErrorModel> software_models() {
+  return {ErrorModel::IOC, ErrorModel::IRA, ErrorModel::IVRA, ErrorModel::IIO,
+          ErrorModel::WV,  ErrorModel::IAT, ErrorModel::IAW,  ErrorModel::IAC,
+          ErrorModel::IAL, ErrorModel::IMS, ErrorModel::IMD};
+}
+
+}  // namespace gpf::perfi

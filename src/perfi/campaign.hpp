@@ -1,0 +1,67 @@
+// Software-level error-propagation campaigns (Figs. 12-13): inject each
+// error model into full applications and classify the outcome as
+// Masked / SDC / DUE, measuring the Error Propagation Rate (EPR).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/machine.hpp"
+#include "errmodel/models.hpp"
+#include "perfi/injector.hpp"
+#include "workloads/workload.hpp"
+
+namespace gpf::perfi {
+
+enum class AppOutcome : std::uint8_t { Masked, SDC, DUE };
+const char* outcome_name(AppOutcome o);
+
+/// EPR numbers for one (application, error model) cell.
+struct EprCell {
+  std::size_t injections = 0, masked = 0, sdc = 0, due = 0;
+  // DUE cause breakdown (the paper reports illegal addresses and invalid
+  // instructions dominating operation-error DUEs).
+  std::size_t due_illegal_address = 0, due_invalid_register = 0,
+              due_invalid_opcode = 0, due_hang = 0, due_other = 0;
+
+  double epr_sdc() const { return ratio(sdc); }
+  double epr_due() const { return ratio(due); }
+  double epr_masked() const { return ratio(masked); }
+
+  void merge(const EprCell& other);
+
+ private:
+  double ratio(std::size_t n) const {
+    return injections ? static_cast<double>(n) / static_cast<double>(injections)
+                      : 0.0;
+  }
+};
+
+/// Prepares an application for repeated instrumented runs (golden output and
+/// cycle budget computed once).
+class AppInjectionRunner {
+ public:
+  explicit AppInjectionRunner(const workloads::Workload& w);
+
+  AppOutcome inject(const errmodel::ErrorDescriptor& desc);
+  arch::TrapKind last_trap() const { return last_trap_; }
+  std::uint64_t golden_cycles() const { return golden_cycles_; }
+
+ private:
+  const workloads::Workload& w_;
+  arch::Gpu gpu_;
+  std::vector<std::uint32_t> golden_;
+  std::uint64_t budget_ = 0;
+  std::uint64_t golden_cycles_ = 0;
+  arch::TrapKind last_trap_ = arch::TrapKind::None;
+};
+
+/// Inject `n` random descriptors of one model into one application.
+EprCell run_epr_cell(const workloads::Workload& w, errmodel::ErrorModel model,
+                     std::size_t n, std::uint64_t seed);
+
+/// The 11 models evaluated in software (IPP is representable by the others,
+/// IVOC always DUEs at the low level — both excluded, as in the paper).
+std::vector<errmodel::ErrorModel> software_models();
+
+}  // namespace gpf::perfi

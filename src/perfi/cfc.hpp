@@ -1,0 +1,53 @@
+// Control-flow-checking (CFC) detector prototype — the mitigation the paper's
+// discussion proposes for WSC permanent faults ("control-flow-checking
+// strategies combined with smart thread scheduling replication").
+//
+// Each warp accumulates a signature over the PCs it executes (order-sensitive
+// within a warp, order-insensitive across warps, so legal interleavings hash
+// identically). A fault is DETECTED when the faulty run's digest differs from
+// the golden run's: exactly the check a software CFC monitor would perform.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "arch/machine.hpp"
+
+namespace gpf::perfi {
+
+class CfcSignature final : public arch::MachineHooks {
+ public:
+  void on_launch_begin(arch::Gpu&, const isa::Program&) override { ++launch_; }
+
+  void post_execute(arch::ExecCtx& ctx) override {
+    const arch::Warp& w = ctx.warp();
+    // Key: (launch, CTA, warp-within-CTA) — stable across schedules.
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(launch_) << 40) ^
+        (static_cast<std::uint64_t>(w.cta_x) << 28) ^
+        (static_cast<std::uint64_t>(w.cta_y) << 20) ^
+        (static_cast<std::uint64_t>(w.warp_in_cta) << 12) ^
+        (static_cast<std::uint64_t>(ctx.sm_id) << 4) ^ ctx.ppb_id;
+    std::uint64_t& sig = sigs_[key];
+    // Order-sensitive chain over the executed PC stream (FNV-style mix).
+    sig = (sig ^ (ctx.pc + 0x9E3779B97F4A7C15ull)) * 0x100000001B3ull;
+  }
+
+  /// Order-insensitive digest over all per-warp signatures.
+  std::uint64_t digest() const {
+    std::uint64_t d = 0x12345678ULL + sigs_.size();
+    for (const auto& [k, v] : sigs_) d ^= k * 0x9E3779B97F4A7C15ull + v;
+    return d;
+  }
+
+  void reset() {
+    sigs_.clear();
+    launch_ = 0;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> sigs_;
+  unsigned launch_ = 0;
+};
+
+}  // namespace gpf::perfi

@@ -1,0 +1,291 @@
+#include "perfi/injector.hpp"
+
+#include <algorithm>
+
+#include "isa/opcode.hpp"
+
+namespace gpf::perfi {
+
+using errmodel::ErrorModel;
+using isa::Op;
+
+namespace {
+
+/// Replacement pool for IOC on the INT/FP32 cores. A corrupted-but-valid
+/// opcode can land anywhere in the populated opcode space, including memory
+/// and branch operations whose operand fields then get reinterpreted —
+/// the source of the paper's illegal-address / illegal-instruction DUEs.
+constexpr Op kAluPool[] = {Op::IADD, Op::ISUB, Op::IMUL, Op::IMAD,
+                           Op::IMIN, Op::IMAX, Op::SHL,  Op::SHR,
+                           Op::LOP_AND, Op::LOP_OR, Op::LOP_XOR,
+                           Op::FADD, Op::FMUL, Op::FFMA, Op::FMIN, Op::FMAX,
+                           Op::LD,   Op::ST,   Op::MOV,  Op::SEL,
+                           Op::S2R,  Op::BRA,  Op::FRCP, Op::FSQRT};
+constexpr Op kSetpPool[] = {Op::ISETP_LT, Op::ISETP_LE, Op::ISETP_GT,
+                            Op::ISETP_GE, Op::ISETP_EQ, Op::ISETP_NE,
+                            Op::FSETP_LT, Op::FSETP_GT, Op::FSETP_EQ,
+                            Op::FSETP_NE};
+
+bool is_tid_s2r(const isa::Instruction& in) {
+  if (in.op != Op::S2R) return false;
+  const auto sr = static_cast<isa::SpecialReg>(in.rs1);
+  return sr == isa::SpecialReg::TID_X || sr == isa::SpecialReg::TID_Y ||
+         sr == isa::SpecialReg::TID_Z;
+}
+
+bool is_ctaid_s2r(const isa::Instruction& in) {
+  if (in.op != Op::S2R) return false;
+  const auto sr = static_cast<isa::SpecialReg>(in.rs1);
+  return sr == isa::SpecialReg::CTAID_X || sr == isa::SpecialReg::CTAID_Y;
+}
+
+}  // namespace
+
+bool ErrorInjector::targets(const arch::ExecCtx& ctx) const {
+  return ctx.sm_id == d_.sm_id && ctx.ppb_id == d_.ppb_id &&
+         ((d_.warp_mask >> ctx.warp().slot) & 1u);
+}
+
+std::uint32_t ErrorInjector::lane_set(const arch::ExecCtx& ctx) const {
+  return d_.thread_mask & ctx.exec_mask;
+}
+
+void ErrorInjector::pre_execute(arch::ExecCtx& ctx) {
+  for (Saved& s : saved_) s.active = false;
+  if (!targets(ctx)) return;
+
+  isa::Instruction& in = ctx.instr;
+  const std::uint32_t regs = ctx.gpu().running_program()->regs_per_thread;
+
+  switch (d_.model) {
+    case ErrorModel::IVOC:
+      // An invalid opcode reaches the dispatcher: device exception.
+      ctx.pending_trap = arch::TrapKind::InvalidOpcode;
+      return;
+
+    case ErrorModel::IOC: {
+      const isa::UnitClass u = isa::unit_of(in.op);
+      if (u != isa::UnitClass::INT && u != isa::UnitClass::FP32) return;
+      if (isa::writes_predicate(in.op)) {
+        const Op repl = kSetpPool[d_.replacement_op % std::size(kSetpPool)];
+        in.op = repl != in.op
+                    ? repl
+                    : kSetpPool[(d_.replacement_op + 1) % std::size(kSetpPool)];
+      } else {
+        const Op repl = kAluPool[d_.replacement_op % std::size(kAluPool)];
+        in.op = repl != in.op
+                    ? repl
+                    : kAluPool[(d_.replacement_op + 1) % std::size(kAluPool)];
+      }
+      return;
+    }
+
+    case ErrorModel::IRA:
+    case ErrorModel::IVRA: {
+      auto redirect = [&](std::uint8_t old) -> std::uint8_t {
+        const std::uint32_t x = old ^ d_.bit_err_mask;
+        if (d_.model == ErrorModel::IRA) {
+          std::uint32_t v = x % regs;
+          if (v == old) v = (v + 1) % regs;
+          return static_cast<std::uint8_t>(v);
+        }
+        // IVRA: outside [0, regs_per_thread), never RZ.
+        const std::uint32_t span = 250 - regs;
+        return static_cast<std::uint8_t>(regs + (x % span));
+      };
+      const int srcs = isa::num_sources(in.op);
+      switch (d_.err_oper_loc) {
+        case 0:
+          // Destination (or the data register of a store).
+          if (isa::writes_register(in.op) || isa::is_store(in.op))
+            in.rd = redirect(in.rd);
+          break;
+        case 1:
+          if (srcs >= 1 && in.op != Op::S2R) in.rs1 = redirect(in.rs1);
+          break;
+        case 2:
+          if (srcs >= 2 && !(in.use_imm && srcs == 2)) in.rs2 = redirect(in.rs2);
+          break;
+        default:
+          if (srcs >= 3 && !in.use_imm && in.op != Op::SEL)
+            in.rs3 = redirect(in.rs3);
+          break;
+      }
+      return;
+    }
+
+    case ErrorModel::IMD: {
+      if (!isa::is_store(in.op) || in.space != isa::MemSpace::Shared) return;
+      const std::uint8_t reg = d_.err_oper_loc == 0 ? in.rd : in.rs1;
+      if (reg == isa::kRZ || reg >= regs) return;
+      for (unsigned lane = 0; lane < arch::kWarpSize; ++lane) {
+        if (!((lane_set(ctx) >> lane) & 1)) continue;
+        ctx.write_reg(lane, reg, ctx.read_reg(lane, reg) ^ d_.bit_err_mask);
+      }
+      return;
+    }
+
+    case ErrorModel::IAL:
+      if (d_.enable_lane) {
+        // Force-enable predicated-off instructions on the faulty lanes.
+        if (in.guard_pred != isa::kPT || in.guard_neg)
+          ctx.exec_mask |= d_.thread_mask & ctx.warp().active_mask();
+      } else {
+        // Part I of the disable recipe: snapshot the destination so Part II
+        // can discard the lane's FU result.
+        const isa::UnitClass u = isa::unit_of(in.op);
+        if ((u != isa::UnitClass::INT && u != isa::UnitClass::FP32) ||
+            !isa::writes_register(in.op) || in.rd == isa::kRZ || in.rd >= regs)
+          return;
+        saved_reg_ = in.rd;
+        for (unsigned lane = 0; lane < arch::kWarpSize; ++lane) {
+          if (!((lane_set(ctx) >> lane) & 1)) continue;
+          saved_[lane] = Saved{true, lane, ctx.read_reg(lane, in.rd)};
+        }
+      }
+      return;
+
+    default:
+      return;
+  }
+}
+
+void ErrorInjector::post_execute(arch::ExecCtx& ctx) {
+  if (!targets(ctx)) return;
+  const isa::Instruction& in = ctx.instr;
+  const std::uint32_t regs = ctx.gpu().running_program()->regs_per_thread;
+
+  auto corrupt_rd = [&](std::uint32_t lanes) {
+    if (in.rd == isa::kRZ || in.rd >= regs) return;
+    for (unsigned lane = 0; lane < arch::kWarpSize; ++lane) {
+      if (!((lanes >> lane) & 1)) continue;
+      ctx.write_reg(lane, in.rd, ctx.read_reg(lane, in.rd) ^ d_.bit_err_mask);
+    }
+  };
+
+  switch (d_.model) {
+    case ErrorModel::IIO:
+      if (in.use_imm && isa::writes_register(in.op)) corrupt_rd(lane_set(ctx));
+      return;
+
+    case ErrorModel::IMS:
+      if (isa::is_load(in.op) &&
+          (in.space == isa::MemSpace::Shared || in.space == isa::MemSpace::Const))
+        corrupt_rd(lane_set(ctx));
+      return;
+
+    case ErrorModel::WV:
+      if (isa::writes_predicate(in.op) && (in.rd & 0x7) == d_.target_pred) {
+        for (unsigned lane = 0; lane < arch::kWarpSize; ++lane) {
+          if (!((lane_set(ctx) >> lane) & 1)) continue;
+          const std::uint8_t p = in.rd & 0x7;
+          ctx.write_pred(lane, p, !ctx.read_pred(lane, p));
+        }
+      }
+      return;
+
+    case ErrorModel::IAT:
+      if (is_tid_s2r(in)) corrupt_rd(lane_set(ctx));
+      return;
+
+    case ErrorModel::IAW:
+      // Full warp substitution: every thread's index register is shifted.
+      if (is_tid_s2r(in)) corrupt_rd(ctx.exec_mask);
+      return;
+
+    case ErrorModel::IAC:
+      if (is_ctaid_s2r(in)) corrupt_rd(ctx.exec_mask);
+      return;
+
+    case ErrorModel::IAL:
+      if (!d_.enable_lane) {
+        // Part II: discard the lane's result by restoring the old value.
+        for (const Saved& s : saved_) {
+          if (!s.active) continue;
+          ctx.write_reg(s.lane, saved_reg_, s.value);
+        }
+        for (Saved& s : saved_) s.active = false;
+      }
+      return;
+
+    default:
+      return;
+  }
+}
+
+errmodel::ErrorDescriptor random_descriptor(ErrorModel model, Rng& rng,
+                                            unsigned regs_per_thread) {
+  errmodel::ErrorDescriptor d;
+  d.model = model;
+  d.sm_id = 0;
+  d.ppb_id = 0;
+  (void)regs_per_thread;
+
+  // Which warps see the error depends on where the faulty logic lives:
+  // decode/fetch-path and lane errors sit in per-PPB shared hardware and hit
+  // every warp of the sub-partition; thread/warp/CTA-management errors live
+  // in per-warp scheduler state, so they target specific resident slots
+  // (biased to the low slots every CTA occupies).
+  switch (model) {
+    case ErrorModel::IAT:
+    case ErrorModel::IAW:
+    case ErrorModel::IAC: {
+      auto pick_slot = [&]() -> unsigned {
+        const double u = rng.uniform();
+        if (u < 0.45) return 0;
+        if (u < 0.70) return 1;
+        if (u < 0.90) return 2 + static_cast<unsigned>(rng.below(2));
+        return 4 + static_cast<unsigned>(rng.below(4));
+      };
+      d.warp_mask = 1u << pick_slot();
+      if (rng.chance(0.3)) d.warp_mask |= 1u << pick_slot();
+      break;
+    }
+    default:
+      d.warp_mask = 0xFF;
+      break;
+  }
+
+  if (errmodel::corrupts_whole_warp(model)) {
+    d.thread_mask = 0xFFFFFFFFu;
+  } else {
+    // One to four corrupted lanes, at least one.
+    d.thread_mask = 1u << rng.below(32);
+    const unsigned extra = static_cast<unsigned>(rng.below(4));
+    for (unsigned i = 0; i < extra; ++i) d.thread_mask |= 1u << rng.below(32);
+  }
+
+  // Mostly single-bit error masks, occasionally two bits. Register-address
+  // fields are 6 bits wide; thread/warp/CTA indices only occupy the low bits
+  // ("the index associated with the thread changes to the index of another
+  // thread"), while data corruptions can hit any of the 32 bits.
+  unsigned mask_bits = 32;
+  switch (model) {
+    case ErrorModel::IRA:
+    case ErrorModel::IVRA: mask_bits = 6; break;
+    case ErrorModel::IAT:
+    case ErrorModel::IAW: mask_bits = 7; break;
+    case ErrorModel::IAC: mask_bits = 4; break;
+    default: break;
+  }
+  d.bit_err_mask = 1u << rng.below(mask_bits);
+  if (rng.chance(0.2)) d.bit_err_mask |= 1u << rng.below(std::min(8u, mask_bits));
+
+  // Operand position: destinations and first sources dominate (every
+  // instruction has them); third sources are rare.
+  {
+    const double u = rng.uniform();
+    d.err_oper_loc = u < 0.4 ? 0u : (u < 0.75 ? 1u : (u < 0.93 ? 2u : 3u));
+  }
+  d.replacement_op = static_cast<std::uint8_t>(rng.below(64));
+  // Predicate registers are allocated from P0 upward, so low predicates are
+  // the ones real kernels exercise.
+  {
+    const double u = rng.uniform();
+    d.target_pred = u < 0.55 ? 0 : (u < 0.8 ? 1 : (u < 0.93 ? 2 : 3));
+  }
+  d.enable_lane = rng.chance(0.5);
+  return d;
+}
+
+}  // namespace gpf::perfi

@@ -1,0 +1,48 @@
+#include "perfi/syndrome_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitops.hpp"
+#include "isa/opcode.hpp"
+
+namespace gpf::perfi {
+
+void SyndromeInjector::post_execute(arch::ExecCtx& ctx) {
+  if (ctx.sm_id != spec_.sm_id || ctx.ppb_id != spec_.ppb_id) return;
+  const isa::Instruction& in = ctx.instr;
+  const isa::UnitClass unit = isa::unit_of(in.op);
+  const bool is_fp = unit == isa::UnitClass::FP32 || unit == isa::UnitClass::SFU;
+  if (spec_.target_float ? !is_fp : unit != isa::UnitClass::INT) return;
+  if (!isa::writes_register(in.op) || in.rd == isa::kRZ) return;
+  if (!((ctx.exec_mask >> spec_.lane) & 1u)) return;
+  if (in.rd >= ctx.gpu().running_program()->regs_per_thread) return;
+  if (spec_.activation < 1.0 && !rng_.chance(spec_.activation)) return;
+
+  const std::uint32_t good = ctx.read_reg(spec_.lane, in.rd);
+  std::uint32_t bad = good;
+  if (spec_.mode == SyndromeMode::RandomBit) {
+    bad = good ^ (1u << rng_.below(32));
+  } else if (spec_.target_float) {
+    // Heavy-tail guard: datapath syndromes saturate around 1e2x (the paper's
+    // overflow bin); an unbounded power-law draw would misrepresent them.
+    const double rel = std::min(sampler_.sample(rng_), 1e3);
+    const float v = bits_f32(good);
+    const float sign = rng_.chance(0.5) ? 1.0f : -1.0f;
+    const float corrupted = v * (1.0f + sign * static_cast<float>(rel));
+    bad = f32_bits(std::isfinite(corrupted) ? corrupted : v);
+    if (bad == good && rel > 0.0) bad = good ^ 1u;  // sub-ulp error: LSB flip
+  } else {
+    const double rel = std::min(sampler_.sample(rng_), 1e3);
+    const auto v = static_cast<double>(static_cast<std::int32_t>(good));
+    const double sign = rng_.chance(0.5) ? 1.0 : -1.0;
+    const double corrupted = v + sign * std::max(1.0, std::fabs(v) * rel);
+    bad = static_cast<std::uint32_t>(static_cast<std::int64_t>(corrupted));
+  }
+  if (bad != good) {
+    ctx.write_reg(spec_.lane, in.rd, bad);
+    ++corruptions_;
+  }
+}
+
+}  // namespace gpf::perfi

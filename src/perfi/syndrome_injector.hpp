@@ -1,0 +1,58 @@
+// Software propagation of FUNCTIONAL-UNIT faults using the measured fault
+// syndrome (paper §"Fault Syndrome"): once the opcode, input range, and
+// injection site are characterized at RTL, software injection corrupts the
+// instruction's output with a relative error sampled from the fitted power
+// law (Eq. 1) — instead of unrealistic uniform bit flips.
+//
+// This is the FU-side companion of the 13 control-unit error models: it lets
+// the two-level methodology cover datapath faults without re-running RTL.
+#pragma once
+
+#include <array>
+
+#include "arch/machine.hpp"
+#include "common/rng.hpp"
+#include "stats/powerlaw.hpp"
+
+namespace gpf::perfi {
+
+/// How the output corruption is generated.
+enum class SyndromeMode : std::uint8_t {
+  PowerLaw,   ///< Eq. 1: out *= (1 +/- rel_err), rel_err ~ power law
+  RandomBit,  ///< naive single random bit flip (the baseline the paper
+              ///< argues is unrealistic)
+};
+
+struct SyndromeSpec {
+  unsigned sm_id = 0;
+  unsigned ppb_id = 0;
+  unsigned lane = 0;             ///< faulty FU lane (permanent: every use)
+  bool target_float = true;      ///< corrupt FP32 ops (else INT ops)
+  SyndromeMode mode = SyndromeMode::PowerLaw;
+  double x_min = 1e-7;           ///< Eq. 1 parameters (from the RTL fit)
+  double alpha = 1.7;
+  std::uint64_t seed = 1;
+  /// Probability that a given dynamic instruction on the faulty lane
+  /// activates the fault (FAPR at instruction granularity).
+  double activation = 1.0;
+};
+
+/// Instrumenter corrupting the destination of every matching FU instruction
+/// executed on the faulty lane.
+class SyndromeInjector final : public arch::MachineHooks {
+ public:
+  explicit SyndromeInjector(SyndromeSpec spec)
+      : spec_(spec), sampler_(spec.x_min, spec.alpha), rng_(spec.seed) {}
+
+  void post_execute(arch::ExecCtx& ctx) override;
+
+  std::uint64_t corruptions() const { return corruptions_; }
+
+ private:
+  SyndromeSpec spec_;
+  stats::PowerLawSampler sampler_;
+  Rng rng_;
+  std::uint64_t corruptions_ = 0;
+};
+
+}  // namespace gpf::perfi

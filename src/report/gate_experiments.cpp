@@ -1,0 +1,37 @@
+#include "report/gate_experiments.hpp"
+
+#include <stdexcept>
+
+#include "gate/profiler.hpp"
+#include "workloads/workload.hpp"
+
+namespace gpf::report {
+
+std::vector<gate::UnitTraces> collect_profiling_traces(std::size_t max_issues) {
+  std::vector<gate::UnitTraces> traces;
+  for (const workloads::Workload* w : workloads::profiling_set()) {
+    arch::Gpu gpu;
+    gate::UnitProfiler profiler(max_issues);
+    gpu.set_hooks(&profiler);
+    w->setup(gpu);
+    const workloads::RunStats stats = w->run(gpu);
+    gpu.set_hooks(nullptr);
+    if (!stats.ok)
+      throw std::runtime_error("profiling run failed: " + std::string(w->name()));
+    traces.push_back(profiler.take(std::string(w->name())));
+  }
+  return traces;
+}
+
+GateCampaigns run_gate_campaigns(const std::vector<gate::UnitTraces>& traces,
+                                 std::size_t faults_per_unit, std::uint64_t seed) {
+  GateCampaigns out;
+  const gate::UnitKind kinds[] = {gate::UnitKind::Decoder, gate::UnitKind::Fetch,
+                                  gate::UnitKind::WSC};
+  for (unsigned i = 0; i < 3; ++i)
+    out.units[i] = gate::run_unit_campaign(kinds[i], traces, faults_per_unit, seed);
+  for (const auto& t : traces) out.total_dynamic_instructions += t.issues;
+  return out;
+}
+
+}  // namespace gpf::report

@@ -1,0 +1,29 @@
+// Shared drivers for the gate-level experiment benches (Tables 3-5, Fig. 10):
+// profiling-trace collection over the 14 micro-workloads and the per-unit
+// stuck-at campaigns.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "gate/replay.hpp"
+#include "gate/trace.hpp"
+
+namespace gpf::report {
+
+/// Run all 14 profiling workloads under the unit profiler (fault-free) and
+/// harvest per-unit stimulus traces. `max_issues` caps issues per workload.
+std::vector<gate::UnitTraces> collect_profiling_traces(std::size_t max_issues);
+
+struct GateCampaigns {
+  std::array<gate::UnitCampaignResult, 3> units;  // Decoder, Fetch, WSC order
+  std::size_t total_dynamic_instructions = 0;
+};
+
+/// Run the stuck-at campaigns for the three units over the given traces.
+/// `faults_per_unit` of 0 evaluates the full collapsed fault list.
+GateCampaigns run_gate_campaigns(const std::vector<gate::UnitTraces>& traces,
+                                 std::size_t faults_per_unit, std::uint64_t seed);
+
+}  // namespace gpf::report

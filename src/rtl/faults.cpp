@@ -1,0 +1,197 @@
+#include "rtl/faults.hpp"
+
+#include "common/rng.hpp"
+#include "isa/opcode.hpp"
+
+namespace gpf::rtl {
+
+using PF = PipelineFault::Field;
+using SF = SchedulerFault::Field;
+
+bool FaultTiming::active(std::uint64_t cycle) const {
+  switch (mode) {
+    case Mode::Permanent:
+      return true;
+    case Mode::Intermittent: {
+      // Deterministic per-cycle coin flip.
+      SplitMix64 sm(cycle ^ (seed * 0x9E3779B97F4A7C15ull));
+      return (static_cast<double>(sm.next() >> 11) * 0x1.0p-53) < duty;
+    }
+    case Mode::Transient:
+      return cycle >= onset && cycle < onset + duration;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// PipelineFaultHook
+// ---------------------------------------------------------------------------
+
+std::uint64_t PipelineFaultHook::post_fetch_word(arch::Gpu& gpu, unsigned, unsigned,
+                                                 unsigned, std::uint64_t word) {
+  if (f_.field != PF::InstrWord || !timing_.active(gpu.cycle())) return word;
+  const std::uint64_t m = std::uint64_t{1} << (f_.bit & 63);
+  return f_.stuck_high ? (word | m) : (word & ~m);
+}
+
+std::uint32_t PipelineFaultHook::post_fetch_pc(arch::Gpu& gpu, unsigned, unsigned,
+                                               unsigned, std::uint32_t pc) {
+  if (f_.field != PF::PcLatch || !timing_.active(gpu.cycle())) return pc;
+  return stuck32(pc) & 0xFFFFu;
+}
+
+int PipelineFaultHook::post_select(arch::Gpu& gpu, unsigned sm, unsigned ppb,
+                                   int slot) {
+  if (f_.field != PF::WarpSel || slot < 0 || !timing_.active(gpu.cycle()))
+    return slot;
+  const auto n = static_cast<int>(gpu.sm(sm).ppbs[ppb].warps.size());
+  const int corrupted = static_cast<int>(stuck32(static_cast<std::uint32_t>(slot)));
+  return corrupted < n ? corrupted : slot % n;
+}
+
+void PipelineFaultHook::pre_execute(arch::ExecCtx& ctx) {
+  for (Saved& s : saved_) s.active = false;
+  src_is_rd_ = false;
+  if (!timing_.active(ctx.gpu().cycle())) return;
+
+  if (f_.field == PF::ExecMask) {
+    ctx.exec_mask = stuck32(ctx.exec_mask) & ctx.warp().active_mask();
+    return;
+  }
+  if (f_.field != PF::OperandA && f_.field != PF::OperandB &&
+      f_.field != PF::OperandC)
+    return;
+
+  // Which architectural register feeds this operand latch?
+  const isa::Instruction& in = ctx.instr;
+  const int srcs = isa::num_sources(in.op);
+  std::uint8_t reg = isa::kRZ;
+  if (f_.field == PF::OperandA && srcs >= 1) reg = in.rs1;
+  if (f_.field == PF::OperandB && srcs >= 2 && !(in.use_imm && srcs == 2))
+    reg = in.rs2;
+  if (f_.field == PF::OperandC && srcs >= 3 && !in.use_imm) reg = in.rs3;
+  if (reg == isa::kRZ || reg >= 64) return;
+
+  corrupted_src_reg_ = reg;
+  src_is_rd_ = isa::writes_register(in.op) && in.rd == reg;
+
+  // The latch at `lane` serves the 4 warp beats: corrupt those threads'
+  // operand values for the duration of the instruction (save/restore).
+  unsigned i = 0;
+  for (unsigned beat = 0; beat < 4; ++beat) {
+    const unsigned lane = f_.lane + beat * kPipeLanes;
+    if (!((ctx.exec_mask >> lane) & 1)) continue;
+    const std::uint32_t v = ctx.read_reg(lane, reg);
+    saved_[i] = Saved{true, lane, reg, v};
+    ++i;
+    ctx.write_reg(lane, reg, stuck32(v));
+  }
+}
+
+void PipelineFaultHook::post_execute(arch::ExecCtx& ctx) {
+  // Restore operand registers corrupted transiently (unless the destination
+  // overwrote the same register — then the consumed-corrupted result stands).
+  if (!src_is_rd_) {
+    for (const Saved& s : saved_) {
+      if (!s.active) continue;
+      ctx.write_reg(s.lane, s.reg, s.value);
+    }
+  }
+  for (Saved& s : saved_) s.active = false;
+
+  if (f_.field == PF::Result && timing_.active(ctx.gpu().cycle())) {
+    const isa::Instruction& in = ctx.instr;
+    if (!isa::writes_register(in.op) || in.rd == isa::kRZ) return;
+    for (unsigned beat = 0; beat < 4; ++beat) {
+      const unsigned lane = f_.lane + beat * kPipeLanes;
+      if (!((ctx.exec_mask >> lane) & 1)) continue;
+      const std::uint32_t v = ctx.read_reg(lane, in.rd);
+      ctx.write_reg(lane, in.rd, stuck32(v));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SchedulerFaultHook
+// ---------------------------------------------------------------------------
+
+void SchedulerFaultHook::pre_cycle(arch::Gpu& gpu, unsigned sm, unsigned ppb) {
+  if (!timing_.active(gpu.cycle())) return;
+  arch::Ppb& p = gpu.sm(sm).ppbs[ppb];
+  if (f_.slot >= p.warps.size()) return;
+  arch::Warp& w = p.warps[f_.slot];
+  if (!w.valid) return;
+
+  switch (f_.field) {
+    case SF::ActiveMask: {
+      if (w.stack.empty()) return;
+      const std::uint32_t m = 1u << f_.bit;
+      std::uint32_t& mask = w.stack.back().mask;
+      mask = f_.stuck_high ? (mask | m) : (mask & ~m);
+      if (mask == 0 && w.stack.size() == 1) w.done = true;  // warp fully disabled
+      return;
+    }
+    case SF::DoneBit:
+      w.done = f_.stuck_high;
+      return;
+    case SF::BarrierBit:
+      w.at_barrier = f_.stuck_high;
+      return;
+    case SF::StoredPc: {
+      if (w.stack.empty()) return;
+      const std::uint32_t m = 1u << (f_.bit & 15);
+      std::uint32_t& pc = w.stack.back().pc;
+      pc = f_.stuck_high ? (pc | m) : (pc & ~m);
+      return;
+    }
+    case SF::SelSlot:
+    case SF::GroupEnable:
+    case SF::MaskOut:
+    case SF::MaskWordLine:
+      return;  // handled in post_select / pre_execute
+  }
+}
+
+void SchedulerFaultHook::pre_execute(arch::ExecCtx& ctx) {
+  // Shared scheduler output signals corrupt the dispatched mask of EVERY
+  // issued warp. They gate functional-unit dispatch only: control-flow
+  // instructions resolve inside the scheduler itself and keep their mask
+  // (otherwise every such fault would trivially hang at EXIT instead of
+  // producing the silent corruptions the paper observes).
+  if (isa::unit_of(ctx.instr.op) == isa::UnitClass::CTRL) return;
+  if (!timing_.active(ctx.gpu().cycle())) return;
+  switch (f_.field) {
+    case SF::GroupEnable: {
+      const std::uint32_t group = 0xFFu << (8 * (f_.bit & 3));
+      if (f_.stuck_high)
+        ctx.exec_mask |= group;  // force-enables idle lanes (garbage threads)
+      else
+        ctx.exec_mask &= ~group;
+      return;
+    }
+    case SF::MaskOut: {
+      const std::uint32_t m = 1u << (f_.bit & 31);
+      ctx.exec_mask = f_.stuck_high ? (ctx.exec_mask | m) : (ctx.exec_mask & ~m);
+      return;
+    }
+    case SF::MaskWordLine:
+      if (ctx.warp().slot == f_.slot)
+        ctx.exec_mask = f_.stuck_high ? 0xFFFFFFFFu : 0u;
+      return;
+    default:
+      return;
+  }
+}
+
+int SchedulerFaultHook::post_select(arch::Gpu& gpu, unsigned sm, unsigned ppb,
+                                    int slot) {
+  if (f_.field != SF::SelSlot || slot < 0 || !timing_.active(gpu.cycle()))
+    return slot;
+  const std::uint32_t m = 1u << (f_.bit % 3);
+  auto corrupted = static_cast<std::uint32_t>(slot);
+  corrupted = f_.stuck_high ? (corrupted | m) : (corrupted & ~m);
+  const auto n = static_cast<std::uint32_t>(gpu.sm(sm).ppbs[ppb].warps.size());
+  return corrupted < n ? static_cast<int>(corrupted) : slot;
+}
+
+}  // namespace gpf::rtl

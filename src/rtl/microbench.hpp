@@ -1,0 +1,55 @@
+// RTL-characterization micro-benchmarks (paper §"Micro-benchmarks and
+// mini-app"): 64 threads (2 warps) executing one target instruction, with
+// the paper's Small / Medium / Large input ranges and SFU-constrained inputs.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "arch/machine.hpp"
+#include "isa/program.hpp"
+
+namespace gpf::rtl {
+
+/// The 12 characterized instructions (8 arithmetic + memory + control flow).
+enum class MicroOp : std::uint8_t {
+  FADD, FMUL, FFMA,
+  IADD, IMUL, IMAD,
+  FSIN, FEXP,
+  GLD, GST,   // memory movements
+  BRA, ISET,  // control flow
+  COUNT
+};
+std::string_view micro_op_name(MicroOp op);
+bool micro_op_is_float(MicroOp op);
+bool micro_op_uses_fu(MicroOp op);  ///< false for GLD/GST/BRA/ISET (FUs idle)
+
+/// Paper input ranges: S = [6.8e-6, 7.3e-6], M = [1.8, 59.4],
+/// L = [3.8e9, 12.5e9]; SFU inputs constrained to [0, pi/2].
+enum class InputRange : std::uint8_t { Small, Medium, Large };
+std::string_view range_name(InputRange r);
+
+/// One micro-benchmark instance: program + inputs + launch geometry.
+struct MicroBench {
+  isa::Program prog;
+  bool is_float = true;  ///< output interpretation for syndrome analysis
+  std::vector<std::uint32_t> input_a;  ///< 64 per-thread operand words
+  std::vector<std::uint32_t> input_b;
+  std::vector<std::uint32_t> input_c;
+  std::size_t out_addr = 0;
+  std::size_t out_words = 64;
+};
+
+inline constexpr std::size_t kMicroThreads = 64;
+inline constexpr std::size_t kInAddrA = 0, kInAddrB = 64, kInAddrC = 128,
+                             kOutAddr = 256;
+
+/// Build the micro-benchmark for an instruction, an input range, and one of
+/// the 4 random value draws per range the paper averages over.
+MicroBench make_micro_bench(MicroOp op, InputRange range, std::uint64_t value_seed);
+
+/// Write inputs and return the fault-free output.
+void setup_micro(arch::Gpu& gpu, const MicroBench& mb);
+
+}  // namespace gpf::rtl

@@ -1,0 +1,67 @@
+// Named internal buses of the execution datapaths. The RTL fault-injection
+// layer (src/rtl) plants stuck-at faults on individual bits of these buses;
+// the softfloat/int implementations apply the overlay at the exact point the
+// bus value is produced, so the corruption propagates through the remaining
+// datapath stages — which is what gives the paper's non-trivial syndromes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gpf::sf {
+
+enum class Bus : std::uint8_t {
+  SrcA, SrcB, SrcC, Result,
+  // FP add path
+  AddExpDiff, AddAlignedA, AddAlignedB, AddRawSum, AddNormShift,
+  // FP mul path
+  MulExpSum, MulProduct,
+  // FMA extras
+  FmaWideSum,
+  // Integer path
+  IntSum, IntProduct,
+  // SFU path
+  SfuRange, SfuPolyT1, SfuPolyT2, SfuOpSelect,
+  Count
+};
+
+/// Bit width of each bus (for fault-site enumeration).
+unsigned bus_width(Bus b);
+const char* bus_name(Bus b);
+
+struct BusFault {
+  Bus bus = Bus::Result;
+  std::uint8_t bit = 0;
+  bool stuck_high = false;
+};
+
+/// A (small) set of stuck-at faults to overlay on datapath buses.
+/// Campaigns inject exactly one fault; sets exist for composability/tests.
+class BusFaultSet {
+ public:
+  BusFaultSet() = default;
+  explicit BusFaultSet(BusFault f) { add(f); }
+
+  void add(BusFault f) { faults_.push_back(f); }
+  bool empty() const { return faults_.empty(); }
+
+  /// Apply all matching stuck-at faults to a bus value.
+  std::uint64_t apply(Bus b, std::uint64_t value) const {
+    for (const BusFault& f : faults_) {
+      if (f.bus != b) continue;
+      const std::uint64_t mask = std::uint64_t{1} << f.bit;
+      value = f.stuck_high ? (value | mask) : (value & ~mask);
+    }
+    return value;
+  }
+
+ private:
+  std::vector<BusFault> faults_;
+};
+
+/// Tap helper: identity when no fault set is installed.
+inline std::uint64_t tap(const BusFaultSet* f, Bus b, std::uint64_t v) {
+  return f ? f->apply(b, v) : v;
+}
+
+}  // namespace gpf::sf

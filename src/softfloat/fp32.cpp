@@ -1,0 +1,348 @@
+#include "softfloat/fp32.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/bitops.hpp"
+
+namespace gpf::sf {
+namespace {
+
+constexpr std::uint32_t kQNaN = 0x7FC00000u;
+
+constexpr std::uint32_t sign_of(std::uint32_t a) { return a >> 31; }
+constexpr std::uint32_t exp_of(std::uint32_t a) { return (a >> 23) & 0xFFu; }
+constexpr std::uint32_t frac_of(std::uint32_t a) { return a & 0x7FFFFFu; }
+constexpr bool is_nan(std::uint32_t a) { return exp_of(a) == 255 && frac_of(a) != 0; }
+constexpr bool is_inf(std::uint32_t a) { return exp_of(a) == 255 && frac_of(a) == 0; }
+constexpr bool is_zero(std::uint32_t a) { return exp_of(a) == 0; }  // post-FTZ
+constexpr std::uint32_t pack_inf(std::uint32_t s) { return (s << 31) | 0x7F800000u; }
+constexpr std::uint32_t mant_of(std::uint32_t a) { return frac_of(a) | 0x800000u; }
+
+int msb_of(unsigned __int128 v) {
+  const auto hi = static_cast<std::uint64_t>(v >> 64);
+  if (hi) return 127 - std::countl_zero(hi);
+  const auto lo = static_cast<std::uint64_t>(v);
+  if (lo) return 63 - std::countl_zero(lo);
+  return -1;
+}
+
+/// Round a 27-bit {24-bit mantissa | G R S} frame to nearest-even and pack.
+/// `e` is the biased exponent assuming the hidden bit sits at position 26.
+std::uint32_t round_and_pack(std::uint32_t sign, int e, std::uint64_t norm27,
+                             const BusFaultSet* f) {
+  std::uint32_t mant = static_cast<std::uint32_t>(norm27 >> 3);
+  const std::uint32_t grs = static_cast<std::uint32_t>(norm27 & 7);
+  if ((grs & 4) && ((grs & 3) || (mant & 1))) ++mant;
+  if (mant >> 24) {
+    mant >>= 1;
+    ++e;
+  }
+  std::uint32_t out;
+  if (e >= 255)
+    out = pack_inf(sign);
+  else if (e <= 0 || mant == 0)
+    out = sign << 31;  // flush-to-zero
+  else
+    out = (sign << 31) | (static_cast<std::uint32_t>(e) << 23) | (mant & 0x7FFFFFu);
+  return static_cast<std::uint32_t>(tap(f, Bus::Result, out));
+}
+
+/// Normalize a wide magnitude M (value = M * 2^L_unbiased) into the 27-bit
+/// rounding frame and pack. Shared by FMUL/FFMA tails.
+std::uint32_t normalize_and_pack(std::uint32_t sign, unsigned __int128 m, int l_unb,
+                                 const BusFaultSet* f) {
+  const int msb = msb_of(m);
+  if (msb < 0) return static_cast<std::uint32_t>(tap(f, Bus::Result, sign << 31));
+  const int e_biased = msb + l_unb + 127;
+  const int shift = msb - 26;
+  std::uint64_t norm;
+  if (shift > 0) {
+    norm = static_cast<std::uint64_t>(m >> shift);
+    if (m & ((static_cast<unsigned __int128>(1) << shift) - 1)) norm |= 1;
+  } else {
+    norm = static_cast<std::uint64_t>(m << (-shift));
+  }
+  return round_and_pack(sign, e_biased, norm & ((1ull << 27) - 1), f);
+}
+
+}  // namespace
+
+std::uint32_t ftz(std::uint32_t a) {
+  return exp_of(a) == 0 ? (a & 0x80000000u) : a;
+}
+
+std::uint32_t fadd(std::uint32_t a, std::uint32_t b, const BusFaultSet* f) {
+  a = ftz(static_cast<std::uint32_t>(tap(f, Bus::SrcA, a)));
+  b = ftz(static_cast<std::uint32_t>(tap(f, Bus::SrcB, b)));
+  if (is_nan(a) || is_nan(b)) return static_cast<std::uint32_t>(tap(f, Bus::Result, kQNaN));
+  if (is_inf(a)) {
+    const std::uint32_t r = (is_inf(b) && sign_of(a) != sign_of(b)) ? kQNaN : a;
+    return static_cast<std::uint32_t>(tap(f, Bus::Result, r));
+  }
+  if (is_inf(b)) return static_cast<std::uint32_t>(tap(f, Bus::Result, b));
+  if (is_zero(a) && is_zero(b)) {
+    const std::uint32_t r = (sign_of(a) & sign_of(b)) << 31;
+    return static_cast<std::uint32_t>(tap(f, Bus::Result, r));
+  }
+  if (is_zero(a)) return static_cast<std::uint32_t>(tap(f, Bus::Result, b));
+  if (is_zero(b)) return static_cast<std::uint32_t>(tap(f, Bus::Result, a));
+
+  std::uint32_t sa = sign_of(a), sb = sign_of(b);
+  int ea = static_cast<int>(exp_of(a)), eb = static_cast<int>(exp_of(b));
+  std::uint32_t ma = mant_of(a), mb = mant_of(b);
+  if (eb > ea || (eb == ea && mb > ma)) {
+    std::swap(sa, sb);
+    std::swap(ea, eb);
+    std::swap(ma, mb);
+  }
+
+  std::uint32_t d = static_cast<std::uint32_t>(ea - eb);
+  d = static_cast<std::uint32_t>(tap(f, Bus::AddExpDiff, d)) & 0xFFu;
+
+  std::uint64_t ma27 = static_cast<std::uint64_t>(ma) << 3;
+  std::uint64_t mb27;
+  const std::uint64_t mb_shifted_src = static_cast<std::uint64_t>(mb) << 3;
+  if (d == 0) {
+    mb27 = mb_shifted_src;
+  } else if (d < 27) {
+    mb27 = mb_shifted_src >> d;
+    if (mb_shifted_src & ((1ull << d) - 1)) mb27 |= 1;
+  } else {
+    mb27 = 1;  // pure sticky
+  }
+  ma27 = tap(f, Bus::AddAlignedA, ma27) & ((1ull << 27) - 1);
+  mb27 = tap(f, Bus::AddAlignedB, mb27) & ((1ull << 27) - 1);
+
+  std::uint64_t sum;
+  std::uint32_t rs;
+  if (sa == sb) {
+    sum = ma27 + mb27;
+    rs = sa;
+  } else if (mb27 > ma27) {  // possible only under injected faults
+    sum = mb27 - ma27;
+    rs = sb;
+  } else {
+    sum = ma27 - mb27;
+    rs = sa;
+  }
+  sum = tap(f, Bus::AddRawSum, sum) & ((1ull << 28) - 1);
+  if (sum == 0) return static_cast<std::uint32_t>(tap(f, Bus::Result, 0));
+
+  const int msb = 63 - std::countl_zero(sum);
+  int shift = msb - 26;
+  const std::uint64_t enc =
+      tap(f, Bus::AddNormShift, static_cast<std::uint64_t>(shift) & 0x3F) & 0x3F;
+  shift = static_cast<int>(sign_extend(enc, 6));
+
+  std::uint64_t norm;
+  if (shift > 0) {
+    norm = sum >> shift;
+    if (sum & ((1ull << shift) - 1)) norm |= 1;
+  } else {
+    norm = shift <= -37 ? 0 : sum << (-shift);
+  }
+  return round_and_pack(rs, ea + shift, norm & ((1ull << 27) - 1), f);
+}
+
+std::uint32_t fmul(std::uint32_t a, std::uint32_t b, const BusFaultSet* f) {
+  a = ftz(static_cast<std::uint32_t>(tap(f, Bus::SrcA, a)));
+  b = ftz(static_cast<std::uint32_t>(tap(f, Bus::SrcB, b)));
+  if (is_nan(a) || is_nan(b)) return static_cast<std::uint32_t>(tap(f, Bus::Result, kQNaN));
+  const std::uint32_t sp = sign_of(a) ^ sign_of(b);
+  if (is_inf(a) || is_inf(b)) {
+    const std::uint32_t r = (is_zero(a) || is_zero(b)) ? kQNaN : pack_inf(sp);
+    return static_cast<std::uint32_t>(tap(f, Bus::Result, r));
+  }
+  if (is_zero(a) || is_zero(b))
+    return static_cast<std::uint32_t>(tap(f, Bus::Result, sp << 31));
+
+  int e = static_cast<int>(exp_of(a)) + static_cast<int>(exp_of(b)) - 127;
+  e = static_cast<int>(
+      sign_extend(tap(f, Bus::MulExpSum, static_cast<std::uint64_t>(e) & 0x3FF) & 0x3FF, 10));
+
+  std::uint64_t prod = static_cast<std::uint64_t>(mant_of(a)) * mant_of(b);
+  prod = tap(f, Bus::MulProduct, prod) & ((1ull << 48) - 1);
+  // value = prod * 2^(e_unbiased - 46) with e_unbiased = e - 127.
+  return normalize_and_pack(sp, prod, e - 127 - 46, f);
+}
+
+std::uint32_t ffma(std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                   const BusFaultSet* f) {
+  a = ftz(static_cast<std::uint32_t>(tap(f, Bus::SrcA, a)));
+  b = ftz(static_cast<std::uint32_t>(tap(f, Bus::SrcB, b)));
+  c = ftz(static_cast<std::uint32_t>(tap(f, Bus::SrcC, c)));
+  if (is_nan(a) || is_nan(b) || is_nan(c))
+    return static_cast<std::uint32_t>(tap(f, Bus::Result, kQNaN));
+
+  const std::uint32_t sp = sign_of(a) ^ sign_of(b);
+  if (is_inf(a) || is_inf(b)) {
+    std::uint32_t r;
+    if (is_zero(a) || is_zero(b))
+      r = kQNaN;
+    else if (is_inf(c) && sign_of(c) != sp)
+      r = kQNaN;
+    else
+      r = pack_inf(sp);
+    return static_cast<std::uint32_t>(tap(f, Bus::Result, r));
+  }
+  if (is_inf(c)) return static_cast<std::uint32_t>(tap(f, Bus::Result, c));
+
+  if (is_zero(a) || is_zero(b)) {
+    const std::uint32_t r =
+        is_zero(c) ? ((sp & sign_of(c)) << 31) : c;
+    return static_cast<std::uint32_t>(tap(f, Bus::Result, r));
+  }
+
+  const int lp = (static_cast<int>(exp_of(a)) - 127) + (static_cast<int>(exp_of(b)) - 127) - 46;
+  std::uint64_t prod = static_cast<std::uint64_t>(mant_of(a)) * mant_of(b);
+  prod = tap(f, Bus::MulProduct, prod) & ((1ull << 48) - 1);
+
+  if (is_zero(c)) return normalize_and_pack(sp, prod, lp, f);
+
+  const std::uint32_t sc = sign_of(c);
+  const int lc = static_cast<int>(exp_of(c)) - 127 - 23;
+  const std::uint64_t mc = mant_of(c);
+
+  // Bring both into a common frame value = M * 2^L; cap giant shifts into a
+  // sticky bit so the 128-bit magnitudes never overflow.
+  unsigned __int128 mp128 = prod, mc128 = mc;
+  int l;
+  bool sticky = false;
+  const int delta = lp - lc;
+  if (delta >= 0) {
+    l = lc;
+    if (delta > 72) {
+      l = lp - 72;
+      mp128 <<= 72;
+      sticky = mc != 0;
+      mc128 = 0;
+    } else {
+      mp128 <<= delta;
+    }
+  } else {
+    l = lp;
+    if (-delta > 72) {
+      l = lc - 72;
+      mc128 <<= 72;
+      sticky = prod != 0;
+      mp128 = 0;
+    } else {
+      mc128 <<= -delta;
+    }
+  }
+
+  unsigned __int128 m;
+  std::uint32_t rs;
+  if (sp == sc) {
+    m = mp128 + mc128;
+    rs = sp;
+  } else if (mc128 > mp128) {
+    m = mc128 - mp128;
+    rs = sc;
+  } else {
+    m = mp128 - mc128;
+    rs = sp;
+  }
+  if (sticky) m |= 1;
+  // Fault tap over the low 64 bits of the wide sum.
+  const std::uint64_t lo = static_cast<std::uint64_t>(m);
+  m = (m >> 64 << 64) | tap(f, Bus::FmaWideSum, lo);
+  if (m == 0) return static_cast<std::uint32_t>(tap(f, Bus::Result, 0));
+  return normalize_and_pack(rs, m, l, f);
+}
+
+std::uint32_t fmin(std::uint32_t a, std::uint32_t b, const BusFaultSet* f) {
+  a = ftz(static_cast<std::uint32_t>(tap(f, Bus::SrcA, a)));
+  b = ftz(static_cast<std::uint32_t>(tap(f, Bus::SrcB, b)));
+  std::uint32_t r;
+  if (is_nan(a))
+    r = b;
+  else if (is_nan(b))
+    r = a;
+  else
+    r = bits_f32(a) < bits_f32(b) ? a : b;
+  return static_cast<std::uint32_t>(tap(f, Bus::Result, r));
+}
+
+std::uint32_t fmax(std::uint32_t a, std::uint32_t b, const BusFaultSet* f) {
+  a = ftz(static_cast<std::uint32_t>(tap(f, Bus::SrcA, a)));
+  b = ftz(static_cast<std::uint32_t>(tap(f, Bus::SrcB, b)));
+  std::uint32_t r;
+  if (is_nan(a))
+    r = b;
+  else if (is_nan(b))
+    r = a;
+  else
+    r = bits_f32(a) > bits_f32(b) ? a : b;
+  return static_cast<std::uint32_t>(tap(f, Bus::Result, r));
+}
+
+std::uint32_t f2i(std::uint32_t a, const BusFaultSet* f) {
+  a = ftz(static_cast<std::uint32_t>(tap(f, Bus::SrcA, a)));
+  const float v = bits_f32(a);
+  std::int32_t r;
+  if (std::isnan(v))
+    r = 0;
+  else if (v >= 2147483647.0f)
+    r = INT32_MAX;
+  else if (v <= -2147483648.0f)
+    r = INT32_MIN;
+  else
+    r = static_cast<std::int32_t>(v);
+  return static_cast<std::uint32_t>(tap(f, Bus::Result, static_cast<std::uint32_t>(r)));
+}
+
+std::uint32_t i2f(std::uint32_t a, const BusFaultSet* f) {
+  a = static_cast<std::uint32_t>(tap(f, Bus::SrcA, a));
+  const float v = static_cast<float>(static_cast<std::int32_t>(a));
+  return static_cast<std::uint32_t>(tap(f, Bus::Result, f32_bits(v)));
+}
+
+unsigned bus_width(Bus b) {
+  switch (b) {
+    case Bus::SrcA: case Bus::SrcB: case Bus::SrcC: case Bus::Result:
+      return 32;
+    case Bus::AddExpDiff: return 8;
+    case Bus::AddAlignedA: case Bus::AddAlignedB: return 27;
+    case Bus::AddRawSum: return 28;
+    case Bus::AddNormShift: return 6;
+    case Bus::MulExpSum: return 10;
+    case Bus::MulProduct: return 48;
+    case Bus::FmaWideSum: return 64;
+    case Bus::IntSum: return 33;
+    case Bus::IntProduct: return 64;
+    case Bus::SfuRange: return 32;
+    case Bus::SfuPolyT1: case Bus::SfuPolyT2: return 32;
+    case Bus::SfuOpSelect: return 3;
+    case Bus::Count: break;
+  }
+  return 0;
+}
+
+const char* bus_name(Bus b) {
+  switch (b) {
+    case Bus::SrcA: return "src_a";
+    case Bus::SrcB: return "src_b";
+    case Bus::SrcC: return "src_c";
+    case Bus::Result: return "result";
+    case Bus::AddExpDiff: return "add_exp_diff";
+    case Bus::AddAlignedA: return "add_aligned_a";
+    case Bus::AddAlignedB: return "add_aligned_b";
+    case Bus::AddRawSum: return "add_raw_sum";
+    case Bus::AddNormShift: return "add_norm_shift";
+    case Bus::MulExpSum: return "mul_exp_sum";
+    case Bus::MulProduct: return "mul_product";
+    case Bus::FmaWideSum: return "fma_wide_sum";
+    case Bus::IntSum: return "int_sum";
+    case Bus::IntProduct: return "int_product";
+    case Bus::SfuRange: return "sfu_range";
+    case Bus::SfuPolyT1: return "sfu_poly_t1";
+    case Bus::SfuPolyT2: return "sfu_poly_t2";
+    case Bus::SfuOpSelect: return "sfu_op_select";
+    case Bus::Count: break;
+  }
+  return "?";
+}
+
+}  // namespace gpf::sf

@@ -1,0 +1,29 @@
+// Bit-accurate FP32 arithmetic in the style of a G80-class GPU core:
+// round-to-nearest-even, flush-to-zero for subnormal inputs and outputs
+// (G80 FP32 is FTZ). Each operation exposes its internal stage buses to the
+// fault overlay (see buses.hpp).
+#pragma once
+
+#include <cstdint>
+
+#include "softfloat/buses.hpp"
+
+namespace gpf::sf {
+
+std::uint32_t fadd(std::uint32_t a, std::uint32_t b, const BusFaultSet* f = nullptr);
+std::uint32_t fmul(std::uint32_t a, std::uint32_t b, const BusFaultSet* f = nullptr);
+/// Fused multiply-add: round(a*b + c) with a single rounding.
+std::uint32_t ffma(std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                   const BusFaultSet* f = nullptr);
+
+std::uint32_t fmin(std::uint32_t a, std::uint32_t b, const BusFaultSet* f = nullptr);
+std::uint32_t fmax(std::uint32_t a, std::uint32_t b, const BusFaultSet* f = nullptr);
+
+/// float -> int32 (truncating) and int32 -> float.
+std::uint32_t f2i(std::uint32_t a, const BusFaultSet* f = nullptr);
+std::uint32_t i2f(std::uint32_t a, const BusFaultSet* f = nullptr);
+
+/// Flush-to-zero canonicalization used on every input/output.
+std::uint32_t ftz(std::uint32_t a);
+
+}  // namespace gpf::sf

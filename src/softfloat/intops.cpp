@@ -1,0 +1,58 @@
+#include "softfloat/intops.hpp"
+
+namespace gpf::sf {
+
+std::uint32_t iadd(std::uint32_t a, std::uint32_t b, const BusFaultSet* f) {
+  a = static_cast<std::uint32_t>(tap(f, Bus::SrcA, a));
+  b = static_cast<std::uint32_t>(tap(f, Bus::SrcB, b));
+  std::uint64_t sum = static_cast<std::uint64_t>(a) + b;  // 33 bits with carry
+  sum = tap(f, Bus::IntSum, sum) & ((1ull << 33) - 1);
+  return static_cast<std::uint32_t>(tap(f, Bus::Result, static_cast<std::uint32_t>(sum)));
+}
+
+std::uint32_t isub(std::uint32_t a, std::uint32_t b, const BusFaultSet* f) {
+  a = static_cast<std::uint32_t>(tap(f, Bus::SrcA, a));
+  b = static_cast<std::uint32_t>(tap(f, Bus::SrcB, b));
+  // Two's-complement subtract runs through the same adder: a + ~b + 1.
+  std::uint64_t sum = static_cast<std::uint64_t>(a) + static_cast<std::uint32_t>(~b) + 1;
+  sum = tap(f, Bus::IntSum, sum) & ((1ull << 33) - 1);
+  return static_cast<std::uint32_t>(tap(f, Bus::Result, static_cast<std::uint32_t>(sum)));
+}
+
+std::uint32_t imul(std::uint32_t a, std::uint32_t b, const BusFaultSet* f) {
+  a = static_cast<std::uint32_t>(tap(f, Bus::SrcA, a));
+  b = static_cast<std::uint32_t>(tap(f, Bus::SrcB, b));
+  std::uint64_t prod = static_cast<std::uint64_t>(a) * b;
+  prod = tap(f, Bus::IntProduct, prod);
+  return static_cast<std::uint32_t>(tap(f, Bus::Result, static_cast<std::uint32_t>(prod)));
+}
+
+std::uint32_t imad(std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                   const BusFaultSet* f) {
+  a = static_cast<std::uint32_t>(tap(f, Bus::SrcA, a));
+  b = static_cast<std::uint32_t>(tap(f, Bus::SrcB, b));
+  c = static_cast<std::uint32_t>(tap(f, Bus::SrcC, c));
+  std::uint64_t prod = static_cast<std::uint64_t>(a) * b;
+  prod = tap(f, Bus::IntProduct, prod);
+  std::uint64_t sum = (prod & 0xFFFFFFFFull) + c;
+  sum = tap(f, Bus::IntSum, sum) & ((1ull << 33) - 1);
+  return static_cast<std::uint32_t>(tap(f, Bus::Result, static_cast<std::uint32_t>(sum)));
+}
+
+std::uint32_t imin(std::uint32_t a, std::uint32_t b, const BusFaultSet* f) {
+  a = static_cast<std::uint32_t>(tap(f, Bus::SrcA, a));
+  b = static_cast<std::uint32_t>(tap(f, Bus::SrcB, b));
+  const auto sa = static_cast<std::int32_t>(a), sb = static_cast<std::int32_t>(b);
+  return static_cast<std::uint32_t>(
+      tap(f, Bus::Result, static_cast<std::uint32_t>(sa < sb ? sa : sb)));
+}
+
+std::uint32_t imax(std::uint32_t a, std::uint32_t b, const BusFaultSet* f) {
+  a = static_cast<std::uint32_t>(tap(f, Bus::SrcA, a));
+  b = static_cast<std::uint32_t>(tap(f, Bus::SrcB, b));
+  const auto sa = static_cast<std::int32_t>(a), sb = static_cast<std::int32_t>(b);
+  return static_cast<std::uint32_t>(
+      tap(f, Bus::Result, static_cast<std::uint32_t>(sa > sb ? sa : sb)));
+}
+
+}  // namespace gpf::sf

@@ -1,0 +1,20 @@
+// Integer datapath with fault-injectable internal buses (adder sum with
+// carry-out, 64-bit multiplier array output).
+#pragma once
+
+#include <cstdint>
+
+#include "softfloat/buses.hpp"
+
+namespace gpf::sf {
+
+std::uint32_t iadd(std::uint32_t a, std::uint32_t b, const BusFaultSet* f = nullptr);
+std::uint32_t isub(std::uint32_t a, std::uint32_t b, const BusFaultSet* f = nullptr);
+std::uint32_t imul(std::uint32_t a, std::uint32_t b, const BusFaultSet* f = nullptr);
+/// rd = a*b + c (low 32 bits).
+std::uint32_t imad(std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                   const BusFaultSet* f = nullptr);
+std::uint32_t imin(std::uint32_t a, std::uint32_t b, const BusFaultSet* f = nullptr);
+std::uint32_t imax(std::uint32_t a, std::uint32_t b, const BusFaultSet* f = nullptr);
+
+}  // namespace gpf::sf

@@ -1,0 +1,143 @@
+#include "softfloat/sfu.hpp"
+
+#include <cmath>
+
+#include "common/bitops.hpp"
+#include "softfloat/fp32.hpp"
+
+namespace gpf::sf {
+namespace {
+
+float tapf(const BusFaultSet* f, Bus b, float v) {
+  return bits_f32(static_cast<std::uint32_t>(tap(f, b, f32_bits(v))));
+}
+
+std::uint32_t finish(const BusFaultSet* f, float v) {
+  return static_cast<std::uint32_t>(tap(f, Bus::Result, f32_bits(v)));
+}
+
+std::uint32_t eval_sin(std::uint32_t xb, const BusFaultSet* f) {
+  const float x = bits_f32(xb);
+  if (std::isnan(x) || std::isinf(x)) return finish(f, NAN);
+  // Range reduction to r in [-pi/4, pi/4], quadrant q.
+  const float two_over_pi = 0.63661977236758134f;
+  const int k = static_cast<int>(std::nearbyint(x * two_over_pi));
+  float r = x - static_cast<float>(k) * 1.5707963267948966f;
+  r = tapf(f, Bus::SfuRange, r);
+  const float s = tapf(f, Bus::SfuPolyT1, r * r);
+  // sin(r) and cos(r) minimax-style polynomials.
+  const float sin_p =
+      r * (1.0f + s * (-1.6666667e-1f +
+                       s * (8.3333333e-3f +
+                            s * (-1.9841270e-4f + s * 2.7557319e-6f))));
+  const float cos_p =
+      1.0f + s * (-0.5f + s * (4.1666668e-2f +
+                               s * (-1.3888889e-3f + s * 2.4801587e-5f)));
+  float v;
+  switch (k & 3) {
+    case 0: v = sin_p; break;
+    case 1: v = cos_p; break;
+    case 2: v = -sin_p; break;
+    default: v = -cos_p; break;
+  }
+  v = tapf(f, Bus::SfuPolyT2, v);
+  return finish(f, v);
+}
+
+std::uint32_t eval_exp2(std::uint32_t xb, const BusFaultSet* f) {
+  const float x = bits_f32(xb);
+  if (std::isnan(x)) return finish(f, NAN);
+  if (x > 128.0f) return finish(f, INFINITY);
+  if (x < -126.0f) return finish(f, 0.0f);
+  const float n = std::floor(x);
+  float fr = x - n;  // in [0, 1)
+  fr = tapf(f, Bus::SfuRange, fr);
+  const float t = tapf(f, Bus::SfuPolyT1, fr * 0.69314718056f);  // fr*ln2
+  // exp(t) Taylor series through t^8 (t <= ln2, so the tail is < 1e-7).
+  float p = 1.0f +
+            t * (1.0f +
+                 t * (0.5f +
+                      t * (1.6666667e-1f +
+                           t * (4.1666668e-2f +
+                                t * (8.3333333e-3f +
+                                     t * (1.3888889e-3f +
+                                          t * (1.9841270e-4f + t * 2.4801587e-5f)))))));
+  p = tapf(f, Bus::SfuPolyT2, p);
+  return finish(f, std::ldexp(p, static_cast<int>(n)));
+}
+
+std::uint32_t eval_rcp(std::uint32_t xb, const BusFaultSet* f) {
+  const float x = bits_f32(xb);
+  if (std::isnan(x)) return finish(f, NAN);
+  if (x == 0.0f) return finish(f, std::signbit(x) ? -INFINITY : INFINITY);
+  if (std::isinf(x)) return finish(f, std::signbit(x) ? -0.0f : 0.0f);
+  int e;
+  float m = std::frexp(std::fabs(x), &e);  // m in [0.5, 1)
+  m = tapf(f, Bus::SfuRange, m);
+  // Initial approximation then two Newton steps: y = y*(2 - m*y).
+  float y = 2.9142f - 2.0f * m;  // linear seed accurate to ~2^-5 on [0.5,1)
+  y = tapf(f, Bus::SfuPolyT1, y * (2.0f - m * y));
+  y = tapf(f, Bus::SfuPolyT2, y * (2.0f - m * y));
+  y = y * (2.0f - m * y);
+  float v = std::ldexp(y, -e);
+  if (std::signbit(x)) v = -v;
+  return finish(f, v);
+}
+
+std::uint32_t eval_sqrt(std::uint32_t xb, const BusFaultSet* f) {
+  const float x = bits_f32(xb);
+  if (std::isnan(x) || x < 0.0f) return finish(f, x == 0.0f ? x : NAN);
+  if (x == 0.0f || std::isinf(x)) return finish(f, x);
+  int e;
+  float m = std::frexp(x, &e);  // m in [0.5, 1)
+  if (e & 1) {                  // force an even exponent
+    m *= 2.0f;
+    --e;
+  }
+  m = tapf(f, Bus::SfuRange, m);
+  // rsqrt seed (piecewise-linear over [0.5,2)) + Newton steps,
+  // then y = m * rsqrt(m).
+  float r = m < 1.0f ? 1.8f - 0.8f * m : 1.28f - 0.287f * m;
+  r = tapf(f, Bus::SfuPolyT1, r * (1.5f - 0.5f * m * r * r));
+  r = tapf(f, Bus::SfuPolyT2, r * (1.5f - 0.5f * m * r * r));
+  r = r * (1.5f - 0.5f * m * r * r);
+  return finish(f, std::ldexp(m * r, e / 2));
+}
+
+std::uint32_t eval_lg2(std::uint32_t xb, const BusFaultSet* f) {
+  const float x = bits_f32(xb);
+  if (std::isnan(x) || x < 0.0f) return finish(f, NAN);
+  if (x == 0.0f) return finish(f, -INFINITY);
+  if (std::isinf(x)) return finish(f, INFINITY);
+  int e;
+  float m = std::frexp(x, &e);  // m in [0.5, 1)
+  m = tapf(f, Bus::SfuRange, m * 2.0f);  // renormalize to [1, 2)
+  --e;
+  const float t = tapf(f, Bus::SfuPolyT1, (m - 1.0f) / (m + 1.0f));
+  const float t2 = t * t;
+  // atanh-series log2: log2(m) = 2*t*(1 + t^2/3 + t^4/5 + ...)/ln2
+  float p = 2.0f * t * (1.0f + t2 * (0.33333334f + t2 * (0.2f + t2 * 0.14285715f)));
+  p = tapf(f, Bus::SfuPolyT2, p * 1.4426950408889634f);
+  return finish(f, static_cast<float>(e) + p);
+}
+
+}  // namespace
+
+std::uint32_t sfu_eval(SfuFunc fn, std::uint32_t x, const BusFaultSet* f) {
+  x = ftz(static_cast<std::uint32_t>(tap(f, Bus::SrcA, x)));
+  const auto sel = static_cast<std::uint8_t>(
+      tap(f, Bus::SfuOpSelect, static_cast<std::uint64_t>(fn)) & 0x7);
+  switch (sel) {
+    case 0: return eval_sin(x, f);
+    case 1: return eval_exp2(x, f);
+    case 2: return eval_rcp(x, f);
+    case 3: return eval_sqrt(x, f);
+    case 4: return eval_lg2(x, f);
+    default:
+      // Undefined select: the datapath passes the range-reduced operand
+      // through unevaluated, which is what a dead select tree yields.
+      return static_cast<std::uint32_t>(tap(f, Bus::Result, x));
+  }
+}
+
+}  // namespace gpf::sf

@@ -1,0 +1,19 @@
+// Special Function Unit model: sin, exp2, rcp, sqrt, log2 evaluated with the
+// classic range-reduction + polynomial structure. Internal stage buses
+// (reduced argument, polynomial partials, the 3-bit operation-select lines)
+// are fault-injectable; corrupting the select lines makes the SFU evaluate a
+// different function — the control-corruption effect the paper attributes to
+// the shared SFU control logic.
+#pragma once
+
+#include <cstdint>
+
+#include "softfloat/buses.hpp"
+
+namespace gpf::sf {
+
+enum class SfuFunc : std::uint8_t { Sin = 0, Exp2 = 1, Rcp = 2, Sqrt = 3, Lg2 = 4 };
+
+std::uint32_t sfu_eval(SfuFunc fn, std::uint32_t x, const BusFaultSet* f = nullptr);
+
+}  // namespace gpf::sf

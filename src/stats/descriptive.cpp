@@ -1,0 +1,47 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace gpf::stats {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double median(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+  double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid) - 1, v.end());
+  return 0.5 * (hi + v[mid - 1]);
+}
+
+double proportion_margin(double p_hat, std::size_t n, double z) {
+  if (n == 0) return 1.0;
+  return z * std::sqrt(p_hat * (1.0 - p_hat) / static_cast<double>(n));
+}
+
+std::size_t sample_size_for_margin(double e, double z) {
+  const double n = z * z * 0.25 / (e * e);
+  return static_cast<std::size_t>(std::ceil(n));
+}
+
+}  // namespace gpf::stats

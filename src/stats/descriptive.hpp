@@ -1,0 +1,23 @@
+// Descriptive statistics and sampling-error margins for campaign results.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace gpf::stats {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);   // unbiased (n-1)
+double stddev(std::span<const double> xs);
+double median(std::span<const double> xs);     // copies + sorts internally
+
+/// Margin of error (half-width of the CI) for an observed proportion p̂ over
+/// n Bernoulli trials at confidence z (1.96 = 95%, 2.58 = 99%).
+/// The paper quotes "statistical margin error lower than 3%" for its
+/// 12,000-fault campaigns; this is the same formula.
+double proportion_margin(double p_hat, std::size_t n, double z = 1.96);
+
+/// Sample size needed for margin `e` at worst case p=0.5.
+std::size_t sample_size_for_margin(double e, double z = 1.96);
+
+}  // namespace gpf::stats

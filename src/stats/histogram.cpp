@@ -1,0 +1,51 @@
+#include "stats/histogram.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace gpf::stats {
+
+DecadeHistogram::DecadeHistogram(int lo_exp, int hi_exp)
+    : lo_exp_(lo_exp), hi_exp_(hi_exp),
+      counts_(static_cast<std::size_t>(hi_exp - lo_exp) + 2, 0) {}
+
+void DecadeHistogram::add(double value) {
+  ++total_;
+  if (!(value > 0.0) || !std::isfinite(value)) {
+    ++counts_.front();  // zero/invalid syndromes sit in the underflow bin
+    return;
+  }
+  const double e = std::log10(value);
+  if (e < lo_exp_) {
+    ++counts_.front();
+  } else if (e >= hi_exp_) {
+    ++counts_.back();
+  } else {
+    const auto idx = static_cast<std::size_t>(std::floor(e) - lo_exp_) + 1;
+    ++counts_[idx];
+  }
+}
+
+void DecadeHistogram::add_all(std::span<const double> values) {
+  for (double v : values) add(v);
+}
+
+double DecadeHistogram::fraction(std::size_t bin) const {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(counts_[bin]) / static_cast<double>(total_);
+}
+
+std::string DecadeHistogram::label(std::size_t bin) const {
+  char buf[48];
+  if (bin == 0) {
+    std::snprintf(buf, sizeof(buf), "<1e%d", lo_exp_);
+  } else if (bin == counts_.size() - 1) {
+    std::snprintf(buf, sizeof(buf), ">=1e%d", hi_exp_);
+  } else {
+    const int e = lo_exp_ + static_cast<int>(bin) - 1;
+    std::snprintf(buf, sizeof(buf), "[1e%d,1e%d)", e, e + 1);
+  }
+  return buf;
+}
+
+}  // namespace gpf::stats

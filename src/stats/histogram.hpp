@@ -1,0 +1,40 @@
+// Log-decade histogram used for the fault-syndrome figures: the paper bins
+// relative errors from <1e-8 to >1e2 (Figs. 5/6).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gpf::stats {
+
+/// Histogram over powers of ten. Bin i covers [10^(lo_exp+i), 10^(lo_exp+i+1));
+/// values below 10^lo_exp land in an underflow bin, values >= 10^hi_exp in an
+/// overflow bin.
+class DecadeHistogram {
+ public:
+  DecadeHistogram(int lo_exp = -8, int hi_exp = 2);
+
+  void add(double value);
+  void add_all(std::span<const double> values);
+
+  std::size_t total() const { return total_; }
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_[bin]; }
+  /// Fraction of samples in `bin` (0 when empty).
+  double fraction(std::size_t bin) const;
+  /// Human-readable label, e.g. "<1e-8", "[1e-2,1e-1)", ">=1e2".
+  std::string label(std::size_t bin) const;
+
+  int lo_exp() const { return lo_exp_; }
+  int hi_exp() const { return hi_exp_; }
+
+ private:
+  int lo_exp_;
+  int hi_exp_;
+  std::vector<std::size_t> counts_;  // [under, decades..., over]
+  std::size_t total_ = 0;
+};
+
+}  // namespace gpf::stats

@@ -1,0 +1,69 @@
+#include "stats/powerlaw.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace gpf::stats {
+
+double fit_alpha(std::span<const double> xs, double x_min) {
+  double log_sum = 0.0;
+  std::size_t n = 0;
+  for (double x : xs) {
+    if (x >= x_min && x > 0.0) {
+      log_sum += std::log(x / x_min);
+      ++n;
+    }
+  }
+  if (n == 0 || log_sum <= 0.0) return 0.0;
+  return 1.0 + static_cast<double>(n) / log_sum;
+}
+
+double ks_distance(std::span<const double> xs, double x_min, double alpha) {
+  std::vector<double> tail;
+  tail.reserve(xs.size());
+  for (double x : xs)
+    if (x >= x_min && x > 0.0) tail.push_back(x);
+  if (tail.empty() || alpha <= 1.0) return 1.0;
+  std::sort(tail.begin(), tail.end());
+  const double n = static_cast<double>(tail.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    const double model = 1.0 - std::pow(tail[i] / x_min, 1.0 - alpha);
+    const double emp_hi = static_cast<double>(i + 1) / n;
+    const double emp_lo = static_cast<double>(i) / n;
+    d = std::max({d, std::abs(emp_hi - model), std::abs(emp_lo - model)});
+  }
+  return d;
+}
+
+PowerLawFit fit_power_law(std::span<const double> xs, std::size_t min_tail) {
+  std::vector<double> candidates;
+  candidates.reserve(xs.size());
+  for (double x : xs)
+    if (x > 0.0) candidates.push_back(x);
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+
+  PowerLawFit best;
+  if (candidates.empty()) return best;
+  // Cap candidate x_min values so the tail keeps at least min_tail samples.
+  for (double x_min : candidates) {
+    const double alpha = fit_alpha(xs, x_min);
+    if (alpha <= 1.0) continue;
+    std::size_t n_tail = 0;
+    for (double x : xs)
+      if (x >= x_min && x > 0.0) ++n_tail;
+    if (n_tail < min_tail) break;  // candidates are sorted: tails only shrink
+    const double d = ks_distance(xs, x_min, alpha);
+    if (d < best.ks) best = PowerLawFit{alpha, x_min, d, n_tail};
+  }
+  return best;
+}
+
+double PowerLawSampler::sample(Rng& rng) const {
+  const double r = rng.uniform();  // [0, 1)
+  return x_min_ * std::pow(1.0 - r, -1.0 / (alpha_ - 1.0));
+}
+
+}  // namespace gpf::stats

@@ -1,0 +1,43 @@
+// Power-law fitting and sampling after Clauset, Shalizi & Newman (2007),
+// which the paper uses to model the fault syndrome (Eq. 1):
+//   relative_error = x_min * (1 - r)^(-1/(alpha-1)),  r ~ U[0,1)
+#pragma once
+
+#include <span>
+
+#include "common/rng.hpp"
+
+namespace gpf::stats {
+
+struct PowerLawFit {
+  double alpha = 0.0;   ///< scaling exponent (MLE)
+  double x_min = 0.0;   ///< lower bound of power-law behaviour
+  double ks = 1.0;      ///< KS distance between data tail and fitted CDF
+  std::size_t n_tail = 0;  ///< samples >= x_min used for the fit
+};
+
+/// Continuous MLE for alpha with x_min fixed:
+///   alpha = 1 + n / sum(ln(x_i / x_min)), over x_i >= x_min.
+double fit_alpha(std::span<const double> xs, double x_min);
+
+/// KS distance between the empirical tail CDF and the fitted power law.
+double ks_distance(std::span<const double> xs, double x_min, double alpha);
+
+/// Full Clauset fit: choose x_min (among observed values) minimizing the KS
+/// distance, then alpha by MLE. Requires at least `min_tail` tail samples.
+PowerLawFit fit_power_law(std::span<const double> xs, std::size_t min_tail = 10);
+
+/// Inverse-CDF sampler implementing the paper's Eq. 1.
+class PowerLawSampler {
+ public:
+  PowerLawSampler(double x_min, double alpha) : x_min_(x_min), alpha_(alpha) {}
+  double sample(Rng& rng) const;
+  double x_min() const { return x_min_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double x_min_;
+  double alpha_;
+};
+
+}  // namespace gpf::stats

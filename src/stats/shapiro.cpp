@@ -1,0 +1,171 @@
+// Royston (1995), "Remark AS R94", Applied Statistics 44(4). The polynomial
+// coefficients below are the published ones; this is the same algorithm used
+// by R's shapiro.test.
+#include "stats/shapiro.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace gpf::stats {
+namespace {
+
+// Standard normal quantile (Acklam's rational approximation, |err| < 1.2e-9).
+double norm_ppf(double p) {
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  if (p <= 0.0) return -1e308;
+  if (p >= 1.0) return 1e308;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+// Standard normal upper-tail probability.
+double norm_sf(double z) { return 0.5 * std::erfc(z / std::sqrt(2.0)); }
+
+double poly(const double* cc, int n, double x) {
+  double r = cc[0];
+  double p = 1.0;
+  for (int i = 1; i < n; ++i) {
+    p *= x;
+    r += cc[i] * p;
+  }
+  return r;
+}
+
+}  // namespace
+
+ShapiroWilkResult shapiro_wilk(std::span<const double> xs) {
+  ShapiroWilkResult out;
+  const int n = static_cast<int>(xs.size());
+  if (n < 3 || n > 5000) return out;
+
+  std::vector<double> x(xs.begin(), xs.end());
+  std::sort(x.begin(), x.end());
+  if (x.back() - x.front() <= 0.0) return out;  // degenerate
+
+  // Expected normal order statistics m_i and weights a_i (Royston).
+  const int n2 = n / 2;
+  std::vector<double> m(static_cast<std::size_t>(n));
+  double ssumm2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    m[static_cast<std::size_t>(i)] =
+        norm_ppf((static_cast<double>(i) + 1.0 - 0.375) / (static_cast<double>(n) + 0.25));
+    ssumm2 += m[static_cast<std::size_t>(i)] * m[static_cast<std::size_t>(i)];
+  }
+  const double rsn = 1.0 / std::sqrt(static_cast<double>(n));
+
+  std::vector<double> a(static_cast<std::size_t>(n));
+  if (n == 3) {
+    a[0] = -std::sqrt(0.5);
+    a[1] = 0.0;
+    a[2] = std::sqrt(0.5);
+  } else {
+    static const double c1[] = {0.0, 0.221157, -0.147981, -2.071190, 4.434685, -2.706056};
+    static const double c2[] = {0.0, 0.042981, -0.293762, -1.752461, 5.682633, -3.582633};
+    const double an25 = std::sqrt(ssumm2);
+    double a_n = m[static_cast<std::size_t>(n - 1)] / an25 + poly(c1, 6, rsn);
+    double a_n1 = 0.0;
+    int i1;
+    double phi;
+    if (n > 5) {
+      a_n1 = m[static_cast<std::size_t>(n - 2)] / an25 + poly(c2, 6, rsn);
+      i1 = 3;
+      phi = (ssumm2 - 2.0 * m[static_cast<std::size_t>(n - 1)] * m[static_cast<std::size_t>(n - 1)] -
+             2.0 * m[static_cast<std::size_t>(n - 2)] * m[static_cast<std::size_t>(n - 2)]) /
+            (1.0 - 2.0 * a_n * a_n - 2.0 * a_n1 * a_n1);
+    } else {
+      i1 = 2;
+      phi = (ssumm2 - 2.0 * m[static_cast<std::size_t>(n - 1)] * m[static_cast<std::size_t>(n - 1)]) /
+            (1.0 - 2.0 * a_n * a_n);
+    }
+    if (phi <= 0.0) return out;
+    const double sqphi = std::sqrt(phi);
+    // Upper half: two largest weights from the polynomial corrections, the
+    // rest proportional to the expected order statistics. Lower half mirrors
+    // with opposite sign; the middle weight is zero for odd n.
+    a[static_cast<std::size_t>(n - 1)] = a_n;
+    if (n > 5) a[static_cast<std::size_t>(n - 2)] = a_n1;
+    for (int i = n2; i < n - (i1 - 1); ++i)
+      a[static_cast<std::size_t>(i)] = m[static_cast<std::size_t>(i)] / sqphi;
+    if (n % 2 == 1) a[static_cast<std::size_t>(n2)] = 0.0;
+    for (int i = 0; i < n2; ++i)
+      a[static_cast<std::size_t>(i)] = -a[static_cast<std::size_t>(n - 1 - i)];
+  }
+
+  // W statistic.
+  const double xbar = [&] {
+    double s = 0.0;
+    for (double v : x) s += v;
+    return s / static_cast<double>(n);
+  }();
+  double num = 0.0, den = 0.0;
+  for (int i = 0; i < n; ++i) {
+    num += a[static_cast<std::size_t>(i)] * x[static_cast<std::size_t>(i)];
+    den += (x[static_cast<std::size_t>(i)] - xbar) * (x[static_cast<std::size_t>(i)] - xbar);
+  }
+  if (den <= 0.0) return out;
+  double w = num * num / den;
+  w = std::min(w, 1.0);
+  out.w = w;
+
+  // P-value (Royston 1995 normalizing transforms).
+  if (n == 3) {
+    const double pi6 = 1.90985931710274;
+    const double stqr = 1.04719755119660;
+    double pw = pi6 * (std::asin(std::sqrt(w)) - stqr);
+    out.p_value = std::clamp(pw, 0.0, 1.0);
+    out.valid = true;
+    return out;
+  }
+  const double y = std::log(1.0 - w);
+  const double xx = std::log(static_cast<double>(n));
+  double mu, sigma;
+  if (n <= 11) {
+    static const double c3[] = {0.5440, -0.39978, 0.025054, -0.0006714};
+    static const double c4[] = {1.3822, -0.77857, 0.062767, -0.0020322};
+    const double gamma = poly((const double[]){-2.273, 0.459}, 2, static_cast<double>(n));
+    if (y >= gamma) {
+      out.p_value = 1e-99;
+      out.valid = true;
+      return out;
+    }
+    const double y2 = -std::log(gamma - y);
+    mu = poly(c3, 4, static_cast<double>(n));
+    sigma = std::exp(poly(c4, 4, static_cast<double>(n)));
+    out.p_value = norm_sf((y2 - mu) / sigma);
+  } else {
+    static const double c5[] = {-1.5861, -0.31082, -0.083751, 0.0038915};
+    static const double c6[] = {-0.4803, -0.082676, 0.0030302};
+    mu = poly(c5, 4, xx);
+    sigma = std::exp(poly(c6, 3, xx));
+    out.p_value = norm_sf((y - mu) / sigma);
+  }
+  out.p_value = std::clamp(out.p_value, 0.0, 1.0);
+  out.valid = true;
+  return out;
+}
+
+}  // namespace gpf::stats

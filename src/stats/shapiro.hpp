@@ -1,0 +1,18 @@
+// Shapiro–Wilk normality test (Royston's AS R94 approximation, n in [3,5000]).
+// The paper uses it to show syndrome distributions are non-Gaussian
+// (all p-values < 0.05).
+#pragma once
+
+#include <span>
+
+namespace gpf::stats {
+
+struct ShapiroWilkResult {
+  double w = 0.0;        ///< test statistic
+  double p_value = 0.0;  ///< probability of normality
+  bool valid = false;    ///< false when n outside [3, 5000] or degenerate data
+};
+
+ShapiroWilkResult shapiro_wilk(std::span<const double> xs);
+
+}  // namespace gpf::stats

@@ -1,0 +1,107 @@
+#include "syndrome/pattern.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace gpf::syndrome {
+
+std::string_view pattern_name(SpatialPattern p) {
+  switch (p) {
+    case SpatialPattern::None: return "none";
+    case SpatialPattern::Single: return "single";
+    case SpatialPattern::Row: return "row";
+    case SpatialPattern::Col: return "col";
+    case SpatialPattern::RowCol: return "row+col";
+    case SpatialPattern::Block: return "block";
+    case SpatialPattern::Random: return "random";
+    case SpatialPattern::All: return "all";
+  }
+  return "?";
+}
+
+SpatialPattern classify_spatial(std::span<const std::uint32_t> indices, unsigned n) {
+  if (indices.empty()) return SpatialPattern::None;
+  if (indices.size() == 1) return SpatialPattern::Single;
+  const std::size_t total = static_cast<std::size_t>(n) * n;
+  if (indices.size() >= total * 4 / 5) return SpatialPattern::All;
+
+  std::vector<unsigned> rows, cols;
+  rows.reserve(indices.size());
+  cols.reserve(indices.size());
+  unsigned rmin = n, rmax = 0, cmin = n, cmax = 0;
+  std::vector<bool> row_seen(n, false), col_seen(n, false);
+  unsigned distinct_rows = 0, distinct_cols = 0;
+  for (std::uint32_t idx : indices) {
+    const unsigned r = idx / n, c = idx % n;
+    rows.push_back(r);
+    cols.push_back(c);
+    rmin = std::min(rmin, r);
+    rmax = std::max(rmax, r);
+    cmin = std::min(cmin, c);
+    cmax = std::max(cmax, c);
+    if (r < n && !row_seen[r]) {
+      row_seen[r] = true;
+      ++distinct_rows;
+    }
+    if (c < n && !col_seen[c]) {
+      col_seen[c] = true;
+      ++distinct_cols;
+    }
+  }
+  // Row/Col bands: tiled kernels replicate a corrupted lane's row/column in
+  // every tile, so allow up to 2 distinct rows (columns), provided the band
+  // stretches across a good part of the matrix (else it is a block).
+  const bool one_row = distinct_rows <= 2 && (cmax - cmin + 1) >= n / 2;
+  const bool one_col = distinct_cols <= 2 && (rmax - rmin + 1) >= n / 2;
+  if (one_row && !one_col) return SpatialPattern::Row;
+  if (one_col && !one_row) return SpatialPattern::Col;
+  if (distinct_rows <= 2 && distinct_cols <= 2) return SpatialPattern::Block;
+
+  // Row+Column: the union of a single row and a single column covers all.
+  {
+    std::vector<unsigned> rs(rows), cs(cols);
+    std::sort(rs.begin(), rs.end());
+    std::sort(cs.begin(), cs.end());
+    // Candidate row/col = the most frequent values.
+    auto mode = [](const std::vector<unsigned>& v) {
+      unsigned best = v[0], best_count = 0, cur = v[0], count = 0;
+      for (unsigned x : v) {
+        if (x == cur) {
+          ++count;
+        } else {
+          cur = x;
+          count = 1;
+        }
+        if (count > best_count) {
+          best_count = count;
+          best = cur;
+        }
+      }
+      return best;
+    };
+    const unsigned mr = mode(rs), mc = mode(cs);
+    bool covered = true;
+    for (std::size_t i = 0; i < rows.size(); ++i)
+      if (rows[i] != mr && cols[i] != mc) {
+        covered = false;
+        break;
+      }
+    bool row_used = false, col_used = false;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (rows[i] == mr && cols[i] != mc) row_used = true;
+      if (cols[i] == mc && rows[i] != mr) col_used = true;
+    }
+    if (covered && row_used && col_used) return SpatialPattern::RowCol;
+  }
+
+  // Block: dense within the bounding box (>= 40% of it corrupted) and the
+  // box does not cover the full matrix.
+  const std::size_t box =
+      static_cast<std::size_t>(rmax - rmin + 1) * (cmax - cmin + 1);
+  const bool spans_all = (rmax - rmin + 1 == n) && (cmax - cmin + 1 == n);
+  if (!spans_all && indices.size() * 5 >= box * 2) return SpatialPattern::Block;
+
+  return SpatialPattern::Random;
+}
+
+}  // namespace gpf::syndrome

@@ -1,0 +1,27 @@
+// Spatial classification of multiple corrupted elements in a matrix output
+// (paper Fig. 8 / Table 2): Row, Column, Row+Column, Block, Random, All —
+// plus Single for one corrupted element.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace gpf::syndrome {
+
+enum class SpatialPattern : std::uint8_t {
+  None,    ///< no corrupted elements
+  Single,
+  Row,
+  Col,
+  RowCol,  ///< one row plus one column
+  Block,   ///< contained in a rectangular cluster
+  Random,  ///< scattered
+  All,     ///< all or almost all elements corrupted
+};
+std::string_view pattern_name(SpatialPattern p);
+
+/// Classify corrupted linear indices in an n x n matrix.
+SpatialPattern classify_spatial(std::span<const std::uint32_t> indices, unsigned n);
+
+}  // namespace gpf::syndrome

@@ -1,0 +1,243 @@
+// Deep-learning apps. LeNet is a faithful small conv-pool-conv-pool-fc
+// network; yolov3 is the documented scaled-down substitution (DESIGN.md §6):
+// a convolutional detection pipeline with leaky-ReLU stacks that exercises
+// the same conv / pool / pointwise kernels and multi-launch structure as
+// Darknet's YOLOv3 at simulator-tractable size.
+#include <cmath>
+#include <memory>
+
+#include "workloads/common.hpp"
+#include "workloads/kernels.hpp"
+
+namespace gpf::workloads {
+namespace {
+
+using kernels::Activation;
+using kernels::ConvDims;
+
+// Host-side replicas of the device kernels (same fmaf accumulation order).
+std::vector<float> host_conv(const std::vector<float>& in,
+                             const std::vector<float>& w,
+                             const std::vector<float>& bias, const ConvDims& d,
+                             Activation act) {
+  const std::uint32_t oh = d.in_h - d.k + 1, ow = d.in_w - d.k + 1;
+  std::vector<float> out(d.out_c * oh * ow);
+  for (std::uint32_t f = 0; f < d.out_c; ++f)
+    for (std::uint32_t oy = 0; oy < oh; ++oy)
+      for (std::uint32_t ox = 0; ox < ow; ++ox) {
+        float acc = bias[f];
+        for (std::uint32_t c = 0; c < d.in_c; ++c)
+          for (std::uint32_t ky = 0; ky < d.k; ++ky)
+            for (std::uint32_t kx = 0; kx < d.k; ++kx) {
+              const float iv = in[c * d.in_h * d.in_w + (oy + ky) * d.in_w + ox + kx];
+              const float wv = w[((f * d.in_c + c) * d.k + ky) * d.k + kx];
+              acc = std::fmaf(iv, wv, acc);
+            }
+        if (act == Activation::Relu) acc = std::fmax(acc, 0.0f);
+        if (act == Activation::Leaky) acc = std::fmax(acc, acc * 0.1f);
+        out[f * oh * ow + oy * ow + ox] = acc;
+      }
+  return out;
+}
+
+std::vector<float> host_pool(const std::vector<float>& in, std::uint32_t c,
+                             std::uint32_t h, std::uint32_t w) {
+  const std::uint32_t oh = h / 2, ow = w / 2;
+  std::vector<float> out(c * oh * ow);
+  for (std::uint32_t ch = 0; ch < c; ++ch)
+    for (std::uint32_t oy = 0; oy < oh; ++oy)
+      for (std::uint32_t ox = 0; ox < ow; ++ox) {
+        const std::uint32_t i = ch * h * w + 2 * oy * w + 2 * ox;
+        float m = std::fmax(in[i], in[i + 1]);
+        m = std::fmax(m, in[i + w]);
+        m = std::fmax(m, in[i + w + 1]);
+        out[ch * oh * ow + oy * ow + ox] = m;
+      }
+  return out;
+}
+
+std::vector<float> host_fc(const std::vector<float>& in, const std::vector<float>& w,
+                           const std::vector<float>& bias, std::uint32_t in_n,
+                           std::uint32_t out_n) {
+  std::vector<float> out(out_n);
+  for (std::uint32_t j = 0; j < out_n; ++j) {
+    float acc = bias[j];
+    for (std::uint32_t i = 0; i < in_n; ++i)
+      acc = std::fmaf(w[j * in_n + i], in[i], acc);
+    out[j] = acc;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// lenet — conv(5x5,1->4) pool conv(3x3,4->8) pool fc(32->10), 16x16 input
+// ---------------------------------------------------------------------------
+
+class LeNet final : public AppBase {
+ public:
+  // Memory map (word addresses).
+  static constexpr std::uint32_t kIn = 0;        // 1x16x16  = 256
+  static constexpr std::uint32_t kW1 = 256;      // 4x1x5x5  = 100
+  static constexpr std::uint32_t kB1 = 356;      // 4
+  static constexpr std::uint32_t kOut1 = 512;    // 4x12x12  = 576
+  static constexpr std::uint32_t kPool1 = 1088;  // 4x6x6    = 144
+  static constexpr std::uint32_t kW2 = 1232;     // 8x4x3x3  = 288
+  static constexpr std::uint32_t kB2 = 1520;     // 8
+  static constexpr std::uint32_t kOut2 = 1536;   // 8x4x4    = 128
+  static constexpr std::uint32_t kPool2 = 1664;  // 8x2x2    = 32
+  static constexpr std::uint32_t kW3 = 1696;     // 10x32    = 320
+  static constexpr std::uint32_t kB3 = 2016;     // 10
+  static constexpr std::uint32_t kOut = 2048;    // 10
+
+  static constexpr ConvDims kC1{1, 16, 16, 5, 4};
+  static constexpr ConvDims kC2{4, 6, 6, 3, 8};
+
+  LeNet() : AppBase("lenet", "FP32", "Deep Learning", "Darknet"),
+            conv1_(kernels::conv2d(kIn, kW1, kB1, kOut1, kC1, Activation::Relu)),
+            pool1_(kernels::maxpool2(kOut1, kPool1, 4, 12, 12)),
+            conv2_(kernels::conv2d(kPool1, kW2, kB2, kOut2, kC2, Activation::Relu)),
+            pool2_(kernels::maxpool2(kOut2, kPool2, 8, 4, 4)),
+            fc_(kernels::fully_connected(kPool2, kW3, kB3, kOut, 32, 10,
+                                         Activation::None)) {}
+
+  void setup(arch::Gpu& gpu) const override {
+    gpu.write_global_f(kIn, random_floats(256, 0.0, 1.0, 1401));
+    gpu.write_global_f(kW1, random_floats(100, -0.5, 0.5, 1402));
+    gpu.write_global_f(kB1, random_floats(4, -0.1, 0.1, 1403));
+    gpu.write_global_f(kW2, random_floats(288, -0.5, 0.5, 1404));
+    gpu.write_global_f(kB2, random_floats(8, -0.1, 0.1, 1405));
+    gpu.write_global_f(kW3, random_floats(320, -0.5, 0.5, 1406));
+    gpu.write_global_f(kB3, random_floats(10, -0.1, 0.1, 1407));
+    gpu.reserve_global(kOut1, 576);
+    gpu.reserve_global(kPool1, 144);
+    gpu.reserve_global(kOut2, 128);
+    gpu.reserve_global(kPool2, 32);
+    gpu.reserve_global(kOut, 10);
+  }
+
+  RunStats run(arch::Gpu& gpu, std::uint64_t mc) const override {
+    RunStats s;
+    if (!step(gpu, s, conv1_, {4, 1, 1}, {12, 12, 1}, mc)) return s;
+    if (!step(gpu, s, pool1_, {4, 1, 1}, {6, 6, 1}, mc)) return s;
+    if (!step(gpu, s, conv2_, {8, 1, 1}, {4, 4, 1}, mc)) return s;
+    if (!step(gpu, s, pool2_, {8, 1, 1}, {2, 2, 1}, mc)) return s;
+    if (!step(gpu, s, fc_, {1, 1, 1}, {10, 1, 1}, mc)) return s;
+    return s;
+  }
+
+  OutputSpec output() const override { return {kOut, 10, true, 1e-4}; }
+
+  std::vector<float> host_reference_f() const override {
+    const auto in = random_floats(256, 0.0, 1.0, 1401);
+    const auto w1 = random_floats(100, -0.5, 0.5, 1402);
+    const auto b1 = random_floats(4, -0.1, 0.1, 1403);
+    const auto w2 = random_floats(288, -0.5, 0.5, 1404);
+    const auto b2 = random_floats(8, -0.1, 0.1, 1405);
+    const auto w3 = random_floats(320, -0.5, 0.5, 1406);
+    const auto b3 = random_floats(10, -0.1, 0.1, 1407);
+    auto x = host_conv(in, w1, b1, kC1, Activation::Relu);
+    x = host_pool(x, 4, 12, 12);
+    x = host_conv(x, w2, b2, kC2, Activation::Relu);
+    x = host_pool(x, 8, 4, 4);
+    return host_fc(x, w3, b3, 32, 10);
+  }
+
+ private:
+  isa::Program conv1_, pool1_, conv2_, pool2_, fc_;
+};
+
+// ---------------------------------------------------------------------------
+// yolov3 — scaled-down convolutional detection pipeline (see DESIGN.md §6)
+// ---------------------------------------------------------------------------
+
+class YoloV3 final : public AppBase {
+ public:
+  static constexpr std::uint32_t kIn = 0;        // 3x16x16 = 768
+  static constexpr std::uint32_t kW1 = 768;      // 8x3x3x3 = 216
+  static constexpr std::uint32_t kB1 = 984;      // 8
+  static constexpr std::uint32_t kOut1 = 1024;   // 8x14x14 = 1568
+  static constexpr std::uint32_t kPool1 = 2592;  // 8x7x7   = 392
+  static constexpr std::uint32_t kW2 = 2984;     // 16x8x3x3 = 1152
+  static constexpr std::uint32_t kB2 = 4136;     // 16
+  static constexpr std::uint32_t kOut2 = 4160;   // 16x5x5  = 400
+  static constexpr std::uint32_t kW3 = 4560;     // 8x16x1x1 = 128
+  static constexpr std::uint32_t kB3 = 4688;     // 8
+  static constexpr std::uint32_t kOut3 = 4704;   // 8x5x5   = 200
+  static constexpr std::uint32_t kW4 = 4904;     // 12x8x3x3 = 864
+  static constexpr std::uint32_t kB4 = 5768;     // 12
+  static constexpr std::uint32_t kDet = 5792;    // 12x3x3  = 108
+
+  static constexpr ConvDims kC1{3, 16, 16, 3, 8};
+  static constexpr ConvDims kC2{8, 7, 7, 3, 16};
+  static constexpr ConvDims kC3{16, 5, 5, 1, 8};
+  static constexpr ConvDims kC4{8, 5, 5, 3, 12};
+
+  YoloV3() : AppBase("yolov3", "FP32", "Deep Learning", "Darknet"),
+             conv1_(kernels::conv2d(kIn, kW1, kB1, kOut1, kC1, Activation::Leaky)),
+             pool1_(kernels::maxpool2(kOut1, kPool1, 8, 14, 14)),
+             conv2_(kernels::conv2d(kPool1, kW2, kB2, kOut2, kC2, Activation::Leaky)),
+             conv3_(kernels::conv2d(kOut2, kW3, kB3, kOut3, kC3, Activation::Leaky)),
+             conv4_(kernels::conv2d(kOut3, kW4, kB4, kDet, kC4, Activation::None)) {}
+
+  void setup(arch::Gpu& gpu) const override {
+    gpu.write_global_f(kIn, random_floats(768, 0.0, 1.0, 1501));
+    gpu.write_global_f(kW1, random_floats(216, -0.3, 0.3, 1502));
+    gpu.write_global_f(kB1, random_floats(8, -0.1, 0.1, 1503));
+    gpu.write_global_f(kW2, random_floats(1152, -0.3, 0.3, 1504));
+    gpu.write_global_f(kB2, random_floats(16, -0.1, 0.1, 1505));
+    gpu.write_global_f(kW3, random_floats(128, -0.3, 0.3, 1506));
+    gpu.write_global_f(kB3, random_floats(8, -0.1, 0.1, 1507));
+    gpu.write_global_f(kW4, random_floats(864, -0.3, 0.3, 1508));
+    gpu.write_global_f(kB4, random_floats(12, -0.1, 0.1, 1509));
+    gpu.reserve_global(kOut1, 1568);
+    gpu.reserve_global(kPool1, 392);
+    gpu.reserve_global(kOut2, 400);
+    gpu.reserve_global(kOut3, 200);
+    gpu.reserve_global(kDet, 108);
+  }
+
+  RunStats run(arch::Gpu& gpu, std::uint64_t mc) const override {
+    RunStats s;
+    if (!step(gpu, s, conv1_, {8, 1, 1}, {14, 14, 1}, mc)) return s;
+    if (!step(gpu, s, pool1_, {8, 1, 1}, {7, 7, 1}, mc)) return s;
+    if (!step(gpu, s, conv2_, {16, 1, 1}, {5, 5, 1}, mc)) return s;
+    if (!step(gpu, s, conv3_, {8, 1, 1}, {5, 5, 1}, mc)) return s;
+    if (!step(gpu, s, conv4_, {12, 1, 1}, {3, 3, 1}, mc)) return s;
+    return s;
+  }
+
+  OutputSpec output() const override { return {kDet, 108, true, 1e-4}; }
+
+  std::vector<float> host_reference_f() const override {
+    const auto in = random_floats(768, 0.0, 1.0, 1501);
+    const auto w1 = random_floats(216, -0.3, 0.3, 1502);
+    const auto b1 = random_floats(8, -0.1, 0.1, 1503);
+    const auto w2 = random_floats(1152, -0.3, 0.3, 1504);
+    const auto b2 = random_floats(16, -0.1, 0.1, 1505);
+    const auto w3 = random_floats(128, -0.3, 0.3, 1506);
+    const auto b3 = random_floats(8, -0.1, 0.1, 1507);
+    const auto w4 = random_floats(864, -0.3, 0.3, 1508);
+    const auto b4 = random_floats(12, -0.1, 0.1, 1509);
+    auto x = host_conv(in, w1, b1, kC1, Activation::Leaky);
+    x = host_pool(x, 8, 14, 14);
+    x = host_conv(x, w2, b2, kC2, Activation::Leaky);
+    x = host_conv(x, w3, b3, kC3, Activation::Leaky);
+    return host_conv(x, w4, b4, kC4, Activation::None);
+  }
+
+ private:
+  isa::Program conv1_, pool1_, conv2_, conv3_, conv4_;
+};
+
+}  // namespace
+
+namespace detail {
+std::vector<std::unique_ptr<Workload>> make_dnn_apps() {
+  std::vector<std::unique_ptr<Workload>> v;
+  v.push_back(std::make_unique<LeNet>());
+  v.push_back(std::make_unique<YoloV3>());
+  return v;
+}
+}  // namespace detail
+
+}  // namespace gpf::workloads

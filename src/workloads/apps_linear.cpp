@@ -1,0 +1,153 @@
+// Linear-algebra evaluation apps: vectoradd, mxm (naive), gemm (Table 1).
+#include <cmath>
+#include <memory>
+
+#include "workloads/common.hpp"
+#include "workloads/kernels.hpp"
+
+namespace gpf::workloads {
+namespace {
+
+// ---------------------------------------------------------------------------
+// vectoradd — CUDA SDK, FP32, 1024 elements
+// ---------------------------------------------------------------------------
+
+class VectorAdd final : public AppBase {
+ public:
+  static constexpr std::uint32_t kN = 1024;
+  static constexpr std::uint32_t kA = 0, kB = 4096, kOut = 8192;
+
+  VectorAdd() : AppBase("vectoradd", "FP32", "Linear algebra", "CUDA SDK"),
+                prog_(kernels::vecadd(kA, kB, kOut, kN)) {}
+
+  void setup(arch::Gpu& gpu) const override {
+    gpu.write_global_f(kA, random_floats(kN, -100.0, 100.0, 101));
+    gpu.write_global_f(kB, random_floats(kN, -100.0, 100.0, 102));
+    gpu.reserve_global(kOut, kN);
+  }
+
+  RunStats run(arch::Gpu& gpu, std::uint64_t mc) const override {
+    RunStats s;
+    step(gpu, s, prog_, {8, 1, 1}, {128, 1, 1}, mc);
+    return s;
+  }
+
+  OutputSpec output() const override { return {kOut, kN, true}; }
+
+  std::vector<float> host_reference_f() const override {
+    const auto a = random_floats(kN, -100.0, 100.0, 101);
+    const auto b = random_floats(kN, -100.0, 100.0, 102);
+    std::vector<float> out(kN);
+    for (std::uint32_t i = 0; i < kN; ++i) out[i] = a[i] + b[i];
+    return out;
+  }
+
+ private:
+  isa::Program prog_;
+};
+
+// ---------------------------------------------------------------------------
+// mxm — naive matrix multiply, 16x16
+// ---------------------------------------------------------------------------
+
+class Mxm final : public AppBase {
+ public:
+  static constexpr std::uint32_t kN = 16;
+  static constexpr std::uint32_t kA = 0, kB = 1024, kC = 2048;
+
+  static constexpr std::uint32_t kTile = 8;
+
+  // The CUDA SDK matrixMul uses shared-memory tiles; so does this kernel.
+  Mxm() : AppBase("mxm", "FP32", "Linear algebra", "CUDA SDK"),
+          prog_(kernels::tiled_matmul(kA, kB, kC, kN, kTile)) {}
+
+  void setup(arch::Gpu& gpu) const override {
+    gpu.write_global_f(kA, random_floats(kN * kN, -4.0, 4.0, 201));
+    gpu.write_global_f(kB, random_floats(kN * kN, -4.0, 4.0, 202));
+    gpu.reserve_global(kC, kN * kN);
+  }
+
+  RunStats run(arch::Gpu& gpu, std::uint64_t mc) const override {
+    RunStats s;
+    step(gpu, s, prog_, {kN / kTile, kN / kTile, 1}, {kTile, kTile, 1}, mc);
+    return s;
+  }
+
+  OutputSpec output() const override { return {kC, kN * kN, true}; }
+
+  std::vector<float> host_reference_f() const override {
+    const auto a = random_floats(kN * kN, -4.0, 4.0, 201);
+    const auto b = random_floats(kN * kN, -4.0, 4.0, 202);
+    std::vector<float> c(kN * kN, 0.0f);
+    for (std::uint32_t r = 0; r < kN; ++r)
+      for (std::uint32_t cc = 0; cc < kN; ++cc) {
+        float acc = 0.0f;
+        for (std::uint32_t k = 0; k < kN; ++k)
+          acc = std::fmaf(a[r * kN + k], b[k * kN + cc], acc);
+        c[r * kN + cc] = acc;
+      }
+    return c;
+  }
+
+ private:
+  isa::Program prog_;
+};
+
+// ---------------------------------------------------------------------------
+// gemm — C = alpha*A*B + beta*C, 16x16
+// ---------------------------------------------------------------------------
+
+class Gemm final : public AppBase {
+ public:
+  static constexpr std::uint32_t kN = 16;
+  static constexpr std::uint32_t kA = 0, kB = 1024, kC = 2048;
+  static constexpr float kAlpha = 1.5f, kBeta = 0.5f;
+
+  Gemm() : AppBase("gemm", "FP32", "Linear algebra", "CUDA SDK"),
+           prog_(kernels::gemm(kA, kB, kC, kN, kAlpha, kBeta)) {}
+
+  void setup(arch::Gpu& gpu) const override {
+    gpu.write_global_f(kA, random_floats(kN * kN, -2.0, 2.0, 301));
+    gpu.write_global_f(kB, random_floats(kN * kN, -2.0, 2.0, 302));
+    gpu.write_global_f(kC, random_floats(kN * kN, -1.0, 1.0, 303));
+  }
+
+  RunStats run(arch::Gpu& gpu, std::uint64_t mc) const override {
+    RunStats s;
+    step(gpu, s, prog_, {1, 1, 1}, {kN, kN, 1}, mc);
+    return s;
+  }
+
+  OutputSpec output() const override { return {kC, kN * kN, true}; }
+
+  std::vector<float> host_reference_f() const override {
+    const auto a = random_floats(kN * kN, -2.0, 2.0, 301);
+    const auto b = random_floats(kN * kN, -2.0, 2.0, 302);
+    auto c = random_floats(kN * kN, -1.0, 1.0, 303);
+    for (std::uint32_t r = 0; r < kN; ++r)
+      for (std::uint32_t cc = 0; cc < kN; ++cc) {
+        float acc = 0.0f;
+        for (std::uint32_t k = 0; k < kN; ++k)
+          acc = std::fmaf(a[r * kN + k], b[k * kN + cc], acc);
+        c[r * kN + cc] = acc * kAlpha + c[r * kN + cc] * kBeta;
+      }
+    return c;
+  }
+
+ private:
+  isa::Program prog_;
+};
+
+}  // namespace
+
+namespace detail {
+std::vector<std::unique_ptr<Workload>> make_linear_apps() {
+  std::vector<std::unique_ptr<Workload>> v;
+  v.push_back(std::make_unique<VectorAdd>());
+  v.push_back(std::make_unique<Mxm>());
+  v.push_back(std::make_unique<Gemm>());
+  return v;
+}
+}  // namespace detail
+
+}  // namespace gpf::workloads

@@ -1,0 +1,56 @@
+// Internal helpers for workload implementations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "workloads/workload.hpp"
+
+namespace gpf::workloads {
+
+/// Metadata-carrying base; derived apps implement setup/run/output/reference.
+class AppBase : public Workload {
+ public:
+  AppBase(std::string name, std::string data_type, std::string domain,
+          std::string suite)
+      : name_(std::move(name)), data_type_(std::move(data_type)),
+        domain_(std::move(domain)), suite_(std::move(suite)) {}
+
+  std::string_view name() const override { return name_; }
+  std::string_view data_type() const override { return data_type_; }
+  std::string_view domain() const override { return domain_; }
+  std::string_view suite() const override { return suite_; }
+
+ protected:
+  /// Launch helper: run one kernel, fold into stats, return false on trap.
+  static bool step(arch::Gpu& gpu, RunStats& stats, const isa::Program& prog,
+                   arch::Dim3 grid, arch::Dim3 block, std::uint64_t max_cycles) {
+    const arch::LaunchResult r = gpu.launch(prog, grid, block, max_cycles);
+    stats.accumulate(r);
+    return r.ok;
+  }
+
+  /// Deterministic input vector in [lo, hi).
+  static std::vector<float> random_floats(std::size_t n, double lo, double hi,
+                                          std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto& x : v) x = static_cast<float>(rng.uniform(lo, hi));
+    return v;
+  }
+
+  static std::vector<std::uint32_t> random_ints(std::size_t n, std::uint32_t lo,
+                                                std::uint32_t hi, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<std::uint32_t> v(n);
+    for (auto& x : v)
+      x = lo + static_cast<std::uint32_t>(rng.below(hi - lo));
+    return v;
+  }
+
+ private:
+  std::string name_, data_type_, domain_, suite_;
+};
+
+}  // namespace gpf::workloads

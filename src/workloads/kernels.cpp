@@ -1,0 +1,560 @@
+#include "workloads/kernels.hpp"
+
+#include "isa/opcode.hpp"
+
+namespace gpf::workloads::kernels {
+
+using isa::Cmp;
+using isa::KernelBuilder;
+using isa::MemSpace;
+using isa::SpecialReg;
+using Reg = KernelBuilder::Reg;
+
+namespace {
+
+/// gid = ctaid.x * ntid.x + tid.x
+void global_id_x(KernelBuilder& kb, Reg gid) {
+  Reg tid = kb.reg(), cta = kb.reg(), ntid = kb.reg();
+  kb.s2r(tid, SpecialReg::TID_X);
+  kb.s2r(cta, SpecialReg::CTAID_X);
+  kb.s2r(ntid, SpecialReg::NTID_X);
+  kb.imad(gid, cta, ntid, tid);
+}
+
+}  // namespace
+
+isa::Program vecadd(Addr a, Addr b, Addr out, std::uint32_t n) {
+  KernelBuilder kb("vecadd");
+  Reg gid = kb.reg();
+  global_id_x(kb, gid);
+  Reg va = kb.reg(), vb = kb.reg();
+  auto p = kb.pred();
+  kb.isetpi(p, Cmp::LT, gid, n);
+  kb.if_(p, false, [&] {
+    kb.ldg(va, gid, a);
+    kb.ldg(vb, gid, b);
+    kb.fadd(va, va, vb);
+    kb.stg(gid, out, va);
+  });
+  return kb.build();
+}
+
+isa::Program scalar_mul(Addr a, Addr out, std::uint32_t n, float s) {
+  KernelBuilder kb("scalar_mul");
+  Reg gid = kb.reg();
+  global_id_x(kb, gid);
+  Reg v = kb.reg();
+  auto p = kb.pred();
+  kb.isetpi(p, Cmp::LT, gid, n);
+  kb.if_(p, false, [&] {
+    kb.ldg(v, gid, a);
+    kb.fmulf(v, v, s);
+    kb.stg(gid, out, v);
+  });
+  return kb.build();
+}
+
+isa::Program naive_matmul(Addr a, Addr b, Addr c, std::uint32_t n) {
+  KernelBuilder kb("mxm");
+  Reg col = kb.reg(), row = kb.reg();
+  kb.s2r(col, SpecialReg::TID_X);
+  kb.s2r(row, SpecialReg::TID_Y);
+  Reg acc = kb.reg(), nreg = kb.reg(), k = kb.reg();
+  Reg ai = kb.reg(), bi = kb.reg(), av = kb.reg(), bv = kb.reg();
+  kb.movf(acc, 0.0f);
+  kb.movi(nreg, n);
+  kb.imul(ai, row, nreg);  // running index A[row][0]
+  kb.mov(bi, col);         // running index B[0][col]
+  kb.for_lt(k, 0, nreg, 1, [&] {
+    kb.ldg(av, ai, a);
+    kb.ldg(bv, bi, b);
+    kb.ffma(acc, av, bv, acc);
+    kb.iaddi(ai, ai, 1);
+    kb.iadd(bi, bi, nreg);
+  });
+  Reg ci = kb.reg();
+  kb.imad(ci, row, nreg, col);
+  kb.stg(ci, c, acc);
+  return kb.build();
+}
+
+isa::Program gemm(Addr a, Addr b, Addr c, std::uint32_t n, float alpha, float beta) {
+  KernelBuilder kb("gemm");
+  Reg col = kb.reg(), row = kb.reg();
+  kb.s2r(col, SpecialReg::TID_X);
+  kb.s2r(row, SpecialReg::TID_Y);
+  Reg acc = kb.reg(), nreg = kb.reg(), k = kb.reg();
+  Reg ai = kb.reg(), bi = kb.reg(), av = kb.reg(), bv = kb.reg();
+  kb.movf(acc, 0.0f);
+  kb.movi(nreg, n);
+  kb.imul(ai, row, nreg);
+  kb.mov(bi, col);
+  kb.for_lt(k, 0, nreg, 1, [&] {
+    kb.ldg(av, ai, a);
+    kb.ldg(bv, bi, b);
+    kb.ffma(acc, av, bv, acc);
+    kb.iaddi(ai, ai, 1);
+    kb.iadd(bi, bi, nreg);
+  });
+  Reg ci = kb.reg(), cv = kb.reg();
+  kb.imad(ci, row, nreg, col);
+  kb.ldg(cv, ci, c);
+  kb.fmulf(acc, acc, alpha);
+  kb.fmulf(cv, cv, beta);
+  kb.fadd(acc, acc, cv);
+  kb.stg(ci, c, acc);
+  return kb.build();
+}
+
+isa::Program tiled_matmul(Addr a, Addr b, Addr c, std::uint32_t n, std::uint32_t t) {
+  KernelBuilder kb("t-mxm");
+  kb.set_shared_words(2 * t * t);
+  const std::uint32_t bs_base = t * t;  // Bs tile after As in shared memory
+
+  Reg tx = kb.reg(), ty = kb.reg(), bx = kb.reg(), by = kb.reg();
+  kb.s2r(tx, SpecialReg::TID_X);
+  kb.s2r(ty, SpecialReg::TID_Y);
+  kb.s2r(bx, SpecialReg::CTAID_X);
+  kb.s2r(by, SpecialReg::CTAID_Y);
+
+  Reg treg = kb.reg(), nreg = kb.reg();
+  kb.movi(treg, t);
+  kb.movi(nreg, n);
+
+  Reg row = kb.reg(), col = kb.reg();
+  kb.imad(row, by, treg, ty);
+  kb.imad(col, bx, treg, tx);
+
+  Reg acc = kb.reg(), m = kb.reg(), ntiles = kb.reg();
+  kb.movf(acc, 0.0f);
+  kb.movi(ntiles, n / t);
+
+  Reg sidx = kb.reg(), gidx = kb.reg(), v = kb.reg(), tmp = kb.reg(), kk = kb.reg();
+  Reg sa = kb.reg(), sb = kb.reg(), va = kb.reg(), vb = kb.reg();
+
+  kb.for_lt(m, 0, ntiles, 1, [&] {
+    // As[ty][tx] = A[row][m*t + tx]
+    kb.imad(tmp, m, treg, tx);
+    kb.imad(gidx, row, nreg, tmp);
+    kb.ldg(v, gidx, a);
+    kb.imad(sidx, ty, treg, tx);
+    kb.sts(sidx, 0, v);
+    // Bs[ty][tx] = B[m*t + ty][col]
+    kb.imad(tmp, m, treg, ty);
+    kb.imad(gidx, tmp, nreg, col);
+    kb.ldg(v, gidx, b);
+    kb.sts(sidx, bs_base, v);
+    kb.bar();
+    // acc += As[ty][k] * Bs[k][tx]
+    kb.imad(sa, ty, treg, KernelBuilder::RZ);  // sa = ty*t
+    kb.mov(sb, tx);
+    kb.for_lt(kk, 0, treg, 1, [&] {
+      kb.lds(va, sa, 0);
+      kb.lds(vb, sb, bs_base);
+      kb.ffma(acc, va, vb, acc);
+      kb.iaddi(sa, sa, 1);
+      kb.iadd(sb, sb, treg);
+    });
+    kb.bar();
+  });
+  Reg ci = kb.reg();
+  kb.imad(ci, row, nreg, col);
+  kb.stg(ci, c, acc);
+  return kb.build();
+}
+
+isa::Program stencil5(Addr in, Addr power, Addr out, std::uint32_t w, std::uint32_t h,
+                      float k) {
+  KernelBuilder kb("stencil5");
+  Reg x = kb.reg(), y = kb.reg();
+  kb.s2r(x, SpecialReg::TID_X);
+  kb.s2r(y, SpecialReg::TID_Y);
+  Reg idx = kb.reg(), wreg = kb.reg();
+  kb.movi(wreg, w);
+  kb.imad(idx, y, wreg, x);
+
+  Reg v = kb.reg(), center = kb.reg();
+  kb.ldg(center, idx, in);
+  kb.mov(v, center);  // boundary cells copy through
+
+  Reg xm1 = kb.reg(), ym1 = kb.reg();
+  kb.iaddi(xm1, x, 0xFFFFFFFFu);  // x - 1
+  kb.iaddi(ym1, y, 0xFFFFFFFFu);
+  auto px = kb.pred();
+  auto py = kb.pred();
+  kb.isetpi(px, Cmp::LTU, xm1, w - 2);  // 1 <= x <= w-2
+  kb.if_(px, false, [&] {
+    kb.isetpi(py, Cmp::LTU, ym1, h - 2);
+    kb.if_(py, false, [&] {
+      Reg nsum = kb.reg(), nv = kb.reg(), pv = kb.reg(), t4 = kb.reg();
+      kb.ldg(nsum, idx, in - w);      // north (idx + in - w)
+      kb.ldg(nv, idx, in + w);        // south
+      kb.fadd(nsum, nsum, nv);
+      kb.ldg(nv, idx, in - 1);        // west
+      kb.fadd(nsum, nsum, nv);
+      kb.ldg(nv, idx, in + 1);        // east
+      kb.fadd(nsum, nsum, nv);
+      kb.movf(t4, -4.0f);
+      kb.ffma(nsum, center, t4, nsum);  // sum(neigh) - 4*center
+      kb.ldg(pv, idx, power);
+      kb.fmulf(nsum, nsum, k);
+      kb.fadd(nsum, nsum, pv);
+      kb.fadd(v, center, nsum);
+    });
+  });
+  kb.stg(idx, out, v);
+  return kb.build();
+}
+
+isa::Program stencil5_shared(Addr in, Addr power, Addr out, std::uint32_t w,
+                             std::uint32_t h, float k) {
+  KernelBuilder kb("stencil5_shared");
+  kb.set_shared_words(w * h);
+  Reg x = kb.reg(), y = kb.reg();
+  kb.s2r(x, SpecialReg::TID_X);
+  kb.s2r(y, SpecialReg::TID_Y);
+  Reg idx = kb.reg(), wreg = kb.reg();
+  kb.movi(wreg, w);
+  kb.imad(idx, y, wreg, x);
+
+  // Stage the tile.
+  Reg center = kb.reg();
+  kb.ldg(center, idx, in);
+  kb.sts(idx, 0, center);
+  kb.bar();
+
+  Reg v = kb.reg();
+  kb.mov(v, center);  // boundary cells copy through
+
+  Reg xm1 = kb.reg(), ym1 = kb.reg();
+  kb.iaddi(xm1, x, 0xFFFFFFFFu);
+  kb.iaddi(ym1, y, 0xFFFFFFFFu);
+  auto px = kb.pred();
+  auto py = kb.pred();
+  kb.isetpi(px, Cmp::LTU, xm1, w - 2);
+  kb.if_(px, false, [&] {
+    kb.isetpi(py, Cmp::LTU, ym1, h - 2);
+    kb.if_(py, false, [&] {
+      Reg nsum = kb.reg(), nv = kb.reg(), pv = kb.reg(), t4 = kb.reg();
+      Reg nidx = kb.reg();
+      kb.isub(nidx, idx, wreg);
+      kb.lds(nsum, nidx, 0);          // north
+      kb.iadd(nidx, idx, wreg);
+      kb.lds(nv, nidx, 0);            // south
+      kb.fadd(nsum, nsum, nv);
+      kb.iaddi(nidx, idx, 0xFFFFFFFFu);
+      kb.lds(nv, nidx, 0);            // west
+      kb.fadd(nsum, nsum, nv);
+      kb.lds(nv, idx, 1);             // east (idx + 1)
+      kb.fadd(nsum, nsum, nv);
+      kb.movf(t4, -4.0f);
+      kb.ffma(nsum, center, t4, nsum);
+      kb.ldg(pv, idx, power);
+      kb.fmulf(nsum, nsum, k);
+      kb.fadd(nsum, nsum, pv);
+      kb.fadd(v, center, nsum);
+    });
+  });
+  kb.stg(idx, out, v);
+  return kb.build();
+}
+
+namespace {
+
+void apply_activation(KernelBuilder& kb, Reg acc, Activation act) {
+  if (act == Activation::None) return;
+  Reg t = kb.reg();
+  if (act == Activation::Relu) {
+    kb.movf(t, 0.0f);
+    kb.fmax(acc, acc, t);
+  } else {  // Leaky: max(x, 0.1x)
+    kb.fmulf(t, acc, 0.1f);
+    kb.fmax(acc, acc, t);
+  }
+}
+
+}  // namespace
+
+isa::Program conv2d(Addr in, Addr weights, Addr bias, Addr out, const ConvDims& d,
+                    Activation act) {
+  KernelBuilder kb("conv2d");
+  const std::uint32_t oh = d.in_h - d.k + 1;
+  const std::uint32_t ow = d.in_w - d.k + 1;
+
+  Reg ox = kb.reg(), oy = kb.reg(), f = kb.reg();
+  kb.s2r(ox, SpecialReg::TID_X);
+  kb.s2r(oy, SpecialReg::TID_Y);
+  kb.s2r(f, SpecialReg::CTAID_X);
+
+  Reg acc = kb.reg();
+  kb.ldg(acc, f, bias);
+
+  Reg creg = kb.reg(), kreg = kb.reg();
+  kb.movi(creg, d.in_c);
+  kb.movi(kreg, d.k);
+
+  Reg c = kb.reg(), ky = kb.reg(), kx = kb.reg();
+  Reg iy = kb.reg(), ix = kb.reg(), ii = kb.reg(), wi = kb.reg();
+  Reg iv = kb.reg(), wv = kb.reg(), tmp = kb.reg(), wbase = kb.reg();
+
+  // wbase = f * C * k * k
+  kb.movi(tmp, d.in_c * d.k * d.k);
+  kb.imul(wbase, f, tmp);
+
+  Reg hwreg = kb.reg(), wreg = kb.reg();
+  kb.movi(hwreg, d.in_h * d.in_w);
+  kb.movi(wreg, d.in_w);
+
+  kb.for_lt(c, 0, creg, 1, [&] {
+    kb.for_lt(ky, 0, kreg, 1, [&] {
+      kb.for_lt(kx, 0, kreg, 1, [&] {
+        kb.iadd(iy, oy, ky);
+        kb.iadd(ix, ox, kx);
+        kb.imul(ii, c, hwreg);
+        kb.imad(tmp, iy, wreg, ix);
+        kb.iadd(ii, ii, tmp);
+        kb.ldg(iv, ii, in);
+        // wi = wbase + ((c*k + ky)*k + kx)
+        kb.imad(tmp, c, kreg, ky);
+        kb.imad(tmp, tmp, kreg, kx);
+        kb.iadd(wi, wbase, tmp);
+        kb.ldg(wv, wi, weights);
+        kb.ffma(acc, iv, wv, acc);
+      });
+    });
+  });
+  apply_activation(kb, acc, act);
+  Reg oi = kb.reg(), owreg = kb.reg();
+  kb.movi(tmp, oh * ow);
+  kb.imul(oi, f, tmp);
+  kb.movi(owreg, ow);
+  kb.imad(tmp, oy, owreg, ox);
+  kb.iadd(oi, oi, tmp);
+  kb.stg(oi, out, acc);
+  return kb.build();
+}
+
+isa::Program maxpool2(Addr in, Addr out, std::uint32_t c, std::uint32_t h,
+                      std::uint32_t w) {
+  KernelBuilder kb("maxpool2");
+  (void)c;
+  const std::uint32_t oh = h / 2, ow = w / 2;
+  Reg ox = kb.reg(), oy = kb.reg(), ch = kb.reg();
+  kb.s2r(ox, SpecialReg::TID_X);
+  kb.s2r(oy, SpecialReg::TID_Y);
+  kb.s2r(ch, SpecialReg::CTAID_X);
+  Reg ii = kb.reg(), tmp = kb.reg(), v = kb.reg(), m = kb.reg();
+  Reg hw = kb.reg(), wreg = kb.reg();
+  kb.movi(hw, h * w);
+  kb.movi(wreg, w);
+  // ii = ch*h*w + (2*oy)*w + 2*ox
+  Reg iy = kb.reg(), ix = kb.reg();
+  kb.iadd(iy, oy, oy);
+  kb.iadd(ix, ox, ox);
+  kb.imul(ii, ch, hw);
+  kb.imad(tmp, iy, wreg, ix);
+  kb.iadd(ii, ii, tmp);
+  kb.ldg(m, ii, in);
+  kb.ldg(v, ii, in + 1);
+  kb.fmax(m, m, v);
+  kb.ldg(v, ii, in + w);
+  kb.fmax(m, m, v);
+  kb.ldg(v, ii, in + w + 1);
+  kb.fmax(m, m, v);
+  Reg oi = kb.reg(), ohw = kb.reg(), owreg = kb.reg();
+  kb.movi(ohw, oh * ow);
+  kb.movi(owreg, ow);
+  kb.imul(oi, ch, ohw);
+  kb.imad(tmp, oy, owreg, ox);
+  kb.iadd(oi, oi, tmp);
+  kb.stg(oi, out, m);
+  return kb.build();
+}
+
+isa::Program fully_connected(Addr in, Addr weights, Addr bias, Addr out,
+                             std::uint32_t in_n, std::uint32_t out_n,
+                             Activation act) {
+  KernelBuilder kb("fc");
+  (void)out_n;
+  Reg j = kb.reg();
+  kb.s2r(j, SpecialReg::TID_X);
+  Reg acc = kb.reg();
+  kb.ldg(acc, j, bias);
+  Reg i = kb.reg(), nreg = kb.reg(), wi = kb.reg(), wv = kb.reg(), iv = kb.reg();
+  kb.movi(nreg, in_n);
+  kb.imul(wi, j, nreg);  // running index w[j][0]
+  kb.for_lt(i, 0, nreg, 1, [&] {
+    kb.ldg(wv, wi, weights);
+    kb.ldg(iv, i, in);
+    kb.ffma(acc, wv, iv, acc);
+    kb.iaddi(wi, wi, 1);
+  });
+  apply_activation(kb, acc, act);
+  kb.stg(j, out, acc);
+  return kb.build();
+}
+
+isa::Program reduce_sum(Addr in, Addr partial, std::uint32_t block) {
+  KernelBuilder kb("reduce");
+  kb.set_shared_words(block);
+  Reg tid = kb.reg(), cta = kb.reg();
+  kb.s2r(tid, SpecialReg::TID_X);
+  kb.s2r(cta, SpecialReg::CTAID_X);
+  Reg gid = kb.reg(), tmp = kb.reg(), a = kb.reg(), b = kb.reg();
+  kb.movi(tmp, 2 * block);
+  kb.imad(gid, cta, tmp, tid);
+  kb.ldg(a, gid, in);
+  kb.ldg(b, gid, in + block);
+  kb.fadd(a, a, b);
+  kb.sts(tid, 0, a);
+  kb.bar();
+  Reg stride = kb.reg(), other = kb.reg();
+  kb.movi(stride, block / 2);
+  auto ploop = kb.pred();
+  auto pin = kb.pred();
+  kb.while_(ploop, false, [&] { kb.isetpi(ploop, Cmp::GE, stride, 1); },
+            [&] {
+              kb.isetp(pin, Cmp::LT, tid, stride);
+              kb.if_(pin, false, [&] {
+                kb.iadd(other, tid, stride);
+                kb.lds(a, tid, 0);
+                kb.lds(b, other, 0);
+                kb.fadd(a, a, b);
+                kb.sts(tid, 0, a);
+              });
+              kb.bar();
+              kb.shr(stride, stride, 1);
+            });
+  auto pz = kb.pred();
+  kb.isetpi(pz, Cmp::EQ, tid, 0);
+  kb.if_(pz, false, [&] {
+    kb.lds(a, tid, 0);
+    kb.stg(cta, partial, a);
+  });
+  return kb.build();
+}
+
+isa::Program transpose(Addr in, Addr out, std::uint32_t n) {
+  KernelBuilder kb("transpose");
+  Reg x = kb.reg(), y = kb.reg(), nreg = kb.reg();
+  kb.s2r(x, SpecialReg::TID_X);
+  kb.s2r(y, SpecialReg::TID_Y);
+  kb.movi(nreg, n);
+  Reg src = kb.reg(), dst = kb.reg(), v = kb.reg();
+  kb.imad(src, y, nreg, x);
+  kb.imad(dst, x, nreg, y);
+  kb.ldg(v, src, in);
+  kb.stg(dst, out, v);
+  return kb.build();
+}
+
+isa::Program scan_inclusive(Addr in, Addr out, std::uint32_t n) {
+  KernelBuilder kb("scan");
+  kb.set_shared_words(n);
+  Reg tid = kb.reg();
+  kb.s2r(tid, SpecialReg::TID_X);
+  Reg v = kb.reg(), addend = kb.reg(), idx = kb.reg(), d = kb.reg();
+  kb.ldg(v, tid, in);
+  kb.sts(tid, 0, v);
+  kb.bar();
+  auto ploop = kb.pred();
+  auto pread = kb.pred();
+  kb.movi(d, 1);
+  kb.while_(ploop, false, [&] { kb.isetpi(ploop, Cmp::LT, d, n); },
+            [&] {
+              kb.movf(addend, 0.0f);
+              kb.isetp(pread, Cmp::GE, tid, d);
+              kb.if_(pread, false, [&] {
+                kb.isub(idx, tid, d);
+                kb.lds(addend, idx, 0);
+              });
+              kb.bar();
+              kb.lds(v, tid, 0);
+              kb.fadd(v, v, addend);
+              kb.sts(tid, 0, v);
+              kb.bar();
+              kb.shl(d, d, 1);
+            });
+  kb.lds(v, tid, 0);
+  kb.stg(tid, out, v);
+  return kb.build();
+}
+
+isa::Program gray_filter(Addr r, Addr g, Addr b, Addr out, std::uint32_t n) {
+  KernelBuilder kb("gray");
+  Reg gid = kb.reg();
+  global_id_x(kb, gid);
+  auto p = kb.pred();
+  kb.isetpi(p, Cmp::LT, gid, n);
+  kb.if_(p, false, [&] {
+    Reg rv = kb.reg(), gv = kb.reg(), bv = kb.reg(), acc = kb.reg(), c = kb.reg();
+    kb.ldg(rv, gid, r);
+    kb.ldg(gv, gid, g);
+    kb.ldg(bv, gid, b);
+    kb.fmulf(acc, rv, 0.299f);
+    kb.movf(c, 0.587f);
+    kb.ffma(acc, gv, c, acc);
+    kb.movf(c, 0.114f);
+    kb.ffma(acc, bv, c, acc);
+    kb.stg(gid, out, acc);
+  });
+  return kb.build();
+}
+
+isa::Program sobel(Addr in, Addr out, std::uint32_t h, std::uint32_t w) {
+  KernelBuilder kb("sobel");
+  Reg x = kb.reg(), y = kb.reg(), wreg = kb.reg(), idx = kb.reg();
+  kb.s2r(x, SpecialReg::TID_X);
+  kb.s2r(y, SpecialReg::TID_Y);
+  kb.movi(wreg, w);
+  kb.imad(idx, y, wreg, x);
+  Reg v = kb.reg();
+  kb.movf(v, 0.0f);
+  Reg xm1 = kb.reg(), ym1 = kb.reg();
+  kb.iaddi(xm1, x, 0xFFFFFFFFu);
+  kb.iaddi(ym1, y, 0xFFFFFFFFu);
+  auto px = kb.pred();
+  auto py = kb.pred();
+  kb.isetpi(px, Cmp::LTU, xm1, w - 2);
+  kb.if_(px, false, [&] {
+    kb.isetpi(py, Cmp::LTU, ym1, h - 2);
+    kb.if_(py, false, [&] {
+      Reg gx = kb.reg(), gy = kb.reg(), t = kb.reg();
+      Reg c2 = kb.reg(), cn1 = kb.reg(), cn2 = kb.reg();
+      kb.movf(c2, 2.0f);
+      kb.movf(cn1, -1.0f);
+      kb.movf(cn2, -2.0f);
+      // gx = (nw + 2*w + sw) - (ne + 2*e + se)
+      kb.ldg(gx, idx, in - w - 1);
+      kb.ldg(t, idx, in - 1);
+      kb.ffma(gx, t, c2, gx);
+      kb.ldg(t, idx, in + w - 1);
+      kb.fadd(gx, gx, t);
+      kb.ldg(t, idx, in - w + 1);
+      kb.ffma(gx, t, cn1, gx);
+      kb.ldg(t, idx, in + 1);
+      kb.ffma(gx, t, cn2, gx);
+      kb.ldg(t, idx, in + w + 1);
+      kb.ffma(gx, t, cn1, gx);
+      // gy = (nw + 2*n + ne) - (sw + 2*s + se)
+      kb.ldg(gy, idx, in - w - 1);
+      kb.ldg(t, idx, in - w);
+      kb.ffma(gy, t, c2, gy);
+      kb.ldg(t, idx, in - w + 1);
+      kb.fadd(gy, gy, t);
+      kb.ldg(t, idx, in + w - 1);
+      kb.ffma(gy, t, cn1, gy);
+      kb.ldg(t, idx, in + w);
+      kb.ffma(gy, t, cn2, gy);
+      kb.ldg(t, idx, in + w + 1);
+      kb.ffma(gy, t, cn1, gy);
+      // magnitude squared
+      kb.fmul(v, gx, gx);
+      kb.ffma(v, gy, gy, v);
+    });
+  });
+  kb.stg(idx, out, v);
+  return kb.build();
+}
+
+}  // namespace gpf::workloads::kernels

@@ -1,0 +1,78 @@
+// Shared kernel generators (SASS-DSL programs) reused across workloads.
+// All memory operands are 32-bit-word addresses baked in as immediates.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/builder.hpp"
+#include "isa/program.hpp"
+
+namespace gpf::workloads::kernels {
+
+using Addr = std::uint32_t;
+
+enum class Activation : std::uint8_t { None, Relu, Leaky };
+
+/// out[i] = a[i] + b[i] (FP32), one thread per element, guarded by i < n.
+isa::Program vecadd(Addr a, Addr b, Addr out, std::uint32_t n);
+
+/// out[i] = s * a[i] (FP32).
+isa::Program scalar_mul(Addr a, Addr out, std::uint32_t n, float s);
+
+/// C[r][c] = sum_k A[r][k] * B[k][c], naive, one thread per element.
+/// Launch with block (n, n) for n <= 16 (single CTA).
+isa::Program naive_matmul(Addr a, Addr b, Addr c, std::uint32_t n);
+
+/// GEMM: C = alpha*A*B + beta*C (same launch shape as naive_matmul).
+isa::Program gemm(Addr a, Addr b, Addr c, std::uint32_t n, float alpha, float beta);
+
+/// Tiled matrix multiply with shared-memory tiles.
+/// Launch with grid (n/tile, n/tile), block (tile, tile).
+isa::Program tiled_matmul(Addr a, Addr b, Addr c, std::uint32_t n, std::uint32_t tile);
+
+/// 5-point hotspot-style stencil step: out = in + k*(sum(neigh) - 4*in) + p.
+/// Launch with block (w, h) (single CTA).
+isa::Program stencil5(Addr in, Addr power, Addr out, std::uint32_t w, std::uint32_t h,
+                      float k);
+
+/// Hotspot-style variant that stages the whole tile in shared memory first
+/// (as the Rodinia kernel does). Single CTA of (w, h).
+isa::Program stencil5_shared(Addr in, Addr power, Addr out, std::uint32_t w,
+                             std::uint32_t h, float k);
+
+/// Convolution: one CTA per filter, block (ow, oh).
+struct ConvDims {
+  std::uint32_t in_c, in_h, in_w;
+  std::uint32_t k;       ///< kernel size (k x k)
+  std::uint32_t out_c;   ///< number of filters (= grid.x)
+};
+isa::Program conv2d(Addr in, Addr weights, Addr bias, Addr out, const ConvDims& d,
+                    Activation act);
+
+/// 2x2 max pooling: one CTA per channel, block (w/2, h/2).
+isa::Program maxpool2(Addr in, Addr out, std::uint32_t c, std::uint32_t h,
+                      std::uint32_t w);
+
+/// Fully connected: out[j] = act(bias[j] + sum_i w[j][i]*in[i]),
+/// block (out_n), single CTA.
+isa::Program fully_connected(Addr in, Addr weights, Addr bias, Addr out,
+                             std::uint32_t in_n, std::uint32_t out_n, Activation act);
+
+/// Block-wise shared-memory tree reduction: partial[cta] = sum of 2*block
+/// elements. Launch grid (n / (2*block)), block (block); block power of two.
+isa::Program reduce_sum(Addr in, Addr partial, std::uint32_t block);
+
+/// Transpose out[c][r] = in[r][c]; block (n, n) single CTA.
+isa::Program transpose(Addr in, Addr out, std::uint32_t n);
+
+/// Inclusive Hillis-Steele scan over n elements (single CTA, block n,
+/// n power of two, uses shared memory and barriers).
+isa::Program scan_inclusive(Addr in, Addr out, std::uint32_t n);
+
+/// Grayscale: gray = 0.299 r + 0.587 g + 0.114 b over n pixels (SoA planes).
+isa::Program gray_filter(Addr r, Addr g, Addr b, Addr out, std::uint32_t n);
+
+/// Sobel magnitude-squared on an h x w luminance image; block (w, h).
+isa::Program sobel(Addr in, Addr out, std::uint32_t h, std::uint32_t w);
+
+}  // namespace gpf::workloads::kernels

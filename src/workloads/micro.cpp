@@ -1,0 +1,552 @@
+// The 14 representative micro-workloads used for gate-level unit profiling
+// (paper Section 5: Sort, Vector_Add, FFT, Tiled/Naive MxM, Reduction,
+// Gray_Filter, Sobel, Scalar-Vector-Multiply, Nn, Scan_3D, Transpose,
+// Euler_3D, Back Propagation). Each is small — the profiler only needs the
+// dynamic-instruction exciting patterns — but still validated against a host
+// reference.
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/bitops.hpp"
+#include "isa/builder.hpp"
+#include "softfloat/sfu.hpp"
+#include "workloads/common.hpp"
+#include "workloads/kernels.hpp"
+
+namespace gpf::workloads {
+namespace {
+
+using isa::Cmp;
+using isa::KernelBuilder;
+using isa::SpecialReg;
+using Reg = KernelBuilder::Reg;
+
+/// Single-kernel micro-workload wrapper around a prebuilt program.
+class Micro : public AppBase {
+ public:
+  Micro(std::string name, std::string dt, std::string domain, isa::Program prog,
+        arch::Dim3 grid, arch::Dim3 block)
+      : AppBase(std::move(name), std::move(dt), std::move(domain), "profiling"),
+        prog_(std::move(prog)), grid_(grid), block_(block) {}
+
+  RunStats run(arch::Gpu& gpu, std::uint64_t mc) const override {
+    RunStats s;
+    step(gpu, s, prog_, grid_, block_, mc);
+    return s;
+  }
+
+ protected:
+  isa::Program prog_;
+  arch::Dim3 grid_, block_;
+};
+
+// -- p_vector_add -----------------------------------------------------------
+
+class PVecAdd final : public Micro {
+ public:
+  PVecAdd() : Micro("p_vector_add", "FP32", "Linear algebra",
+                    kernels::vecadd(0, 512, 1024, 256), {4, 1, 1}, {64, 1, 1}) {}
+  void setup(arch::Gpu& gpu) const override {
+    gpu.write_global_f(0, random_floats(256, -10.0, 10.0, 2001));
+    gpu.write_global_f(512, random_floats(256, -10.0, 10.0, 2002));
+    gpu.reserve_global(1024, 256);
+  }
+  OutputSpec output() const override { return {1024, 256, true}; }
+  std::vector<float> host_reference_f() const override {
+    auto a = random_floats(256, -10.0, 10.0, 2001);
+    const auto b = random_floats(256, -10.0, 10.0, 2002);
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+    return a;
+  }
+};
+
+// -- p_svm (scalar-vector multiply) -------------------------------------
+
+class PSvm final : public Micro {
+ public:
+  PSvm() : Micro("p_svm", "FP32", "Linear algebra",
+                 kernels::scalar_mul(0, 512, 256, 2.5f), {4, 1, 1}, {64, 1, 1}) {}
+  void setup(arch::Gpu& gpu) const override {
+    gpu.write_global_f(0, random_floats(256, -10.0, 10.0, 2101));
+    gpu.reserve_global(512, 256);
+  }
+  OutputSpec output() const override { return {512, 256, true}; }
+  std::vector<float> host_reference_f() const override {
+    auto a = random_floats(256, -10.0, 10.0, 2101);
+    for (auto& v : a) v *= 2.5f;
+    return a;
+  }
+};
+
+// -- p_naive_mxm --------------------------------------------------------
+
+class PNaiveMxm final : public Micro {
+ public:
+  PNaiveMxm() : Micro("p_naive_mxm", "FP32", "Linear algebra",
+                      kernels::naive_matmul(0, 256, 512, 8), {1, 1, 1}, {8, 8, 1}) {}
+  void setup(arch::Gpu& gpu) const override {
+    gpu.write_global_f(0, random_floats(64, -3.0, 3.0, 2201));
+    gpu.write_global_f(256, random_floats(64, -3.0, 3.0, 2202));
+    gpu.reserve_global(512, 64);
+  }
+  OutputSpec output() const override { return {512, 64, true}; }
+  std::vector<float> host_reference_f() const override {
+    const auto a = random_floats(64, -3.0, 3.0, 2201);
+    const auto b = random_floats(64, -3.0, 3.0, 2202);
+    std::vector<float> c(64, 0.0f);
+    for (unsigned r = 0; r < 8; ++r)
+      for (unsigned cc = 0; cc < 8; ++cc) {
+        float acc = 0.0f;
+        for (unsigned k = 0; k < 8; ++k) acc = std::fmaf(a[r * 8 + k], b[k * 8 + cc], acc);
+        c[r * 8 + cc] = acc;
+      }
+    return c;
+  }
+};
+
+// -- p_tiled_mxm --------------------------------------------------------
+
+class PTiledMxm final : public Micro {
+ public:
+  PTiledMxm() : Micro("p_tiled_mxm", "FP32", "Linear algebra",
+                      kernels::tiled_matmul(0, 1024, 2048, 16, 8), {2, 2, 1},
+                      {8, 8, 1}) {}
+  void setup(arch::Gpu& gpu) const override {
+    gpu.write_global_f(0, random_floats(256, -3.0, 3.0, 2301));
+    gpu.write_global_f(1024, random_floats(256, -3.0, 3.0, 2302));
+    gpu.reserve_global(2048, 256);
+  }
+  OutputSpec output() const override { return {2048, 256, true}; }
+  std::vector<float> host_reference_f() const override {
+    const auto a = random_floats(256, -3.0, 3.0, 2301);
+    const auto b = random_floats(256, -3.0, 3.0, 2302);
+    std::vector<float> c(256, 0.0f);
+    for (unsigned r = 0; r < 16; ++r)
+      for (unsigned cc = 0; cc < 16; ++cc) {
+        float acc = 0.0f;
+        for (unsigned k = 0; k < 16; ++k)
+          acc = std::fmaf(a[r * 16 + k], b[k * 16 + cc], acc);
+        c[r * 16 + cc] = acc;
+      }
+    return c;
+  }
+};
+
+// -- p_reduction --------------------------------------------------------
+
+class PReduction final : public Micro {
+ public:
+  PReduction() : Micro("p_reduction", "FP32", "Reduction",
+                       kernels::reduce_sum(0, 2048, 64), {4, 1, 1}, {64, 1, 1}) {}
+  void setup(arch::Gpu& gpu) const override {
+    gpu.write_global_f(0, random_floats(512, 0.0, 1.0, 2401));
+    gpu.reserve_global(2048, 4);
+  }
+  OutputSpec output() const override { return {2048, 4, true, 1e-4}; }
+  std::vector<float> host_reference_f() const override {
+    const auto a = random_floats(512, 0.0, 1.0, 2401);
+    std::vector<float> out(4);
+    for (unsigned cta = 0; cta < 4; ++cta) {
+      // Mirror the device tree: s[t] = a[g]+a[g+64], then pairwise halving.
+      float s[64];
+      for (unsigned t = 0; t < 64; ++t) s[t] = a[cta * 128 + t] + a[cta * 128 + t + 64];
+      for (unsigned stride = 32; stride >= 1; stride /= 2)
+        for (unsigned t = 0; t < stride; ++t) s[t] += s[t + stride];
+      out[cta] = s[0];
+    }
+    return out;
+  }
+};
+
+// -- p_transpose --------------------------------------------------------
+
+class PTranspose final : public Micro {
+ public:
+  PTranspose() : Micro("p_transpose", "FP32", "Data movement",
+                       kernels::transpose(0, 512, 16), {1, 1, 1}, {16, 16, 1}) {}
+  void setup(arch::Gpu& gpu) const override {
+    gpu.write_global_f(0, random_floats(256, -5.0, 5.0, 2501));
+    gpu.reserve_global(512, 256);
+  }
+  OutputSpec output() const override { return {512, 256, true}; }
+  std::vector<float> host_reference_f() const override {
+    const auto a = random_floats(256, -5.0, 5.0, 2501);
+    std::vector<float> t(256);
+    for (unsigned r = 0; r < 16; ++r)
+      for (unsigned c = 0; c < 16; ++c) t[c * 16 + r] = a[r * 16 + c];
+    return t;
+  }
+};
+
+// -- p_sobel ------------------------------------------------------------
+
+class PSobel final : public Micro {
+ public:
+  PSobel() : Micro("p_sobel", "FP32", "Image",
+                   kernels::sobel(256, 1024, 16, 16), {1, 1, 1}, {16, 16, 1}) {}
+  void setup(arch::Gpu& gpu) const override {
+    gpu.write_global_f(256, random_floats(256, 0.0, 1.0, 2601));
+    gpu.reserve_global(1024, 256);
+  }
+  OutputSpec output() const override { return {1024, 256, true, 1e-4}; }
+  std::vector<float> host_reference_f() const override {
+    const auto in = random_floats(256, 0.0, 1.0, 2601);
+    std::vector<float> out(256, 0.0f);
+    auto at = [&](unsigned y, unsigned x) { return in[y * 16 + x]; };
+    for (unsigned y = 1; y < 15; ++y)
+      for (unsigned x = 1; x < 15; ++x) {
+        float gx = at(y - 1, x - 1);
+        gx = std::fmaf(at(y, x - 1), 2.0f, gx);
+        gx += at(y + 1, x - 1);
+        gx = std::fmaf(at(y - 1, x + 1), -1.0f, gx);
+        gx = std::fmaf(at(y, x + 1), -2.0f, gx);
+        gx = std::fmaf(at(y + 1, x + 1), -1.0f, gx);
+        float gy = at(y - 1, x - 1);
+        gy = std::fmaf(at(y - 1, x), 2.0f, gy);
+        gy += at(y - 1, x + 1);
+        gy = std::fmaf(at(y + 1, x - 1), -1.0f, gy);
+        gy = std::fmaf(at(y + 1, x), -2.0f, gy);
+        gy = std::fmaf(at(y + 1, x + 1), -1.0f, gy);
+        out[y * 16 + x] = std::fmaf(gy, gy, gx * gx);
+      }
+    return out;
+  }
+};
+
+// -- p_gray_filter ------------------------------------------------------
+
+class PGray final : public Micro {
+ public:
+  PGray() : Micro("p_gray_filter", "FP32", "Image",
+                  kernels::gray_filter(0, 256, 512, 1024, 256), {4, 1, 1},
+                  {64, 1, 1}) {}
+  void setup(arch::Gpu& gpu) const override {
+    gpu.write_global_f(0, random_floats(256, 0.0, 1.0, 2701));
+    gpu.write_global_f(256, random_floats(256, 0.0, 1.0, 2702));
+    gpu.write_global_f(512, random_floats(256, 0.0, 1.0, 2703));
+    gpu.reserve_global(1024, 256);
+  }
+  OutputSpec output() const override { return {1024, 256, true}; }
+  std::vector<float> host_reference_f() const override {
+    const auto r = random_floats(256, 0.0, 1.0, 2701);
+    const auto g = random_floats(256, 0.0, 1.0, 2702);
+    const auto b = random_floats(256, 0.0, 1.0, 2703);
+    std::vector<float> out(256);
+    for (unsigned i = 0; i < 256; ++i) {
+      float acc = r[i] * 0.299f;
+      acc = std::fmaf(g[i], 0.587f, acc);
+      acc = std::fmaf(b[i], 0.114f, acc);
+      out[i] = acc;
+    }
+    return out;
+  }
+};
+
+// -- p_scan3d -----------------------------------------------------------
+
+class PScan final : public Micro {
+ public:
+  PScan() : Micro("p_scan3d", "FP32", "Scan",
+                  kernels::scan_inclusive(0, 256, 64), {1, 1, 1}, {64, 1, 1}) {}
+  void setup(arch::Gpu& gpu) const override {
+    gpu.write_global_f(0, random_floats(64, 0.0, 1.0, 2801));
+    gpu.reserve_global(256, 64);
+  }
+  OutputSpec output() const override { return {256, 64, true, 1e-4}; }
+  std::vector<float> host_reference_f() const override {
+    const auto a = random_floats(64, 0.0, 1.0, 2801);
+    // Hillis-Steele order (not a serial prefix sum): mirror the device.
+    std::vector<float> s(a);
+    for (unsigned d = 1; d < 64; d *= 2) {
+      std::vector<float> nxt(s);
+      for (unsigned t = d; t < 64; ++t) nxt[t] = s[t] + s[t - d];
+      s = std::move(nxt);
+    }
+    return s;
+  }
+};
+
+// -- p_sort (per-thread insertion sort of 8-element chunks) ------------------
+
+class PSort final : public Micro {
+ public:
+  PSort() : Micro("p_sort", "INT32", "Sorting", build(), {1, 1, 1}, {32, 1, 1}) {}
+  void setup(arch::Gpu& gpu) const override {
+    gpu.write_global(0, random_ints(256, 0, 100000, 2901));
+  }
+  OutputSpec output() const override { return {0, 256, false}; }
+  std::vector<std::uint32_t> host_reference_u() const override {
+    auto v = random_ints(256, 0, 100000, 2901);
+    for (unsigned c = 0; c < 32; ++c)
+      std::sort(v.begin() + c * 8, v.begin() + (c + 1) * 8);
+    return v;
+  }
+
+ private:
+  static isa::Program build() {
+    KernelBuilder kb("p_sort");
+    Reg tid = kb.reg(), lo = kb.reg(), hi = kb.reg();
+    kb.s2r(tid, SpecialReg::TID_X);
+    kb.shl(lo, tid, 3);
+    kb.iaddi(hi, lo, 8);
+    Reg i = kb.reg(), j = kb.reg(), key = kb.reg(), v = kb.reg(), jm1 = kb.reg();
+    kb.iaddi(i, lo, 1);
+    auto pout = kb.pred();
+    auto pin = kb.pred();
+    auto pmove = kb.pred();
+    kb.while_(pout, false, [&] { kb.isetp(pout, Cmp::LT, i, hi); },
+              [&] {
+                kb.ldg(key, i, 0);
+                kb.mov(j, i);
+                kb.while_(pin, false,
+                          [&] {
+                            // j > lo && a[j-1] > key
+                            kb.movi(v, 0);
+                            kb.isetp(pmove, Cmp::GT, j, lo);
+                            kb.if_(pmove, false, [&] {
+                              kb.iaddi(jm1, j, 0xFFFFFFFFu);
+                              kb.ldg(v, jm1, 0);
+                              kb.isetp(pmove, Cmp::GT, v, key);
+                              kb.on(pmove).movi(v, 1);
+                              kb.on(pmove, true).movi(v, 0);
+                            });
+                            kb.isetpi(pin, Cmp::NE, v, 0);
+                          },
+                          [&] {
+                            kb.iaddi(jm1, j, 0xFFFFFFFFu);
+                            kb.ldg(v, jm1, 0);
+                            kb.stg(j, 0, v);
+                            kb.mov(j, jm1);
+                          });
+                kb.stg(j, 0, key);
+                kb.iaddi(i, i, 1);
+              });
+    return kb.build();
+  }
+};
+
+// -- p_fft (one radix-2 butterfly stage with constant-memory twiddles) -------
+
+class PFft final : public Micro {
+ public:
+  PFft() : Micro("p_fft", "FP32", "Spectral", build(), {1, 1, 1}, {32, 1, 1}) {}
+  void setup(arch::Gpu& gpu) const override {
+    gpu.write_global_f(0, random_floats(64, -1.0, 1.0, 3001));
+    gpu.reserve_global(256, 64);
+    const auto tw = twiddles();
+    for (unsigned i = 0; i < 32; ++i) gpu.constm()[i] = f32_bits(tw[i]);
+  }
+  OutputSpec output() const override { return {256, 64, true, 1e-5}; }
+  std::vector<float> host_reference_f() const override {
+    const auto a = random_floats(64, -1.0, 1.0, 3001);
+    const auto tw = twiddles();
+    std::vector<float> out(64);
+    for (unsigned i = 0; i < 32; ++i) {
+      out[i] = a[i] + a[i + 32];
+      out[i + 32] = std::fmaf(a[i + 32], -1.0f, a[i]) * tw[i];
+    }
+    return out;
+  }
+
+ private:
+  static std::vector<float> twiddles() {
+    std::vector<float> tw(32);
+    for (unsigned i = 0; i < 32; ++i)
+      tw[i] = std::cos(static_cast<float>(i) * 3.14159265f / 32.0f);
+    return tw;
+  }
+
+  static isa::Program build() {
+    KernelBuilder kb("p_fft");
+    Reg i = kb.reg(), a = kb.reg(), b = kb.reg(), tw = kb.reg(), t = kb.reg();
+    Reg cn1 = kb.reg();
+    kb.s2r(i, SpecialReg::TID_X);
+    kb.ldg(a, i, 0);
+    kb.ldg(b, i, 32);
+    kb.ldc(tw, i, 0);
+    kb.fadd(t, a, b);
+    kb.stg(i, 256, t);
+    kb.movf(cn1, -1.0f);
+    kb.ffma(t, b, cn1, a);  // a - b
+    kb.fmul(t, t, tw);
+    kb.stg(i, 256 + 32, t);
+    return kb.build();
+  }
+};
+
+// -- p_nn (distances to a query point) ---------------------------------------
+
+class PNn final : public Micro {
+ public:
+  PNn() : Micro("p_nn", "FP32", "Data mining", build(), {4, 1, 1}, {64, 1, 1}) {}
+  void setup(arch::Gpu& gpu) const override {
+    gpu.write_global_f(0, random_floats(256, 0.0, 10.0, 3101));
+    gpu.write_global_f(256, random_floats(256, 0.0, 10.0, 3102));
+    gpu.reserve_global(512, 256);
+  }
+  OutputSpec output() const override { return {512, 256, true, 1e-5}; }
+  std::vector<float> host_reference_f() const override {
+    const auto x = random_floats(256, 0.0, 10.0, 3101);
+    const auto y = random_floats(256, 0.0, 10.0, 3102);
+    std::vector<float> d(256);
+    for (unsigned i = 0; i < 256; ++i) {
+      const float dx = x[i] + -5.0f;
+      const float dy = y[i] + -5.0f;
+      d[i] = std::fmaf(dy, dy, dx * dx);
+    }
+    return d;
+  }
+
+ private:
+  static isa::Program build() {
+    KernelBuilder kb("p_nn");
+    Reg gid = kb.reg(), tid = kb.reg(), cta = kb.reg(), ntid = kb.reg();
+    kb.s2r(tid, SpecialReg::TID_X);
+    kb.s2r(cta, SpecialReg::CTAID_X);
+    kb.s2r(ntid, SpecialReg::NTID_X);
+    kb.imad(gid, cta, ntid, tid);
+    Reg x = kb.reg(), y = kb.reg(), d = kb.reg();
+    kb.ldg(x, gid, 0);
+    kb.ldg(y, gid, 256);
+    kb.faddf(x, x, -5.0f);
+    kb.faddf(y, y, -5.0f);
+    kb.fmul(d, x, x);
+    kb.ffma(d, y, y, d);
+    kb.stg(gid, 512, d);
+    return kb.build();
+  }
+};
+
+// -- p_euler3d (flux accumulation with FSQRT, 64 cells) ----------------------
+
+class PEuler final : public Micro {
+ public:
+  PEuler() : Micro("p_euler3d", "FP32", "CFD", build(), {1, 1, 1}, {64, 1, 1}) {}
+  void setup(arch::Gpu& gpu) const override {
+    gpu.write_global_f(0, random_floats(64, 0.5, 2.0, 3201));
+    gpu.reserve_global(256, 64);
+  }
+  OutputSpec output() const override { return {256, 64, true, 1e-4}; }
+  std::vector<float> host_reference_f() const override {
+    const auto rho = random_floats(64, 0.5, 2.0, 3201);
+    std::vector<float> out(64);
+    for (unsigned i = 0; i < 64; ++i) {
+      const float c = bits_f32(sf::sfu_eval(sf::SfuFunc::Sqrt, f32_bits(rho[i])));
+      const float l = rho[(i + 63) % 64], r = rho[(i + 1) % 64];
+      float flux = std::fmaf(rho[i], -2.0f, l + r);
+      out[i] = std::fmaf(flux * c, 0.1f, rho[i]);
+    }
+    return out;
+  }
+
+ private:
+  static isa::Program build() {
+    KernelBuilder kb("p_euler3d");
+    Reg i = kb.reg(), rho = kb.reg(), c = kb.reg();
+    kb.s2r(i, SpecialReg::TID_X);
+    kb.ldg(rho, i, 0);
+    kb.fsqrt(c, rho);
+    Reg il = kb.reg(), ir = kb.reg(), l = kb.reg(), r = kb.reg(), flux = kb.reg();
+    kb.iaddi(il, i, 63);
+    kb.landi(il, il, 63);
+    kb.iaddi(ir, i, 1);
+    kb.landi(ir, ir, 63);
+    kb.ldg(l, il, 0);
+    kb.ldg(r, ir, 0);
+    kb.fadd(flux, l, r);
+    Reg cn2 = kb.reg(), dt = kb.reg();
+    kb.movf(cn2, -2.0f);
+    kb.ffma(flux, rho, cn2, flux);
+    kb.fmul(flux, flux, c);
+    kb.movf(dt, 0.1f);
+    kb.ffma(rho, flux, dt, rho);
+    kb.stg(i, 256, rho);
+    return kb.build();
+  }
+};
+
+// -- p_backprop (fc forward + outer-product weight update) --------------
+
+class PBackprop final : public AppBase {
+ public:
+  static constexpr std::uint32_t kIn = 0, kW = 16, kB = 144, kOut = 160,
+                                 kErr = 176;
+
+  PBackprop() : AppBase("p_backprop", "FP32", "Deep Learning", "profiling"),
+                fwd_(kernels::fully_connected(kIn, kW, kB, kOut, 16, 8,
+                                              kernels::Activation::Relu)),
+                upd_(build_update()) {}
+
+  void setup(arch::Gpu& gpu) const override {
+    gpu.write_global_f(kIn, random_floats(16, 0.0, 1.0, 3301));
+    gpu.write_global_f(kW, random_floats(128, -0.5, 0.5, 3302));
+    gpu.write_global_f(kB, random_floats(8, -0.1, 0.1, 3303));
+    gpu.write_global_f(kErr, random_floats(8, -0.2, 0.2, 3304));
+    gpu.reserve_global(kOut, 8);
+  }
+
+  RunStats run(arch::Gpu& gpu, std::uint64_t mc) const override {
+    RunStats s;
+    if (!step(gpu, s, fwd_, {1, 1, 1}, {8, 1, 1}, mc)) return s;
+    if (!step(gpu, s, upd_, {1, 1, 1}, {16, 8, 1}, mc)) return s;
+    return s;
+  }
+
+  OutputSpec output() const override { return {kW, 128, true, 1e-5}; }
+
+  std::vector<float> host_reference_f() const override {
+    const auto in = random_floats(16, 0.0, 1.0, 3301);
+    auto w = random_floats(128, -0.5, 0.5, 3302);
+    const auto err = random_floats(8, -0.2, 0.2, 3304);
+    for (unsigned j = 0; j < 8; ++j)
+      for (unsigned i = 0; i < 16; ++i)
+        w[j * 16 + i] = std::fmaf(0.01f * err[j], in[i], w[j * 16 + i]);
+    return w;
+  }
+
+ private:
+  static isa::Program build_update() {
+    KernelBuilder kb("backprop_update");
+    Reg i = kb.reg(), j = kb.reg();
+    kb.s2r(i, SpecialReg::TID_X);
+    kb.s2r(j, SpecialReg::TID_Y);
+    Reg e = kb.reg(), x = kb.reg(), wv = kb.reg(), idx = kb.reg(), n = kb.reg();
+    kb.ldg(e, j, kErr);
+    kb.fmulf(e, e, 0.01f);
+    kb.ldg(x, i, kIn);
+    kb.movi(n, 16);
+    kb.imad(idx, j, n, i);
+    kb.ldg(wv, idx, kW);
+    kb.ffma(wv, e, x, wv);
+    kb.stg(idx, kW, wv);
+    return kb.build();
+  }
+
+  isa::Program fwd_, upd_;
+};
+
+}  // namespace
+
+namespace detail {
+std::vector<std::unique_ptr<Workload>> make_micro_apps() {
+  std::vector<std::unique_ptr<Workload>> v;
+  v.push_back(std::make_unique<PSort>());
+  v.push_back(std::make_unique<PVecAdd>());
+  v.push_back(std::make_unique<PFft>());
+  v.push_back(std::make_unique<PTiledMxm>());
+  v.push_back(std::make_unique<PNaiveMxm>());
+  v.push_back(std::make_unique<PReduction>());
+  v.push_back(std::make_unique<PGray>());
+  v.push_back(std::make_unique<PSobel>());
+  v.push_back(std::make_unique<PSvm>());
+  v.push_back(std::make_unique<PNn>());
+  v.push_back(std::make_unique<PScan>());
+  v.push_back(std::make_unique<PTranspose>());
+  v.push_back(std::make_unique<PEuler>());
+  v.push_back(std::make_unique<PBackprop>());
+  return v;
+}
+}  // namespace detail
+
+}  // namespace gpf::workloads

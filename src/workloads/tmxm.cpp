@@ -1,0 +1,102 @@
+// t-MxM — the tile-based matrix-multiplication mini-app used by the RTL
+// characterization (Section "Tiled MxM errors distribution"). 16x16 matrices
+// split into 8x8 shared-memory tiles; the RTL campaign re-seeds the inputs
+// with the paper's Max / Zero / Random tile types.
+#include <cmath>
+#include <memory>
+
+#include "workloads/common.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/tmxm.hpp"
+
+namespace gpf::workloads {
+
+std::vector<float> tmxm_input(TileType type, std::uint64_t seed,
+                              std::uint32_t n) {
+  Rng rng(seed);
+  std::vector<float> m(static_cast<std::size_t>(n) * n);
+  switch (type) {
+    case TileType::Max:
+      // The tile with the highest sum of element values: large positives.
+      for (auto& v : m) v = static_cast<float>(rng.uniform(4.0, 8.0));
+      break;
+    case TileType::Zero:
+      // Feature-map edge tiles: mostly zeros from padding.
+      for (auto& v : m)
+        v = rng.chance(0.75) ? 0.0f : static_cast<float>(rng.uniform(-1.0, 1.0));
+      break;
+    case TileType::Random:
+      for (auto& v : m) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+      break;
+  }
+  return m;
+}
+
+const char* tile_type_name(TileType t) {
+  switch (t) {
+    case TileType::Max: return "Max";
+    case TileType::Zero: return "Zero";
+    case TileType::Random: return "Random";
+  }
+  return "?";
+}
+
+namespace {
+
+class TiledMxm final : public AppBase {
+ public:
+  static constexpr std::uint32_t kN = 16, kTile = 8;
+  static constexpr std::uint32_t kA = 0, kB = 1024, kC = 2048;
+
+  TiledMxm() : AppBase("tmxm", "FP32", "Linear algebra", "mini-app"),
+               prog_(kernels::tiled_matmul(kA, kB, kC, kN, kTile)) {}
+
+  void setup(arch::Gpu& gpu) const override {
+    gpu.write_global_f(kA, tmxm_input(TileType::Random, 1601, kN));
+    gpu.write_global_f(kB, tmxm_input(TileType::Random, 1602, kN));
+    gpu.reserve_global(kC, kN * kN);
+  }
+
+  RunStats run(arch::Gpu& gpu, std::uint64_t mc) const override {
+    RunStats s;
+    step(gpu, s, prog_, {kN / kTile, kN / kTile, 1}, {kTile, kTile, 1}, mc);
+    return s;
+  }
+
+  OutputSpec output() const override { return {kC, kN * kN, true}; }
+
+  std::vector<float> host_reference_f() const override {
+    const auto a = tmxm_input(TileType::Random, 1601, kN);
+    const auto b = tmxm_input(TileType::Random, 1602, kN);
+    return tmxm_host_multiply(a, b, kN);
+  }
+
+ private:
+  isa::Program prog_;
+};
+
+}  // namespace
+
+std::vector<float> tmxm_host_multiply(const std::vector<float>& a,
+                                      const std::vector<float>& b,
+                                      std::uint32_t n) {
+  std::vector<float> c(static_cast<std::size_t>(n) * n, 0.0f);
+  for (std::uint32_t r = 0; r < n; ++r)
+    for (std::uint32_t cc = 0; cc < n; ++cc) {
+      float acc = 0.0f;
+      for (std::uint32_t k = 0; k < n; ++k)
+        acc = std::fmaf(a[r * n + k], b[k * n + cc], acc);
+      c[r * n + cc] = acc;
+    }
+  return c;
+}
+
+namespace detail {
+std::vector<std::unique_ptr<Workload>> make_tmxm_apps() {
+  std::vector<std::unique_ptr<Workload>> v;
+  v.push_back(std::make_unique<TiledMxm>());
+  return v;
+}
+}  // namespace detail
+
+}  // namespace gpf::workloads

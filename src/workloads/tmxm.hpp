@@ -1,0 +1,21 @@
+// t-MxM mini-app support: tile-type inputs (Max / Zero / Random) used by the
+// RTL characterization campaigns (Figs. 7-9, Table 2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gpf::workloads {
+
+enum class TileType : std::uint8_t { Max, Zero, Random };
+const char* tile_type_name(TileType t);
+
+/// Deterministic n x n matrix of the given tile flavour.
+std::vector<float> tmxm_input(TileType type, std::uint64_t seed, std::uint32_t n);
+
+/// Host reference multiply (fmaf accumulation, row-major, k ascending —
+/// bit-identical to the device kernel's accumulation order).
+std::vector<float> tmxm_host_multiply(const std::vector<float>& a,
+                                      const std::vector<float>& b, std::uint32_t n);
+
+}  // namespace gpf::workloads

@@ -1,0 +1,66 @@
+// Workload registry: the 15 evaluation applications of Table 1, the t-MxM
+// mini-app, and the 14 micro-workloads used for gate-level unit profiling.
+// Every workload is deterministic (fixed seeds), provides a host reference
+// for validation, and runs as one or more kernel launches on the GPU model.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "arch/machine.hpp"
+
+namespace gpf::workloads {
+
+struct OutputSpec {
+  std::size_t addr = 0;
+  std::size_t words = 0;
+  bool is_float = true;
+  /// Relative tolerance for host-reference validation only (fault-injection
+  /// outcome classification is always bit-exact against the fault-free run).
+  double tolerance = 1e-5;
+};
+
+struct RunStats {
+  bool ok = false;
+  arch::TrapKind trap = arch::TrapKind::None;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::size_t launches = 0;
+  std::array<std::uint64_t, 6> unit_issues{};
+
+  void accumulate(const arch::LaunchResult& r);
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  virtual std::string_view name() const = 0;
+  virtual std::string_view data_type() const = 0;
+  virtual std::string_view domain() const = 0;
+  virtual std::string_view suite() const = 0;
+
+  /// Write deterministic inputs into GPU memory.
+  virtual void setup(arch::Gpu& gpu) const = 0;
+  /// Launch every kernel of the app; stops at the first trap.
+  /// `max_cycles` bounds each launch (0 = config watchdog).
+  virtual RunStats run(arch::Gpu& gpu, std::uint64_t max_cycles = 0) const = 0;
+  virtual OutputSpec output() const = 0;
+
+  /// Host-computed expected output (floats or raw words, matching
+  /// output().is_float). Used by validation tests.
+  virtual std::vector<float> host_reference_f() const { return {}; }
+  virtual std::vector<std::uint32_t> host_reference_u() const { return {}; }
+};
+
+/// The 15 applications of Table 1 (in table order).
+std::vector<const Workload*> evaluation_set();
+/// The 14 workloads used for low-level unit profiling (Section 5).
+std::vector<const Workload*> profiling_set();
+const Workload* find(std::string_view name);
+
+/// Convenience: fault-free output words of a workload.
+std::vector<std::uint32_t> golden_output(const Workload& w, arch::Gpu& gpu);
+
+}  // namespace gpf::workloads

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "arch/machine.hpp"
+#include "common/rng.hpp"
+#include "isa/assembler.hpp"
+#include "isa/builder.hpp"
+
+namespace gpf::isa {
+namespace {
+
+TEST(Assembler, BasicListing) {
+  const Program p = assemble(R"(
+    .name demo
+    .shared 16
+        MOV R0, 0x5
+        IADD R1, R0, R0
+        ST.global [R1+100], R0
+        EXIT
+  )");
+  EXPECT_EQ(p.name, "demo");
+  EXPECT_EQ(p.shared_words, 16u);
+  ASSERT_EQ(p.words.size(), 4u);
+  EXPECT_EQ(decode(p.words[0]).instr.op, Op::MOV);
+  EXPECT_EQ(decode(p.words[2]).instr.space, MemSpace::Global);
+}
+
+TEST(Assembler, LabelsAndGuards) {
+  const Program p = assemble(R"(
+        S2R R0, SR0
+        ISETP.LT P0, R0, 16
+        SSY done
+        @!P0 BRA done
+        IADD R1, R0, 1
+    done:
+        EXIT
+  )");
+  const auto bra = decode(p.words[3]).instr;
+  EXPECT_EQ(bra.op, Op::BRA);
+  EXPECT_EQ(bra.imm, 5u);  // label after the IADD
+  EXPECT_EQ(bra.guard_pred, 0);
+  EXPECT_TRUE(bra.guard_neg);
+  const auto ssy = decode(p.words[2]).instr;
+  EXPECT_EQ(ssy.imm, 5u);
+}
+
+TEST(Assembler, AppendsExitWhenMissing) {
+  const Program p = assemble("MOV R0, 1\n");
+  ASSERT_EQ(p.words.size(), 2u);
+  EXPECT_EQ(decode(p.words[1]).instr.op, Op::EXIT);
+}
+
+TEST(Assembler, RegsInferredAndOverridable) {
+  const Program a = assemble("IADD R7, R2, R3\n");
+  EXPECT_EQ(a.regs_per_thread, 8u);
+  const Program b = assemble(".regs 32\nIADD R7, R2, R3\n");
+  EXPECT_EQ(b.regs_per_thread, 32u);
+}
+
+TEST(Assembler, Errors) {
+  EXPECT_THROW(assemble("FROB R1, R2\n"), AssemblerError);
+  EXPECT_THROW(assemble("BRA nowhere\n"), AssemblerError);
+  EXPECT_THROW(assemble("IADD R1\n"), AssemblerError);
+  EXPECT_THROW(assemble("IADD R1, R2, Q3\n"), AssemblerError);
+  EXPECT_THROW(assemble("@!Q0 EXIT\n"), AssemblerError);
+  EXPECT_THROW(assemble(".bogus 3\n"), AssemblerError);
+  try {
+    assemble("MOV R0, 1\nFROB R1, R2\n");
+    FAIL();
+  } catch (const AssemblerError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(Assembler, RoundTripsBuilderPrograms) {
+  // Every builder-produced kernel must survive disassemble -> assemble.
+  KernelBuilder kb("roundtrip");
+  kb.set_shared_words(32);
+  auto r = kb.regs(4);
+  auto p = kb.pred();
+  kb.s2r(r[0], SpecialReg::TID_X);
+  kb.isetpi(p, Cmp::LT, r[0], 16);
+  kb.if_(p, false, [&] { kb.ffma(r[1], r[0], r[2], r[3]); },
+         [&] { kb.fmulf(r[1], r[0], 2.5f); });
+  kb.lds(r[2], r[0], 4);
+  kb.sts(r[0], 0, r[2]);
+  kb.sel(r[3], r[1], r[2], p);
+  kb.bar();
+  const Program orig = kb.build();
+
+  const Program again = assemble(".regs " + std::to_string(orig.regs_per_thread) +
+                                 "\n.shared " + std::to_string(orig.shared_words) +
+                                 "\n" + disassemble(orig));
+  ASSERT_EQ(again.words.size(), orig.words.size());
+  for (std::size_t i = 0; i < orig.words.size(); ++i)
+    EXPECT_EQ(again.words[i], orig.words[i]) << "pc " << i << ": "
+                                             << disassemble(orig.words[i]);
+  EXPECT_EQ(again.regs_per_thread, orig.regs_per_thread);
+  EXPECT_EQ(again.shared_words, orig.shared_words);
+}
+
+class AssemblerRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(AssemblerRoundTrip, RandomInstructionsSurvive) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 11);
+  Program orig;
+  orig.name = "rand";
+  for (int i = 0; i < 60; ++i) {
+    Instruction in;
+    std::uint8_t raw;
+    do {
+      raw = static_cast<std::uint8_t>(rng.below(256));
+    } while (!is_valid_opcode(raw));
+    in.op = static_cast<Op>(raw);
+    // Branch targets must stay parseable as numbers; keep them small.
+    in.guard_pred = static_cast<std::uint8_t>(rng.below(8));
+    in.guard_neg = rng.chance(0.5);
+    in.rd = static_cast<std::uint8_t>(rng.below(64));
+    in.rs1 = static_cast<std::uint8_t>(rng.below(64));
+    in.rs2 = static_cast<std::uint8_t>(rng.below(64));
+    in.rs3 = static_cast<std::uint8_t>(rng.below(8));
+    if (in.op == Op::LD || in.op == Op::ST || in.op == Op::BRA || in.op == Op::SSY) {
+      in.use_imm = true;
+      in.imm = static_cast<std::uint32_t>(rng.below(10000));
+    } else if (num_sources(in.op) >= 1 && rng.chance(0.5)) {
+      in.use_imm = true;
+      in.imm = static_cast<std::uint32_t>(rng());
+      in.rs2 = 0;
+      in.rs3 = 0;
+    }
+    if (writes_predicate(in.op)) in.rd = static_cast<std::uint8_t>(rng.below(7));
+    // The space field is only printed (and thus only round-trips) for LD/ST.
+    if (in.op == Op::LD || in.op == Op::ST)
+      in.space = static_cast<MemSpace>(rng.below(4));
+    if (in.op == Op::S2R) in.rs1 = static_cast<std::uint8_t>(rng.below(13));
+    // Zero fields the textual form does not carry (don't-care bits).
+    const int srcs = num_sources(in.op);
+    const bool rd_printed = writes_register(in.op) || writes_predicate(in.op) ||
+                            in.op == Op::ST;
+    if (!rd_printed) in.rd = 0;
+    if (srcs < 1 && in.op != Op::S2R) in.rs1 = 0;
+    if (in.use_imm || (srcs < 2 && in.op != Op::SEL)) in.rs2 = 0;
+    if ((in.use_imm || srcs < 3) && in.op != Op::SEL) in.rs3 = 0;
+    if (srcs >= 1 && in.use_imm && in.op != Op::LD && in.op != Op::ST) {
+      // imm replaces the last source; for unary ops rs1 is unused too.
+      if (srcs == 1) in.rs1 = 0;
+    }
+    orig.words.push_back(encode(in));
+  }
+  orig.words.push_back(encode(Instruction{.op = Op::EXIT}));
+  orig.regs_per_thread = 64;
+
+  const Program again =
+      assemble(".regs 64\n" + disassemble(orig));
+  ASSERT_EQ(again.words.size(), orig.words.size());
+  for (std::size_t i = 0; i < orig.words.size(); ++i) {
+    // Compare decoded instructions (unused encoding bits may differ).
+    const auto a = decode(orig.words[i]);
+    const auto b = decode(again.words[i]);
+    ASSERT_EQ(a.ok, b.ok) << i;
+    ASSERT_EQ(a.instr, b.instr) << "pc " << i << ": " << disassemble(orig.words[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AssemblerRoundTrip, ::testing::Range(0, 10));
+
+TEST(Assembler, AssembledKernelRuns) {
+  const Program p = assemble(R"(
+    .name square
+        S2R R0, SR0
+        IMUL R1, R0, R0
+        ST.global [R0+0], R1
+        EXIT
+  )");
+  arch::Gpu gpu;
+  ASSERT_TRUE(gpu.launch(p, {1, 1, 1}, {32, 1, 1}).ok);
+  for (unsigned t = 0; t < 32; ++t) EXPECT_EQ(gpu.global()[t], t * t);
+}
+
+}  // namespace
+}  // namespace gpf::isa

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+#include "common/bitops.hpp"
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/threadpool.hpp"
+
+namespace gpf {
+namespace {
+
+TEST(BitOps, ExtractAndSet) {
+  const std::uint64_t w = 0xABCD'1234'5678'9EF0ull;
+  EXPECT_EQ(bits(w, 0, 4), 0x0ull);
+  EXPECT_EQ(bits(w, 4, 8), 0xEFull);
+  EXPECT_EQ(bits(w, 56, 8), 0xABull);
+  EXPECT_EQ(set_bits<std::uint64_t>(0, 8, 8, 0xFF), 0xFF00ull);
+  EXPECT_EQ(bits(set_bits(w, 20, 12, std::uint64_t{0x123}), 20, 12), 0x123ull);
+}
+
+TEST(BitOps, SingleBit) {
+  EXPECT_TRUE(bit(0b100u, 2));
+  EXPECT_FALSE(bit(0b100u, 1));
+  EXPECT_EQ(with_bit(0u, 5, true), 32u);
+  EXPECT_EQ(with_bit(0xFFu, 0, false), 0xFEu);
+}
+
+TEST(BitOps, SignExtend) {
+  EXPECT_EQ(sign_extend(0x3F, 6), -1);
+  EXPECT_EQ(sign_extend(0x1F, 6), 31);
+  EXPECT_EQ(sign_extend(0x20, 6), -32);
+}
+
+TEST(BitOps, FloatBitcastRoundTrip) {
+  EXPECT_EQ(bits_f32(f32_bits(3.14f)), 3.14f);
+  EXPECT_EQ(f32_bits(1.0f), 0x3F800000u);
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a(), b());
+  Rng a2(42);
+  EXPECT_NE(a2(), c());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    const auto v = rng.below(17);
+    ASSERT_LT(v, 17u);
+    const auto r = rng.range(-5, 5);
+    ASSERT_GE(r, -5);
+    ASSERT_LE(r, 5);
+  }
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng rng(11);
+  std::array<int, 8> seen{};
+  for (int i = 0; i < 1000; ++i) ++seen[rng.below(8)];
+  for (int c : seen) EXPECT_GT(c, 50);
+}
+
+TEST(Rng, ForkedStreamsDiffer) {
+  Rng base(5);
+  Rng f1 = base.fork(1);
+  Rng f2 = base.fork(2);
+  EXPECT_NE(f1(), f2());
+}
+
+TEST(Table, RendersAligned) {
+  Table t("demo");
+  t.header({"name", "value"});
+  t.row({"alpha", "1"});
+  t.row({"bb", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("| bb"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t("csv");
+  t.header({"a", "b"});
+  t.row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("1,2"), std::string::npos);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::pct(0.4567, 1), "45.7%");
+}
+
+TEST(ThreadPool, ParallelForCoversAll) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SubmitAndWait) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) pool.submit([&] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(Env, ScaledClampsToMinimum) {
+  EXPECT_GE(scaled(1000, 8), 8u);
+  EXPECT_EQ(scaled(4, 8), 4u);  // min capped at n itself
+}
+
+}  // namespace
+}  // namespace gpf

@@ -1,0 +1,242 @@
+// Gate-in-the-loop co-simulation: with no fault the netlists must be
+// behaviour-identical to the functional pipeline stages; with a fault, the
+// corruption propagates end-to-end through real applications.
+#include <gtest/gtest.h>
+
+#include "gate/cosim.hpp"
+#include "perfi/cfc.hpp"
+#include "perfi/injector.hpp"
+#include "perfi/syndrome_injector.hpp"
+#include "workloads/workload.hpp"
+
+namespace gpf::gate {
+namespace {
+
+std::vector<std::uint32_t> run_output(const workloads::Workload& w,
+                                      arch::MachineHooks* hooks, bool& ok) {
+  arch::Gpu gpu;
+  gpu.set_hooks(hooks);
+  w.setup(gpu);
+  const workloads::RunStats s = w.run(gpu, 400'000);
+  gpu.set_hooks(nullptr);
+  ok = s.ok;
+  if (!s.ok) return {};
+  const workloads::OutputSpec spec = w.output();
+  return {gpu.global().begin() + static_cast<std::ptrdiff_t>(spec.addr),
+          gpu.global().begin() + static_cast<std::ptrdiff_t>(spec.addr + spec.words)};
+}
+
+class CosimEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CosimEquivalence, FaultFreeDecoderCosimMatchesFunctional) {
+  const workloads::Workload& w = *workloads::find(GetParam());
+  bool ok1 = false, ok2 = false;
+  const auto base = run_output(w, nullptr, ok1);
+  DecoderCosim cosim;
+  const auto cos = run_output(w, &cosim, ok2);
+  ASSERT_TRUE(ok1);
+  ASSERT_TRUE(ok2);
+  EXPECT_EQ(base, cos) << w.name();
+  EXPECT_GT(cosim.evaluations(), 0u);
+}
+
+TEST_P(CosimEquivalence, FaultFreeFetchCosimMatchesFunctional) {
+  const workloads::Workload& w = *workloads::find(GetParam());
+  bool ok1 = false, ok2 = false;
+  const auto base = run_output(w, nullptr, ok1);
+  FetchCosim cosim;
+  const auto cos = run_output(w, &cosim, ok2);
+  ASSERT_TRUE(ok1);
+  ASSERT_TRUE(ok2);
+  EXPECT_EQ(base, cos) << w.name();
+}
+
+TEST_P(CosimEquivalence, FaultFreeWscCosimMatchesFunctional) {
+  const workloads::Workload& w = *workloads::find(GetParam());
+  bool ok1 = false, ok2 = false;
+  const auto base = run_output(w, nullptr, ok1);
+  WscCosim cosim;
+  const auto cos = run_output(w, &cosim, ok2);
+  ASSERT_TRUE(ok1);
+  ASSERT_TRUE(ok2);
+  EXPECT_EQ(base, cos) << w.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, CosimEquivalence,
+                         ::testing::Values("vectoradd", "mxm", "bfs", "tmxm",
+                                           "p_sort", "hotspot"));
+
+TEST(WscCosimFault, MaskBitStuckCorruptsExecution) {
+  const workloads::Workload& w = *workloads::find("vectoradd");
+  bool ok = false;
+  const auto golden = run_output(w, nullptr, ok);
+  ASSERT_TRUE(ok);
+
+  WscCosim cosim;
+  // Stuck-low on an active_lanes output line: one thread of every warp
+  // silently skips its work — the paper's IAT mechanism end-to-end.
+  const PortBus* lanes = cosim.netlist().find_output("active_lanes");
+  cosim.set_fault(StuckFault{lanes->nets[5], false});
+  bool fok = false;
+  const auto faulty = run_output(w, &cosim, fok);
+  EXPECT_TRUE(!fok || faulty != golden);
+}
+
+TEST(WscCosimFault, SelValidStuckLowHangs) {
+  const workloads::Workload& w = *workloads::find("vectoradd");
+  WscCosim cosim;
+  const PortBus* sv = cosim.netlist().find_output("sel_valid");
+  cosim.set_fault(StuckFault{sv->nets[0], false});
+  bool ok = true;
+  (void)run_output(w, &cosim, ok);
+  EXPECT_FALSE(ok);  // the scheduler never issues: watchdog hang
+}
+
+TEST(DecoderCosimFault, OpcodeStuckCausesNonMaskedOutcome) {
+  const workloads::Workload& w = *workloads::find("mxm");
+  bool ok = false;
+  const auto golden = run_output(w, nullptr, ok);
+  ASSERT_TRUE(ok);
+
+  DecoderCosim cosim;
+  // Stuck-at on decoded opcode bit 0: IMAD <-> IMUL style substitutions.
+  const PortBus* opcode = cosim.netlist().find_output("opcode");
+  cosim.set_fault(StuckFault{opcode->nets[0], true});
+  bool fok = false;
+  const auto faulty = run_output(w, &cosim, fok);
+  EXPECT_TRUE(!fok || faulty != golden);  // DUE or SDC, never masked
+}
+
+TEST(DecoderCosimFault, ValidStuckLowHangs) {
+  const workloads::Workload& w = *workloads::find("vectoradd");
+  DecoderCosim cosim;
+  const PortBus* valid = cosim.netlist().find_output("valid");
+  cosim.set_fault(StuckFault{valid->nets[0], false});
+  bool ok = true;
+  (void)run_output(w, &cosim, ok);
+  EXPECT_FALSE(ok);  // every instruction rejected -> invalid opcode trap
+}
+
+TEST(FetchCosimFault, PcBitStuckDisturbsExecution) {
+  const workloads::Workload& w = *workloads::find("vectoradd");
+  bool ok = false;
+  const auto golden = run_output(w, nullptr, ok);
+  ASSERT_TRUE(ok);
+
+  FetchCosim cosim;
+  const PortBus* pc_out = cosim.netlist().find_output("pc_out");
+  cosim.set_fault(StuckFault{pc_out->nets[1], true});  // pc bit 1 stuck high
+  bool fok = false;
+  const auto faulty = run_output(w, &cosim, fok);
+  EXPECT_TRUE(!fok || faulty != golden);
+}
+
+TEST(HookChain, ChainsValueStages) {
+  // Chain a fetch cosim with a CFC signature collector: both must observe.
+  const workloads::Workload& w = *workloads::find("vectoradd");
+  FetchCosim cosim;
+  perfi::CfcSignature cfc;
+  HookChain chain;
+  chain.add(&cosim);
+  chain.add(&cfc);
+  bool ok = false;
+  (void)run_output(w, &chain, ok);
+  ASSERT_TRUE(ok);
+  EXPECT_NE(cfc.digest(), 0u);
+}
+
+}  // namespace
+}  // namespace gpf::gate
+
+namespace gpf::perfi {
+namespace {
+
+TEST(Cfc, GoldenSignatureIsStable) {
+  const workloads::Workload& w = *workloads::find("gemm");
+  CfcSignature a, b;
+  arch::Gpu gpu;
+  gpu.set_hooks(&a);
+  w.setup(gpu);
+  ASSERT_TRUE(w.run(gpu).ok);
+  gpu.set_hooks(&b);
+  gpu.clear_memories();
+  w.setup(gpu);
+  ASSERT_TRUE(w.run(gpu).ok);
+  gpu.set_hooks(nullptr);
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(Cfc, DetectsControlFlowCorruption) {
+  // A WV error flips branch predicates: the PC stream signature must change.
+  const workloads::Workload& w = *workloads::find("mxm");
+  CfcSignature golden_sig;
+  {
+    arch::Gpu gpu;
+    gpu.set_hooks(&golden_sig);
+    w.setup(gpu);
+    ASSERT_TRUE(w.run(gpu).ok);
+    gpu.set_hooks(nullptr);
+  }
+  errmodel::ErrorDescriptor d;
+  d.model = errmodel::ErrorModel::WV;
+  d.warp_mask = 0xFF;
+  d.thread_mask = 0xFFFFFFFF;
+  d.bit_err_mask = 1;
+  d.target_pred = 0;
+  ErrorInjector injector(d);
+  CfcSignature faulty_sig;
+  gate::HookChain chain;
+  chain.add(&injector);
+  chain.add(&faulty_sig);
+  arch::Gpu gpu;
+  gpu.set_hooks(&chain);
+  w.setup(gpu);
+  (void)w.run(gpu, 400'000);
+  gpu.set_hooks(nullptr);
+  EXPECT_NE(golden_sig.digest(), faulty_sig.digest());
+}
+
+TEST(SyndromeInjector, PowerLawCorruptsFloatResults) {
+  const workloads::Workload& w = *workloads::find("gemm");
+  arch::Gpu gpu;
+  const auto golden = workloads::golden_output(w, gpu);
+
+  SyndromeSpec spec;
+  spec.lane = 3;
+  spec.x_min = 1e-6;
+  spec.alpha = 1.8;
+  SyndromeInjector injector(spec);
+  arch::Gpu g2;
+  g2.set_hooks(&injector);
+  w.setup(g2);
+  const workloads::RunStats s = w.run(g2, 400'000);
+  g2.set_hooks(nullptr);
+  ASSERT_TRUE(s.ok);
+  EXPECT_GT(injector.corruptions(), 0u);
+  const workloads::OutputSpec out = w.output();
+  bool differs = false;
+  for (std::size_t i = 0; i < out.words; ++i)
+    if (g2.global()[out.addr + i] != golden[i]) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(SyndromeInjector, ActivationZeroIsMasked) {
+  const workloads::Workload& w = *workloads::find("gemm");
+  arch::Gpu gpu;
+  const auto golden = workloads::golden_output(w, gpu);
+  SyndromeSpec spec;
+  spec.activation = 0.0;
+  SyndromeInjector injector(spec);
+  arch::Gpu g2;
+  g2.set_hooks(&injector);
+  w.setup(g2);
+  ASSERT_TRUE(w.run(g2).ok);
+  g2.set_hooks(nullptr);
+  EXPECT_EQ(injector.corruptions(), 0u);
+  const workloads::OutputSpec out = w.output();
+  for (std::size_t i = 0; i < out.words; ++i)
+    ASSERT_EQ(g2.global()[out.addr + i], golden[i]);
+}
+
+}  // namespace
+}  // namespace gpf::perfi

@@ -1,0 +1,35 @@
+#include <gtest/gtest.h>
+
+#include "errmodel/models.hpp"
+
+namespace gpf::errmodel {
+namespace {
+
+TEST(ErrorModels, NamesAndGroups) {
+  for (unsigned i = 0; i < kNumErrorModels; ++i) {
+    const auto m = static_cast<ErrorModel>(i);
+    EXPECT_NE(name_of(m), "?");
+  }
+  EXPECT_EQ(group_of(ErrorModel::IOC), ErrorGroup::Operation);
+  EXPECT_EQ(group_of(ErrorModel::WV), ErrorGroup::ControlFlow);
+  EXPECT_EQ(group_of(ErrorModel::IAT), ErrorGroup::ParallelManagement);
+  EXPECT_EQ(group_of(ErrorModel::IMS), ErrorGroup::ResourceManagement);
+  EXPECT_EQ(group_of(ErrorModel::IMD), ErrorGroup::ResourceManagement);
+  EXPECT_EQ(group_of(ErrorModel::IAL), ErrorGroup::ResourceManagement);
+}
+
+TEST(ErrorModels, WarpWideModels) {
+  // The paper: IOC, IVOC, IRA, IVRA, IPP, IAW affect all threads in a warp.
+  EXPECT_TRUE(corrupts_whole_warp(ErrorModel::IOC));
+  EXPECT_TRUE(corrupts_whole_warp(ErrorModel::IVOC));
+  EXPECT_TRUE(corrupts_whole_warp(ErrorModel::IRA));
+  EXPECT_TRUE(corrupts_whole_warp(ErrorModel::IVRA));
+  EXPECT_TRUE(corrupts_whole_warp(ErrorModel::IPP));
+  EXPECT_TRUE(corrupts_whole_warp(ErrorModel::IAW));
+  EXPECT_FALSE(corrupts_whole_warp(ErrorModel::IAT));
+  EXPECT_FALSE(corrupts_whole_warp(ErrorModel::WV));
+  EXPECT_FALSE(corrupts_whole_warp(ErrorModel::IIO));
+}
+
+}  // namespace
+}  // namespace gpf::errmodel

@@ -1,0 +1,117 @@
+// Event-driven fault simulation must be observationally equivalent to the
+// brute-force simulator: identical fault characterizations (activation, hang,
+// per-model error counts) for every sampled fault on every unit.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "gate/eventsim.hpp"
+#include "gate/profiler.hpp"
+#include "gate/replay.hpp"
+#include "workloads/workload.hpp"
+
+namespace gpf::gate {
+namespace {
+
+UnitTraces trace_of(const char* app, std::size_t max_issues = 600) {
+  arch::Gpu gpu;
+  UnitProfiler prof(max_issues);
+  gpu.set_hooks(&prof);
+  const workloads::Workload* w = workloads::find(app);
+  w->setup(gpu);
+  EXPECT_TRUE(w->run(gpu).ok);
+  gpu.set_hooks(nullptr);
+  return prof.take(app);
+}
+
+class EventSimEquivalence : public ::testing::TestWithParam<UnitKind> {};
+
+TEST_P(EventSimEquivalence, MatchesBruteForceCharacterization) {
+  const UnitTraces t = trace_of("p_tiled_mxm");
+  UnitReplayer replayer(GetParam());
+  const auto golden = replayer.compute_golden(t);
+
+  std::vector<StuckFault> faults = full_fault_list(replayer.netlist());
+  Rng rng(13);
+  for (std::size_t i = 0; i < 250 && i < faults.size(); ++i)
+    std::swap(faults[i], faults[i + rng.below(faults.size() - i)]);
+  faults.resize(std::min<std::size_t>(250, faults.size()));
+
+  for (const StuckFault& f : faults) {
+    FaultCharacterization brute, event;
+    brute.fault = f;
+    event.fault = f;
+    replayer.run_fault(f, t, golden, brute, /*event_driven=*/false);
+    replayer.run_fault(f, t, golden, event, /*event_driven=*/true);
+    ASSERT_EQ(brute.activated, event.activated) << "net " << f.net;
+    ASSERT_EQ(brute.hang, event.hang) << "net " << f.net;
+    for (unsigned m = 0; m < errmodel::kNumErrorModels; ++m)
+      ASSERT_EQ(brute.error_counts[m], event.error_counts[m])
+          << "net " << f.net << " stuck" << f.stuck_high << " model "
+          << errmodel::name_of(static_cast<errmodel::ErrorModel>(m));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Units, EventSimEquivalence,
+                         ::testing::Values(UnitKind::Decoder, UnitKind::Fetch,
+                                           UnitKind::WSC),
+                         [](const auto& info) {
+                           return std::string(unit_name(info.param));
+                         });
+
+TEST(EventSim, ConvergedFaultStopsPropagating) {
+  // A fault whose golden value equals the stuck value never diverges.
+  Netlist nl;
+  const Net a = nl.input();
+  const Net b = nl.input();
+  const Net o = nl.and_(a, b);
+  nl.add_output_bus("o", {o});
+  nl.finalize();
+
+  Simulator golden(nl);
+  golden.set_input(a, true);
+  golden.set_input(b, true);
+  golden.eval();
+  const std::vector<std::uint8_t> gv = golden.values();
+
+  EventFaultSim esim(nl);
+  esim.begin(StuckFault{o, true});  // o already 1
+  EXPECT_FALSE(esim.eval_cycle(gv));
+  esim.begin(StuckFault{o, false});
+  EXPECT_TRUE(esim.eval_cycle(gv));
+  EXPECT_FALSE(esim.value(o, gv));
+}
+
+TEST(EventSim, DivergentStateCarriesAcrossCycles) {
+  // 2-bit shift register: corrupt the first stage, watch it move.
+  Netlist nl;
+  const Net d = nl.input();
+  const Net q0 = nl.dff(d);
+  const Net q1 = nl.dff(q0);
+  nl.add_output_bus("q1", {q1});
+  nl.finalize();
+
+  // Golden: d=1 throughout; state fills with ones over two cycles.
+  Simulator golden(nl);
+  golden.set_input(d, true);
+  std::vector<std::vector<std::uint8_t>> gv;
+  for (int c = 0; c < 4; ++c) {
+    golden.eval();
+    gv.push_back(golden.values());
+    golden.clock();
+  }
+
+  EventFaultSim esim(nl);
+  esim.begin(StuckFault{q0, false});  // first stage stuck at 0
+  bool q1_diverged_later = false;
+  for (int c = 0; c < 4; ++c) {
+    esim.eval_cycle(gv[static_cast<std::size_t>(c)]);
+    if (c >= 2 && !esim.value(q1, gv[static_cast<std::size_t>(c)]))
+      q1_diverged_later = true;
+    if (c + 1 < 4)
+      esim.clock(gv[static_cast<std::size_t>(c)], gv[static_cast<std::size_t>(c) + 1]);
+  }
+  EXPECT_TRUE(q1_diverged_later);  // the zero propagated through the register
+}
+
+}  // namespace
+}  // namespace gpf::gate

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "isa/builder.hpp"
+#include "isa/encoding.hpp"
+#include "isa/program.hpp"
+
+namespace gpf::isa {
+namespace {
+
+TEST(Encoding, RoundTripBasic) {
+  Instruction in;
+  in.op = Op::IMAD;
+  in.rd = 5;
+  in.rs1 = 1;
+  in.rs2 = 2;
+  in.rs3 = 3;
+  in.guard_pred = 2;
+  in.guard_neg = true;
+  const auto d = decode(encode(in));
+  ASSERT_TRUE(d.ok);
+  EXPECT_EQ(d.instr, in);
+}
+
+TEST(Encoding, RoundTripImmediate) {
+  Instruction in;
+  in.op = Op::FADD;
+  in.rd = 7;
+  in.rs1 = 4;
+  in.use_imm = true;
+  in.imm = 0x3F800000u;
+  const auto d = decode(encode(in));
+  ASSERT_TRUE(d.ok);
+  EXPECT_EQ(d.instr, in);
+}
+
+TEST(Encoding, InvalidOpcodeRejected) {
+  // 0xFF is not a defined opcode.
+  const std::uint64_t word = std::uint64_t{0xFF} << 56;
+  EXPECT_FALSE(decode(word).ok);
+}
+
+TEST(Encoding, MemSpaceSurvives) {
+  Instruction in;
+  in.op = Op::LD;
+  in.rd = 1;
+  in.rs1 = 2;
+  in.use_imm = true;
+  in.imm = 100;
+  in.space = MemSpace::Shared;
+  const auto d = decode(encode(in));
+  ASSERT_TRUE(d.ok);
+  EXPECT_EQ(d.instr.space, MemSpace::Shared);
+}
+
+// Property sweep: every valid opcode round-trips with randomized fields.
+class EncodingRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(EncodingRoundTrip, RandomizedFields) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 13);
+  for (int raw = 0; raw < 256; ++raw) {
+    if (!is_valid_opcode(static_cast<std::uint8_t>(raw))) continue;
+    Instruction in;
+    in.op = static_cast<Op>(raw);
+    in.guard_pred = static_cast<std::uint8_t>(rng.below(8));
+    in.guard_neg = rng.chance(0.5);
+    in.rd = static_cast<std::uint8_t>(rng.below(256));
+    in.rs1 = static_cast<std::uint8_t>(rng.below(256));
+    in.use_imm = rng.chance(0.5);
+    if (in.use_imm) {
+      in.imm = static_cast<std::uint32_t>(rng());
+    } else {
+      in.rs2 = static_cast<std::uint8_t>(rng.below(256));
+      in.rs3 = static_cast<std::uint8_t>(rng.below(256));
+    }
+    in.space = static_cast<MemSpace>(rng.below(4));
+    const auto d = decode(encode(in));
+    ASSERT_TRUE(d.ok);
+    EXPECT_EQ(d.instr, in) << name_of(in.op);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncodingRoundTrip, ::testing::Range(0, 8));
+
+TEST(Builder, LabelsResolve) {
+  KernelBuilder kb("labels");
+  auto r = kb.reg();
+  auto skip = kb.label();
+  kb.movi(r, 1);
+  kb.bra(skip);
+  kb.movi(r, 2);
+  kb.place(skip);
+  kb.movi(r, 3);
+  Program p = kb.build();
+  const auto d = decode(p.words[1]);
+  ASSERT_TRUE(d.ok);
+  EXPECT_EQ(d.instr.op, Op::BRA);
+  EXPECT_EQ(d.instr.imm, 3u);  // BRA jumps past the movi at pc=2
+}
+
+TEST(Builder, BuildAppendsExit) {
+  KernelBuilder kb("exit");
+  Program p = kb.build();
+  ASSERT_EQ(p.words.size(), 1u);
+  EXPECT_EQ(decode(p.words[0]).instr.op, Op::EXIT);
+}
+
+TEST(Builder, UnplacedLabelThrows) {
+  KernelBuilder kb("bad");
+  auto l = kb.label();
+  kb.bra(l);
+  EXPECT_THROW(kb.build(), std::runtime_error);
+}
+
+TEST(Builder, PredicatePoolExhausts) {
+  KernelBuilder kb("preds");
+  for (int i = 0; i < 7; ++i) kb.pred();
+  EXPECT_THROW(kb.pred(), std::runtime_error);
+}
+
+TEST(Builder, PredicateRelease) {
+  KernelBuilder kb("pred-release");
+  auto p = kb.pred();
+  kb.release(p);
+  auto q = kb.pred();
+  EXPECT_EQ(p.idx, q.idx);
+}
+
+TEST(Disassemble, ReadableOutput) {
+  KernelBuilder kb("disasm");
+  auto r = kb.regs(3);
+  kb.iadd(r[2], r[0], r[1]);
+  Program p = kb.build();
+  EXPECT_EQ(disassemble(p.words[0]), "IADD R2, R0, R1");
+}
+
+TEST(Disassemble, InvalidWordMarked) {
+  EXPECT_NE(disassemble(std::uint64_t{0xFE} << 56).find(".invalid"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gpf::isa

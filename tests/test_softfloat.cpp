@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/bitops.hpp"
+#include "common/rng.hpp"
+#include "softfloat/fp32.hpp"
+#include "softfloat/intops.hpp"
+#include "softfloat/sfu.hpp"
+
+namespace gpf::sf {
+namespace {
+
+float f(std::uint32_t u) { return bits_f32(u); }
+std::uint32_t u(float x) { return f32_bits(x); }
+
+TEST(Fp32, AddExactSimple) {
+  EXPECT_EQ(f(fadd(u(1.0f), u(2.0f))), 3.0f);
+  EXPECT_EQ(f(fadd(u(1.5f), u(-0.5f))), 1.0f);
+  EXPECT_EQ(f(fadd(u(0.0f), u(7.25f))), 7.25f);
+}
+
+TEST(Fp32, AddCancellation) {
+  EXPECT_EQ(f(fadd(u(5.0f), u(-5.0f))), 0.0f);
+  EXPECT_EQ(f(fadd(u(1.0f), u(-1.0f))), 0.0f);
+}
+
+TEST(Fp32, AddSpecials) {
+  const std::uint32_t inf = u(INFINITY);
+  const std::uint32_t ninf = u(-INFINITY);
+  EXPECT_EQ(fadd(inf, u(1.0f)), inf);
+  EXPECT_TRUE(std::isnan(f(fadd(inf, ninf))));
+  EXPECT_TRUE(std::isnan(f(fadd(u(NAN), u(1.0f)))));
+}
+
+TEST(Fp32, MulSimple) {
+  EXPECT_EQ(f(fmul(u(3.0f), u(4.0f))), 12.0f);
+  EXPECT_EQ(f(fmul(u(-2.0f), u(0.5f))), -1.0f);
+  EXPECT_EQ(f(fmul(u(0.0f), u(42.0f))), 0.0f);
+}
+
+TEST(Fp32, MulSpecials) {
+  EXPECT_TRUE(std::isnan(f(fmul(u(INFINITY), u(0.0f)))));
+  EXPECT_EQ(f(fmul(u(INFINITY), u(2.0f))), INFINITY);
+  EXPECT_EQ(f(fmul(u(-INFINITY), u(2.0f))), -INFINITY);
+}
+
+TEST(Fp32, FmaMatchesFusedHost) {
+  EXPECT_EQ(f(ffma(u(2.0f), u(3.0f), u(4.0f))), std::fmaf(2.0f, 3.0f, 4.0f));
+  EXPECT_EQ(f(ffma(u(1.5f), u(-2.0f), u(10.0f))), std::fmaf(1.5f, -2.0f, 10.0f));
+}
+
+TEST(Fp32, OverflowToInf) {
+  EXPECT_EQ(f(fmul(u(3e38f), u(3e38f))), INFINITY);
+  EXPECT_EQ(f(fadd(u(3.3e38f), u(3.3e38f))), INFINITY);
+}
+
+TEST(Fp32, FlushToZero) {
+  // Subnormal result flushes to zero (G80 semantics).
+  const float tiny = 1.0e-38f;
+  EXPECT_EQ(f(fmul(u(tiny), u(0.01f))), 0.0f);
+  // Subnormal input treated as zero.
+  EXPECT_EQ(f(fadd(u(1.0e-44f), u(0.0f))), 0.0f);
+}
+
+// Property sweeps against host FP32 over several magnitude ranges, including
+// the paper's S/M/L input ranges.
+struct RangeParam {
+  double lo, hi;
+  const char* name;
+};
+
+class Fp32RandomSweep : public ::testing::TestWithParam<RangeParam> {};
+
+TEST_P(Fp32RandomSweep, AddMulFmaMatchHost) {
+  const auto [lo, hi, nm] = GetParam();
+  Rng rng(u(static_cast<float>(lo)) + 17);
+  for (int i = 0; i < 3000; ++i) {
+    float a = static_cast<float>(rng.uniform(lo, hi));
+    float b = static_cast<float>(rng.uniform(lo, hi));
+    float c = static_cast<float>(rng.uniform(lo, hi));
+    if (rng.chance(0.5)) a = -a;
+    if (rng.chance(0.5)) b = -b;
+    ASSERT_EQ(f(fadd(u(a), u(b))), a + b) << nm << " a=" << a << " b=" << b;
+    ASSERT_EQ(f(fmul(u(a), u(b))), a * b) << nm << " a=" << a << " b=" << b;
+    ASSERT_EQ(f(ffma(u(a), u(b), u(c))), std::fmaf(a, b, c))
+        << nm << " a=" << a << " b=" << b << " c=" << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, Fp32RandomSweep,
+    ::testing::Values(RangeParam{6.8e-6, 7.3e-6, "small"},
+                      RangeParam{1.8, 59.4, "medium"},
+                      RangeParam{3.8e9, 12.5e9, "large"},
+                      RangeParam{1e-30, 1e30, "wide"}));
+
+TEST(Fp32, FaultOnProductBitChangesResult) {
+  BusFaultSet faults(BusFault{Bus::MulProduct, 40, true});
+  const std::uint32_t good = fmul(u(3.0f), u(5.0f));
+  const std::uint32_t bad = fmul(u(3.0f), u(5.0f), &faults);
+  EXPECT_NE(good, bad);
+}
+
+TEST(Fp32, FaultProducesBoundedRelativeError) {
+  // A stuck-at on a low product bit must yield a tiny relative error.
+  BusFaultSet faults(BusFault{Bus::MulProduct, 2, true});
+  const float good = f(fmul(u(3.1f), u(7.3f)));
+  const float bad = f(fmul(u(3.1f), u(7.3f), &faults));
+  const float rel = std::fabs(bad - good) / std::fabs(good);
+  EXPECT_LT(rel, 1e-5f);
+}
+
+TEST(IntOps, Basics) {
+  EXPECT_EQ(iadd(2, 3), 5u);
+  EXPECT_EQ(isub(10, 4), 6u);
+  EXPECT_EQ(isub(0, 1), 0xFFFFFFFFu);
+  EXPECT_EQ(imul(7, 6), 42u);
+  EXPECT_EQ(imad(3, 4, 5), 17u);
+  EXPECT_EQ(static_cast<std::int32_t>(imin(static_cast<std::uint32_t>(-5), 3)), -5);
+  EXPECT_EQ(static_cast<std::int32_t>(imax(static_cast<std::uint32_t>(-5), 3)), 3);
+}
+
+TEST(IntOps, WrapAround) {
+  EXPECT_EQ(iadd(0xFFFFFFFFu, 1), 0u);
+  EXPECT_EQ(imul(0x10000u, 0x10000u), 0u);
+}
+
+TEST(IntOps, StuckSumBitInjection) {
+  BusFaultSet faults(BusFault{Bus::IntSum, 0, true});
+  EXPECT_EQ(iadd(2, 2, &faults), 5u);  // sum LSB stuck high
+  EXPECT_EQ(iadd(2, 3, &faults), 5u);  // already set: fault masked
+}
+
+TEST(Sfu, AccuracyWithinTolerance) {
+  Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    const float x = static_cast<float>(rng.uniform(0.0, 1.5707963));
+    EXPECT_NEAR(f(sfu_eval(SfuFunc::Sin, u(x))), std::sin(x), 2e-6f);
+  }
+  for (int i = 0; i < 500; ++i) {
+    const float x = static_cast<float>(rng.uniform(-10.0, 10.0));
+    EXPECT_NEAR(f(sfu_eval(SfuFunc::Exp2, u(x))), std::exp2(x),
+                3e-6f * std::exp2(x) + 1e-7f);
+  }
+  for (int i = 0; i < 500; ++i) {
+    const float x = static_cast<float>(rng.uniform(0.01, 1000.0));
+    EXPECT_NEAR(f(sfu_eval(SfuFunc::Rcp, u(x))), 1.0f / x, 3e-6f / x);
+    EXPECT_NEAR(f(sfu_eval(SfuFunc::Sqrt, u(x))), std::sqrt(x), 3e-6f * std::sqrt(x));
+    EXPECT_NEAR(f(sfu_eval(SfuFunc::Lg2, u(x))), std::log2(x), 1e-4f);
+  }
+}
+
+TEST(Sfu, OpSelectFaultEvaluatesWrongFunction) {
+  // Stuck-high select bit 1 turns Sin (0) into Rcp (2).
+  BusFaultSet faults(BusFault{Bus::SfuOpSelect, 1, true});
+  const float x = 0.5f;
+  EXPECT_NEAR(f(sfu_eval(SfuFunc::Sin, u(x), &faults)), 1.0f / x, 1e-5f);
+}
+
+TEST(Buses, WidthsAndNamesDefined) {
+  for (unsigned b = 0; b < static_cast<unsigned>(Bus::Count); ++b) {
+    EXPECT_GT(bus_width(static_cast<Bus>(b)), 0u);
+    EXPECT_STRNE(bus_name(static_cast<Bus>(b)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace gpf::sf

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/histogram.hpp"
+#include "stats/powerlaw.hpp"
+#include "stats/shapiro.hpp"
+
+namespace gpf::stats {
+namespace {
+
+TEST(Descriptive, MeanVarianceMedian) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 2.5);
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+  const std::vector<double> even{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Descriptive, EmptyInputsSafe) {
+  EXPECT_EQ(mean({}), 0.0);
+  EXPECT_EQ(variance({}), 0.0);
+  EXPECT_EQ(median({}), 0.0);
+}
+
+TEST(Descriptive, ProportionMargin) {
+  // The paper: 12,000 faults -> margin < 3% at 95%.
+  EXPECT_LT(proportion_margin(0.5, 12000), 0.03);
+  EXPECT_GT(proportion_margin(0.5, 100), 0.05);
+  EXPECT_GE(sample_size_for_margin(0.03), 1000u);
+  EXPECT_LE(sample_size_for_margin(0.03), 1200u);
+}
+
+TEST(Histogram, DecadeBinning) {
+  DecadeHistogram h(-8, 2);
+  h.add(1e-9);   // underflow
+  h.add(5e-3);   // decade [-3,-2)
+  h.add(2.0);    // decade [0,1)
+  h.add(1e3);    // overflow
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(h.bin_count() - 1), 1u);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.25);
+  EXPECT_EQ(h.label(0), "<1e-8");
+  EXPECT_EQ(h.label(h.bin_count() - 1), ">=1e2");
+}
+
+TEST(Histogram, ZeroAndNegativeGoToUnderflow) {
+  DecadeHistogram h;
+  h.add(0.0);
+  h.add(-5.0);
+  EXPECT_EQ(h.count(0), 2u);
+}
+
+TEST(PowerLaw, AlphaRecoveredOnSyntheticData) {
+  // Generate from a known power law and recover alpha via MLE.
+  const double alpha_true = 2.5, x_min = 1e-4;
+  PowerLawSampler gen(x_min, alpha_true);
+  Rng rng(123);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = gen.sample(rng);
+  const double alpha_hat = fit_alpha(xs, x_min);
+  EXPECT_NEAR(alpha_hat, alpha_true, 0.05);
+}
+
+TEST(PowerLaw, FullClausetFit) {
+  const double alpha_true = 1.8, x_min = 0.01;
+  PowerLawSampler gen(x_min, alpha_true);
+  Rng rng(7);
+  std::vector<double> xs(5000);
+  for (double& x : xs) x = gen.sample(rng);
+  const PowerLawFit fit = fit_power_law(xs);
+  EXPECT_NEAR(fit.alpha, alpha_true, 0.15);
+  EXPECT_LT(fit.ks, 0.05);
+  EXPECT_GT(fit.n_tail, 1000u);
+}
+
+TEST(PowerLaw, SamplerRespectsLowerBound) {
+  PowerLawSampler gen(0.5, 3.0);
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(gen.sample(rng), 0.5);
+}
+
+TEST(PowerLaw, DegenerateInputHandled) {
+  EXPECT_EQ(fit_alpha({}, 1.0), 0.0);
+  const PowerLawFit f = fit_power_law({});
+  EXPECT_EQ(f.n_tail, 0u);
+}
+
+TEST(ShapiroWilk, AcceptsGaussianData) {
+  Rng rng(41);
+  std::vector<double> xs(500);
+  for (double& x : xs) {
+    // Box–Muller.
+    const double u1 = rng.uniform() + 1e-12, u2 = rng.uniform();
+    x = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  }
+  const auto r = shapiro_wilk(xs);
+  ASSERT_TRUE(r.valid);
+  EXPECT_GT(r.w, 0.98);
+  EXPECT_GT(r.p_value, 0.05);
+}
+
+TEST(ShapiroWilk, RejectsPowerLawData) {
+  // This is the paper's statistical argument: syndromes are non-Gaussian
+  // (p < 0.05 for every distribution).
+  PowerLawSampler gen(1e-6, 2.0);
+  Rng rng(17);
+  std::vector<double> xs(500);
+  for (double& x : xs) x = gen.sample(rng);
+  const auto r = shapiro_wilk(xs);
+  ASSERT_TRUE(r.valid);
+  EXPECT_LT(r.p_value, 0.05);
+}
+
+TEST(ShapiroWilk, RejectsUniformTail) {
+  Rng rng(29);
+  std::vector<double> xs(300);
+  for (double& x : xs) x = rng.uniform() < 0.9 ? rng.uniform() : 50.0 + rng.uniform();
+  const auto r = shapiro_wilk(xs);
+  ASSERT_TRUE(r.valid);
+  EXPECT_LT(r.p_value, 0.01);
+}
+
+TEST(ShapiroWilk, DegenerateInputsInvalid) {
+  EXPECT_FALSE(shapiro_wilk(std::vector<double>{1.0, 1.0}).valid);
+  EXPECT_FALSE(shapiro_wilk(std::vector<double>{2.0, 2.0, 2.0, 2.0}).valid);
+}
+
+}  // namespace
+}  // namespace gpf::stats

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_area_utilization.dir/bench_area_utilization.cpp.o"
+  "CMakeFiles/bench_area_utilization.dir/bench_area_utilization.cpp.o.d"
+  "bench_area_utilization"
+  "bench_area_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_area_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

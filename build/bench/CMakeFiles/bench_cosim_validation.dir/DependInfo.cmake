@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_cosim_validation.cpp" "bench/CMakeFiles/bench_cosim_validation.dir/bench_cosim_validation.cpp.o" "gcc" "bench/CMakeFiles/bench_cosim_validation.dir/bench_cosim_validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gate/CMakeFiles/gpf_gate.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/gpf_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/errmodel/CMakeFiles/gpf_errmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/gpf_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/gpf_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gpf_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/softfloat/CMakeFiles/gpf_softfloat.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gpf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cosim_validation.dir/bench_cosim_validation.cpp.o"
+  "CMakeFiles/bench_cosim_validation.dir/bench_cosim_validation.cpp.o.d"
+  "bench_cosim_validation"
+  "bench_cosim_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cosim_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_epr_apps.dir/bench_epr_apps.cpp.o"
+  "CMakeFiles/bench_epr_apps.dir/bench_epr_apps.cpp.o.d"
+  "bench_epr_apps"
+  "bench_epr_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_epr_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

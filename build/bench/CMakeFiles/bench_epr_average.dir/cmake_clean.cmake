@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_epr_average.dir/bench_epr_average.cpp.o"
+  "CMakeFiles/bench_epr_average.dir/bench_epr_average.cpp.o.d"
+  "bench_epr_average"
+  "bench_epr_average.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_epr_average.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_error_avf.dir/bench_error_avf.cpp.o"
+  "CMakeFiles/bench_error_avf.dir/bench_error_avf.cpp.o.d"
+  "bench_error_avf"
+  "bench_error_avf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_error_avf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eventsim.dir/bench_eventsim.cpp.o"
+  "CMakeFiles/bench_eventsim.dir/bench_eventsim.cpp.o.d"
+  "bench_eventsim"
+  "bench_eventsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eventsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fapr.dir/bench_fapr.cpp.o"
+  "CMakeFiles/bench_fapr.dir/bench_fapr.cpp.o.d"
+  "bench_fapr"
+  "bench_fapr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fapr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

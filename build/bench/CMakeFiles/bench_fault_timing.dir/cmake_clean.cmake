@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fault_timing.dir/bench_fault_timing.cpp.o"
+  "CMakeFiles/bench_fault_timing.dir/bench_fault_timing.cpp.o.d"
+  "bench_fault_timing"
+  "bench_fault_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fault_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gate_fault_classes.dir/bench_gate_fault_classes.cpp.o"
+  "CMakeFiles/bench_gate_fault_classes.dir/bench_gate_fault_classes.cpp.o.d"
+  "bench_gate_fault_classes"
+  "bench_gate_fault_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gate_fault_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rtl_avf.dir/bench_rtl_avf.cpp.o"
+  "CMakeFiles/bench_rtl_avf.dir/bench_rtl_avf.cpp.o.d"
+  "bench_rtl_avf"
+  "bench_rtl_avf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rtl_avf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_speedup_estimate.dir/bench_speedup_estimate.cpp.o"
+  "CMakeFiles/bench_speedup_estimate.dir/bench_speedup_estimate.cpp.o.d"
+  "bench_speedup_estimate"
+  "bench_speedup_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_speedup_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

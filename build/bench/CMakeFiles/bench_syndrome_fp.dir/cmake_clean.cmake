@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_syndrome_fp.dir/bench_syndrome_fp.cpp.o"
+  "CMakeFiles/bench_syndrome_fp.dir/bench_syndrome_fp.cpp.o.d"
+  "bench_syndrome_fp"
+  "bench_syndrome_fp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_syndrome_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

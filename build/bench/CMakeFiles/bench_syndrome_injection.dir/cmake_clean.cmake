@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_syndrome_injection.dir/bench_syndrome_injection.cpp.o"
+  "CMakeFiles/bench_syndrome_injection.dir/bench_syndrome_injection.cpp.o.d"
+  "bench_syndrome_injection"
+  "bench_syndrome_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_syndrome_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_syndrome_int.dir/bench_syndrome_int.cpp.o"
+  "CMakeFiles/bench_syndrome_int.dir/bench_syndrome_int.cpp.o.d"
+  "bench_syndrome_int"
+  "bench_syndrome_int.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_syndrome_int.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

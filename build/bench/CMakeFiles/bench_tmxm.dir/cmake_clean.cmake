@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tmxm.dir/bench_tmxm.cpp.o"
+  "CMakeFiles/bench_tmxm.dir/bench_tmxm.cpp.o.d"
+  "bench_tmxm"
+  "bench_tmxm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tmxm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

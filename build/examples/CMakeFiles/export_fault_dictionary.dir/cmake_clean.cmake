@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_fault_dictionary.dir/export_fault_dictionary.cpp.o"
+  "CMakeFiles/export_fault_dictionary.dir/export_fault_dictionary.cpp.o.d"
+  "export_fault_dictionary"
+  "export_fault_dictionary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_fault_dictionary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

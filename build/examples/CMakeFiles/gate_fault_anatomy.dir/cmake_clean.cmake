@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gate_fault_anatomy.dir/gate_fault_anatomy.cpp.o"
+  "CMakeFiles/gate_fault_anatomy.dir/gate_fault_anatomy.cpp.o.d"
+  "gate_fault_anatomy"
+  "gate_fault_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gate_fault_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gate_fault_anatomy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inject_permanent_error.dir/inject_permanent_error.cpp.o"
+  "CMakeFiles/inject_permanent_error.dir/inject_permanent_error.cpp.o.d"
+  "inject_permanent_error"
+  "inject_permanent_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inject_permanent_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

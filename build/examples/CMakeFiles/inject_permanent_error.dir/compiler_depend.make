@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for inject_permanent_error.
+# This may be replaced when dependencies are built.

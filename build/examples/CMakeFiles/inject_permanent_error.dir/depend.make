@@ -1,0 +1,2 @@
+# Empty dependencies file for inject_permanent_error.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syndrome_sampler.dir/syndrome_sampler.cpp.o"
+  "CMakeFiles/syndrome_sampler.dir/syndrome_sampler.cpp.o.d"
+  "syndrome_sampler"
+  "syndrome_sampler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syndrome_sampler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

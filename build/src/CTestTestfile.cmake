@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("stats")
+subdirs("isa")
+subdirs("softfloat")
+subdirs("arch")
+subdirs("rtl")
+subdirs("gate")
+subdirs("errmodel")
+subdirs("perfi")
+subdirs("workloads")
+subdirs("syndrome")
+subdirs("report")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_arch.dir/exec.cpp.o"
+  "CMakeFiles/gpf_arch.dir/exec.cpp.o.d"
+  "CMakeFiles/gpf_arch.dir/machine.cpp.o"
+  "CMakeFiles/gpf_arch.dir/machine.cpp.o.d"
+  "libgpf_arch.a"
+  "libgpf_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

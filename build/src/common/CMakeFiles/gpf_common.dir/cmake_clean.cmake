@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_common.dir/env.cpp.o"
+  "CMakeFiles/gpf_common.dir/env.cpp.o.d"
+  "CMakeFiles/gpf_common.dir/table.cpp.o"
+  "CMakeFiles/gpf_common.dir/table.cpp.o.d"
+  "CMakeFiles/gpf_common.dir/threadpool.cpp.o"
+  "CMakeFiles/gpf_common.dir/threadpool.cpp.o.d"
+  "libgpf_common.a"
+  "libgpf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_errmodel.dir/models.cpp.o"
+  "CMakeFiles/gpf_errmodel.dir/models.cpp.o.d"
+  "libgpf_errmodel.a"
+  "libgpf_errmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_errmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

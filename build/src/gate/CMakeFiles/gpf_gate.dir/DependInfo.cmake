@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gate/cosim.cpp" "src/gate/CMakeFiles/gpf_gate.dir/cosim.cpp.o" "gcc" "src/gate/CMakeFiles/gpf_gate.dir/cosim.cpp.o.d"
+  "/root/repo/src/gate/dictionary.cpp" "src/gate/CMakeFiles/gpf_gate.dir/dictionary.cpp.o" "gcc" "src/gate/CMakeFiles/gpf_gate.dir/dictionary.cpp.o.d"
+  "/root/repo/src/gate/eventsim.cpp" "src/gate/CMakeFiles/gpf_gate.dir/eventsim.cpp.o" "gcc" "src/gate/CMakeFiles/gpf_gate.dir/eventsim.cpp.o.d"
+  "/root/repo/src/gate/netlist.cpp" "src/gate/CMakeFiles/gpf_gate.dir/netlist.cpp.o" "gcc" "src/gate/CMakeFiles/gpf_gate.dir/netlist.cpp.o.d"
+  "/root/repo/src/gate/profiler.cpp" "src/gate/CMakeFiles/gpf_gate.dir/profiler.cpp.o" "gcc" "src/gate/CMakeFiles/gpf_gate.dir/profiler.cpp.o.d"
+  "/root/repo/src/gate/replay.cpp" "src/gate/CMakeFiles/gpf_gate.dir/replay.cpp.o" "gcc" "src/gate/CMakeFiles/gpf_gate.dir/replay.cpp.o.d"
+  "/root/repo/src/gate/sim.cpp" "src/gate/CMakeFiles/gpf_gate.dir/sim.cpp.o" "gcc" "src/gate/CMakeFiles/gpf_gate.dir/sim.cpp.o.d"
+  "/root/repo/src/gate/units.cpp" "src/gate/CMakeFiles/gpf_gate.dir/units.cpp.o" "gcc" "src/gate/CMakeFiles/gpf_gate.dir/units.cpp.o.d"
+  "/root/repo/src/gate/wordops.cpp" "src/gate/CMakeFiles/gpf_gate.dir/wordops.cpp.o" "gcc" "src/gate/CMakeFiles/gpf_gate.dir/wordops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/gpf_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/gpf_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/errmodel/CMakeFiles/gpf_errmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gpf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/softfloat/CMakeFiles/gpf_softfloat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

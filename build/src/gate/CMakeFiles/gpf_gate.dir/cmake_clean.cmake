@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_gate.dir/cosim.cpp.o"
+  "CMakeFiles/gpf_gate.dir/cosim.cpp.o.d"
+  "CMakeFiles/gpf_gate.dir/dictionary.cpp.o"
+  "CMakeFiles/gpf_gate.dir/dictionary.cpp.o.d"
+  "CMakeFiles/gpf_gate.dir/eventsim.cpp.o"
+  "CMakeFiles/gpf_gate.dir/eventsim.cpp.o.d"
+  "CMakeFiles/gpf_gate.dir/netlist.cpp.o"
+  "CMakeFiles/gpf_gate.dir/netlist.cpp.o.d"
+  "CMakeFiles/gpf_gate.dir/profiler.cpp.o"
+  "CMakeFiles/gpf_gate.dir/profiler.cpp.o.d"
+  "CMakeFiles/gpf_gate.dir/replay.cpp.o"
+  "CMakeFiles/gpf_gate.dir/replay.cpp.o.d"
+  "CMakeFiles/gpf_gate.dir/sim.cpp.o"
+  "CMakeFiles/gpf_gate.dir/sim.cpp.o.d"
+  "CMakeFiles/gpf_gate.dir/units.cpp.o"
+  "CMakeFiles/gpf_gate.dir/units.cpp.o.d"
+  "CMakeFiles/gpf_gate.dir/wordops.cpp.o"
+  "CMakeFiles/gpf_gate.dir/wordops.cpp.o.d"
+  "libgpf_gate.a"
+  "libgpf_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

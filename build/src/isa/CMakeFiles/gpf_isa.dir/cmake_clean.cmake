@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_isa.dir/assembler.cpp.o"
+  "CMakeFiles/gpf_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/gpf_isa.dir/builder.cpp.o"
+  "CMakeFiles/gpf_isa.dir/builder.cpp.o.d"
+  "CMakeFiles/gpf_isa.dir/encoding.cpp.o"
+  "CMakeFiles/gpf_isa.dir/encoding.cpp.o.d"
+  "CMakeFiles/gpf_isa.dir/opcode.cpp.o"
+  "CMakeFiles/gpf_isa.dir/opcode.cpp.o.d"
+  "CMakeFiles/gpf_isa.dir/program.cpp.o"
+  "CMakeFiles/gpf_isa.dir/program.cpp.o.d"
+  "libgpf_isa.a"
+  "libgpf_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_perfi.dir/campaign.cpp.o"
+  "CMakeFiles/gpf_perfi.dir/campaign.cpp.o.d"
+  "CMakeFiles/gpf_perfi.dir/injector.cpp.o"
+  "CMakeFiles/gpf_perfi.dir/injector.cpp.o.d"
+  "CMakeFiles/gpf_perfi.dir/syndrome_injector.cpp.o"
+  "CMakeFiles/gpf_perfi.dir/syndrome_injector.cpp.o.d"
+  "libgpf_perfi.a"
+  "libgpf_perfi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_perfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

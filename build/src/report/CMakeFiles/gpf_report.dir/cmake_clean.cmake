@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_report.dir/gate_experiments.cpp.o"
+  "CMakeFiles/gpf_report.dir/gate_experiments.cpp.o.d"
+  "libgpf_report.a"
+  "libgpf_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

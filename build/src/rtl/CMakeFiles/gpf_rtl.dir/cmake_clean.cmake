@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_rtl.dir/campaign.cpp.o"
+  "CMakeFiles/gpf_rtl.dir/campaign.cpp.o.d"
+  "CMakeFiles/gpf_rtl.dir/faults.cpp.o"
+  "CMakeFiles/gpf_rtl.dir/faults.cpp.o.d"
+  "CMakeFiles/gpf_rtl.dir/microbench.cpp.o"
+  "CMakeFiles/gpf_rtl.dir/microbench.cpp.o.d"
+  "libgpf_rtl.a"
+  "libgpf_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/softfloat/fp32.cpp" "src/softfloat/CMakeFiles/gpf_softfloat.dir/fp32.cpp.o" "gcc" "src/softfloat/CMakeFiles/gpf_softfloat.dir/fp32.cpp.o.d"
+  "/root/repo/src/softfloat/intops.cpp" "src/softfloat/CMakeFiles/gpf_softfloat.dir/intops.cpp.o" "gcc" "src/softfloat/CMakeFiles/gpf_softfloat.dir/intops.cpp.o.d"
+  "/root/repo/src/softfloat/sfu.cpp" "src/softfloat/CMakeFiles/gpf_softfloat.dir/sfu.cpp.o" "gcc" "src/softfloat/CMakeFiles/gpf_softfloat.dir/sfu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gpf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

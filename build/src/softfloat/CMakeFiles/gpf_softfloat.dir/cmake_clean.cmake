@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_softfloat.dir/fp32.cpp.o"
+  "CMakeFiles/gpf_softfloat.dir/fp32.cpp.o.d"
+  "CMakeFiles/gpf_softfloat.dir/intops.cpp.o"
+  "CMakeFiles/gpf_softfloat.dir/intops.cpp.o.d"
+  "CMakeFiles/gpf_softfloat.dir/sfu.cpp.o"
+  "CMakeFiles/gpf_softfloat.dir/sfu.cpp.o.d"
+  "libgpf_softfloat.a"
+  "libgpf_softfloat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_softfloat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/gpf_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/gpf_stats.dir/histogram.cpp.o"
+  "CMakeFiles/gpf_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/gpf_stats.dir/powerlaw.cpp.o"
+  "CMakeFiles/gpf_stats.dir/powerlaw.cpp.o.d"
+  "CMakeFiles/gpf_stats.dir/shapiro.cpp.o"
+  "CMakeFiles/gpf_stats.dir/shapiro.cpp.o.d"
+  "libgpf_stats.a"
+  "libgpf_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

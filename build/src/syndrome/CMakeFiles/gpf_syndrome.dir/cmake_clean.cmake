@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_syndrome.dir/pattern.cpp.o"
+  "CMakeFiles/gpf_syndrome.dir/pattern.cpp.o.d"
+  "libgpf_syndrome.a"
+  "libgpf_syndrome.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_syndrome.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/apps_dnn.cpp" "src/workloads/CMakeFiles/gpf_workloads.dir/apps_dnn.cpp.o" "gcc" "src/workloads/CMakeFiles/gpf_workloads.dir/apps_dnn.cpp.o.d"
+  "/root/repo/src/workloads/apps_graph.cpp" "src/workloads/CMakeFiles/gpf_workloads.dir/apps_graph.cpp.o" "gcc" "src/workloads/CMakeFiles/gpf_workloads.dir/apps_graph.cpp.o.d"
+  "/root/repo/src/workloads/apps_linear.cpp" "src/workloads/CMakeFiles/gpf_workloads.dir/apps_linear.cpp.o" "gcc" "src/workloads/CMakeFiles/gpf_workloads.dir/apps_linear.cpp.o.d"
+  "/root/repo/src/workloads/apps_rodinia.cpp" "src/workloads/CMakeFiles/gpf_workloads.dir/apps_rodinia.cpp.o" "gcc" "src/workloads/CMakeFiles/gpf_workloads.dir/apps_rodinia.cpp.o.d"
+  "/root/repo/src/workloads/apps_sort.cpp" "src/workloads/CMakeFiles/gpf_workloads.dir/apps_sort.cpp.o" "gcc" "src/workloads/CMakeFiles/gpf_workloads.dir/apps_sort.cpp.o.d"
+  "/root/repo/src/workloads/kernels.cpp" "src/workloads/CMakeFiles/gpf_workloads.dir/kernels.cpp.o" "gcc" "src/workloads/CMakeFiles/gpf_workloads.dir/kernels.cpp.o.d"
+  "/root/repo/src/workloads/micro.cpp" "src/workloads/CMakeFiles/gpf_workloads.dir/micro.cpp.o" "gcc" "src/workloads/CMakeFiles/gpf_workloads.dir/micro.cpp.o.d"
+  "/root/repo/src/workloads/tmxm.cpp" "src/workloads/CMakeFiles/gpf_workloads.dir/tmxm.cpp.o" "gcc" "src/workloads/CMakeFiles/gpf_workloads.dir/tmxm.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/workloads/CMakeFiles/gpf_workloads.dir/workload.cpp.o" "gcc" "src/workloads/CMakeFiles/gpf_workloads.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/gpf_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gpf_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/softfloat/CMakeFiles/gpf_softfloat.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gpf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_workloads.dir/apps_dnn.cpp.o"
+  "CMakeFiles/gpf_workloads.dir/apps_dnn.cpp.o.d"
+  "CMakeFiles/gpf_workloads.dir/apps_graph.cpp.o"
+  "CMakeFiles/gpf_workloads.dir/apps_graph.cpp.o.d"
+  "CMakeFiles/gpf_workloads.dir/apps_linear.cpp.o"
+  "CMakeFiles/gpf_workloads.dir/apps_linear.cpp.o.d"
+  "CMakeFiles/gpf_workloads.dir/apps_rodinia.cpp.o"
+  "CMakeFiles/gpf_workloads.dir/apps_rodinia.cpp.o.d"
+  "CMakeFiles/gpf_workloads.dir/apps_sort.cpp.o"
+  "CMakeFiles/gpf_workloads.dir/apps_sort.cpp.o.d"
+  "CMakeFiles/gpf_workloads.dir/kernels.cpp.o"
+  "CMakeFiles/gpf_workloads.dir/kernels.cpp.o.d"
+  "CMakeFiles/gpf_workloads.dir/micro.cpp.o"
+  "CMakeFiles/gpf_workloads.dir/micro.cpp.o.d"
+  "CMakeFiles/gpf_workloads.dir/tmxm.cpp.o"
+  "CMakeFiles/gpf_workloads.dir/tmxm.cpp.o.d"
+  "CMakeFiles/gpf_workloads.dir/workload.cpp.o"
+  "CMakeFiles/gpf_workloads.dir/workload.cpp.o.d"
+  "libgpf_workloads.a"
+  "libgpf_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

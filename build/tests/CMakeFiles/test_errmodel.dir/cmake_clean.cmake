@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_errmodel.dir/test_errmodel.cpp.o"
+  "CMakeFiles/test_errmodel.dir/test_errmodel.cpp.o.d"
+  "test_errmodel"
+  "test_errmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_errmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

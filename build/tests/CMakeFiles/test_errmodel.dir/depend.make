@@ -1,0 +1,2 @@
+# Empty dependencies file for test_errmodel.
+# This may be replaced when dependencies are built.

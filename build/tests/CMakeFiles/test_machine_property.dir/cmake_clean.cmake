@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_property.dir/test_machine_property.cpp.o"
+  "CMakeFiles/test_machine_property.dir/test_machine_property.cpp.o.d"
+  "test_machine_property"
+  "test_machine_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

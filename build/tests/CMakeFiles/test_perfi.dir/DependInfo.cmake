@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_perfi.cpp" "tests/CMakeFiles/test_perfi.dir/test_perfi.cpp.o" "gcc" "tests/CMakeFiles/test_perfi.dir/test_perfi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perfi/CMakeFiles/gpf_perfi.dir/DependInfo.cmake"
+  "/root/repo/build/src/errmodel/CMakeFiles/gpf_errmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/gpf_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/gpf_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gpf_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/softfloat/CMakeFiles/gpf_softfloat.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gpf_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gpf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perfi.dir/test_perfi.cpp.o"
+  "CMakeFiles/test_perfi.dir/test_perfi.cpp.o.d"
+  "test_perfi"
+  "test_perfi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

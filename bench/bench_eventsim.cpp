@@ -23,13 +23,13 @@ int main() {
   for (gate::UnitKind unit :
        {gate::UnitKind::Decoder, gate::UnitKind::Fetch, gate::UnitKind::WSC}) {
     auto t0 = Clock::now();
-    const auto brute =
-        gate::run_unit_campaign(unit, traces, faults, 7, nullptr, false);
+    const auto brute = gate::run_unit_campaign(unit, traces, faults, 7, nullptr,
+                                               EngineKind::Brute);
     const double brute_s = std::chrono::duration<double>(Clock::now() - t0).count();
 
     t0 = Clock::now();
-    const auto event =
-        gate::run_unit_campaign(unit, traces, faults, 7, nullptr, true);
+    const auto event = gate::run_unit_campaign(unit, traces, faults, 7, nullptr,
+                                               EngineKind::Event);
     const double event_s = std::chrono::duration<double>(Clock::now() - t0).count();
 
     bool equal = brute.faults.size() == event.faults.size();

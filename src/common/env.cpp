@@ -29,4 +29,36 @@ unsigned long long campaign_seed() {
   return seed;
 }
 
+const char* engine_name(EngineKind e) {
+  switch (e) {
+    case EngineKind::Brute: return "brute";
+    case EngineKind::Event: return "event";
+    case EngineKind::Batch: return "batch";
+  }
+  return "?";
+}
+
+EngineKind campaign_engine() {
+  static const EngineKind engine = [] {
+    const char* s = std::getenv("GPF_ENGINE");
+    if (!s) return EngineKind::Batch;
+    const std::string v(s);
+    if (v == "brute") return EngineKind::Brute;
+    if (v == "event") return EngineKind::Event;
+    if (v == "batch") return EngineKind::Batch;
+    return EngineKind::Batch;
+  }();
+  return engine;
+}
+
+std::size_t campaign_threads() {
+  static const std::size_t threads = [] {
+    const char* s = std::getenv("GPF_THREADS");
+    if (!s) return std::size_t{0};
+    const long v = std::atol(s);
+    return v > 0 ? static_cast<std::size_t>(v) : std::size_t{0};
+  }();
+  return threads;
+}
+
 }  // namespace gpf

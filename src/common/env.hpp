@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 namespace gpf {
 
@@ -15,5 +16,22 @@ std::size_t scaled(std::size_t n, std::size_t min_n = 8);
 
 /// GPF_SEED environment variable (default 0xC0FFEE).
 unsigned long long campaign_seed();
+
+/// Gate-campaign fault-simulation engine (see gate/replay.hpp for the
+/// trade-offs). Selected per process by GPF_ENGINE.
+enum class EngineKind : std::uint8_t {
+  Brute,  ///< full scalar resimulation of every (fault, cycle)
+  Event,  ///< single-fault difference-cone propagation
+  Batch,  ///< 64-way bit-parallel (PPSFP) word simulation
+};
+const char* engine_name(EngineKind e);
+
+/// GPF_ENGINE environment variable: "brute" | "event" | "batch"
+/// (default batch, the fastest engine; all three classify identically).
+EngineKind campaign_engine();
+
+/// GPF_THREADS environment variable: worker count for campaign thread pools
+/// (0 = one per hardware thread).
+std::size_t campaign_threads();
 
 }  // namespace gpf

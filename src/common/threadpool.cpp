@@ -4,9 +4,12 @@
 #include <atomic>
 #include <memory>
 
+#include "common/env.hpp"
+
 namespace gpf {
 
 ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) workers = campaign_threads();  // GPF_THREADS override
   if (workers == 0) workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   threads_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i)

@@ -15,7 +15,8 @@ namespace gpf {
 
 class ThreadPool {
  public:
-  /// `workers == 0` selects hardware_concurrency (minimum 1).
+  /// `workers == 0` selects the GPF_THREADS environment knob, falling back
+  /// to hardware_concurrency (minimum 1).
   explicit ThreadPool(std::size_t workers = 0);
   ~ThreadPool();
 

@@ -1,0 +1,152 @@
+#include "gate/batchsim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gpf::gate {
+
+namespace {
+
+inline std::uint64_t broadcast(std::uint8_t bit) {
+  return bit ? ~std::uint64_t{0} : std::uint64_t{0};
+}
+
+}  // namespace
+
+BatchFaultSim::BatchFaultSim(const Netlist& nl)
+    : nl_(nl),
+      val_(nl.num_nets(), 0),
+      force0_(nl.num_nets(), 0),
+      force1_(nl.num_nets(), 0),
+      dff_next_(nl.dffs().size(), 0) {
+  if (!nl.finalized()) throw std::logic_error("netlist not finalized");
+}
+
+void BatchFaultSim::begin(std::span<const StuckFault> faults) {
+  if (faults.size() > kLanes) throw std::invalid_argument("more than 64 faults");
+  for (const Net n : forced_nets_) {
+    force0_[static_cast<std::size_t>(n)] = 0;
+    force1_[static_cast<std::size_t>(n)] = 0;
+  }
+  forced_nets_.clear();
+  source_sites_.clear();
+  sites_.clear();
+  lane_mask_ = 0;
+  std::fill(val_.begin(), val_.end(), 0);
+
+  for (std::size_t k = 0; k < faults.size(); ++k) {
+    const StuckFault& f = faults[k];
+    const auto site = static_cast<std::size_t>(f.net);
+    const std::uint64_t bit = std::uint64_t{1} << k;
+    sites_.push_back(f.net);
+    lane_mask_ |= bit;
+    if (force0_[site] == 0 && force1_[site] == 0) forced_nets_.push_back(f.net);
+    (f.stuck_high ? force1_ : force0_)[site] |= bit;
+    const GateKind kind = nl_.gate(f.net).kind;
+    if (kind == GateKind::Input || kind == GateKind::Const0 ||
+        kind == GateKind::Const1 || kind == GateKind::Dff)
+      source_sites_.push_back(f.net);
+  }
+}
+
+void BatchFaultSim::load_broadcast(const std::vector<std::uint8_t>& vals) {
+  for (std::size_t i = 0; i < val_.size(); ++i) val_[i] = broadcast(vals[i]);
+}
+
+void BatchFaultSim::set_bus(const PortBus& bus, std::uint64_t value) {
+  for (std::size_t i = 0; i < bus.nets.size(); ++i)
+    val_[static_cast<std::size_t>(bus.nets[i])] = broadcast((value >> i) & 1);
+}
+
+void BatchFaultSim::apply_source_overlays() {
+  for (const Net n : source_sites_) {
+    const auto i = static_cast<std::size_t>(n);
+    val_[i] = (val_[i] & ~force0_[i]) | force1_[i];
+  }
+}
+
+void BatchFaultSim::eval() {
+  for (const auto& [n, v] : nl_.constants())
+    val_[static_cast<std::size_t>(n)] = broadcast(v);
+  apply_source_overlays();
+
+  for (const Net n : nl_.eval_order()) {
+    const Gate& g = nl_.gate(n);
+    const auto va = [&](Net x) { return val_[static_cast<std::size_t>(x)]; };
+    std::uint64_t v = 0;
+    switch (g.kind) {
+      case GateKind::Buf: v = va(g.a); break;
+      case GateKind::Not: v = ~va(g.a); break;
+      case GateKind::And: v = va(g.a) & va(g.b); break;
+      case GateKind::Or: v = va(g.a) | va(g.b); break;
+      case GateKind::Nand: v = ~(va(g.a) & va(g.b)); break;
+      case GateKind::Nor: v = ~(va(g.a) | va(g.b)); break;
+      case GateKind::Xor: v = va(g.a) ^ va(g.b); break;
+      case GateKind::Xnor: v = ~(va(g.a) ^ va(g.b)); break;
+      case GateKind::Mux: {
+        const std::uint64_t s = va(g.a);
+        v = (s & va(g.c)) | (~s & va(g.b));
+        break;
+      }
+      default: continue;
+    }
+    const auto i = static_cast<std::size_t>(n);
+    val_[i] = (v & ~force0_[i]) | force1_[i];
+  }
+}
+
+void BatchFaultSim::clock() {
+  const std::vector<Net>& dffs = nl_.dffs();
+  for (std::size_t i = 0; i < dffs.size(); ++i) {
+    const Gate& g = nl_.gate(dffs[i]);
+    const std::uint64_t en =
+        g.b == kNoNet ? ~std::uint64_t{0} : val_[static_cast<std::size_t>(g.b)];
+    const std::uint64_t cur = val_[static_cast<std::size_t>(dffs[i])];
+    const std::uint64_t d =
+        g.a == kNoNet ? cur : val_[static_cast<std::size_t>(g.a)];
+    dff_next_[i] = (en & d) | (~en & cur);
+  }
+  for (std::size_t i = 0; i < dffs.size(); ++i)
+    val_[static_cast<std::size_t>(dffs[i])] = dff_next_[i];
+  apply_source_overlays();
+}
+
+std::uint64_t BatchFaultSim::bus_value(const PortBus& bus, unsigned lane) const {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bus.nets.size(); ++i)
+    if (value(bus.nets[i], lane)) v |= std::uint64_t{1} << i;
+  return v;
+}
+
+std::uint64_t BatchFaultSim::diff_lanes(
+    std::span<const Net> nets, const std::vector<std::uint8_t>& golden) const {
+  std::uint64_t m = 0;
+  for (const Net n : nets) {
+    const auto i = static_cast<std::size_t>(n);
+    m |= val_[i] ^ broadcast(golden[i]);
+  }
+  return m & lane_mask_;
+}
+
+std::uint64_t BatchFaultSim::state_diff_lanes(
+    const std::vector<std::uint8_t>& golden) const {
+  std::uint64_t m = 0;
+  for (const Net n : nl_.dffs()) {
+    const auto i = static_cast<std::size_t>(n);
+    m |= val_[i] ^ broadcast(golden[i]);
+  }
+  return m & lane_mask_;
+}
+
+void BatchFaultSim::retire_lane(unsigned lane,
+                                const std::vector<std::uint8_t>& golden) {
+  const std::uint64_t bit = std::uint64_t{1} << lane;
+  const auto site = static_cast<std::size_t>(sites_[lane]);
+  force0_[site] &= ~bit;
+  force1_[site] &= ~bit;
+  lane_mask_ &= ~bit;
+  for (std::size_t i = 0; i < val_.size(); ++i)
+    val_[i] = (val_[i] & ~bit) | (broadcast(golden[i]) & bit);
+}
+
+}  // namespace gpf::gate

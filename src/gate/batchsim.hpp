@@ -1,0 +1,73 @@
+// 64-way bit-parallel stuck-at fault simulation (PPSFP): every net carries a
+// 64-bit word whose lane k is the net's value under fault k, so one levelized
+// pass over the netlist advances 64 fault machines at once using plain bitwise
+// ops. Stuck-at overlays are per-lane force masks applied at each fault site;
+// DFF clocking mirrors Simulator::clock() with a word-wide enable mux. Lanes
+// with no fault installed (ragged final batch) and retired lanes simply track
+// the fault-free machine, so they never show up in divergence masks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gate/netlist.hpp"
+#include "gate/sim.hpp"
+
+namespace gpf::gate {
+
+class BatchFaultSim {
+ public:
+  static constexpr std::size_t kLanes = 64;
+
+  explicit BatchFaultSim(const Netlist& nl);
+
+  /// Install up to 64 faults (lane k carries faults[k]) and reset all state.
+  void begin(std::span<const StuckFault> faults);
+  std::size_t num_lanes() const { return sites_.size(); }
+  /// Mask with one bit set per installed lane.
+  std::uint64_t lane_mask() const { return lane_mask_; }
+
+  /// Broadcast a full golden net-value snapshot into every lane (sequential
+  /// replays start at the first activating cycle, like Simulator::load_values).
+  void load_broadcast(const std::vector<std::uint8_t>& vals);
+  /// Drive a whole input bus (LSB-first); each bit is broadcast to all lanes.
+  void set_bus(const PortBus& bus, std::uint64_t value);
+  /// Settle combinational logic (applies every lane's fault overlay).
+  void eval();
+  /// Latch DFFs from current values (call after eval()).
+  void clock();
+
+  bool value(Net n, unsigned lane) const {
+    return (val_[static_cast<std::size_t>(n)] >> lane) & 1;
+  }
+  /// Bus value seen by one lane.
+  std::uint64_t bus_value(const PortBus& bus, unsigned lane) const;
+
+  /// Lanes whose value on any of `nets` differs from the golden snapshot.
+  std::uint64_t diff_lanes(std::span<const Net> nets,
+                           const std::vector<std::uint8_t>& golden) const;
+  /// Lanes whose DFF state differs from the golden snapshot (used for the
+  /// all-quiet early exit of sequential replays).
+  std::uint64_t state_diff_lanes(const std::vector<std::uint8_t>& golden) const;
+
+  /// Drop a lane's fault overlay and snap its values back to the golden
+  /// snapshot: from here on the lane passively tracks the fault-free machine
+  /// and never diverges again. Used to retire hung faults early.
+  void retire_lane(unsigned lane, const std::vector<std::uint8_t>& golden);
+
+ private:
+  void apply_source_overlays();
+
+  const Netlist& nl_;
+  std::vector<std::uint64_t> val_;       ///< [net] -> 64 fault lanes
+  std::vector<std::uint64_t> force0_;    ///< per-net stuck-at-0 lane masks
+  std::vector<std::uint64_t> force1_;    ///< per-net stuck-at-1 lane masks
+  std::vector<std::uint64_t> dff_next_;  ///< reusable clock() sample buffer
+  std::vector<Net> forced_nets_;         ///< fault sites (dedup'd)
+  std::vector<Net> source_sites_;        ///< Input/Const/Dff fault sites
+  std::vector<Net> sites_;               ///< per-lane fault site
+  std::uint64_t lane_mask_ = 0;
+};
+
+}  // namespace gpf::gate

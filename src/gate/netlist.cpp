@@ -105,6 +105,14 @@ void Netlist::finalize() {
   std::stable_sort(eval_order_.begin(), eval_order_.end(), [&](Net x, Net y) {
     return level[static_cast<std::size_t>(x)] < level[static_cast<std::size_t>(y)];
   });
+
+  constants_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (gates_[i].kind == GateKind::Const0)
+      constants_.emplace_back(static_cast<Net>(i), 0);
+    else if (gates_[i].kind == GateKind::Const1)
+      constants_.emplace_back(static_cast<Net>(i), 1);
+  }
   finalized_ = true;
 }
 

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace gpf::gate {
@@ -78,6 +79,11 @@ class Netlist {
   const Gate& gate(Net n) const { return gates_[static_cast<std::size_t>(n)]; }
   const std::vector<Net>& eval_order() const { return eval_order_; }
   const std::vector<Net>& dffs() const { return dffs_; }
+  /// Constant nets and their values, collected by finalize() so simulators
+  /// can refresh them without rescanning the whole netlist.
+  const std::vector<std::pair<Net, std::uint8_t>>& constants() const {
+    return constants_;
+  }
 
   /// Total combinational + sequential cell count (excludes Input/Const).
   std::size_t cell_count() const;
@@ -90,6 +96,7 @@ class Netlist {
   std::vector<Gate> gates_;
   std::vector<Net> dffs_;
   std::vector<Net> eval_order_;
+  std::vector<std::pair<Net, std::uint8_t>> constants_;
   std::vector<PortBus> inputs_;
   std::vector<PortBus> outputs_;
   bool finalized_ = false;

@@ -1,8 +1,10 @@
 #include "gate/replay.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/rng.hpp"
+#include "gate/batchsim.hpp"
 #include "gate/eventsim.hpp"
 #include "isa/encoding.hpp"
 
@@ -195,6 +197,11 @@ struct UnitReplayer::Ports {
   const PortBus* w_base_out = nullptr;
   const PortBus* w_cta_out = nullptr;
   const PortBus* w_dispatch = nullptr;
+  /// Union of all nets compare_outputs reads for this unit. A fault lane can
+  /// only contribute errors on a cycle when one of these nets diverges, so
+  /// the batch engine screens lanes against this set before paying the
+  /// per-lane classification cost.
+  std::vector<Net> observed;
 };
 
 UnitReplayer::UnitReplayer(UnitKind kind)
@@ -264,6 +271,30 @@ UnitReplayer::UnitReplayer(UnitKind kind)
       p.w_dispatch = nl.find_output("dispatch");
       break;
   }
+
+  auto observe = [&p](const PortBus* bus) {
+    if (bus) p.observed.insert(p.observed.end(), bus->nets.begin(), bus->nets.end());
+  };
+  switch (kind) {
+    case UnitKind::Decoder:
+      for (const PortBus* bus :
+           {p.d_valid, p.d_opcode, p.d_guard, p.d_guard_neg, p.d_use_imm,
+            p.d_space, p.d_rd, p.d_rs1, p.d_rs2, p.d_rs3, p.d_imm,
+            p.d_mem_rd_en, p.d_mem_wr_en})
+        observe(bus);
+      for (const PortBus* bus : p.d_class) observe(bus);
+      break;
+    case UnitKind::Fetch:
+      for (const PortBus* bus : {p.f_fetch_valid, p.f_pc_out, p.f_instr_out})
+        observe(bus);
+      break;
+    case UnitKind::WSC:
+      for (const PortBus* bus :
+           {p.w_sel_valid, p.w_sel_slot, p.w_mask_out, p.w_lane_en,
+            p.w_base_out, p.w_cta_out, p.w_dispatch})
+        observe(bus);
+      break;
+  }
 }
 
 UnitReplayer::~UnitReplayer() = default;
@@ -286,7 +317,8 @@ bool UnitReplayer::cycle_is_issue(const UnitTraces& t, std::size_t c) const {
   return false;
 }
 
-void UnitReplayer::drive_inputs(Simulator& sim, const UnitTraces& t,
+template <class Sim>
+void UnitReplayer::drive_inputs(Sim& sim, const UnitTraces& t,
                                 std::size_t c) const {
   const Ports& p = *ports_;
   switch (kind_) {
@@ -507,7 +539,9 @@ void UnitReplayer::compare_outputs(const UnitTraces& t, std::size_t c,
 
 void UnitReplayer::run_fault(const StuckFault& fault, const UnitTraces& t,
                              const GoldenTrace& g, FaultCharacterization& out,
-                             bool event_driven) const {
+                             EngineKind engine) const {
+  if (out.hang) return;  // hung in an earlier trace: the unit is already dead
+  const bool event_driven = engine != EngineKind::Brute;
   const std::size_t n = num_cycles(t);
   const auto site = static_cast<std::size_t>(fault.net);
   const std::uint8_t stuck = fault.stuck_high ? 1 : 0;
@@ -533,6 +567,7 @@ void UnitReplayer::run_fault(const StuckFault& fault, const UnitTraces& t,
         compare_outputs(t, c, g.vals[c],
                         [&](const PortBus& b) { return sim.bus_value(b); }, out);
       }
+      if (out.hang) return;  // hang retire: no further patterns are decoded
     }
     return;
   }
@@ -553,10 +588,12 @@ void UnitReplayer::run_fault(const StuckFault& fault, const UnitTraces& t,
     esim.begin(fault);
     for (std::size_t c = first; c < n; ++c) {
       const bool diverges = esim.eval_cycle(g.vals[c]);
-      if (diverges && cycle_is_issue(t, c))
+      if (diverges && cycle_is_issue(t, c)) {
         compare_outputs(
             t, c, g.vals[c],
             [&](const PortBus& b) { return esim.bus_value(b, g.vals[c]); }, out);
+        if (out.hang) return;  // hang retire
+      }
       if (c + 1 < n) esim.clock(g.vals[c], g.vals[c + 1]);
       // Early exit: past the last activating cycle with no combinational
       // divergence and no divergent state, the faulty machine equals the
@@ -572,10 +609,106 @@ void UnitReplayer::run_fault(const StuckFault& fault, const UnitTraces& t,
   for (std::size_t c = first; c < n; ++c) {
     drive_inputs(sim, t, c);
     sim.eval();
-    if (cycle_is_issue(t, c))
+    if (cycle_is_issue(t, c)) {
       compare_outputs(t, c, g.vals[c],
                       [&](const PortBus& b) { return sim.bus_value(b); }, out);
+      if (out.hang) return;  // hang retire
+    }
     sim.clock();
+  }
+}
+
+void UnitReplayer::run_fault_batch(std::span<const StuckFault> faults,
+                                   const UnitTraces& t, const GoldenTrace& g,
+                                   std::span<FaultCharacterization> out) const {
+  const std::size_t n = num_cycles(t);
+  const std::size_t lanes = faults.size();
+  if (n == 0 || lanes == 0) return;
+
+  BatchFaultSim sim(*nl_);
+  sim.begin(faults);
+
+  // Lanes hung by an earlier trace are retired before the replay starts;
+  // from here on `live` mirrors sim.lane_mask().
+  std::uint64_t live = 0;
+  for (std::size_t k = 0; k < lanes; ++k) {
+    if (out[k].hang)
+      sim.retire_lane(static_cast<unsigned>(k), g.vals[0]);
+    else
+      live |= std::uint64_t{1} << k;
+  }
+  if (!live) return;
+
+  const auto site = [&](std::size_t k) {
+    return static_cast<std::size_t>(faults[k].net);
+  };
+  const auto stuck = [&](std::size_t k) -> std::uint8_t {
+    return faults[k].stuck_high ? 1 : 0;
+  };
+  const auto classify_diverged = [&](std::uint64_t diff, std::size_t c) {
+    while (diff) {
+      const auto k = static_cast<unsigned>(std::countr_zero(diff));
+      diff &= diff - 1;
+      compare_outputs(
+          t, c, g.vals[c],
+          [&](const PortBus& b) { return sim.bus_value(b, k); }, out[k]);
+      if (out[k].hang) {  // hang retire: stop classifying this lane
+        live &= ~(std::uint64_t{1} << k);
+        sim.retire_lane(k, g.vals[c]);
+      }
+    }
+  };
+
+  if (kind_ == UnitKind::Decoder) {
+    // Combinational: one word evaluation covers all live lanes per pattern.
+    for (std::size_t c = 0; c < n && live; ++c) {
+      std::uint64_t act = 0;  // lanes activated by this pattern
+      for (std::uint64_t rest = live; rest;) {
+        const auto k = static_cast<unsigned>(std::countr_zero(rest));
+        rest &= rest - 1;
+        if (g.vals[c][site(k)] != stuck(k)) {
+          act |= std::uint64_t{1} << k;
+          out[k].activated = true;
+        }
+      }
+      if (!act) continue;
+      drive_inputs(sim, t, c);
+      sim.eval();
+      classify_diverged(sim.diff_lanes(ports_->observed, g.vals[c]) & act, c);
+    }
+    return;
+  }
+
+  // Sequential: activation is a property of the golden trace alone. Find the
+  // first/last cycle any live lane activates; before `first_any` every lane's
+  // overlay is a no-op, so the replay can start from the golden snapshot.
+  std::size_t first_any = n, last_any = 0;
+  for (std::uint64_t rest = live; rest;) {
+    const auto k = static_cast<unsigned>(std::countr_zero(rest));
+    rest &= rest - 1;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (g.vals[c][site(k)] != stuck(k)) {
+        out[k].activated = true;
+        first_any = std::min(first_any, c);
+        last_any = std::max(last_any, c);
+      }
+    }
+  }
+  if (first_any == n) return;  // no live lane ever activates
+
+  sim.load_broadcast(g.vals[first_any]);
+  for (std::size_t c = first_any; c < n; ++c) {
+    drive_inputs(sim, t, c);
+    sim.eval();
+    if (cycle_is_issue(t, c))
+      classify_diverged(sim.diff_lanes(ports_->observed, g.vals[c]), c);
+    if (!live) break;
+    if (c + 1 < n) {
+      sim.clock();
+      // All-quiet early exit: past the last activating cycle, lanes whose
+      // DFF state matches the golden machine can never diverge again.
+      if (c >= last_any && sim.state_diff_lanes(g.vals[c + 1]) == 0) break;
+    }
   }
 }
 
@@ -585,7 +718,7 @@ void UnitReplayer::run_fault(const StuckFault& fault, const UnitTraces& t,
 
 UnitCampaignResult run_unit_campaign(UnitKind unit, std::span<const UnitTraces> traces,
                                      std::size_t max_faults, std::uint64_t seed,
-                                     ThreadPool* pool, bool event_driven) {
+                                     ThreadPool* pool, EngineKind engine) {
   UnitReplayer replayer(unit);
   std::vector<StuckFault> faults = full_fault_list(replayer.netlist());
 
@@ -607,8 +740,23 @@ UnitCampaignResult run_unit_campaign(UnitKind unit, std::span<const UnitTraces> 
 
   for (const UnitTraces& t : traces) {
     const UnitReplayer::GoldenTrace g = replayer.compute_golden(t);
+    if (engine == EngineKind::Batch) {
+      constexpr std::size_t kB = BatchFaultSim::kLanes;
+      const std::size_t batches = (faults.size() + kB - 1) / kB;
+      auto work = [&](std::size_t b) {
+        const std::size_t lo = b * kB;
+        const std::size_t len = std::min(kB, faults.size() - lo);
+        replayer.run_fault_batch(std::span(faults).subspan(lo, len), t, g,
+                                 std::span(result.faults).subspan(lo, len));
+      };
+      if (pool)
+        pool->parallel_for(batches, work);
+      else
+        for (std::size_t b = 0; b < batches; ++b) work(b);
+      continue;
+    }
     auto work = [&](std::size_t i) {
-      replayer.run_fault(faults[i], t, g, result.faults[i], event_driven);
+      replayer.run_fault(faults[i], t, g, result.faults[i], engine);
     };
     if (pool)
       pool->parallel_for(faults.size(), work);

@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "common/env.hpp"
 #include "common/threadpool.hpp"
 #include "errmodel/models.hpp"
 #include "gate/sim.hpp"
@@ -17,6 +18,8 @@
 #include "gate/units.hpp"
 
 namespace gpf::gate {
+
+using gpf::EngineKind;
 
 /// Table 4 fault classes.
 enum class FaultClass : std::uint8_t { Uncontrollable, Masked, Hang, SwError };
@@ -85,14 +88,29 @@ class UnitReplayer {
   GoldenTrace compute_golden(const UnitTraces& t) const;
 
   /// Evaluate one fault against one trace, accumulating into `out`.
-  /// `event_driven` selects the difference-propagation engine (identical
-  /// results, much faster; see bench_eventsim) over brute-force resimulation.
+  /// Engine::Brute resimulates the full netlist per (fault, cycle);
+  /// Engine::Event propagates only the difference cone (identical results,
+  /// much faster; see bench_eventsim). Engine::Batch is a multi-fault engine
+  /// and falls back to Event here — use run_fault_batch for word parallelism.
+  /// All engines stop replaying a fault once it is flagged as a hang (a hung
+  /// unit makes no further progress, so later trace cycles are unreachable);
+  /// a fault already hung by an earlier trace is skipped outright.
   void run_fault(const StuckFault& f, const UnitTraces& t, const GoldenTrace& g,
-                 FaultCharacterization& out, bool event_driven = true) const;
+                 FaultCharacterization& out,
+                 EngineKind engine = EngineKind::Event) const;
+
+  /// Evaluate up to 64 faults simultaneously with the bit-parallel (PPSFP)
+  /// engine: lane k of every net word carries the value under faults[k], and
+  /// out[k] receives exactly the characterization run_fault would produce.
+  /// Hung lanes are retired early and stop paying classification cost.
+  void run_fault_batch(std::span<const StuckFault> faults, const UnitTraces& t,
+                       const GoldenTrace& g,
+                       std::span<FaultCharacterization> out) const;
 
  private:
   std::size_t num_cycles(const UnitTraces& t) const;
-  void drive_inputs(Simulator& sim, const UnitTraces& t, std::size_t cycle) const;
+  template <class Sim>
+  void drive_inputs(Sim& sim, const UnitTraces& t, std::size_t cycle) const;
   bool cycle_is_issue(const UnitTraces& t, std::size_t cycle) const;
   using BusReader = std::function<std::uint64_t(const PortBus&)>;
   void compare_outputs(const UnitTraces& t, std::size_t cycle,
@@ -109,10 +127,13 @@ class UnitReplayer {
   std::unique_ptr<Ports> ports_;
 };
 
-/// Full campaign over (sampled) faults x traces.
+/// Full campaign over (sampled) faults x traces. The engine defaults to the
+/// GPF_ENGINE environment knob (batch unless overridden); with the batch
+/// engine, 64-fault batches are distributed across the pool exactly like
+/// single faults are for the scalar engines.
 UnitCampaignResult run_unit_campaign(UnitKind unit, std::span<const UnitTraces> traces,
                                      std::size_t max_faults, std::uint64_t seed,
                                      ThreadPool* pool = nullptr,
-                                     bool event_driven = true);
+                                     EngineKind engine = campaign_engine());
 
 }  // namespace gpf::gate

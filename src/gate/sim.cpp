@@ -4,7 +4,8 @@
 
 namespace gpf::gate {
 
-Simulator::Simulator(const Netlist& nl) : nl_(nl), val_(nl.num_nets(), 0) {
+Simulator::Simulator(const Netlist& nl)
+    : nl_(nl), val_(nl.num_nets(), 0), dff_next_(nl.dffs().size(), 0) {
   if (!nl.finalized()) throw std::logic_error("netlist not finalized");
 }
 
@@ -33,12 +34,7 @@ void Simulator::apply_fault_at_sources() {
 }
 
 void Simulator::eval() {
-  // Constants (cheap to refresh each eval).
-  for (std::size_t i = 0; i < nl_.num_nets(); ++i) {
-    const GateKind k = nl_.gate(static_cast<Net>(i)).kind;
-    if (k == GateKind::Const0) val_[i] = 0;
-    if (k == GateKind::Const1) val_[i] = 1;
-  }
+  for (const auto& [n, v] : nl_.constants()) val_[static_cast<std::size_t>(n)] = v;
   apply_fault_at_sources();
 
   for (const Net n : nl_.eval_order()) {
@@ -68,7 +64,6 @@ void Simulator::eval() {
 void Simulator::clock() {
   // Two-phase: sample all D inputs, then commit, so DFF-to-DFF paths behave
   // like real registers.
-  std::vector<std::uint8_t> next(nl_.dffs().size());
   for (std::size_t i = 0; i < nl_.dffs().size(); ++i) {
     const Net n = nl_.dffs()[i];
     const Gate& g = nl_.gate(n);
@@ -76,10 +71,10 @@ void Simulator::clock() {
     const std::uint8_t cur = val_[static_cast<std::size_t>(n)];
     const std::uint8_t d =
         g.a == kNoNet ? cur : val_[static_cast<std::size_t>(g.a)];
-    next[i] = en ? d : cur;
+    dff_next_[i] = en ? d : cur;
   }
   for (std::size_t i = 0; i < nl_.dffs().size(); ++i)
-    val_[static_cast<std::size_t>(nl_.dffs()[i])] = next[i];
+    val_[static_cast<std::size_t>(nl_.dffs()[i])] = dff_next_[i];
   apply_fault_at_sources();
 }
 

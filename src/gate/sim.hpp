@@ -51,6 +51,7 @@ class Simulator {
 
   const Netlist& nl_;
   std::vector<std::uint8_t> val_;
+  std::vector<std::uint8_t> dff_next_;  ///< reusable clock() sample buffer
   StuckFault fault_;
   std::uint8_t golden_at_fault_ = 0;
 };

@@ -24,12 +24,15 @@ std::vector<gate::UnitTraces> collect_profiling_traces(std::size_t max_issues) {
 }
 
 GateCampaigns run_gate_campaigns(const std::vector<gate::UnitTraces>& traces,
-                                 std::size_t faults_per_unit, std::uint64_t seed) {
+                                 std::size_t faults_per_unit, std::uint64_t seed,
+                                 EngineKind engine) {
   GateCampaigns out;
+  ThreadPool pool;
   const gate::UnitKind kinds[] = {gate::UnitKind::Decoder, gate::UnitKind::Fetch,
                                   gate::UnitKind::WSC};
   for (unsigned i = 0; i < 3; ++i)
-    out.units[i] = gate::run_unit_campaign(kinds[i], traces, faults_per_unit, seed);
+    out.units[i] = gate::run_unit_campaign(kinds[i], traces, faults_per_unit, seed,
+                                           &pool, engine);
   for (const auto& t : traces) out.total_dynamic_instructions += t.issues;
   return out;
 }

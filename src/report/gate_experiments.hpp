@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/env.hpp"
 #include "gate/replay.hpp"
 #include "gate/trace.hpp"
 
@@ -22,8 +23,11 @@ struct GateCampaigns {
 };
 
 /// Run the stuck-at campaigns for the three units over the given traces.
-/// `faults_per_unit` of 0 evaluates the full collapsed fault list.
+/// `faults_per_unit` of 0 evaluates the full collapsed fault list. Faults
+/// (or 64-fault batches, for the batch engine) are spread across a thread
+/// pool sized by GPF_THREADS; the engine defaults to the GPF_ENGINE knob.
 GateCampaigns run_gate_campaigns(const std::vector<gate::UnitTraces>& traces,
-                                 std::size_t faults_per_unit, std::uint64_t seed);
+                                 std::size_t faults_per_unit, std::uint64_t seed,
+                                 EngineKind engine = campaign_engine());
 
 }  // namespace gpf::report

@@ -1,0 +1,172 @@
+// The 64-way bit-parallel (PPSFP) engine must be observationally equivalent
+// to both scalar engines: lane-for-lane identical FaultCharacterization
+// (class, activation, hang, per-model error counts) for every fault on every
+// unit over real profiled traces, including a ragged final batch (<64 faults)
+// and both stuck-at polarities.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "gate/batchsim.hpp"
+#include "gate/profiler.hpp"
+#include "gate/replay.hpp"
+#include "workloads/workload.hpp"
+
+namespace gpf::gate {
+namespace {
+
+UnitTraces trace_of(const char* app, std::size_t max_issues = 500) {
+  arch::Gpu gpu;
+  UnitProfiler prof(max_issues);
+  gpu.set_hooks(&prof);
+  const workloads::Workload* w = workloads::find(app);
+  w->setup(gpu);
+  EXPECT_TRUE(w->run(gpu).ok);
+  gpu.set_hooks(nullptr);
+  return prof.take(app);
+}
+
+void expect_same(const FaultCharacterization& a, const FaultCharacterization& b,
+                 const char* engines) {
+  ASSERT_EQ(a.fault.net, b.fault.net) << engines;
+  ASSERT_EQ(a.fault.stuck_high, b.fault.stuck_high) << engines;
+  ASSERT_EQ(a.activated, b.activated)
+      << engines << " net " << a.fault.net << " stuck" << a.fault.stuck_high;
+  ASSERT_EQ(a.hang, b.hang)
+      << engines << " net " << a.fault.net << " stuck" << a.fault.stuck_high;
+  ASSERT_EQ(a.cls(), b.cls())
+      << engines << " net " << a.fault.net << " stuck" << a.fault.stuck_high;
+  for (unsigned m = 0; m < errmodel::kNumErrorModels; ++m)
+    ASSERT_EQ(a.error_counts[m], b.error_counts[m])
+        << engines << " net " << a.fault.net << " stuck" << a.fault.stuck_high
+        << " model " << errmodel::name_of(static_cast<errmodel::ErrorModel>(m));
+}
+
+class BatchSimEquivalence : public ::testing::TestWithParam<UnitKind> {};
+
+// Full-campaign equivalence over two real profiled traces. 150 sampled
+// faults force a ragged final batch (64 + 64 + 22 lanes).
+TEST_P(BatchSimEquivalence, CampaignMatchesScalarEngines) {
+  const std::vector<UnitTraces> traces = {trace_of("p_tiled_mxm"),
+                                          trace_of("p_sort")};
+  constexpr std::size_t kFaults = 150;
+  static_assert(kFaults % BatchFaultSim::kLanes != 0,
+                "sample must exercise a ragged final batch");
+
+  const auto brute = run_unit_campaign(GetParam(), traces, kFaults, 42, nullptr,
+                                       EngineKind::Brute);
+  const auto event = run_unit_campaign(GetParam(), traces, kFaults, 42, nullptr,
+                                       EngineKind::Event);
+  const auto batch = run_unit_campaign(GetParam(), traces, kFaults, 42, nullptr,
+                                       EngineKind::Batch);
+
+  ASSERT_EQ(brute.faults.size(), kFaults);
+  ASSERT_EQ(event.faults.size(), kFaults);
+  ASSERT_EQ(batch.faults.size(), kFaults);
+
+  // The sample must cover both stuck-at polarities.
+  const auto high = [](const FaultCharacterization& f) {
+    return f.fault.stuck_high;
+  };
+  EXPECT_TRUE(std::any_of(batch.faults.begin(), batch.faults.end(), high));
+  EXPECT_TRUE(std::any_of(batch.faults.begin(), batch.faults.end(),
+                          [&](const auto& f) { return !high(f); }));
+
+  for (std::size_t i = 0; i < kFaults; ++i) {
+    expect_same(brute.faults[i], batch.faults[i], "brute-vs-batch");
+    expect_same(event.faults[i], batch.faults[i], "event-vs-batch");
+  }
+}
+
+// Direct run_fault_batch on a small ragged batch must equal per-fault
+// run_fault lane for lane.
+TEST_P(BatchSimEquivalence, RaggedBatchMatchesRunFault) {
+  const UnitTraces t = trace_of("p_tiled_mxm");
+  UnitReplayer replayer(GetParam());
+  const auto golden = replayer.compute_golden(t);
+
+  std::vector<StuckFault> all = full_fault_list(replayer.netlist());
+  Rng rng(99);
+  std::vector<StuckFault> sample;
+  bool saw_high = false, saw_low = false;
+  for (std::size_t i = 0; i < 10; ++i) {
+    const StuckFault f = all[rng.below(all.size())];
+    sample.push_back(f);
+    (f.stuck_high ? saw_high : saw_low) = true;
+  }
+  // Guarantee both polarities in the batch.
+  if (!saw_high) sample.back().stuck_high = true;
+  if (!saw_low) sample.front().stuck_high = false;
+
+  std::vector<FaultCharacterization> batch(sample.size());
+  for (std::size_t k = 0; k < sample.size(); ++k) batch[k].fault = sample[k];
+  replayer.run_fault_batch(sample, t, golden, batch);
+
+  for (std::size_t k = 0; k < sample.size(); ++k) {
+    FaultCharacterization scalar;
+    scalar.fault = sample[k];
+    replayer.run_fault(sample[k], t, golden, scalar, EngineKind::Brute);
+    expect_same(scalar, batch[k], "brute-vs-batch(lane)");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Units, BatchSimEquivalence,
+                         ::testing::Values(UnitKind::Decoder, UnitKind::Fetch,
+                                           UnitKind::WSC),
+                         [](const auto& info) {
+                           return std::string(unit_name(info.param));
+                         });
+
+TEST(BatchFaultSimUnit, WordEvalMatchesScalarOnToyNetlist) {
+  // Tiny mixed netlist: every gate kind the units use, one DFF.
+  Netlist nl;
+  const Net a = nl.input();
+  const Net b = nl.input();
+  const Net x1 = nl.xor_(a, b);
+  const Net n1 = nl.nand_(a, x1);
+  const Net m = nl.mux(b, x1, n1);
+  const Net q = nl.dff(m);
+  const Net o = nl.or_(q, nl.not_(a));
+  nl.add_output_bus("o", {o});
+  nl.finalize();
+
+  std::vector<StuckFault> faults;
+  for (Net n : {a, b, x1, n1, m, q, o}) {
+    faults.push_back({n, false});
+    faults.push_back({n, true});
+  }
+
+  for (int av = 0; av < 2; ++av) {
+    for (int bv = 0; bv < 2; ++bv) {
+      BatchFaultSim bsim(nl);
+      bsim.begin(faults);
+      std::vector<Simulator> ssims;
+      for (const StuckFault& f : faults) {
+        ssims.emplace_back(nl);
+        ssims.back().set_fault(f);
+      }
+      for (int cycle = 0; cycle < 3; ++cycle) {
+        for (std::size_t k = 0; k < faults.size(); ++k) {
+          ssims[k].set_input(a, av != 0);
+          ssims[k].set_input(b, bv != 0);
+          ssims[k].eval();
+        }
+        const PortBus in_a{"a", {a}}, in_b{"b", {b}};
+        bsim.set_bus(in_a, static_cast<std::uint64_t>(av));
+        bsim.set_bus(in_b, static_cast<std::uint64_t>(bv));
+        bsim.eval();
+        for (std::size_t k = 0; k < faults.size(); ++k)
+          for (Net n : {a, b, x1, n1, m, q, o})
+            ASSERT_EQ(bsim.value(n, static_cast<unsigned>(k)), ssims[k].value(n))
+                << "a=" << av << " b=" << bv << " cycle=" << cycle << " lane="
+                << k << " net=" << n;
+        for (auto& s : ssims) s.clock();
+        bsim.clock();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gpf::gate

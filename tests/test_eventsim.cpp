@@ -40,8 +40,8 @@ TEST_P(EventSimEquivalence, MatchesBruteForceCharacterization) {
     FaultCharacterization brute, event;
     brute.fault = f;
     event.fault = f;
-    replayer.run_fault(f, t, golden, brute, /*event_driven=*/false);
-    replayer.run_fault(f, t, golden, event, /*event_driven=*/true);
+    replayer.run_fault(f, t, golden, brute, EngineKind::Brute);
+    replayer.run_fault(f, t, golden, event, EngineKind::Event);
     ASSERT_EQ(brute.activated, event.activated) << "net " << f.net;
     ASSERT_EQ(brute.hang, event.hang) << "net " << f.net;
     for (unsigned m = 0; m < errmodel::kNumErrorModels; ++m)

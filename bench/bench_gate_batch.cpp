@@ -4,8 +4,11 @@
 // (asserted in test_batchsim); this bench measures throughput in
 // faults*cycles/sec, the figure of merit for exhaustive stuck-at sweeps.
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/env.hpp"
 #include "common/table.hpp"
@@ -29,11 +32,46 @@ std::size_t unit_cycles(gate::UnitKind unit,
   return n;
 }
 
+struct JsonRow {
+  std::string unit, engine;
+  std::size_t faults = 0, cycles = 0;
+  double wall_seconds = 0.0, speedup_vs_brute = 1.0;
+};
+
+// Machine-readable perf record so the speedup trajectory is tracked across
+// PRs instead of living only in stdout. Written next to the binary (or into
+// GPF_BENCH_JSON_DIR).
+void write_bench_json(const std::vector<JsonRow>& rows) {
+  const char* dir = std::getenv("GPF_BENCH_JSON_DIR");
+  const std::string path =
+      std::string(dir && *dir ? dir : ".") + "/BENCH_gate_batch.json";
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "warning: cannot write " << path << "\n";
+    return;
+  }
+  os << "{\n  \"bench\": \"gate_batch\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", rows[i].wall_seconds);
+    os << "    {\"unit\": \"" << rows[i].unit << "\", \"engine\": \""
+       << rows[i].engine << "\", \"faults\": " << rows[i].faults
+       << ", \"cycles\": " << rows[i].cycles << ", \"wall_seconds\": " << buf;
+    std::snprintf(buf, sizeof(buf), "%.3f", rows[i].speedup_vs_brute);
+    os << ", \"speedup_vs_brute\": " << buf << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::cout << "\nwrote " << path << "\n";
+}
+
 }  // namespace
 
 int main() {
+  dump_env(std::cout);
   const std::size_t faults = scaled(512, 192);
   const auto traces = report::collect_profiling_traces(scaled(400, 100));
+  std::vector<JsonRow> json_rows;
 
   Table t("Gate campaign engines: brute vs event vs batch (single-threaded)");
   t.header({"unit", "faults", "cycles", "engine", "time", "faults*cyc/s",
@@ -67,6 +105,8 @@ int main() {
       t.row({gate::unit_name(unit), std::to_string(faults),
              std::to_string(cycles), engine_name(e), Table::num(secs, 2) + " s",
              Table::num(work / secs, 0), note});
+      json_rows.push_back({gate::unit_name(unit), engine_name(e), faults, cycles,
+                           secs, e == EngineKind::Brute ? 1.0 : brute_s / secs});
     }
   }
   t.print(std::cout);
@@ -76,5 +116,6 @@ int main() {
                "Select an engine for every campaign binary with\n"
                "GPF_ENGINE=brute|event|batch (default batch) and size the\n"
                "worker pool with GPF_THREADS.\n";
+  write_bench_json(json_rows);
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <ostream>
 #include <string>
 
 namespace gpf {
@@ -59,6 +60,27 @@ std::size_t campaign_threads() {
     return v > 0 ? static_cast<std::size_t>(v) : std::size_t{0};
   }();
   return threads;
+}
+
+std::string store_dir() {
+  static const std::string dir = [] {
+    const char* s = std::getenv("GPF_STORE_DIR");
+    return std::string(s && *s ? s : ".");
+  }();
+  return dir;
+}
+
+void dump_env(std::ostream& os) {
+  const auto line = [&os](const char* var, const std::string& value) {
+    os << "# " << var << "=" << value
+       << (std::getenv(var) ? "" : " (default)") << "\n";
+  };
+  line("GPF_SCALE", std::to_string(campaign_scale()));
+  line("GPF_SEED", std::to_string(campaign_seed()));
+  line("GPF_ENGINE", engine_name(campaign_engine()));
+  line("GPF_THREADS", campaign_threads() ? std::to_string(campaign_threads())
+                                         : "0 (hardware threads)");
+  line("GPF_STORE_DIR", store_dir());
 }
 
 }  // namespace gpf

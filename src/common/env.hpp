@@ -1,10 +1,20 @@
-// Campaign sizing knobs. The paper's full campaigns (5.8e5 gate faults,
-// 1.65e5 software injections) take hundreds of hours; bench binaries default
-// to a statistically sampled slice and scale up via GPF_SCALE.
+// Central registry of the GPF_* environment knobs. The paper's full
+// campaigns (5.8e5 gate faults, 1.65e5 software injections) take hundreds of
+// hours; bench binaries default to a statistically sampled slice and scale up
+// via GPF_SCALE. Every knob is read here (and only here) so dump_env() can
+// print the complete effective configuration at campaign start.
+//
+//   GPF_SCALE      campaign size multiplier (default 1.0)
+//   GPF_SEED       base RNG seed (default 0xC0FFEE)
+//   GPF_ENGINE     gate fault-simulation engine: brute | event | batch
+//   GPF_THREADS    campaign thread-pool width (0 = hardware threads)
+//   GPF_STORE_DIR  directory for persistent campaign stores (default ".")
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
+#include <string>
 
 namespace gpf {
 
@@ -33,5 +43,14 @@ EngineKind campaign_engine();
 /// GPF_THREADS environment variable: worker count for campaign thread pools
 /// (0 = one per hardware thread).
 std::size_t campaign_threads();
+
+/// GPF_STORE_DIR environment variable: where `gpfctl` and the checkpointed
+/// campaign drivers place their .gpfs result logs (default ".").
+std::string store_dir();
+
+/// Print every GPF_* knob with its effective value and whether it came from
+/// the environment or a default. Campaign entry points call this once at
+/// start so logs record the exact configuration.
+void dump_env(std::ostream& os);
 
 }  // namespace gpf

@@ -716,16 +716,10 @@ void UnitReplayer::run_fault_batch(std::span<const StuckFault> faults,
 // Campaign driver
 // ---------------------------------------------------------------------------
 
-UnitCampaignResult run_unit_campaign(UnitKind unit, std::span<const UnitTraces> traces,
-                                     std::size_t max_faults, std::uint64_t seed,
-                                     ThreadPool* pool, EngineKind engine) {
-  UnitReplayer replayer(unit);
-  std::vector<StuckFault> faults = full_fault_list(replayer.netlist());
-
-  UnitCampaignResult result;
-  result.unit = unit;
-  result.full_fault_list_size = faults.size();
-
+std::vector<StuckFault> sampled_fault_list(const Netlist& nl, UnitKind unit,
+                                           std::size_t max_faults,
+                                           std::uint64_t seed) {
+  std::vector<StuckFault> faults = full_fault_list(nl);
   if (max_faults && faults.size() > max_faults) {
     Rng rng(seed ^ (static_cast<std::uint64_t>(unit) << 32));
     for (std::size_t i = 0; i < max_faults; ++i) {
@@ -734,6 +728,18 @@ UnitCampaignResult run_unit_campaign(UnitKind unit, std::span<const UnitTraces> 
     }
     faults.resize(max_faults);
   }
+  return faults;
+}
+
+UnitCampaignResult run_unit_campaign(UnitKind unit, std::span<const UnitTraces> traces,
+                                     std::size_t max_faults, std::uint64_t seed,
+                                     ThreadPool* pool, EngineKind engine) {
+  UnitReplayer replayer(unit);
+  UnitCampaignResult result;
+  result.unit = unit;
+  result.full_fault_list_size = full_fault_list(replayer.netlist()).size();
+  std::vector<StuckFault> faults =
+      sampled_fault_list(replayer.netlist(), unit, max_faults, seed);
 
   result.faults.resize(faults.size());
   for (std::size_t i = 0; i < faults.size(); ++i) result.faults[i].fault = faults[i];

@@ -127,6 +127,15 @@ class UnitReplayer {
   std::unique_ptr<Ports> ports_;
 };
 
+/// The campaign's (possibly sampled) fault list: the full collapsed list of
+/// `nl` when `max_faults` is 0 or not smaller, else a seeded partial shuffle
+/// taking `max_faults` entries. Deterministic in (netlist, unit, max_faults,
+/// seed) — shards and resumed runs regenerate the identical list, so a
+/// fault's list index is its durable campaign id in the result store.
+std::vector<StuckFault> sampled_fault_list(const Netlist& nl, UnitKind unit,
+                                           std::size_t max_faults,
+                                           std::uint64_t seed);
+
 /// Full campaign over (sampled) faults x traces. The engine defaults to the
 /// GPF_ENGINE environment knob (batch unless overridden); with the batch
 /// engine, 64-fault batches are distributed across the pool exactly like

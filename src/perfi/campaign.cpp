@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "store/records.hpp"
+
 namespace gpf::perfi {
 
 using errmodel::ErrorModel;
@@ -90,6 +92,104 @@ EprCell run_epr_cell(const workloads::Workload& w, ErrorModel model, std::size_t
         break;
       }
     }
+  }
+  return cell;
+}
+
+namespace {
+
+store::PerfiOutcome to_perfi_outcome(AppOutcome out, arch::TrapKind trap) {
+  switch (out) {
+    case AppOutcome::Masked: return store::PerfiOutcome::Masked;
+    case AppOutcome::SDC: return store::PerfiOutcome::Sdc;
+    case AppOutcome::DUE: break;
+  }
+  switch (trap) {
+    case arch::TrapKind::IllegalAddress:
+    case arch::TrapKind::InvalidPC:
+      return store::PerfiOutcome::DueIllegalAddress;
+    case arch::TrapKind::InvalidRegister:
+      return store::PerfiOutcome::DueInvalidRegister;
+    case arch::TrapKind::InvalidOpcode: return store::PerfiOutcome::DueInvalidOpcode;
+    case arch::TrapKind::Watchdog: return store::PerfiOutcome::DueHang;
+    default: return store::PerfiOutcome::DueOther;
+  }
+}
+
+void add_outcome(EprCell& cell, store::PerfiOutcome o) {
+  ++cell.injections;
+  switch (o) {
+    case store::PerfiOutcome::Masked: ++cell.masked; break;
+    case store::PerfiOutcome::Sdc: ++cell.sdc; break;
+    case store::PerfiOutcome::DueIllegalAddress:
+      ++cell.due;
+      ++cell.due_illegal_address;
+      break;
+    case store::PerfiOutcome::DueInvalidRegister:
+      ++cell.due;
+      ++cell.due_invalid_register;
+      break;
+    case store::PerfiOutcome::DueInvalidOpcode:
+      ++cell.due;
+      ++cell.due_invalid_opcode;
+      break;
+    case store::PerfiOutcome::DueHang:
+      ++cell.due;
+      ++cell.due_hang;
+      break;
+    case store::PerfiOutcome::DueOther:
+      ++cell.due;
+      ++cell.due_other;
+      break;
+  }
+}
+
+}  // namespace
+
+store::CampaignMeta epr_campaign_meta(const workloads::Workload& w,
+                                      ErrorModel model, std::size_t n,
+                                      std::uint64_t seed,
+                                      std::uint32_t shard_index,
+                                      std::uint32_t shard_count) {
+  store::CampaignMeta meta;
+  meta.kind = store::CampaignKind::Perfi;
+  meta.target = 0xFF;
+  meta.model = static_cast<std::uint8_t>(model);
+  meta.seed = seed;
+  meta.total = n;
+  meta.shard_index = shard_index;
+  meta.shard_count = shard_count;
+  meta.app = std::string(w.name());
+  return meta;
+}
+
+EprCell run_epr_cell_store(const workloads::Workload& w,
+                           store::CampaignCheckpoint& ckpt) {
+  const store::CampaignMeta& meta = ckpt.meta();
+  if (meta.kind != store::CampaignKind::Perfi)
+    throw std::runtime_error("epr campaign: store is not a perfi store");
+  if (meta.app != w.name())
+    throw std::runtime_error("epr campaign: store belongs to app '" + meta.app +
+                             "', not '" + std::string(w.name()) + "'");
+  const auto model = static_cast<ErrorModel>(meta.model);
+
+  EprCell cell;
+  AppInjectionRunner runner(w);
+  Rng base(meta.seed ^ (static_cast<std::uint64_t>(model) * 0x9E3779B9u));
+  for (std::uint64_t i = 0; i < meta.total; ++i) {
+    if (!meta.owns(i)) continue;
+    if (const auto it = ckpt.done().find(i); it != ckpt.done().end()) {
+      add_outcome(cell, store::decode_perfi(it->second).outcome);
+      continue;
+    }
+    if (ckpt.should_stop()) break;
+    Rng rng = base.fork(i);
+    const errmodel::ErrorDescriptor desc = random_descriptor(model, rng);
+    const AppOutcome out = runner.inject(desc);
+    store::PerfiRecord rec;
+    rec.outcome = to_perfi_outcome(out, runner.last_trap());
+    ckpt.record(i, store::encode(rec));
+    add_outcome(cell, rec.outcome);
   }
   return cell;
 }

@@ -9,6 +9,7 @@
 #include "arch/machine.hpp"
 #include "errmodel/models.hpp"
 #include "perfi/injector.hpp"
+#include "store/checkpoint.hpp"
 #include "workloads/workload.hpp"
 
 namespace gpf::perfi {
@@ -59,6 +60,20 @@ class AppInjectionRunner {
 /// Inject `n` random descriptors of one model into one application.
 EprCell run_epr_cell(const workloads::Workload& w, errmodel::ErrorModel model,
                      std::size_t n, std::uint64_t seed);
+
+/// Store header for one (application, error model) EPR cell.
+store::CampaignMeta epr_campaign_meta(const workloads::Workload& w,
+                                      errmodel::ErrorModel model, std::size_t n,
+                                      std::uint64_t seed,
+                                      std::uint32_t shard_index = 0,
+                                      std::uint32_t shard_count = 1);
+
+/// Durable variant of run_epr_cell: injection i's error descriptor is drawn
+/// from an RNG stream forked on i (shard- and resume-stable), each outcome is
+/// appended to `ckpt` as it retires, and done ids are restored instead of
+/// re-run. The returned cell covers this shard's retired injections.
+EprCell run_epr_cell_store(const workloads::Workload& w,
+                           store::CampaignCheckpoint& ckpt);
 
 /// The 11 models evaluated in software (IPP is representable by the others,
 /// IVOC always DUEs at the low level — both excluded, as in the paper).

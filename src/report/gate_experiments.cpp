@@ -1,8 +1,11 @@
 #include "report/gate_experiments.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "gate/batchsim.hpp"
 #include "gate/profiler.hpp"
+#include "store/records.hpp"
 #include "workloads/workload.hpp"
 
 namespace gpf::report {
@@ -35,6 +38,151 @@ GateCampaigns run_gate_campaigns(const std::vector<gate::UnitTraces>& traces,
                                            &pool, engine);
   for (const auto& t : traces) out.total_dynamic_instructions += t.issues;
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointed campaign (persistent store, resume, sharding)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+store::GateRecord to_record(const gate::FaultCharacterization& fc) {
+  store::GateRecord r;
+  r.net = static_cast<std::uint32_t>(fc.fault.net);
+  r.stuck_high = fc.fault.stuck_high;
+  r.activated = fc.activated;
+  r.hang = fc.hang;
+  r.error_counts = fc.error_counts;
+  return r;
+}
+
+void from_record(const store::GateRecord& r, gate::FaultCharacterization& fc) {
+  fc.activated = r.activated;
+  fc.hang = r.hang;
+  fc.error_counts = r.error_counts;
+}
+
+}  // namespace
+
+store::CampaignMeta gate_campaign_meta(gate::UnitKind unit,
+                                       std::size_t faults_per_unit,
+                                       std::size_t max_issues, std::uint64_t seed,
+                                       EngineKind engine,
+                                       std::uint32_t shard_index,
+                                       std::uint32_t shard_count) {
+  gate::UnitReplayer replayer(unit);
+  const std::size_t full = gate::full_fault_list(replayer.netlist()).size();
+  store::CampaignMeta meta;
+  meta.kind = store::CampaignKind::Gate;
+  meta.target = static_cast<std::uint8_t>(unit);
+  meta.engine = static_cast<std::uint8_t>(engine);
+  meta.seed = seed;
+  meta.total = faults_per_unit ? std::min(faults_per_unit, full) : full;
+  meta.shard_index = shard_index;
+  meta.shard_count = shard_count;
+  meta.param0 = faults_per_unit;
+  meta.param1 = max_issues;
+  return meta;
+}
+
+gate::UnitCampaignResult run_unit_campaign_store(
+    const std::vector<gate::UnitTraces>& traces, store::CampaignCheckpoint& ckpt,
+    ThreadPool* pool) {
+  const store::CampaignMeta& meta = ckpt.meta();
+  if (meta.kind != store::CampaignKind::Gate)
+    throw std::runtime_error("gate campaign: store is not a gate store");
+  const auto unit = static_cast<gate::UnitKind>(meta.target);
+  const auto engine = static_cast<EngineKind>(meta.engine);
+
+  gate::UnitReplayer replayer(unit);
+  const std::vector<gate::StuckFault> faults = gate::sampled_fault_list(
+      replayer.netlist(), unit, meta.param0, meta.seed);
+  if (faults.size() != meta.total)
+    throw std::runtime_error(
+        "gate campaign: store fault-id space does not match the netlist "
+        "(store built against different code?)");
+
+  // This shard's slice of the fault-id space, in id order.
+  std::vector<std::uint64_t> owned;
+  for (std::uint64_t id = 0; id < faults.size(); ++id)
+    if (meta.owns(id)) owned.push_back(id);
+
+  gate::UnitCampaignResult result;
+  result.unit = unit;
+  result.full_fault_list_size = gate::full_fault_list(replayer.netlist()).size();
+  result.faults.resize(owned.size());
+  for (std::size_t k = 0; k < owned.size(); ++k)
+    result.faults[k].fault = faults[owned[k]];
+
+  // Restore already-retired faults; collect the rest as pending work.
+  std::vector<std::size_t> pending;  // indexes into `owned`
+  for (std::size_t k = 0; k < owned.size(); ++k) {
+    const auto it = ckpt.done().find(owned[k]);
+    if (it == ckpt.done().end()) {
+      pending.push_back(k);
+      continue;
+    }
+    const store::GateRecord rec = store::decode_gate(it->second);
+    if (rec.net != static_cast<std::uint32_t>(result.faults[k].fault.net) ||
+        rec.stuck_high != result.faults[k].fault.stuck_high)
+      throw std::runtime_error(
+          "gate campaign: stored fault id " + std::to_string(owned[k]) +
+          " names a different net — store/campaign mismatch");
+    from_record(rec, result.faults[k]);
+  }
+  if (pending.empty()) return result;
+
+  std::vector<gate::UnitReplayer::GoldenTrace> goldens;
+  goldens.reserve(traces.size());
+  for (const gate::UnitTraces& t : traces) goldens.push_back(replayer.compute_golden(t));
+
+  const auto retire = [&](std::size_t k) {
+    ckpt.record(owned[k], store::encode(to_record(result.faults[k])));
+  };
+
+  if (engine == EngineKind::Batch) {
+    constexpr std::size_t kB = gate::BatchFaultSim::kLanes;
+    const std::size_t batches = (pending.size() + kB - 1) / kB;
+    const auto work = [&](std::size_t b) {
+      if (ckpt.should_stop()) return;
+      const std::size_t lo = b * kB;
+      const std::size_t len = std::min(kB, pending.size() - lo);
+      // The pending ids are not contiguous after a resume, so stage the
+      // batch through dense arrays (per-fault results are independent of
+      // batch composition — asserted by test_batchsim).
+      std::vector<gate::StuckFault> bf(len);
+      std::vector<gate::FaultCharacterization> bo(len);
+      for (std::size_t j = 0; j < len; ++j) {
+        bf[j] = result.faults[pending[lo + j]].fault;
+        bo[j].fault = bf[j];
+      }
+      for (std::size_t ti = 0; ti < traces.size(); ++ti)
+        replayer.run_fault_batch(bf, traces[ti], goldens[ti], bo);
+      for (std::size_t j = 0; j < len; ++j) {
+        result.faults[pending[lo + j]] = bo[j];
+        retire(pending[lo + j]);
+      }
+    };
+    if (pool)
+      pool->parallel_for(batches, work);
+    else
+      for (std::size_t b = 0; b < batches; ++b) work(b);
+    return result;
+  }
+
+  const auto work = [&](std::size_t i) {
+    if (ckpt.should_stop()) return;
+    const std::size_t k = pending[i];
+    gate::FaultCharacterization& fc = result.faults[k];
+    for (std::size_t ti = 0; ti < traces.size(); ++ti)
+      replayer.run_fault(fc.fault, traces[ti], goldens[ti], fc, engine);
+    retire(k);
+  };
+  if (pool)
+    pool->parallel_for(pending.size(), work);
+  else
+    for (std::size_t i = 0; i < pending.size(); ++i) work(i);
+  return result;
 }
 
 }  // namespace gpf::report

@@ -10,6 +10,7 @@
 #include "common/env.hpp"
 #include "gate/replay.hpp"
 #include "gate/trace.hpp"
+#include "store/checkpoint.hpp"
 
 namespace gpf::report {
 
@@ -29,5 +30,25 @@ struct GateCampaigns {
 GateCampaigns run_gate_campaigns(const std::vector<gate::UnitTraces>& traces,
                                  std::size_t faults_per_unit, std::uint64_t seed,
                                  EngineKind engine = campaign_engine());
+
+/// Store header for one unit's stuck-at campaign. `faults_per_unit` of 0
+/// evaluates the full collapsed list; `total` is resolved against the unit
+/// netlist so every shard/resume agrees on the fault-id space.
+store::CampaignMeta gate_campaign_meta(gate::UnitKind unit,
+                                       std::size_t faults_per_unit,
+                                       std::size_t max_issues, std::uint64_t seed,
+                                       EngineKind engine,
+                                       std::uint32_t shard_index = 0,
+                                       std::uint32_t shard_count = 1);
+
+/// Durable variant of run_unit_campaign: every retired fault is appended to
+/// `ckpt` as it completes, faults already in the store are restored instead
+/// of re-simulated (resume), and only fault ids owned by the checkpoint's
+/// shard slice are evaluated. Campaign parameters (sampled list, seed,
+/// engine) come from the checkpoint's meta. The returned result holds this
+/// shard's faults in id order; when ckpt.paused() the tail is unevaluated.
+gate::UnitCampaignResult run_unit_campaign_store(
+    const std::vector<gate::UnitTraces>& traces, store::CampaignCheckpoint& ckpt,
+    ThreadPool* pool = nullptr);
 
 }  // namespace gpf::report

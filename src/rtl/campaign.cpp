@@ -1,9 +1,12 @@
 #include "rtl/campaign.hpp"
 
+#include <array>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 #include "common/bitops.hpp"
+#include "store/records.hpp"
 #include "workloads/kernels.hpp"
 
 namespace gpf::rtl {
@@ -345,6 +348,72 @@ AvfSummary run_micro_campaign(MicroOp op, InputRange range, Site site,
     const std::size_t n = injections / 4 + (draw < injections % 4 ? 1 : 0);
     for (std::size_t i = 0; i < n; ++i)
       summary.add(injector.inject(random_fault(site, float_op, rng)));
+  }
+  return summary;
+}
+
+store::CampaignMeta tmxm_campaign_meta(workloads::TileType type, Site site,
+                                       std::size_t injections, std::uint64_t seed,
+                                       std::uint32_t shard_index,
+                                       std::uint32_t shard_count) {
+  store::CampaignMeta meta;
+  meta.kind = store::CampaignKind::Rtl;
+  meta.target = static_cast<std::uint8_t>(type);
+  meta.seed = seed;
+  meta.total = injections;
+  meta.shard_index = shard_index;
+  meta.shard_count = shard_count;
+  meta.param0 = static_cast<std::uint64_t>(site);
+  return meta;
+}
+
+AvfSummary run_tmxm_campaign_store(store::CampaignCheckpoint& ckpt,
+                                   std::vector<InjectionResult>* details) {
+  const store::CampaignMeta& meta = ckpt.meta();
+  if (meta.kind != store::CampaignKind::Rtl)
+    throw std::runtime_error("tmxm campaign: store is not an rtl store");
+  const auto type = static_cast<workloads::TileType>(meta.target);
+  const auto site = static_cast<Site>(meta.param0);
+  const std::uint64_t n = meta.total;
+
+  Rng base(meta.seed ^ (static_cast<std::uint64_t>(type) << 8) ^
+           (static_cast<std::uint64_t>(site) << 16));
+  // Injections keep the legacy 4-value-draw split: id i belongs to draw
+  // i % 4, each draw with its own input tile. Injectors are built lazily so
+  // a resume with one pending draw pays one golden run, not four.
+  std::array<std::unique_ptr<Injector>, 4> injectors;
+  const auto injector_for = [&](std::uint64_t draw) -> Injector& {
+    if (!injectors[draw])
+      injectors[draw] = std::make_unique<Injector>(
+          target_from_tmxm(type, meta.seed * 16 + draw));
+    return *injectors[draw];
+  };
+
+  AvfSummary summary;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (!meta.owns(i)) continue;
+    InjectionResult r;
+    if (const auto it = ckpt.done().find(i); it != ckpt.done().end()) {
+      const store::RtlRecord rec = store::decode_rtl(it->second);
+      r.outcome = static_cast<Outcome>(rec.outcome);
+      r.corrupted = rec.corrupted;
+      r.per_warp_corrupted = rec.per_warp_corrupted;
+      r.rel_errors = rec.rel_errors;
+      r.corrupted_idx = rec.corrupted_idx;
+    } else {
+      if (ckpt.should_stop()) break;
+      Rng rng = base.fork(i);
+      r = injector_for(i % 4).inject(random_fault(site, true, rng));
+      store::RtlRecord rec;
+      rec.outcome = static_cast<store::RtlOutcome>(r.outcome);
+      rec.corrupted = r.corrupted;
+      rec.per_warp_corrupted = r.per_warp_corrupted;
+      rec.rel_errors = r.rel_errors;
+      rec.corrupted_idx = r.corrupted_idx;
+      ckpt.record(i, store::encode(rec));
+    }
+    summary.add(r);
+    if (details) details->push_back(std::move(r));
   }
   return summary;
 }

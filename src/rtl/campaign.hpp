@@ -13,6 +13,7 @@
 #include "common/rng.hpp"
 #include "rtl/faults.hpp"
 #include "rtl/microbench.hpp"
+#include "store/checkpoint.hpp"
 #include "workloads/tmxm.hpp"
 
 namespace gpf::rtl {
@@ -101,5 +102,19 @@ AvfSummary run_micro_campaign(MicroOp op, InputRange range, Site site,
 AvfSummary run_tmxm_campaign(workloads::TileType type, Site site,
                              std::size_t injections, std::uint64_t seed,
                              std::vector<InjectionResult>* details = nullptr);
+
+/// Store header for a t-MxM campaign (target = tile type, param0 = site).
+store::CampaignMeta tmxm_campaign_meta(workloads::TileType type, Site site,
+                                       std::size_t injections, std::uint64_t seed,
+                                       std::uint32_t shard_index = 0,
+                                       std::uint32_t shard_count = 1);
+
+/// Durable variant of run_tmxm_campaign: injection i's fault is drawn from an
+/// independent RNG stream forked on i, so every shard / resumed run computes
+/// the identical fault for a given id regardless of which ids already
+/// retired. Done ids are restored from the store; fresh ones are recorded as
+/// they retire. The summary covers this shard's retired injections.
+AvfSummary run_tmxm_campaign_store(store::CampaignCheckpoint& ckpt,
+                                   std::vector<InjectionResult>* details = nullptr);
 
 }  // namespace gpf::rtl

@@ -1,0 +1,29 @@
+#include "store/checkpoint.hpp"
+
+namespace gpf::store {
+
+CampaignCheckpoint::CampaignCheckpoint(const std::string& path,
+                                       const CampaignMeta& meta)
+    : log_(path, meta) {
+  for (const Record& r : log_.recovered()) done_[r.id] = r.payload;
+}
+
+std::size_t CampaignCheckpoint::done_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_.size() + fresh_records_;
+}
+
+bool CampaignCheckpoint::record(std::uint64_t id,
+                                std::span<const std::uint8_t> payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  log_.append(id, payload);
+  ++fresh_records_;
+  return record_limit_ == 0 || fresh_records_ < record_limit_;
+}
+
+bool CampaignCheckpoint::should_stop() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return record_limit_ != 0 && fresh_records_ >= record_limit_;
+}
+
+}  // namespace gpf::store

@@ -1,0 +1,21 @@
+// Deterministic JSON/CSV exporters for campaign stores. Output is sorted by
+// fault id and carries no timestamps or absolute paths, so two stores with
+// identical results export byte-identically — the property the kill/resume
+// and shard/merge acceptance tests assert.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "store/result_log.hpp"
+
+namespace gpf::store {
+
+enum class ExportFormat : std::uint8_t { Json, Csv };
+
+void export_store(const LoadedStore& s, ExportFormat format, std::ostream& os);
+
+/// Human-readable one-store status block (meta, progress, summary counts).
+void print_status(const LoadedStore& s, std::ostream& os);
+
+}  // namespace gpf::store

@@ -1,0 +1,31 @@
+// Shard-aware merge: combine N stores produced from disjoint slices of one
+// campaign's fault-id space into a single store covering the union.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "store/result_log.hpp"
+
+namespace gpf::store {
+
+struct MergeStats {
+  std::size_t inputs = 0;
+  std::size_t records = 0;             ///< records in the merged result
+  std::size_t duplicate_identical = 0; ///< same id, byte-identical payload
+};
+
+/// Merges loaded stores into one result set. All inputs must be shards of
+/// the same campaign (same_campaign()); an id present in two inputs with
+/// differing payloads is a conflict and throws — identical duplicates (e.g.
+/// an overlapping re-run) are deduplicated. The merged meta covers the whole
+/// id space (shard 0 of 1); engine is kept when unanimous, 0xFF otherwise.
+LoadedStore merge_stores(const std::vector<LoadedStore>& inputs,
+                         MergeStats* stats = nullptr);
+
+/// Convenience: load `paths`, merge, and write the merged store to
+/// `out_path`.
+MergeStats merge_store_files(const std::vector<std::string>& paths,
+                             const std::string& out_path);
+
+}  // namespace gpf::store

@@ -1,0 +1,206 @@
+#include "store/result_log.hpp"
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "store/bytes.hpp"
+
+namespace gpf::store {
+
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (const std::uint8_t b : data) c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+const char* campaign_kind_name(CampaignKind k) {
+  switch (k) {
+    case CampaignKind::Gate: return "gate";
+    case CampaignKind::Rtl: return "rtl";
+    case CampaignKind::Perfi: return "perfi";
+  }
+  return "?";
+}
+
+bool CampaignMeta::same_campaign(const CampaignMeta& o) const {
+  return kind == o.kind && target == o.target && model == o.model &&
+         seed == o.seed && total == o.total && param0 == o.param0 &&
+         param1 == o.param1 && app == o.app;
+}
+
+bool CampaignMeta::operator==(const CampaignMeta& o) const {
+  return same_campaign(o) && engine == o.engine && shard_index == o.shard_index &&
+         shard_count == o.shard_count;
+}
+
+std::vector<std::uint8_t> ResultLog::encode_meta(const CampaignMeta& meta) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderSize);
+  ByteWriter w(out);
+  w.u64(kMagic);
+  w.u32(kVersion);
+  w.u8(static_cast<std::uint8_t>(meta.kind));
+  w.u8(meta.target);
+  w.u8(meta.model);
+  w.u8(meta.engine);
+  w.u64(meta.seed);
+  w.u64(meta.total);
+  w.u32(meta.shard_index);
+  w.u32(meta.shard_count);
+  w.u64(meta.param0);
+  w.u64(meta.param1);
+  w.fixed_str(meta.app, 20);
+  w.u32(crc32(out));
+  return out;
+}
+
+CampaignMeta ResultLog::decode_meta(std::span<const std::uint8_t> header) {
+  if (header.size() < kHeaderSize)
+    throw std::runtime_error("store: file shorter than header");
+  const std::uint32_t want = crc32(header.subspan(0, kHeaderSize - 4));
+  ByteReader r(header.subspan(0, kHeaderSize));
+  CampaignMeta m;
+  if (r.u64() != kMagic) throw std::runtime_error("store: bad magic (not a gpfs file)");
+  const std::uint32_t version = r.u32();
+  if (version != kVersion)
+    throw std::runtime_error("store: unsupported format version " +
+                             std::to_string(version));
+  m.kind = static_cast<CampaignKind>(r.u8());
+  m.target = r.u8();
+  m.model = r.u8();
+  m.engine = r.u8();
+  m.seed = r.u64();
+  m.total = r.u64();
+  m.shard_index = r.u32();
+  m.shard_count = r.u32();
+  m.param0 = r.u64();
+  m.param1 = r.u64();
+  m.app = r.fixed_str(20);
+  if (r.u32() != want) throw std::runtime_error("store: header CRC mismatch");
+  if (m.shard_count == 0 || m.shard_index >= m.shard_count)
+    throw std::runtime_error("store: invalid shard slice in header");
+  return m;
+}
+
+ResultLog::ResultLog(const std::string& path, const CampaignMeta& meta)
+    : path_(path) {
+  if (std::FILE* probe = std::fopen(path.c_str(), "rb")) {
+    std::fclose(probe);
+    open_existing(&meta);
+  } else {
+    create_new(meta);
+  }
+}
+
+ResultLog::ResultLog(const std::string& path) : path_(path) {
+  open_existing(nullptr);
+}
+
+ResultLog::~ResultLog() {
+  if (f_) std::fclose(f_);
+}
+
+void ResultLog::create_new(const CampaignMeta& meta) {
+  if (meta.app.size() > 19)
+    throw std::runtime_error("store: app name too long (max 19 chars): " + meta.app);
+  meta_ = meta;
+  f_ = std::fopen(path_.c_str(), "wb");
+  if (!f_)
+    throw std::runtime_error("store: cannot create " + path_ + ": " +
+                             std::strerror(errno));
+  const auto header = encode_meta(meta_);
+  if (std::fwrite(header.data(), 1, header.size(), f_) != header.size() ||
+      std::fflush(f_) != 0)
+    throw std::runtime_error("store: short write creating " + path_);
+}
+
+void ResultLog::open_existing(const CampaignMeta* expect) {
+  std::FILE* in = std::fopen(path_.c_str(), "rb");
+  if (!in)
+    throw std::runtime_error("store: cannot open " + path_ + ": " +
+                             std::strerror(errno));
+  std::vector<std::uint8_t> bytes;
+  std::array<std::uint8_t, 65536> buf;
+  for (std::size_t n; (n = std::fread(buf.data(), 1, buf.size(), in)) > 0;)
+    bytes.insert(bytes.end(), buf.begin(), buf.begin() + static_cast<long>(n));
+  std::fclose(in);
+
+  meta_ = decode_meta(bytes);
+  if (expect && !(*expect == meta_))
+    throw std::runtime_error(
+        "store: " + path_ +
+        " belongs to a different campaign (kind/target/engine/seed/size/shard "
+        "mismatch) — refusing to resume into it");
+
+  // Scan records; stop at the first torn one and truncate it away.
+  std::size_t pos = kHeaderSize;
+  std::size_t valid_end = pos;
+  while (pos + 16 <= bytes.size()) {
+    const std::span<const std::uint8_t> all(bytes);
+    ByteReader r(all.subspan(pos, 16));
+    const std::uint64_t id = r.u64();
+    const std::uint32_t len = r.u32();
+    const std::uint32_t want = r.u32();
+    if (pos + 16 + len > bytes.size()) break;  // torn: payload cut short
+    const auto crc_span = all.subspan(pos, 8);  // id bytes
+    const auto payload = all.subspan(pos + 16, len);
+    if (crc32(payload, crc32(crc_span)) != want) break;  // torn: bad CRC
+    recovered_.push_back({id, {payload.begin(), payload.end()}});
+    pos += 16 + len;
+    valid_end = pos;
+  }
+  torn_bytes_ = bytes.size() - valid_end;
+
+  if (torn_bytes_ > 0) {
+    // Rewrite header + valid records, dropping the torn tail, then reopen
+    // for append. (A rename-free in-place truncate keeps this dependency-light.)
+    std::FILE* out = std::fopen(path_.c_str(), "wb");
+    if (!out) throw std::runtime_error("store: cannot truncate " + path_);
+    if (std::fwrite(bytes.data(), 1, valid_end, out) != valid_end)
+      throw std::runtime_error("store: short write truncating " + path_);
+    std::fclose(out);
+  }
+  f_ = std::fopen(path_.c_str(), "ab");
+  if (!f_) throw std::runtime_error("store: cannot reopen " + path_);
+}
+
+void ResultLog::append(std::uint64_t id, std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> rec;
+  rec.reserve(16 + payload.size());
+  ByteWriter w(rec);
+  w.u64(id);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u32(crc32(payload, crc32(std::span(rec).subspan(0, 8))));
+  rec.insert(rec.end(), payload.begin(), payload.end());
+  if (std::fwrite(rec.data(), 1, rec.size(), f_) != rec.size() ||
+      std::fflush(f_) != 0)
+    throw std::runtime_error("store: append failed on " + path_);
+}
+
+LoadedStore load_store(const std::string& path) {
+  ResultLog log(path);
+  LoadedStore out;
+  out.meta = log.meta();
+  out.torn_bytes_dropped = log.torn_bytes_dropped();
+  for (const Record& r : log.recovered()) {
+    auto [it, inserted] = out.records.try_emplace(r.id, r.payload);
+    if (!inserted) {
+      it->second = r.payload;  // re-recorded id: last write wins
+      ++out.duplicate_records;
+    }
+  }
+  return out;
+}
+
+}  // namespace gpf::store

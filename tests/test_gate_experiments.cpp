@@ -1,0 +1,201 @@
+// Campaign-driver tests for src/report/gate_experiments (previously only
+// exercised via benches): per-unit class counts stable across engines and
+// across a kill/resume cycle through the persistent store, and a 4-shard
+// merged store reproducing the single-store run exactly.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "gate/replay.hpp"
+#include "report/gate_experiments.hpp"
+#include "store/export.hpp"
+#include "store/merge.hpp"
+#include "store/records.hpp"
+
+using namespace gpf;
+
+namespace {
+
+constexpr std::size_t kMaxIssues = 40;
+constexpr std::size_t kFaults = 96;
+constexpr std::uint64_t kSeed = 7;
+
+class GateExperimentsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    traces_ = new std::vector<gate::UnitTraces>(
+        report::collect_profiling_traces(kMaxIssues));
+  }
+  static void TearDownTestSuite() {
+    delete traces_;
+    traces_ = nullptr;
+  }
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("gpf-gatexp-" + std::to_string(::getpid()) + "-" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+  static std::array<std::size_t, 4> class_counts(
+      const gate::UnitCampaignResult& r) {
+    return {r.count_class(gate::FaultClass::Uncontrollable),
+            r.count_class(gate::FaultClass::Masked),
+            r.count_class(gate::FaultClass::Hang),
+            r.count_class(gate::FaultClass::SwError)};
+  }
+
+  static std::string export_json(const std::string& store_path) {
+    std::ostringstream os;
+    store::export_store(store::load_store(store_path), store::ExportFormat::Json,
+                        os);
+    return os.str();
+  }
+
+  static const std::vector<gate::UnitTraces>& traces() { return *traces_; }
+
+ protected:
+  std::filesystem::path dir_;
+
+ private:
+  static std::vector<gate::UnitTraces>* traces_;
+};
+
+std::vector<gate::UnitTraces>* GateExperimentsTest::traces_ = nullptr;
+
+TEST_F(GateExperimentsTest, ProfilingTracesCoverAllWorkloads) {
+  ASSERT_EQ(traces().size(), 14u);
+  for (const auto& t : traces()) {
+    EXPECT_FALSE(t.workload.empty());
+    EXPECT_GT(t.issues, 0u);
+  }
+}
+
+// Satellite requirement: per-unit class counts are stable across engines at
+// the campaign-driver level.
+TEST_F(GateExperimentsTest, ClassCountsStableAcrossEngines) {
+  const auto batch =
+      report::run_gate_campaigns(traces(), kFaults, kSeed, EngineKind::Batch);
+  const auto event =
+      report::run_gate_campaigns(traces(), kFaults, kSeed, EngineKind::Event);
+  ASSERT_EQ(batch.units.size(), event.units.size());
+  for (unsigned u = 0; u < 3; ++u) {
+    SCOPED_TRACE(gate::unit_name(batch.units[u].unit));
+    EXPECT_EQ(class_counts(batch.units[u]), class_counts(event.units[u]));
+  }
+  EXPECT_GT(batch.total_dynamic_instructions, 0u);
+}
+
+// The checkpointed driver produces the same classifications as the in-memory
+// campaign, and the store's class names match the gate library's.
+TEST_F(GateExperimentsTest, StoreDriverMatchesInMemoryCampaign) {
+  const auto unit = gate::UnitKind::Decoder;
+  const auto plain = gate::run_unit_campaign(unit, traces(), kFaults, kSeed,
+                                             nullptr, EngineKind::Batch);
+  store::CampaignCheckpoint ckpt(
+      path("a.gpfs"), report::gate_campaign_meta(unit, kFaults, kMaxIssues, kSeed,
+                                                 EngineKind::Batch));
+  const auto stored = report::run_unit_campaign_store(traces(), ckpt);
+  ASSERT_EQ(stored.faults.size(), plain.faults.size());
+  for (std::size_t i = 0; i < plain.faults.size(); ++i) {
+    EXPECT_EQ(stored.faults[i].fault.net, plain.faults[i].fault.net);
+    EXPECT_EQ(stored.faults[i].activated, plain.faults[i].activated);
+    EXPECT_EQ(stored.faults[i].hang, plain.faults[i].hang);
+    EXPECT_EQ(stored.faults[i].error_counts, plain.faults[i].error_counts);
+    // Store-side class naming agrees with the gate library.
+    store::GateRecord rec;
+    rec.activated = stored.faults[i].activated;
+    rec.hang = stored.faults[i].hang;
+    rec.error_counts = stored.faults[i].error_counts;
+    EXPECT_STREQ(rec.class_name(),
+                 gate::fault_class_name(plain.faults[i].cls()));
+  }
+}
+
+// Acceptance: killing a campaign mid-run and resuming yields an export
+// byte-identical to an uninterrupted run. The kill is simulated two ways:
+// a record limit (clean pause) plus a torn half-written record at the tail
+// (what a SIGKILL mid-append leaves behind).
+TEST_F(GateExperimentsTest, KillAndResumeExportIsByteIdentical) {
+  const auto unit = gate::UnitKind::Decoder;
+  const auto meta = report::gate_campaign_meta(unit, kFaults, kMaxIssues, kSeed,
+                                               EngineKind::Batch);
+  // Uninterrupted reference run.
+  {
+    store::CampaignCheckpoint ckpt(path("full.gpfs"), meta);
+    report::run_unit_campaign_store(traces(), ckpt);
+    EXPECT_FALSE(ckpt.paused());
+  }
+  const std::string full_json = export_json(path("full.gpfs"));
+
+  // Interrupted run: pause after one 64-fault batch...
+  {
+    store::CampaignCheckpoint ckpt(path("killed.gpfs"), meta);
+    ckpt.set_record_limit(1);
+    report::run_unit_campaign_store(traces(), ckpt);
+    EXPECT_TRUE(ckpt.paused());
+    EXPECT_LT(ckpt.done_count(), kFaults);
+  }
+  // ...and SIGKILL debris: a half-written record at the tail.
+  {
+    std::ofstream f(path("killed.gpfs"), std::ios::binary | std::ios::app);
+    const char torn[] = {42, 0, 0, 0, 0, 0, 0, 0, 99, 0, 0, 0, 7};
+    f.write(torn, sizeof(torn));
+  }
+  // Resume to completion.
+  {
+    store::CampaignCheckpoint ckpt(path("killed.gpfs"), meta);
+    EXPECT_GT(ckpt.torn_bytes_dropped(), 0u);
+    const auto resumed = report::run_unit_campaign_store(traces(), ckpt);
+    EXPECT_FALSE(ckpt.paused());
+    EXPECT_EQ(resumed.faults.size(), kFaults);
+  }
+  EXPECT_EQ(export_json(path("killed.gpfs")), full_json);
+}
+
+// Acceptance: merging 4 disjoint shard stores reproduces the single-store
+// campaign exactly (counts and export bytes).
+TEST_F(GateExperimentsTest, FourShardMergeMatchesSingleStore) {
+  const auto unit = gate::UnitKind::Fetch;
+  {
+    store::CampaignCheckpoint ckpt(
+        path("single.gpfs"), report::gate_campaign_meta(unit, kFaults, kMaxIssues,
+                                                        kSeed, EngineKind::Batch));
+    report::run_unit_campaign_store(traces(), ckpt);
+  }
+  std::vector<std::string> shard_paths;
+  std::size_t sharded_total = 0;
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    shard_paths.push_back(path("shard" + std::to_string(s) + ".gpfs"));
+    store::CampaignCheckpoint ckpt(
+        shard_paths.back(),
+        report::gate_campaign_meta(unit, kFaults, kMaxIssues, kSeed,
+                                   EngineKind::Batch, s, 4));
+    const auto r = report::run_unit_campaign_store(traces(), ckpt);
+    sharded_total += r.faults.size();
+  }
+  EXPECT_EQ(sharded_total, kFaults);
+
+  store::MergeStats st = store::merge_store_files(shard_paths, path("merged.gpfs"));
+  EXPECT_EQ(st.records, kFaults);
+  EXPECT_EQ(export_json(path("merged.gpfs")), export_json(path("single.gpfs")));
+}
+
+// A store written for one unit refuses to resume a different campaign.
+TEST_F(GateExperimentsTest, StoreMismatchIsRejected) {
+  const auto meta = report::gate_campaign_meta(gate::UnitKind::Decoder, kFaults,
+                                               kMaxIssues, kSeed, EngineKind::Batch);
+  { store::CampaignCheckpoint ckpt(path("d.gpfs"), meta); }
+  const auto other = report::gate_campaign_meta(gate::UnitKind::WSC, kFaults,
+                                                kMaxIssues, kSeed, EngineKind::Batch);
+  EXPECT_THROW(store::CampaignCheckpoint(path("d.gpfs"), other),
+               std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,241 @@
+// Store-layer tests: log round-trip, CRC torn-tail recovery, meta
+// validation, record codecs, merge semantics, and export determinism.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "store/checkpoint.hpp"
+#include "store/export.hpp"
+#include "store/merge.hpp"
+#include "store/records.hpp"
+#include "store/result_log.hpp"
+
+using namespace gpf;
+
+namespace {
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("gpfstore-test-" + std::to_string(::getpid()) + "-" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+  static store::CampaignMeta gate_meta(std::uint32_t shard_index = 0,
+                                       std::uint32_t shard_count = 1) {
+    store::CampaignMeta m;
+    m.kind = store::CampaignKind::Gate;
+    m.target = 0;
+    m.engine = 2;
+    m.seed = 42;
+    m.total = 100;
+    m.shard_index = shard_index;
+    m.shard_count = shard_count;
+    m.param0 = 100;
+    m.param1 = 50;
+    return m;
+  }
+
+  static std::vector<std::uint8_t> gate_payload(std::uint32_t net, bool hang) {
+    store::GateRecord r;
+    r.net = net;
+    r.stuck_high = (net & 1) != 0;
+    r.activated = true;
+    r.hang = hang;
+    r.error_counts[2] = net;
+    return store::encode(r);
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(StoreTest, MetaHeaderRoundTrip) {
+  store::CampaignMeta m = gate_meta(2, 8);
+  m.app = "vectoradd";
+  const auto bytes = store::ResultLog::encode_meta(m);
+  ASSERT_EQ(bytes.size(), store::ResultLog::kHeaderSize);
+  const store::CampaignMeta back = store::ResultLog::decode_meta(bytes);
+  EXPECT_TRUE(back == m);
+  EXPECT_EQ(back.app, "vectoradd");
+}
+
+TEST_F(StoreTest, AppendAndRecover) {
+  const std::string p = path("a.gpfs");
+  {
+    store::ResultLog log(p, gate_meta());
+    log.append(3, gate_payload(3, false));
+    log.append(7, gate_payload(7, true));
+  }
+  store::ResultLog log(p, gate_meta());
+  ASSERT_EQ(log.recovered().size(), 2u);
+  EXPECT_EQ(log.recovered()[0].id, 3u);
+  EXPECT_EQ(log.recovered()[1].id, 7u);
+  EXPECT_EQ(log.torn_bytes_dropped(), 0u);
+  const store::GateRecord r = store::decode_gate(log.recovered()[1].payload);
+  EXPECT_EQ(r.net, 7u);
+  EXPECT_TRUE(r.hang);
+  EXPECT_EQ(r.error_counts[2], 7u);
+}
+
+TEST_F(StoreTest, TornTailIsTruncatedOnOpen) {
+  const std::string p = path("torn.gpfs");
+  {
+    store::ResultLog log(p, gate_meta());
+    log.append(1, gate_payload(1, false));
+    log.append(2, gate_payload(2, false));
+  }
+  // Simulate a SIGKILL mid-append: a record prefix plus half a payload.
+  {
+    std::ofstream f(p, std::ios::binary | std::ios::app);
+    const char garbage[] = {9, 0, 0, 0, 0, 0, 0, 0, 40, 0, 0, 0, 1, 2, 3};
+    f.write(garbage, sizeof(garbage));
+  }
+  store::ResultLog log(p, gate_meta());
+  EXPECT_EQ(log.recovered().size(), 2u);
+  EXPECT_GT(log.torn_bytes_dropped(), 0u);
+  // The torn bytes are gone from disk: appending then reopening yields 3
+  // clean records.
+  log.append(9, gate_payload(9, false));
+  store::ResultLog log2(p, gate_meta());
+  EXPECT_EQ(log2.recovered().size(), 3u);
+  EXPECT_EQ(log2.torn_bytes_dropped(), 0u);
+}
+
+TEST_F(StoreTest, CorruptedRecordCrcStopsScan) {
+  const std::string p = path("crc.gpfs");
+  {
+    store::ResultLog log(p, gate_meta());
+    log.append(1, gate_payload(1, false));
+    log.append(2, gate_payload(2, false));
+  }
+  // Flip one payload byte of the *last* record.
+  {
+    std::fstream f(p, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(-1, std::ios::end);
+    f.put('\xFF');
+  }
+  store::ResultLog log(p, gate_meta());
+  EXPECT_EQ(log.recovered().size(), 1u);
+  EXPECT_GT(log.torn_bytes_dropped(), 0u);
+}
+
+TEST_F(StoreTest, MismatchedMetaRefusesResume) {
+  const std::string p = path("meta.gpfs");
+  { store::ResultLog log(p, gate_meta()); }
+  store::CampaignMeta other = gate_meta();
+  other.seed = 43;
+  EXPECT_THROW(store::ResultLog(p, other), std::runtime_error);
+  other = gate_meta(1, 4);
+  EXPECT_THROW(store::ResultLog(p, other), std::runtime_error);
+}
+
+TEST_F(StoreTest, NotAStoreFile) {
+  const std::string p = path("junk.gpfs");
+  std::ofstream(p) << "this is not a store";
+  EXPECT_THROW(store::load_store(p), std::runtime_error);
+}
+
+TEST_F(StoreTest, CheckpointSkipAndLimit) {
+  const std::string p = path("ckpt.gpfs");
+  {
+    store::CampaignCheckpoint ckpt(p, gate_meta());
+    EXPECT_FALSE(ckpt.is_done(5));
+    EXPECT_TRUE(ckpt.record(5, gate_payload(5, false)));
+    ckpt.set_record_limit(2);
+    EXPECT_FALSE(ckpt.record(6, gate_payload(6, false)));  // 2nd reaches limit
+    EXPECT_TRUE(ckpt.should_stop());
+    EXPECT_FALSE(ckpt.record(7, gate_payload(7, false)));  // still recorded
+  }
+  store::CampaignCheckpoint ckpt(p, gate_meta());
+  EXPECT_EQ(ckpt.done().size(), 3u);
+  EXPECT_TRUE(ckpt.is_done(5));
+  EXPECT_TRUE(ckpt.is_done(7));
+  EXPECT_FALSE(ckpt.should_stop());
+}
+
+TEST_F(StoreTest, MergeDisjointShardsAndConflicts) {
+  std::vector<store::LoadedStore> shards(2);
+  shards[0].meta = gate_meta(0, 2);
+  shards[1].meta = gate_meta(1, 2);
+  shards[0].records[0] = gate_payload(0, false);
+  shards[0].records[2] = gate_payload(2, false);
+  shards[1].records[1] = gate_payload(1, true);
+
+  store::MergeStats st;
+  const store::LoadedStore merged = store::merge_stores(shards, &st);
+  EXPECT_EQ(merged.records.size(), 3u);
+  EXPECT_EQ(merged.meta.shard_count, 1u);
+  EXPECT_EQ(st.duplicate_identical, 0u);
+
+  // Identical overlap dedupes; differing overlap is a conflict.
+  shards[1].records[0] = gate_payload(0, false);
+  EXPECT_NO_THROW(store::merge_stores(shards, &st));
+  EXPECT_EQ(st.duplicate_identical, 1u);
+  shards[1].records[0] = gate_payload(0, true);
+  EXPECT_THROW(store::merge_stores(shards, nullptr), std::runtime_error);
+
+  // Different campaign entirely.
+  shards[1].meta.seed = 99;
+  EXPECT_THROW(store::merge_stores(shards, nullptr), std::runtime_error);
+}
+
+TEST_F(StoreTest, RecordCodecsRoundTrip) {
+  store::RtlRecord r;
+  r.outcome = store::RtlOutcome::SdcMultiple;
+  r.corrupted = 12;
+  r.per_warp_corrupted = 3.25;
+  r.rel_errors = {1e-3, 0.5};
+  r.corrupted_idx = {4, 9, 31};
+  const store::RtlRecord rb = store::decode_rtl(store::encode(r));
+  EXPECT_EQ(rb.outcome, r.outcome);
+  EXPECT_EQ(rb.corrupted, r.corrupted);
+  EXPECT_EQ(rb.per_warp_corrupted, r.per_warp_corrupted);
+  EXPECT_EQ(rb.rel_errors, r.rel_errors);
+  EXPECT_EQ(rb.corrupted_idx, r.corrupted_idx);
+
+  store::PerfiRecord p;
+  p.outcome = store::PerfiOutcome::DueHang;
+  EXPECT_EQ(store::decode_perfi(store::encode(p)).outcome, p.outcome);
+
+  EXPECT_THROW(store::decode_gate(store::encode(p)), std::runtime_error);
+}
+
+TEST_F(StoreTest, ExportIsDeterministicAndSorted) {
+  const std::string p = path("exp.gpfs");
+  {
+    store::CampaignCheckpoint ckpt(p, gate_meta());
+    // Out-of-order appends: export must come back id-sorted.
+    ckpt.record(9, gate_payload(9, false));
+    ckpt.record(1, gate_payload(1, true));
+    ckpt.record(4, gate_payload(4, false));
+  }
+  std::ostringstream a, b, csv;
+  store::export_store(store::load_store(p), store::ExportFormat::Json, a);
+  store::export_store(store::load_store(p), store::ExportFormat::Json, b);
+  store::export_store(store::load_store(p), store::ExportFormat::Csv, csv);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_NE(a.str().find("\"id\": 1"), std::string::npos);
+  EXPECT_LT(a.str().find("\"id\": 1"), a.str().find("\"id\": 4"));
+  EXPECT_LT(a.str().find("\"id\": 4"), a.str().find("\"id\": 9"));
+  // CSV: header line then one id-sorted row per record.
+  std::istringstream lines(csv.str());
+  std::string line;
+  std::vector<std::string> first_fields;
+  while (std::getline(lines, line))
+    first_fields.push_back(line.substr(0, line.find(',')));
+  ASSERT_EQ(first_fields.size(), 4u);
+  EXPECT_EQ(first_fields[0], "id");
+  EXPECT_EQ(first_fields[1], "1");
+  EXPECT_EQ(first_fields[2], "4");
+  EXPECT_EQ(first_fields[3], "9");
+}
+
+}  // namespace

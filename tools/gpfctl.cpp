@@ -1,0 +1,332 @@
+// gpfctl — unified entry point for long fault-injection campaigns.
+//
+// Campaigns run through the persistent store (src/store): every retired
+// fault/injection is durably appended, so a killed run loses nothing and
+// `gpfctl resume` continues exactly where it stopped. Shards of one campaign
+// (disjoint fault-id slices, e.g. across machines) merge into a single store
+// whose export is identical to an unsharded run.
+//
+//   gpfctl run --campaign gate  --unit decoder|fetch|wsc|all [--faults N]
+//              [--max-issues N] [--engine brute|event|batch]
+//   gpfctl run --campaign rtl   --tile max|zero|random
+//              --site fu|sfu|pipeline|scheduler --injections N
+//   gpfctl run --campaign perfi --app NAME --model IOC|IRA|... --injections N
+//     common run flags: [--seed S] [--store DIR] [--shard-index I]
+//                       [--shard-count K] [--limit N]
+//   gpfctl resume FILE...            continue killed/paused campaigns
+//   gpfctl merge -o OUT FILE...      combine shard stores (conflict-checked)
+//   gpfctl export FILE [--format json|csv] [-o FILE]
+//   gpfctl status FILE...
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/threadpool.hpp"
+#include "errmodel/models.hpp"
+#include "perfi/campaign.hpp"
+#include "report/gate_experiments.hpp"
+#include "rtl/campaign.hpp"
+#include "store/checkpoint.hpp"
+#include "store/export.hpp"
+#include "store/merge.hpp"
+#include "workloads/workload.hpp"
+
+using namespace gpf;
+
+namespace {
+
+int usage(const char* msg = nullptr) {
+  if (msg) std::cerr << "gpfctl: " << msg << "\n\n";
+  std::cerr <<
+      "usage:\n"
+      "  gpfctl run --campaign gate --unit decoder|fetch|wsc|all [--faults N]\n"
+      "             [--max-issues N] [--engine brute|event|batch]\n"
+      "  gpfctl run --campaign rtl --tile max|zero|random\n"
+      "             --site fu|sfu|pipeline|scheduler --injections N\n"
+      "  gpfctl run --campaign perfi --app NAME --model IOC|... --injections N\n"
+      "    common:  [--seed S] [--store DIR] [--shard-index I] [--shard-count K]\n"
+      "             [--limit N]\n"
+      "  gpfctl resume FILE...\n"
+      "  gpfctl merge -o OUT FILE...\n"
+      "  gpfctl export FILE [--format json|csv] [-o FILE]\n"
+      "  gpfctl status FILE...\n";
+  return 2;
+}
+
+/// Flag parser: --key value pairs plus positional arguments.
+struct Args {
+  std::map<std::string, std::string> flags;
+  std::vector<std::string> positional;
+
+  static Args parse(int argc, char** argv, int from) {
+    Args a;
+    for (int i = from; i < argc; ++i) {
+      const std::string s = argv[i];
+      if (s.rfind("--", 0) == 0) {
+        if (i + 1 >= argc) throw std::runtime_error("missing value for " + s);
+        a.flags[s.substr(2)] = argv[++i];
+      } else if (s == "-o") {
+        if (i + 1 >= argc) throw std::runtime_error("missing value for -o");
+        a.flags["out"] = argv[++i];
+      } else {
+        a.positional.push_back(s);
+      }
+    }
+    return a;
+  }
+  std::string get(const std::string& key, const std::string& def = "") const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? def : it->second;
+  }
+  std::uint64_t get_u64(const std::string& key, std::uint64_t def) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? def : std::stoull(it->second, nullptr, 0);
+  }
+  bool has(const std::string& key) const { return flags.count(key) != 0; }
+};
+
+EngineKind parse_engine(const std::string& s) {
+  if (s == "brute") return EngineKind::Brute;
+  if (s == "event") return EngineKind::Event;
+  if (s == "batch") return EngineKind::Batch;
+  throw std::runtime_error("unknown engine: " + s);
+}
+
+gate::UnitKind parse_unit(const std::string& s) {
+  if (s == "decoder") return gate::UnitKind::Decoder;
+  if (s == "fetch") return gate::UnitKind::Fetch;
+  if (s == "wsc") return gate::UnitKind::WSC;
+  throw std::runtime_error("unknown unit: " + s + " (decoder|fetch|wsc|all)");
+}
+
+workloads::TileType parse_tile(const std::string& s) {
+  if (s == "max") return workloads::TileType::Max;
+  if (s == "zero") return workloads::TileType::Zero;
+  if (s == "random") return workloads::TileType::Random;
+  throw std::runtime_error("unknown tile: " + s + " (max|zero|random)");
+}
+
+rtl::Site parse_site(const std::string& s) {
+  if (s == "fu") return rtl::Site::FuLane;
+  if (s == "sfu") return rtl::Site::Sfu;
+  if (s == "pipeline") return rtl::Site::Pipeline;
+  if (s == "scheduler") return rtl::Site::Scheduler;
+  throw std::runtime_error("unknown site: " + s + " (fu|sfu|pipeline|scheduler)");
+}
+
+errmodel::ErrorModel parse_model(const std::string& s) {
+  for (unsigned m = 0; m < errmodel::kNumErrorModels; ++m)
+    if (s == errmodel::name_of(static_cast<errmodel::ErrorModel>(m)))
+      return static_cast<errmodel::ErrorModel>(m);
+  throw std::runtime_error("unknown error model: " + s);
+}
+
+const char* unit_slug(gate::UnitKind u) {
+  switch (u) {
+    case gate::UnitKind::Decoder: return "decoder";
+    case gate::UnitKind::Fetch: return "fetch";
+    case gate::UnitKind::WSC: return "wsc";
+  }
+  return "unit";
+}
+
+std::string shard_suffix(const store::CampaignMeta& m) {
+  if (m.shard_count == 1) return "";
+  return "-s" + std::to_string(m.shard_index) + "of" +
+         std::to_string(m.shard_count);
+}
+
+std::string store_path_for(const store::CampaignMeta& m, const std::string& dir) {
+  std::string name;
+  switch (m.kind) {
+    case store::CampaignKind::Gate:
+      name = std::string("gate-") +
+             unit_slug(static_cast<gate::UnitKind>(m.target));
+      break;
+    case store::CampaignKind::Rtl:
+      name = "rtl-tmxm-" +
+             std::to_string(static_cast<unsigned>(m.target)) + "-site" +
+             std::to_string(static_cast<unsigned>(m.param0));
+      break;
+    case store::CampaignKind::Perfi:
+      name = "perfi-" + m.app + "-" +
+             std::string(errmodel::name_of(
+                 static_cast<errmodel::ErrorModel>(m.model)));
+      break;
+  }
+  return dir + "/" + name + shard_suffix(m) + ".gpfs";
+}
+
+/// Drives one campaign store to completion (or to --limit). Used by both
+/// `run` (fresh meta) and `resume` (meta recovered from the file header).
+void drive_campaign(store::CampaignCheckpoint& ckpt, std::size_t limit) {
+  ckpt.set_record_limit(limit);
+  const store::CampaignMeta& meta = ckpt.meta();
+  const std::size_t before = ckpt.done().size();
+
+  switch (meta.kind) {
+    case store::CampaignKind::Gate: {
+      std::cout << "[gpfctl] collecting profiling traces (max_issues="
+                << meta.param1 << ")...\n";
+      const auto traces = report::collect_profiling_traces(meta.param1);
+      ThreadPool pool;
+      report::run_unit_campaign_store(traces, ckpt, &pool);
+      break;
+    }
+    case store::CampaignKind::Rtl: {
+      rtl::run_tmxm_campaign_store(ckpt);
+      break;
+    }
+    case store::CampaignKind::Perfi: {
+      const workloads::Workload* w = workloads::find(meta.app);
+      if (!w) throw std::runtime_error("unknown workload: " + meta.app);
+      perfi::run_epr_cell_store(*w, ckpt);
+      break;
+    }
+  }
+
+  const std::size_t after = ckpt.done_count();
+  std::cout << "[gpfctl] " << ckpt.path() << ": " << (after - before)
+            << " results retired this run, " << after << " total"
+            << (ckpt.paused() ? " (paused on --limit; resume to continue)"
+                              : " (complete)")
+            << "\n";
+}
+
+int cmd_run(const Args& a) {
+  const std::string campaign = a.get("campaign");
+  const std::uint64_t seed = a.get_u64("seed", campaign_seed());
+  const auto shard_index = static_cast<std::uint32_t>(a.get_u64("shard-index", 0));
+  const auto shard_count = static_cast<std::uint32_t>(a.get_u64("shard-count", 1));
+  const std::string dir = a.get("store", store_dir());
+  const auto limit = static_cast<std::size_t>(a.get_u64("limit", 0));
+  if (shard_count == 0 || shard_index >= shard_count)
+    throw std::runtime_error("invalid shard slice");
+
+  dump_env(std::cout);
+
+  std::vector<store::CampaignMeta> metas;
+  if (campaign == "gate") {
+    const std::size_t faults = a.get_u64("faults", 0);
+    const std::size_t max_issues = a.get_u64("max-issues", scaled(400, 100));
+    const EngineKind engine = parse_engine(a.get("engine", engine_name(campaign_engine())));
+    const std::string unit_arg = a.get("unit", "all");
+    std::vector<gate::UnitKind> units;
+    if (unit_arg == "all")
+      units = {gate::UnitKind::Decoder, gate::UnitKind::Fetch, gate::UnitKind::WSC};
+    else
+      units = {parse_unit(unit_arg)};
+    for (const auto u : units)
+      metas.push_back(report::gate_campaign_meta(u, faults, max_issues, seed,
+                                                 engine, shard_index, shard_count));
+  } else if (campaign == "rtl") {
+    if (!a.has("injections")) return usage("rtl: --injections required");
+    metas.push_back(rtl::tmxm_campaign_meta(
+        parse_tile(a.get("tile", "random")), parse_site(a.get("site", "fu")),
+        a.get_u64("injections", 0), seed, shard_index, shard_count));
+  } else if (campaign == "perfi") {
+    if (!a.has("app") || !a.has("model") || !a.has("injections"))
+      return usage("perfi: --app, --model, --injections required");
+    const workloads::Workload* w = workloads::find(a.get("app"));
+    if (!w) throw std::runtime_error("unknown workload: " + a.get("app"));
+    metas.push_back(perfi::epr_campaign_meta(*w, parse_model(a.get("model")),
+                                             a.get_u64("injections", 0), seed,
+                                             shard_index, shard_count));
+  } else {
+    return usage("--campaign must be gate|rtl|perfi");
+  }
+
+  for (const store::CampaignMeta& meta : metas) {
+    const std::string path = store_path_for(meta, dir);
+    std::cout << "[gpfctl] campaign " << store::campaign_kind_name(meta.kind)
+              << " -> " << path << " (shard " << meta.shard_index << "/"
+              << meta.shard_count << ", id space " << meta.total << ")\n";
+    store::CampaignCheckpoint ckpt(path, meta);
+    drive_campaign(ckpt, limit);
+  }
+  return 0;
+}
+
+int cmd_resume(const Args& a) {
+  if (a.positional.empty()) return usage("resume: store file(s) required");
+  const auto limit = static_cast<std::size_t>(a.get_u64("limit", 0));
+  dump_env(std::cout);
+  for (const std::string& path : a.positional) {
+    // Recover the campaign parameters from the store's own header.
+    const store::CampaignMeta meta = store::load_store(path).meta;
+    store::CampaignCheckpoint ckpt(path, meta);
+    if (ckpt.torn_bytes_dropped())
+      std::cout << "[gpfctl] " << path << ": dropped "
+                << ckpt.torn_bytes_dropped() << " torn tail bytes\n";
+    drive_campaign(ckpt, limit);
+  }
+  return 0;
+}
+
+int cmd_merge(const Args& a) {
+  if (!a.has("out")) return usage("merge: -o OUT required");
+  if (a.positional.size() < 2) return usage("merge: need at least two stores");
+  const store::MergeStats st =
+      store::merge_store_files(a.positional, a.get("out"));
+  std::cout << "[gpfctl] merged " << st.inputs << " stores -> " << a.get("out")
+            << " (" << st.records << " records, " << st.duplicate_identical
+            << " identical duplicates)\n";
+  return 0;
+}
+
+int cmd_export(const Args& a) {
+  if (a.positional.size() != 1) return usage("export: exactly one store file");
+  const std::string fmt = a.get("format", "json");
+  store::ExportFormat format;
+  if (fmt == "json")
+    format = store::ExportFormat::Json;
+  else if (fmt == "csv")
+    format = store::ExportFormat::Csv;
+  else
+    return usage("export: --format must be json|csv");
+
+  const store::LoadedStore s = store::load_store(a.positional.front());
+  if (a.has("out")) {
+    std::ofstream out(a.get("out"), std::ios::binary);
+    if (!out) throw std::runtime_error("cannot write " + a.get("out"));
+    store::export_store(s, format, out);
+  } else {
+    store::export_store(s, format, std::cout);
+  }
+  return 0;
+}
+
+int cmd_status(const Args& a) {
+  if (a.positional.empty()) return usage("status: store file(s) required");
+  for (const std::string& path : a.positional) {
+    std::cout << "== " << path << "\n";
+    store::print_status(store::load_store(path), std::cout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    const Args a = Args::parse(argc, argv, 2);
+    if (cmd == "run") return cmd_run(a);
+    if (cmd == "resume") return cmd_resume(a);
+    if (cmd == "merge") return cmd_merge(a);
+    if (cmd == "export") return cmd_export(a);
+    if (cmd == "status") return cmd_status(a);
+    return usage(("unknown command: " + cmd).c_str());
+  } catch (const std::exception& e) {
+    std::cerr << "gpfctl: " << e.what() << "\n";
+    return 1;
+  }
+}

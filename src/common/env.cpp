@@ -1,6 +1,7 @@
 #include "common/env.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <ostream>
 #include <string>
@@ -52,7 +53,12 @@ EngineKind campaign_engine() {
   return engine;
 }
 
+namespace {
+std::atomic<std::size_t> g_threads_override{0};
+}  // namespace
+
 std::size_t campaign_threads() {
+  if (const std::size_t o = g_threads_override.load()) return o;
   static const std::size_t threads = [] {
     const char* s = std::getenv("GPF_THREADS");
     if (!s) return std::size_t{0};
@@ -62,12 +68,42 @@ std::size_t campaign_threads() {
   return threads;
 }
 
+void set_campaign_threads_override(std::size_t n) { g_threads_override = n; }
+
 std::string store_dir() {
   static const std::string dir = [] {
     const char* s = std::getenv("GPF_STORE_DIR");
     return std::string(s && *s ? s : ".");
   }();
   return dir;
+}
+
+std::string coord_addr() {
+  static const std::string addr = [] {
+    const char* s = std::getenv("GPF_COORD_ADDR");
+    return std::string(s && *s ? s : "127.0.0.1:9777");
+  }();
+  return addr;
+}
+
+std::uint32_t lease_duration_ms() {
+  static const std::uint32_t ms = [] {
+    const char* s = std::getenv("GPF_LEASE_MS");
+    if (!s) return 10000u;
+    const long v = std::atol(s);
+    return v >= 50 ? static_cast<std::uint32_t>(v) : 50u;
+  }();
+  return ms;
+}
+
+std::uint32_t worker_backoff_ms() {
+  static const std::uint32_t ms = [] {
+    const char* s = std::getenv("GPF_WORKER_BACKOFF_MS");
+    if (!s) return 500u;
+    const long v = std::atol(s);
+    return v >= 1 ? static_cast<std::uint32_t>(v) : 1u;
+  }();
+  return ms;
 }
 
 void dump_env(std::ostream& os) {
@@ -78,9 +114,16 @@ void dump_env(std::ostream& os) {
   line("GPF_SCALE", std::to_string(campaign_scale()));
   line("GPF_SEED", std::to_string(campaign_seed()));
   line("GPF_ENGINE", engine_name(campaign_engine()));
-  line("GPF_THREADS", campaign_threads() ? std::to_string(campaign_threads())
-                                         : "0 (hardware threads)");
+  if (const std::size_t o = g_threads_override.load())
+    os << "# GPF_THREADS=" << o << " (--jobs override)\n";
+  else
+    line("GPF_THREADS", campaign_threads()
+                            ? std::to_string(campaign_threads())
+                            : "0 (hardware threads)");
   line("GPF_STORE_DIR", store_dir());
+  line("GPF_COORD_ADDR", coord_addr());
+  line("GPF_LEASE_MS", std::to_string(lease_duration_ms()));
+  line("GPF_WORKER_BACKOFF_MS", std::to_string(worker_backoff_ms()));
 }
 
 }  // namespace gpf

@@ -4,11 +4,14 @@
 // via GPF_SCALE. Every knob is read here (and only here) so dump_env() can
 // print the complete effective configuration at campaign start.
 //
-//   GPF_SCALE      campaign size multiplier (default 1.0)
-//   GPF_SEED       base RNG seed (default 0xC0FFEE)
-//   GPF_ENGINE     gate fault-simulation engine: brute | event | batch
-//   GPF_THREADS    campaign thread-pool width (0 = hardware threads)
-//   GPF_STORE_DIR  directory for persistent campaign stores (default ".")
+//   GPF_SCALE             campaign size multiplier (default 1.0)
+//   GPF_SEED              base RNG seed (default 0xC0FFEE)
+//   GPF_ENGINE            gate fault-simulation engine: brute | event | batch
+//   GPF_THREADS           campaign thread-pool width (0 = hardware threads)
+//   GPF_STORE_DIR         directory for persistent campaign stores (default ".")
+//   GPF_COORD_ADDR        gpfd coordinator host:port (default 127.0.0.1:9777)
+//   GPF_LEASE_MS          coordinator lease duration in ms (default 10000)
+//   GPF_WORKER_BACKOFF_MS worker reconnect backoff base in ms (default 500)
 #pragma once
 
 #include <cstddef>
@@ -41,12 +44,32 @@ const char* engine_name(EngineKind e);
 EngineKind campaign_engine();
 
 /// GPF_THREADS environment variable: worker count for campaign thread pools
-/// (0 = one per hardware thread).
+/// (0 = one per hardware thread). A process-wide override (the `--jobs N`
+/// flag of gpfctl/gpfd) takes precedence over the environment.
 std::size_t campaign_threads();
+
+/// Overrides GPF_THREADS for the rest of the process (0 = clear the
+/// override and fall back to the environment). Backs the `--jobs N` flag so
+/// one invocation can size its pools without touching the environment.
+void set_campaign_threads_override(std::size_t n);
 
 /// GPF_STORE_DIR environment variable: where `gpfctl` and the checkpointed
 /// campaign drivers place their .gpfs result logs (default ".").
 std::string store_dir();
+
+/// GPF_COORD_ADDR environment variable: the gpfd coordinator address a
+/// worker connects to, as "host:port" (default "127.0.0.1:9777").
+std::string coord_addr();
+
+/// GPF_LEASE_MS environment variable: how long a leased work unit stays
+/// assigned to a worker without a heartbeat/result before the coordinator
+/// reassigns it (default 10000, min 50).
+std::uint32_t lease_duration_ms();
+
+/// GPF_WORKER_BACKOFF_MS environment variable: base delay of the worker's
+/// exponential reconnect backoff (doubles per failed attempt, capped at
+/// 64x; default 500, min 1).
+std::uint32_t worker_backoff_ms();
 
 /// Print every GPF_* knob with its effective value and whether it came from
 /// the environment or a default. Campaign entry points call this once at

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
+#include <utility>
 
 #include "common/env.hpp"
 
@@ -37,6 +38,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    const std::exception_ptr e = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
 }
 
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
@@ -71,7 +77,12 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
     {
       std::lock_guard lock(mutex_);
       if (--in_flight_ == 0) cv_idle_.notify_all();

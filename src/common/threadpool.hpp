@@ -5,6 +5,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -26,6 +27,10 @@ class ThreadPool {
   std::size_t size() const { return threads_.size(); }
 
   /// Enqueue a task; wait_idle() blocks until all enqueued tasks finish.
+  /// A task that throws does not kill its worker thread: the first
+  /// exception is captured and rethrown from the next wait_idle() /
+  /// parallel_for() (later ones are dropped). The destructor still runs
+  /// every queued task but swallows captured exceptions.
   void submit(std::function<void()> task);
   void wait_idle();
 
@@ -43,6 +48,7 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
+  std::exception_ptr first_error_;
 };
 
 }  // namespace gpf

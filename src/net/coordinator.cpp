@@ -1,0 +1,216 @@
+#include "net/coordinator.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <stdexcept>
+
+#include "net/protocol.hpp"
+
+namespace gpf::net {
+
+namespace {
+
+std::set<std::uint64_t> done_ids(const store::CampaignCheckpoint& ckpt) {
+  std::set<std::uint64_t> ids;
+  for (const auto& [id, payload] : ckpt.done()) ids.insert(id);
+  return ids;
+}
+
+}  // namespace
+
+Coordinator::Coordinator(store::CampaignCheckpoint& ckpt,
+                         const CoordinatorConfig& cfg)
+    : ckpt_(ckpt),
+      cfg_(cfg),
+      listener_(listen_tcp(cfg.host, cfg.port)),
+      dispatcher_(ckpt.meta(), cfg.unit_size, done_ids(ckpt)) {
+  port_ = local_port(listener_);
+}
+
+bool Coordinator::stop_serving() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dispatcher_.all_done()) return true;
+  return drain_.load(std::memory_order_relaxed) && !dispatcher_.any_leased();
+}
+
+Coordinator::Stats Coordinator::serve() {
+  std::uint64_t next_session = 1;
+  const auto spawn = [this, &next_session](Socket client) {
+    const std::uint64_t session = next_session++;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.sessions;
+    }
+    if (cfg_.verbose)
+      std::fprintf(stderr, "[gpfd] session %llu connected\n",
+                   static_cast<unsigned long long>(session));
+    active_conns_.fetch_add(1, std::memory_order_relaxed);
+    threads_.emplace_back(
+        [this, session](Socket s) { handle_connection(std::move(s), session); },
+        std::move(client));
+  };
+
+  while (!stop_serving()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.expired_leases +=
+          dispatcher_.expire_stale(LeaseDispatcher::Clock::now());
+    }
+    Socket client = accept_client(listener_, /*timeout_ms=*/100);
+    if (client.valid()) spawn(std::move(client));
+  }
+  // Linger briefly so connected workers' final LeaseRequests get a
+  // NoWork{drained} reply and they exit cleanly, instead of burning their
+  // reconnect budget against a coordinator that just finished.
+  const auto grace_deadline =
+      LeaseDispatcher::Clock::now() + std::chrono::milliseconds(2000);
+  while (active_conns_.load(std::memory_order_relaxed) > 0 &&
+         LeaseDispatcher::Clock::now() < grace_deadline) {
+    Socket client = accept_client(listener_, /*timeout_ms=*/50);
+    if (client.valid()) spawn(std::move(client));
+  }
+  // Stop the connection threads: they poll stopping_ on recv timeouts, and
+  // workers exit on their own after a NoWork{drained} reply.
+  stopping_.store(true, std::memory_order_relaxed);
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+  listener_.close();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.drained = !dispatcher_.all_done();
+  return stats_;
+}
+
+void Coordinator::handle_connection(Socket sock, std::uint64_t session) {
+  const auto lease_len = std::chrono::milliseconds(cfg_.lease_ms);
+  try {
+    set_recv_timeout(sock, 250);
+    Frame f;
+    while (true) {
+      const RecvStatus st = recv_frame(sock, f);
+      if (st == RecvStatus::Eof) break;
+      if (st == RecvStatus::Timeout) {
+        if (stopping_.load(std::memory_order_relaxed)) break;
+        continue;
+      }
+      const auto now = LeaseDispatcher::Clock::now();
+      const bool drain = drain_.load(std::memory_order_relaxed);
+
+      switch (static_cast<MsgType>(f.type)) {
+        case MsgType::Hello: {
+          const Hello hello = decode_hello(f);
+          if (hello.version != kProtocolVersion)
+            throw std::runtime_error(
+                "protocol version mismatch: worker speaks v" +
+                std::to_string(hello.version));
+          HelloAck ack;
+          ack.meta = ckpt_.meta();
+          ack.lease_ms = cfg_.lease_ms;
+          send_frame(sock, encode(ack));
+          break;
+        }
+        case MsgType::LeaseRequest: {
+          std::optional<LeaseDispatcher::Grant> grant;
+          bool exhausted = false;
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            stats_.expired_leases += dispatcher_.expire_stale(now);
+            if (!drain) grant = dispatcher_.lease(session, now, lease_len);
+            exhausted = dispatcher_.all_done();
+          }
+          if (grant) {
+            LeaseGrant g;
+            g.unit_id = grant->unit_id;
+            g.ids = std::move(grant->ids);
+            if (cfg_.verbose)
+              std::fprintf(stderr, "[gpfd] unit %llu (%zu ids) -> session %llu\n",
+                           static_cast<unsigned long long>(g.unit_id),
+                           g.ids.size(),
+                           static_cast<unsigned long long>(session));
+            send_frame(sock, encode(g));
+          } else {
+            NoWork nw;
+            nw.drained = drain || exhausted;
+            send_frame(sock, encode(nw));
+          }
+          break;
+        }
+        case MsgType::Result: {
+          const ResultMsg msg = decode_result(f);
+          Ack ack;
+          ack.drain = drain;
+          std::vector<const store::Record*> fresh;
+          fresh.reserve(msg.records.size());
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            ack.lost_lease =
+                !dispatcher_.renew(msg.unit_id, session, now, lease_len);
+            // Results are kept even from a lost lease: the work is done and
+            // id-dedup makes acceptance harmless (and saves the re-run when
+            // the reassigned copy hasn't started that id yet).
+            for (const store::Record& rec : msg.records) {
+              if (dispatcher_.mark_retired(rec.id)) {
+                fresh.push_back(&rec);
+                ++stats_.appended;
+              } else {
+                ++stats_.duplicates;
+              }
+            }
+          }
+          // Store appends happen outside the dispatcher lock (ckpt has its
+          // own); dedup above guarantees each id is appended exactly once.
+          for (const store::Record* rec : fresh)
+            ckpt_.record(rec->id, rec->payload);
+          send_frame(sock, encode(ack));
+          break;
+        }
+        case MsgType::Heartbeat: {
+          const Heartbeat hb = decode_heartbeat(f);
+          Ack ack;
+          ack.drain = drain;
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            ack.lost_lease =
+                !dispatcher_.renew(hb.unit_id, session, now, lease_len);
+          }
+          send_frame(sock, encode(ack));
+          break;
+        }
+        case MsgType::UnitDone: {
+          const UnitDone done = decode_unit_done(f);
+          Ack ack;
+          ack.drain = drain;
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            ack.lost_lease =
+                !dispatcher_.renew(done.unit_id, session, now, lease_len);
+          }
+          if (cfg_.verbose)
+            std::fprintf(stderr, "[gpfd] unit %llu done (session %llu)\n",
+                         static_cast<unsigned long long>(done.unit_id),
+                         static_cast<unsigned long long>(session));
+          send_frame(sock, encode(ack));
+          break;
+        }
+        default:
+          throw std::runtime_error("unexpected message type " +
+                                   std::to_string(f.type));
+      }
+    }
+  } catch (const std::exception& e) {
+    if (cfg_.verbose)
+      std::fprintf(stderr, "[gpfd] session %llu error: %s\n",
+                   static_cast<unsigned long long>(session), e.what());
+  }
+  // Connection gone (clean exit, SIGKILLed worker, or protocol error):
+  // return its leases to the queue immediately instead of waiting for the
+  // deadline.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dispatcher_.release_session(session);
+  }
+  active_conns_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace gpf::net

@@ -1,0 +1,78 @@
+// Campaign coordinator: owns the authoritative ResultLog and hands out
+// lease-based work units to a fleet of workers over TCP.
+//
+// One thread per connection, all sharing a single mutex-guarded
+// LeaseDispatcher; results are appended to the store through the
+// (thread-safe) CampaignCheckpoint as they arrive, after id-dedup in the
+// dispatcher. The accept loop doubles as the lease reaper: stale leases are
+// expired and requeued every pass, so a SIGKILLed or hung worker's unit is
+// reassigned within one lease duration. serve() returns when every owned id
+// has retired, or — after request_drain() — when no leases remain
+// outstanding.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/dispatch.hpp"
+#include "net/framing.hpp"
+#include "store/checkpoint.hpp"
+
+namespace gpf::net {
+
+struct CoordinatorConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;     ///< 0 = kernel-assigned (read back via port())
+  std::size_t unit_size = 64; ///< fault ids per work unit
+  std::uint32_t lease_ms = 10000;
+  bool verbose = false;       ///< per-event log lines on stderr
+};
+
+class Coordinator {
+ public:
+  /// Binds the listener immediately (port() is valid before serve()).
+  Coordinator(store::CampaignCheckpoint& ckpt, const CoordinatorConfig& cfg);
+
+  std::uint16_t port() const { return port_; }
+
+  /// Asks serve() to stop granting leases and return once outstanding
+  /// leases finish or expire. Async-safe (atomic store): callable from a
+  /// signal handler.
+  void request_drain() { drain_.store(true, std::memory_order_relaxed); }
+
+  struct Stats {
+    std::uint64_t appended = 0;      ///< fresh records written this serve()
+    std::uint64_t duplicates = 0;    ///< results dropped by id-dedup
+    std::uint64_t sessions = 0;      ///< worker connections accepted
+    std::uint64_t expired_leases = 0;
+    bool drained = false;            ///< stopped via drain, not completion
+  };
+
+  /// Blocking accept/dispatch loop; returns when the campaign's owned ids
+  /// are all retired or a requested drain has no leases left outstanding.
+  Stats serve();
+
+ private:
+  void handle_connection(Socket sock, std::uint64_t session);
+  bool stop_serving();
+
+  store::CampaignCheckpoint& ckpt_;
+  CoordinatorConfig cfg_;
+  Socket listener_;
+  std::uint16_t port_ = 0;
+
+  std::mutex mu_;  ///< guards dispatcher_ and stats counters
+  LeaseDispatcher dispatcher_;
+  Stats stats_;
+
+  std::atomic<bool> drain_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> active_conns_{0};
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace gpf::net

@@ -1,0 +1,107 @@
+#include "net/dispatch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gpf::net {
+
+LeaseDispatcher::LeaseDispatcher(const store::CampaignMeta& meta,
+                                 std::size_t unit_size,
+                                 const std::set<std::uint64_t>& already_retired) {
+  if (unit_size == 0) throw std::runtime_error("dispatch: unit_size must be > 0");
+  Unit unit;
+  for (std::uint64_t id = 0; id < meta.total; ++id) {
+    if (!meta.owns(id) || already_retired.count(id)) continue;
+    unit.outstanding.insert(id);
+    id_unit_[id] = units_.size();
+    ++id_count_;
+    if (unit.outstanding.size() == unit_size) {
+      units_.push_back(std::move(unit));
+      unit = Unit();
+    }
+  }
+  if (!unit.outstanding.empty()) units_.push_back(std::move(unit));
+  for (std::uint64_t u = 0; u < units_.size(); ++u) queue_.push_back(u);
+}
+
+std::optional<LeaseDispatcher::Grant> LeaseDispatcher::lease(
+    std::uint64_t session, Clock::time_point now, Clock::duration lease_len) {
+  if (queue_.empty()) return std::nullopt;
+  const std::uint64_t unit_id = queue_.front();
+  queue_.pop_front();
+  Unit& u = units_[unit_id];
+  u.state = State::Leased;
+  u.session = session;
+  u.deadline = now + lease_len;
+  Grant g;
+  g.unit_id = unit_id;
+  g.ids.assign(u.outstanding.begin(), u.outstanding.end());
+  return g;
+}
+
+bool LeaseDispatcher::renew(std::uint64_t unit_id, std::uint64_t session,
+                            Clock::time_point now, Clock::duration lease_len) {
+  if (unit_id >= units_.size()) return false;
+  Unit& u = units_[unit_id];
+  // A Done unit acks successfully: the worker's final messages for a unit
+  // that auto-completed under it are not a lost lease.
+  if (u.state == State::Done) return true;
+  if (u.state != State::Leased || u.session != session) return false;
+  u.deadline = now + lease_len;
+  return true;
+}
+
+bool LeaseDispatcher::mark_retired(std::uint64_t id) {
+  const auto it = id_unit_.find(id);
+  if (it == id_unit_.end()) return false;  // duplicate or foreign id
+  Unit& u = units_[it->second];
+  if (u.outstanding.erase(id) == 0) return false;
+  ++retired_;
+  if (u.outstanding.empty() && u.state != State::Done) {
+    const State was = u.state;
+    u.state = State::Done;
+    if (was == State::Pending) {
+      const auto q = std::find(queue_.begin(), queue_.end(), it->second);
+      if (q != queue_.end()) queue_.erase(q);
+    }
+  }
+  return true;
+}
+
+void LeaseDispatcher::release_session(std::uint64_t session) {
+  for (std::uint64_t u = 0; u < units_.size(); ++u) {
+    if (units_[u].state == State::Leased && units_[u].session == session)
+      requeue(u);
+  }
+}
+
+std::size_t LeaseDispatcher::expire_stale(Clock::time_point now) {
+  std::size_t expired = 0;
+  for (std::uint64_t u = 0; u < units_.size(); ++u) {
+    if (units_[u].state == State::Leased && units_[u].deadline <= now) {
+      requeue(u);
+      ++expired;
+    }
+  }
+  return expired;
+}
+
+std::size_t LeaseDispatcher::leased_units() const {
+  return static_cast<std::size_t>(
+      std::count_if(units_.begin(), units_.end(), [](const Unit& u) {
+        return u.state == State::Leased;
+      }));
+}
+
+void LeaseDispatcher::requeue(std::uint64_t unit_id) {
+  Unit& u = units_[unit_id];
+  if (u.outstanding.empty()) {
+    u.state = State::Done;
+    return;
+  }
+  u.state = State::Pending;
+  u.session = 0;
+  queue_.push_back(unit_id);
+}
+
+}  // namespace gpf::net

@@ -1,0 +1,101 @@
+// LeaseDispatcher: the coordinator's authoritative map of who is working on
+// which slice of the fault-id space.
+//
+// The shard's pending ids (owned ids minus anything already in the store)
+// are partitioned into contiguous work units. A unit moves through
+//
+//          lease                    complete / last id retired
+//   Pending -----> Leased(session) ---------------------------> Done
+//      ^              |
+//      '--------------'  deadline expiry / connection loss
+//
+// Leases are identified by an opaque session token (one per worker
+// connection), carry a steady_clock deadline, and are renewed by every
+// Result / Heartbeat / UnitDone from the owning session. An expired or
+// released lease returns the unit to Pending with only its still-outstanding
+// ids, so a reassigned unit never re-runs work that already landed. Each id
+// retires at most once (mark_retired dedups), which is what keeps the fleet
+// export byte-identical to a single-process run.
+//
+// Not thread-safe: the coordinator serializes access with one mutex.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "store/result_log.hpp"
+
+namespace gpf::net {
+
+class LeaseDispatcher {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Partitions the shard's pending ids into units of at most `unit_size`
+  /// ids. `already_retired` (the store's recovered ids) are excluded from
+  /// the id space up front.
+  LeaseDispatcher(const store::CampaignMeta& meta, std::size_t unit_size,
+                  const std::set<std::uint64_t>& already_retired);
+
+  struct Grant {
+    std::uint64_t unit_id = 0;
+    std::vector<std::uint64_t> ids;  ///< still-outstanding ids of the unit
+  };
+
+  /// Leases the next pending unit to `session` until now + lease_len.
+  /// Empty when nothing is pending (all leased or all done).
+  std::optional<Grant> lease(std::uint64_t session, Clock::time_point now,
+                             Clock::duration lease_len);
+
+  /// Renews `session`'s lease on `unit_id`. False when the session no
+  /// longer holds the lease (expired and possibly reassigned) — the worker
+  /// must abandon the unit.
+  bool renew(std::uint64_t unit_id, std::uint64_t session,
+             Clock::time_point now, Clock::duration lease_len);
+
+  /// Records that `id` retired. True when this is the first time (the
+  /// caller should append it to the store); false for a duplicate from a
+  /// reassigned-then-resurrected lease. A unit whose last id retires
+  /// becomes Done immediately, whoever holds its lease.
+  bool mark_retired(std::uint64_t id);
+
+  /// Returns every unit leased by `session` to Pending (connection lost).
+  void release_session(std::uint64_t session);
+
+  /// Expires all leases whose deadline has passed; returns how many.
+  std::size_t expire_stale(Clock::time_point now);
+
+  bool all_done() const { return retired_ == id_count_; }
+  std::uint64_t retired() const { return retired_; }
+  std::uint64_t id_count() const { return id_count_; }
+  std::size_t pending_units() const { return queue_.size(); }
+  std::size_t leased_units() const;
+  /// True while any unit is leased (drain must wait for these).
+  bool any_leased() const { return leased_units() != 0; }
+
+ private:
+  enum class State : std::uint8_t { Pending, Leased, Done };
+
+  struct Unit {
+    std::set<std::uint64_t> outstanding;  ///< ids not yet retired
+    State state = State::Pending;
+    std::uint64_t session = 0;
+    Clock::time_point deadline{};
+  };
+
+  void requeue(std::uint64_t unit_id);
+
+  std::vector<Unit> units_;
+  std::deque<std::uint64_t> queue_;  ///< pending unit ids, FIFO
+  std::unordered_map<std::uint64_t, std::uint64_t> id_unit_;
+  std::uint64_t id_count_ = 0;  ///< ids pending at construction
+  std::uint64_t retired_ = 0;   ///< ids retired since construction
+};
+
+}  // namespace gpf::net

@@ -1,0 +1,208 @@
+#include "net/protocol.hpp"
+
+#include <stdexcept>
+
+#include "store/bytes.hpp"
+
+namespace gpf::net {
+
+const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::Hello: return "Hello";
+    case MsgType::HelloAck: return "HelloAck";
+    case MsgType::LeaseRequest: return "LeaseRequest";
+    case MsgType::LeaseGrant: return "LeaseGrant";
+    case MsgType::NoWork: return "NoWork";
+    case MsgType::Result: return "Result";
+    case MsgType::Heartbeat: return "Heartbeat";
+    case MsgType::UnitDone: return "UnitDone";
+    case MsgType::Ack: return "Ack";
+  }
+  return "?";
+}
+
+namespace {
+
+Frame make_frame(MsgType t) {
+  Frame f;
+  f.type = static_cast<std::uint16_t>(t);
+  return f;
+}
+
+store::ByteReader check(const Frame& f, MsgType want) {
+  if (f.type != static_cast<std::uint16_t>(want))
+    throw std::runtime_error(
+        std::string("net: expected ") + msg_type_name(want) + ", got " +
+        msg_type_name(static_cast<MsgType>(f.type)) + " (type " +
+        std::to_string(f.type) + ")");
+  return store::ByteReader(f.payload);
+}
+
+void expect_done(store::ByteReader& r, MsgType t) {
+  if (!r.done())
+    throw std::runtime_error(std::string("net: trailing bytes in ") +
+                             msg_type_name(t) + " payload");
+}
+
+}  // namespace
+
+Frame encode(const Hello& m) {
+  Frame f = make_frame(MsgType::Hello);
+  store::ByteWriter w(f.payload);
+  w.u32(m.version);
+  w.u32(static_cast<std::uint32_t>(m.worker_name.size()));
+  w.fixed_str(m.worker_name, m.worker_name.size());
+  return f;
+}
+
+Hello decode_hello(const Frame& f) {
+  store::ByteReader r = check(f, MsgType::Hello);
+  Hello m;
+  m.version = r.u32();
+  m.worker_name = r.fixed_str(r.u32());
+  expect_done(r, MsgType::Hello);
+  return m;
+}
+
+Frame encode(const HelloAck& m) {
+  Frame f = make_frame(MsgType::HelloAck);
+  const std::vector<std::uint8_t> header = store::ResultLog::encode_meta(m.meta);
+  f.payload = header;
+  store::ByteWriter w(f.payload);
+  w.u32(m.lease_ms);
+  return f;
+}
+
+HelloAck decode_hello_ack(const Frame& f) {
+  (void)check(f, MsgType::HelloAck);
+  if (f.payload.size() != store::ResultLog::kHeaderSize + 4)
+    throw std::runtime_error("net: bad HelloAck payload size " +
+                             std::to_string(f.payload.size()));
+  HelloAck m;
+  m.meta = store::ResultLog::decode_meta(
+      std::span(f.payload).subspan(0, store::ResultLog::kHeaderSize));
+  store::ByteReader tail(
+      std::span(f.payload).subspan(store::ResultLog::kHeaderSize));
+  m.lease_ms = tail.u32();
+  return m;
+}
+
+Frame encode_lease_request() { return make_frame(MsgType::LeaseRequest); }
+
+Frame encode(const LeaseGrant& m) {
+  Frame f = make_frame(MsgType::LeaseGrant);
+  store::ByteWriter w(f.payload);
+  w.u64(m.unit_id);
+  w.u32(static_cast<std::uint32_t>(m.ids.size()));
+  for (const std::uint64_t id : m.ids) w.u64(id);
+  return f;
+}
+
+LeaseGrant decode_lease_grant(const Frame& f) {
+  store::ByteReader r = check(f, MsgType::LeaseGrant);
+  LeaseGrant m;
+  m.unit_id = r.u64();
+  const std::uint32_t n = r.u32();
+  if (r.remaining() != std::size_t{n} * 8)
+    throw std::runtime_error("net: LeaseGrant id count mismatch");
+  m.ids.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) m.ids.push_back(r.u64());
+  return m;
+}
+
+Frame encode(const NoWork& m) {
+  Frame f = make_frame(MsgType::NoWork);
+  store::ByteWriter w(f.payload);
+  w.u8(m.drained ? 1 : 0);
+  return f;
+}
+
+NoWork decode_no_work(const Frame& f) {
+  store::ByteReader r = check(f, MsgType::NoWork);
+  NoWork m;
+  m.drained = r.u8() != 0;
+  expect_done(r, MsgType::NoWork);
+  return m;
+}
+
+Frame encode(const ResultMsg& m) {
+  Frame f = make_frame(MsgType::Result);
+  store::ByteWriter w(f.payload);
+  w.u64(m.unit_id);
+  w.u32(static_cast<std::uint32_t>(m.records.size()));
+  for (const store::Record& rec : m.records) {
+    w.u64(rec.id);
+    w.u32(static_cast<std::uint32_t>(rec.payload.size()));
+    f.payload.insert(f.payload.end(), rec.payload.begin(), rec.payload.end());
+  }
+  return f;
+}
+
+ResultMsg decode_result(const Frame& f) {
+  store::ByteReader r = check(f, MsgType::Result);
+  ResultMsg m;
+  m.unit_id = r.u64();
+  const std::uint32_t n = r.u32();
+  m.records.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    store::Record rec;
+    rec.id = r.u64();
+    const std::uint32_t len = r.u32();
+    if (r.remaining() < len)
+      throw std::runtime_error("net: Result record overruns payload");
+    rec.payload.resize(len);
+    for (std::uint32_t b = 0; b < len; ++b) rec.payload[b] = r.u8();
+    m.records.push_back(std::move(rec));
+  }
+  expect_done(r, MsgType::Result);
+  return m;
+}
+
+Frame encode(const Heartbeat& m) {
+  Frame f = make_frame(MsgType::Heartbeat);
+  store::ByteWriter w(f.payload);
+  w.u64(m.unit_id);
+  return f;
+}
+
+Heartbeat decode_heartbeat(const Frame& f) {
+  store::ByteReader r = check(f, MsgType::Heartbeat);
+  Heartbeat m;
+  m.unit_id = r.u64();
+  expect_done(r, MsgType::Heartbeat);
+  return m;
+}
+
+Frame encode(const UnitDone& m) {
+  Frame f = make_frame(MsgType::UnitDone);
+  store::ByteWriter w(f.payload);
+  w.u64(m.unit_id);
+  return f;
+}
+
+UnitDone decode_unit_done(const Frame& f) {
+  store::ByteReader r = check(f, MsgType::UnitDone);
+  UnitDone m;
+  m.unit_id = r.u64();
+  expect_done(r, MsgType::UnitDone);
+  return m;
+}
+
+Frame encode(const Ack& m) {
+  Frame f = make_frame(MsgType::Ack);
+  store::ByteWriter w(f.payload);
+  w.u8(m.drain ? 1 : 0);
+  w.u8(m.lost_lease ? 1 : 0);
+  return f;
+}
+
+Ack decode_ack(const Frame& f) {
+  store::ByteReader r = check(f, MsgType::Ack);
+  Ack m;
+  m.drain = r.u8() != 0;
+  m.lost_lease = r.u8() != 0;
+  expect_done(r, MsgType::Ack);
+  return m;
+}
+
+}  // namespace gpf::net

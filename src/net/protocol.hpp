@@ -1,0 +1,129 @@
+// Message layer of the distributed campaign service, on top of net framing.
+//
+// The protocol is strictly request/response and worker-driven: every message
+// a worker sends gets exactly one coordinator reply, so both sides can use
+// plain blocking sockets with no reordering logic.
+//
+//   worker                     coordinator
+//   ------                     -----------
+//   Hello                 -->
+//                         <--  HelloAck        (campaign meta + lease_ms)
+//   LeaseRequest          -->
+//                         <--  LeaseGrant      (unit id + fault ids)
+//                              | NoWork        (retry later / drained)
+//   Result                -->
+//                         <--  Ack             (drain / lost_lease flags)
+//   Heartbeat             -->
+//                         <--  Ack
+//   UnitDone              -->
+//                         <--  Ack
+//
+// Result and Heartbeat both renew the sender's lease on the named unit; the
+// Ack's lost_lease flag tells a worker its lease expired and was reassigned,
+// so it must abandon the unit and request a fresh lease. Campaign identity
+// rides in HelloAck as the store's own 80-byte encoded header, which the
+// worker compares against the campaign it was asked to serve.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/framing.hpp"
+#include "store/result_log.hpp"
+
+namespace gpf::net {
+
+constexpr std::uint32_t kProtocolVersion = 1;
+
+enum class MsgType : std::uint16_t {
+  Hello = 1,
+  HelloAck = 2,
+  LeaseRequest = 3,
+  LeaseGrant = 4,
+  NoWork = 5,
+  Result = 6,
+  Heartbeat = 7,
+  UnitDone = 8,
+  Ack = 9,
+};
+const char* msg_type_name(MsgType t);
+
+/// Worker introduction. A version mismatch is a coordinator-side error
+/// (the fleet must be homogeneous).
+struct Hello {
+  std::uint32_t version = kProtocolVersion;
+  std::string worker_name;
+};
+
+/// Coordinator's reply: the authoritative campaign identity plus the lease
+/// duration workers must renew within.
+struct HelloAck {
+  store::CampaignMeta meta;
+  std::uint32_t lease_ms = 0;
+};
+
+/// One leased work unit: a batch of fault ids owned by the worker until the
+/// deadline. ids are campaign ids (pure inputs: the worker derives the whole
+/// injection from id + meta, nothing else).
+struct LeaseGrant {
+  std::uint64_t unit_id = 0;
+  std::vector<std::uint64_t> ids;
+};
+
+/// No lease available. drained=false means "all units currently leased,
+/// retry after a backoff"; drained=true means the campaign is complete or
+/// the coordinator is shutting down — the worker should exit.
+struct NoWork {
+  bool drained = false;
+};
+
+/// A batch of retired results for a leased unit. Streaming results renews
+/// the lease, so a slow-but-alive worker never loses its unit.
+struct ResultMsg {
+  std::uint64_t unit_id = 0;
+  std::vector<store::Record> records;
+};
+
+/// Explicit lease renewal for compute phases that retire nothing for a
+/// while (e.g. a long golden run before the first result).
+struct Heartbeat {
+  std::uint64_t unit_id = 0;
+};
+
+/// All ids of the unit have been submitted.
+struct UnitDone {
+  std::uint64_t unit_id = 0;
+};
+
+/// Coordinator's reply to Result / Heartbeat / UnitDone. drain asks the
+/// worker to finish its current unit and not request another; lost_lease
+/// tells it the unit was reassigned (stop working on it immediately).
+struct Ack {
+  bool drain = false;
+  bool lost_lease = false;
+};
+
+Frame encode(const Hello& m);
+Frame encode(const HelloAck& m);
+Frame encode(const LeaseGrant& m);
+Frame encode(const NoWork& m);
+Frame encode(const ResultMsg& m);
+Frame encode(const Heartbeat& m);
+Frame encode(const UnitDone& m);
+Frame encode(const Ack& m);
+/// LeaseRequest carries no payload.
+Frame encode_lease_request();
+
+/// Decoders throw on a type mismatch or malformed payload (protocol error —
+/// the connection is torn down).
+Hello decode_hello(const Frame& f);
+HelloAck decode_hello_ack(const Frame& f);
+LeaseGrant decode_lease_grant(const Frame& f);
+NoWork decode_no_work(const Frame& f);
+ResultMsg decode_result(const Frame& f);
+Heartbeat decode_heartbeat(const Frame& f);
+UnitDone decode_unit_done(const Frame& f);
+Ack decode_ack(const Frame& f);
+
+}  // namespace gpf::net

@@ -1,0 +1,66 @@
+#include "net/service.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "common/threadpool.hpp"
+#include "perfi/campaign.hpp"
+#include "report/gate_experiments.hpp"
+#include "rtl/campaign.hpp"
+#include "store/records.hpp"
+#include "workloads/workload.hpp"
+
+namespace gpf::net {
+
+UnitFn make_unit_fn(const store::CampaignMeta& meta) {
+  switch (meta.kind) {
+    case store::CampaignKind::Gate: {
+      auto traces = std::make_shared<std::vector<gate::UnitTraces>>(
+          report::collect_profiling_traces(meta.param1));
+      auto runner = std::make_shared<report::GateUnitRunner>(*traces, meta);
+      auto pool = std::make_shared<ThreadPool>();
+      return [traces, runner, pool](std::span<const std::uint64_t> ids,
+                                    const EmitBytes& emit,
+                                    const std::function<bool()>& stop) {
+        runner->run(
+            ids,
+            [&](std::uint64_t id, const gate::FaultCharacterization& fc) {
+              emit(id, store::encode(report::to_gate_record(fc)));
+            },
+            pool.get(), stop);
+      };
+    }
+    case store::CampaignKind::Rtl: {
+      auto runner = std::make_shared<rtl::TmxmUnitRunner>(meta);
+      return [runner](std::span<const std::uint64_t> ids,
+                      const EmitBytes& emit,
+                      const std::function<bool()>& stop) {
+        runner->run(
+            ids,
+            [&](std::uint64_t id, const rtl::InjectionResult& r) {
+              emit(id, store::encode(rtl::to_rtl_record(r)));
+            },
+            stop);
+      };
+    }
+    case store::CampaignKind::Perfi: {
+      const workloads::Workload* w = workloads::find(meta.app);
+      if (!w)
+        throw std::runtime_error("worker: unknown workload: " + meta.app);
+      auto runner = std::make_shared<perfi::EprUnitRunner>(*w, meta);
+      return [runner](std::span<const std::uint64_t> ids,
+                      const EmitBytes& emit,
+                      const std::function<bool()>& stop) {
+        runner->run(
+            ids,
+            [&](std::uint64_t id, const store::PerfiRecord& rec) {
+              emit(id, store::encode(rec));
+            },
+            stop);
+      };
+    }
+  }
+  throw std::runtime_error("worker: unknown campaign kind");
+}
+
+}  // namespace gpf::net

@@ -1,0 +1,17 @@
+// Campaign-kind dispatch for fleet workers: builds the UnitFn that turns
+// leased fault ids into encoded store records, for any of the three
+// campaign kinds. Expensive per-campaign setup (profiling traces, golden
+// runs, fault-list sampling) happens once here, not per lease.
+#pragma once
+
+#include "net/worker.hpp"
+#include "store/result_log.hpp"
+
+namespace gpf::net {
+
+/// The UnitFnFactory used by `gpfctl worker` (and the e2e tests). Gate
+/// campaigns spread batches over a GPF_THREADS-sized pool; rtl/perfi
+/// evaluate ids sequentially (one injection at a time is the unit of work).
+UnitFn make_unit_fn(const store::CampaignMeta& meta);
+
+}  // namespace gpf::net

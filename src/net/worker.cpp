@@ -1,0 +1,233 @@
+#include "net/worker.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "net/framing.hpp"
+#include "net/protocol.hpp"
+
+namespace gpf::net {
+
+namespace {
+
+/// Non-network failure (bad campaign, work function threw): must abort the
+/// worker instead of entering the reconnect loop.
+struct FatalWorkerError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Receives the coordinator's reply; any silence or EOF here is a lost
+/// connection (the protocol is strict request/response).
+Frame recv_reply(const Socket& sock) {
+  Frame f;
+  if (recv_frame(sock, f) != RecvStatus::Ok)
+    throw std::runtime_error("net: coordinator connection lost");
+  return f;
+}
+
+struct UnitOutcome {
+  bool lost = false;
+  bool drain = false;
+};
+
+/// Works one leased unit: compute thread fills the queue, this thread
+/// streams Result / Heartbeat messages. Throws on connection loss (caller
+/// reconnects) or a compute error (fatal).
+UnitOutcome work_unit(const Socket& sock, const LeaseGrant& grant,
+                      const UnitFn& fn, const WorkerConfig& cfg,
+                      std::uint32_t lease_ms, WorkerStats& stats) {
+  const auto heartbeat_every =
+      std::chrono::milliseconds(std::max<std::uint32_t>(lease_ms / 3, 1));
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<store::Record> queue;
+  bool compute_done = false;
+  std::exception_ptr compute_err;
+  std::atomic<bool> abort{false};
+
+  std::thread compute([&] {
+    try {
+      fn(grant.ids,
+         [&](std::uint64_t id, std::vector<std::uint8_t> payload) {
+           std::lock_guard<std::mutex> lock(mu);
+           queue.push_back(store::Record{id, std::move(payload)});
+           cv.notify_all();
+         },
+         [&] { return abort.load(std::memory_order_relaxed); });
+    } catch (...) {
+      compute_err = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    compute_done = true;
+    cv.notify_all();
+  });
+
+  UnitOutcome out;
+  try {
+    while (true) {
+      std::vector<store::Record> batch;
+      bool finished = false;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait_for(lock, heartbeat_every,
+                    [&] { return !queue.empty() || compute_done; });
+        while (!queue.empty() && batch.size() < cfg.batch_records) {
+          batch.push_back(std::move(queue.front()));
+          queue.pop_front();
+        }
+        finished = compute_done && queue.empty() && batch.empty();
+      }
+
+      Ack ack;
+      if (!batch.empty()) {
+        ResultMsg msg;
+        msg.unit_id = grant.unit_id;
+        msg.records = std::move(batch);
+        const std::size_t n = msg.records.size();
+        send_frame(sock, encode(msg));
+        ack = decode_ack(recv_reply(sock));
+        stats.retired += n;
+      } else if (finished) {
+        if (compute_err) break;  // rethrown after the join below
+        UnitDone done;
+        done.unit_id = grant.unit_id;
+        send_frame(sock, encode(done));
+        ack = decode_ack(recv_reply(sock));
+        if (!ack.lost_lease) ++stats.units;
+      } else {
+        Heartbeat hb;
+        hb.unit_id = grant.unit_id;
+        send_frame(sock, encode(hb));
+        ack = decode_ack(recv_reply(sock));
+      }
+
+      if (ack.drain) out.drain = true;
+      if (ack.lost_lease) {
+        out.lost = true;
+        ++stats.lost_leases;
+        break;
+      }
+      if (finished) break;
+    }
+  } catch (...) {
+    abort.store(true, std::memory_order_relaxed);
+    compute.join();
+    throw;
+  }
+  abort.store(true, std::memory_order_relaxed);
+  compute.join();
+  if (compute_err) {
+    try {
+      std::rethrow_exception(compute_err);
+    } catch (const std::exception& e) {
+      throw FatalWorkerError(std::string("work function failed: ") + e.what());
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+WorkerStats run_worker(const WorkerConfig& cfg, const UnitFnFactory& make_fn) {
+  WorkerStats stats;
+  UnitFn fn;
+  std::optional<store::CampaignMeta> meta;
+
+  std::uint32_t backoff = std::max<std::uint32_t>(cfg.backoff_ms, 1);
+  const std::uint32_t backoff_cap = backoff * 64;
+  int failures = 0;
+  bool connected_before = false;
+
+  while (true) {
+    Socket sock;
+    std::uint32_t lease_ms = 0;
+    try {
+      sock = connect_tcp(cfg.host, cfg.port);
+      // Replies are immediate in this protocol; a full lease duration of
+      // silence means the coordinator is wedged or gone.
+      set_recv_timeout(sock, 30000);
+      Hello hello;
+      hello.worker_name = cfg.name;
+      send_frame(sock, encode(hello));
+      const HelloAck ack = decode_hello_ack(recv_reply(sock));
+      if (meta && !(*meta == ack.meta))
+        throw FatalWorkerError(
+            "worker: coordinator campaign changed across reconnects");
+      meta = ack.meta;
+      lease_ms = std::max<std::uint32_t>(ack.lease_ms, 1);
+      set_recv_timeout(sock, static_cast<int>(std::max<std::uint32_t>(
+                                 lease_ms, 30000)));
+    } catch (const FatalWorkerError&) {
+      throw;
+    } catch (const std::exception& e) {
+      ++failures;
+      if (cfg.verbose)
+        std::fprintf(stderr, "[%s] connect failed (%d/%d): %s\n",
+                     cfg.name.c_str(), failures, cfg.max_connect_failures,
+                     e.what());
+      if (failures >= cfg.max_connect_failures) {
+        stats.gave_up = true;
+        return stats;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      backoff = std::min(backoff * 2, backoff_cap);
+      continue;
+    }
+    if (connected_before) ++stats.reconnects;
+    connected_before = true;
+    failures = 0;
+    backoff = std::max<std::uint32_t>(cfg.backoff_ms, 1);
+    if (!fn) fn = make_fn(*meta);
+
+    try {
+      while (true) {
+        send_frame(sock, encode_lease_request());
+        const Frame f = recv_reply(sock);
+        if (static_cast<MsgType>(f.type) == MsgType::NoWork) {
+          const NoWork nw = decode_no_work(f);
+          if (nw.drained) {
+            stats.drained = true;
+            return stats;
+          }
+          // Everything is leased to other workers right now; idle briefly.
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(std::max<std::uint32_t>(lease_ms / 4, 10)));
+          continue;
+        }
+        const LeaseGrant grant = decode_lease_grant(f);
+        if (cfg.verbose)
+          std::fprintf(stderr, "[%s] leased unit %llu (%zu ids)\n",
+                       cfg.name.c_str(),
+                       static_cast<unsigned long long>(grant.unit_id),
+                       grant.ids.size());
+        const UnitOutcome out = work_unit(sock, grant, fn, cfg, lease_ms, stats);
+        if (out.drain) {
+          stats.drained = true;
+          return stats;
+        }
+        (void)out.lost;  // lease lost: just request the next unit
+      }
+    } catch (const FatalWorkerError&) {
+      throw;
+    } catch (const std::runtime_error& e) {
+      // Connection-level failure: drop the socket and reconnect with
+      // backoff. The coordinator reclaims our leases on EOF.
+      if (cfg.verbose)
+        std::fprintf(stderr, "[%s] session lost: %s\n", cfg.name.c_str(),
+                     e.what());
+    }
+  }
+}
+
+}  // namespace gpf::net

@@ -1,0 +1,65 @@
+// Fleet worker: leases work units from a coordinator, evaluates their fault
+// ids through a campaign-specific work function, and streams the results
+// back.
+//
+// The compute runs in a background thread feeding a queue; the connection
+// thread drains the queue into Result messages and falls back to Heartbeat
+// when the queue is empty, so the lease is renewed at a steady cadence even
+// while a single slow injection is in flight. A lost lease (the Ack says the
+// unit was reassigned) aborts the compute via its stop callback; a lost
+// connection triggers exponential-backoff reconnection, giving up after a
+// bounded run of consecutive failures (a finished coordinator simply goes
+// away — workers must not spin forever).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "store/result_log.hpp"
+
+namespace gpf::net {
+
+struct WorkerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string name = "worker";
+  std::uint32_t backoff_ms = 500;   ///< initial reconnect backoff (doubles, capped at 64x)
+  int max_connect_failures = 8;     ///< consecutive failures before giving up
+  std::size_t batch_records = 16;   ///< max records per Result message
+  bool verbose = false;
+};
+
+/// Emits one retired result: (fault id, encoded record payload).
+using EmitBytes =
+    std::function<void(std::uint64_t, std::vector<std::uint8_t>)>;
+
+/// Evaluates a batch of fault ids, emitting each result as it retires and
+/// polling `stop` between ids (true = lease lost, abandon the rest).
+using UnitFn = std::function<void(std::span<const std::uint64_t>,
+                                  const EmitBytes&,
+                                  const std::function<bool()>&)>;
+
+/// Builds the campaign's work function from the coordinator's meta. Called
+/// once, on the first successful handshake; expensive per-campaign setup
+/// (golden runs, fault lists) belongs inside.
+using UnitFnFactory = std::function<UnitFn(const store::CampaignMeta&)>;
+
+struct WorkerStats {
+  std::uint64_t retired = 0;      ///< records submitted and acknowledged
+  std::uint64_t units = 0;        ///< units completed by this worker
+  std::uint64_t lost_leases = 0;  ///< units abandoned after reassignment
+  std::uint64_t reconnects = 0;   ///< successful connects after the first
+  bool drained = false;           ///< exited on NoWork{drained}
+  bool gave_up = false;           ///< exited on max_connect_failures
+};
+
+/// Runs the worker loop until the coordinator reports the campaign drained
+/// or the connection is lost for good. Throws only on non-network fatal
+/// errors (campaign mismatch across reconnects, a work function that
+/// throws).
+WorkerStats run_worker(const WorkerConfig& cfg, const UnitFnFactory& make_fn);
+
+}  // namespace gpf::net

@@ -163,19 +163,44 @@ store::CampaignMeta epr_campaign_meta(const workloads::Workload& w,
   return meta;
 }
 
-EprCell run_epr_cell_store(const workloads::Workload& w,
-                           store::CampaignCheckpoint& ckpt) {
-  const store::CampaignMeta& meta = ckpt.meta();
+void add_record(EprCell& cell, const store::PerfiRecord& rec) {
+  add_outcome(cell, rec.outcome);
+}
+
+EprUnitRunner::EprUnitRunner(const workloads::Workload& w,
+                             const store::CampaignMeta& meta)
+    : meta_(meta),
+      runner_(w),
+      base_(meta.seed ^
+            (static_cast<std::uint64_t>(static_cast<ErrorModel>(meta.model)) *
+             0x9E3779B9u)) {
   if (meta.kind != store::CampaignKind::Perfi)
-    throw std::runtime_error("epr campaign: store is not a perfi store");
+    throw std::runtime_error("epr campaign: meta is not a perfi campaign");
   if (meta.app != w.name())
     throw std::runtime_error("epr campaign: store belongs to app '" + meta.app +
                              "', not '" + std::string(w.name()) + "'");
-  const auto model = static_cast<ErrorModel>(meta.model);
+}
+
+void EprUnitRunner::run(std::span<const std::uint64_t> ids, const Emit& emit,
+                        const std::function<bool()>& stop) {
+  const auto model = static_cast<ErrorModel>(meta_.model);
+  for (const std::uint64_t i : ids) {
+    if (stop && stop()) return;
+    Rng rng = base_.fork(i);
+    const errmodel::ErrorDescriptor desc = random_descriptor(model, rng);
+    const AppOutcome out = runner_.inject(desc);
+    store::PerfiRecord rec;
+    rec.outcome = to_perfi_outcome(out, runner_.last_trap());
+    emit(i, rec);
+  }
+}
+
+EprCell run_epr_cell_store(const workloads::Workload& w,
+                           store::CampaignCheckpoint& ckpt) {
+  const store::CampaignMeta& meta = ckpt.meta();
+  EprUnitRunner runner(w, meta);
 
   EprCell cell;
-  AppInjectionRunner runner(w);
-  Rng base(meta.seed ^ (static_cast<std::uint64_t>(model) * 0x9E3779B9u));
   for (std::uint64_t i = 0; i < meta.total; ++i) {
     if (!meta.owns(i)) continue;
     if (const auto it = ckpt.done().find(i); it != ckpt.done().end()) {
@@ -183,13 +208,11 @@ EprCell run_epr_cell_store(const workloads::Workload& w,
       continue;
     }
     if (ckpt.should_stop()) break;
-    Rng rng = base.fork(i);
-    const errmodel::ErrorDescriptor desc = random_descriptor(model, rng);
-    const AppOutcome out = runner.inject(desc);
-    store::PerfiRecord rec;
-    rec.outcome = to_perfi_outcome(out, runner.last_trap());
-    ckpt.record(i, store::encode(rec));
-    add_outcome(cell, rec.outcome);
+    const std::uint64_t id[] = {i};
+    runner.run(id, [&](std::uint64_t, const store::PerfiRecord& rec) {
+      ckpt.record(i, store::encode(rec));
+      add_outcome(cell, rec.outcome);
+    });
   }
   return cell;
 }

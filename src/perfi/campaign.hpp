@@ -4,12 +4,16 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "arch/machine.hpp"
+#include "common/rng.hpp"
 #include "errmodel/models.hpp"
 #include "perfi/injector.hpp"
 #include "store/checkpoint.hpp"
+#include "store/records.hpp"
 #include "workloads/workload.hpp"
 
 namespace gpf::perfi {
@@ -74,6 +78,31 @@ store::CampaignMeta epr_campaign_meta(const workloads::Workload& w,
 /// re-run. The returned cell covers this shard's retired injections.
 EprCell run_epr_cell_store(const workloads::Workload& w,
                            store::CampaignCheckpoint& ckpt);
+
+/// Work-unit adapter for lease-based dispatch: evaluates arbitrary
+/// injection ids of one (app, model) EPR campaign. Descriptor i comes from
+/// an RNG stream forked on i, so any process evaluating id i produces the
+/// identical record. The golden run is paid once at construction and
+/// reused across run() calls.
+class EprUnitRunner {
+ public:
+  using Emit = std::function<void(std::uint64_t, const store::PerfiRecord&)>;
+
+  EprUnitRunner(const workloads::Workload& w, const store::CampaignMeta& meta);
+
+  /// Evaluates `ids` in order; emit(id, record) per retired injection.
+  /// `stop`, when set, is polled before each injection.
+  void run(std::span<const std::uint64_t> ids, const Emit& emit,
+           const std::function<bool()>& stop = {});
+
+ private:
+  store::CampaignMeta meta_;
+  AppInjectionRunner runner_;
+  Rng base_;
+};
+
+/// Folds one stored outcome into an EPR cell's counters.
+void add_record(EprCell& cell, const store::PerfiRecord& rec);
 
 /// The 11 models evaluated in software (IPP is representable by the others,
 /// IVOC always DUEs at the low level — both excluded, as in the paper).

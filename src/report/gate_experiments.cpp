@@ -44,9 +44,7 @@ GateCampaigns run_gate_campaigns(const std::vector<gate::UnitTraces>& traces,
 // Checkpointed campaign (persistent store, resume, sharding)
 // ---------------------------------------------------------------------------
 
-namespace {
-
-store::GateRecord to_record(const gate::FaultCharacterization& fc) {
+store::GateRecord to_gate_record(const gate::FaultCharacterization& fc) {
   store::GateRecord r;
   r.net = static_cast<std::uint32_t>(fc.fault.net);
   r.stuck_high = fc.fault.stuck_high;
@@ -56,13 +54,12 @@ store::GateRecord to_record(const gate::FaultCharacterization& fc) {
   return r;
 }
 
-void from_record(const store::GateRecord& r, gate::FaultCharacterization& fc) {
+void apply_gate_record(const store::GateRecord& r,
+                       gate::FaultCharacterization& fc) {
   fc.activated = r.activated;
   fc.hang = r.hang;
   fc.error_counts = r.error_counts;
 }
-
-}  // namespace
 
 store::CampaignMeta gate_campaign_meta(gate::UnitKind unit,
                                        std::size_t faults_per_unit,
@@ -85,41 +82,96 @@ store::CampaignMeta gate_campaign_meta(gate::UnitKind unit,
   return meta;
 }
 
+GateUnitRunner::GateUnitRunner(const std::vector<gate::UnitTraces>& traces,
+                               const store::CampaignMeta& meta)
+    : traces_(traces),
+      engine_(static_cast<EngineKind>(meta.engine)),
+      replayer_(static_cast<gate::UnitKind>(meta.target)) {
+  if (meta.kind != store::CampaignKind::Gate)
+    throw std::runtime_error("gate campaign: meta is not a gate campaign");
+  faults_ = gate::sampled_fault_list(replayer_.netlist(),
+                                     static_cast<gate::UnitKind>(meta.target),
+                                     meta.param0, meta.seed);
+  if (faults_.size() != meta.total)
+    throw std::runtime_error(
+        "gate campaign: store fault-id space does not match the netlist "
+        "(store built against different code?)");
+  full_fault_list_size_ = gate::full_fault_list(replayer_.netlist()).size();
+  goldens_.reserve(traces.size());
+  for (const gate::UnitTraces& t : traces)
+    goldens_.push_back(replayer_.compute_golden(t));
+}
+
+void GateUnitRunner::run(std::span<const std::uint64_t> ids, const Emit& emit,
+                         ThreadPool* pool,
+                         const std::function<bool()>& stop) const {
+  if (engine_ == EngineKind::Batch) {
+    constexpr std::size_t kB = gate::BatchFaultSim::kLanes;
+    const std::size_t batches = (ids.size() + kB - 1) / kB;
+    const auto work = [&](std::size_t b) {
+      if (stop && stop()) return;
+      const std::size_t lo = b * kB;
+      const std::size_t len = std::min(kB, ids.size() - lo);
+      // The ids are not contiguous after a resume / lease reassignment, so
+      // stage the batch through dense arrays (per-fault results are
+      // independent of batch composition — asserted by test_batchsim).
+      std::vector<gate::StuckFault> bf(len);
+      std::vector<gate::FaultCharacterization> bo(len);
+      for (std::size_t j = 0; j < len; ++j) {
+        bf[j] = faults_.at(ids[lo + j]);
+        bo[j].fault = bf[j];
+      }
+      for (std::size_t ti = 0; ti < traces_.size(); ++ti)
+        replayer_.run_fault_batch(bf, traces_[ti], goldens_[ti], bo);
+      for (std::size_t j = 0; j < len; ++j) emit(ids[lo + j], bo[j]);
+    };
+    if (pool)
+      pool->parallel_for(batches, work);
+    else
+      for (std::size_t b = 0; b < batches; ++b) work(b);
+    return;
+  }
+
+  const auto work = [&](std::size_t i) {
+    if (stop && stop()) return;
+    gate::FaultCharacterization fc;
+    fc.fault = faults_.at(ids[i]);
+    for (std::size_t ti = 0; ti < traces_.size(); ++ti)
+      replayer_.run_fault(fc.fault, traces_[ti], goldens_[ti], fc, engine_);
+    emit(ids[i], fc);
+  };
+  if (pool)
+    pool->parallel_for(ids.size(), work);
+  else
+    for (std::size_t i = 0; i < ids.size(); ++i) work(i);
+}
+
 gate::UnitCampaignResult run_unit_campaign_store(
     const std::vector<gate::UnitTraces>& traces, store::CampaignCheckpoint& ckpt,
     ThreadPool* pool) {
   const store::CampaignMeta& meta = ckpt.meta();
   if (meta.kind != store::CampaignKind::Gate)
     throw std::runtime_error("gate campaign: store is not a gate store");
-  const auto unit = static_cast<gate::UnitKind>(meta.target);
-  const auto engine = static_cast<EngineKind>(meta.engine);
-
-  gate::UnitReplayer replayer(unit);
-  const std::vector<gate::StuckFault> faults = gate::sampled_fault_list(
-      replayer.netlist(), unit, meta.param0, meta.seed);
-  if (faults.size() != meta.total)
-    throw std::runtime_error(
-        "gate campaign: store fault-id space does not match the netlist "
-        "(store built against different code?)");
+  const GateUnitRunner runner(traces, meta);
 
   // This shard's slice of the fault-id space, in id order.
   std::vector<std::uint64_t> owned;
-  for (std::uint64_t id = 0; id < faults.size(); ++id)
+  for (std::uint64_t id = 0; id < meta.total; ++id)
     if (meta.owns(id)) owned.push_back(id);
 
   gate::UnitCampaignResult result;
-  result.unit = unit;
-  result.full_fault_list_size = gate::full_fault_list(replayer.netlist()).size();
+  result.unit = static_cast<gate::UnitKind>(meta.target);
+  result.full_fault_list_size = runner.full_fault_list_size();
   result.faults.resize(owned.size());
   for (std::size_t k = 0; k < owned.size(); ++k)
-    result.faults[k].fault = faults[owned[k]];
+    result.faults[k].fault = runner.faults()[owned[k]];
 
   // Restore already-retired faults; collect the rest as pending work.
-  std::vector<std::size_t> pending;  // indexes into `owned`
+  std::vector<std::uint64_t> pending;
   for (std::size_t k = 0; k < owned.size(); ++k) {
     const auto it = ckpt.done().find(owned[k]);
     if (it == ckpt.done().end()) {
-      pending.push_back(k);
+      pending.push_back(owned[k]);
       continue;
     }
     const store::GateRecord rec = store::decode_gate(it->second);
@@ -128,60 +180,22 @@ gate::UnitCampaignResult run_unit_campaign_store(
       throw std::runtime_error(
           "gate campaign: stored fault id " + std::to_string(owned[k]) +
           " names a different net — store/campaign mismatch");
-    from_record(rec, result.faults[k]);
+    apply_gate_record(rec, result.faults[k]);
   }
   if (pending.empty()) return result;
 
-  std::vector<gate::UnitReplayer::GoldenTrace> goldens;
-  goldens.reserve(traces.size());
-  for (const gate::UnitTraces& t : traces) goldens.push_back(replayer.compute_golden(t));
-
-  const auto retire = [&](std::size_t k) {
-    ckpt.record(owned[k], store::encode(to_record(result.faults[k])));
+  // owned[] is sorted, so a retiring id maps back to its slot by bisection.
+  const auto slot_of = [&](std::uint64_t id) {
+    return static_cast<std::size_t>(
+        std::lower_bound(owned.begin(), owned.end(), id) - owned.begin());
   };
-
-  if (engine == EngineKind::Batch) {
-    constexpr std::size_t kB = gate::BatchFaultSim::kLanes;
-    const std::size_t batches = (pending.size() + kB - 1) / kB;
-    const auto work = [&](std::size_t b) {
-      if (ckpt.should_stop()) return;
-      const std::size_t lo = b * kB;
-      const std::size_t len = std::min(kB, pending.size() - lo);
-      // The pending ids are not contiguous after a resume, so stage the
-      // batch through dense arrays (per-fault results are independent of
-      // batch composition — asserted by test_batchsim).
-      std::vector<gate::StuckFault> bf(len);
-      std::vector<gate::FaultCharacterization> bo(len);
-      for (std::size_t j = 0; j < len; ++j) {
-        bf[j] = result.faults[pending[lo + j]].fault;
-        bo[j].fault = bf[j];
-      }
-      for (std::size_t ti = 0; ti < traces.size(); ++ti)
-        replayer.run_fault_batch(bf, traces[ti], goldens[ti], bo);
-      for (std::size_t j = 0; j < len; ++j) {
-        result.faults[pending[lo + j]] = bo[j];
-        retire(pending[lo + j]);
-      }
-    };
-    if (pool)
-      pool->parallel_for(batches, work);
-    else
-      for (std::size_t b = 0; b < batches; ++b) work(b);
-    return result;
-  }
-
-  const auto work = [&](std::size_t i) {
-    if (ckpt.should_stop()) return;
-    const std::size_t k = pending[i];
-    gate::FaultCharacterization& fc = result.faults[k];
-    for (std::size_t ti = 0; ti < traces.size(); ++ti)
-      replayer.run_fault(fc.fault, traces[ti], goldens[ti], fc, engine);
-    retire(k);
-  };
-  if (pool)
-    pool->parallel_for(pending.size(), work);
-  else
-    for (std::size_t i = 0; i < pending.size(); ++i) work(i);
+  runner.run(
+      pending,
+      [&](std::uint64_t id, const gate::FaultCharacterization& fc) {
+        result.faults[slot_of(id)] = fc;
+        ckpt.record(id, store::encode(to_gate_record(fc)));
+      },
+      pool, [&] { return ckpt.should_stop(); });
   return result;
 }
 

@@ -5,12 +5,15 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "common/env.hpp"
 #include "gate/replay.hpp"
 #include "gate/trace.hpp"
 #include "store/checkpoint.hpp"
+#include "store/records.hpp"
 
 namespace gpf::report {
 
@@ -50,5 +53,46 @@ store::CampaignMeta gate_campaign_meta(gate::UnitKind unit,
 gate::UnitCampaignResult run_unit_campaign_store(
     const std::vector<gate::UnitTraces>& traces, store::CampaignCheckpoint& ckpt,
     ThreadPool* pool = nullptr);
+
+/// Conversions between the gate library's per-fault result and the stored
+/// record (shared by the checkpointed driver and the fleet worker).
+store::GateRecord to_gate_record(const gate::FaultCharacterization& fc);
+void apply_gate_record(const store::GateRecord& r,
+                       gate::FaultCharacterization& fc);
+
+/// Work-unit adapter for lease-based dispatch: resolves a gate campaign's
+/// fault-id space once (netlist, sampled fault list, golden traces), then
+/// evaluates arbitrary id subsets on demand. Because fault id -> StuckFault
+/// is a pure function of the campaign meta, any process evaluating id i
+/// produces the identical record — the fleet's byte-identical-export
+/// invariant.
+class GateUnitRunner {
+ public:
+  using Emit =
+      std::function<void(std::uint64_t, const gate::FaultCharacterization&)>;
+
+  GateUnitRunner(const std::vector<gate::UnitTraces>& traces,
+                 const store::CampaignMeta& meta);
+
+  const std::vector<gate::StuckFault>& faults() const { return faults_; }
+  std::size_t full_fault_list_size() const { return full_fault_list_size_; }
+
+  /// Evaluates `ids` (campaign fault ids, each < meta.total), invoking
+  /// emit(id, result) as each fault retires. With a pool, 64-fault batches
+  /// (batch engine) or single faults are spread across it and emit must be
+  /// thread-safe. `stop`, when set, is polled between batches for
+  /// cooperative cancellation (already-started batches still emit).
+  void run(std::span<const std::uint64_t> ids, const Emit& emit,
+           ThreadPool* pool = nullptr,
+           const std::function<bool()>& stop = {}) const;
+
+ private:
+  const std::vector<gate::UnitTraces>& traces_;
+  EngineKind engine_;
+  gate::UnitReplayer replayer_;
+  std::vector<gate::StuckFault> faults_;
+  std::vector<gate::UnitReplayer::GoldenTrace> goldens_;
+  std::size_t full_fault_list_size_ = 0;
+};
 
 }  // namespace gpf::report

@@ -367,50 +367,79 @@ store::CampaignMeta tmxm_campaign_meta(workloads::TileType type, Site site,
   return meta;
 }
 
+store::RtlRecord to_rtl_record(const InjectionResult& r) {
+  store::RtlRecord rec;
+  rec.outcome = static_cast<store::RtlOutcome>(r.outcome);
+  rec.corrupted = r.corrupted;
+  rec.per_warp_corrupted = r.per_warp_corrupted;
+  rec.rel_errors = r.rel_errors;
+  rec.corrupted_idx = r.corrupted_idx;
+  return rec;
+}
+
+InjectionResult from_rtl_record(const store::RtlRecord& rec) {
+  InjectionResult r;
+  r.outcome = static_cast<Outcome>(rec.outcome);
+  r.corrupted = rec.corrupted;
+  r.per_warp_corrupted = rec.per_warp_corrupted;
+  r.rel_errors = rec.rel_errors;
+  r.corrupted_idx = rec.corrupted_idx;
+  return r;
+}
+
+TmxmUnitRunner::TmxmUnitRunner(const store::CampaignMeta& meta)
+    : meta_(meta),
+      base_(meta.seed ^
+            (static_cast<std::uint64_t>(
+                 static_cast<workloads::TileType>(meta.target))
+             << 8) ^
+            (static_cast<std::uint64_t>(static_cast<Site>(meta.param0))
+             << 16)) {
+  if (meta.kind != store::CampaignKind::Rtl)
+    throw std::runtime_error("tmxm campaign: meta is not an rtl campaign");
+}
+
+Injector& TmxmUnitRunner::injector_for(std::uint64_t draw) {
+  // Injections keep the legacy 4-value-draw split: id i belongs to draw
+  // i % 4, each draw with its own input tile. Injectors are built lazily so
+  // a short work unit pays one golden run, not four.
+  if (!injectors_[draw])
+    injectors_[draw] = std::make_unique<Injector>(target_from_tmxm(
+        static_cast<workloads::TileType>(meta_.target),
+        meta_.seed * 16 + draw));
+  return *injectors_[draw];
+}
+
+void TmxmUnitRunner::run(std::span<const std::uint64_t> ids, const Emit& emit,
+                         const std::function<bool()>& stop) {
+  const auto site = static_cast<Site>(meta_.param0);
+  for (const std::uint64_t i : ids) {
+    if (stop && stop()) return;
+    Rng rng = base_.fork(i);
+    emit(i, injector_for(i % 4).inject(random_fault(site, true, rng)));
+  }
+}
+
 AvfSummary run_tmxm_campaign_store(store::CampaignCheckpoint& ckpt,
                                    std::vector<InjectionResult>* details) {
   const store::CampaignMeta& meta = ckpt.meta();
   if (meta.kind != store::CampaignKind::Rtl)
     throw std::runtime_error("tmxm campaign: store is not an rtl store");
-  const auto type = static_cast<workloads::TileType>(meta.target);
-  const auto site = static_cast<Site>(meta.param0);
-  const std::uint64_t n = meta.total;
+  TmxmUnitRunner runner(meta);
 
-  Rng base(meta.seed ^ (static_cast<std::uint64_t>(type) << 8) ^
-           (static_cast<std::uint64_t>(site) << 16));
-  // Injections keep the legacy 4-value-draw split: id i belongs to draw
-  // i % 4, each draw with its own input tile. Injectors are built lazily so
-  // a resume with one pending draw pays one golden run, not four.
-  std::array<std::unique_ptr<Injector>, 4> injectors;
-  const auto injector_for = [&](std::uint64_t draw) -> Injector& {
-    if (!injectors[draw])
-      injectors[draw] = std::make_unique<Injector>(
-          target_from_tmxm(type, meta.seed * 16 + draw));
-    return *injectors[draw];
-  };
-
+  // Retired and fresh results interleave in id order: evaluate pending ids
+  // one at a time so the summary (and optional details) stay ordered.
   AvfSummary summary;
-  for (std::uint64_t i = 0; i < n; ++i) {
+  for (std::uint64_t i = 0; i < meta.total; ++i) {
     if (!meta.owns(i)) continue;
     InjectionResult r;
     if (const auto it = ckpt.done().find(i); it != ckpt.done().end()) {
-      const store::RtlRecord rec = store::decode_rtl(it->second);
-      r.outcome = static_cast<Outcome>(rec.outcome);
-      r.corrupted = rec.corrupted;
-      r.per_warp_corrupted = rec.per_warp_corrupted;
-      r.rel_errors = rec.rel_errors;
-      r.corrupted_idx = rec.corrupted_idx;
+      r = from_rtl_record(store::decode_rtl(it->second));
     } else {
       if (ckpt.should_stop()) break;
-      Rng rng = base.fork(i);
-      r = injector_for(i % 4).inject(random_fault(site, true, rng));
-      store::RtlRecord rec;
-      rec.outcome = static_cast<store::RtlOutcome>(r.outcome);
-      rec.corrupted = r.corrupted;
-      rec.per_warp_corrupted = r.per_warp_corrupted;
-      rec.rel_errors = r.rel_errors;
-      rec.corrupted_idx = r.corrupted_idx;
-      ckpt.record(i, store::encode(rec));
+      const std::uint64_t id[] = {i};
+      runner.run(id, [&](std::uint64_t, const InjectionResult& res) { r = res; });
+      ckpt.record(i, store::encode(to_rtl_record(r)));
     }
     summary.add(r);
     if (details) details->push_back(std::move(r));

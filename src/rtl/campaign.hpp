@@ -5,8 +5,11 @@
 // the relative-error syndrome of every corrupted output element.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -14,6 +17,7 @@
 #include "rtl/faults.hpp"
 #include "rtl/microbench.hpp"
 #include "store/checkpoint.hpp"
+#include "store/records.hpp"
 #include "workloads/tmxm.hpp"
 
 namespace gpf::rtl {
@@ -116,5 +120,35 @@ store::CampaignMeta tmxm_campaign_meta(workloads::TileType type, Site site,
 /// they retire. The summary covers this shard's retired injections.
 AvfSummary run_tmxm_campaign_store(store::CampaignCheckpoint& ckpt,
                                    std::vector<InjectionResult>* details = nullptr);
+
+/// Conversions between the native injection result and the stored record
+/// (shared by the checkpointed driver and the fleet worker).
+store::RtlRecord to_rtl_record(const InjectionResult& r);
+InjectionResult from_rtl_record(const store::RtlRecord& rec);
+
+/// Work-unit adapter for lease-based dispatch: evaluates arbitrary
+/// injection ids of one t-MxM campaign. Injection i's fault comes from an
+/// RNG stream forked on i and its input tile from draw i % 4, so any
+/// process evaluating id i produces the identical record. Injectors (one
+/// golden run each) are built lazily per draw and reused across run()
+/// calls, so a worker pays at most 4 golden runs per campaign.
+class TmxmUnitRunner {
+ public:
+  using Emit = std::function<void(std::uint64_t, const InjectionResult&)>;
+
+  explicit TmxmUnitRunner(const store::CampaignMeta& meta);
+
+  /// Evaluates `ids` in order; emit(id, result) per retired injection.
+  /// `stop`, when set, is polled before each injection.
+  void run(std::span<const std::uint64_t> ids, const Emit& emit,
+           const std::function<bool()>& stop = {});
+
+ private:
+  Injector& injector_for(std::uint64_t draw);
+
+  store::CampaignMeta meta_;
+  Rng base_;
+  std::array<std::unique_ptr<Injector>, 4> injectors_;
+};
 
 }  // namespace gpf::rtl

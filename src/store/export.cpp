@@ -283,15 +283,23 @@ void export_store(const LoadedStore& s, ExportFormat format, std::ostream& os) {
   throw std::runtime_error("export: unknown campaign kind");
 }
 
+namespace {
+
+/// Ids in [0, total) belonging to this shard's slice.
+std::uint64_t owned_ids(const CampaignMeta& m) {
+  return m.total / m.shard_count +
+         (m.total % m.shard_count > m.shard_index ? 1 : 0);
+}
+
+}  // namespace
+
 void print_status(const LoadedStore& s, std::ostream& os) {
   const CampaignMeta& m = s.meta;
   os << "campaign: " << campaign_kind_name(m.kind) << " " << target_name(m)
      << "\n";
   os << "seed:     " << m.seed << "\n";
   os << "shard:    " << m.shard_index << " of " << m.shard_count << "\n";
-  const std::uint64_t owned =
-      m.total / m.shard_count +
-      (m.total % m.shard_count > m.shard_index ? 1 : 0);
+  const std::uint64_t owned = owned_ids(m);
   os << "progress: " << s.records.size() << " / " << owned
      << " owned ids retired (id space " << m.total << ")\n";
   if (s.torn_bytes_dropped)
@@ -323,6 +331,55 @@ void print_status(const LoadedStore& s, std::ostream& os) {
          << " sdc=" << sum.by_outcome[1] << " due=" << sum.due() << "\n";
       break;
     }
+  }
+}
+
+void print_aggregate_status(
+    const std::vector<std::pair<std::string, LoadedStore>>& stores,
+    std::ostream& os) {
+  // Group store indices into campaigns (same_campaign = everything but the
+  // shard slice matches).
+  std::vector<std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < stores.size(); ++i) {
+    bool placed = false;
+    for (auto& g : groups) {
+      if (stores[g.front()].second.meta.same_campaign(stores[i].second.meta)) {
+        g.push_back(i);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) groups.push_back({i});
+  }
+
+  os << "== aggregate: " << stores.size() << " store(s), " << groups.size()
+     << " campaign(s)\n";
+  for (const auto& g : groups) {
+    const CampaignMeta& m0 = stores[g.front()].second.meta;
+    os << "campaign " << campaign_kind_name(m0.kind) << " " << target_name(m0)
+       << " seed=" << m0.seed << " (id space " << m0.total << ")\n";
+    std::uint64_t retired = 0;
+    std::uint64_t owned_present = 0;
+    for (const std::size_t i : g) {
+      const CampaignMeta& m = stores[i].second.meta;
+      const std::uint64_t owned = owned_ids(m);
+      const std::uint64_t done = stores[i].second.records.size();
+      retired += done;
+      owned_present += owned;
+      os << "  shard " << m.shard_index << "/" << m.shard_count << " "
+         << stores[i].first << ": " << done << "/" << owned
+         << (done == owned ? " (complete)" : "") << "\n";
+    }
+    const std::uint64_t missing = m0.total - owned_present;
+    if (missing)
+      os << "  (" << missing << " ids belong to shards not present here)\n";
+    os << "  total: " << retired << "/" << m0.total << " retired, "
+       << (m0.total - retired) << " remaining ("
+       << fmt("%.1f%%",
+              m0.total ? 100.0 * static_cast<double>(retired) /
+                             static_cast<double>(m0.total)
+                       : 100.0)
+       << ")\n";
   }
 }
 

@@ -6,6 +6,8 @@
 
 #include <ostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "store/result_log.hpp"
 
@@ -17,5 +19,14 @@ void export_store(const LoadedStore& s, ExportFormat format, std::ostream& os);
 
 /// Human-readable one-store status block (meta, progress, summary counts).
 void print_status(const LoadedStore& s, std::ostream& os);
+
+/// Fleet/shard overview for `gpfctl status` over a whole store directory:
+/// stores are grouped into campaigns by same_campaign(), each group lists
+/// per-shard progress (retired / owned ids), and campaign totals report
+/// retired vs remaining across all present shards. Stores whose shard is
+/// missing from the directory count as 0 retired in the campaign total.
+void print_aggregate_status(
+    const std::vector<std::pair<std::string, LoadedStore>>& stores,
+    std::ostream& os);
 
 }  // namespace gpf::store

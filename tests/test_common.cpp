@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <sstream>
+#include <stdexcept>
+#include <vector>
 
 #include "common/bitops.hpp"
 #include "common/env.hpp"
@@ -121,9 +123,75 @@ TEST(ThreadPool, EmptyRangeIsNoop) {
   pool.parallel_for(0, [](std::size_t) { FAIL(); });
 }
 
+TEST(ThreadPool, DestructorRunsQueuedWork) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i)
+      pool.submit([&] { count.fetch_add(1); });
+    // No wait_idle(): destruction must still drain the queue.
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ThrowingTaskRethrownFromWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> survivors{0};
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  for (int i = 0; i < 20; ++i) pool.submit([&] { survivors.fetch_add(1); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The throwing task killed neither its worker nor the queued tasks.
+  EXPECT_EQ(survivors.load(), 20);
+  // The pool stays usable and the error is not re-reported.
+  pool.submit([&] { survivors.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(survivors.load(), 21);
+}
+
+TEST(ThreadPool, ThrowingTaskSwallowedByDestructor) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("unobserved"); });
+  // Destruction without wait_idle() must not terminate.
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 57)
+                                     throw std::runtime_error("iteration 57");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroWorkersFallsBackToAtLeastOne) {
+  ThreadPool pool(0);  // GPF_THREADS / hardware_concurrency fallback
+  EXPECT_GE(pool.size(), 1u);
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<std::size_t> order;
+  pool.parallel_for(8, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);  // inline = in order
+}
+
 TEST(Env, ScaledClampsToMinimum) {
   EXPECT_GE(scaled(1000, 8), 8u);
   EXPECT_EQ(scaled(4, 8), 4u);  // min capped at n itself
+}
+
+TEST(Env, ThreadsOverrideTakesPrecedence) {
+  set_campaign_threads_override(3);
+  EXPECT_EQ(campaign_threads(), 3u);
+  ThreadPool pool;  // default-constructed pool picks up the override
+  EXPECT_EQ(pool.size(), 3u);
+  set_campaign_threads_override(0);  // clear: back to the environment
 }
 
 }  // namespace

@@ -1,0 +1,424 @@
+// Tests for the distributed campaign service (src/net): frame/codec
+// round-trips, CRC rejection, the lease state machine (expiry ->
+// reassignment, retire-driven completion), and an in-process
+// coordinator/fleet e2e run whose store must match a single-process run
+// byte for byte.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/coordinator.hpp"
+#include "net/dispatch.hpp"
+#include "net/framing.hpp"
+#include "net/protocol.hpp"
+#include "net/service.hpp"
+#include "net/worker.hpp"
+#include "perfi/campaign.hpp"
+#include "store/bytes.hpp"
+#include "store/checkpoint.hpp"
+#include "store/export.hpp"
+#include "store/result_log.hpp"
+#include "workloads/workload.hpp"
+
+namespace gpf::net {
+namespace {
+
+std::string temp_store_path(const char* tag) {
+  static std::atomic<int> counter{0};
+  return testing::TempDir() + "gpf_net_" + tag + "_" +
+         std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".gpfs";
+}
+
+store::CampaignMeta perfi_meta(std::uint64_t total, std::uint64_t seed) {
+  const workloads::Workload* w = workloads::find("vectoradd");
+  EXPECT_NE(w, nullptr);
+  return perfi::epr_campaign_meta(*w, errmodel::ErrorModel::IOC, total, seed);
+}
+
+// --- framing ---------------------------------------------------------------
+
+TEST(NetFraming, RoundTripOverSocketPair) {
+  auto [a, b] = socket_pair();
+  Frame out;
+  out.type = 0x1234;
+  out.payload = {0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x7F};
+  send_frame(a, out);
+
+  Frame in;
+  ASSERT_EQ(recv_frame(b, in), RecvStatus::Ok);
+  EXPECT_EQ(in.type, out.type);
+  EXPECT_EQ(in.payload, out.payload);
+}
+
+TEST(NetFraming, EmptyPayloadAndEof) {
+  auto [a, b] = socket_pair();
+  send_frame(a, Frame{7, {}});
+  Frame in;
+  ASSERT_EQ(recv_frame(b, in), RecvStatus::Ok);
+  EXPECT_EQ(in.type, 7);
+  EXPECT_TRUE(in.payload.empty());
+
+  a.close();
+  EXPECT_EQ(recv_frame(b, in), RecvStatus::Eof);
+}
+
+TEST(NetFraming, TimeoutBetweenFrames) {
+  auto [a, b] = socket_pair();
+  set_recv_timeout(b, 50);
+  Frame in;
+  EXPECT_EQ(recv_frame(b, in), RecvStatus::Timeout);
+  // The stream is still usable after an idle timeout.
+  send_frame(a, Frame{1, {0x42}});
+  ASSERT_EQ(recv_frame(b, in), RecvStatus::Ok);
+  EXPECT_EQ(in.payload, std::vector<std::uint8_t>{0x42});
+}
+
+TEST(NetFraming, CorruptedFrameRejected) {
+  auto [a, b] = socket_pair();
+  // Hand-build a frame and flip one payload bit after the CRC was computed.
+  Frame f{9, {1, 2, 3, 4}};
+  std::vector<std::uint8_t> wire;
+  {
+    // Reproduce send_frame's layout: len | type | payload | crc.
+    store::ByteWriter w(wire);
+    w.u32(2 + 4);
+    const std::size_t body = wire.size();
+    w.u8(9);
+    w.u8(0);
+    wire.insert(wire.end(), f.payload.begin(), f.payload.end());
+    w.u32(store::crc32(std::span(wire).subspan(body)));
+  }
+  wire[6] ^= 0x01;  // corrupt a payload byte, CRC now stale
+  ASSERT_EQ(::send(a.fd(), wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+  Frame in;
+  EXPECT_THROW(recv_frame(b, in), std::runtime_error);
+}
+
+TEST(NetFraming, OversizedLengthRejected) {
+  auto [a, b] = socket_pair();
+  std::vector<std::uint8_t> wire;
+  store::ByteWriter w(wire);
+  w.u32(kMaxFrameBytes + 1);
+  ASSERT_EQ(::send(a.fd(), wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+  Frame in;
+  EXPECT_THROW(recv_frame(b, in), std::runtime_error);
+}
+
+TEST(NetFraming, ParseAddr) {
+  const auto [host, port] = parse_addr("10.1.2.3:9777");
+  EXPECT_EQ(host, "10.1.2.3");
+  EXPECT_EQ(port, 9777);
+  EXPECT_THROW(parse_addr("nohost"), std::runtime_error);
+  EXPECT_THROW(parse_addr("h:"), std::runtime_error);
+  EXPECT_THROW(parse_addr("h:99999"), std::runtime_error);
+}
+
+// --- protocol codecs -------------------------------------------------------
+
+TEST(NetProtocol, HelloRoundTrip) {
+  Hello m;
+  m.worker_name = "worker-42";
+  const Hello d = decode_hello(encode(m));
+  EXPECT_EQ(d.version, kProtocolVersion);
+  EXPECT_EQ(d.worker_name, "worker-42");
+}
+
+TEST(NetProtocol, HelloAckCarriesCampaignMeta) {
+  HelloAck m;
+  m.meta = perfi_meta(1234, 99);
+  m.meta.shard_index = 1;
+  m.meta.shard_count = 3;
+  m.lease_ms = 2500;
+  const HelloAck d = decode_hello_ack(encode(m));
+  EXPECT_TRUE(d.meta == m.meta);
+  EXPECT_EQ(d.lease_ms, 2500u);
+}
+
+TEST(NetProtocol, LeaseGrantResultRoundTrip) {
+  LeaseGrant g;
+  g.unit_id = 17;
+  g.ids = {3, 5, 8, 13, 21};
+  const LeaseGrant dg = decode_lease_grant(encode(g));
+  EXPECT_EQ(dg.unit_id, 17u);
+  EXPECT_EQ(dg.ids, g.ids);
+
+  ResultMsg r;
+  r.unit_id = 17;
+  r.records.push_back({3, {0x01}});
+  r.records.push_back({5, {0x02, 0x03}});
+  r.records.push_back({8, {}});
+  const ResultMsg dr = decode_result(encode(r));
+  EXPECT_EQ(dr.unit_id, 17u);
+  ASSERT_EQ(dr.records.size(), 3u);
+  EXPECT_EQ(dr.records[1].id, 5u);
+  EXPECT_EQ(dr.records[1].payload, (std::vector<std::uint8_t>{0x02, 0x03}));
+  EXPECT_TRUE(dr.records[2].payload.empty());
+}
+
+TEST(NetProtocol, SmallMessagesRoundTrip) {
+  EXPECT_FALSE(decode_no_work(encode(NoWork{false})).drained);
+  EXPECT_TRUE(decode_no_work(encode(NoWork{true})).drained);
+  EXPECT_EQ(decode_heartbeat(encode(Heartbeat{7})).unit_id, 7u);
+  EXPECT_EQ(decode_unit_done(encode(UnitDone{9})).unit_id, 9u);
+  const Ack a = decode_ack(encode(Ack{true, false}));
+  EXPECT_TRUE(a.drain);
+  EXPECT_FALSE(a.lost_lease);
+  EXPECT_EQ(static_cast<MsgType>(encode_lease_request().type),
+            MsgType::LeaseRequest);
+}
+
+TEST(NetProtocol, TypeMismatchRejected) {
+  EXPECT_THROW(decode_ack(encode(Heartbeat{1})), std::runtime_error);
+  EXPECT_THROW(decode_lease_grant(encode(NoWork{})), std::runtime_error);
+}
+
+// --- lease dispatcher ------------------------------------------------------
+
+using Clock = LeaseDispatcher::Clock;
+constexpr auto kLease = std::chrono::milliseconds(100);
+
+TEST(NetDispatch, PartitionsPendingIds) {
+  store::CampaignMeta meta = perfi_meta(10, 1);
+  LeaseDispatcher d(meta, 4, /*already_retired=*/{2, 3});
+  EXPECT_EQ(d.id_count(), 8u);  // 10 ids minus 2 already retired
+  EXPECT_EQ(d.pending_units(), 2u);
+
+  const auto now = Clock::now();
+  auto g1 = d.lease(1, now, kLease);
+  ASSERT_TRUE(g1);
+  EXPECT_EQ(g1->ids, (std::vector<std::uint64_t>{0, 1, 4, 5}));
+  auto g2 = d.lease(1, now, kLease);
+  ASSERT_TRUE(g2);
+  EXPECT_EQ(g2->ids, (std::vector<std::uint64_t>{6, 7, 8, 9}));
+  EXPECT_FALSE(d.lease(1, now, kLease));  // nothing left to grant
+}
+
+TEST(NetDispatch, ShardSliceOnly) {
+  store::CampaignMeta meta = perfi_meta(10, 1);
+  meta.shard_index = 1;
+  meta.shard_count = 3;  // owns 1, 4, 7
+  LeaseDispatcher d(meta, 64, {});
+  EXPECT_EQ(d.id_count(), 3u);
+  auto g = d.lease(1, Clock::now(), kLease);
+  ASSERT_TRUE(g);
+  EXPECT_EQ(g->ids, (std::vector<std::uint64_t>{1, 4, 7}));
+}
+
+TEST(NetDispatch, ExpiredLeaseIsReassignedWithOutstandingIdsOnly) {
+  LeaseDispatcher d(perfi_meta(4, 1), 4, {});
+  const auto t0 = Clock::now();
+  auto g = d.lease(/*session=*/1, t0, kLease);
+  ASSERT_TRUE(g);
+
+  // Session 1 retires half the unit, then dies (no renewal).
+  EXPECT_TRUE(d.mark_retired(0));
+  EXPECT_TRUE(d.mark_retired(1));
+  EXPECT_EQ(d.expire_stale(t0 + kLease / 2), 0u);  // not yet
+  EXPECT_EQ(d.expire_stale(t0 + kLease * 2), 1u);
+
+  // The unit is pending again, holding only the unretired ids.
+  auto g2 = d.lease(/*session=*/2, t0 + kLease * 2, kLease);
+  ASSERT_TRUE(g2);
+  EXPECT_EQ(g2->unit_id, g->unit_id);
+  EXPECT_EQ(g2->ids, (std::vector<std::uint64_t>{2, 3}));
+
+  // Session 1 no longer holds the lease; session 2 does.
+  EXPECT_FALSE(d.renew(g->unit_id, 1, t0 + kLease * 2, kLease));
+  EXPECT_TRUE(d.renew(g->unit_id, 2, t0 + kLease * 2, kLease));
+}
+
+TEST(NetDispatch, RenewalPreventsExpiry) {
+  LeaseDispatcher d(perfi_meta(4, 1), 4, {});
+  const auto t0 = Clock::now();
+  auto g = d.lease(1, t0, kLease);
+  ASSERT_TRUE(g);
+  EXPECT_TRUE(d.renew(g->unit_id, 1, t0 + kLease / 2, kLease));
+  EXPECT_EQ(d.expire_stale(t0 + kLease), 0u);  // deadline moved
+  EXPECT_EQ(d.expire_stale(t0 + kLease / 2 + kLease), 1u);
+}
+
+TEST(NetDispatch, UnitCompletesWhenLastIdRetires) {
+  LeaseDispatcher d(perfi_meta(3, 1), 4, {});
+  auto g = d.lease(1, Clock::now(), kLease);
+  ASSERT_TRUE(g);
+  EXPECT_FALSE(d.all_done());
+  EXPECT_TRUE(d.mark_retired(0));
+  EXPECT_TRUE(d.mark_retired(1));
+  EXPECT_TRUE(d.mark_retired(2));
+  EXPECT_TRUE(d.all_done());
+  // Duplicate results (reassignment overlap) are rejected.
+  EXPECT_FALSE(d.mark_retired(1));
+  // The worker's post-completion messages still ack cleanly.
+  EXPECT_TRUE(d.renew(g->unit_id, 1, Clock::now(), kLease));
+}
+
+TEST(NetDispatch, ReleaseSessionRequeuesItsUnits) {
+  LeaseDispatcher d(perfi_meta(8, 1), 4, {});
+  const auto now = Clock::now();
+  ASSERT_TRUE(d.lease(1, now, kLease));
+  ASSERT_TRUE(d.lease(1, now, kLease));
+  EXPECT_EQ(d.leased_units(), 2u);
+  d.release_session(1);
+  EXPECT_EQ(d.leased_units(), 0u);
+  EXPECT_EQ(d.pending_units(), 2u);
+}
+
+// --- end-to-end ------------------------------------------------------------
+
+/// Runs a coordinator over a checkpoint plus `n_workers` in-process workers;
+/// returns when the campaign completes.
+void run_fleet(store::CampaignCheckpoint& ckpt, int n_workers,
+               std::uint32_t lease_ms, std::size_t unit_size) {
+  CoordinatorConfig ccfg;
+  ccfg.port = 0;  // ephemeral
+  ccfg.lease_ms = lease_ms;
+  ccfg.unit_size = unit_size;
+  Coordinator coord(ckpt, ccfg);
+
+  std::thread serve([&] { coord.serve(); });
+  std::vector<std::thread> workers;
+  std::vector<WorkerStats> stats(static_cast<std::size_t>(n_workers));
+  for (int i = 0; i < n_workers; ++i) {
+    workers.emplace_back([&, i] {
+      WorkerConfig wcfg;
+      wcfg.port = coord.port();
+      wcfg.name = "w" + std::to_string(i);
+      wcfg.backoff_ms = 20;
+      stats[static_cast<std::size_t>(i)] = run_worker(wcfg, make_unit_fn);
+    });
+  }
+  for (auto& w : workers) w.join();
+  serve.join();
+  for (const WorkerStats& s : stats) {
+    EXPECT_TRUE(s.drained);
+    EXPECT_FALSE(s.gave_up);
+  }
+}
+
+std::string export_json(const std::string& path) {
+  std::ostringstream os;
+  store::export_store(store::load_store(path), store::ExportFormat::Json, os);
+  return os.str();
+}
+
+TEST(NetE2E, FleetExportMatchesSingleProcessByteForByte) {
+  const store::CampaignMeta meta = perfi_meta(40, 2026);
+  const workloads::Workload* w = workloads::find("vectoradd");
+  ASSERT_NE(w, nullptr);
+
+  // Reference: single-process checkpointed run.
+  const std::string solo_path = temp_store_path("solo");
+  {
+    store::CampaignCheckpoint ckpt(solo_path, meta);
+    perfi::run_epr_cell_store(*w, ckpt);
+  }
+
+  // Fleet: coordinator + two workers over real TCP (loopback).
+  const std::string fleet_path = temp_store_path("fleet");
+  {
+    store::CampaignCheckpoint ckpt(fleet_path, meta);
+    run_fleet(ckpt, /*n_workers=*/2, /*lease_ms=*/5000, /*unit_size=*/4);
+  }
+
+  const store::LoadedStore fleet = store::load_store(fleet_path);
+  EXPECT_EQ(fleet.records.size(), 40u);
+  EXPECT_EQ(fleet.duplicate_records, 0u);
+  EXPECT_EQ(export_json(solo_path), export_json(fleet_path));
+
+  std::remove(solo_path.c_str());
+  std::remove(fleet_path.c_str());
+}
+
+TEST(NetE2E, FleetResumesPartialStore) {
+  const store::CampaignMeta meta = perfi_meta(30, 7);
+  const workloads::Workload* w = workloads::find("vectoradd");
+  ASSERT_NE(w, nullptr);
+
+  const std::string solo_path = temp_store_path("solo_r");
+  {
+    store::CampaignCheckpoint ckpt(solo_path, meta);
+    perfi::run_epr_cell_store(*w, ckpt);
+  }
+
+  // Fleet store starts with a partial single-process run (pause at 10).
+  const std::string fleet_path = temp_store_path("fleet_r");
+  {
+    store::CampaignCheckpoint ckpt(fleet_path, meta);
+    ckpt.set_record_limit(10);
+    perfi::run_epr_cell_store(*w, ckpt);
+    EXPECT_EQ(ckpt.done_count(), 10u);
+  }
+  {
+    store::CampaignCheckpoint ckpt(fleet_path, meta);
+    run_fleet(ckpt, /*n_workers=*/2, /*lease_ms=*/5000, /*unit_size=*/4);
+  }
+
+  EXPECT_EQ(export_json(solo_path), export_json(fleet_path));
+  std::remove(solo_path.c_str());
+  std::remove(fleet_path.c_str());
+}
+
+TEST(NetE2E, DrainStopsGrantingAndExitsCleanly) {
+  const store::CampaignMeta meta = perfi_meta(20000, 11);
+  const std::string path = temp_store_path("drain");
+  store::CampaignCheckpoint ckpt(path, meta);
+
+  CoordinatorConfig ccfg;
+  ccfg.port = 0;
+  ccfg.lease_ms = 5000;
+  ccfg.unit_size = 8;
+  Coordinator coord(ckpt, ccfg);
+  std::thread serve([&] { coord.serve(); });
+
+  WorkerStats ws;
+  std::thread worker([&] {
+    WorkerConfig wcfg;
+    wcfg.port = coord.port();
+    wcfg.backoff_ms = 20;
+    ws = run_worker(wcfg, make_unit_fn);
+  });
+
+  // Let some work land, then drain mid-campaign.
+  while (ckpt.done_count() < 16)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  coord.request_drain();
+  worker.join();
+  serve.join();
+
+  EXPECT_TRUE(ws.drained);
+  const std::size_t done = store::load_store(path).records.size();
+  EXPECT_GE(done, 16u);
+  EXPECT_LT(done, 20000u);  // genuinely stopped early
+  std::remove(path.c_str());
+}
+
+TEST(NetE2E, WorkerGivesUpWhenNoCoordinator) {
+  WorkerConfig cfg;
+  cfg.port = 1;  // nothing listens on port 1
+  cfg.backoff_ms = 1;
+  cfg.max_connect_failures = 3;
+  const WorkerStats st = run_worker(
+      cfg, [](const store::CampaignMeta&) -> UnitFn {
+        ADD_FAILURE() << "factory must not run without a handshake";
+        return {};
+      });
+  EXPECT_TRUE(st.gave_up);
+  EXPECT_FALSE(st.drained);
+  EXPECT_EQ(st.retired, 0u);
+}
+
+}  // namespace
+}  // namespace gpf::net

@@ -4,7 +4,9 @@
 // fault/injection is durably appended, so a killed run loses nothing and
 // `gpfctl resume` continues exactly where it stopped. Shards of one campaign
 // (disjoint fault-id slices, e.g. across machines) merge into a single store
-// whose export is identical to an unsharded run.
+// whose export is identical to an unsharded run. `gpfctl worker` joins a
+// gpfd coordinator fleet instead of running locally: it leases work units
+// over TCP and streams results back (see src/net/).
 //
 //   gpfctl run --campaign gate  --unit decoder|fetch|wsc|all [--faults N]
 //              [--max-issues N] [--engine brute|event|batch]
@@ -12,24 +14,31 @@
 //              --site fu|sfu|pipeline|scheduler --injections N
 //   gpfctl run --campaign perfi --app NAME --model IOC|IRA|... --injections N
 //     common run flags: [--seed S] [--store DIR] [--shard-index I]
-//                       [--shard-count K] [--limit N]
+//                       [--shard-count K] [--limit N] [--jobs N]
+//   gpfctl worker [--addr HOST:PORT] [--name NAME] [--jobs N]
+//                 [--backoff-ms N] [--max-failures N] [--verbose]
 //   gpfctl resume FILE...            continue killed/paused campaigns
 //   gpfctl merge -o OUT FILE...      combine shard stores (conflict-checked)
 //   gpfctl export FILE [--format json|csv] [-o FILE]
-//   gpfctl status FILE...
+//   gpfctl status [FILE...]          no files: scan the store dir, aggregate
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <map>
-#include <memory>
-#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "campaign_flags.hpp"
 #include "common/env.hpp"
 #include "common/threadpool.hpp"
-#include "errmodel/models.hpp"
+#include "net/framing.hpp"
+#include "net/service.hpp"
+#include "net/worker.hpp"
 #include "perfi/campaign.hpp"
 #include "report/gate_experiments.hpp"
 #include "rtl/campaign.hpp"
@@ -39,6 +48,8 @@
 #include "workloads/workload.hpp"
 
 using namespace gpf;
+using gpfcli::Args;
+using gpfcli::UsageError;
 
 namespace {
 
@@ -52,116 +63,14 @@ int usage(const char* msg = nullptr) {
       "             --site fu|sfu|pipeline|scheduler --injections N\n"
       "  gpfctl run --campaign perfi --app NAME --model IOC|... --injections N\n"
       "    common:  [--seed S] [--store DIR] [--shard-index I] [--shard-count K]\n"
-      "             [--limit N]\n"
+      "             [--limit N] [--jobs N]\n"
+      "  gpfctl worker [--addr HOST:PORT] [--name NAME] [--jobs N]\n"
+      "                [--backoff-ms N] [--max-failures N] [--verbose]\n"
       "  gpfctl resume FILE...\n"
       "  gpfctl merge -o OUT FILE...\n"
       "  gpfctl export FILE [--format json|csv] [-o FILE]\n"
-      "  gpfctl status FILE...\n";
+      "  gpfctl status [FILE...]\n";
   return 2;
-}
-
-/// Flag parser: --key value pairs plus positional arguments.
-struct Args {
-  std::map<std::string, std::string> flags;
-  std::vector<std::string> positional;
-
-  static Args parse(int argc, char** argv, int from) {
-    Args a;
-    for (int i = from; i < argc; ++i) {
-      const std::string s = argv[i];
-      if (s.rfind("--", 0) == 0) {
-        if (i + 1 >= argc) throw std::runtime_error("missing value for " + s);
-        a.flags[s.substr(2)] = argv[++i];
-      } else if (s == "-o") {
-        if (i + 1 >= argc) throw std::runtime_error("missing value for -o");
-        a.flags["out"] = argv[++i];
-      } else {
-        a.positional.push_back(s);
-      }
-    }
-    return a;
-  }
-  std::string get(const std::string& key, const std::string& def = "") const {
-    const auto it = flags.find(key);
-    return it == flags.end() ? def : it->second;
-  }
-  std::uint64_t get_u64(const std::string& key, std::uint64_t def) const {
-    const auto it = flags.find(key);
-    return it == flags.end() ? def : std::stoull(it->second, nullptr, 0);
-  }
-  bool has(const std::string& key) const { return flags.count(key) != 0; }
-};
-
-EngineKind parse_engine(const std::string& s) {
-  if (s == "brute") return EngineKind::Brute;
-  if (s == "event") return EngineKind::Event;
-  if (s == "batch") return EngineKind::Batch;
-  throw std::runtime_error("unknown engine: " + s);
-}
-
-gate::UnitKind parse_unit(const std::string& s) {
-  if (s == "decoder") return gate::UnitKind::Decoder;
-  if (s == "fetch") return gate::UnitKind::Fetch;
-  if (s == "wsc") return gate::UnitKind::WSC;
-  throw std::runtime_error("unknown unit: " + s + " (decoder|fetch|wsc|all)");
-}
-
-workloads::TileType parse_tile(const std::string& s) {
-  if (s == "max") return workloads::TileType::Max;
-  if (s == "zero") return workloads::TileType::Zero;
-  if (s == "random") return workloads::TileType::Random;
-  throw std::runtime_error("unknown tile: " + s + " (max|zero|random)");
-}
-
-rtl::Site parse_site(const std::string& s) {
-  if (s == "fu") return rtl::Site::FuLane;
-  if (s == "sfu") return rtl::Site::Sfu;
-  if (s == "pipeline") return rtl::Site::Pipeline;
-  if (s == "scheduler") return rtl::Site::Scheduler;
-  throw std::runtime_error("unknown site: " + s + " (fu|sfu|pipeline|scheduler)");
-}
-
-errmodel::ErrorModel parse_model(const std::string& s) {
-  for (unsigned m = 0; m < errmodel::kNumErrorModels; ++m)
-    if (s == errmodel::name_of(static_cast<errmodel::ErrorModel>(m)))
-      return static_cast<errmodel::ErrorModel>(m);
-  throw std::runtime_error("unknown error model: " + s);
-}
-
-const char* unit_slug(gate::UnitKind u) {
-  switch (u) {
-    case gate::UnitKind::Decoder: return "decoder";
-    case gate::UnitKind::Fetch: return "fetch";
-    case gate::UnitKind::WSC: return "wsc";
-  }
-  return "unit";
-}
-
-std::string shard_suffix(const store::CampaignMeta& m) {
-  if (m.shard_count == 1) return "";
-  return "-s" + std::to_string(m.shard_index) + "of" +
-         std::to_string(m.shard_count);
-}
-
-std::string store_path_for(const store::CampaignMeta& m, const std::string& dir) {
-  std::string name;
-  switch (m.kind) {
-    case store::CampaignKind::Gate:
-      name = std::string("gate-") +
-             unit_slug(static_cast<gate::UnitKind>(m.target));
-      break;
-    case store::CampaignKind::Rtl:
-      name = "rtl-tmxm-" +
-             std::to_string(static_cast<unsigned>(m.target)) + "-site" +
-             std::to_string(static_cast<unsigned>(m.param0));
-      break;
-    case store::CampaignKind::Perfi:
-      name = "perfi-" + m.app + "-" +
-             std::string(errmodel::name_of(
-                 static_cast<errmodel::ErrorModel>(m.model)));
-      break;
-  }
-  return dir + "/" + name + shard_suffix(m) + ".gpfs";
 }
 
 /// Drives one campaign store to completion (or to --limit). Used by both
@@ -201,50 +110,14 @@ void drive_campaign(store::CampaignCheckpoint& ckpt, std::size_t limit) {
 }
 
 int cmd_run(const Args& a) {
-  const std::string campaign = a.get("campaign");
-  const std::uint64_t seed = a.get_u64("seed", campaign_seed());
-  const auto shard_index = static_cast<std::uint32_t>(a.get_u64("shard-index", 0));
-  const auto shard_count = static_cast<std::uint32_t>(a.get_u64("shard-count", 1));
+  gpfcli::apply_jobs_flag(a);
   const std::string dir = a.get("store", store_dir());
   const auto limit = static_cast<std::size_t>(a.get_u64("limit", 0));
-  if (shard_count == 0 || shard_index >= shard_count)
-    throw std::runtime_error("invalid shard slice");
 
   dump_env(std::cout);
 
-  std::vector<store::CampaignMeta> metas;
-  if (campaign == "gate") {
-    const std::size_t faults = a.get_u64("faults", 0);
-    const std::size_t max_issues = a.get_u64("max-issues", scaled(400, 100));
-    const EngineKind engine = parse_engine(a.get("engine", engine_name(campaign_engine())));
-    const std::string unit_arg = a.get("unit", "all");
-    std::vector<gate::UnitKind> units;
-    if (unit_arg == "all")
-      units = {gate::UnitKind::Decoder, gate::UnitKind::Fetch, gate::UnitKind::WSC};
-    else
-      units = {parse_unit(unit_arg)};
-    for (const auto u : units)
-      metas.push_back(report::gate_campaign_meta(u, faults, max_issues, seed,
-                                                 engine, shard_index, shard_count));
-  } else if (campaign == "rtl") {
-    if (!a.has("injections")) return usage("rtl: --injections required");
-    metas.push_back(rtl::tmxm_campaign_meta(
-        parse_tile(a.get("tile", "random")), parse_site(a.get("site", "fu")),
-        a.get_u64("injections", 0), seed, shard_index, shard_count));
-  } else if (campaign == "perfi") {
-    if (!a.has("app") || !a.has("model") || !a.has("injections"))
-      return usage("perfi: --app, --model, --injections required");
-    const workloads::Workload* w = workloads::find(a.get("app"));
-    if (!w) throw std::runtime_error("unknown workload: " + a.get("app"));
-    metas.push_back(perfi::epr_campaign_meta(*w, parse_model(a.get("model")),
-                                             a.get_u64("injections", 0), seed,
-                                             shard_index, shard_count));
-  } else {
-    return usage("--campaign must be gate|rtl|perfi");
-  }
-
-  for (const store::CampaignMeta& meta : metas) {
-    const std::string path = store_path_for(meta, dir);
+  for (const store::CampaignMeta& meta : gpfcli::metas_from_flags(a)) {
+    const std::string path = gpfcli::store_path_for(meta, dir);
     std::cout << "[gpfctl] campaign " << store::campaign_kind_name(meta.kind)
               << " -> " << path << " (shard " << meta.shard_index << "/"
               << meta.shard_count << ", id space " << meta.total << ")\n";
@@ -252,6 +125,33 @@ int cmd_run(const Args& a) {
     drive_campaign(ckpt, limit);
   }
   return 0;
+}
+
+int cmd_worker(const Args& a) {
+  gpfcli::apply_jobs_flag(a);
+  dump_env(std::cout);
+
+  net::WorkerConfig cfg;
+  const auto [host, port] = net::parse_addr(a.get("addr", coord_addr()));
+  cfg.host = host;
+  cfg.port = port;
+  cfg.name = a.get("name", "worker-" + std::to_string(::getpid()));
+  cfg.backoff_ms =
+      static_cast<std::uint32_t>(a.get_u64("backoff-ms", worker_backoff_ms()));
+  cfg.max_connect_failures =
+      static_cast<int>(a.get_u64("max-failures", 8));
+  cfg.verbose = a.has("verbose");
+
+  std::cout << "[gpfctl] worker " << cfg.name << " -> " << cfg.host << ":"
+            << cfg.port << "\n";
+  const net::WorkerStats st = net::run_worker(cfg, net::make_unit_fn);
+  std::cout << "[gpfctl] worker " << cfg.name << ": " << st.retired
+            << " results over " << st.units << " units, " << st.lost_leases
+            << " lost leases, " << st.reconnects << " reconnects"
+            << (st.drained ? " (campaign drained)" : "")
+            << (st.gave_up ? " (coordinator unreachable, gave up)" : "")
+            << "\n";
+  return st.drained ? 0 : 2;
 }
 
 int cmd_resume(const Args& a) {
@@ -304,11 +204,28 @@ int cmd_export(const Args& a) {
 }
 
 int cmd_status(const Args& a) {
-  if (a.positional.empty()) return usage("status: store file(s) required");
-  for (const std::string& path : a.positional) {
-    std::cout << "== " << path << "\n";
-    store::print_status(store::load_store(path), std::cout);
+  std::vector<std::string> paths = a.positional;
+  if (paths.empty()) {
+    // No files named: scan the store directory for every campaign store.
+    const std::string dir = a.get("store", store_dir());
+    for (const auto& e : std::filesystem::directory_iterator(dir))
+      if (e.is_regular_file() && e.path().extension() == ".gpfs")
+        paths.push_back(e.path().string());
+    std::sort(paths.begin(), paths.end());
+    if (paths.empty())
+      return usage(("status: no .gpfs stores in " + dir).c_str());
   }
+
+  std::vector<std::pair<std::string, store::LoadedStore>> stores;
+  stores.reserve(paths.size());
+  for (const std::string& path : paths)
+    stores.emplace_back(path, store::load_store(path));
+
+  for (const auto& [path, s] : stores) {
+    std::cout << "== " << path << "\n";
+    store::print_status(s, std::cout);
+  }
+  if (stores.size() > 1) store::print_aggregate_status(stores, std::cout);
   return 0;
 }
 
@@ -318,13 +235,16 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
-    const Args a = Args::parse(argc, argv, 2);
+    const Args a = Args::parse(argc, argv, 2, /*boolean=*/{"verbose"});
     if (cmd == "run") return cmd_run(a);
+    if (cmd == "worker") return cmd_worker(a);
     if (cmd == "resume") return cmd_resume(a);
     if (cmd == "merge") return cmd_merge(a);
     if (cmd == "export") return cmd_export(a);
     if (cmd == "status") return cmd_status(a);
     return usage(("unknown command: " + cmd).c_str());
+  } catch (const UsageError& e) {
+    return usage(e.what());
   } catch (const std::exception& e) {
     std::cerr << "gpfctl: " << e.what() << "\n";
     return 1;

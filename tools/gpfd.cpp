@@ -1,0 +1,131 @@
+// gpfd — campaign coordinator daemon for the distributed fleet.
+//
+// gpfd owns the authoritative campaign store: it partitions the shard's
+// fault-id space into leasable work units, hands them to `gpfctl worker`
+// processes over TCP, appends their results (id-deduplicated) to the store,
+// and reassigns units whose lease expires (worker SIGKILLed or hung) or
+// whose connection drops. Because fault id -> work is a pure function of
+// the campaign meta, the resulting store exports byte-identically to a
+// single-process `gpfctl run`.
+//
+//   gpfd --campaign ... (same campaign flags as `gpfctl run`, one store:
+//                        gate needs an explicit --unit, not "all")
+//   gpfd --resume FILE  (campaign identity from the store header)
+//     common: [--addr HOST:PORT] [--lease-ms N] [--unit-size N]
+//             [--store DIR] [--verbose]
+//
+// SIGTERM/SIGINT drain gracefully: no new leases are granted, outstanding
+// leases finish (or expire), and the process exits with the store intact
+// for `gpfd --resume` / `gpfctl resume`.
+#include <csignal>
+
+#include <atomic>
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "campaign_flags.hpp"
+#include "common/env.hpp"
+#include "net/coordinator.hpp"
+#include "net/framing.hpp"
+#include "store/checkpoint.hpp"
+#include "store/export.hpp"
+#include "store/result_log.hpp"
+
+using namespace gpf;
+using gpfcli::Args;
+using gpfcli::UsageError;
+
+namespace {
+
+std::atomic<net::Coordinator*> g_coordinator{nullptr};
+
+void on_signal(int) {
+  if (net::Coordinator* c = g_coordinator.load()) c->request_drain();
+}
+
+int usage(const char* msg = nullptr) {
+  if (msg) std::cerr << "gpfd: " << msg << "\n\n";
+  std::cerr <<
+      "usage:\n"
+      "  gpfd --campaign gate --unit decoder|fetch|wsc [--faults N]\n"
+      "       [--max-issues N] [--engine brute|event|batch]\n"
+      "  gpfd --campaign rtl --tile max|zero|random\n"
+      "       --site fu|sfu|pipeline|scheduler --injections N\n"
+      "  gpfd --campaign perfi --app NAME --model IOC|... --injections N\n"
+      "  gpfd --resume FILE\n"
+      "    common: [--addr HOST:PORT] [--lease-ms N] [--unit-size N]\n"
+      "            [--seed S] [--store DIR] [--shard-index I]\n"
+      "            [--shard-count K] [--verbose]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args a = Args::parse(argc, argv, 1, /*boolean=*/{"verbose"});
+    if (!a.positional.empty())
+      return usage(("unexpected argument: " + a.positional.front()).c_str());
+
+    dump_env(std::cout);
+
+    // Resolve the campaign: an existing store's header, or run-style flags.
+    std::string path;
+    store::CampaignMeta meta;
+    if (a.has("resume")) {
+      path = a.get("resume");
+      meta = store::load_store(path).meta;
+    } else if (a.has("campaign")) {
+      const auto metas = gpfcli::metas_from_flags(a);
+      if (metas.size() != 1)
+        return usage("gpfd serves one store; use an explicit --unit");
+      meta = metas.front();
+      path = gpfcli::store_path_for(meta, a.get("store", store_dir()));
+    } else {
+      return usage("--campaign or --resume required");
+    }
+
+    store::CampaignCheckpoint ckpt(path, meta);
+    if (ckpt.torn_bytes_dropped())
+      std::cout << "[gpfd] " << path << ": dropped "
+                << ckpt.torn_bytes_dropped() << " torn tail bytes\n";
+
+    net::CoordinatorConfig cfg;
+    const auto [host, port] = net::parse_addr(a.get("addr", coord_addr()));
+    cfg.host = host;
+    cfg.port = port;
+    cfg.lease_ms = static_cast<std::uint32_t>(
+        a.get_u64("lease-ms", lease_duration_ms()));
+    cfg.unit_size = static_cast<std::size_t>(a.get_u64("unit-size", 64));
+    cfg.verbose = a.has("verbose");
+
+    net::Coordinator coordinator(ckpt, cfg);
+    g_coordinator.store(&coordinator);
+    struct sigaction sa = {};
+    sa.sa_handler = on_signal;
+    sigaction(SIGTERM, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
+
+    std::cout << "[gpfd] serving " << path << " on " << cfg.host << ":"
+              << coordinator.port() << " (lease " << cfg.lease_ms
+              << "ms, unit size " << cfg.unit_size << ", "
+              << ckpt.done().size() << "/" << meta.total
+              << " already retired)\n";
+
+    const net::Coordinator::Stats st = coordinator.serve();
+    g_coordinator.store(nullptr);
+
+    std::cout << "[gpfd] " << (st.drained ? "drained" : "complete") << ": "
+              << st.appended << " results appended (" << st.duplicates
+              << " duplicates dropped) from " << st.sessions << " sessions, "
+              << st.expired_leases << " leases expired\n";
+    store::print_status(store::load_store(path), std::cout);
+    return 0;
+  } catch (const UsageError& e) {
+    return usage(e.what());
+  } catch (const std::exception& e) {
+    std::cerr << "gpfd: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,17 +1,25 @@
 // Engine shoot-out for the gate-level replay campaigns: brute-force scalar
 // resimulation vs event-driven difference propagation vs 64-way bit-parallel
-// (PPSFP) word simulation. All three produce identical classifications
-// (asserted in test_batchsim); this bench measures throughput in
-// faults*cycles/sec, the figure of merit for exhaustive stuck-at sweeps.
+// (PPSFP) word simulation, the latter both bare and with the two structural
+// optimizations layered on top — stuck-at equivalence collapsing
+// (GPF_COLLAPSE) and fanout-cone pruning (GPF_CONE). All rows produce
+// identical classifications (checked here and asserted in test_batchsim);
+// this bench measures throughput in faults*cycles/sec, the figure of merit
+// for exhaustive stuck-at sweeps.
+//
+//   bench_gate_batch [decoder|fetch|wsc]   (no argument: all three units)
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/env.hpp"
 #include "common/table.hpp"
+#include "gate/batchsim.hpp"
+#include "gate/collapse.hpp"
 #include "report/gate_experiments.hpp"
 
 using namespace gpf;
@@ -32,10 +40,43 @@ std::size_t unit_cycles(gate::UnitKind unit,
   return n;
 }
 
+/// The unique class representatives actually simulated for a campaign list.
+std::vector<gate::StuckFault> representatives(
+    const gate::Netlist& nl, const std::vector<gate::StuckFault>& faults) {
+  const gate::FaultCollapse col(nl);
+  std::vector<gate::StuckFault> reps;
+  std::unordered_set<std::uint32_t> seen;
+  for (const gate::StuckFault& f : faults) {
+    const gate::StuckFault rep = col.representative(f);
+    if (seen.insert(gate::FaultCollapse::node(rep)).second) reps.push_back(rep);
+  }
+  return reps;
+}
+
+/// Mean fraction of the netlist's gates inside the union fanout cone of each
+/// 64-fault batch — the share of word evaluations cone pruning actually pays
+/// for (out-of-cone gates are skipped entirely).
+double mean_cone_fraction(const gate::Netlist& nl,
+                          const std::vector<gate::StuckFault>& reps) {
+  gate::BatchFaultSim sim(nl);
+  const auto total = static_cast<double>(sim.total_gate_count());
+  double acc = 0.0;
+  std::size_t batches = 0;
+  for (std::size_t lo = 0; lo < reps.size(); lo += gate::BatchFaultSim::kLanes) {
+    const std::size_t len = std::min(gate::BatchFaultSim::kLanes, reps.size() - lo);
+    sim.begin(std::span(reps).subspan(lo, len));
+    acc += static_cast<double>(sim.cone_gate_count()) / total;
+    ++batches;
+  }
+  return batches ? acc / static_cast<double>(batches) : 1.0;
+}
+
 struct JsonRow {
   std::string unit, engine;
-  std::size_t faults = 0, cycles = 0;
-  double wall_seconds = 0.0, speedup_vs_brute = 1.0;
+  std::size_t faults = 0, simulated = 0, cycles = 0;
+  bool collapse = false, cone = false;
+  double collapse_ratio = 1.0, mean_cone_fraction = 1.0;
+  double wall_seconds = 0.0, speedup_vs_brute = 1.0, speedup_vs_batch_base = 1.0;
 };
 
 // Machine-readable perf record so the speedup trajectory is tracked across
@@ -50,16 +91,25 @@ void write_bench_json(const std::vector<JsonRow>& rows) {
     std::cerr << "warning: cannot write " << path << "\n";
     return;
   }
+  const auto num = [](double v, const char* fmt) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), fmt, v);
+    return std::string(buf);
+  };
   os << "{\n  \"bench\": \"gate_batch\",\n  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.6f", rows[i].wall_seconds);
-    os << "    {\"unit\": \"" << rows[i].unit << "\", \"engine\": \""
-       << rows[i].engine << "\", \"faults\": " << rows[i].faults
-       << ", \"cycles\": " << rows[i].cycles << ", \"wall_seconds\": " << buf;
-    std::snprintf(buf, sizeof(buf), "%.3f", rows[i].speedup_vs_brute);
-    os << ", \"speedup_vs_brute\": " << buf << "}"
-       << (i + 1 < rows.size() ? "," : "") << "\n";
+    const JsonRow& r = rows[i];
+    os << "    {\"unit\": \"" << r.unit << "\", \"engine\": \"" << r.engine
+       << "\", \"faults\": " << r.faults << ", \"simulated\": " << r.simulated
+       << ", \"cycles\": " << r.cycles
+       << ", \"collapse\": " << (r.collapse ? "true" : "false")
+       << ", \"cone\": " << (r.cone ? "true" : "false")
+       << ", \"collapse_ratio\": " << num(r.collapse_ratio, "%.3f")
+       << ", \"mean_cone_fraction\": " << num(r.mean_cone_fraction, "%.3f")
+       << ", \"wall_seconds\": " << num(r.wall_seconds, "%.6f")
+       << ", \"speedup_vs_brute\": " << num(r.speedup_vs_brute, "%.3f")
+       << ", \"speedup_vs_batch_base\": " << num(r.speedup_vs_batch_base, "%.3f")
+       << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
   std::cout << "\nwrote " << path << "\n";
@@ -67,30 +117,74 @@ void write_bench_json(const std::vector<JsonRow>& rows) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   dump_env(std::cout);
-  const std::size_t faults = scaled(512, 192);
+  // max_faults 0 = the full stuck-at list of each unit: the exhaustive sweep
+  // is the workload the collapse/cone layers are built for (a sparse sample
+  // under-states both the class sizes and the batch cone overlap).
+  const std::size_t max_faults = 0;
   const auto traces = report::collect_profiling_traces(scaled(400, 100));
   std::vector<JsonRow> json_rows;
 
-  Table t("Gate campaign engines: brute vs event vs batch (single-threaded)");
-  t.header({"unit", "faults", "cycles", "engine", "time", "faults*cyc/s",
-            "vs brute"});
+  std::vector<gate::UnitKind> units = {gate::UnitKind::Decoder,
+                                       gate::UnitKind::Fetch,
+                                       gate::UnitKind::WSC};
+  if (argc > 1) {
+    units.clear();
+    const std::string want = argv[1];
+    for (gate::UnitKind u :
+         {gate::UnitKind::Decoder, gate::UnitKind::Fetch, gate::UnitKind::WSC})
+      if (want == gate::unit_name(u)) units.push_back(u);
+    if (units.empty()) {
+      std::cerr << "unknown unit: " << want << " (decoder|fetch|wsc)\n";
+      return 2;
+    }
+  }
 
-  for (gate::UnitKind unit :
-       {gate::UnitKind::Decoder, gate::UnitKind::Fetch, gate::UnitKind::WSC}) {
+  bool any_mismatch = false;
+  Table t("Gate campaign engines: brute vs event vs batch vs batch+collapse+cone");
+  t.header({"unit", "faults", "sim'd", "engine", "cone frac", "time",
+            "faults*cyc/s", "vs brute", "vs batch"});
+
+  struct Row {
+    const char* label;
+    EngineKind engine;
+    int collapse, cone;  // set_*_override values
+  };
+  const Row rows[] = {
+      {"brute", EngineKind::Brute, 0, 0},
+      {"event", EngineKind::Event, 0, 0},
+      {"batch", EngineKind::Batch, 0, 0},
+      {"batch+c+c", EngineKind::Batch, 1, 1},
+  };
+
+  for (gate::UnitKind unit : units) {
     const std::size_t cycles = unit_cycles(unit, traces);
-    const double work = static_cast<double>(faults) * static_cast<double>(cycles);
 
-    double brute_s = 0.0;
+    // Static per-unit structure stats for the tuned row.
+    gate::UnitReplayer replayer(unit);
+    const auto list =
+        gate::sampled_fault_list(replayer.netlist(), unit, max_faults, 7);
+    const std::size_t faults = list.size();
+    const double work = static_cast<double>(faults) * static_cast<double>(cycles);
+    const auto reps = representatives(replayer.netlist(), list);
+    const double ratio =
+        static_cast<double>(list.size()) / static_cast<double>(reps.size());
+    const double cone_frac = mean_cone_fraction(replayer.netlist(), reps);
+
+    double brute_s = 0.0, batch_base_s = 0.0;
     gate::UnitCampaignResult reference;
-    for (EngineKind e : {EngineKind::Brute, EngineKind::Event, EngineKind::Batch}) {
+    for (const Row& row : rows) {
+      set_collapse_override(row.collapse);
+      set_cone_override(row.cone);
+      const bool tuned = row.collapse || row.cone;
       const auto t0 = Clock::now();
-      const auto res = gate::run_unit_campaign(unit, traces, faults, 7, nullptr, e);
+      const auto res = gate::run_unit_campaign(unit, traces, max_faults, 7,
+                                               nullptr, row.engine);
       const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
 
       std::string note;
-      if (e == EngineKind::Brute) {
+      if (row.engine == EngineKind::Brute) {
         brute_s = secs;
         reference = res;
         note = "1.0x";
@@ -101,21 +195,49 @@ int main() {
                   res.faults[i].hang == reference.faults[i].hang &&
                   res.faults[i].error_counts == reference.faults[i].error_counts;
         note = Table::num(brute_s / secs, 1) + "x" + (equal ? "" : " (MISMATCH)");
+        any_mismatch |= !equal;
       }
+      if (row.engine == EngineKind::Batch && !tuned) batch_base_s = secs;
+      const double vs_batch = batch_base_s > 0.0 ? batch_base_s / secs : 1.0;
+
       t.row({gate::unit_name(unit), std::to_string(faults),
-             std::to_string(cycles), engine_name(e), Table::num(secs, 2) + " s",
-             Table::num(work / secs, 0), note});
-      json_rows.push_back({gate::unit_name(unit), engine_name(e), faults, cycles,
-                           secs, e == EngineKind::Brute ? 1.0 : brute_s / secs});
+             std::to_string(tuned ? reps.size() : faults),
+             row.label, tuned ? Table::num(cone_frac, 2) : std::string("1.00"),
+             Table::num(secs, 2) + " s", Table::num(work / secs, 0), note,
+             row.engine == EngineKind::Batch ? Table::num(vs_batch, 2) + "x"
+                                             : std::string("-")});
+      JsonRow jr;
+      jr.unit = gate::unit_name(unit);
+      jr.engine = row.label;
+      jr.faults = faults;
+      jr.simulated = tuned ? reps.size() : faults;
+      jr.cycles = cycles;
+      jr.collapse = row.collapse != 0;
+      jr.cone = row.cone != 0;
+      jr.collapse_ratio = tuned ? ratio : 1.0;
+      jr.mean_cone_fraction = tuned ? cone_frac : 1.0;
+      jr.wall_seconds = secs;
+      jr.speedup_vs_brute = row.engine == EngineKind::Brute ? 1.0 : brute_s / secs;
+      jr.speedup_vs_batch_base =
+          row.engine == EngineKind::Batch ? vs_batch : 1.0;
+      json_rows.push_back(jr);
     }
+    set_collapse_override(-1);
+    set_cone_override(-1);
   }
   t.print(std::cout);
   std::cout << "\nThe batch engine packs 64 stuck-at faults into one uint64_t\n"
-               "per net and replays each trace once per batch, so a full\n"
-               "collapsed fault list costs ~ceil(faults/64) scalar replays.\n"
-               "Select an engine for every campaign binary with\n"
-               "GPF_ENGINE=brute|event|batch (default batch) and size the\n"
-               "worker pool with GPF_THREADS.\n";
+               "per net and replays each trace once per batch. Collapsing\n"
+               "(GPF_COLLAPSE) simulates one representative per structural\n"
+               "equivalence class and expands the records; cone pruning\n"
+               "(GPF_CONE) word-evaluates only gates downstream of a batch's\n"
+               "fault sites. Both default on; all rows classify identically.\n"
+               "Select an engine with GPF_ENGINE=brute|event|batch and size\n"
+               "the worker pool with GPF_THREADS.\n";
   write_bench_json(json_rows);
+  if (any_mismatch) {
+    std::cerr << "FAIL: engines disagree on at least one classification\n";
+    return 1;
+  }
   return 0;
 }

@@ -55,7 +55,33 @@ EngineKind campaign_engine() {
 
 namespace {
 std::atomic<std::size_t> g_threads_override{0};
+std::atomic<int> g_collapse_override{-1};
+std::atomic<int> g_cone_override{-1};
+
+bool env_flag(const char* var, bool dflt) {
+  const char* s = std::getenv(var);
+  if (!s || !*s) return dflt;
+  const std::string v(s);
+  return !(v == "0" || v == "off" || v == "false" || v == "no");
+}
 }  // namespace
+
+bool collapse_enabled() {
+  const int o = g_collapse_override.load();
+  if (o >= 0) return o != 0;
+  static const bool on = env_flag("GPF_COLLAPSE", true);
+  return on;
+}
+
+bool cone_enabled() {
+  const int o = g_cone_override.load();
+  if (o >= 0) return o != 0;
+  static const bool on = env_flag("GPF_CONE", true);
+  return on;
+}
+
+void set_collapse_override(int v) { g_collapse_override = v < 0 ? -1 : (v ? 1 : 0); }
+void set_cone_override(int v) { g_cone_override = v < 0 ? -1 : (v ? 1 : 0); }
 
 std::size_t campaign_threads() {
   if (const std::size_t o = g_threads_override.load()) return o;
@@ -114,6 +140,14 @@ void dump_env(std::ostream& os) {
   line("GPF_SCALE", std::to_string(campaign_scale()));
   line("GPF_SEED", std::to_string(campaign_seed()));
   line("GPF_ENGINE", engine_name(campaign_engine()));
+  if (g_collapse_override.load() >= 0)
+    os << "# GPF_COLLAPSE=" << (collapse_enabled() ? "1" : "0") << " (override)\n";
+  else
+    line("GPF_COLLAPSE", collapse_enabled() ? "1" : "0");
+  if (g_cone_override.load() >= 0)
+    os << "# GPF_CONE=" << (cone_enabled() ? "1" : "0") << " (override)\n";
+  else
+    line("GPF_CONE", cone_enabled() ? "1" : "0");
   if (const std::size_t o = g_threads_override.load())
     os << "# GPF_THREADS=" << o << " (--jobs override)\n";
   else

@@ -7,6 +7,8 @@
 //   GPF_SCALE             campaign size multiplier (default 1.0)
 //   GPF_SEED              base RNG seed (default 0xC0FFEE)
 //   GPF_ENGINE            gate fault-simulation engine: brute | event | batch
+//   GPF_COLLAPSE          structural stuck-at fault collapsing: 1 | 0 (default 1)
+//   GPF_CONE              batch-engine fanout-cone pruning: 1 | 0 (default 1)
 //   GPF_THREADS           campaign thread-pool width (0 = hardware threads)
 //   GPF_STORE_DIR         directory for persistent campaign stores (default ".")
 //   GPF_COORD_ADDR        gpfd coordinator host:port (default 127.0.0.1:9777)
@@ -42,6 +44,24 @@ const char* engine_name(EngineKind e);
 /// GPF_ENGINE environment variable: "brute" | "event" | "batch"
 /// (default batch, the fastest engine; all three classify identically).
 EngineKind campaign_engine();
+
+/// GPF_COLLAPSE environment variable: when on (the default), gate campaigns
+/// simulate one representative per structural stuck-at equivalence class
+/// (see gate/collapse.hpp) and expand results to the full per-fault record
+/// stream — stores and exports stay byte-identical to an uncollapsed run.
+/// "0" / "off" / "false" / "no" disable.
+bool collapse_enabled();
+
+/// GPF_CONE environment variable: when on (the default), the batch engine
+/// word-evaluates only the union fanout cone of each 64-fault batch and
+/// copies golden values into out-of-cone nets. Same off-spellings as
+/// GPF_COLLAPSE.
+bool cone_enabled();
+
+/// Process-wide overrides for the two knobs above (tests toggle them without
+/// re-execing): -1 = defer to the environment, 0 = off, 1 = on.
+void set_collapse_override(int v);
+void set_cone_override(int v);
 
 /// GPF_THREADS environment variable: worker count for campaign thread pools
 /// (0 = one per hardware thread). A process-wide override (the `--jobs N`

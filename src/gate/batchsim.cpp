@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/env.hpp"
+#include "gate/compiled.hpp"
+
 namespace gpf::gate {
 
 namespace {
@@ -15,10 +18,12 @@ inline std::uint64_t broadcast(std::uint8_t bit) {
 
 BatchFaultSim::BatchFaultSim(const Netlist& nl)
     : nl_(nl),
+      cn_(nl.compiled()),
       val_(nl.num_nets(), 0),
       force0_(nl.num_nets(), 0),
       force1_(nl.num_nets(), 0),
-      dff_next_(nl.dffs().size(), 0) {
+      dff_next_(nl.dffs().size(), 0),
+      cone_enabled_(gpf::cone_enabled()) {
   if (!nl.finalized()) throw std::logic_error("netlist not finalized");
 }
 
@@ -32,6 +37,7 @@ void BatchFaultSim::begin(std::span<const StuckFault> faults) {
   source_sites_.clear();
   sites_.clear();
   lane_mask_ = 0;
+  cone_live_ = false;  // the cone is per-batch; rebuilt on first eval_cone()
   std::fill(val_.begin(), val_.end(), 0);
 
   for (std::size_t k = 0; k < faults.size(); ++k) {
@@ -65,49 +71,165 @@ void BatchFaultSim::apply_source_overlays() {
   }
 }
 
+void BatchFaultSim::ensure_cone() {
+  if (cone_live_) return;
+  cone_live_ = true;
+  if (cone_stamp_.empty()) {
+    cone_stamp_.assign(cn_.num_nets(), 0);
+    frontier_stamp_.assign(cn_.num_nets(), 0);
+  }
+  ++cone_epoch_;
+  cone_slots_.clear();
+  cone_dffs_.clear();
+  cone_nets_.clear();
+  frontier_.clear();
+  observed_cone_.clear();
+
+  const auto in_cone = [&](Net n) {
+    return cone_stamp_[static_cast<std::size_t>(n)] == cone_epoch_;
+  };
+  // BFS over the fan-out CSR from the fault sites; cone_nets_ doubles as the
+  // worklist (every reached net stays in it).
+  for (const Net s : forced_nets_) {
+    if (in_cone(s)) continue;
+    cone_stamp_[static_cast<std::size_t>(s)] = cone_epoch_;
+    cone_nets_.push_back(s);
+  }
+  for (std::size_t i = 0; i < cone_nets_.size(); ++i)
+    for (const Net t : cn_.fanout(cone_nets_[i])) {
+      if (in_cone(t)) continue;
+      cone_stamp_[static_cast<std::size_t>(t)] = cone_epoch_;
+      cone_nets_.push_back(t);
+    }
+
+  for (const Net n : cone_nets_) {
+    const auto i = static_cast<std::size_t>(n);
+    if (cn_.slot_of[i] != kNoSlot) cone_slots_.push_back(cn_.slot_of[i]);
+    if (cn_.dff_index[i] >= 0)
+      cone_dffs_.push_back(static_cast<std::uint32_t>(cn_.dff_index[i]));
+  }
+  std::sort(cone_slots_.begin(), cone_slots_.end());  // levelized order
+  std::sort(cone_dffs_.begin(), cone_dffs_.end());
+
+  // Frontier: every out-of-cone net some in-cone gate/DFF reads, plus the
+  // observed outputs — eval_cone() broadcasts their golden values so reads
+  // through bus_value()/diff_observed() need no cone awareness.
+  const auto add_frontier = [&](Net n) {
+    if (n == kNoNet || in_cone(n)) return;
+    auto& st = frontier_stamp_[static_cast<std::size_t>(n)];
+    if (st == cone_epoch_) return;
+    st = cone_epoch_;
+    frontier_.push_back(n);
+  };
+  for (const std::uint32_t s : cone_slots_) {
+    add_frontier(cn_.a[s]);
+    add_frontier(cn_.b[s]);
+    add_frontier(cn_.c[s]);
+  }
+  for (const std::uint32_t i : cone_dffs_) {
+    add_frontier(cn_.dff_d[i]);
+    add_frontier(cn_.dff_en[i]);
+  }
+  for (const Net n : observed_) {
+    if (in_cone(n))
+      observed_cone_.push_back(n);
+    else
+      add_frontier(n);
+  }
+}
+
 void BatchFaultSim::eval() {
   for (const auto& [n, v] : nl_.constants())
     val_[static_cast<std::size_t>(n)] = broadcast(v);
   apply_source_overlays();
 
-  for (const Net n : nl_.eval_order()) {
-    const Gate& g = nl_.gate(n);
-    const auto va = [&](Net x) { return val_[static_cast<std::size_t>(x)]; };
+  const auto va = [&](Net x) { return val_[static_cast<std::size_t>(x)]; };
+  for (std::size_t s = 0; s < cn_.num_slots(); ++s) {
     std::uint64_t v = 0;
-    switch (g.kind) {
-      case GateKind::Buf: v = va(g.a); break;
-      case GateKind::Not: v = ~va(g.a); break;
-      case GateKind::And: v = va(g.a) & va(g.b); break;
-      case GateKind::Or: v = va(g.a) | va(g.b); break;
-      case GateKind::Nand: v = ~(va(g.a) & va(g.b)); break;
-      case GateKind::Nor: v = ~(va(g.a) | va(g.b)); break;
-      case GateKind::Xor: v = va(g.a) ^ va(g.b); break;
-      case GateKind::Xnor: v = ~(va(g.a) ^ va(g.b)); break;
+    switch (cn_.kind[s]) {
+      case GateKind::Buf: v = va(cn_.a[s]); break;
+      case GateKind::Not: v = ~va(cn_.a[s]); break;
+      case GateKind::And: v = va(cn_.a[s]) & va(cn_.b[s]); break;
+      case GateKind::Or: v = va(cn_.a[s]) | va(cn_.b[s]); break;
+      case GateKind::Nand: v = ~(va(cn_.a[s]) & va(cn_.b[s])); break;
+      case GateKind::Nor: v = ~(va(cn_.a[s]) | va(cn_.b[s])); break;
+      case GateKind::Xor: v = va(cn_.a[s]) ^ va(cn_.b[s]); break;
+      case GateKind::Xnor: v = ~(va(cn_.a[s]) ^ va(cn_.b[s])); break;
       case GateKind::Mux: {
-        const std::uint64_t s = va(g.a);
-        v = (s & va(g.c)) | (~s & va(g.b));
+        const std::uint64_t sel = va(cn_.a[s]);
+        v = (sel & va(cn_.c[s])) | (~sel & va(cn_.b[s]));
         break;
       }
       default: continue;
     }
+    const auto i = static_cast<std::size_t>(cn_.out[s]);
+    val_[i] = (v & ~force0_[i]) | force1_[i];
+  }
+}
+
+void BatchFaultSim::eval_cone(const std::vector<std::uint8_t>& golden) {
+  ensure_cone();
+  for (const Net n : frontier_) {
     const auto i = static_cast<std::size_t>(n);
+    val_[i] = broadcast(golden[i]);
+  }
+  apply_source_overlays();
+
+  const auto va = [&](Net x) { return val_[static_cast<std::size_t>(x)]; };
+  for (const std::uint32_t s : cone_slots_) {
+    std::uint64_t v = 0;
+    switch (cn_.kind[s]) {
+      case GateKind::Buf: v = va(cn_.a[s]); break;
+      case GateKind::Not: v = ~va(cn_.a[s]); break;
+      case GateKind::And: v = va(cn_.a[s]) & va(cn_.b[s]); break;
+      case GateKind::Or: v = va(cn_.a[s]) | va(cn_.b[s]); break;
+      case GateKind::Nand: v = ~(va(cn_.a[s]) & va(cn_.b[s])); break;
+      case GateKind::Nor: v = ~(va(cn_.a[s]) | va(cn_.b[s])); break;
+      case GateKind::Xor: v = va(cn_.a[s]) ^ va(cn_.b[s]); break;
+      case GateKind::Xnor: v = ~(va(cn_.a[s]) ^ va(cn_.b[s])); break;
+      case GateKind::Mux: {
+        const std::uint64_t sel = va(cn_.a[s]);
+        v = (sel & va(cn_.c[s])) | (~sel & va(cn_.b[s]));
+        break;
+      }
+      default: continue;
+    }
+    const auto i = static_cast<std::size_t>(cn_.out[s]);
     val_[i] = (v & ~force0_[i]) | force1_[i];
   }
 }
 
 void BatchFaultSim::clock() {
-  const std::vector<Net>& dffs = nl_.dffs();
-  for (std::size_t i = 0; i < dffs.size(); ++i) {
-    const Gate& g = nl_.gate(dffs[i]);
+  if (cone_live_) {
+    // Out-of-cone DFFs cannot diverge (all their pins carry golden values),
+    // and their words are refreshed through the frontier when read — so only
+    // in-cone registers need the two-phase latch.
+    for (const std::uint32_t i : cone_dffs_) {
+      const Net en_n = cn_.dff_en[i];
+      const std::uint64_t en =
+          en_n == kNoNet ? ~std::uint64_t{0} : val_[static_cast<std::size_t>(en_n)];
+      const std::uint64_t cur = val_[static_cast<std::size_t>(cn_.dff_out[i])];
+      const Net d_n = cn_.dff_d[i];
+      const std::uint64_t d =
+          d_n == kNoNet ? cur : val_[static_cast<std::size_t>(d_n)];
+      dff_next_[i] = (en & d) | (~en & cur);
+    }
+    for (const std::uint32_t i : cone_dffs_)
+      val_[static_cast<std::size_t>(cn_.dff_out[i])] = dff_next_[i];
+    apply_source_overlays();
+    return;
+  }
+  for (std::size_t i = 0; i < cn_.dff_out.size(); ++i) {
+    const Net en_n = cn_.dff_en[i];
     const std::uint64_t en =
-        g.b == kNoNet ? ~std::uint64_t{0} : val_[static_cast<std::size_t>(g.b)];
-    const std::uint64_t cur = val_[static_cast<std::size_t>(dffs[i])];
-    const std::uint64_t d =
-        g.a == kNoNet ? cur : val_[static_cast<std::size_t>(g.a)];
+        en_n == kNoNet ? ~std::uint64_t{0} : val_[static_cast<std::size_t>(en_n)];
+    const std::uint64_t cur = val_[static_cast<std::size_t>(cn_.dff_out[i])];
+    const Net d_n = cn_.dff_d[i];
+    const std::uint64_t d = d_n == kNoNet ? cur : val_[static_cast<std::size_t>(d_n)];
     dff_next_[i] = (en & d) | (~en & cur);
   }
-  for (std::size_t i = 0; i < dffs.size(); ++i)
-    val_[static_cast<std::size_t>(dffs[i])] = dff_next_[i];
+  for (std::size_t i = 0; i < cn_.dff_out.size(); ++i)
+    val_[static_cast<std::size_t>(cn_.dff_out[i])] = dff_next_[i];
   apply_source_overlays();
 }
 
@@ -128,9 +250,23 @@ std::uint64_t BatchFaultSim::diff_lanes(
   return m & lane_mask_;
 }
 
+std::uint64_t BatchFaultSim::diff_observed(
+    const std::vector<std::uint8_t>& golden) const {
+  return diff_lanes(cone_live_ ? std::span<const Net>(observed_cone_)
+                               : std::span<const Net>(observed_),
+                    golden);
+}
+
 std::uint64_t BatchFaultSim::state_diff_lanes(
     const std::vector<std::uint8_t>& golden) const {
   std::uint64_t m = 0;
+  if (cone_live_) {
+    for (const std::uint32_t di : cone_dffs_) {
+      const auto i = static_cast<std::size_t>(cn_.dff_out[di]);
+      m |= val_[i] ^ broadcast(golden[i]);
+    }
+    return m & lane_mask_;
+  }
   for (const Net n : nl_.dffs()) {
     const auto i = static_cast<std::size_t>(n);
     m |= val_[i] ^ broadcast(golden[i]);
@@ -145,8 +281,24 @@ void BatchFaultSim::retire_lane(unsigned lane,
   force0_[site] &= ~bit;
   force1_[site] &= ~bit;
   lane_mask_ &= ~bit;
+  if (cone_live_) {
+    // Out-of-cone nets already track the golden machine in every lane.
+    for (const Net n : cone_nets_) {
+      const auto i = static_cast<std::size_t>(n);
+      val_[i] = (val_[i] & ~bit) | (broadcast(golden[i]) & bit);
+    }
+    return;
+  }
   for (std::size_t i = 0; i < val_.size(); ++i)
     val_[i] = (val_[i] & ~bit) | (broadcast(golden[i]) & bit);
 }
+
+std::size_t BatchFaultSim::cone_gate_count() {
+  if (!cone_enabled_ || !lane_mask_) return cn_.num_slots();
+  ensure_cone();
+  return cone_slots_.size();
+}
+
+std::size_t BatchFaultSim::total_gate_count() const { return cn_.num_slots(); }
 
 }  // namespace gpf::gate

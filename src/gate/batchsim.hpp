@@ -5,6 +5,15 @@
 // DFF clocking mirrors Simulator::clock() with a word-wide enable mux. Lanes
 // with no fault installed (ragged final batch) and retired lanes simply track
 // the fault-free machine, so they never show up in divergence masks.
+//
+// Fanout-cone pruning (GPF_CONE, default on): a batch's 64 faults can only
+// perturb nets in the union fanout cone of their sites, so eval_cone() word-
+// evaluates just the in-cone gates and refreshes the "frontier" — out-of-cone
+// nets read by in-cone gates/DFFs plus the observed outputs — by broadcasting
+// the golden snapshot of the cycle. clock(), state_diff_lanes() and
+// retire_lane() restrict themselves to the cone once it is live, which is
+// exact: an out-of-cone net equals the golden machine in every lane by
+// construction. The replay loop opts in per batch via cone_active().
 #pragma once
 
 #include <cstdint>
@@ -15,6 +24,8 @@
 #include "gate/sim.hpp"
 
 namespace gpf::gate {
+
+struct CompiledNetlist;
 
 class BatchFaultSim {
  public:
@@ -28,6 +39,16 @@ class BatchFaultSim {
   /// Mask with one bit set per installed lane.
   std::uint64_t lane_mask() const { return lane_mask_; }
 
+  /// Nets the caller will read through diff_observed()/bus_value() for
+  /// classification. Must be set before begin() for cone pruning to keep
+  /// them refreshed; survives across begin() calls.
+  void set_observed(std::span<const Net> nets) {
+    observed_.assign(nets.begin(), nets.end());
+  }
+  /// True when eval_cone() should be used for the current batch (GPF_CONE on
+  /// and at least one fault installed).
+  bool cone_active() const { return cone_enabled_ && lane_mask_ != 0; }
+
   /// Broadcast a full golden net-value snapshot into every lane (sequential
   /// replays start at the first activating cycle, like Simulator::load_values).
   void load_broadcast(const std::vector<std::uint8_t>& vals);
@@ -35,7 +56,10 @@ class BatchFaultSim {
   void set_bus(const PortBus& bus, std::uint64_t value);
   /// Settle combinational logic (applies every lane's fault overlay).
   void eval();
-  /// Latch DFFs from current values (call after eval()).
+  /// Cone-pruned eval: word-evaluate only gates in the union fanout cone of
+  /// the batch's fault sites; frontier nets take this cycle's golden value.
+  void eval_cone(const std::vector<std::uint8_t>& golden);
+  /// Latch DFFs from current values (call after eval()/eval_cone()).
   void clock();
 
   bool value(Net n, unsigned lane) const {
@@ -47,6 +71,9 @@ class BatchFaultSim {
   /// Lanes whose value on any of `nets` differs from the golden snapshot.
   std::uint64_t diff_lanes(std::span<const Net> nets,
                            const std::vector<std::uint8_t>& golden) const;
+  /// diff_lanes over the set_observed() nets — cone-restricted when live
+  /// (out-of-cone observed nets carry the golden value by construction).
+  std::uint64_t diff_observed(const std::vector<std::uint8_t>& golden) const;
   /// Lanes whose DFF state differs from the golden snapshot (used for the
   /// all-quiet early exit of sequential replays).
   std::uint64_t state_diff_lanes(const std::vector<std::uint8_t>& golden) const;
@@ -56,10 +83,18 @@ class BatchFaultSim {
   /// and never diverges again. Used to retire hung faults early.
   void retire_lane(unsigned lane, const std::vector<std::uint8_t>& golden);
 
+  /// Gates word-evaluated per cycle by eval_cone() for the current batch
+  /// (builds the cone if needed). Benches report the in-cone fraction as
+  /// cone_gate_count() / total_gate_count().
+  std::size_t cone_gate_count();
+  std::size_t total_gate_count() const;
+
  private:
   void apply_source_overlays();
+  void ensure_cone();
 
   const Netlist& nl_;
+  const CompiledNetlist& cn_;
   std::vector<std::uint64_t> val_;       ///< [net] -> 64 fault lanes
   std::vector<std::uint64_t> force0_;    ///< per-net stuck-at-0 lane masks
   std::vector<std::uint64_t> force1_;    ///< per-net stuck-at-1 lane masks
@@ -68,6 +103,19 @@ class BatchFaultSim {
   std::vector<Net> source_sites_;        ///< Input/Const/Dff fault sites
   std::vector<Net> sites_;               ///< per-lane fault site
   std::uint64_t lane_mask_ = 0;
+
+  // Cone state (valid for the current batch once cone_live_).
+  const bool cone_enabled_;              ///< GPF_CONE knob, latched at ctor
+  bool cone_live_ = false;               ///< cone built for current batch
+  std::uint32_t cone_epoch_ = 0;
+  std::vector<std::uint32_t> cone_stamp_;      ///< per-net in-cone epoch
+  std::vector<std::uint32_t> frontier_stamp_;  ///< per-net frontier epoch
+  std::vector<std::uint32_t> cone_slots_;      ///< in-cone program slots
+  std::vector<std::uint32_t> cone_dffs_;       ///< in-cone DFF indices
+  std::vector<Net> cone_nets_;                 ///< all in-cone nets
+  std::vector<Net> frontier_;                  ///< golden-refreshed nets
+  std::vector<Net> observed_;                  ///< classification read set
+  std::vector<Net> observed_cone_;             ///< observed_ ∩ cone
 };
 
 }  // namespace gpf::gate

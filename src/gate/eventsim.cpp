@@ -3,46 +3,18 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "gate/compiled.hpp"
+
 namespace gpf::gate {
 
-EventFaultSim::EventFaultSim(const Netlist& nl) : nl_(nl) {
+EventFaultSim::EventFaultSim(const Netlist& nl) : nl_(nl), cn_(nl.compiled()) {
   if (!nl.finalized()) throw std::logic_error("netlist not finalized");
   const std::size_t n = nl.num_nets();
 
-  // Levels: inputs/consts/DFF outputs at 0, combinational gates above.
-  level_.assign(n, 0);
-  int max_level = 0;
-  for (const Net g : nl.eval_order()) {
-    const Gate& gg = nl.gate(g);
-    int lv = 0;
-    for (Net in : {gg.a, gg.b, gg.c})
-      if (in != kNoNet) lv = std::max(lv, level_[static_cast<std::size_t>(in)] + 1);
-    level_[static_cast<std::size_t>(g)] = lv;
-    max_level = std::max(max_level, lv);
-  }
-  buckets_.resize(static_cast<std::size_t>(max_level) + 1);
-
-  // Fan-out CSR over combinational gates AND DFFs (a divergent value feeding
-  // a DFF must flag it as a next-state candidate).
-  std::vector<std::uint32_t> degree(n + 1, 0);
-  auto each_edge = [&](auto&& fn) {
-    for (std::size_t g = 0; g < n; ++g) {
-      const Gate& gg = nl.gate(static_cast<Net>(g));
-      if (gg.kind == GateKind::Input || gg.kind == GateKind::Const0 ||
-          gg.kind == GateKind::Const1)
-        continue;
-      for (Net in : {gg.a, gg.b, gg.c})
-        if (in != kNoNet) fn(in, static_cast<Net>(g));
-    }
-  };
-  each_edge([&](Net src, Net) { ++degree[static_cast<std::size_t>(src)]; });
-  fan_offset_.assign(n + 1, 0);
-  for (std::size_t i = 0; i < n; ++i) fan_offset_[i + 1] = fan_offset_[i] + degree[i];
-  fan_target_.resize(fan_offset_[n]);
-  std::vector<std::uint32_t> cursor(fan_offset_.begin(), fan_offset_.end() - 1);
-  each_edge([&](Net src, Net dst) {
-    fan_target_[cursor[static_cast<std::size_t>(src)]++] = dst;
-  });
+  // Levels and the fan-out CSR (over combinational gates AND DFFs — a
+  // divergent value feeding a DFF must flag it as a next-state candidate)
+  // come precomputed from the compiled netlist.
+  buckets_.resize(cn_.num_levels());
 
   stamp_.assign(n, 0);
   faulty_val_.assign(n, 0);
@@ -62,11 +34,8 @@ void EventFaultSim::mark(Net n, bool v) {
 }
 
 void EventFaultSim::enqueue_fanout(Net n) {
-  for (std::uint32_t i = fan_offset_[static_cast<std::size_t>(n)];
-       i < fan_offset_[static_cast<std::size_t>(n) + 1]; ++i) {
-    const Net t = fan_target_[i];
-    const Gate& g = nl_.gate(t);
-    if (g.kind == GateKind::Dff) {
+  for (const Net t : cn_.fanout(n)) {
+    if (cn_.dff_index[static_cast<std::size_t>(t)] >= 0) {
       if (dff_touched_epoch_[static_cast<std::size_t>(t)] != epoch_) {
         dff_touched_epoch_[static_cast<std::size_t>(t)] = epoch_;
         touched_dffs_.push_back(t);
@@ -75,7 +44,7 @@ void EventFaultSim::enqueue_fanout(Net n) {
     }
     if (queued_[static_cast<std::size_t>(t)] == epoch_) continue;
     queued_[static_cast<std::size_t>(t)] = epoch_;
-    buckets_[static_cast<std::size_t>(level_[static_cast<std::size_t>(t)])].push_back(t);
+    buckets_[static_cast<std::size_t>(cn_.level[static_cast<std::size_t>(t)])].push_back(t);
   }
 }
 
@@ -111,18 +80,20 @@ bool EventFaultSim::eval_cycle(const std::vector<std::uint8_t>& golden) {
   for (auto& bucket : buckets_) {
     for (std::size_t i = 0; i < bucket.size(); ++i) {
       const Net n = bucket[i];
-      const Gate& g = nl_.gate(n);
+      // Every bucketed net is a combinational gate (DFFs are diverted in
+      // enqueue_fanout), so it has a program slot.
+      const std::uint32_t s = cn_.slot_of[static_cast<std::size_t>(n)];
       bool v;
-      switch (g.kind) {
-        case GateKind::Buf: v = fv(g.a); break;
-        case GateKind::Not: v = !fv(g.a); break;
-        case GateKind::And: v = fv(g.a) && fv(g.b); break;
-        case GateKind::Or: v = fv(g.a) || fv(g.b); break;
-        case GateKind::Nand: v = !(fv(g.a) && fv(g.b)); break;
-        case GateKind::Nor: v = !(fv(g.a) || fv(g.b)); break;
-        case GateKind::Xor: v = fv(g.a) != fv(g.b); break;
-        case GateKind::Xnor: v = fv(g.a) == fv(g.b); break;
-        case GateKind::Mux: v = fv(g.a) ? fv(g.c) : fv(g.b); break;
+      switch (cn_.kind[s]) {
+        case GateKind::Buf: v = fv(cn_.a[s]); break;
+        case GateKind::Not: v = !fv(cn_.a[s]); break;
+        case GateKind::And: v = fv(cn_.a[s]) && fv(cn_.b[s]); break;
+        case GateKind::Or: v = fv(cn_.a[s]) || fv(cn_.b[s]); break;
+        case GateKind::Nand: v = !(fv(cn_.a[s]) && fv(cn_.b[s])); break;
+        case GateKind::Nor: v = !(fv(cn_.a[s]) || fv(cn_.b[s])); break;
+        case GateKind::Xor: v = fv(cn_.a[s]) != fv(cn_.b[s]); break;
+        case GateKind::Xnor: v = fv(cn_.a[s]) == fv(cn_.b[s]); break;
+        case GateKind::Mux: v = fv(cn_.a[s]) ? fv(cn_.c[s]) : fv(cn_.b[s]); break;
         default: continue;
       }
       if (n == fault_.net) v = fault_.stuck_high;
@@ -145,10 +116,12 @@ void EventFaultSim::clock(const std::vector<std::uint8_t>& golden,
                        : golden[static_cast<std::size_t>(n)] != 0;
   };
   auto consider = [&](Net dff) {
-    const Gate& g = nl_.gate(dff);
-    const bool en = g.b == kNoNet ? true : fv(g.b);
+    const auto di = static_cast<std::size_t>(
+        cn_.dff_index[static_cast<std::size_t>(dff)]);
+    const Net en_n = cn_.dff_en[di], d_n = cn_.dff_d[di];
+    const bool en = en_n == kNoNet ? true : fv(en_n);
     const bool q = fv(dff);
-    const bool d = g.a == kNoNet ? q : fv(g.a);
+    const bool d = d_n == kNoNet ? q : fv(d_n);
     const bool faulty_next = en ? d : q;
     const bool golden_next_v = golden_next[static_cast<std::size_t>(dff)] != 0;
     if (faulty_next != golden_next_v)

@@ -15,6 +15,8 @@
 
 namespace gpf::gate {
 
+struct CompiledNetlist;
+
 class EventFaultSim {
  public:
   explicit EventFaultSim(const Netlist& nl);
@@ -54,10 +56,7 @@ class EventFaultSim {
   void enqueue_fanout(Net n);
 
   const Netlist& nl_;
-  std::vector<int> level_;
-  // CSR fan-out.
-  std::vector<std::uint32_t> fan_offset_;
-  std::vector<Net> fan_target_;
+  const CompiledNetlist& cn_;  ///< levels + CSR fan-out, lowered at finalize()
 
   StuckFault fault_{};
   std::uint32_t epoch_ = 0;

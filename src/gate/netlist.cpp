@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "gate/compiled.hpp"
+
 namespace gpf::gate {
 
 Net Netlist::add(GateKind k, Net a, Net b, Net c) {
@@ -114,6 +116,12 @@ void Netlist::finalize() {
       constants_.emplace_back(static_cast<Net>(i), 1);
   }
   finalized_ = true;
+  compiled_ = std::make_shared<const CompiledNetlist>(*this, level);
+}
+
+const CompiledNetlist& Netlist::compiled() const {
+  if (!compiled_) throw std::logic_error("netlist not finalized");
+  return *compiled_;
 }
 
 std::size_t Netlist::cell_count() const {

@@ -5,11 +5,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 namespace gpf::gate {
+
+struct CompiledNetlist;
 
 enum class GateKind : std::uint8_t {
   Input,   ///< primary input (value set externally)
@@ -84,6 +87,9 @@ class Netlist {
   const std::vector<std::pair<Net, std::uint8_t>>& constants() const {
     return constants_;
   }
+  /// Flat SoA program + CSR fan-out lowered by finalize(); the simulators
+  /// execute this instead of chasing gate(n) through eval_order().
+  const CompiledNetlist& compiled() const;
 
   /// Total combinational + sequential cell count (excludes Input/Const).
   std::size_t cell_count() const;
@@ -97,6 +103,8 @@ class Netlist {
   std::vector<Net> dffs_;
   std::vector<Net> eval_order_;
   std::vector<std::pair<Net, std::uint8_t>> constants_;
+  // shared_ptr so Netlist stays copyable; the compiled form is immutable.
+  std::shared_ptr<const CompiledNetlist> compiled_;
   std::vector<PortBus> inputs_;
   std::vector<PortBus> outputs_;
   bool finalized_ = false;

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <bit>
+#include <unordered_map>
 
 #include "common/rng.hpp"
 #include "gate/batchsim.hpp"
+#include "gate/collapse.hpp"
+#include "gate/compiled.hpp"
 #include "gate/eventsim.hpp"
 #include "isa/encoding.hpp"
 
@@ -626,6 +629,7 @@ void UnitReplayer::run_fault_batch(std::span<const StuckFault> faults,
   if (n == 0 || lanes == 0) return;
 
   BatchFaultSim sim(*nl_);
+  sim.set_observed(ports_->observed);
   sim.begin(faults);
 
   // Lanes hung by an earlier trace are retired before the replay starts;
@@ -638,6 +642,11 @@ void UnitReplayer::run_fault_batch(std::span<const StuckFault> faults,
       live |= std::uint64_t{1} << k;
   }
   if (!live) return;
+
+  // With cone pruning on, only gates downstream of the batch's fault sites
+  // are word-evaluated; every other net tracks the golden trace exactly, so
+  // diff_observed/state_diff/retire restrict themselves to the cone too.
+  const bool cone = sim.cone_active();
 
   const auto site = [&](std::size_t k) {
     return static_cast<std::size_t>(faults[k].net);
@@ -673,8 +682,11 @@ void UnitReplayer::run_fault_batch(std::span<const StuckFault> faults,
       }
       if (!act) continue;
       drive_inputs(sim, t, c);
-      sim.eval();
-      classify_diverged(sim.diff_lanes(ports_->observed, g.vals[c]) & act, c);
+      if (cone)
+        sim.eval_cone(g.vals[c]);
+      else
+        sim.eval();
+      classify_diverged(sim.diff_observed(g.vals[c]) & act, c);
     }
     return;
   }
@@ -699,9 +711,12 @@ void UnitReplayer::run_fault_batch(std::span<const StuckFault> faults,
   sim.load_broadcast(g.vals[first_any]);
   for (std::size_t c = first_any; c < n; ++c) {
     drive_inputs(sim, t, c);
-    sim.eval();
+    if (cone)
+      sim.eval_cone(g.vals[c]);
+    else
+      sim.eval();
     if (cycle_is_issue(t, c))
-      classify_diverged(sim.diff_lanes(ports_->observed, g.vals[c]), c);
+      classify_diverged(sim.diff_observed(g.vals[c]), c);
     if (!live) break;
     if (c + 1 < n) {
       sim.clock();
@@ -728,7 +743,46 @@ std::vector<StuckFault> sampled_fault_list(const Netlist& nl, UnitKind unit,
     }
     faults.resize(max_faults);
   }
+  // Topological order keeps the fanout cones of each 64-fault batch tight
+  // and overlapping, which is what makes cone pruning (GPF_CONE) pay off.
+  // The sort key is a strict total order, so the resulting id space is as
+  // deterministic as the sample itself.
+  const CompiledNetlist& cn = nl.compiled();
+  std::sort(faults.begin(), faults.end(),
+            [&](const StuckFault& a, const StuckFault& b) {
+              const std::uint32_t ta = cn.topo_index[static_cast<std::size_t>(a.net)];
+              const std::uint32_t tb = cn.topo_index[static_cast<std::size_t>(b.net)];
+              if (ta != tb) return ta < tb;
+              return a.stuck_high < b.stuck_high;
+            });
   return faults;
+}
+
+void ActivationSummary::add(const UnitReplayer::GoldenTrace& g) {
+  for (const std::vector<std::uint8_t>& vals : g.vals) {
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      if (vals[i])
+        ever1[i] = 1;
+      else
+        ever0[i] = 1;
+    }
+  }
+}
+
+FaultCharacterization expand_collapsed(const FaultCharacterization& rep,
+                                       const StuckFault& member,
+                                       const ActivationSummary& act) {
+  FaultCharacterization out;
+  out.fault = member;
+  out.error_counts = rep.error_counts;
+  out.hang = rep.hang;
+  // A hang proves the class diverged at the outputs, and divergence requires
+  // activation of every member's site (an unactivated member is the golden
+  // machine). Without a hang, the replay scanned every cycle of every trace,
+  // so the engine's activated bit reduces to "the golden value ever differed
+  // from the stuck value" — exactly the summary bits.
+  out.activated = rep.hang ? true : act.activated(member);
+  return out;
 }
 
 UnitCampaignResult run_unit_campaign(UnitKind unit, std::span<const UnitTraces> traces,
@@ -744,16 +798,43 @@ UnitCampaignResult run_unit_campaign(UnitKind unit, std::span<const UnitTraces> 
   result.faults.resize(faults.size());
   for (std::size_t i = 0; i < faults.size(); ++i) result.faults[i].fault = faults[i];
 
+  // With collapsing on, only one representative per equivalence class is
+  // simulated; every member's record is expanded from it afterwards. With it
+  // off, the "representatives" are the campaign faults themselves.
+  const bool collapse = collapse_enabled();
+  std::vector<StuckFault> sim_faults;
+  std::vector<std::uint32_t> rep_slot;  // campaign fault -> sim_faults index
+  if (collapse) {
+    const FaultCollapse col(replayer.netlist());
+    std::unordered_map<std::uint32_t, std::uint32_t> slot_of_node;
+    rep_slot.resize(faults.size());
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      const StuckFault rep = col.representative(faults[i]);
+      const auto [it, inserted] = slot_of_node.try_emplace(
+          FaultCollapse::node(rep), static_cast<std::uint32_t>(sim_faults.size()));
+      if (inserted) sim_faults.push_back(rep);
+      rep_slot[i] = it->second;
+    }
+  } else {
+    sim_faults = faults;
+  }
+
+  std::vector<FaultCharacterization> sim_out(sim_faults.size());
+  for (std::size_t j = 0; j < sim_faults.size(); ++j)
+    sim_out[j].fault = sim_faults[j];
+  ActivationSummary act(collapse ? replayer.netlist().num_nets() : 0);
+
   for (const UnitTraces& t : traces) {
     const UnitReplayer::GoldenTrace g = replayer.compute_golden(t);
+    if (collapse) act.add(g);
     if (engine == EngineKind::Batch) {
       constexpr std::size_t kB = BatchFaultSim::kLanes;
-      const std::size_t batches = (faults.size() + kB - 1) / kB;
+      const std::size_t batches = (sim_faults.size() + kB - 1) / kB;
       auto work = [&](std::size_t b) {
         const std::size_t lo = b * kB;
-        const std::size_t len = std::min(kB, faults.size() - lo);
-        replayer.run_fault_batch(std::span(faults).subspan(lo, len), t, g,
-                                 std::span(result.faults).subspan(lo, len));
+        const std::size_t len = std::min(kB, sim_faults.size() - lo);
+        replayer.run_fault_batch(std::span(sim_faults).subspan(lo, len), t, g,
+                                 std::span(sim_out).subspan(lo, len));
       };
       if (pool)
         pool->parallel_for(batches, work);
@@ -762,12 +843,19 @@ UnitCampaignResult run_unit_campaign(UnitKind unit, std::span<const UnitTraces> 
       continue;
     }
     auto work = [&](std::size_t i) {
-      replayer.run_fault(faults[i], t, g, result.faults[i], engine);
+      replayer.run_fault(sim_faults[i], t, g, sim_out[i], engine);
     };
     if (pool)
-      pool->parallel_for(faults.size(), work);
+      pool->parallel_for(sim_faults.size(), work);
     else
-      for (std::size_t i = 0; i < faults.size(); ++i) work(i);
+      for (std::size_t i = 0; i < sim_faults.size(); ++i) work(i);
+  }
+
+  if (collapse) {
+    for (std::size_t i = 0; i < faults.size(); ++i)
+      result.faults[i] = expand_collapsed(sim_out[rep_slot[i]], faults[i], act);
+  } else {
+    result.faults = std::move(sim_out);
   }
   return result;
 }

@@ -127,14 +127,41 @@ class UnitReplayer {
   std::unique_ptr<Ports> ports_;
 };
 
-/// The campaign's (possibly sampled) fault list: the full collapsed list of
+/// The campaign's (possibly sampled) fault list: the full stuck-at list of
 /// `nl` when `max_faults` is 0 or not smaller, else a seeded partial shuffle
-/// taking `max_faults` entries. Deterministic in (netlist, unit, max_faults,
-/// seed) — shards and resumed runs regenerate the identical list, so a
-/// fault's list index is its durable campaign id in the result store.
+/// taking `max_faults` entries — in either case sorted by topological index
+/// so consecutive 64-fault batches have tight, overlapping fanout cones.
+/// Deterministic in (netlist, unit, max_faults, seed) — shards and resumed
+/// runs regenerate the identical list, so a fault's list index is its
+/// durable campaign id in the result store.
 std::vector<StuckFault> sampled_fault_list(const Netlist& nl, UnitKind unit,
                                            std::size_t max_faults,
                                            std::uint64_t seed);
+
+/// Per-net activation summary over a set of golden traces: whether each net
+/// ever carries a 0 (activates s-a-1) or a 1 (activates s-a-0). Used to
+/// recompute the member-specific `activated` bit when a collapsed class
+/// representative's record is expanded onto its members.
+struct ActivationSummary {
+  explicit ActivationSummary(std::size_t num_nets)
+      : ever0(num_nets, 0), ever1(num_nets, 0) {}
+  void add(const UnitReplayer::GoldenTrace& g);
+  bool activated(const StuckFault& f) const {
+    const auto i = static_cast<std::size_t>(f.net);
+    return (f.stuck_high ? ever0[i] : ever1[i]) != 0;
+  }
+  std::vector<std::uint8_t> ever0, ever1;
+};
+
+/// Expand a simulated class representative's characterization onto a class
+/// member: error counts and hang are observation-equivalent across the class
+/// (that is what equivalence means), while `activated` is the member's own
+/// site property — a hang implies activation (divergence requires it), and
+/// otherwise the member's full golden scan reduces to the summary bits.
+/// Produces bit-identical records to an uncollapsed run of the member.
+FaultCharacterization expand_collapsed(const FaultCharacterization& rep,
+                                       const StuckFault& member,
+                                       const ActivationSummary& act);
 
 /// Full campaign over (sampled) faults x traces. The engine defaults to the
 /// GPF_ENGINE environment knob (batch unless overridden); with the batch

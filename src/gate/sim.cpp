@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "gate/compiled.hpp"
+
 namespace gpf::gate {
 
 Simulator::Simulator(const Netlist& nl)
@@ -37,22 +39,23 @@ void Simulator::eval() {
   for (const auto& [n, v] : nl_.constants()) val_[static_cast<std::size_t>(n)] = v;
   apply_fault_at_sources();
 
-  for (const Net n : nl_.eval_order()) {
-    const Gate& g = nl_.gate(n);
-    const auto va = [&](Net x) { return val_[static_cast<std::size_t>(x)]; };
+  const CompiledNetlist& cn = nl_.compiled();
+  const auto va = [&](Net x) { return val_[static_cast<std::size_t>(x)]; };
+  for (std::size_t s = 0; s < cn.num_slots(); ++s) {
     std::uint8_t v = 0;
-    switch (g.kind) {
-      case GateKind::Buf: v = va(g.a); break;
-      case GateKind::Not: v = !va(g.a); break;
-      case GateKind::And: v = va(g.a) & va(g.b); break;
-      case GateKind::Or: v = va(g.a) | va(g.b); break;
-      case GateKind::Nand: v = !(va(g.a) & va(g.b)); break;
-      case GateKind::Nor: v = !(va(g.a) | va(g.b)); break;
-      case GateKind::Xor: v = va(g.a) ^ va(g.b); break;
-      case GateKind::Xnor: v = !(va(g.a) ^ va(g.b)); break;
-      case GateKind::Mux: v = va(g.a) ? va(g.c) : va(g.b); break;
+    switch (cn.kind[s]) {
+      case GateKind::Buf: v = va(cn.a[s]); break;
+      case GateKind::Not: v = !va(cn.a[s]); break;
+      case GateKind::And: v = va(cn.a[s]) & va(cn.b[s]); break;
+      case GateKind::Or: v = va(cn.a[s]) | va(cn.b[s]); break;
+      case GateKind::Nand: v = !(va(cn.a[s]) & va(cn.b[s])); break;
+      case GateKind::Nor: v = !(va(cn.a[s]) | va(cn.b[s])); break;
+      case GateKind::Xor: v = va(cn.a[s]) ^ va(cn.b[s]); break;
+      case GateKind::Xnor: v = !(va(cn.a[s]) ^ va(cn.b[s])); break;
+      case GateKind::Mux: v = va(cn.a[s]) ? va(cn.c[s]) : va(cn.b[s]); break;
       default: continue;
     }
+    const Net n = cn.out[s];
     if (n == fault_.net) {
       golden_at_fault_ = v;
       v = fault_.stuck_high ? 1 : 0;
@@ -64,17 +67,17 @@ void Simulator::eval() {
 void Simulator::clock() {
   // Two-phase: sample all D inputs, then commit, so DFF-to-DFF paths behave
   // like real registers.
-  for (std::size_t i = 0; i < nl_.dffs().size(); ++i) {
-    const Net n = nl_.dffs()[i];
-    const Gate& g = nl_.gate(n);
-    const bool en = g.b == kNoNet ? true : val_[static_cast<std::size_t>(g.b)] != 0;
-    const std::uint8_t cur = val_[static_cast<std::size_t>(n)];
+  const CompiledNetlist& cn = nl_.compiled();
+  for (std::size_t i = 0; i < cn.dff_out.size(); ++i) {
+    const bool en =
+        cn.dff_en[i] == kNoNet ? true : val_[static_cast<std::size_t>(cn.dff_en[i])] != 0;
+    const std::uint8_t cur = val_[static_cast<std::size_t>(cn.dff_out[i])];
     const std::uint8_t d =
-        g.a == kNoNet ? cur : val_[static_cast<std::size_t>(g.a)];
+        cn.dff_d[i] == kNoNet ? cur : val_[static_cast<std::size_t>(cn.dff_d[i])];
     dff_next_[i] = en ? d : cur;
   }
-  for (std::size_t i = 0; i < nl_.dffs().size(); ++i)
-    val_[static_cast<std::size_t>(nl_.dffs()[i])] = dff_next_[i];
+  for (std::size_t i = 0; i < cn.dff_out.size(); ++i)
+    val_[static_cast<std::size_t>(cn.dff_out[i])] = dff_next_[i];
   apply_fault_at_sources();
 }
 

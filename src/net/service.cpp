@@ -1,5 +1,6 @@
 #include "net/service.hpp"
 
+#include <cstdio>
 #include <memory>
 #include <stdexcept>
 
@@ -18,6 +19,9 @@ UnitFn make_unit_fn(const store::CampaignMeta& meta) {
       auto traces = std::make_shared<std::vector<gate::UnitTraces>>(
           report::collect_profiling_traces(meta.param1));
       auto runner = std::make_shared<report::GateUnitRunner>(*traces, meta);
+      if (runner->collapsed())
+        std::fprintf(stderr, "[worker] gate campaign: %zu faults collapse to %zu representatives\n",
+                     runner->faults().size(), runner->representative_count());
       auto pool = std::make_shared<ThreadPool>();
       return [traces, runner, pool](std::span<const std::uint64_t> ids,
                                     const EmitBytes& emit,

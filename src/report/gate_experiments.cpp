@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "gate/batchsim.hpp"
+#include "gate/collapse.hpp"
 #include "gate/profiler.hpp"
 #include "store/records.hpp"
 #include "workloads/workload.hpp"
@@ -100,11 +102,108 @@ GateUnitRunner::GateUnitRunner(const std::vector<gate::UnitTraces>& traces,
   goldens_.reserve(traces.size());
   for (const gate::UnitTraces& t : traces)
     goldens_.push_back(replayer_.compute_golden(t));
+
+  collapse_ = collapse_enabled();
+  rep_count_ = faults_.size();
+  if (collapse_) {
+    const gate::FaultCollapse col(replayer_.netlist());
+    rep_of_id_.reserve(faults_.size());
+    std::unordered_map<std::uint32_t, std::uint32_t> seen;
+    for (const gate::StuckFault& f : faults_) {
+      const gate::StuckFault rep = col.representative(f);
+      rep_of_id_.push_back(rep);
+      seen.try_emplace(gate::FaultCollapse::node(rep), 0u);
+    }
+    rep_count_ = seen.size();
+    act_ = gate::ActivationSummary(replayer_.netlist().num_nets());
+    for (const gate::UnitReplayer::GoldenTrace& g : goldens_) act_.add(g);
+  }
+}
+
+std::size_t gate_campaign_representatives(const store::CampaignMeta& meta) {
+  if (meta.kind != store::CampaignKind::Gate)
+    throw std::runtime_error("gate campaign: meta is not a gate campaign");
+  if (!collapse_enabled()) return meta.total;
+  const auto unit = static_cast<gate::UnitKind>(meta.target);
+  gate::UnitReplayer replayer(unit);
+  const std::vector<gate::StuckFault> faults =
+      gate::sampled_fault_list(replayer.netlist(), unit, meta.param0, meta.seed);
+  if (faults.size() != meta.total) return meta.total;  // stale store: no map
+  const gate::FaultCollapse col(replayer.netlist());
+  std::unordered_map<std::uint32_t, std::uint32_t> seen;
+  for (const gate::StuckFault& f : faults)
+    seen.try_emplace(gate::FaultCollapse::node(col.representative(f)), 0u);
+  return seen.size();
+}
+
+void GateUnitRunner::run_collapsed(std::span<const std::uint64_t> ids,
+                                   const Emit& emit, ThreadPool* pool,
+                                   const std::function<bool()>& stop) const {
+  // Group the requested ids by equivalence class: one simulation per unique
+  // representative, expanded onto every member id as it retires.
+  struct Job {
+    gate::StuckFault rep;
+    std::vector<std::uint64_t> ids;
+  };
+  std::vector<Job> jobs;
+  std::unordered_map<std::uint32_t, std::size_t> job_of_node;
+  for (const std::uint64_t id : ids) {
+    const gate::StuckFault rep = rep_of_id_.at(id);
+    const auto [it, inserted] =
+        job_of_node.try_emplace(gate::FaultCollapse::node(rep), jobs.size());
+    if (inserted) jobs.push_back(Job{rep, {}});
+    jobs[it->second].ids.push_back(id);
+  }
+  const auto expand = [&](const Job& job, const gate::FaultCharacterization& rc) {
+    for (const std::uint64_t id : job.ids)
+      emit(id, gate::expand_collapsed(rc, faults_[id], act_));
+  };
+
+  if (engine_ == EngineKind::Batch) {
+    constexpr std::size_t kB = gate::BatchFaultSim::kLanes;
+    const std::size_t batches = (jobs.size() + kB - 1) / kB;
+    const auto work = [&](std::size_t b) {
+      if (stop && stop()) return;
+      const std::size_t lo = b * kB;
+      const std::size_t len = std::min(kB, jobs.size() - lo);
+      std::vector<gate::StuckFault> bf(len);
+      std::vector<gate::FaultCharacterization> bo(len);
+      for (std::size_t j = 0; j < len; ++j) {
+        bf[j] = jobs[lo + j].rep;
+        bo[j].fault = bf[j];
+      }
+      for (std::size_t ti = 0; ti < traces_.size(); ++ti)
+        replayer_.run_fault_batch(bf, traces_[ti], goldens_[ti], bo);
+      for (std::size_t j = 0; j < len; ++j) expand(jobs[lo + j], bo[j]);
+    };
+    if (pool)
+      pool->parallel_for(batches, work);
+    else
+      for (std::size_t b = 0; b < batches; ++b) work(b);
+    return;
+  }
+
+  const auto work = [&](std::size_t i) {
+    if (stop && stop()) return;
+    gate::FaultCharacterization fc;
+    fc.fault = jobs[i].rep;
+    for (std::size_t ti = 0; ti < traces_.size(); ++ti)
+      replayer_.run_fault(fc.fault, traces_[ti], goldens_[ti], fc, engine_);
+    expand(jobs[i], fc);
+  };
+  if (pool)
+    pool->parallel_for(jobs.size(), work);
+  else
+    for (std::size_t i = 0; i < jobs.size(); ++i) work(i);
 }
 
 void GateUnitRunner::run(std::span<const std::uint64_t> ids, const Emit& emit,
                          ThreadPool* pool,
                          const std::function<bool()>& stop) const {
+  if (collapse_) {
+    run_collapsed(ids, emit, pool, stop);
+    return;
+  }
   if (engine_ == EngineKind::Batch) {
     constexpr std::size_t kB = gate::BatchFaultSim::kLanes;
     const std::size_t batches = (ids.size() + kB - 1) / kB;

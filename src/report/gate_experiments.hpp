@@ -60,12 +60,21 @@ store::GateRecord to_gate_record(const gate::FaultCharacterization& fc);
 void apply_gate_record(const store::GateRecord& r,
                        gate::FaultCharacterization& fc);
 
+/// Number of equivalence-class representatives actually simulated for a gate
+/// campaign's fault-id space: the unique structural-collapse representatives
+/// of the sampled fault list (= meta.total when GPF_COLLAPSE is off). Builds
+/// the unit netlist but needs no traces, so status tooling can call it.
+std::size_t gate_campaign_representatives(const store::CampaignMeta& meta);
+
 /// Work-unit adapter for lease-based dispatch: resolves a gate campaign's
 /// fault-id space once (netlist, sampled fault list, golden traces), then
 /// evaluates arbitrary id subsets on demand. Because fault id -> StuckFault
 /// is a pure function of the campaign meta, any process evaluating id i
 /// produces the identical record — the fleet's byte-identical-export
-/// invariant.
+/// invariant. With GPF_COLLAPSE on, each run() groups its ids by structural
+/// equivalence class, simulates one representative per class, and expands
+/// the record onto every member id — the emitted records are bit-identical
+/// to an uncollapsed run, so the invariant survives collapsing.
 class GateUnitRunner {
  public:
   using Emit =
@@ -76,6 +85,10 @@ class GateUnitRunner {
 
   const std::vector<gate::StuckFault>& faults() const { return faults_; }
   std::size_t full_fault_list_size() const { return full_fault_list_size_; }
+  /// Equivalence-class representatives across the whole campaign fault list
+  /// (= faults().size() when collapsing is off).
+  bool collapsed() const { return collapse_; }
+  std::size_t representative_count() const { return rep_count_; }
 
   /// Evaluates `ids` (campaign fault ids, each < meta.total), invoking
   /// emit(id, result) as each fault retires. With a pool, 64-fault batches
@@ -87,12 +100,19 @@ class GateUnitRunner {
            const std::function<bool()>& stop = {}) const;
 
  private:
+  void run_collapsed(std::span<const std::uint64_t> ids, const Emit& emit,
+                     ThreadPool* pool, const std::function<bool()>& stop) const;
+
   const std::vector<gate::UnitTraces>& traces_;
   EngineKind engine_;
   gate::UnitReplayer replayer_;
   std::vector<gate::StuckFault> faults_;
   std::vector<gate::UnitReplayer::GoldenTrace> goldens_;
   std::size_t full_fault_list_size_ = 0;
+  bool collapse_ = false;
+  std::vector<gate::StuckFault> rep_of_id_;  ///< class rep per campaign id
+  std::size_t rep_count_ = 0;
+  gate::ActivationSummary act_{0};  ///< golden activation bits (collapse only)
 };
 
 }  // namespace gpf::report

@@ -111,6 +111,54 @@ TEST_P(BatchSimEquivalence, RaggedBatchMatchesRunFault) {
   }
 }
 
+/// Restores the collapse/cone knobs to "defer to environment" even when an
+/// assertion aborts the test body early.
+struct KnobGuard {
+  ~KnobGuard() {
+    set_collapse_override(-1);
+    set_cone_override(-1);
+  }
+};
+
+// Fault collapsing and cone pruning are pure optimizations: every
+// (GPF_COLLAPSE, GPF_CONE, engine) combination must produce the identical
+// characterization for every fault as the knobs-off brute-force reference.
+TEST_P(BatchSimEquivalence, KnobMatrixClassifiesIdentically) {
+  const std::vector<UnitTraces> traces = {trace_of("p_tiled_mxm", 300),
+                                          trace_of("p_sort", 300)};
+  constexpr std::size_t kFaults = 130;
+  static_assert(kFaults % BatchFaultSim::kLanes != 0,
+                "sample must exercise a ragged final batch");
+  KnobGuard guard;
+
+  set_collapse_override(0);
+  set_cone_override(0);
+  const auto reference = run_unit_campaign(GetParam(), traces, kFaults, 42,
+                                           nullptr, EngineKind::Brute);
+  ASSERT_EQ(reference.faults.size(), kFaults);
+
+  for (const int collapse : {0, 1}) {
+    for (const int cone : {0, 1}) {
+      for (const EngineKind e :
+           {EngineKind::Brute, EngineKind::Event, EngineKind::Batch}) {
+        if (collapse == 0 && cone == 0 && e == EngineKind::Brute)
+          continue;  // the reference itself
+        set_collapse_override(collapse);
+        set_cone_override(cone);
+        const auto res =
+            run_unit_campaign(GetParam(), traces, kFaults, 42, nullptr, e);
+        const std::string label = std::string("collapse=") +
+                                  std::to_string(collapse) +
+                                  " cone=" + std::to_string(cone) +
+                                  " engine=" + engine_name(e) + " vs reference";
+        ASSERT_EQ(res.faults.size(), reference.faults.size()) << label;
+        for (std::size_t i = 0; i < kFaults; ++i)
+          expect_same(reference.faults[i], res.faults[i], label.c_str());
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Units, BatchSimEquivalence,
                          ::testing::Values(UnitKind::Decoder, UnitKind::Fetch,
                                            UnitKind::WSC),

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/rng.hpp"
+#include "gate/collapse.hpp"
 #include "gate/netlist.hpp"
 #include "gate/dictionary.hpp"
 #include "gate/profiler.hpp"
@@ -658,6 +659,177 @@ TEST(FaultDictionary, RoundTrips) {
     EXPECT_EQ(loaded[i].error_counts, res.faults[i].error_counts);
     EXPECT_EQ(loaded[i].cls(), res.faults[i].cls());
   }
+}
+
+// ---------------------------------------------------------------------------
+// Compiled netlist vs legacy per-Gate walk (randomized property test)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Reference evaluator that walks gate(n) through eval_order() — the
+/// pre-compiled execution model — so the Simulator's compiled-program path
+/// is checked against an independent interpretation of the same netlist.
+struct ReferenceSim {
+  const Netlist& nl;
+  std::vector<std::uint8_t> vals;
+
+  explicit ReferenceSim(const Netlist& n) : nl(n), vals(n.num_nets(), 0) {
+    for (const auto& [net, v] : nl.constants())
+      vals[static_cast<std::size_t>(net)] = v;
+  }
+  bool v(Net n) const { return vals[static_cast<std::size_t>(n)] != 0; }
+  void eval() {
+    for (const Net n : nl.eval_order()) {
+      const Gate& g = nl.gate(n);
+      bool out;
+      switch (g.kind) {
+        case GateKind::Buf: out = v(g.a); break;
+        case GateKind::Not: out = !v(g.a); break;
+        case GateKind::And: out = v(g.a) && v(g.b); break;
+        case GateKind::Or: out = v(g.a) || v(g.b); break;
+        case GateKind::Nand: out = !(v(g.a) && v(g.b)); break;
+        case GateKind::Nor: out = !(v(g.a) || v(g.b)); break;
+        case GateKind::Xor: out = v(g.a) != v(g.b); break;
+        case GateKind::Xnor: out = v(g.a) == v(g.b); break;
+        case GateKind::Mux: out = v(g.a) ? v(g.c) : v(g.b); break;
+        default: continue;
+      }
+      vals[static_cast<std::size_t>(n)] = out ? 1 : 0;
+    }
+  }
+  void clock() {
+    std::vector<std::pair<Net, std::uint8_t>> next;
+    for (const Net d : nl.dffs()) {
+      const Gate& g = nl.gate(d);
+      const bool en = g.b == kNoNet ? true : v(g.b);
+      const bool dv = g.a == kNoNet ? v(d) : v(g.a);
+      next.emplace_back(d, (en ? dv : v(d)) ? 1 : 0);
+    }
+    for (const auto& [d, nv] : next) vals[static_cast<std::size_t>(d)] = nv;
+  }
+};
+
+/// A random levelized netlist with DFF feedback: inputs, a gate soup drawing
+/// operands from every already-defined net (including forward references to
+/// DFF outputs), and late-bound DFF D/enable pins.
+Netlist random_netlist(Rng& rng) {
+  Netlist nl;
+  std::vector<Net> nets;
+  const std::size_t ni = 2 + rng.below(6);
+  for (std::size_t i = 0; i < ni; ++i) nets.push_back(nl.input());
+  if (rng.below(3) == 0) nets.push_back(nl.constant(rng.below(2) != 0));
+
+  std::vector<Net> dffs;
+  const std::size_t nd = rng.below(4);  // declared up front for feedback
+  for (std::size_t i = 0; i < nd; ++i) {
+    const Net d = nl.dff();
+    dffs.push_back(d);
+    nets.push_back(d);
+  }
+
+  const std::size_t ng = 10 + rng.below(50);
+  for (std::size_t i = 0; i < ng; ++i) {
+    const auto pick = [&] { return nets[rng.below(nets.size())]; };
+    Net n;
+    switch (rng.below(9)) {
+      case 0: n = nl.buf(pick()); break;
+      case 1: n = nl.not_(pick()); break;
+      case 2: n = nl.and_(pick(), pick()); break;
+      case 3: n = nl.or_(pick(), pick()); break;
+      case 4: n = nl.nand_(pick(), pick()); break;
+      case 5: n = nl.nor_(pick(), pick()); break;
+      case 6: n = nl.xor_(pick(), pick()); break;
+      case 7: n = nl.xnor_(pick(), pick()); break;
+      default: n = nl.mux(pick(), pick(), pick()); break;
+    }
+    nets.push_back(n);
+  }
+  for (const Net d : dffs) {
+    const Net dv = nets[rng.below(nets.size())];
+    const Net en = rng.below(2) ? nets[rng.below(nets.size())] : kNoNet;
+    nl.set_dff_input(d, dv, en);
+  }
+  // Observe a random handful of nets so output-protection paths get hit too.
+  std::vector<Net> obs;
+  for (int i = 0; i < 4; ++i) obs.push_back(nets[rng.below(nets.size())]);
+  nl.add_output_bus("o", obs);
+  nl.finalize();
+  return nl;
+}
+
+}  // namespace
+
+TEST(CompiledNetlist, RandomNetlistsMatchLegacyWalk) {
+  Rng rng(0xC0DE);
+  for (int iter = 0; iter < 300; ++iter) {
+    const Netlist nl = random_netlist(rng);
+    Simulator sim(nl);
+    ReferenceSim ref(nl);
+
+    std::vector<Net> ins;
+    for (Net n = 0; n < static_cast<Net>(nl.num_nets()); ++n)
+      if (nl.gate(n).kind == GateKind::Input) ins.push_back(n);
+
+    for (int cycle = 0; cycle < 6; ++cycle) {
+      for (const Net in : ins) {
+        const bool v = rng.below(2) != 0;
+        sim.set_input(in, v);
+        ref.vals[static_cast<std::size_t>(in)] = v ? 1 : 0;
+      }
+      sim.eval();
+      ref.eval();
+      for (Net n = 0; n < static_cast<Net>(nl.num_nets()); ++n)
+        ASSERT_EQ(sim.value(n), ref.v(n))
+            << "iter=" << iter << " cycle=" << cycle << " net=" << n;
+      sim.clock();
+      ref.clock();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Structural fault collapsing rules
+// ---------------------------------------------------------------------------
+
+TEST(FaultCollapse, AppliesStructuralEquivalenceRules) {
+  Netlist nl;
+  const Net i0 = nl.input(), i1 = nl.input();
+  const Net z_and = nl.and_(i0, i1);   // i0 single-use; i1 fans out below
+  const Net z_not = nl.not_(z_and);    // chains the class with inversion
+  const Net z_or = nl.or_(z_not, i1);  // i1's second pin use
+  const Net q = nl.dff(z_or);          // register boundary
+  const Net z_buf = nl.buf(q);         // q is observed -> protected
+  nl.add_output_bus("o", {q, z_buf});
+  nl.finalize();
+  const FaultCollapse col(nl);
+
+  const auto same = [&](const StuckFault& a, const StuckFault& b) {
+    return FaultCollapse::node(col.representative(a)) ==
+           FaultCollapse::node(col.representative(b));
+  };
+  // And: input s-a-0 == output s-a-0; Not inverts; Or chains s-a-1. The whole
+  // class is {i0 sa0, z_and sa0, z_not sa1, z_or sa1}.
+  EXPECT_TRUE(same({i0, false}, {z_and, false}));
+  EXPECT_TRUE(same({i0, false}, {z_not, true}));
+  EXPECT_TRUE(same({i0, false}, {z_or, true}));
+  EXPECT_FALSE(same({i0, true}, {z_and, true}));  // And merges only s-a-0
+  // Fanout stem: i1 has two pin uses, so neither polarity merges.
+  EXPECT_FALSE(same({i1, false}, {z_and, false}));
+  EXPECT_FALSE(same({i1, true}, {z_or, true}));
+  // DFF pins never merge (a stuck D input is the output fault shifted by a
+  // cycle), and observed nets never merge into their consumer.
+  EXPECT_FALSE(same({z_or, false}, {q, false}));
+  EXPECT_FALSE(same({q, false}, {z_buf, false}));
+
+  // The representative is the topologically deepest member of its class.
+  EXPECT_EQ(col.representative({i0, false}).net, z_or);
+  EXPECT_TRUE(col.representative({i0, false}).stuck_high);
+  EXPECT_TRUE(col.is_representative({z_or, true}));
+  EXPECT_FALSE(col.is_representative({i0, false}));
+
+  EXPECT_EQ(col.fault_count(), 2 * nl.num_nets());  // no constant nets here
+  EXPECT_LT(col.class_count(), col.fault_count());
 }
 
 }  // namespace

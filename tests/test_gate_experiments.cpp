@@ -187,6 +187,46 @@ TEST_F(GateExperimentsTest, FourShardMergeMatchesSingleStore) {
   EXPECT_EQ(export_json(path("merged.gpfs")), export_json(path("single.gpfs")));
 }
 
+// Acceptance: a collapsed + cone-pruned campaign's store export is
+// byte-identical to a knobs-off run of the same campaign — collapsing is an
+// expansion-exact optimization, not an approximation. Also checks the
+// status-level representative accounting.
+TEST_F(GateExperimentsTest, CollapsedStoreExportIsByteIdentical) {
+  const auto unit = gate::UnitKind::Decoder;
+  const auto meta = report::gate_campaign_meta(unit, kFaults, kMaxIssues, kSeed,
+                                               EngineKind::Batch);
+  struct KnobGuard {
+    ~KnobGuard() {
+      gpf::set_collapse_override(-1);
+      gpf::set_cone_override(-1);
+    }
+  } guard;
+
+  gpf::set_collapse_override(0);
+  gpf::set_cone_override(0);
+  {
+    store::CampaignCheckpoint ckpt(path("plain.gpfs"), meta);
+    report::run_unit_campaign_store(traces(), ckpt);
+  }
+  EXPECT_EQ(report::gate_campaign_representatives(meta), kFaults);
+
+  gpf::set_collapse_override(1);
+  gpf::set_cone_override(1);
+  {
+    store::CampaignCheckpoint ckpt(path("collapsed.gpfs"), meta);
+    report::run_unit_campaign_store(traces(), ckpt);
+  }
+  const std::size_t reps = report::gate_campaign_representatives(meta);
+  EXPECT_LE(reps, kFaults);
+
+  EXPECT_EQ(export_json(path("collapsed.gpfs")), export_json(path("plain.gpfs")));
+
+  // The runner itself reports the same representative accounting.
+  const report::GateUnitRunner runner(traces(), meta);
+  EXPECT_TRUE(runner.collapsed());
+  EXPECT_EQ(runner.representative_count(), reps);
+}
+
 // A store written for one unit refuses to resume a different campaign.
 TEST_F(GateExperimentsTest, StoreMismatchIsRejected) {
   const auto meta = report::gate_campaign_meta(gate::UnitKind::Decoder, kFaults,

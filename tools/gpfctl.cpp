@@ -30,6 +30,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -221,9 +222,33 @@ int cmd_status(const Args& a) {
   for (const std::string& path : paths)
     stores.emplace_back(path, store::load_store(path));
 
+  // Representative counts are a pure function of (unit, faults, seed); cache
+  // so sharded stores of one campaign resolve the netlist only once.
+  std::vector<std::pair<std::tuple<std::uint8_t, std::uint64_t, std::uint64_t>,
+                        std::size_t>>
+      rep_cache;
+  const auto representatives = [&](const store::CampaignMeta& m) {
+    const auto key = std::make_tuple(m.target, m.param0, m.seed);
+    for (const auto& [k, v] : rep_cache)
+      if (k == key) return v;
+    const std::size_t v = report::gate_campaign_representatives(m);
+    rep_cache.emplace_back(key, v);
+    return v;
+  };
+
   for (const auto& [path, s] : stores) {
     std::cout << "== " << path << "\n";
     store::print_status(s, std::cout);
+    if (s.meta.kind == store::CampaignKind::Gate) {
+      const std::size_t reps = representatives(s.meta);
+      if (reps < s.meta.total) {
+        char ratio[32];
+        std::snprintf(ratio, sizeof ratio, "%.2fx",
+                      static_cast<double>(s.meta.total) / static_cast<double>(reps));
+        std::cout << "  collapsed: " << reps << " representatives simulated for "
+                  << s.meta.total << " faults (" << ratio << ")\n";
+      }
+    }
   }
   if (stores.size() > 1) store::print_aggregate_status(stores, std::cout);
   return 0;

@@ -8,6 +8,8 @@
 // for exhaustive stuck-at sweeps.
 //
 //   bench_gate_batch [decoder|fetch|wsc]   (no argument: all three units)
+#include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -82,7 +84,8 @@ struct JsonRow {
 // Machine-readable perf record so the speedup trajectory is tracked across
 // PRs instead of living only in stdout. Written next to the binary (or into
 // GPF_BENCH_JSON_DIR).
-void write_bench_json(const std::vector<JsonRow>& rows) {
+void write_bench_json(const std::vector<JsonRow>& rows,
+                      double metrics_overhead_pct) {
   const char* dir = std::getenv("GPF_BENCH_JSON_DIR");
   const std::string path =
       std::string(dir && *dir ? dir : ".") + "/BENCH_gate_batch.json";
@@ -96,7 +99,8 @@ void write_bench_json(const std::vector<JsonRow>& rows) {
     std::snprintf(buf, sizeof(buf), fmt, v);
     return std::string(buf);
   };
-  os << "{\n  \"bench\": \"gate_batch\",\n  \"results\": [\n";
+  os << "{\n  \"bench\": \"gate_batch\",\n  \"metrics_overhead_pct\": "
+     << num(metrics_overhead_pct, "%.2f") << ",\n  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const JsonRow& r = rows[i];
     os << "    {\"unit\": \"" << r.unit << "\", \"engine\": \"" << r.engine
@@ -131,10 +135,15 @@ int main(int argc, char** argv) {
                                        gate::UnitKind::WSC};
   if (argc > 1) {
     units.clear();
-    const std::string want = argv[1];
+    const auto lower = [](std::string s) {
+      for (char& c : s) c = static_cast<char>(std::tolower(
+                            static_cast<unsigned char>(c)));
+      return s;
+    };
+    const std::string want = lower(argv[1]);
     for (gate::UnitKind u :
          {gate::UnitKind::Decoder, gate::UnitKind::Fetch, gate::UnitKind::WSC})
-      if (want == gate::unit_name(u)) units.push_back(u);
+      if (want == lower(gate::unit_name(u))) units.push_back(u);
     if (units.empty()) {
       std::cerr << "unknown unit: " << want << " (decoder|fetch|wsc)\n";
       return 2;
@@ -226,6 +235,41 @@ int main(int argc, char** argv) {
     set_cone_override(-1);
   }
   t.print(std::cout);
+
+  // Instrumentation overhead: the tuned decoder row with the obs registry
+  // recording vs every record call compiled down to one untaken branch
+  // (set_metrics_override(0)). Min-of-two runs each way to damp scheduler
+  // noise; the registry's contract is ~zero, CI asserts a lenient ceiling.
+  double metrics_overhead_pct = 0.0;
+  if (std::find(units.begin(), units.end(), gate::UnitKind::Decoder) !=
+      units.end()) {
+    set_collapse_override(1);
+    set_cone_override(1);
+    const auto timed = [&](int metrics_on) {
+      set_metrics_override(metrics_on);
+      double best = 1e300;
+      for (int rep = 0; rep < 2; ++rep) {
+        const auto t0 = Clock::now();
+        gate::run_unit_campaign(gate::UnitKind::Decoder, traces, max_faults, 7,
+                                nullptr, EngineKind::Batch);
+        best = std::min(
+            best, std::chrono::duration<double>(Clock::now() - t0).count());
+      }
+      return best;
+    };
+    timed(0);  // warm caches before either measured pass
+    const double off_s = timed(0);
+    const double on_s = timed(1);
+    set_metrics_override(-1);
+    set_collapse_override(-1);
+    set_cone_override(-1);
+    metrics_overhead_pct =
+        off_s > 0.0 ? (on_s - off_s) / off_s * 100.0 : 0.0;
+    std::printf("\nmetrics overhead (decoder, batch+c+c): off %.3fs on %.3fs "
+                "=> %+.2f%%\n",
+                off_s, on_s, metrics_overhead_pct);
+  }
+
   std::cout << "\nThe batch engine packs 64 stuck-at faults into one uint64_t\n"
                "per net and replays each trace once per batch. Collapsing\n"
                "(GPF_COLLAPSE) simulates one representative per structural\n"
@@ -234,7 +278,7 @@ int main(int argc, char** argv) {
                "fault sites. Both default on; all rows classify identically.\n"
                "Select an engine with GPF_ENGINE=brute|event|batch and size\n"
                "the worker pool with GPF_THREADS.\n";
-  write_bench_json(json_rows);
+  write_bench_json(json_rows, metrics_overhead_pct);
   if (any_mismatch) {
     std::cerr << "FAIL: engines disagree on at least one classification\n";
     return 1;

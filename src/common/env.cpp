@@ -2,17 +2,69 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <ostream>
 #include <string>
 
 namespace gpf {
 
+namespace {
+
+// Skips leading whitespace and rejects a leading '-': all GPF_* numeric
+// knobs are unsigned, and strtoull would otherwise wrap -3 to a huge value.
+const char* numeric_start(const char* s) {
+  while (std::isspace(static_cast<unsigned char>(*s))) ++s;
+  return *s == '-' ? nullptr : s;
+}
+
+bool only_trailing_space(const char* end) {
+  while (std::isspace(static_cast<unsigned char>(*end))) ++end;
+  return *end == '\0';
+}
+
+}  // namespace
+
+unsigned long long parse_env_u64(const char* var, const char* value,
+                                 unsigned long long fallback) {
+  if (!value) return fallback;
+  const char* start = numeric_start(value);
+  if (start && *start) {
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(start, &end, 0);
+    if (end != start && errno != ERANGE && only_trailing_space(end)) return v;
+  }
+  std::fprintf(stderr,
+               "[gpf] ignoring %s=\"%s\": not an unsigned integer; "
+               "using default %llu\n",
+               var, value, fallback);
+  return fallback;
+}
+
+double parse_env_double(const char* var, const char* value, double fallback) {
+  if (!value) return fallback;
+  const char* start = numeric_start(value);
+  if (start && *start) {
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end != start && errno != ERANGE && only_trailing_space(end) &&
+        std::isfinite(v))
+      return v;
+  }
+  std::fprintf(stderr,
+               "[gpf] ignoring %s=\"%s\": not a number; using default %g\n",
+               var, value, fallback);
+  return fallback;
+}
+
 double campaign_scale() {
   static const double scale = [] {
-    const char* s = std::getenv("GPF_SCALE");
-    if (!s) return 1.0;
-    const double v = std::atof(s);
+    const double v = parse_env_double("GPF_SCALE", std::getenv("GPF_SCALE"), 1.0);
     return v > 0.01 ? v : 0.01;
   }();
   return scale;
@@ -24,10 +76,8 @@ std::size_t scaled(std::size_t n, std::size_t min_n) {
 }
 
 unsigned long long campaign_seed() {
-  static const unsigned long long seed = [] {
-    const char* s = std::getenv("GPF_SEED");
-    return s ? std::strtoull(s, nullptr, 0) : 0xC0FFEEULL;
-  }();
+  static const unsigned long long seed =
+      parse_env_u64("GPF_SEED", std::getenv("GPF_SEED"), 0xC0FFEEULL);
   return seed;
 }
 
@@ -85,12 +135,8 @@ void set_cone_override(int v) { g_cone_override = v < 0 ? -1 : (v ? 1 : 0); }
 
 std::size_t campaign_threads() {
   if (const std::size_t o = g_threads_override.load()) return o;
-  static const std::size_t threads = [] {
-    const char* s = std::getenv("GPF_THREADS");
-    if (!s) return std::size_t{0};
-    const long v = std::atol(s);
-    return v > 0 ? static_cast<std::size_t>(v) : std::size_t{0};
-  }();
+  static const std::size_t threads = static_cast<std::size_t>(
+      parse_env_u64("GPF_THREADS", std::getenv("GPF_THREADS"), 0));
   return threads;
 }
 
@@ -114,20 +160,60 @@ std::string coord_addr() {
 
 std::uint32_t lease_duration_ms() {
   static const std::uint32_t ms = [] {
-    const char* s = std::getenv("GPF_LEASE_MS");
-    if (!s) return 10000u;
-    const long v = std::atol(s);
-    return v >= 50 ? static_cast<std::uint32_t>(v) : 50u;
+    const unsigned long long v =
+        parse_env_u64("GPF_LEASE_MS", std::getenv("GPF_LEASE_MS"), 10000);
+    return static_cast<std::uint32_t>(std::clamp(v, 50ull, 0xFFFFFFFFull));
   }();
   return ms;
 }
 
 std::uint32_t worker_backoff_ms() {
   static const std::uint32_t ms = [] {
-    const char* s = std::getenv("GPF_WORKER_BACKOFF_MS");
-    if (!s) return 500u;
-    const long v = std::atol(s);
-    return v >= 1 ? static_cast<std::uint32_t>(v) : 1u;
+    const unsigned long long v = parse_env_u64(
+        "GPF_WORKER_BACKOFF_MS", std::getenv("GPF_WORKER_BACKOFF_MS"), 500);
+    return static_cast<std::uint32_t>(std::clamp(v, 1ull, 0xFFFFFFFFull));
+  }();
+  return ms;
+}
+
+namespace {
+std::atomic<int> g_fsync_override{-1};
+std::atomic<int> g_metrics_override{-1};
+}  // namespace
+
+bool fsync_enabled() {
+  const int o = g_fsync_override.load();
+  if (o >= 0) return o != 0;
+  static const bool on = env_flag("GPF_FSYNC", true);
+  return on;
+}
+
+void set_fsync_override(int v) { g_fsync_override = v < 0 ? -1 : (v ? 1 : 0); }
+
+bool metrics_enabled() {
+  const int o = g_metrics_override.load();
+  if (o >= 0) return o != 0;
+  static const bool on = env_flag("GPF_METRICS", true);
+  return on;
+}
+
+void set_metrics_override(int v) {
+  g_metrics_override = v < 0 ? -1 : (v ? 1 : 0);
+}
+
+std::string trace_path() {
+  static const std::string path = [] {
+    const char* s = std::getenv("GPF_TRACE");
+    return std::string(s ? s : "");
+  }();
+  return path;
+}
+
+std::uint32_t status_interval_ms() {
+  static const std::uint32_t ms = [] {
+    const unsigned long long v =
+        parse_env_u64("GPF_STATUS_MS", std::getenv("GPF_STATUS_MS"), 5000);
+    return static_cast<std::uint32_t>(std::min(v, 0xFFFFFFFFull));
   }();
   return ms;
 }
@@ -158,6 +244,16 @@ void dump_env(std::ostream& os) {
   line("GPF_COORD_ADDR", coord_addr());
   line("GPF_LEASE_MS", std::to_string(lease_duration_ms()));
   line("GPF_WORKER_BACKOFF_MS", std::to_string(worker_backoff_ms()));
+  if (g_fsync_override.load() >= 0)
+    os << "# GPF_FSYNC=" << (fsync_enabled() ? "1" : "0") << " (override)\n";
+  else
+    line("GPF_FSYNC", fsync_enabled() ? "1" : "0");
+  if (g_metrics_override.load() >= 0)
+    os << "# GPF_METRICS=" << (metrics_enabled() ? "1" : "0") << " (override)\n";
+  else
+    line("GPF_METRICS", metrics_enabled() ? "1" : "0");
+  line("GPF_TRACE", trace_path().empty() ? "(off)" : trace_path());
+  line("GPF_STATUS_MS", std::to_string(status_interval_ms()));
 }
 
 }  // namespace gpf

@@ -14,6 +14,14 @@
 //   GPF_COORD_ADDR        gpfd coordinator host:port (default 127.0.0.1:9777)
 //   GPF_LEASE_MS          coordinator lease duration in ms (default 10000)
 //   GPF_WORKER_BACKOFF_MS worker reconnect backoff base in ms (default 500)
+//   GPF_FSYNC             fdatasync stores at checkpoint boundaries: 1 | 0 (default 1)
+//   GPF_METRICS           process-wide metrics registry: 1 | 0 (default 1)
+//   GPF_TRACE             Chrome trace-event JSON output path (default off)
+//   GPF_STATUS_MS         campaign progress-line period in ms (default 5000, 0 = off)
+//
+// Numeric knobs are parsed strictly: a value that is not entirely a number
+// (e.g. GPF_THREADS=max) is rejected with a warning on stderr and the
+// documented default is used — it never silently becomes 0.
 #pragma once
 
 #include <cstddef>
@@ -22,6 +30,19 @@
 #include <string>
 
 namespace gpf {
+
+/// Strictly parses `value` (the contents of environment variable `var`) as an
+/// unsigned integer (decimal, or 0x/0-prefixed hex/octal). Leading/trailing
+/// whitespace is allowed; anything else non-numeric — including a leading
+/// minus sign, trailing garbage, or an empty string — rejects the whole
+/// value: a warning naming `var` is printed on stderr and `fallback` is
+/// returned. `value == nullptr` (unset variable) returns `fallback` silently.
+unsigned long long parse_env_u64(const char* var, const char* value,
+                                 unsigned long long fallback);
+
+/// Same contract as parse_env_u64 for floating-point knobs (strtod grammar;
+/// non-finite results are rejected too).
+double parse_env_double(const char* var, const char* value, double fallback);
 
 /// GPF_SCALE environment variable as a multiplier (default 1.0, min 0.01).
 double campaign_scale();
@@ -90,6 +111,31 @@ std::uint32_t lease_duration_ms();
 /// exponential reconnect backoff (doubles per failed attempt, capped at
 /// 64x; default 500, min 1).
 std::uint32_t worker_backoff_ms();
+
+/// GPF_FSYNC environment variable: when on (the default), the campaign store
+/// issues fdatasync at checkpoint/lease-retire boundaries so acknowledged
+/// work survives a host crash or power loss, not just a process kill. Same
+/// off-spellings as GPF_COLLAPSE. Override: -1 = defer to environment.
+bool fsync_enabled();
+void set_fsync_override(int v);
+
+/// GPF_METRICS environment variable: when on (the default), the process-wide
+/// obs:: metrics registry records counters/gauges/histograms on the hot
+/// paths; when off every record call is a single relaxed load + untaken
+/// branch. Override: -1 = defer to environment (benches toggle this to
+/// measure instrumentation overhead in one process).
+bool metrics_enabled();
+void set_metrics_override(int v);
+
+/// GPF_TRACE environment variable: path of a Chrome trace-event JSON file to
+/// write campaign -> unit -> batch spans into (viewable in chrome://tracing
+/// or Perfetto). Empty string (the default) disables tracing.
+std::string trace_path();
+
+/// GPF_STATUS_MS environment variable: how often the single-process campaign
+/// drivers print a progress/ETA line (default 5000 ms, 0 = off). The gpfd
+/// coordinator's equivalent is its --status-ms flag.
+std::uint32_t status_interval_ms();
 
 /// Print every GPF_* knob with its effective value and whether it came from
 /// the environment or a default. Campaign entry points call this once at

@@ -5,6 +5,7 @@
 
 #include "common/env.hpp"
 #include "gate/compiled.hpp"
+#include "obs/metrics.hpp"
 
 namespace gpf::gate {
 
@@ -29,6 +30,11 @@ BatchFaultSim::BatchFaultSim(const Netlist& nl)
 
 void BatchFaultSim::begin(std::span<const StuckFault> faults) {
   if (faults.size() > kLanes) throw std::invalid_argument("more than 64 faults");
+  // Batch occupancy: lanes/64 per begin(); one begin per (batch, trace).
+  static obs::Counter& batches = obs::counter("gate.batches");
+  static obs::Counter& lanes = obs::counter("gate.batch_lanes");
+  batches.add(1);
+  lanes.add(faults.size());
   for (const Net n : forced_nets_) {
     force0_[static_cast<std::size_t>(n)] = 0;
     force1_[static_cast<std::size_t>(n)] = 0;
@@ -136,6 +142,14 @@ void BatchFaultSim::ensure_cone() {
     else
       add_frontier(n);
   }
+
+  // Cone fraction = cone_gates / cone_total_gates across all builds.
+  static obs::Counter& builds = obs::counter("gate.cone_builds");
+  static obs::Counter& cone_gates = obs::counter("gate.cone_gates");
+  static obs::Counter& total_gates = obs::counter("gate.cone_total_gates");
+  builds.add(1);
+  cone_gates.add(cone_slots_.size());
+  total_gates.add(cn_.num_slots());
 }
 
 void BatchFaultSim::eval() {

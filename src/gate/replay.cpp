@@ -10,6 +10,8 @@
 #include "gate/compiled.hpp"
 #include "gate/eventsim.hpp"
 #include "isa/encoding.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gpf::gate {
 
@@ -788,6 +790,7 @@ FaultCharacterization expand_collapsed(const FaultCharacterization& rep,
 UnitCampaignResult run_unit_campaign(UnitKind unit, std::span<const UnitTraces> traces,
                                      std::size_t max_faults, std::uint64_t seed,
                                      ThreadPool* pool, EngineKind engine) {
+  obs::TraceSpan unit_span("gate", std::string("unit ") + unit_name(unit));
   UnitReplayer replayer(unit);
   UnitCampaignResult result;
   result.unit = unit;
@@ -833,6 +836,8 @@ UnitCampaignResult run_unit_campaign(UnitKind unit, std::span<const UnitTraces> 
       auto work = [&](std::size_t b) {
         const std::size_t lo = b * kB;
         const std::size_t len = std::min(kB, sim_faults.size() - lo);
+        obs::TraceSpan batch_span("gate", "batch");
+        batch_span.arg("lanes", len);
         replayer.run_fault_batch(std::span(sim_faults).subspan(lo, len), t, g,
                                  std::span(sim_out).subspan(lo, len));
       };
@@ -857,6 +862,13 @@ UnitCampaignResult run_unit_campaign(UnitKind unit, std::span<const UnitTraces> 
   } else {
     result.faults = std::move(sim_out);
   }
+  // Collapse ratio = members / reps; faults_retired is the record stream.
+  static obs::Counter& members = obs::counter("gate.collapse_members");
+  static obs::Counter& reps = obs::counter("gate.collapse_reps");
+  static obs::Counter& retired = obs::counter("gate.faults_retired");
+  members.add(faults.size());
+  reps.add(sim_faults.size());
+  retired.add(result.faults.size());
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "net/protocol.hpp"
+#include "obs/metrics.hpp"
 
 namespace gpf::net {
 
@@ -17,6 +18,12 @@ std::set<std::uint64_t> done_ids(const store::CampaignCheckpoint& ckpt) {
   return ids;
 }
 
+std::uint64_t ms_between(LeaseDispatcher::Clock::time_point a,
+                         LeaseDispatcher::Clock::time_point b) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(b - a).count());
+}
+
 }  // namespace
 
 Coordinator::Coordinator(store::CampaignCheckpoint& ckpt,
@@ -24,8 +31,69 @@ Coordinator::Coordinator(store::CampaignCheckpoint& ckpt,
     : ckpt_(ckpt),
       cfg_(cfg),
       listener_(listen_tcp(cfg.host, cfg.port)),
-      dispatcher_(ckpt.meta(), cfg.unit_size, done_ids(ckpt)) {
+      dispatcher_(ckpt.meta(), cfg.unit_size, done_ids(ckpt)),
+      done_at_open_(ckpt.done().size()) {
   port_ = local_port(listener_);
+}
+
+void Coordinator::touch_session(std::uint64_t session, const std::string& name,
+                                LeaseDispatcher::Clock::time_point now,
+                                std::uint64_t retired_delta) {
+  SessionInfo& info = sessions_[session];
+  if (!name.empty()) info.name = name;
+  info.retired += retired_delta;
+  info.last_active = now;
+  info.connected = true;
+}
+
+void Coordinator::sample_progress(LeaseDispatcher::Clock::time_point now) {
+  // Called from the accept loop (~100 ms cadence) under mu_: keep one
+  // sample per second, a trailing window of 16.
+  if (!rate_samples_.empty() && ms_between(rate_samples_.back().first, now) < 1000)
+    return;
+  rate_samples_.emplace_back(now, dispatcher_.retired());
+  while (rate_samples_.size() > 16) rate_samples_.pop_front();
+}
+
+StatsSnapshot Coordinator::snapshot_stats_locked(
+    LeaseDispatcher::Clock::time_point now) {
+  StatsSnapshot s;
+  s.total_ids = done_at_open_ + dispatcher_.id_count();
+  s.retired_ids = done_at_open_ + dispatcher_.retired();
+  s.done_at_open = done_at_open_;
+  s.pending_units = static_cast<std::uint32_t>(dispatcher_.pending_units());
+  s.leased_units = static_cast<std::uint32_t>(dispatcher_.leased_units());
+  s.elapsed_ms = ms_between(serve_start_, now);
+  s.draining = drain_.load(std::memory_order_relaxed) ? 1 : 0;
+  if (rate_samples_.size() >= 2) {
+    const auto& [t0, r0] = rate_samples_.front();
+    const auto& [t1, r1] = rate_samples_.back();
+    const std::uint64_t dt_ms = ms_between(t0, t1);
+    if (dt_ms > 0 && r1 > r0) {
+      s.rate_milli = (r1 - r0) * 1000000ull / dt_ms;  // faults/s x1000
+      const std::uint64_t remaining = dispatcher_.id_count() - dispatcher_.retired();
+      s.eta_ms = remaining * 1000000ull / s.rate_milli;
+    }
+  }
+  s.workers.reserve(sessions_.size());
+  for (const auto& [session, info] : sessions_) {
+    WorkerRow row;
+    row.session = session;
+    row.name = info.name;
+    row.retired = info.retired;
+    row.leased_units =
+        static_cast<std::uint32_t>(dispatcher_.leased_units_for(session));
+    row.idle_ms = ms_between(info.last_active, now);
+    row.connected = info.connected ? 1 : 0;
+    s.workers.push_back(std::move(row));
+  }
+  return s;
+}
+
+StatsSnapshot Coordinator::snapshot_stats() {
+  const auto now = LeaseDispatcher::Clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_stats_locked(now);
 }
 
 bool Coordinator::stop_serving() {
@@ -35,6 +103,8 @@ bool Coordinator::stop_serving() {
 }
 
 Coordinator::Stats Coordinator::serve() {
+  serve_start_ = LeaseDispatcher::Clock::now();
+  auto last_status = serve_start_;
   std::uint64_t next_session = 1;
   const auto spawn = [this, &next_session](Socket client) {
     const std::uint64_t session = next_session++;
@@ -51,11 +121,36 @@ Coordinator::Stats Coordinator::serve() {
         std::move(client));
   };
 
+  static obs::Counter& expiries = obs::counter("net.lease_expiries");
   while (!stop_serving()) {
+    const auto now = LeaseDispatcher::Clock::now();
     {
       std::lock_guard<std::mutex> lock(mu_);
-      stats_.expired_leases +=
-          dispatcher_.expire_stale(LeaseDispatcher::Clock::now());
+      const std::size_t expired = dispatcher_.expire_stale(now);
+      stats_.expired_leases += expired;
+      expiries.add(expired);
+      sample_progress(now);
+    }
+    if (cfg_.status_interval_ms > 0 &&
+        ms_between(last_status, now) >= cfg_.status_interval_ms) {
+      last_status = now;
+      StatsSnapshot s;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        s = snapshot_stats_locked(now);
+      }
+      std::fprintf(stderr,
+                   "[gpfd] progress %llu/%llu (%.1f%%) rate %.1f/s eta %llus "
+                   "workers %zu units %u pending / %u leased%s\n",
+                   static_cast<unsigned long long>(s.retired_ids),
+                   static_cast<unsigned long long>(s.total_ids),
+                   s.total_ids ? 100.0 * static_cast<double>(s.retired_ids) /
+                                     static_cast<double>(s.total_ids)
+                               : 100.0,
+                   static_cast<double>(s.rate_milli) / 1000.0,
+                   static_cast<unsigned long long>(s.eta_ms / 1000),
+                   s.workers.size(), s.pending_units, s.leased_units,
+                   s.draining ? " [draining]" : "");
     }
     Socket client = accept_client(listener_, /*timeout_ms=*/100);
     if (client.valid()) spawn(std::move(client));
@@ -76,6 +171,7 @@ Coordinator::Stats Coordinator::serve() {
   for (std::thread& t : threads_) t.join();
   threads_.clear();
   listener_.close();
+  ckpt_.sync();  // everything acknowledged so far becomes durable
 
   std::lock_guard<std::mutex> lock(mu_);
   stats_.drained = !dispatcher_.all_done();
@@ -84,6 +180,13 @@ Coordinator::Stats Coordinator::serve() {
 
 void Coordinator::handle_connection(Socket sock, std::uint64_t session) {
   const auto lease_len = std::chrono::milliseconds(cfg_.lease_ms);
+  // The worker's self-reported name, kept connection-local until the peer
+  // acts like a worker (leases/results/heartbeats): pure observers (`gpfctl
+  // top` sends only Hello + StatsRequest) never appear in the worker table.
+  std::string peer_name;
+  static obs::Counter& grants = obs::counter("net.lease_grants");
+  static obs::Counter& heartbeats = obs::counter("net.heartbeats");
+  static obs::Counter& stats_reqs = obs::counter("net.stats_requests");
   try {
     set_recv_timeout(sock, 250);
     Frame f;
@@ -104,6 +207,7 @@ void Coordinator::handle_connection(Socket sock, std::uint64_t session) {
             throw std::runtime_error(
                 "protocol version mismatch: worker speaks v" +
                 std::to_string(hello.version));
+          peer_name = hello.worker_name;
           HelloAck ack;
           ack.meta = ckpt_.meta();
           ack.lease_ms = cfg_.lease_ms;
@@ -118,7 +222,9 @@ void Coordinator::handle_connection(Socket sock, std::uint64_t session) {
             stats_.expired_leases += dispatcher_.expire_stale(now);
             if (!drain) grant = dispatcher_.lease(session, now, lease_len);
             exhausted = dispatcher_.all_done();
+            touch_session(session, peer_name, now, 0);
           }
+          if (grant) grants.add(1);
           if (grant) {
             LeaseGrant g;
             g.unit_id = grant->unit_id;
@@ -157,6 +263,7 @@ void Coordinator::handle_connection(Socket sock, std::uint64_t session) {
                 ++stats_.duplicates;
               }
             }
+            touch_session(session, peer_name, now, fresh.size());
           }
           // Store appends happen outside the dispatcher lock (ckpt has its
           // own); dedup above guarantees each id is appended exactly once.
@@ -173,7 +280,9 @@ void Coordinator::handle_connection(Socket sock, std::uint64_t session) {
             std::lock_guard<std::mutex> lock(mu_);
             ack.lost_lease =
                 !dispatcher_.renew(hb.unit_id, session, now, lease_len);
+            touch_session(session, peer_name, now, 0);
           }
+          heartbeats.add(1);
           send_frame(sock, encode(ack));
           break;
         }
@@ -185,12 +294,26 @@ void Coordinator::handle_connection(Socket sock, std::uint64_t session) {
             std::lock_guard<std::mutex> lock(mu_);
             ack.lost_lease =
                 !dispatcher_.renew(done.unit_id, session, now, lease_len);
+            touch_session(session, peer_name, now, 0);
           }
+          // Lease-retire boundary: the unit's records become durable before
+          // the worker is told its work is accepted (see GPF_FSYNC).
+          ckpt_.sync();
           if (cfg_.verbose)
             std::fprintf(stderr, "[gpfd] unit %llu done (session %llu)\n",
                          static_cast<unsigned long long>(done.unit_id),
                          static_cast<unsigned long long>(session));
           send_frame(sock, encode(ack));
+          break;
+        }
+        case MsgType::StatsRequest: {
+          stats_reqs.add(1);
+          StatsSnapshot s;
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            s = snapshot_stats_locked(now);
+          }
+          send_frame(sock, encode(s));
           break;
         }
         default:
@@ -208,7 +331,11 @@ void Coordinator::handle_connection(Socket sock, std::uint64_t session) {
   // deadline.
   {
     std::lock_guard<std::mutex> lock(mu_);
+    static obs::Counter& releases = obs::counter("net.lease_releases");
+    releases.add(dispatcher_.leased_units_for(session));
     dispatcher_.release_session(session);
+    if (auto it = sessions_.find(session); it != sessions_.end())
+      it->second.connected = false;
   }
   active_conns_.fetch_sub(1, std::memory_order_relaxed);
 }

@@ -13,6 +13,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -20,6 +22,7 @@
 
 #include "net/dispatch.hpp"
 #include "net/framing.hpp"
+#include "net/protocol.hpp"
 #include "store/checkpoint.hpp"
 
 namespace gpf::net {
@@ -30,6 +33,7 @@ struct CoordinatorConfig {
   std::size_t unit_size = 64; ///< fault ids per work unit
   std::uint32_t lease_ms = 10000;
   bool verbose = false;       ///< per-event log lines on stderr
+  std::uint32_t status_interval_ms = 5000;  ///< progress log period (0 = off)
 };
 
 class Coordinator {
@@ -56,18 +60,43 @@ class Coordinator {
   /// are all retired or a requested drain has no leases left outstanding.
   Stats serve();
 
+  /// Live progress view, as served to `gpfctl top` (thread-safe). The
+  /// throughput is a trailing-window estimate over the last ~16 s of
+  /// retirement samples taken by the accept loop.
+  StatsSnapshot snapshot_stats();
+
  private:
   void handle_connection(Socket sock, std::uint64_t session);
   bool stop_serving();
+  void touch_session(std::uint64_t session, const std::string& name,
+                     LeaseDispatcher::Clock::time_point now,
+                     std::uint64_t retired_delta);
+  void sample_progress(LeaseDispatcher::Clock::time_point now);
+  StatsSnapshot snapshot_stats_locked(LeaseDispatcher::Clock::time_point now);
 
   store::CampaignCheckpoint& ckpt_;
   CoordinatorConfig cfg_;
   Socket listener_;
   std::uint16_t port_ = 0;
 
-  std::mutex mu_;  ///< guards dispatcher_ and stats counters
+  /// A worker connection as seen by stats: rows survive disconnects so the
+  /// live table shows a SIGKILLed worker go stale instead of vanishing.
+  struct SessionInfo {
+    std::string name;
+    std::uint64_t retired = 0;
+    LeaseDispatcher::Clock::time_point last_active{};
+    bool connected = false;
+  };
+
+  std::mutex mu_;  ///< guards dispatcher_, stats counters, and sessions_
   LeaseDispatcher dispatcher_;
   Stats stats_;
+  std::map<std::uint64_t, SessionInfo> sessions_;
+  std::uint64_t done_at_open_ = 0;
+  LeaseDispatcher::Clock::time_point serve_start_{};
+  /// (time, retired) samples for the trailing throughput window.
+  std::deque<std::pair<LeaseDispatcher::Clock::time_point, std::uint64_t>>
+      rate_samples_;
 
   std::atomic<bool> drain_{false};
   std::atomic<bool> stopping_{false};

@@ -93,6 +93,13 @@ std::size_t LeaseDispatcher::leased_units() const {
       }));
 }
 
+std::size_t LeaseDispatcher::leased_units_for(std::uint64_t session) const {
+  return static_cast<std::size_t>(
+      std::count_if(units_.begin(), units_.end(), [session](const Unit& u) {
+        return u.state == State::Leased && u.session == session;
+      }));
+}
+
 void LeaseDispatcher::requeue(std::uint64_t unit_id) {
   Unit& u = units_[unit_id];
   if (u.outstanding.empty()) {

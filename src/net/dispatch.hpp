@@ -76,6 +76,8 @@ class LeaseDispatcher {
   std::uint64_t id_count() const { return id_count_; }
   std::size_t pending_units() const { return queue_.size(); }
   std::size_t leased_units() const;
+  /// Units currently leased by `session` (the per-worker stats row).
+  std::size_t leased_units_for(std::uint64_t session) const;
   /// True while any unit is leased (drain must wait for these).
   bool any_leased() const { return leased_units() != 0; }
 

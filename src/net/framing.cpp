@@ -13,6 +13,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "store/bytes.hpp"
 
 namespace gpf::net {
@@ -151,6 +152,10 @@ void send_frame(const Socket& s, const Frame& f) {
     }
     off += static_cast<std::size_t>(n);
   }
+  static obs::Counter& frames = obs::counter("net.frames_out");
+  static obs::Counter& bytes = obs::counter("net.bytes_out");
+  frames.add(1);
+  bytes.add(wire.size());
 }
 
 namespace {
@@ -202,12 +207,19 @@ RecvStatus recv_frame(const Socket& s, Frame& out) {
   const std::span<const std::uint8_t> bs(body);
   const std::uint32_t want = store::crc32(bs.subspan(0, len));
   store::ByteReader crc_r(bs.subspan(len, 4));
-  if (crc_r.u32() != want)
+  if (crc_r.u32() != want) {
+    static obs::Counter& rejects = obs::counter("net.crc_rejects");
+    rejects.add(1);
     throw std::runtime_error("net: frame CRC mismatch (corrupt stream)");
+  }
 
   out.type = static_cast<std::uint16_t>(body[0]) |
              static_cast<std::uint16_t>(static_cast<std::uint16_t>(body[1]) << 8);
   out.payload.assign(body.begin() + 2, body.begin() + len);
+  static obs::Counter& frames = obs::counter("net.frames_in");
+  static obs::Counter& bytes = obs::counter("net.bytes_in");
+  frames.add(1);
+  bytes.add(4 + body.size());
   return RecvStatus::Ok;
 }
 

@@ -17,6 +17,8 @@ const char* msg_type_name(MsgType t) {
     case MsgType::Heartbeat: return "Heartbeat";
     case MsgType::UnitDone: return "UnitDone";
     case MsgType::Ack: return "Ack";
+    case MsgType::StatsRequest: return "StatsRequest";
+    case MsgType::StatsSnapshot: return "StatsSnapshot";
   }
   return "?";
 }
@@ -202,6 +204,61 @@ Ack decode_ack(const Frame& f) {
   m.drain = r.u8() != 0;
   m.lost_lease = r.u8() != 0;
   expect_done(r, MsgType::Ack);
+  return m;
+}
+
+Frame encode_stats_request() { return make_frame(MsgType::StatsRequest); }
+
+Frame encode(const StatsSnapshot& m) {
+  Frame f = make_frame(MsgType::StatsSnapshot);
+  store::ByteWriter w(f.payload);
+  w.u64(m.total_ids);
+  w.u64(m.retired_ids);
+  w.u64(m.done_at_open);
+  w.u32(m.pending_units);
+  w.u32(m.leased_units);
+  w.u64(m.elapsed_ms);
+  w.u64(m.rate_milli);
+  w.u64(m.eta_ms);
+  w.u8(m.draining);
+  w.u32(static_cast<std::uint32_t>(m.workers.size()));
+  for (const WorkerRow& row : m.workers) {
+    w.u64(row.session);
+    w.u32(static_cast<std::uint32_t>(row.name.size()));
+    w.fixed_str(row.name, row.name.size());
+    w.u64(row.retired);
+    w.u32(row.leased_units);
+    w.u64(row.idle_ms);
+    w.u8(row.connected);
+  }
+  return f;
+}
+
+StatsSnapshot decode_stats_snapshot(const Frame& f) {
+  store::ByteReader r = check(f, MsgType::StatsSnapshot);
+  StatsSnapshot m;
+  m.total_ids = r.u64();
+  m.retired_ids = r.u64();
+  m.done_at_open = r.u64();
+  m.pending_units = r.u32();
+  m.leased_units = r.u32();
+  m.elapsed_ms = r.u64();
+  m.rate_milli = r.u64();
+  m.eta_ms = r.u64();
+  m.draining = r.u8();
+  const std::uint32_t n = r.u32();
+  m.workers.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    WorkerRow row;
+    row.session = r.u64();
+    row.name = r.fixed_str(r.u32());
+    row.retired = r.u64();
+    row.leased_units = r.u32();
+    row.idle_ms = r.u64();
+    row.connected = r.u8();
+    m.workers.push_back(std::move(row));
+  }
+  expect_done(r, MsgType::StatsSnapshot);
   return m;
 }
 

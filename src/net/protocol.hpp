@@ -17,6 +17,8 @@
 //                         <--  Ack
 //   UnitDone              -->
 //                         <--  Ack
+//   StatsRequest          -->
+//                         <--  StatsSnapshot   (live campaign/worker stats)
 //
 // Result and Heartbeat both renew the sender's lease on the named unit; the
 // Ack's lost_lease flag tells a worker its lease expired and was reassigned,
@@ -34,7 +36,8 @@
 
 namespace gpf::net {
 
-constexpr std::uint32_t kProtocolVersion = 1;
+// v2 added StatsRequest/StatsSnapshot (the gpfctl top observer path).
+constexpr std::uint32_t kProtocolVersion = 2;
 
 enum class MsgType : std::uint16_t {
   Hello = 1,
@@ -46,6 +49,8 @@ enum class MsgType : std::uint16_t {
   Heartbeat = 7,
   UnitDone = 8,
   Ack = 9,
+  StatsRequest = 10,
+  StatsSnapshot = 11,
 };
 const char* msg_type_name(MsgType t);
 
@@ -104,6 +109,33 @@ struct Ack {
   bool lost_lease = false;
 };
 
+/// One row of the live per-worker table in a StatsSnapshot. A row outlives
+/// its connection (connected=false) so `gpfctl top` shows dead workers too.
+struct WorkerRow {
+  std::uint64_t session = 0;     ///< coordinator-assigned connection id
+  std::string name;              ///< worker's self-reported --name
+  std::uint64_t retired = 0;     ///< fresh records this session appended
+  std::uint32_t leased_units = 0;
+  std::uint64_t idle_ms = 0;     ///< since the worker's last message
+  std::uint8_t connected = 0;
+};
+
+/// Coordinator's reply to StatsRequest: a consistent view of campaign
+/// progress for observers (`gpfctl top`). Rates are fixed-point (x1000) so
+/// the wire stays integer-only.
+struct StatsSnapshot {
+  std::uint64_t total_ids = 0;       ///< this shard's id-space size
+  std::uint64_t retired_ids = 0;     ///< records in the store (incl. resume)
+  std::uint64_t done_at_open = 0;    ///< records recovered at store open
+  std::uint32_t pending_units = 0;
+  std::uint32_t leased_units = 0;
+  std::uint64_t elapsed_ms = 0;      ///< since the coordinator started serving
+  std::uint64_t rate_milli = 0;      ///< recent faults/s x1000
+  std::uint64_t eta_ms = 0;          ///< 0 = unknown (no recent progress)
+  std::uint8_t draining = 0;
+  std::vector<WorkerRow> workers;
+};
+
 Frame encode(const Hello& m);
 Frame encode(const HelloAck& m);
 Frame encode(const LeaseGrant& m);
@@ -112,8 +144,11 @@ Frame encode(const ResultMsg& m);
 Frame encode(const Heartbeat& m);
 Frame encode(const UnitDone& m);
 Frame encode(const Ack& m);
+Frame encode(const StatsSnapshot& m);
 /// LeaseRequest carries no payload.
 Frame encode_lease_request();
+/// StatsRequest carries no payload.
+Frame encode_stats_request();
 
 /// Decoders throw on a type mismatch or malformed payload (protocol error —
 /// the connection is torn down).
@@ -125,5 +160,6 @@ ResultMsg decode_result(const Frame& f);
 Heartbeat decode_heartbeat(const Frame& f);
 UnitDone decode_unit_done(const Frame& f);
 Ack decode_ack(const Frame& f);
+StatsSnapshot decode_stats_snapshot(const Frame& f);
 
 }  // namespace gpf::net

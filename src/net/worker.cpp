@@ -15,6 +15,7 @@
 
 #include "net/framing.hpp"
 #include "net/protocol.hpp"
+#include "obs/metrics.hpp"
 
 namespace gpf::net {
 
@@ -108,6 +109,8 @@ UnitOutcome work_unit(const Socket& sock, const LeaseGrant& grant,
       } else {
         Heartbeat hb;
         hb.unit_id = grant.unit_id;
+        static obs::Histogram& rtt = obs::histogram("net.heartbeat_rtt_us");
+        obs::ScopedTimerUs timer(rtt);
         send_frame(sock, encode(hb));
         ack = decode_ack(recv_reply(sock));
       }
@@ -184,7 +187,11 @@ WorkerStats run_worker(const WorkerConfig& cfg, const UnitFnFactory& make_fn) {
       backoff = std::min(backoff * 2, backoff_cap);
       continue;
     }
-    if (connected_before) ++stats.reconnects;
+    if (connected_before) {
+      ++stats.reconnects;
+      static obs::Counter& reconnects = obs::counter("net.reconnects");
+      reconnects.add(1);
+    }
     connected_before = true;
     failures = 0;
     backoff = std::max<std::uint32_t>(cfg.backoff_ms, 1);
@@ -228,6 +235,19 @@ WorkerStats run_worker(const WorkerConfig& cfg, const UnitFnFactory& make_fn) {
                      e.what());
     }
   }
+}
+
+std::pair<store::CampaignMeta, StatsSnapshot> fetch_stats(
+    const std::string& host, std::uint16_t port) {
+  Socket sock = connect_tcp(host, port);
+  set_recv_timeout(sock, 10000);
+  Hello hello;
+  hello.worker_name = "";  // observers stay out of the worker table
+  send_frame(sock, encode(hello));
+  const HelloAck ack = decode_hello_ack(recv_reply(sock));
+  send_frame(sock, encode_stats_request());
+  const StatsSnapshot s = decode_stats_snapshot(recv_reply(sock));
+  return {ack.meta, s};
 }
 
 }  // namespace gpf::net

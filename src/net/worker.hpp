@@ -16,8 +16,10 @@
 #include <functional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "net/protocol.hpp"
 #include "store/result_log.hpp"
 
 namespace gpf::net {
@@ -61,5 +63,11 @@ struct WorkerStats {
 /// errors (campaign mismatch across reconnects, a work function that
 /// throws).
 WorkerStats run_worker(const WorkerConfig& cfg, const UnitFnFactory& make_fn);
+
+/// Observer client: one Hello + StatsRequest round-trip against a running
+/// coordinator. Returns the campaign meta (from the HelloAck) and the live
+/// snapshot. Throws on connection or protocol errors. Backs `gpfctl top`.
+std::pair<store::CampaignMeta, StatsSnapshot> fetch_stats(
+    const std::string& host, std::uint16_t port);
 
 }  // namespace gpf::net

@@ -1,0 +1,163 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+namespace gpf::obs {
+
+namespace {
+
+// Instruments are deque-backed so the references handed out by
+// counter()/gauge()/histogram() survive later registrations; the maps only
+// index into the deques. One mutex guards registration and snapshot — the
+// per-event record path never touches it.
+struct Registry {
+  std::mutex mu;
+  std::deque<Counter> counters;
+  std::deque<Gauge> gauges;
+  std::deque<Histogram> histograms;
+  std::map<std::string, Counter*, std::less<>> counter_by_name;
+  std::map<std::string, Gauge*, std::less<>> gauge_by_name;
+  std::map<std::string, Histogram*, std::less<>> histogram_by_name;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: outlives static destructors
+  return *r;
+}
+
+template <class T, class Map, class Store>
+T& intern(Map& map, Store& store, std::string_view name) {
+  if (auto it = map.find(name); it != map.end()) return *it->second;
+  store.emplace_back();
+  return *map.emplace(std::string(name), &store.back()).first->second;
+}
+
+}  // namespace
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t HistogramSnapshot::quantile(double q) const {
+  if (!count) return 0;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (static_cast<double>(seen) >= target) return Histogram::bucket_limit(b);
+  }
+  return Histogram::bucket_limit(buckets.size() - 1);
+}
+
+std::uint64_t Snapshot::counter(std::string_view name) const {
+  for (const auto& [n, v] : counters)
+    if (n == name) return v;
+  return 0;
+}
+
+Counter& counter(std::string_view name) {
+  auto& r = registry();
+  std::lock_guard lock(r.mu);
+  return intern<Counter>(r.counter_by_name, r.counters, name);
+}
+
+Gauge& gauge(std::string_view name) {
+  auto& r = registry();
+  std::lock_guard lock(r.mu);
+  return intern<Gauge>(r.gauge_by_name, r.gauges, name);
+}
+
+Histogram& histogram(std::string_view name) {
+  auto& r = registry();
+  std::lock_guard lock(r.mu);
+  return intern<Histogram>(r.histogram_by_name, r.histograms, name);
+}
+
+Snapshot snapshot() {
+  auto& r = registry();
+  std::lock_guard lock(r.mu);
+  Snapshot s;
+  s.counters.reserve(r.counter_by_name.size());
+  for (const auto& [name, c] : r.counter_by_name)
+    s.counters.emplace_back(name, c->value());
+  s.gauges.reserve(r.gauge_by_name.size());
+  for (const auto& [name, g] : r.gauge_by_name)
+    s.gauges.emplace_back(name, g->value());
+  s.histograms.reserve(r.histogram_by_name.size());
+  for (const auto& [name, h] : r.histogram_by_name) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.count = h->count();
+    hs.sum = h->sum();
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b)
+      hs.buckets[b] = h->bucket(b);
+    s.histograms.push_back(std::move(hs));
+  }
+  return s;
+}
+
+void reset_all() {
+  auto& r = registry();
+  std::lock_guard lock(r.mu);
+  for (auto& c : r.counters) c.reset();
+  for (auto& g : r.gauges) g.reset();
+  for (auto& h : r.histograms) h.reset();
+}
+
+void write_json(std::ostream& os) {
+  const Snapshot s = snapshot();
+  os << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < s.counters.size(); ++i)
+    os << (i ? ",\n    " : "\n    ") << '"' << s.counters[i].first
+       << "\": " << s.counters[i].second;
+  os << (s.counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < s.gauges.size(); ++i)
+    os << (i ? ",\n    " : "\n    ") << '"' << s.gauges[i].first
+       << "\": " << s.gauges[i].second;
+  os << (s.gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < s.histograms.size(); ++i) {
+    const auto& h = s.histograms[i];
+    os << (i ? ",\n    " : "\n    ") << '"' << h.name << "\": {\"count\": "
+       << h.count << ", \"sum\": " << h.sum << ", \"mean\": " << h.mean()
+       << ", \"p50\": " << h.quantile(0.5) << ", \"p99\": " << h.quantile(0.99)
+       << ", \"buckets\": [";
+    // Trim trailing empty buckets so the JSON stays readable.
+    std::size_t last = Histogram::kBuckets;
+    while (last > 0 && h.buckets[last - 1] == 0) --last;
+    for (std::size_t b = 0; b < last; ++b) os << (b ? "," : "") << h.buckets[b];
+    os << "]}";
+  }
+  os << (s.histograms.empty() ? "" : "\n  ") << "}\n}\n";
+}
+
+bool write_metrics_json(const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os) {
+      std::fprintf(stderr, "[obs] cannot write %s\n", tmp.c_str());
+      return false;
+    }
+    write_json(os);
+    if (!os.flush()) {
+      std::fprintf(stderr, "[obs] write failed for %s\n", tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "[obs] rename %s -> %s failed\n", tmp.c_str(),
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace gpf::obs

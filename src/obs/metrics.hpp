@@ -1,0 +1,169 @@
+// Process-wide low-overhead metrics registry.
+//
+// Campaigns at fleet scale need throughput / latency / lease-health signal
+// without perturbing the thing being measured, so the design rules are:
+//
+//  * hot-path record = one relaxed atomic load (enabled?) + one relaxed RMW;
+//  * counters are cache-line padded so two threads bumping different
+//    counters never false-share;
+//  * instrumentation sites cache the instrument reference once
+//    (`static obs::Counter& c = obs::counter("gate.batches");`) — name
+//    lookup takes the registry mutex, the per-event path never does;
+//  * GPF_METRICS=0 (or set_metrics_override(0)) turns every record call
+//    into a single untaken branch, which is how the bench measures the
+//    instrumentation's own overhead.
+//
+// Instruments live forever once registered (deque-backed, stable
+// addresses); snapshot() / write_json() walk the registry under its mutex.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/env.hpp"
+
+namespace gpf::obs {
+
+/// True when the registry is recording (GPF_METRICS / override).
+inline bool enabled() { return metrics_enabled(); }
+
+/// Monotonic counter, padded to its own cache line.
+class alignas(64) Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (enabled()) v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value, padded to its own cache line.
+class alignas(64) Gauge {
+ public:
+  void set(std::int64_t v) {
+    if (enabled()) v_.store(v, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket histogram over power-of-two boundaries: bucket b counts
+/// samples in [2^(b-1), 2^b), bucket 0 counts zeros. 32 buckets cover any
+/// microsecond latency up to ~35 minutes, or any count up to 2^31.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 32;
+
+  void record(std::uint64_t sample) {
+    if (!enabled()) return;
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(sample, std::memory_order_relaxed);
+    buckets_[bucket_of(sample)].fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(std::size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  void reset();
+
+  static std::size_t bucket_of(std::uint64_t sample) {
+    std::size_t b = 0;
+    while (sample && b + 1 < kBuckets) {
+      sample >>= 1;
+      ++b;
+    }
+    return b;
+  }
+  /// Upper bound (exclusive) of bucket b.
+  static std::uint64_t bucket_limit(std::size_t b) {
+    return b + 1 >= kBuckets ? ~0ull : 1ull << b;
+  }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// Name -> value view of the whole registry at one instant.
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+  /// Bucket-upper-bound estimate of the q-quantile (q in [0,1]).
+  std::uint64_t quantile(double q) const;
+  double mean() const {
+    return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
+  }
+};
+
+struct Snapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+  std::uint64_t counter(std::string_view name) const;
+};
+
+/// Returns the process-wide instrument with this name, registering it on
+/// first use. References stay valid for the life of the process.
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+Histogram& histogram(std::string_view name);
+
+/// Consistent-enough view of every registered instrument (values are read
+/// relaxed; the instrument set itself is read under the registry mutex).
+Snapshot snapshot();
+
+/// Zeroes every registered instrument (registrations are kept). Benches and
+/// tests use this to delimit measurement windows.
+void reset_all();
+
+/// Writes the snapshot as a JSON object:
+///   {"counters":{...},"gauges":{...},
+///    "histograms":{"name":{"count":..,"sum":..,"mean":..,"p50":..,
+///                          "p99":..,"buckets":[..]}}}
+void write_json(std::ostream& os);
+
+/// write_json() to `path` (atomically: temp file + rename). Returns false
+/// and prints a warning on I/O failure; never throws. Campaign drivers call
+/// this at end of campaign to drop metrics.json next to the .gpfs store.
+bool write_metrics_json(const std::string& path);
+
+/// RAII microsecond timer recording into a histogram on destruction.
+/// Usage: { obs::ScopedTimerUs t(h); ...work...; }
+class ScopedTimerUs {
+ public:
+  explicit ScopedTimerUs(Histogram& h)
+      : h_(h), live_(enabled()),
+        t0_(live_ ? std::chrono::steady_clock::now()
+                  : std::chrono::steady_clock::time_point{}) {}
+  ~ScopedTimerUs() {
+    if (!live_) return;
+    const auto dt = std::chrono::steady_clock::now() - t0_;
+    h_.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(dt).count()));
+  }
+  ScopedTimerUs(const ScopedTimerUs&) = delete;
+  ScopedTimerUs& operator=(const ScopedTimerUs&) = delete;
+
+ private:
+  Histogram& h_;
+  bool live_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace gpf::obs

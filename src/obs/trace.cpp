@@ -1,0 +1,158 @@
+#include "obs/trace.hpp"
+
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+#include "common/env.hpp"
+
+namespace gpf::obs {
+
+namespace {
+
+struct TraceEvent {
+  const char* category;
+  std::string name;
+  std::uint32_t tid;
+  std::uint64_t ts_us;
+  std::uint64_t dur_us;
+  std::string args;
+};
+
+struct TraceState {
+  std::mutex mu;
+  std::string path_override;
+  bool override_set = false;
+  std::vector<TraceEvent> events;
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  std::uint32_t next_tid = 1;
+  bool atexit_registered = false;
+};
+
+TraceState& state() {
+  static TraceState* s = new TraceState;  // leaked: flushed via atexit
+  return *s;
+}
+
+std::string current_path() {
+  auto& s = state();
+  std::lock_guard lock(s.mu);
+  return s.override_set ? s.path_override : trace_path();
+}
+
+std::uint64_t now_us() {
+  const auto dt = std::chrono::steady_clock::now() - state().epoch;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(dt).count());
+}
+
+std::uint32_t this_tid() {
+  thread_local std::uint32_t tid = [] {
+    auto& s = state();
+    std::lock_guard lock(s.mu);
+    return s.next_tid++;
+  }();
+  return tid;
+}
+
+// Minimal JSON string escaping for span names (quotes/backslash/control).
+std::string json_escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (const char c : in) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool trace_enabled() { return !current_path().empty(); }
+
+void set_trace_path_override(const std::string& path) {
+  auto& s = state();
+  std::lock_guard lock(s.mu);
+  s.path_override = path;
+  s.override_set = true;
+}
+
+void flush_trace() {
+  const std::string path = current_path();
+  auto& s = state();
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard lock(s.mu);
+    events.swap(s.events);
+  }
+  if (path.empty() || events.empty()) return;
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os) {
+      std::fprintf(stderr, "[obs] cannot write trace %s\n", tmp.c_str());
+      return;
+    }
+    const auto pid = static_cast<std::uint64_t>(::getpid());
+    os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const auto& e = events[i];
+      os << (i ? ",\n" : "") << "{\"name\": \"" << json_escape(e.name)
+         << "\", \"cat\": \"" << e.category << "\", \"ph\": \"X\", \"pid\": "
+         << pid << ", \"tid\": " << e.tid << ", \"ts\": " << e.ts_us
+         << ", \"dur\": " << e.dur_us << ", \"args\": {" << e.args << "}}";
+    }
+    os << "\n]}\n";
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    std::fprintf(stderr, "[obs] rename trace %s failed\n", tmp.c_str());
+}
+
+TraceSpan::TraceSpan(const char* category, std::string name)
+    : live_(trace_enabled()), category_(category), name_(std::move(name)) {
+  if (!live_) return;
+  t0_us_ = now_us();
+  auto& s = state();
+  std::lock_guard lock(s.mu);
+  if (!s.atexit_registered) {
+    s.atexit_registered = true;
+    std::atexit(flush_trace);
+  }
+}
+
+TraceSpan::~TraceSpan() {
+  if (!live_) return;
+  const std::uint64_t t1 = now_us();
+  const std::uint32_t tid = this_tid();  // may lock; take before s.mu
+  auto& s = state();
+  std::lock_guard lock(s.mu);
+  s.events.push_back(TraceEvent{category_, std::move(name_), tid, t0_us_,
+                                t1 - t0_us_, std::move(args_)});
+}
+
+void TraceSpan::arg(const char* key, std::uint64_t value) {
+  if (!live_) return;
+  if (!args_.empty()) args_ += ", ";
+  args_ += '"';
+  args_ += key;
+  args_ += "\": ";
+  args_ += std::to_string(value);
+}
+
+}  // namespace gpf::obs

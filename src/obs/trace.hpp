@@ -1,0 +1,50 @@
+// Opt-in Chrome trace-event output (chrome://tracing / Perfetto).
+//
+// When GPF_TRACE=<path> is set (or set_trace_path_override() is called, the
+// test hook), TraceSpan records complete ("ph":"X") events — campaign ->
+// unit -> batch — into an in-memory buffer that is flushed to <path> as
+// trace-event JSON at process exit or on flush_trace(). When tracing is off
+// a span is two untaken branches; no buffer exists.
+//
+// Timestamps are microseconds on the steady clock, zeroed at the first
+// span; tids are small per-thread integers assigned in first-span order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gpf::obs {
+
+/// True when spans are being recorded.
+bool trace_enabled();
+
+/// Replaces the GPF_TRACE path for the rest of the process ("" disables).
+/// Tests use this; campaign binaries just set the environment variable.
+void set_trace_path_override(const std::string& path);
+
+/// Writes buffered events to the trace path now (atomically; also runs at
+/// exit). Safe to call when tracing is off or the buffer is empty.
+void flush_trace();
+
+/// RAII span: construction stamps the start, destruction emits the event.
+/// Spans on one thread should nest (campaign > unit > batch), which is what
+/// the trace viewer's flame layout assumes.
+class TraceSpan {
+ public:
+  TraceSpan(const char* category, std::string name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches a numeric arg shown in the viewer's detail pane.
+  void arg(const char* key, std::uint64_t value);
+
+ private:
+  bool live_;
+  const char* category_;
+  std::string name_;
+  std::uint64_t t0_us_ = 0;
+  std::string args_;  // pre-rendered JSON fragment: "k":v,...
+};
+
+}  // namespace gpf::obs

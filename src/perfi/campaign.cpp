@@ -214,6 +214,7 @@ EprCell run_epr_cell_store(const workloads::Workload& w,
       add_outcome(cell, rec.outcome);
     });
   }
+  ckpt.sync();  // campaign boundary: all recorded results are now durable
   return cell;
 }
 

@@ -7,6 +7,8 @@
 #include "gate/batchsim.hpp"
 #include "gate/collapse.hpp"
 #include "gate/profiler.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "store/records.hpp"
 #include "workloads/workload.hpp"
 
@@ -118,6 +120,10 @@ GateUnitRunner::GateUnitRunner(const std::vector<gate::UnitTraces>& traces,
     act_ = gate::ActivationSummary(replayer_.netlist().num_nets());
     for (const gate::UnitReplayer::GoldenTrace& g : goldens_) act_.add(g);
   }
+  static obs::Counter& members = obs::counter("gate.collapse_members");
+  static obs::Counter& reps = obs::counter("gate.collapse_reps");
+  members.add(faults_.size());
+  reps.add(rep_count_);
 }
 
 std::size_t gate_campaign_representatives(const store::CampaignMeta& meta) {
@@ -154,9 +160,11 @@ void GateUnitRunner::run_collapsed(std::span<const std::uint64_t> ids,
     if (inserted) jobs.push_back(Job{rep, {}});
     jobs[it->second].ids.push_back(id);
   }
+  static obs::Counter& retired = obs::counter("gate.faults_retired");
   const auto expand = [&](const Job& job, const gate::FaultCharacterization& rc) {
     for (const std::uint64_t id : job.ids)
       emit(id, gate::expand_collapsed(rc, faults_[id], act_));
+    retired.add(job.ids.size());
   };
 
   if (engine_ == EngineKind::Batch) {
@@ -166,6 +174,8 @@ void GateUnitRunner::run_collapsed(std::span<const std::uint64_t> ids,
       if (stop && stop()) return;
       const std::size_t lo = b * kB;
       const std::size_t len = std::min(kB, jobs.size() - lo);
+      obs::TraceSpan batch_span("gate", "batch");
+      batch_span.arg("lanes", len);
       std::vector<gate::StuckFault> bf(len);
       std::vector<gate::FaultCharacterization> bo(len);
       for (std::size_t j = 0; j < len; ++j) {
@@ -204,6 +214,7 @@ void GateUnitRunner::run(std::span<const std::uint64_t> ids, const Emit& emit,
     run_collapsed(ids, emit, pool, stop);
     return;
   }
+  static obs::Counter& retired = obs::counter("gate.faults_retired");
   if (engine_ == EngineKind::Batch) {
     constexpr std::size_t kB = gate::BatchFaultSim::kLanes;
     const std::size_t batches = (ids.size() + kB - 1) / kB;
@@ -211,6 +222,8 @@ void GateUnitRunner::run(std::span<const std::uint64_t> ids, const Emit& emit,
       if (stop && stop()) return;
       const std::size_t lo = b * kB;
       const std::size_t len = std::min(kB, ids.size() - lo);
+      obs::TraceSpan batch_span("gate", "batch");
+      batch_span.arg("lanes", len);
       // The ids are not contiguous after a resume / lease reassignment, so
       // stage the batch through dense arrays (per-fault results are
       // independent of batch composition — asserted by test_batchsim).
@@ -223,6 +236,7 @@ void GateUnitRunner::run(std::span<const std::uint64_t> ids, const Emit& emit,
       for (std::size_t ti = 0; ti < traces_.size(); ++ti)
         replayer_.run_fault_batch(bf, traces_[ti], goldens_[ti], bo);
       for (std::size_t j = 0; j < len; ++j) emit(ids[lo + j], bo[j]);
+      retired.add(len);
     };
     if (pool)
       pool->parallel_for(batches, work);
@@ -238,6 +252,7 @@ void GateUnitRunner::run(std::span<const std::uint64_t> ids, const Emit& emit,
     for (std::size_t ti = 0; ti < traces_.size(); ++ti)
       replayer_.run_fault(fc.fault, traces_[ti], goldens_[ti], fc, engine_);
     emit(ids[i], fc);
+    retired.add(1);
   };
   if (pool)
     pool->parallel_for(ids.size(), work);
@@ -251,6 +266,9 @@ gate::UnitCampaignResult run_unit_campaign_store(
   const store::CampaignMeta& meta = ckpt.meta();
   if (meta.kind != store::CampaignKind::Gate)
     throw std::runtime_error("gate campaign: store is not a gate store");
+  obs::TraceSpan unit_span(
+      "gate", std::string("unit ") +
+                  gate::unit_name(static_cast<gate::UnitKind>(meta.target)));
   const GateUnitRunner runner(traces, meta);
 
   // This shard's slice of the fault-id space, in id order.
@@ -295,6 +313,7 @@ gate::UnitCampaignResult run_unit_campaign_store(
         ckpt.record(id, store::encode(to_gate_record(fc)));
       },
       pool, [&] { return ckpt.should_stop(); });
+  ckpt.sync();  // unit boundary: everything recorded above is now durable
   return result;
 }
 

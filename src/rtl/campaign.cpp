@@ -444,6 +444,7 @@ AvfSummary run_tmxm_campaign_store(store::CampaignCheckpoint& ckpt,
     summary.add(r);
     if (details) details->push_back(std::move(r));
   }
+  ckpt.sync();  // campaign boundary: all recorded results are now durable
   return summary;
 }
 

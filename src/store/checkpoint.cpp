@@ -21,6 +21,11 @@ bool CampaignCheckpoint::record(std::uint64_t id,
   return record_limit_ == 0 || fresh_records_ < record_limit_;
 }
 
+void CampaignCheckpoint::sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  log_.sync();
+}
+
 bool CampaignCheckpoint::should_stop() const {
   std::lock_guard<std::mutex> lock(mu_);
   return record_limit_ != 0 && fresh_records_ >= record_limit_;

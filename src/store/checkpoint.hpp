@@ -38,6 +38,12 @@ class CampaignCheckpoint {
   /// should stop scheduling new work).
   bool record(std::uint64_t id, std::span<const std::uint8_t> payload);
 
+  /// Pushes everything recorded so far onto stable storage (see
+  /// ResultLog::sync). Thread-safe. Campaign drivers call this at
+  /// checkpoint boundaries (unit retire, lease retire, campaign end); the
+  /// destructor also syncs, so a graceful exit is always durable.
+  void sync();
+
   /// Stop scheduling new work after `n` fresh records this run (0 = no
   /// limit). Used to pause a campaign deterministically.
   void set_record_limit(std::size_t n) { record_limit_ = n; }

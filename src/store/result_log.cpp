@@ -1,13 +1,38 @@
 #include "store/result_log.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <array>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 
+#include "common/env.hpp"
+#include "obs/metrics.hpp"
 #include "store/bytes.hpp"
 
 namespace gpf::store {
+
+namespace {
+
+// fsync the directory containing `path` so a just-renamed file's directory
+// entry is itself durable (rename alone only orders data, not the entry).
+void fsync_parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  if (fd < 0) return;  // best-effort: some filesystems refuse dir opens
+  ::fsync(fd);
+  ::close(fd);
+}
+
+std::string recovery_tmp_path(const std::string& path) {
+  return path + ".recover.tmp";
+}
+
+}  // namespace
 
 std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed) {
   static const std::array<std::uint32_t, 256> table = [] {
@@ -108,7 +133,12 @@ ResultLog::ResultLog(const std::string& path) : path_(path) {
 }
 
 ResultLog::~ResultLog() {
-  if (f_) std::fclose(f_);
+  if (!f_) return;
+  try {
+    sync();  // graceful close leaves the log durable
+  } catch (...) {
+  }
+  std::fclose(f_);
 }
 
 void ResultLog::create_new(const CampaignMeta& meta) {
@@ -126,6 +156,12 @@ void ResultLog::create_new(const CampaignMeta& meta) {
 }
 
 void ResultLog::open_existing(const CampaignMeta* expect) {
+  // A stale temp file here means a previous recovery crashed before (or
+  // during) its rename. The original is authoritative either way — a rename
+  // is atomic, so `path_` is always either the untouched original or a
+  // complete trimmed copy — and the leftover is just deleted.
+  std::remove(recovery_tmp_path(path_).c_str());
+
   std::FILE* in = std::fopen(path_.c_str(), "rb");
   if (!in)
     throw std::runtime_error("store: cannot open " + path_ + ": " +
@@ -163,19 +199,41 @@ void ResultLog::open_existing(const CampaignMeta* expect) {
   torn_bytes_ = bytes.size() - valid_end;
 
   if (torn_bytes_ > 0) {
-    // Rewrite header + valid records, dropping the torn tail, then reopen
-    // for append. (A rename-free in-place truncate keeps this dependency-light.)
-    std::FILE* out = std::fopen(path_.c_str(), "wb");
-    if (!out) throw std::runtime_error("store: cannot truncate " + path_);
-    if (std::fwrite(bytes.data(), 1, valid_end, out) != valid_end)
-      throw std::runtime_error("store: short write truncating " + path_);
+    // Drop the torn tail atomically: write header + valid records to a temp
+    // file, make its data durable, rename it over the original, then fsync
+    // the directory. A crash at any point leaves either the original (with
+    // its recoverable tail still intact) or the complete trimmed copy —
+    // never a partially rewritten log.
+    const std::string tmp = recovery_tmp_path(path_);
+    std::FILE* out = std::fopen(tmp.c_str(), "wb");
+    if (!out) throw std::runtime_error("store: cannot create " + tmp);
+    const bool wrote =
+        std::fwrite(bytes.data(), 1, valid_end, out) == valid_end &&
+        std::fflush(out) == 0 && ::fdatasync(fileno(out)) == 0;
     std::fclose(out);
+    if (!wrote) {
+      std::remove(tmp.c_str());
+      throw std::runtime_error("store: short write recovering " + path_);
+    }
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      throw std::runtime_error("store: rename failed recovering " + path_);
+    }
+    fsync_parent_dir(path_);
+    static obs::Counter& recoveries = obs::counter("store.torn_recoveries");
+    static obs::Counter& dropped = obs::counter("store.torn_bytes_dropped");
+    recoveries.add(1);
+    dropped.add(torn_bytes_);
   }
   f_ = std::fopen(path_.c_str(), "ab");
   if (!f_) throw std::runtime_error("store: cannot reopen " + path_);
 }
 
 void ResultLog::append(std::uint64_t id, std::span<const std::uint8_t> payload) {
+  static obs::Counter& appends = obs::counter("store.appends");
+  static obs::Counter& bytes = obs::counter("store.append_bytes");
+  static obs::Histogram& latency = obs::histogram("store.append_us");
+  obs::ScopedTimerUs timer(latency);
   std::vector<std::uint8_t> rec;
   rec.reserve(16 + payload.size());
   ByteWriter w(rec);
@@ -186,6 +244,26 @@ void ResultLog::append(std::uint64_t id, std::span<const std::uint8_t> payload) 
   if (std::fwrite(rec.data(), 1, rec.size(), f_) != rec.size() ||
       std::fflush(f_) != 0)
     throw std::runtime_error("store: append failed on " + path_);
+  unsynced_bytes_ += rec.size();
+  appends.add(1);
+  bytes.add(rec.size());
+}
+
+void ResultLog::sync() {
+  if (!f_ || unsynced_bytes_ == 0) return;
+  if (std::fflush(f_) != 0)
+    throw std::runtime_error("store: flush failed on " + path_);
+  if (!fsync_enabled()) return;
+  static obs::Counter& syncs = obs::counter("store.fsyncs");
+  static obs::Counter& durable = obs::counter("store.durable_bytes");
+  static obs::Histogram& latency = obs::histogram("store.fsync_us");
+  obs::ScopedTimerUs timer(latency);
+  if (::fdatasync(fileno(f_)) != 0)
+    throw std::runtime_error("store: fdatasync failed on " + path_ + ": " +
+                             std::strerror(errno));
+  syncs.add(1);
+  durable.add(unsynced_bytes_);
+  unsynced_bytes_ = 0;
 }
 
 LoadedStore load_store(const std::string& path) {

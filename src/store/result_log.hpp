@@ -5,8 +5,11 @@
 // by a stream of variable-length records, one per retired fault/injection.
 // Every record carries a CRC32 over its id and payload, so a process killed
 // mid-write leaves at most one torn record at the tail, which open() detects
-// and truncates away. Appends are flushed record-by-record: a SIGKILL loses
-// only in-flight work, never previously retired results.
+// and truncates away (atomically: the trimmed copy is written to a temp file
+// and renamed over the original, so a crash mid-recovery never destroys
+// valid records). Appends are flushed record-by-record into the OS page
+// cache — safe against a process kill — and sync() (fdatasync, GPF_FSYNC)
+// extends that to host crash / power loss at checkpoint boundaries.
 #pragma once
 
 #include <cstdint>
@@ -79,8 +82,19 @@ class ResultLog {
   /// Records the tail truncation (if any) performed at open time, in bytes.
   std::size_t torn_bytes_dropped() const { return torn_bytes_; }
 
-  /// Durably appends one record (fwrite + fflush; survives SIGKILL).
+  /// Appends one record and flushes it to the OS page cache (fwrite +
+  /// fflush). Exact guarantee: once append() returns, the record survives
+  /// any crash of *this process* (SIGKILL included); it does NOT survive a
+  /// host crash or power loss until the next sync(). Callers that
+  /// acknowledge work to a coordinator should sync() first.
   void append(std::uint64_t id, std::span<const std::uint8_t> payload);
+
+  /// Pushes every record appended so far onto stable storage (fdatasync).
+  /// Gated by GPF_FSYNC (default on): with GPF_FSYNC=0 this is a no-op and
+  /// a host crash can lose records appended since the last sync — process
+  /// crashes still lose nothing either way. Called by CampaignCheckpoint at
+  /// checkpoint/lease-retire boundaries, not per append.
+  void sync();
 
   static std::vector<std::uint8_t> encode_meta(const CampaignMeta& meta);
   static CampaignMeta decode_meta(std::span<const std::uint8_t> header);
@@ -97,6 +111,7 @@ class ResultLog {
   std::FILE* f_ = nullptr;
   std::vector<Record> recovered_;
   std::size_t torn_bytes_ = 0;
+  std::size_t unsynced_bytes_ = 0;
 };
 
 /// Loads a whole store into memory (for merge / export / status).

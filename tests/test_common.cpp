@@ -186,6 +186,62 @@ TEST(Env, ScaledClampsToMinimum) {
   EXPECT_EQ(scaled(4, 8), 4u);  // min capped at n itself
 }
 
+TEST(Env, ParseU64AcceptsWellFormedValues) {
+  EXPECT_EQ(parse_env_u64("GPF_TEST", "42", 7), 42ull);
+  EXPECT_EQ(parse_env_u64("GPF_TEST", "0", 7), 0ull);
+  EXPECT_EQ(parse_env_u64("GPF_TEST", "0x10", 7), 16ull);  // strtoull base 0
+  EXPECT_EQ(parse_env_u64("GPF_TEST", " 8 ", 7), 8ull);  // surrounding ws ok
+  EXPECT_EQ(parse_env_u64("GPF_TEST", "18446744073709551615", 7),
+            ~0ull);  // full u64 range
+}
+
+TEST(Env, ParseU64UnsetReturnsFallbackSilently) {
+  EXPECT_EQ(parse_env_u64("GPF_TEST", nullptr, 123), 123ull);
+}
+
+TEST(Env, ParseU64RejectsMalformedValues) {
+  // The old atol/strtoull paths silently turned all of these into 0 (or a
+  // truncated prefix); strict parsing must fall back to the default instead.
+  EXPECT_EQ(parse_env_u64("GPF_TEST", "max", 7), 7ull);
+  EXPECT_EQ(parse_env_u64("GPF_TEST", "12abc", 7), 7ull);
+  EXPECT_EQ(parse_env_u64("GPF_TEST", "", 7), 7ull);
+  EXPECT_EQ(parse_env_u64("GPF_TEST", "   ", 7), 7ull);
+  EXPECT_EQ(parse_env_u64("GPF_TEST", "-3", 7), 7ull);  // no unsigned wrap
+  EXPECT_EQ(parse_env_u64("GPF_TEST", "12 34", 7), 7ull);
+  EXPECT_EQ(parse_env_u64("GPF_TEST", "99999999999999999999999", 7),
+            7ull);  // ERANGE
+}
+
+TEST(Env, ParseDoubleStrictGrammar) {
+  EXPECT_DOUBLE_EQ(parse_env_double("GPF_TEST", "1.5", 2.0), 1.5);
+  EXPECT_DOUBLE_EQ(parse_env_double("GPF_TEST", "2e3", 2.0), 2000.0);
+  // Same contract as parse_env_u64: all GPF_* knobs are non-negative, so a
+  // leading minus is rejected rather than parsed.
+  EXPECT_DOUBLE_EQ(parse_env_double("GPF_TEST", "-0.25", 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(parse_env_double("GPF_TEST", nullptr, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(parse_env_double("GPF_TEST", "huge", 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(parse_env_double("GPF_TEST", "1.5x", 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(parse_env_double("GPF_TEST", "", 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(parse_env_double("GPF_TEST", "inf", 2.0), 2.0);  // finite only
+  EXPECT_DOUBLE_EQ(parse_env_double("GPF_TEST", "1e999", 2.0), 2.0);  // ERANGE
+}
+
+TEST(Env, FsyncAndMetricsOverrides) {
+  set_fsync_override(0);
+  EXPECT_FALSE(fsync_enabled());
+  set_fsync_override(1);
+  EXPECT_TRUE(fsync_enabled());
+  set_fsync_override(-1);  // back to environment (default on)
+  EXPECT_TRUE(fsync_enabled());
+
+  set_metrics_override(0);
+  EXPECT_FALSE(metrics_enabled());
+  set_metrics_override(1);
+  EXPECT_TRUE(metrics_enabled());
+  set_metrics_override(-1);
+  EXPECT_TRUE(metrics_enabled());
+}
+
 TEST(Env, ThreadsOverrideTakesPrecedence) {
   set_campaign_threads_override(3);
   EXPECT_EQ(campaign_threads(), 3u);

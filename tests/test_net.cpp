@@ -15,6 +15,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "net/coordinator.hpp"
@@ -183,6 +184,45 @@ TEST(NetProtocol, SmallMessagesRoundTrip) {
 TEST(NetProtocol, TypeMismatchRejected) {
   EXPECT_THROW(decode_ack(encode(Heartbeat{1})), std::runtime_error);
   EXPECT_THROW(decode_lease_grant(encode(NoWork{})), std::runtime_error);
+}
+
+TEST(NetProtocol, StatsSnapshotRoundTrip) {
+  StatsSnapshot s;
+  s.total_ids = 5000;
+  s.retired_ids = 1234;
+  s.done_at_open = 200;
+  s.pending_units = 17;
+  s.leased_units = 3;
+  s.elapsed_ms = 98765;
+  s.rate_milli = 4321;  // 4.321 results/s
+  s.eta_ms = 55000;
+  s.draining = 1;
+  s.workers.push_back({/*session=*/7, "w0", /*retired=*/600, 2, 150, 1});
+  s.workers.push_back({/*session=*/9, "w1", /*retired=*/434, 1, 12000, 0});
+
+  const StatsSnapshot d = decode_stats_snapshot(encode(s));
+  EXPECT_EQ(d.total_ids, 5000u);
+  EXPECT_EQ(d.retired_ids, 1234u);
+  EXPECT_EQ(d.done_at_open, 200u);
+  EXPECT_EQ(d.pending_units, 17u);
+  EXPECT_EQ(d.leased_units, 3u);
+  EXPECT_EQ(d.elapsed_ms, 98765u);
+  EXPECT_EQ(d.rate_milli, 4321u);
+  EXPECT_EQ(d.eta_ms, 55000u);
+  EXPECT_EQ(d.draining, 1);
+  ASSERT_EQ(d.workers.size(), 2u);
+  EXPECT_EQ(d.workers[0].session, 7u);
+  EXPECT_EQ(d.workers[0].name, "w0");
+  EXPECT_EQ(d.workers[0].retired, 600u);
+  EXPECT_EQ(d.workers[0].leased_units, 2u);
+  EXPECT_EQ(d.workers[0].idle_ms, 150u);
+  EXPECT_EQ(d.workers[0].connected, 1);
+  EXPECT_EQ(d.workers[1].name, "w1");
+  EXPECT_EQ(d.workers[1].connected, 0);
+
+  EXPECT_EQ(static_cast<MsgType>(encode_stats_request().type),
+            MsgType::StatsRequest);
+  EXPECT_THROW(decode_stats_snapshot(encode(Heartbeat{1})), std::runtime_error);
 }
 
 // --- lease dispatcher ------------------------------------------------------
@@ -402,6 +442,60 @@ TEST(NetE2E, DrainStopsGrantingAndExitsCleanly) {
   const std::size_t done = store::load_store(path).records.size();
   EXPECT_GE(done, 16u);
   EXPECT_LT(done, 20000u);  // genuinely stopped early
+  std::remove(path.c_str());
+}
+
+TEST(NetE2E, StatsObserverSeesLiveProgress) {
+  // `gpfctl top` against an in-process coordinator: poll fetch_stats() while
+  // a worker chews through the campaign and check the observer sees real
+  // progress without ever appearing in the worker table itself.
+  const store::CampaignMeta meta = perfi_meta(5000, 13);
+  const std::string path = temp_store_path("stats");
+  store::CampaignCheckpoint ckpt(path, meta);
+
+  CoordinatorConfig ccfg;
+  ccfg.port = 0;
+  ccfg.lease_ms = 5000;
+  ccfg.unit_size = 4;
+  ccfg.status_interval_ms = 0;  // keep test output quiet
+  Coordinator coord(ckpt, ccfg);
+  std::thread serve([&] { coord.serve(); });
+
+  WorkerStats ws;
+  std::thread worker([&] {
+    WorkerConfig wcfg;
+    wcfg.port = coord.port();
+    wcfg.name = "statsworker";
+    wcfg.backoff_ms = 20;
+    ws = run_worker(wcfg, make_unit_fn);
+  });
+
+  // Poll until the fleet has visibly retired work.
+  StatsSnapshot seen;
+  store::CampaignMeta seen_meta;
+  for (int tries = 0; tries < 500; ++tries) {
+    std::tie(seen_meta, seen) = fetch_stats("127.0.0.1", coord.port());
+    if (seen.retired_ids > 0 && !seen.workers.empty()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(seen_meta.same_campaign(meta));
+  EXPECT_EQ(seen.total_ids, 5000u);
+  EXPECT_GT(seen.retired_ids, 0u);
+  EXPECT_EQ(seen.done_at_open, 0u);
+  ASSERT_EQ(seen.workers.size(), 1u);  // the observer itself is not listed
+  EXPECT_EQ(seen.workers[0].name, "statsworker");
+  EXPECT_GT(seen.workers[0].retired, 0u);
+  EXPECT_TRUE(seen.workers[0].connected);
+
+  coord.request_drain();
+  worker.join();
+  serve.join();
+
+  // After the fleet drains the coordinator is gone; in-process we can still
+  // ask it directly for the final view.
+  const StatsSnapshot fin = coord.snapshot_stats();
+  EXPECT_EQ(fin.retired_ids, store::load_store(path).records.size());
+  EXPECT_TRUE(fin.draining);
   std::remove(path.c_str());
 }
 

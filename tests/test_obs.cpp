@@ -1,0 +1,183 @@
+// Tests for the obs layer: metrics registry semantics (counter/gauge/
+// histogram, enable gating, snapshot/reset, JSON export) and the Chrome
+// trace-event span writer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/env.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace gpf::obs {
+namespace {
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + "gpf_obs_" + std::to_string(::getpid()) + "_" +
+         name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_metrics_override(1);
+    reset_all();
+  }
+  void TearDown() override {
+    set_metrics_override(-1);
+    reset_all();
+  }
+};
+
+TEST_F(ObsTest, CounterAccumulatesAndInterns) {
+  Counter& c = counter("test.counter");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name -> same instrument (stable address).
+  EXPECT_EQ(&counter("test.counter"), &c);
+  EXPECT_NE(&counter("test.counter2"), &c);
+}
+
+TEST_F(ObsTest, GaugeIsLastWriteWins) {
+  Gauge& g = gauge("test.gauge");
+  g.set(17);
+  g.set(-3);
+  EXPECT_EQ(g.value(), -3);
+}
+
+TEST_F(ObsTest, DisabledRegistryRecordsNothing) {
+  Counter& c = counter("test.gated");
+  Histogram& h = histogram("test.gated_h");
+  set_metrics_override(0);
+  c.add(100);
+  h.record(5);
+  { ScopedTimerUs t(h); }
+  set_metrics_override(1);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST_F(ObsTest, HistogramBucketsArePowersOfTwo) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(1023), 10u);
+  EXPECT_EQ(Histogram::bucket_of(1024), 11u);
+  EXPECT_EQ(Histogram::bucket_of(~0ull), Histogram::kBuckets - 1);
+
+  Histogram& h = histogram("test.hist");
+  for (const std::uint64_t v : {0ull, 1ull, 3ull, 3ull, 100ull}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 107u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+}
+
+TEST_F(ObsTest, SnapshotAndQuantiles) {
+  counter("test.snap_c").add(9);
+  gauge("test.snap_g").set(4);
+  Histogram& h = histogram("test.snap_h");
+  for (std::uint64_t i = 0; i < 100; ++i) h.record(i < 90 ? 10 : 5000);
+
+  const Snapshot s = snapshot();
+  EXPECT_EQ(s.counter("test.snap_c"), 9u);
+  EXPECT_EQ(s.counter("test.never_registered"), 0u);
+
+  const HistogramSnapshot* hs = nullptr;
+  for (const auto& cand : s.histograms)
+    if (cand.name == "test.snap_h") hs = &cand;
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, 100u);
+  // p50 falls in the bucket holding 10, p99 in the one holding 5000; the
+  // estimate reports the bucket's upper bound.
+  EXPECT_LE(hs->quantile(0.5), 16u);
+  EXPECT_GT(hs->quantile(0.99), 4096u);
+  EXPECT_GT(hs->mean(), 10.0);
+}
+
+TEST_F(ObsTest, ResetAllZeroesButKeepsRegistrations) {
+  Counter& c = counter("test.reset");
+  c.add(5);
+  reset_all();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(&counter("test.reset"), &c);
+}
+
+TEST_F(ObsTest, ScopedTimerRecordsMicroseconds) {
+  Histogram& h = histogram("test.timer");
+  {
+    ScopedTimerUs t(h);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.sum(), 1000u);  // at least ~1ms measured as us
+}
+
+TEST_F(ObsTest, WriteMetricsJsonIsWellFormed) {
+  counter("test.json_c").add(3);
+  gauge("test.json_g").set(-7);
+  histogram("test.json_h").record(42);
+
+  const std::string path = temp_path("metrics.json");
+  ASSERT_TRUE(write_metrics_json(path));
+  const std::string body = slurp(path);
+  EXPECT_NE(body.find("\"counters\""), std::string::npos);
+  EXPECT_NE(body.find("\"test.json_c\": 3"), std::string::npos);
+  EXPECT_NE(body.find("\"test.json_g\": -7"), std::string::npos);
+  EXPECT_NE(body.find("\"test.json_h\""), std::string::npos);
+  EXPECT_NE(body.find("\"count\": 1"), std::string::npos);
+  // No half-written temp file left behind.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, TraceSpansFlushAsChromeTraceEvents) {
+  const std::string path = temp_path("trace.json");
+  set_trace_path_override(path);
+  EXPECT_TRUE(trace_enabled());
+  {
+    TraceSpan unit("gate", "unit decoder");
+    {
+      TraceSpan batch("gate", "batch");
+      batch.arg("lanes", 64);
+    }
+  }
+  flush_trace();
+  set_trace_path_override("");
+  EXPECT_FALSE(trace_enabled());
+
+  const std::string body = slurp(path);
+  EXPECT_NE(body.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(body.find("\"unit decoder\""), std::string::npos);
+  EXPECT_NE(body.find("\"batch\""), std::string::npos);
+  EXPECT_NE(body.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(body.find("\"lanes\": 64"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, TraceDisabledSpansAreNoops) {
+  set_trace_path_override("");
+  TraceSpan s("gate", "ignored");
+  s.arg("k", 1);
+  // Nothing to assert beyond "does not crash / does not allocate a file":
+  flush_trace();
+}
+
+}  // namespace
+}  // namespace gpf::obs

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/env.hpp"
 #include "store/checkpoint.hpp"
 #include "store/export.hpp"
 #include "store/merge.hpp"
@@ -107,6 +108,74 @@ TEST_F(StoreTest, TornTailIsTruncatedOnOpen) {
   store::ResultLog log2(p, gate_meta());
   EXPECT_EQ(log2.recovered().size(), 3u);
   EXPECT_EQ(log2.torn_bytes_dropped(), 0u);
+}
+
+TEST_F(StoreTest, StaleRecoveryTmpFromCrashedRecoveryIsIgnored) {
+  // A crash *during* a previous torn-tail recovery leaves `<store>.recover.tmp`
+  // behind — possibly a partial copy. The original must stay authoritative
+  // (rename is atomic, so the original was never modified) and the leftover
+  // must be deleted, not renamed over the good data.
+  const std::string p = path("crashrec.gpfs");
+  {
+    store::ResultLog log(p, gate_meta());
+    log.append(1, gate_payload(1, false));
+    log.append(2, gate_payload(2, true));
+  }
+  {
+    std::ofstream f(p, std::ios::binary | std::ios::app);
+    const char garbage[] = {9, 0, 0, 0, 0, 0, 0, 0, 40, 0, 0, 0, 1, 2, 3};
+    f.write(garbage, sizeof(garbage));
+  }
+  // The stale tmp is a truncated copy missing record 2 — exactly what a
+  // recovery killed mid-write would leave.
+  std::ofstream(p + ".recover.tmp", std::ios::binary) << "partial copy";
+
+  store::ResultLog log(p, gate_meta());
+  ASSERT_EQ(log.recovered().size(), 2u);
+  EXPECT_EQ(log.recovered()[1].id, 2u);
+  EXPECT_GT(log.torn_bytes_dropped(), 0u);
+  EXPECT_FALSE(std::filesystem::exists(p + ".recover.tmp"));
+}
+
+TEST_F(StoreTest, RecoveryRewritesAtomicallyAndIsIdempotent) {
+  const std::string p = path("atomicrec.gpfs");
+  {
+    store::ResultLog log(p, gate_meta());
+    log.append(4, gate_payload(4, false));
+  }
+  {
+    std::ofstream f(p, std::ios::binary | std::ios::app);
+    f.write("\x07\x00", 2);  // torn: half a record header
+  }
+  {
+    store::ResultLog log(p, gate_meta());
+    EXPECT_EQ(log.recovered().size(), 1u);
+    EXPECT_EQ(log.torn_bytes_dropped(), 2u);
+    // The temp file the recovery wrote through must be gone after the rename.
+    EXPECT_FALSE(std::filesystem::exists(p + ".recover.tmp"));
+  }
+  // Second open: the tail was truly dropped on disk, nothing left to recover.
+  store::ResultLog log(p, gate_meta());
+  EXPECT_EQ(log.recovered().size(), 1u);
+  EXPECT_EQ(log.torn_bytes_dropped(), 0u);
+}
+
+TEST_F(StoreTest, SyncIsDurableBoundaryUnderBothFsyncSettings) {
+  const std::string p = path("sync.gpfs");
+  for (const int fsync_on : {0, 1}) {
+    std::filesystem::remove(p);
+    set_fsync_override(fsync_on);
+    {
+      store::CampaignCheckpoint ckpt(p, gate_meta());
+      ckpt.record(1, gate_payload(1, false));
+      ckpt.sync();  // must be callable mid-campaign with either setting
+      ckpt.record(2, gate_payload(2, false));
+      // Destructor syncs too (graceful close is always durable).
+    }
+    store::CampaignCheckpoint back(p, gate_meta());
+    EXPECT_EQ(back.done().size(), 2u) << "fsync=" << fsync_on;
+  }
+  set_fsync_override(-1);
 }
 
 TEST_F(StoreTest, CorruptedRecordCrcStopsScan) {

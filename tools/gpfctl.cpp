@@ -21,15 +21,22 @@
 //   gpfctl merge -o OUT FILE...      combine shard stores (conflict-checked)
 //   gpfctl export FILE [--format json|csv] [-o FILE]
 //   gpfctl status [FILE...]          no files: scan the store dir, aggregate
+//   gpfctl top [--addr HOST:PORT] [--interval-ms N] [--count N]
+//                                    live per-worker view of a running gpfd
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <map>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <utility>
 #include <vector>
@@ -38,8 +45,11 @@
 #include "common/env.hpp"
 #include "common/threadpool.hpp"
 #include "net/framing.hpp"
+#include "net/protocol.hpp"
 #include "net/service.hpp"
 #include "net/worker.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "perfi/campaign.hpp"
 #include "report/gate_experiments.hpp"
 #include "rtl/campaign.hpp"
@@ -70,8 +80,26 @@ int usage(const char* msg = nullptr) {
       "  gpfctl resume FILE...\n"
       "  gpfctl merge -o OUT FILE...\n"
       "  gpfctl export FILE [--format json|csv] [-o FILE]\n"
-      "  gpfctl status [FILE...]\n";
+      "  gpfctl status [FILE...]\n"
+      "  gpfctl top [--addr HOST:PORT] [--interval-ms N] [--count N]\n";
   return 2;
+}
+
+/// Number of ids in [0, total) owned by this shard.
+std::uint64_t owned_ids(const store::CampaignMeta& m) {
+  return m.total / m.shard_count +
+         (m.shard_index < m.total % m.shard_count ? 1 : 0);
+}
+
+/// Drops the end-of-campaign metrics next to the store(s) we just drove.
+void write_campaign_metrics(const std::string& store_path) {
+  const std::filesystem::path dir =
+      std::filesystem::path(store_path).parent_path();
+  const std::string out =
+      ((dir.empty() ? std::filesystem::path(".") : dir) / "metrics.json")
+          .string();
+  if (obs::write_metrics_json(out))
+    std::cout << "[gpfctl] metrics -> " << out << "\n";
 }
 
 /// Drives one campaign store to completion (or to --limit). Used by both
@@ -81,26 +109,83 @@ void drive_campaign(store::CampaignCheckpoint& ckpt, std::size_t limit) {
   const store::CampaignMeta& meta = ckpt.meta();
   const std::size_t before = ckpt.done().size();
 
-  switch (meta.kind) {
-    case store::CampaignKind::Gate: {
-      std::cout << "[gpfctl] collecting profiling traces (max_issues="
-                << meta.param1 << ")...\n";
-      const auto traces = report::collect_profiling_traces(meta.param1);
-      ThreadPool pool;
-      report::run_unit_campaign_store(traces, ckpt, &pool);
-      break;
-    }
-    case store::CampaignKind::Rtl: {
-      rtl::run_tmxm_campaign_store(ckpt);
-      break;
-    }
-    case store::CampaignKind::Perfi: {
-      const workloads::Workload* w = workloads::find(meta.app);
-      if (!w) throw std::runtime_error("unknown workload: " + meta.app);
-      perfi::run_epr_cell_store(*w, ckpt);
-      break;
-    }
+  obs::TraceSpan campaign_span(
+      "campaign",
+      std::string(store::campaign_kind_name(meta.kind)) + " " + ckpt.path());
+
+  // Progress reporter: a low-rate side thread printing retired count, recent
+  // rate, and ETA while the campaign runs (GPF_STATUS_MS=0 silences it).
+  const std::uint64_t status_ms = status_interval_ms();
+  std::atomic<bool> finished{false};
+  std::thread reporter;
+  if (status_ms > 0) {
+    reporter = std::thread([&ckpt, &finished, before, status_ms,
+                            owned = owned_ids(meta)] {
+      auto last_t = std::chrono::steady_clock::now();
+      std::size_t last_n = before;
+      std::uint64_t slept = 0;
+      while (!finished.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        if ((slept += 50) < status_ms) continue;
+        slept = 0;
+        const auto now = std::chrono::steady_clock::now();
+        const std::size_t n = ckpt.done_count();
+        const double dt = std::chrono::duration<double>(now - last_t).count();
+        const double rate =
+            dt > 0 ? static_cast<double>(n - last_n) / dt : 0.0;
+        char line[160];
+        if (rate > 0 && n < owned) {
+          std::snprintf(line, sizeof line,
+                        "[gpfctl] progress %zu/%llu (%.1f%%), %.1f results/s, "
+                        "ETA %.0fs\n",
+                        n, static_cast<unsigned long long>(owned),
+                        100.0 * static_cast<double>(n) /
+                            static_cast<double>(owned ? owned : 1),
+                        rate, static_cast<double>(owned - n) / rate);
+        } else {
+          std::snprintf(line, sizeof line,
+                        "[gpfctl] progress %zu/%llu (%.1f%%)\n", n,
+                        static_cast<unsigned long long>(owned),
+                        100.0 * static_cast<double>(n) /
+                            static_cast<double>(owned ? owned : 1));
+        }
+        std::cout << line << std::flush;
+        last_t = now;
+        last_n = n;
+      }
+    });
   }
+
+  const auto stop_reporter = [&] {
+    finished.store(true, std::memory_order_relaxed);
+    if (reporter.joinable()) reporter.join();
+  };
+  try {
+    switch (meta.kind) {
+      case store::CampaignKind::Gate: {
+        std::cout << "[gpfctl] collecting profiling traces (max_issues="
+                  << meta.param1 << ")...\n";
+        const auto traces = report::collect_profiling_traces(meta.param1);
+        ThreadPool pool;
+        report::run_unit_campaign_store(traces, ckpt, &pool);
+        break;
+      }
+      case store::CampaignKind::Rtl: {
+        rtl::run_tmxm_campaign_store(ckpt);
+        break;
+      }
+      case store::CampaignKind::Perfi: {
+        const workloads::Workload* w = workloads::find(meta.app);
+        if (!w) throw std::runtime_error("unknown workload: " + meta.app);
+        perfi::run_epr_cell_store(*w, ckpt);
+        break;
+      }
+    }
+  } catch (...) {
+    stop_reporter();
+    throw;
+  }
+  stop_reporter();
 
   const std::size_t after = ckpt.done_count();
   std::cout << "[gpfctl] " << ckpt.path() << ": " << (after - before)
@@ -117,6 +202,7 @@ int cmd_run(const Args& a) {
 
   dump_env(std::cout);
 
+  std::string last_path;
   for (const store::CampaignMeta& meta : gpfcli::metas_from_flags(a)) {
     const std::string path = gpfcli::store_path_for(meta, dir);
     std::cout << "[gpfctl] campaign " << store::campaign_kind_name(meta.kind)
@@ -124,7 +210,10 @@ int cmd_run(const Args& a) {
               << meta.shard_count << ", id space " << meta.total << ")\n";
     store::CampaignCheckpoint ckpt(path, meta);
     drive_campaign(ckpt, limit);
+    last_path = path;
   }
+  if (!last_path.empty()) write_campaign_metrics(last_path);
+  obs::flush_trace();
   return 0;
 }
 
@@ -168,6 +257,8 @@ int cmd_resume(const Args& a) {
                 << ckpt.torn_bytes_dropped() << " torn tail bytes\n";
     drive_campaign(ckpt, limit);
   }
+  if (!a.positional.empty()) write_campaign_metrics(a.positional.back());
+  obs::flush_trace();
   return 0;
 }
 
@@ -254,6 +345,94 @@ int cmd_status(const Args& a) {
   return 0;
 }
 
+/// One `top` refresh: headline (progress, rate, ETA, lease health) plus a
+/// per-worker table. Per-worker rates come from retired deltas between our
+/// own polls, so the first frame shows "-".
+void render_top(const store::CampaignMeta& meta, const net::StatsSnapshot& s,
+                std::map<std::uint64_t, std::pair<std::uint64_t, double>>& prev,
+                double now_s) {
+  const double pct =
+      s.total_ids ? 100.0 * static_cast<double>(s.retired_ids) /
+                        static_cast<double>(s.total_ids)
+                  : 100.0;
+  char head[256];
+  std::snprintf(head, sizeof head,
+                "[gpfctl top] %s shard %u/%u: %llu/%llu retired (%.1f%%), "
+                "%.1f results/s, ETA %s, units %u pending / %u leased%s\n",
+                store::campaign_kind_name(meta.kind), meta.shard_index,
+                meta.shard_count,
+                static_cast<unsigned long long>(s.retired_ids),
+                static_cast<unsigned long long>(s.total_ids), pct,
+                static_cast<double>(s.rate_milli) / 1000.0,
+                s.eta_ms ? (std::to_string(s.eta_ms / 1000) + "s").c_str()
+                         : "-",
+                s.pending_units, s.leased_units,
+                s.draining ? " [draining]" : "");
+  std::cout << head;
+
+  if (!s.workers.empty())
+    std::cout << "  " << std::left << std::setw(20) << "WORKER"
+              << std::setw(12) << "RETIRED" << std::setw(8) << "LEASED"
+              << std::setw(12) << "RESULTS/S" << std::setw(10) << "IDLE"
+              << "STATE\n";
+  for (const net::WorkerRow& w : s.workers) {
+    std::string rate = "-";
+    if (const auto it = prev.find(w.session);
+        it != prev.end() && now_s > it->second.second) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.1f",
+                    static_cast<double>(w.retired - it->second.first) /
+                        (now_s - it->second.second));
+      rate = buf;
+    }
+    prev[w.session] = {w.retired, now_s};
+    char idle[32];
+    std::snprintf(idle, sizeof idle, "%.1fs",
+                  static_cast<double>(w.idle_ms) / 1000.0);
+    std::cout << "  " << std::left << std::setw(20)
+              << (w.name.empty() ? "(unnamed)" : w.name) << std::setw(12)
+              << w.retired << std::setw(8) << w.leased_units << std::setw(12)
+              << rate << std::setw(10) << idle
+              << (w.connected ? "up" : "gone") << "\n";
+  }
+  std::cout << std::flush;
+}
+
+int cmd_top(const Args& a) {
+  const auto [host, port] = net::parse_addr(a.get("addr", coord_addr()));
+  const auto interval_ms = a.get_u64("interval-ms", 1000);
+  const auto count = a.get_u64("count", 0);  // 0 = until the campaign ends
+
+  std::map<std::uint64_t, std::pair<std::uint64_t, double>> prev;
+  const auto t0 = std::chrono::steady_clock::now();
+  bool connected_once = false;
+  for (std::uint64_t polls = 0;;) {
+    store::CampaignMeta meta;
+    net::StatsSnapshot s;
+    try {
+      std::tie(meta, s) = net::fetch_stats(host, port);
+    } catch (const std::exception& e) {
+      // A coordinator that served us at least once and then went away is a
+      // normal end of campaign, not an error.
+      if (!connected_once) throw;
+      std::cout << "[gpfctl top] coordinator gone (" << e.what() << ")\n";
+      return 0;
+    }
+    connected_once = true;
+    render_top(meta, s, prev,
+               std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             t0)
+                   .count());
+    if (count && ++polls >= count) return 0;
+    if (s.retired_ids >= s.total_ids && s.leased_units == 0) {
+      std::cout << "[gpfctl top] campaign complete\n";
+      return 0;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(interval_ms ? interval_ms : 1000));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -267,6 +446,7 @@ int main(int argc, char** argv) {
     if (cmd == "merge") return cmd_merge(a);
     if (cmd == "export") return cmd_export(a);
     if (cmd == "status") return cmd_status(a);
+    if (cmd == "top") return cmd_top(a);
     return usage(("unknown command: " + cmd).c_str());
   } catch (const UsageError& e) {
     return usage(e.what());

@@ -24,10 +24,14 @@
 #include <iostream>
 #include <string>
 
+#include <filesystem>
+
 #include "campaign_flags.hpp"
 #include "common/env.hpp"
 #include "net/coordinator.hpp"
 #include "net/framing.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "store/checkpoint.hpp"
 #include "store/export.hpp"
 #include "store/result_log.hpp"
@@ -56,7 +60,7 @@ int usage(const char* msg = nullptr) {
       "  gpfd --resume FILE\n"
       "    common: [--addr HOST:PORT] [--lease-ms N] [--unit-size N]\n"
       "            [--seed S] [--store DIR] [--shard-index I]\n"
-      "            [--shard-count K] [--verbose]\n";
+      "            [--shard-count K] [--status-ms N] [--verbose]\n";
   return 2;
 }
 
@@ -98,6 +102,8 @@ int main(int argc, char** argv) {
     cfg.lease_ms = static_cast<std::uint32_t>(
         a.get_u64("lease-ms", lease_duration_ms()));
     cfg.unit_size = static_cast<std::size_t>(a.get_u64("unit-size", 64));
+    cfg.status_interval_ms =
+        static_cast<std::uint32_t>(a.get_u64("status-ms", 5000));
     cfg.verbose = a.has("verbose");
 
     net::Coordinator coordinator(ckpt, cfg);
@@ -113,7 +119,11 @@ int main(int argc, char** argv) {
               << ckpt.done().size() << "/" << meta.total
               << " already retired)\n";
 
-    const net::Coordinator::Stats st = coordinator.serve();
+    net::Coordinator::Stats st;
+    {
+      obs::TraceSpan serve_span("campaign", "gpfd serve " + path);
+      st = coordinator.serve();
+    }
     g_coordinator.store(nullptr);
 
     std::cout << "[gpfd] " << (st.drained ? "drained" : "complete") << ": "
@@ -121,6 +131,16 @@ int main(int argc, char** argv) {
               << " duplicates dropped) from " << st.sessions << " sessions, "
               << st.expired_leases << " leases expired\n";
     store::print_status(store::load_store(path), std::cout);
+
+    // End-of-campaign metrics next to the store, plus any requested trace.
+    const std::filesystem::path dir =
+        std::filesystem::path(path).parent_path();
+    const std::string metrics_path =
+        ((dir.empty() ? std::filesystem::path(".") : dir) / "metrics.json")
+            .string();
+    if (obs::write_metrics_json(metrics_path))
+      std::cout << "[gpfd] metrics -> " << metrics_path << "\n";
+    obs::flush_trace();
     return 0;
   } catch (const UsageError& e) {
     return usage(e.what());

@@ -1,19 +1,23 @@
 // Engine shoot-out for the gate-level replay campaigns: brute-force scalar
-// resimulation vs event-driven difference propagation vs 64-way bit-parallel
+// resimulation vs event-driven difference propagation vs bit-parallel
 // (PPSFP) word simulation, the latter both bare and with the two structural
 // optimizations layered on top — stuck-at equivalence collapsing
-// (GPF_COLLAPSE) and fanout-cone pruning (GPF_CONE). All rows produce
-// identical classifications (checked here and asserted in test_batchsim);
-// this bench measures throughput in faults*cycles/sec, the figure of merit
-// for exhaustive stuck-at sweeps.
+// (GPF_COLLAPSE) and fanout-cone pruning (GPF_CONE) — and the tuned engine
+// again at every SIMD lane width this build and CPU support (64-lane scalar
+// words, 256-lane AVX2, 512-lane AVX-512). All rows produce identical
+// classifications (checked here and asserted in test_batchsim); this bench
+// measures throughput in faults*cycles/sec, the figure of merit for
+// exhaustive stuck-at sweeps.
 //
-//   bench_gate_batch [decoder|fetch|wsc]   (no argument: all three units)
+//   bench_gate_batch [decoder|fetch|wsc]...   (no arguments: all three units)
 #include <algorithm>
 #include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -56,18 +60,21 @@ std::vector<gate::StuckFault> representatives(
 }
 
 /// Mean fraction of the netlist's gates inside the union fanout cone of each
-/// 64-fault batch — the share of word evaluations cone pruning actually pays
-/// for (out-of-cone gates are skipped entirely).
+/// `lanes`-fault batch — the share of word evaluations cone pruning actually
+/// pays for (out-of-cone gates are skipped entirely). Wider batches union
+/// more fault sites, so this fraction grows with the lane width: the wide
+/// paths trade cone sharpness for lane count.
 double mean_cone_fraction(const gate::Netlist& nl,
-                          const std::vector<gate::StuckFault>& reps) {
-  gate::BatchFaultSim sim(nl);
-  const auto total = static_cast<double>(sim.total_gate_count());
+                          const std::vector<gate::StuckFault>& reps,
+                          std::size_t lanes) {
+  const std::unique_ptr<gate::BatchSim> sim = gate::make_batch_sim(nl, lanes);
+  const auto total = static_cast<double>(sim->total_gate_count());
   double acc = 0.0;
   std::size_t batches = 0;
-  for (std::size_t lo = 0; lo < reps.size(); lo += gate::BatchFaultSim::kLanes) {
-    const std::size_t len = std::min(gate::BatchFaultSim::kLanes, reps.size() - lo);
-    sim.begin(std::span(reps).subspan(lo, len));
-    acc += static_cast<double>(sim.cone_gate_count()) / total;
+  for (std::size_t lo = 0; lo < reps.size(); lo += lanes) {
+    const std::size_t len = std::min(lanes, reps.size() - lo);
+    sim->begin(std::span(reps).subspan(lo, len));
+    acc += static_cast<double>(sim->cone_gate_count()) / total;
     ++batches;
   }
   return batches ? acc / static_cast<double>(batches) : 1.0;
@@ -75,10 +82,11 @@ double mean_cone_fraction(const gate::Netlist& nl,
 
 struct JsonRow {
   std::string unit, engine;
-  std::size_t faults = 0, simulated = 0, cycles = 0;
+  std::size_t faults = 0, simulated = 0, cycles = 0, lanes = 0;
   bool collapse = false, cone = false;
   double collapse_ratio = 1.0, mean_cone_fraction = 1.0;
   double wall_seconds = 0.0, speedup_vs_brute = 1.0, speedup_vs_batch_base = 1.0;
+  double speedup_vs_lanes64 = 1.0;
 };
 
 // Machine-readable perf record so the speedup trajectory is tracked across
@@ -105,7 +113,7 @@ void write_bench_json(const std::vector<JsonRow>& rows,
     const JsonRow& r = rows[i];
     os << "    {\"unit\": \"" << r.unit << "\", \"engine\": \"" << r.engine
        << "\", \"faults\": " << r.faults << ", \"simulated\": " << r.simulated
-       << ", \"cycles\": " << r.cycles
+       << ", \"cycles\": " << r.cycles << ", \"lanes\": " << r.lanes
        << ", \"collapse\": " << (r.collapse ? "true" : "false")
        << ", \"cone\": " << (r.cone ? "true" : "false")
        << ", \"collapse_ratio\": " << num(r.collapse_ratio, "%.3f")
@@ -113,6 +121,7 @@ void write_bench_json(const std::vector<JsonRow>& rows,
        << ", \"wall_seconds\": " << num(r.wall_seconds, "%.6f")
        << ", \"speedup_vs_brute\": " << num(r.speedup_vs_brute, "%.3f")
        << ", \"speedup_vs_batch_base\": " << num(r.speedup_vs_batch_base, "%.3f")
+       << ", \"speedup_vs_lanes64\": " << num(r.speedup_vs_lanes64, "%.3f")
        << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
@@ -140,37 +149,49 @@ int main(int argc, char** argv) {
                             static_cast<unsigned char>(c)));
       return s;
     };
-    const std::string want = lower(argv[1]);
-    for (gate::UnitKind u :
-         {gate::UnitKind::Decoder, gate::UnitKind::Fetch, gate::UnitKind::WSC})
-      if (want == lower(gate::unit_name(u))) units.push_back(u);
-    if (units.empty()) {
-      std::cerr << "unknown unit: " << want << " (decoder|fetch|wsc)\n";
-      return 2;
+    for (int a = 1; a < argc; ++a) {
+      const std::string want = lower(argv[a]);
+      bool known = false;
+      for (gate::UnitKind u : {gate::UnitKind::Decoder, gate::UnitKind::Fetch,
+                               gate::UnitKind::WSC})
+        if (want == lower(gate::unit_name(u))) {
+          units.push_back(u);
+          known = true;
+        }
+      if (!known) {
+        std::cerr << "unknown unit: " << want << " (decoder|fetch|wsc)\n";
+        return 2;
+      }
     }
   }
 
   bool any_mismatch = false;
-  Table t("Gate campaign engines: brute vs event vs batch vs batch+collapse+cone");
-  t.header({"unit", "faults", "sim'd", "engine", "cone frac", "time",
-            "faults*cyc/s", "vs brute", "vs batch"});
+  Table t("Gate campaign engines: brute vs event vs batch, tuned per SIMD width");
+  t.header({"unit", "faults", "sim'd", "engine", "lanes", "cone frac", "time",
+            "faults*cyc/s", "vs brute", "vs 64-lane"});
 
   struct Row {
-    const char* label;
+    std::string label;
     EngineKind engine;
-    int collapse, cone;  // set_*_override values
+    int collapse, cone;     // set_*_override values
+    std::size_t lanes = 0;  // batch rows: pinned width (0 = scalar engines)
   };
-  const Row rows[] = {
-      {"brute", EngineKind::Brute, 0, 0},
-      {"event", EngineKind::Event, 0, 0},
-      {"batch", EngineKind::Batch, 0, 0},
-      {"batch+c+c", EngineKind::Batch, 1, 1},
+  std::vector<Row> rows = {
+      {"brute", EngineKind::Brute, 0, 0, 0},
+      {"event", EngineKind::Event, 0, 0, 0},
+      {"batch", EngineKind::Batch, 0, 0, 64},
+      {"batch+c+c", EngineKind::Batch, 1, 1, 64},
   };
+  // The tuned engine again at each wider SIMD path the build/CPU can run:
+  // the speedup-vs-64-lane column is the payoff of this PR's widening.
+  for (const std::size_t w : {std::size_t{256}, std::size_t{512}})
+    if (gate::batch_width_supported(w))
+      rows.push_back({"batch+c+c@" + std::to_string(w), EngineKind::Batch, 1, 1, w});
 
   for (gate::UnitKind unit : units) {
     const std::size_t cycles = unit_cycles(unit, traces);
 
-    // Static per-unit structure stats for the tuned row.
+    // Static per-unit structure stats for the tuned rows.
     gate::UnitReplayer replayer(unit);
     const auto list =
         gate::sampled_fault_list(replayer.netlist(), unit, max_faults, 7);
@@ -179,13 +200,18 @@ int main(int argc, char** argv) {
     const auto reps = representatives(replayer.netlist(), list);
     const double ratio =
         static_cast<double>(list.size()) / static_cast<double>(reps.size());
-    const double cone_frac = mean_cone_fraction(replayer.netlist(), reps);
+    std::map<std::size_t, double> cone_frac;
+    for (const Row& row : rows)
+      if (row.lanes && !cone_frac.count(row.lanes))
+        cone_frac[row.lanes] = mean_cone_fraction(replayer.netlist(), reps,
+                                                  row.lanes);
 
-    double brute_s = 0.0, batch_base_s = 0.0;
+    double brute_s = 0.0, batch_base_s = 0.0, tuned64_s = 0.0;
     gate::UnitCampaignResult reference;
     for (const Row& row : rows) {
       set_collapse_override(row.collapse);
       set_cone_override(row.cone);
+      gate::set_batch_lanes_override(row.lanes);
       const bool tuned = row.collapse || row.cone;
       const auto t0 = Clock::now();
       const auto res = gate::run_unit_campaign(unit, traces, max_faults, 7,
@@ -207,32 +233,42 @@ int main(int argc, char** argv) {
         any_mismatch |= !equal;
       }
       if (row.engine == EngineKind::Batch && !tuned) batch_base_s = secs;
+      if (row.engine == EngineKind::Batch && tuned && row.lanes == 64)
+        tuned64_s = secs;
       const double vs_batch = batch_base_s > 0.0 ? batch_base_s / secs : 1.0;
+      const double vs_64 = tuned64_s > 0.0 && tuned && row.engine == EngineKind::Batch
+                               ? tuned64_s / secs
+                               : 1.0;
 
       t.row({gate::unit_name(unit), std::to_string(faults),
-             std::to_string(tuned ? reps.size() : faults),
-             row.label, tuned ? Table::num(cone_frac, 2) : std::string("1.00"),
+             std::to_string(tuned ? reps.size() : faults), row.label,
+             row.lanes ? std::to_string(row.lanes) : std::string("-"),
+             tuned ? Table::num(cone_frac[row.lanes], 2) : std::string("1.00"),
              Table::num(secs, 2) + " s", Table::num(work / secs, 0), note,
-             row.engine == EngineKind::Batch ? Table::num(vs_batch, 2) + "x"
-                                             : std::string("-")});
+             row.engine == EngineKind::Batch && tuned
+                 ? Table::num(vs_64, 2) + "x"
+                 : std::string("-")});
       JsonRow jr;
       jr.unit = gate::unit_name(unit);
       jr.engine = row.label;
       jr.faults = faults;
       jr.simulated = tuned ? reps.size() : faults;
       jr.cycles = cycles;
+      jr.lanes = row.lanes;
       jr.collapse = row.collapse != 0;
       jr.cone = row.cone != 0;
       jr.collapse_ratio = tuned ? ratio : 1.0;
-      jr.mean_cone_fraction = tuned ? cone_frac : 1.0;
+      jr.mean_cone_fraction = tuned && row.lanes ? cone_frac[row.lanes] : 1.0;
       jr.wall_seconds = secs;
       jr.speedup_vs_brute = row.engine == EngineKind::Brute ? 1.0 : brute_s / secs;
       jr.speedup_vs_batch_base =
           row.engine == EngineKind::Batch ? vs_batch : 1.0;
+      jr.speedup_vs_lanes64 = vs_64;
       json_rows.push_back(jr);
     }
     set_collapse_override(-1);
     set_cone_override(-1);
+    gate::set_batch_lanes_override(0);
   }
   t.print(std::cout);
 
@@ -270,14 +306,17 @@ int main(int argc, char** argv) {
                 off_s, on_s, metrics_overhead_pct);
   }
 
-  std::cout << "\nThe batch engine packs 64 stuck-at faults into one uint64_t\n"
-               "per net and replays each trace once per batch. Collapsing\n"
-               "(GPF_COLLAPSE) simulates one representative per structural\n"
-               "equivalence class and expands the records; cone pruning\n"
-               "(GPF_CONE) word-evaluates only gates downstream of a batch's\n"
-               "fault sites. Both default on; all rows classify identically.\n"
-               "Select an engine with GPF_ENGINE=brute|event|batch and size\n"
-               "the worker pool with GPF_THREADS.\n";
+  std::cout << "\nThe batch engine packs one stuck-at fault per SIMD lane —\n"
+               "64 in a uint64_t word, 256 in an AVX2 register, 512 in an\n"
+               "AVX-512 register — and replays each trace once per batch.\n"
+               "Collapsing (GPF_COLLAPSE) simulates one representative per\n"
+               "structural equivalence class and expands the records; cone\n"
+               "pruning (GPF_CONE) word-evaluates only gates downstream of a\n"
+               "batch's fault sites. Both default on; all rows classify\n"
+               "identically and export byte-identical stores at any width.\n"
+               "Select an engine with GPF_ENGINE=brute|event|batch, a SIMD\n"
+               "path with GPF_SIMD=native|scalar|avx2|avx512 (or pin\n"
+               "GPF_LANES=64|256|512), and size the pool with GPF_THREADS.\n";
   write_bench_json(json_rows, metrics_overhead_pct);
   if (any_mismatch) {
     std::cerr << "FAIL: engines disagree on at least one classification\n";

@@ -133,6 +133,49 @@ bool cone_enabled() {
 void set_collapse_override(int v) { g_collapse_override = v < 0 ? -1 : (v ? 1 : 0); }
 void set_cone_override(int v) { g_cone_override = v < 0 ? -1 : (v ? 1 : 0); }
 
+const char* simd_name(SimdKind k) {
+  switch (k) {
+    case SimdKind::Native: return "native";
+    case SimdKind::Scalar: return "scalar";
+    case SimdKind::Avx2: return "avx2";
+    case SimdKind::Avx512: return "avx512";
+  }
+  return "?";
+}
+
+SimdKind simd_request() {
+  static const SimdKind kind = [] {
+    const char* s = std::getenv("GPF_SIMD");
+    if (!s || !*s) return SimdKind::Native;
+    const std::string v(s);
+    if (v == "native") return SimdKind::Native;
+    if (v == "scalar") return SimdKind::Scalar;
+    if (v == "avx2") return SimdKind::Avx2;
+    if (v == "avx512") return SimdKind::Avx512;
+    std::fprintf(stderr,
+                 "[gpf] ignoring GPF_SIMD=\"%s\": expected "
+                 "native|scalar|avx2|avx512; using native\n",
+                 s);
+    return SimdKind::Native;
+  }();
+  return kind;
+}
+
+std::size_t lanes_request() {
+  static const std::size_t lanes = [] {
+    const unsigned long long v =
+        parse_env_u64("GPF_LANES", std::getenv("GPF_LANES"), 0);
+    if (v == 0 || v == 64 || v == 256 || v == 512)
+      return static_cast<std::size_t>(v);
+    std::fprintf(stderr,
+                 "[gpf] ignoring GPF_LANES=%llu: expected 64, 256 or 512; "
+                 "deferring to GPF_SIMD\n",
+                 v);
+    return std::size_t{0};
+  }();
+  return lanes;
+}
+
 std::size_t campaign_threads() {
   if (const std::size_t o = g_threads_override.load()) return o;
   static const std::size_t threads = static_cast<std::size_t>(
@@ -234,6 +277,9 @@ void dump_env(std::ostream& os) {
     os << "# GPF_CONE=" << (cone_enabled() ? "1" : "0") << " (override)\n";
   else
     line("GPF_CONE", cone_enabled() ? "1" : "0");
+  line("GPF_SIMD", simd_name(simd_request()));
+  line("GPF_LANES", lanes_request() ? std::to_string(lanes_request())
+                                    : "0 (auto: GPF_SIMD/cpuid)");
   if (const std::size_t o = g_threads_override.load())
     os << "# GPF_THREADS=" << o << " (--jobs override)\n";
   else

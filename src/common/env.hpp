@@ -9,6 +9,8 @@
 //   GPF_ENGINE            gate fault-simulation engine: brute | event | batch
 //   GPF_COLLAPSE          structural stuck-at fault collapsing: 1 | 0 (default 1)
 //   GPF_CONE              batch-engine fanout-cone pruning: 1 | 0 (default 1)
+//   GPF_SIMD              batch-engine SIMD path: native | scalar | avx2 | avx512
+//   GPF_LANES             batch-engine lane width: 64 | 256 | 512 (0 = auto)
 //   GPF_THREADS           campaign thread-pool width (0 = hardware threads)
 //   GPF_STORE_DIR         directory for persistent campaign stores (default ".")
 //   GPF_COORD_ADDR        gpfd coordinator host:port (default 127.0.0.1:9777)
@@ -58,7 +60,7 @@ unsigned long long campaign_seed();
 enum class EngineKind : std::uint8_t {
   Brute,  ///< full scalar resimulation of every (fault, cycle)
   Event,  ///< single-fault difference-cone propagation
-  Batch,  ///< 64-way bit-parallel (PPSFP) word simulation
+  Batch,  ///< bit-parallel (PPSFP) word simulation, 64-512 lanes (GPF_SIMD)
 };
 const char* engine_name(EngineKind e);
 
@@ -74,15 +76,34 @@ EngineKind campaign_engine();
 bool collapse_enabled();
 
 /// GPF_CONE environment variable: when on (the default), the batch engine
-/// word-evaluates only the union fanout cone of each 64-fault batch and
-/// copies golden values into out-of-cone nets. Same off-spellings as
-/// GPF_COLLAPSE.
+/// word-evaluates only the union fanout cone of each fault batch and copies
+/// golden values into out-of-cone nets. Same off-spellings as GPF_COLLAPSE.
 bool cone_enabled();
 
 /// Process-wide overrides for the two knobs above (tests toggle them without
 /// re-execing): -1 = defer to the environment, 0 = off, 1 = on.
 void set_collapse_override(int v);
 void set_cone_override(int v);
+
+/// Batch-engine SIMD path requested via GPF_SIMD (default native = widest
+/// the CPU supports). The request is resolved against the build's compiled
+/// widths and cpuid by gate::batch_lane_width().
+enum class SimdKind : std::uint8_t {
+  Native,  ///< widest path this build and CPU support (the default)
+  Scalar,  ///< 64-lane uint64_t baseline
+  Avx2,    ///< 256-lane AVX2 ymm path
+  Avx512,  ///< 512-lane AVX-512 zmm path
+};
+const char* simd_name(SimdKind k);
+
+/// GPF_SIMD environment variable: "native" | "scalar" | "avx2" | "avx512"
+/// (default native). Unrecognized values warn on stderr and mean native.
+SimdKind simd_request();
+
+/// GPF_LANES environment variable: an exact batch lane width (64, 256 or
+/// 512). 0 / unset defers to GPF_SIMD. Takes precedence over GPF_SIMD when
+/// both are set; other values warn on stderr and mean 0.
+std::size_t lanes_request();
 
 /// GPF_THREADS environment variable: worker count for campaign thread pools
 /// (0 = one per hardware thread). A process-wide override (the `--jobs N`

@@ -1,318 +1,149 @@
+// Runtime SIMD dispatch for the batch engine. The per-width engines live in
+// batchsim{64,256,512}.cpp (each compiled with its own target flags); this
+// baseline TU decides which one a campaign gets:
+//
+//   set_batch_lanes_override(w)   tests/benches pin a width in-process
+//   GPF_LANES=64|256|512          pin a width from the environment
+//   GPF_SIMD=scalar|avx2|avx512   name a path (scalar = 64 lanes, ...)
+//   (default)                     widest path the CPU supports (cpuid)
+//
+// A pinned width that this build or CPU cannot run falls back to the widest
+// supported width at or below the request, with a one-line stderr warning —
+// never a crash. All widths classify identically and produce byte-identical
+// campaign exports (asserted by test_batchsim / test_gate_experiments).
 #include "gate/batchsim.hpp"
 
-#include <algorithm>
+#include <atomic>
+#include <cstdio>
 #include <stdexcept>
+#include <string>
 
 #include "common/env.hpp"
-#include "gate/compiled.hpp"
 #include "obs/metrics.hpp"
 
 namespace gpf::gate {
 
+std::unique_ptr<BatchSim> make_batch_sim_64(const Netlist& nl);
+#ifdef GPF_HAVE_BATCH256
+std::unique_ptr<BatchSim> make_batch_sim_256(const Netlist& nl);
+#endif
+#ifdef GPF_HAVE_BATCH512
+std::unique_ptr<BatchSim> make_batch_sim_512(const Netlist& nl);
+#endif
+
 namespace {
 
-inline std::uint64_t broadcast(std::uint8_t bit) {
-  return bit ? ~std::uint64_t{0} : std::uint64_t{0};
+std::atomic<std::size_t> g_lanes_override{0};
+
+bool cpu_supports_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+bool cpu_supports_avx512f() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx512f");
+#else
+  return false;
+#endif
 }
 
 }  // namespace
 
-BatchFaultSim::BatchFaultSim(const Netlist& nl)
-    : nl_(nl),
-      cn_(nl.compiled()),
-      val_(nl.num_nets(), 0),
-      force0_(nl.num_nets(), 0),
-      force1_(nl.num_nets(), 0),
-      dff_next_(nl.dffs().size(), 0),
-      cone_enabled_(gpf::cone_enabled()) {
-  if (!nl.finalized()) throw std::logic_error("netlist not finalized");
-}
-
-void BatchFaultSim::begin(std::span<const StuckFault> faults) {
-  if (faults.size() > kLanes) throw std::invalid_argument("more than 64 faults");
-  // Batch occupancy: lanes/64 per begin(); one begin per (batch, trace).
-  static obs::Counter& batches = obs::counter("gate.batches");
-  static obs::Counter& lanes = obs::counter("gate.batch_lanes");
-  batches.add(1);
-  lanes.add(faults.size());
-  for (const Net n : forced_nets_) {
-    force0_[static_cast<std::size_t>(n)] = 0;
-    force1_[static_cast<std::size_t>(n)] = 0;
-  }
-  forced_nets_.clear();
-  source_sites_.clear();
-  sites_.clear();
-  lane_mask_ = 0;
-  cone_live_ = false;  // the cone is per-batch; rebuilt on first eval_cone()
-  std::fill(val_.begin(), val_.end(), 0);
-
-  for (std::size_t k = 0; k < faults.size(); ++k) {
-    const StuckFault& f = faults[k];
-    const auto site = static_cast<std::size_t>(f.net);
-    const std::uint64_t bit = std::uint64_t{1} << k;
-    sites_.push_back(f.net);
-    lane_mask_ |= bit;
-    if (force0_[site] == 0 && force1_[site] == 0) forced_nets_.push_back(f.net);
-    (f.stuck_high ? force1_ : force0_)[site] |= bit;
-    const GateKind kind = nl_.gate(f.net).kind;
-    if (kind == GateKind::Input || kind == GateKind::Const0 ||
-        kind == GateKind::Const1 || kind == GateKind::Dff)
-      source_sites_.push_back(f.net);
+bool batch_width_supported(std::size_t lanes) {
+  switch (lanes) {
+    case 64:
+      return true;
+#ifdef GPF_HAVE_BATCH256
+    case 256:
+      return cpu_supports_avx2();
+#endif
+#ifdef GPF_HAVE_BATCH512
+    case 512:
+      return cpu_supports_avx512f();
+#endif
+    default:
+      return false;
   }
 }
 
-void BatchFaultSim::load_broadcast(const std::vector<std::uint8_t>& vals) {
-  for (std::size_t i = 0; i < val_.size(); ++i) val_[i] = broadcast(vals[i]);
+const char* batch_simd_path(std::size_t lanes) {
+  switch (lanes) {
+    case 64: return "scalar64";
+    case 256: return "avx2x256";
+    case 512: return "avx512x512";
+  }
+  return "?";
 }
 
-void BatchFaultSim::set_bus(const PortBus& bus, std::uint64_t value) {
-  for (std::size_t i = 0; i < bus.nets.size(); ++i)
-    val_[static_cast<std::size_t>(bus.nets[i])] = broadcast((value >> i) & 1);
+void set_batch_lanes_override(std::size_t lanes) {
+  if (lanes != 0 && !batch_width_supported(lanes))
+    throw std::invalid_argument("set_batch_lanes_override: width " +
+                                std::to_string(lanes) +
+                                " not supported by this build/CPU");
+  g_lanes_override.store(lanes, std::memory_order_relaxed);
 }
 
-void BatchFaultSim::apply_source_overlays() {
-  for (const Net n : source_sites_) {
-    const auto i = static_cast<std::size_t>(n);
-    val_[i] = (val_[i] & ~force0_[i]) | force1_[i];
-  }
-}
-
-void BatchFaultSim::ensure_cone() {
-  if (cone_live_) return;
-  cone_live_ = true;
-  if (cone_stamp_.empty()) {
-    cone_stamp_.assign(cn_.num_nets(), 0);
-    frontier_stamp_.assign(cn_.num_nets(), 0);
-  }
-  ++cone_epoch_;
-  cone_slots_.clear();
-  cone_dffs_.clear();
-  cone_nets_.clear();
-  frontier_.clear();
-  observed_cone_.clear();
-
-  const auto in_cone = [&](Net n) {
-    return cone_stamp_[static_cast<std::size_t>(n)] == cone_epoch_;
-  };
-  // BFS over the fan-out CSR from the fault sites; cone_nets_ doubles as the
-  // worklist (every reached net stays in it).
-  for (const Net s : forced_nets_) {
-    if (in_cone(s)) continue;
-    cone_stamp_[static_cast<std::size_t>(s)] = cone_epoch_;
-    cone_nets_.push_back(s);
-  }
-  for (std::size_t i = 0; i < cone_nets_.size(); ++i)
-    for (const Net t : cn_.fanout(cone_nets_[i])) {
-      if (in_cone(t)) continue;
-      cone_stamp_[static_cast<std::size_t>(t)] = cone_epoch_;
-      cone_nets_.push_back(t);
-    }
-
-  for (const Net n : cone_nets_) {
-    const auto i = static_cast<std::size_t>(n);
-    if (cn_.slot_of[i] != kNoSlot) cone_slots_.push_back(cn_.slot_of[i]);
-    if (cn_.dff_index[i] >= 0)
-      cone_dffs_.push_back(static_cast<std::uint32_t>(cn_.dff_index[i]));
-  }
-  std::sort(cone_slots_.begin(), cone_slots_.end());  // levelized order
-  std::sort(cone_dffs_.begin(), cone_dffs_.end());
-
-  // Frontier: every out-of-cone net some in-cone gate/DFF reads, plus the
-  // observed outputs — eval_cone() broadcasts their golden values so reads
-  // through bus_value()/diff_observed() need no cone awareness.
-  const auto add_frontier = [&](Net n) {
-    if (n == kNoNet || in_cone(n)) return;
-    auto& st = frontier_stamp_[static_cast<std::size_t>(n)];
-    if (st == cone_epoch_) return;
-    st = cone_epoch_;
-    frontier_.push_back(n);
-  };
-  for (const std::uint32_t s : cone_slots_) {
-    add_frontier(cn_.a[s]);
-    add_frontier(cn_.b[s]);
-    add_frontier(cn_.c[s]);
-  }
-  for (const std::uint32_t i : cone_dffs_) {
-    add_frontier(cn_.dff_d[i]);
-    add_frontier(cn_.dff_en[i]);
-  }
-  for (const Net n : observed_) {
-    if (in_cone(n))
-      observed_cone_.push_back(n);
-    else
-      add_frontier(n);
-  }
-
-  // Cone fraction = cone_gates / cone_total_gates across all builds.
-  static obs::Counter& builds = obs::counter("gate.cone_builds");
-  static obs::Counter& cone_gates = obs::counter("gate.cone_gates");
-  static obs::Counter& total_gates = obs::counter("gate.cone_total_gates");
-  builds.add(1);
-  cone_gates.add(cone_slots_.size());
-  total_gates.add(cn_.num_slots());
-}
-
-void BatchFaultSim::eval() {
-  for (const auto& [n, v] : nl_.constants())
-    val_[static_cast<std::size_t>(n)] = broadcast(v);
-  apply_source_overlays();
-
-  const auto va = [&](Net x) { return val_[static_cast<std::size_t>(x)]; };
-  for (std::size_t s = 0; s < cn_.num_slots(); ++s) {
-    std::uint64_t v = 0;
-    switch (cn_.kind[s]) {
-      case GateKind::Buf: v = va(cn_.a[s]); break;
-      case GateKind::Not: v = ~va(cn_.a[s]); break;
-      case GateKind::And: v = va(cn_.a[s]) & va(cn_.b[s]); break;
-      case GateKind::Or: v = va(cn_.a[s]) | va(cn_.b[s]); break;
-      case GateKind::Nand: v = ~(va(cn_.a[s]) & va(cn_.b[s])); break;
-      case GateKind::Nor: v = ~(va(cn_.a[s]) | va(cn_.b[s])); break;
-      case GateKind::Xor: v = va(cn_.a[s]) ^ va(cn_.b[s]); break;
-      case GateKind::Xnor: v = ~(va(cn_.a[s]) ^ va(cn_.b[s])); break;
-      case GateKind::Mux: {
-        const std::uint64_t sel = va(cn_.a[s]);
-        v = (sel & va(cn_.c[s])) | (~sel & va(cn_.b[s]));
-        break;
+std::size_t batch_lane_width() {
+  if (const std::size_t o = g_lanes_override.load(std::memory_order_relaxed))
+    return o;
+  static const std::size_t dispatched = [] {
+    // GPF_LANES pins an exact width; GPF_SIMD names a path; otherwise take
+    // the widest path this build and CPU support.
+    std::size_t want = lanes_request();
+    bool pinned = want != 0;
+    if (!want) {
+      switch (simd_request()) {
+        case SimdKind::Scalar: want = 64; pinned = true; break;
+        case SimdKind::Avx2: want = 256; pinned = true; break;
+        case SimdKind::Avx512: want = 512; pinned = true; break;
+        case SimdKind::Native: want = 512; break;
       }
-      default: continue;
     }
-    const auto i = static_cast<std::size_t>(cn_.out[s]);
-    val_[i] = (v & ~force0_[i]) | force1_[i];
-  }
+    std::size_t w = 64;
+    if (want >= 256 && batch_width_supported(256)) w = 256;
+    if (want >= 512 && batch_width_supported(512)) w = 512;
+    if (pinned && w != want)
+      std::fprintf(stderr,
+                   "[gpf] requested batch lane width %zu unavailable on this "
+                   "build/CPU; using %zu (%s)\n",
+                   want, w, batch_simd_path(w));
+    return w;
+  }();
+  return dispatched;
 }
 
-void BatchFaultSim::eval_cone(const std::vector<std::uint8_t>& golden) {
-  ensure_cone();
-  for (const Net n : frontier_) {
-    const auto i = static_cast<std::size_t>(n);
-    val_[i] = broadcast(golden[i]);
+std::unique_ptr<BatchSim> make_batch_sim(const Netlist& nl, std::size_t lanes) {
+  // Active width is observable: campaigns at any scale publish which SIMD
+  // path their batches run on.
+  static obs::Gauge& g = obs::gauge("gate.batch.lanes");
+  g.set(static_cast<std::int64_t>(lanes));
+  switch (lanes) {
+    case 64:
+      return make_batch_sim_64(nl);
+#ifdef GPF_HAVE_BATCH256
+    case 256:
+      if (cpu_supports_avx2()) return make_batch_sim_256(nl);
+      break;
+#endif
+#ifdef GPF_HAVE_BATCH512
+    case 512:
+      if (cpu_supports_avx512f()) return make_batch_sim_512(nl);
+      break;
+#endif
+    default:
+      break;
   }
-  apply_source_overlays();
-
-  const auto va = [&](Net x) { return val_[static_cast<std::size_t>(x)]; };
-  for (const std::uint32_t s : cone_slots_) {
-    std::uint64_t v = 0;
-    switch (cn_.kind[s]) {
-      case GateKind::Buf: v = va(cn_.a[s]); break;
-      case GateKind::Not: v = ~va(cn_.a[s]); break;
-      case GateKind::And: v = va(cn_.a[s]) & va(cn_.b[s]); break;
-      case GateKind::Or: v = va(cn_.a[s]) | va(cn_.b[s]); break;
-      case GateKind::Nand: v = ~(va(cn_.a[s]) & va(cn_.b[s])); break;
-      case GateKind::Nor: v = ~(va(cn_.a[s]) | va(cn_.b[s])); break;
-      case GateKind::Xor: v = va(cn_.a[s]) ^ va(cn_.b[s]); break;
-      case GateKind::Xnor: v = ~(va(cn_.a[s]) ^ va(cn_.b[s])); break;
-      case GateKind::Mux: {
-        const std::uint64_t sel = va(cn_.a[s]);
-        v = (sel & va(cn_.c[s])) | (~sel & va(cn_.b[s]));
-        break;
-      }
-      default: continue;
-    }
-    const auto i = static_cast<std::size_t>(cn_.out[s]);
-    val_[i] = (v & ~force0_[i]) | force1_[i];
-  }
+  throw std::invalid_argument("make_batch_sim: lane width " +
+                              std::to_string(lanes) +
+                              " not supported by this build/CPU");
 }
 
-void BatchFaultSim::clock() {
-  if (cone_live_) {
-    // Out-of-cone DFFs cannot diverge (all their pins carry golden values),
-    // and their words are refreshed through the frontier when read — so only
-    // in-cone registers need the two-phase latch.
-    for (const std::uint32_t i : cone_dffs_) {
-      const Net en_n = cn_.dff_en[i];
-      const std::uint64_t en =
-          en_n == kNoNet ? ~std::uint64_t{0} : val_[static_cast<std::size_t>(en_n)];
-      const std::uint64_t cur = val_[static_cast<std::size_t>(cn_.dff_out[i])];
-      const Net d_n = cn_.dff_d[i];
-      const std::uint64_t d =
-          d_n == kNoNet ? cur : val_[static_cast<std::size_t>(d_n)];
-      dff_next_[i] = (en & d) | (~en & cur);
-    }
-    for (const std::uint32_t i : cone_dffs_)
-      val_[static_cast<std::size_t>(cn_.dff_out[i])] = dff_next_[i];
-    apply_source_overlays();
-    return;
-  }
-  for (std::size_t i = 0; i < cn_.dff_out.size(); ++i) {
-    const Net en_n = cn_.dff_en[i];
-    const std::uint64_t en =
-        en_n == kNoNet ? ~std::uint64_t{0} : val_[static_cast<std::size_t>(en_n)];
-    const std::uint64_t cur = val_[static_cast<std::size_t>(cn_.dff_out[i])];
-    const Net d_n = cn_.dff_d[i];
-    const std::uint64_t d = d_n == kNoNet ? cur : val_[static_cast<std::size_t>(d_n)];
-    dff_next_[i] = (en & d) | (~en & cur);
-  }
-  for (std::size_t i = 0; i < cn_.dff_out.size(); ++i)
-    val_[static_cast<std::size_t>(cn_.dff_out[i])] = dff_next_[i];
-  apply_source_overlays();
+std::unique_ptr<BatchSim> make_batch_sim(const Netlist& nl) {
+  return make_batch_sim(nl, batch_lane_width());
 }
-
-std::uint64_t BatchFaultSim::bus_value(const PortBus& bus, unsigned lane) const {
-  std::uint64_t v = 0;
-  for (std::size_t i = 0; i < bus.nets.size(); ++i)
-    if (value(bus.nets[i], lane)) v |= std::uint64_t{1} << i;
-  return v;
-}
-
-std::uint64_t BatchFaultSim::diff_lanes(
-    std::span<const Net> nets, const std::vector<std::uint8_t>& golden) const {
-  std::uint64_t m = 0;
-  for (const Net n : nets) {
-    const auto i = static_cast<std::size_t>(n);
-    m |= val_[i] ^ broadcast(golden[i]);
-  }
-  return m & lane_mask_;
-}
-
-std::uint64_t BatchFaultSim::diff_observed(
-    const std::vector<std::uint8_t>& golden) const {
-  return diff_lanes(cone_live_ ? std::span<const Net>(observed_cone_)
-                               : std::span<const Net>(observed_),
-                    golden);
-}
-
-std::uint64_t BatchFaultSim::state_diff_lanes(
-    const std::vector<std::uint8_t>& golden) const {
-  std::uint64_t m = 0;
-  if (cone_live_) {
-    for (const std::uint32_t di : cone_dffs_) {
-      const auto i = static_cast<std::size_t>(cn_.dff_out[di]);
-      m |= val_[i] ^ broadcast(golden[i]);
-    }
-    return m & lane_mask_;
-  }
-  for (const Net n : nl_.dffs()) {
-    const auto i = static_cast<std::size_t>(n);
-    m |= val_[i] ^ broadcast(golden[i]);
-  }
-  return m & lane_mask_;
-}
-
-void BatchFaultSim::retire_lane(unsigned lane,
-                                const std::vector<std::uint8_t>& golden) {
-  const std::uint64_t bit = std::uint64_t{1} << lane;
-  const auto site = static_cast<std::size_t>(sites_[lane]);
-  force0_[site] &= ~bit;
-  force1_[site] &= ~bit;
-  lane_mask_ &= ~bit;
-  if (cone_live_) {
-    // Out-of-cone nets already track the golden machine in every lane.
-    for (const Net n : cone_nets_) {
-      const auto i = static_cast<std::size_t>(n);
-      val_[i] = (val_[i] & ~bit) | (broadcast(golden[i]) & bit);
-    }
-    return;
-  }
-  for (std::size_t i = 0; i < val_.size(); ++i)
-    val_[i] = (val_[i] & ~bit) | (broadcast(golden[i]) & bit);
-}
-
-std::size_t BatchFaultSim::cone_gate_count() {
-  if (!cone_enabled_ || !lane_mask_) return cn_.num_slots();
-  ensure_cone();
-  return cone_slots_.size();
-}
-
-std::size_t BatchFaultSim::total_gate_count() const { return cn_.num_slots(); }
 
 }  // namespace gpf::gate

@@ -1,12 +1,22 @@
-// 64-way bit-parallel stuck-at fault simulation (PPSFP): every net carries a
-// 64-bit word whose lane k is the net's value under fault k, so one levelized
-// pass over the netlist advances 64 fault machines at once using plain bitwise
-// ops. Stuck-at overlays are per-lane force masks applied at each fault site;
-// DFF clocking mirrors Simulator::clock() with a word-wide enable mux. Lanes
-// with no fault installed (ragged final batch) and retired lanes simply track
-// the fault-free machine, so they never show up in divergence masks.
+// N-way bit-parallel stuck-at fault simulation (PPSFP): every net carries an
+// N-bit SIMD word whose lane k is the net's value under fault k, so one
+// levelized pass over the netlist advances N fault machines at once using
+// plain bitwise ops. Stuck-at overlays are per-lane force masks applied at
+// each fault site; DFF clocking mirrors Simulator::clock() with a word-wide
+// enable mux. Lanes with no fault installed (ragged final batch) and retired
+// lanes simply track the fault-free machine, so they never show up in
+// divergence masks.
 //
-// Fanout-cone pruning (GPF_CONE, default on): a batch's 64 faults can only
+// The engine is templated over LaneWord<N> (laneword.hpp) and built three
+// times: N = 64 (scalar uint64_t baseline), N = 256 (AVX2 ymm) and N = 512
+// (AVX-512 zmm), each in its own translation unit compiled with the matching
+// -m flags. Callers never name a width: make_batch_sim() runtime-dispatches
+// on CPU features (cpuid) and the GPF_LANES / GPF_SIMD knobs to the widest
+// path the machine supports, and every mask crossing the BatchSim interface
+// is a width-agnostic LaneMask. Record synthesis is per-fault, so campaign
+// stores and exports are byte-identical at any width.
+//
+// Fanout-cone pruning (GPF_CONE, default on): a batch's N faults can only
 // perturb nets in the union fanout cone of their sites, so eval_cone() word-
 // evaluates just the in-cone gates and refreshes the "frontier" — out-of-cone
 // nets read by in-cone gates/DFFs plus the observed outputs — by broadcasting
@@ -17,105 +27,113 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "gate/laneword.hpp"
 #include "gate/netlist.hpp"
 #include "gate/sim.hpp"
 
 namespace gpf::gate {
 
-struct CompiledNetlist;
-
-class BatchFaultSim {
+/// Width-agnostic interface of the batch engine. One instance simulates up
+/// to width() faults per begin(); all lane masks are LaneMask so callers are
+/// independent of the dispatched SIMD path.
+class BatchSim {
  public:
-  static constexpr std::size_t kLanes = 64;
+  virtual ~BatchSim() = default;
 
-  explicit BatchFaultSim(const Netlist& nl);
+  /// Lanes per batch: 64 (scalar), 256 (AVX2) or 512 (AVX-512).
+  virtual std::size_t width() const = 0;
+  /// Human-readable SIMD path for logs: "scalar64" | "avx2x256" | "avx512x512".
+  virtual const char* path_name() const = 0;
 
-  /// Install up to 64 faults (lane k carries faults[k]) and reset all state.
-  void begin(std::span<const StuckFault> faults);
-  std::size_t num_lanes() const { return sites_.size(); }
+  /// Install up to width() faults (lane k carries faults[k]) and reset state.
+  virtual void begin(std::span<const StuckFault> faults) = 0;
+  virtual std::size_t num_lanes() const = 0;
   /// Mask with one bit set per installed lane.
-  std::uint64_t lane_mask() const { return lane_mask_; }
+  virtual LaneMask lane_mask() const = 0;
 
   /// Nets the caller will read through diff_observed()/bus_value() for
   /// classification. Must be set before begin() for cone pruning to keep
   /// them refreshed; survives across begin() calls.
-  void set_observed(std::span<const Net> nets) {
-    observed_.assign(nets.begin(), nets.end());
-  }
+  virtual void set_observed(std::span<const Net> nets) = 0;
   /// True when eval_cone() should be used for the current batch (GPF_CONE on
   /// and at least one fault installed).
-  bool cone_active() const { return cone_enabled_ && lane_mask_ != 0; }
+  virtual bool cone_active() const = 0;
 
   /// Broadcast a full golden net-value snapshot into every lane (sequential
   /// replays start at the first activating cycle, like Simulator::load_values).
-  void load_broadcast(const std::vector<std::uint8_t>& vals);
+  virtual void load_broadcast(const std::vector<std::uint8_t>& vals) = 0;
   /// Drive a whole input bus (LSB-first); each bit is broadcast to all lanes.
-  void set_bus(const PortBus& bus, std::uint64_t value);
+  virtual void set_bus(const PortBus& bus, std::uint64_t value) = 0;
   /// Settle combinational logic (applies every lane's fault overlay).
-  void eval();
+  virtual void eval() = 0;
   /// Cone-pruned eval: word-evaluate only gates in the union fanout cone of
   /// the batch's fault sites; frontier nets take this cycle's golden value.
-  void eval_cone(const std::vector<std::uint8_t>& golden);
+  virtual void eval_cone(const std::vector<std::uint8_t>& golden) = 0;
   /// Latch DFFs from current values (call after eval()/eval_cone()).
-  void clock();
+  virtual void clock() = 0;
 
-  bool value(Net n, unsigned lane) const {
-    return (val_[static_cast<std::size_t>(n)] >> lane) & 1;
-  }
+  virtual bool value(Net n, unsigned lane) const = 0;
   /// Bus value seen by one lane.
-  std::uint64_t bus_value(const PortBus& bus, unsigned lane) const;
+  virtual std::uint64_t bus_value(const PortBus& bus, unsigned lane) const = 0;
+  /// Bus values for every lane of `lanes` at once: out[k] (indexed by lane)
+  /// receives the lane's value, and the returned mask holds the lanes whose
+  /// value differs from `golden_value` (the golden snapshot's bus value).
+  /// Each lane's word is built as golden ^ per-lane diff, so bus nets that
+  /// match the golden broadcast — almost all of them, for a single stuck-at —
+  /// cost one word XOR shared by the whole batch and no per-lane work. This
+  /// is what keeps wide-batch classification from degenerating into
+  /// width-invariant per-lane bit gathering.
+  virtual LaneMask bus_values(const PortBus& bus,
+                              const std::vector<std::uint8_t>& golden,
+                              const LaneMask& lanes, std::uint64_t golden_value,
+                              std::span<std::uint64_t> out) const = 0;
 
   /// Lanes whose value on any of `nets` differs from the golden snapshot.
-  std::uint64_t diff_lanes(std::span<const Net> nets,
-                           const std::vector<std::uint8_t>& golden) const;
+  virtual LaneMask diff_lanes(std::span<const Net> nets,
+                              const std::vector<std::uint8_t>& golden) const = 0;
   /// diff_lanes over the set_observed() nets — cone-restricted when live
   /// (out-of-cone observed nets carry the golden value by construction).
-  std::uint64_t diff_observed(const std::vector<std::uint8_t>& golden) const;
+  virtual LaneMask diff_observed(const std::vector<std::uint8_t>& golden) const = 0;
   /// Lanes whose DFF state differs from the golden snapshot (used for the
   /// all-quiet early exit of sequential replays).
-  std::uint64_t state_diff_lanes(const std::vector<std::uint8_t>& golden) const;
+  virtual LaneMask state_diff_lanes(
+      const std::vector<std::uint8_t>& golden) const = 0;
 
   /// Drop a lane's fault overlay and snap its values back to the golden
   /// snapshot: from here on the lane passively tracks the fault-free machine
   /// and never diverges again. Used to retire hung faults early.
-  void retire_lane(unsigned lane, const std::vector<std::uint8_t>& golden);
+  virtual void retire_lane(unsigned lane,
+                           const std::vector<std::uint8_t>& golden) = 0;
 
   /// Gates word-evaluated per cycle by eval_cone() for the current batch
   /// (builds the cone if needed). Benches report the in-cone fraction as
   /// cone_gate_count() / total_gate_count().
-  std::size_t cone_gate_count();
-  std::size_t total_gate_count() const;
-
- private:
-  void apply_source_overlays();
-  void ensure_cone();
-
-  const Netlist& nl_;
-  const CompiledNetlist& cn_;
-  std::vector<std::uint64_t> val_;       ///< [net] -> 64 fault lanes
-  std::vector<std::uint64_t> force0_;    ///< per-net stuck-at-0 lane masks
-  std::vector<std::uint64_t> force1_;    ///< per-net stuck-at-1 lane masks
-  std::vector<std::uint64_t> dff_next_;  ///< reusable clock() sample buffer
-  std::vector<Net> forced_nets_;         ///< fault sites (dedup'd)
-  std::vector<Net> source_sites_;        ///< Input/Const/Dff fault sites
-  std::vector<Net> sites_;               ///< per-lane fault site
-  std::uint64_t lane_mask_ = 0;
-
-  // Cone state (valid for the current batch once cone_live_).
-  const bool cone_enabled_;              ///< GPF_CONE knob, latched at ctor
-  bool cone_live_ = false;               ///< cone built for current batch
-  std::uint32_t cone_epoch_ = 0;
-  std::vector<std::uint32_t> cone_stamp_;      ///< per-net in-cone epoch
-  std::vector<std::uint32_t> frontier_stamp_;  ///< per-net frontier epoch
-  std::vector<std::uint32_t> cone_slots_;      ///< in-cone program slots
-  std::vector<std::uint32_t> cone_dffs_;       ///< in-cone DFF indices
-  std::vector<Net> cone_nets_;                 ///< all in-cone nets
-  std::vector<Net> frontier_;                  ///< golden-refreshed nets
-  std::vector<Net> observed_;                  ///< classification read set
-  std::vector<Net> observed_cone_;             ///< observed_ ∩ cone
+  virtual std::size_t cone_gate_count() = 0;
+  virtual std::size_t total_gate_count() const = 0;
 };
+
+/// True when this build compiled the width AND this CPU can execute it
+/// (64 is always supported; 256 needs AVX2, 512 needs AVX-512F).
+bool batch_width_supported(std::size_t lanes);
+
+/// The dispatched lane width every batch campaign partitions by:
+/// set_batch_lanes_override > GPF_LANES > GPF_SIMD > widest CPU-supported.
+std::size_t batch_lane_width();
+
+/// SIMD-path name for a lane width ("scalar64" | "avx2x256" | "avx512x512").
+const char* batch_simd_path(std::size_t lanes);
+
+/// Process-wide width pin for tests/benches (0 = clear, defer to env/CPU
+/// dispatch). Throws std::invalid_argument if the width is unsupported.
+void set_batch_lanes_override(std::size_t lanes);
+
+/// Engine at the dispatched width (also publishes the gate.batch.lanes gauge).
+std::unique_ptr<BatchSim> make_batch_sim(const Netlist& nl);
+/// Engine at an explicit width; throws std::invalid_argument if unsupported.
+std::unique_ptr<BatchSim> make_batch_sim(const Netlist& nl, std::size_t lanes);
 
 }  // namespace gpf::gate

@@ -1,0 +1,14 @@
+// AVX2 path of the batch engine: LaneWord<256> is one ymm register. This TU
+// is compiled with -mavx2 (see src/gate/CMakeLists.txt) and must only be
+// entered through the cpuid-gated dispatch in batchsim.cpp.
+#include "gate/batchsim_impl.hpp"
+
+namespace gpf::gate {
+
+template class BatchFaultSimT<256>;
+
+std::unique_ptr<BatchSim> make_batch_sim_256(const Netlist& nl) {
+  return std::make_unique<BatchFaultSimT<256>>(nl);
+}
+
+}  // namespace gpf::gate

@@ -1,0 +1,14 @@
+// AVX-512 path of the batch engine: LaneWord<512> is one zmm register. This
+// TU is compiled with -mavx512f (see src/gate/CMakeLists.txt) and must only
+// be entered through the cpuid-gated dispatch in batchsim.cpp.
+#include "gate/batchsim_impl.hpp"
+
+namespace gpf::gate {
+
+template class BatchFaultSimT<512>;
+
+std::unique_ptr<BatchSim> make_batch_sim_512(const Netlist& nl) {
+  return std::make_unique<BatchFaultSimT<512>>(nl);
+}
+
+}  // namespace gpf::gate

@@ -1,0 +1,13 @@
+// Scalar baseline path of the batch engine: LaneWord<64> is one uint64_t, so
+// this TU is compiled with the project's baseline flags and runs anywhere.
+#include "gate/batchsim_impl.hpp"
+
+namespace gpf::gate {
+
+template class BatchFaultSimT<64>;
+
+std::unique_ptr<BatchSim> make_batch_sim_64(const Netlist& nl) {
+  return std::make_unique<BatchFaultSimT<64>>(nl);
+}
+
+}  // namespace gpf::gate

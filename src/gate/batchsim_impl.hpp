@@ -1,0 +1,374 @@
+// Template implementation of the PPSFP batch engine over LaneWord<N>. This
+// header is included ONLY by the per-width translation units
+// (batchsim{64,256,512}.cpp), each compiled with the matching target flags —
+// never by general code. That containment is what makes per-TU -mavx2 /
+// -mavx512f safe: wide vector code exists solely in TUs guarded by the
+// runtime cpuid dispatch in batchsim.cpp, so a pre-AVX2 machine never
+// executes (or even links in statically-chosen copies of) ymm/zmm code.
+#pragma once
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "common/env.hpp"
+#include "gate/batchsim.hpp"
+#include "gate/compiled.hpp"
+#include "obs/metrics.hpp"
+
+namespace gpf::gate {
+
+template <unsigned N>
+class BatchFaultSimT final : public BatchSim {
+ public:
+  using W = LaneWord<N>;
+  static constexpr std::size_t kLanes = N;
+
+  explicit BatchFaultSimT(const Netlist& nl)
+      : nl_(nl),
+        cn_(nl.compiled()),
+        val_(nl.num_nets(), W::zero()),
+        force0_(nl.num_nets(), W::zero()),
+        force1_(nl.num_nets(), W::zero()),
+        dff_next_(nl.dffs().size(), W::zero()),
+        cone_enabled_(gpf::cone_enabled()) {
+    if (!nl.finalized()) throw std::logic_error("netlist not finalized");
+  }
+
+  std::size_t width() const override { return kLanes; }
+  const char* path_name() const override { return batch_simd_path(kLanes); }
+
+  void begin(std::span<const StuckFault> faults) override {
+    if (faults.size() > kLanes)
+      throw std::invalid_argument("more faults than batch lanes");
+    // Batch occupancy: lanes/width per begin(); one begin per (batch, trace).
+    static obs::Counter& batches = obs::counter("gate.batches");
+    static obs::Counter& lanes = obs::counter("gate.batch_lanes");
+    batches.add(1);
+    lanes.add(faults.size());
+    for (const Net n : forced_nets_) {
+      force0_[static_cast<std::size_t>(n)] = W::zero();
+      force1_[static_cast<std::size_t>(n)] = W::zero();
+    }
+    forced_nets_.clear();
+    source_sites_.clear();
+    sites_.clear();
+    lane_mask_ = W::zero();
+    cone_live_ = false;  // the cone is per-batch; rebuilt on first eval_cone()
+    std::fill(val_.begin(), val_.end(), W::zero());
+
+    for (std::size_t k = 0; k < faults.size(); ++k) {
+      const StuckFault& f = faults[k];
+      const auto site = static_cast<std::size_t>(f.net);
+      sites_.push_back(f.net);
+      lane_mask_.set(static_cast<unsigned>(k));
+      if (!force0_[site].any() && !force1_[site].any())
+        forced_nets_.push_back(f.net);
+      (f.stuck_high ? force1_ : force0_)[site].set(static_cast<unsigned>(k));
+      const GateKind kind = nl_.gate(f.net).kind;
+      if (kind == GateKind::Input || kind == GateKind::Const0 ||
+          kind == GateKind::Const1 || kind == GateKind::Dff)
+        source_sites_.push_back(f.net);
+    }
+  }
+
+  std::size_t num_lanes() const override { return sites_.size(); }
+  LaneMask lane_mask() const override { return lane_mask_.to_mask(); }
+
+  void set_observed(std::span<const Net> nets) override {
+    observed_.assign(nets.begin(), nets.end());
+  }
+  bool cone_active() const override {
+    return cone_enabled_ && lane_mask_.any();
+  }
+
+  void load_broadcast(const std::vector<std::uint8_t>& vals) override {
+    for (std::size_t i = 0; i < val_.size(); ++i)
+      val_[i] = W::broadcast(vals[i]);
+  }
+
+  void set_bus(const PortBus& bus, std::uint64_t value) override {
+    for (std::size_t i = 0; i < bus.nets.size(); ++i)
+      val_[static_cast<std::size_t>(bus.nets[i])] =
+          W::broadcast((value >> i) & 1);
+  }
+
+  void eval() override {
+    for (const auto& [n, v] : nl_.constants())
+      val_[static_cast<std::size_t>(n)] = W::broadcast(v);
+    apply_source_overlays();
+    eval_slots(AllSlots{});
+  }
+
+  void eval_cone(const std::vector<std::uint8_t>& golden) override {
+    ensure_cone();
+    for (const Net n : frontier_) {
+      const auto i = static_cast<std::size_t>(n);
+      val_[i] = W::broadcast(golden[i]);
+    }
+    apply_source_overlays();
+    eval_slots(std::span<const std::uint32_t>(cone_slots_));
+  }
+
+  void clock() override {
+    if (cone_live_) {
+      // Out-of-cone DFFs cannot diverge (all their pins carry golden values),
+      // and their words are refreshed through the frontier when read — so only
+      // in-cone registers need the two-phase latch.
+      for (const std::uint32_t i : cone_dffs_) latch(i);
+      for (const std::uint32_t i : cone_dffs_)
+        val_[static_cast<std::size_t>(cn_.dff_out[i])] = dff_next_[i];
+      apply_source_overlays();
+      return;
+    }
+    for (std::size_t i = 0; i < cn_.dff_out.size(); ++i)
+      latch(static_cast<std::uint32_t>(i));
+    for (std::size_t i = 0; i < cn_.dff_out.size(); ++i)
+      val_[static_cast<std::size_t>(cn_.dff_out[i])] = dff_next_[i];
+    apply_source_overlays();
+  }
+
+  bool value(Net n, unsigned lane) const override {
+    return val_[static_cast<std::size_t>(n)].test(lane);
+  }
+
+  std::uint64_t bus_value(const PortBus& bus, unsigned lane) const override {
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < bus.nets.size(); ++i)
+      if (value(bus.nets[i], lane)) v |= std::uint64_t{1} << i;
+    return v;
+  }
+
+  LaneMask bus_values(const PortBus& bus,
+                      const std::vector<std::uint8_t>& golden,
+                      const LaneMask& lanes, std::uint64_t golden_value,
+                      std::span<std::uint64_t> out) const override {
+    for_each_lane(lanes, [&](unsigned k) { out[k] = golden_value; });
+    const W sel = W::from_mask(lanes) & lane_mask_;
+    W diff = W::zero();
+    for (std::size_t i = 0; i < bus.nets.size(); ++i) {
+      const auto n = static_cast<std::size_t>(bus.nets[i]);
+      const W d = (val_[n] ^ W::broadcast(golden[n])) & sel;
+      if (!d.any()) continue;
+      diff |= d;
+      const std::uint64_t bit = std::uint64_t{1} << i;
+      for_each_lane(d.to_mask(), [&](unsigned k) { out[k] ^= bit; });
+    }
+    return diff.to_mask();
+  }
+
+  LaneMask diff_lanes(std::span<const Net> nets,
+                      const std::vector<std::uint8_t>& golden) const override {
+    W m = W::zero();
+    for (const Net n : nets) {
+      const auto i = static_cast<std::size_t>(n);
+      m |= val_[i] ^ W::broadcast(golden[i]);
+    }
+    return (m & lane_mask_).to_mask();
+  }
+
+  LaneMask diff_observed(const std::vector<std::uint8_t>& golden) const override {
+    return diff_lanes(cone_live_ ? std::span<const Net>(observed_cone_)
+                                 : std::span<const Net>(observed_),
+                      golden);
+  }
+
+  LaneMask state_diff_lanes(
+      const std::vector<std::uint8_t>& golden) const override {
+    W m = W::zero();
+    if (cone_live_) {
+      for (const std::uint32_t di : cone_dffs_) {
+        const auto i = static_cast<std::size_t>(cn_.dff_out[di]);
+        m |= val_[i] ^ W::broadcast(golden[i]);
+      }
+      return (m & lane_mask_).to_mask();
+    }
+    for (const Net n : nl_.dffs()) {
+      const auto i = static_cast<std::size_t>(n);
+      m |= val_[i] ^ W::broadcast(golden[i]);
+    }
+    return (m & lane_mask_).to_mask();
+  }
+
+  void retire_lane(unsigned lane,
+                   const std::vector<std::uint8_t>& golden) override {
+    const auto site = static_cast<std::size_t>(sites_[lane]);
+    force0_[site].clear(lane);
+    force1_[site].clear(lane);
+    lane_mask_.clear(lane);
+    const W bit = W::bit(lane);
+    const W keep = ~bit;
+    if (cone_live_) {
+      // Out-of-cone nets already track the golden machine in every lane.
+      for (const Net n : cone_nets_) {
+        const auto i = static_cast<std::size_t>(n);
+        val_[i] = (val_[i] & keep) | (W::broadcast(golden[i]) & bit);
+      }
+      return;
+    }
+    for (std::size_t i = 0; i < val_.size(); ++i)
+      val_[i] = (val_[i] & keep) | (W::broadcast(golden[i]) & bit);
+  }
+
+  std::size_t cone_gate_count() override {
+    if (!cone_enabled_ || !lane_mask_.any()) return cn_.num_slots();
+    ensure_cone();
+    return cone_slots_.size();
+  }
+
+  std::size_t total_gate_count() const override { return cn_.num_slots(); }
+
+ private:
+  struct AllSlots {};  ///< tag: iterate every compiled slot in program order
+
+  void latch(std::uint32_t i) {
+    const Net en_n = cn_.dff_en[i];
+    const W en =
+        en_n == kNoNet ? W::ones() : val_[static_cast<std::size_t>(en_n)];
+    const W cur = val_[static_cast<std::size_t>(cn_.dff_out[i])];
+    const Net d_n = cn_.dff_d[i];
+    const W d = d_n == kNoNet ? cur : val_[static_cast<std::size_t>(d_n)];
+    dff_next_[i] = (en & d) | (~en & cur);
+  }
+
+  /// Word-evaluates one compiled slot and stores through the force overlay.
+  void eval_slot(std::size_t s) {
+    const auto va = [&](Net x) -> const W& {
+      return val_[static_cast<std::size_t>(x)];
+    };
+    W v = W::zero();
+    switch (cn_.kind[s]) {
+      case GateKind::Buf: v = va(cn_.a[s]); break;
+      case GateKind::Not: v = ~va(cn_.a[s]); break;
+      case GateKind::And: v = va(cn_.a[s]) & va(cn_.b[s]); break;
+      case GateKind::Or: v = va(cn_.a[s]) | va(cn_.b[s]); break;
+      case GateKind::Nand: v = ~(va(cn_.a[s]) & va(cn_.b[s])); break;
+      case GateKind::Nor: v = ~(va(cn_.a[s]) | va(cn_.b[s])); break;
+      case GateKind::Xor: v = va(cn_.a[s]) ^ va(cn_.b[s]); break;
+      case GateKind::Xnor: v = ~(va(cn_.a[s]) ^ va(cn_.b[s])); break;
+      case GateKind::Mux: {
+        const W sel = va(cn_.a[s]);
+        v = (sel & va(cn_.c[s])) | (~sel & va(cn_.b[s]));
+        break;
+      }
+      default: return;
+    }
+    const auto i = static_cast<std::size_t>(cn_.out[s]);
+    val_[i] = (v & ~force0_[i]) | force1_[i];
+  }
+
+  void eval_slots(AllSlots) {
+    for (std::size_t s = 0; s < cn_.num_slots(); ++s) eval_slot(s);
+  }
+  void eval_slots(std::span<const std::uint32_t> slots) {
+    for (const std::uint32_t s : slots) eval_slot(s);
+  }
+
+  void apply_source_overlays() {
+    for (const Net n : source_sites_) {
+      const auto i = static_cast<std::size_t>(n);
+      val_[i] = (val_[i] & ~force0_[i]) | force1_[i];
+    }
+  }
+
+  void ensure_cone() {
+    if (cone_live_) return;
+    cone_live_ = true;
+    if (cone_stamp_.empty()) {
+      cone_stamp_.assign(cn_.num_nets(), 0);
+      frontier_stamp_.assign(cn_.num_nets(), 0);
+    }
+    ++cone_epoch_;
+    cone_slots_.clear();
+    cone_dffs_.clear();
+    cone_nets_.clear();
+    frontier_.clear();
+    observed_cone_.clear();
+
+    const auto in_cone = [&](Net n) {
+      return cone_stamp_[static_cast<std::size_t>(n)] == cone_epoch_;
+    };
+    // BFS over the fan-out CSR from the fault sites; cone_nets_ doubles as the
+    // worklist (every reached net stays in it).
+    for (const Net s : forced_nets_) {
+      if (in_cone(s)) continue;
+      cone_stamp_[static_cast<std::size_t>(s)] = cone_epoch_;
+      cone_nets_.push_back(s);
+    }
+    for (std::size_t i = 0; i < cone_nets_.size(); ++i)
+      for (const Net t : cn_.fanout(cone_nets_[i])) {
+        if (in_cone(t)) continue;
+        cone_stamp_[static_cast<std::size_t>(t)] = cone_epoch_;
+        cone_nets_.push_back(t);
+      }
+
+    for (const Net n : cone_nets_) {
+      const auto i = static_cast<std::size_t>(n);
+      if (cn_.slot_of[i] != kNoSlot) cone_slots_.push_back(cn_.slot_of[i]);
+      if (cn_.dff_index[i] >= 0)
+        cone_dffs_.push_back(static_cast<std::uint32_t>(cn_.dff_index[i]));
+    }
+    std::sort(cone_slots_.begin(), cone_slots_.end());  // levelized order
+    std::sort(cone_dffs_.begin(), cone_dffs_.end());
+
+    // Frontier: every out-of-cone net some in-cone gate/DFF reads, plus the
+    // observed outputs — eval_cone() broadcasts their golden values so reads
+    // through bus_value()/diff_observed() need no cone awareness.
+    const auto add_frontier = [&](Net n) {
+      if (n == kNoNet || in_cone(n)) return;
+      auto& st = frontier_stamp_[static_cast<std::size_t>(n)];
+      if (st == cone_epoch_) return;
+      st = cone_epoch_;
+      frontier_.push_back(n);
+    };
+    for (const std::uint32_t s : cone_slots_) {
+      add_frontier(cn_.a[s]);
+      add_frontier(cn_.b[s]);
+      add_frontier(cn_.c[s]);
+    }
+    for (const std::uint32_t i : cone_dffs_) {
+      add_frontier(cn_.dff_d[i]);
+      add_frontier(cn_.dff_en[i]);
+    }
+    for (const Net n : observed_) {
+      if (in_cone(n))
+        observed_cone_.push_back(n);
+      else
+        add_frontier(n);
+    }
+
+    // Cone fraction = cone_gates / cone_total_gates across all builds.
+    static obs::Counter& builds = obs::counter("gate.cone_builds");
+    static obs::Counter& cone_gates = obs::counter("gate.cone_gates");
+    static obs::Counter& total_gates = obs::counter("gate.cone_total_gates");
+    builds.add(1);
+    cone_gates.add(cone_slots_.size());
+    total_gates.add(cn_.num_slots());
+  }
+
+  const Netlist& nl_;
+  const CompiledNetlist& cn_;
+  std::vector<W> val_;       ///< [net] -> N fault lanes
+  std::vector<W> force0_;    ///< per-net stuck-at-0 lane masks
+  std::vector<W> force1_;    ///< per-net stuck-at-1 lane masks
+  std::vector<W> dff_next_;  ///< reusable clock() sample buffer
+  std::vector<Net> forced_nets_;  ///< fault sites (dedup'd)
+  std::vector<Net> source_sites_; ///< Input/Const/Dff fault sites
+  std::vector<Net> sites_;        ///< per-lane fault site
+  W lane_mask_ = W::zero();
+
+  // Cone state (valid for the current batch once cone_live_).
+  const bool cone_enabled_;  ///< GPF_CONE knob, latched at ctor
+  bool cone_live_ = false;   ///< cone built for current batch
+  std::uint32_t cone_epoch_ = 0;
+  std::vector<std::uint32_t> cone_stamp_;      ///< per-net in-cone epoch
+  std::vector<std::uint32_t> frontier_stamp_;  ///< per-net frontier epoch
+  std::vector<std::uint32_t> cone_slots_;      ///< in-cone program slots
+  std::vector<std::uint32_t> cone_dffs_;       ///< in-cone DFF indices
+  std::vector<Net> cone_nets_;                 ///< all in-cone nets
+  std::vector<Net> frontier_;                  ///< golden-refreshed nets
+  std::vector<Net> observed_;                  ///< classification read set
+  std::vector<Net> observed_cone_;             ///< observed_ ∩ cone
+};
+
+}  // namespace gpf::gate

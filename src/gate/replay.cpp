@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <stdexcept>
 #include <unordered_map>
 
 #include "common/rng.hpp"
@@ -383,6 +384,20 @@ UnitReplayer::GoldenTrace UnitReplayer::compute_golden(const UnitTraces& t) cons
     if (kind_ != UnitKind::Decoder) sim.clock();
     if (kind_ == UnitKind::Decoder) sim.reset();
   }
+  g.windows.resize(nl_->num_nets());
+  for (std::uint32_t c = 0; c < n; ++c) {
+    const std::vector<std::uint8_t>& vals = g.vals[c];
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      GoldenTrace::Window& w = g.windows[i];
+      if (vals[i]) {
+        if (w.first1 == GoldenTrace::kNoCycle) w.first1 = c;
+        w.last1 = c;
+      } else {
+        if (w.first0 == GoldenTrace::kNoCycle) w.first0 = c;
+        w.last0 = c;
+      }
+    }
+  }
   return g;
 }
 
@@ -542,6 +557,118 @@ void UnitReplayer::compare_outputs(const UnitTraces& t, std::size_t c,
   }
 }
 
+void UnitReplayer::classify_batch(BatchSim& sim, const UnitTraces& t,
+                                  std::size_t c,
+                                  const std::vector<std::uint8_t>& gv,
+                                  const LaneMask& diff, LaneMask& live,
+                                  std::span<FaultCharacterization> out) const {
+  const Ports& p = *ports_;
+  // A diverged lane is retired the moment it hangs: the unit makes no further
+  // progress there, so later trace cycles are unreachable (same contract as
+  // the scalar engines). Lanes entering here always have hang == false.
+  const auto retire = [&](unsigned k) {
+    live.clear(k);
+    sim.retire_lane(k, gv);
+  };
+  // Per-lane faulty bus words, indexed by lane (bus_values fills only the
+  // requested lanes).
+  std::array<std::uint64_t, LaneMask::kMaxLanes> words;
+  // Instruction-word bus: the golden word decodes once per cycle, the faulty
+  // words come word-wide from the engine, and only lanes whose word actually
+  // differs pay the faulty decode + field comparison.
+  const auto classify_word_bus = [&](const PortBus& bus, std::uint32_t regs,
+                                     const LaneMask& alive) {
+    const std::uint64_t gw = golden_bus(gv, bus);
+    const LaneMask d = sim.bus_values(bus, gv, alive, gw, words);
+    if (!d.any()) return;
+    const isa::DecodeResult gd = isa::decode(gw);
+    if (!gd.ok) return;  // traces never carry invalid golden words
+    for_each_lane(d, [&](unsigned k) {
+      const isa::DecodeResult fd = isa::decode(words[k]);
+      classify_instr_diff(gd.instr, fd.instr, fd.ok, regs,
+                          out[k].error_counts, out[k].hang);
+      if (out[k].hang) retire(k);
+    });
+  };
+  switch (kind_) {
+    case UnitKind::Decoder: {
+      // The decoder verdict crosses ~10 buses with value-level checks
+      // (invalid-opcode probe, enable gating), so its diverged lanes are
+      // classified individually through compare_outputs.
+      for_each_lane(diff, [&](unsigned k) {
+        compare_outputs(
+            t, c, gv,
+            [&](const PortBus& b) { return sim.bus_value(b, k); }, out[k]);
+        if (out[k].hang) retire(k);
+      });
+      return;
+    }
+    case UnitKind::Fetch: {
+      const FetchCycle& fc = t.fetch[c];
+      LaneMask alive = diff;
+      // Golden fetch_valid high + lane diff => the lane dropped the fetch.
+      if (golden_bus(gv, *p.f_fetch_valid) != 0) {
+        const LaneMask d_fv = sim.diff_lanes(p.f_fetch_valid->nets, gv) & diff;
+        for_each_lane(d_fv, [&](unsigned k) {
+          out[k].hang = true;
+          alive.clear(k);
+          retire(k);
+        });
+      }
+      const std::uint64_t g_pc = golden_bus(gv, *p.f_pc_out);
+      const LaneMask d_pc = sim.bus_values(*p.f_pc_out, gv, alive, g_pc, words);
+      for_each_lane(d_pc, [&](unsigned k) {
+        const std::uint64_t f_pc = words[k];
+        if (f_pc >= fc.prog_size) {
+          // Fetch wanders outside instruction memory: the unit returns
+          // garbage bits, which decode as an invalid operation.
+          add(out[k].error_counts, ErrorModel::IVOC);
+        } else {
+          bool other_warp = false;
+          for (unsigned s = 0; s < 8; ++s)
+            if (s != fc.sel_slot && fc.resident_pcs[s] == f_pc)
+              other_warp = true;
+          add(out[k].error_counts,
+              other_warp ? ErrorModel::IAW : ErrorModel::IOC);
+        }
+      });
+      classify_word_bus(*p.f_instr_out, fc.regs_per_thread, alive);
+      return;
+    }
+    case UnitKind::WSC: {
+      const WscCycle& wc = t.wsc[c];
+      LaneMask alive = diff;
+      const LaneMask d_sv = sim.diff_lanes(p.w_sel_valid->nets, gv) & diff;
+      if (golden_bus(gv, *p.w_sel_valid) != 0) {
+        // The scheduler stops issuing: hang, and nothing else counts.
+        for_each_lane(d_sv, [&](unsigned k) {
+          out[k].hang = true;
+          alive.clear(k);
+          retire(k);
+        });
+      } else {
+        for_each_lane(d_sv, [&](unsigned k) {
+          add(out[k].error_counts, ErrorModel::IAW);
+        });
+      }
+      // Control buses carry their verdict in the diff mask alone: a lane
+      // whose bus nets all match the golden machine has the golden value.
+      const auto bus_model = [&](const PortBus& bus, ErrorModel m) {
+        const LaneMask d = sim.diff_lanes(bus.nets, gv) & alive;
+        for_each_lane(d,
+                      [&](unsigned k) { add(out[k].error_counts, m); });
+      };
+      bus_model(*p.w_sel_slot, ErrorModel::IAW);
+      bus_model(*p.w_mask_out, ErrorModel::IAT);
+      bus_model(*p.w_lane_en, ErrorModel::IAL);
+      bus_model(*p.w_base_out, ErrorModel::IPP);
+      bus_model(*p.w_cta_out, ErrorModel::IAC);
+      classify_word_bus(*p.w_dispatch, wc.regs_per_thread, alive);
+      return;
+    }
+  }
+}
+
 void UnitReplayer::run_fault(const StuckFault& fault, const UnitTraces& t,
                              const GoldenTrace& g, FaultCharacterization& out,
                              EngineKind engine) const {
@@ -577,15 +704,13 @@ void UnitReplayer::run_fault(const StuckFault& fault, const UnitTraces& t,
     return;
   }
 
-  // Sequential: find the first and last activating cycles.
-  std::size_t first = n, last = 0;
-  for (std::size_t c = 0; c < n; ++c) {
-    if (g.vals[c][site] != stuck) {
-      if (first == n) first = c;
-      last = c;
-    }
-  }
-  if (first == n) return;  // never activated
+  // Sequential: the activation window comes precomputed with the golden
+  // trace (a stuck-at-v site activates exactly where the golden value is !v).
+  const GoldenTrace::Window& win = g.windows[site];
+  if ((stuck ? win.first0 : win.first1) == GoldenTrace::kNoCycle)
+    return;  // never activated
+  const std::size_t first = stuck ? win.first0 : win.first1;
+  const std::size_t last = stuck ? win.last0 : win.last1;
   out.activated = true;
 
   if (event_driven) {
@@ -630,20 +755,27 @@ void UnitReplayer::run_fault_batch(std::span<const StuckFault> faults,
   const std::size_t lanes = faults.size();
   if (n == 0 || lanes == 0) return;
 
-  BatchFaultSim sim(*nl_);
+  const std::unique_ptr<BatchSim> sim_owner = make_batch_sim(*nl_);
+  BatchSim& sim = *sim_owner;
+  if (lanes > sim.width())
+    throw std::invalid_argument("run_fault_batch: more faults than lanes");
   sim.set_observed(ports_->observed);
   sim.begin(faults);
 
+  // Lane-cycles advanced by the word engine: together with wall time this is
+  // the lanes-simulated-per-second rate of the active SIMD path.
+  static obs::Counter& lane_cycles = obs::counter("gate.lane_cycles");
+
   // Lanes hung by an earlier trace are retired before the replay starts;
   // from here on `live` mirrors sim.lane_mask().
-  std::uint64_t live = 0;
+  LaneMask live;
   for (std::size_t k = 0; k < lanes; ++k) {
     if (out[k].hang)
       sim.retire_lane(static_cast<unsigned>(k), g.vals[0]);
     else
-      live |= std::uint64_t{1} << k;
+      live.set(static_cast<unsigned>(k));
   }
-  if (!live) return;
+  if (!live.any()) return;
 
   // With cone pruning on, only gates downstream of the batch's fault sites
   // are word-evaluated; every other net tracks the golden trace exactly, so
@@ -656,58 +788,52 @@ void UnitReplayer::run_fault_batch(std::span<const StuckFault> faults,
   const auto stuck = [&](std::size_t k) -> std::uint8_t {
     return faults[k].stuck_high ? 1 : 0;
   };
-  const auto classify_diverged = [&](std::uint64_t diff, std::size_t c) {
-    while (diff) {
-      const auto k = static_cast<unsigned>(std::countr_zero(diff));
-      diff &= diff - 1;
-      compare_outputs(
-          t, c, g.vals[c],
-          [&](const PortBus& b) { return sim.bus_value(b, k); }, out[k]);
-      if (out[k].hang) {  // hang retire: stop classifying this lane
-        live &= ~(std::uint64_t{1} << k);
-        sim.retire_lane(k, g.vals[c]);
-      }
-    }
+  // Diverged lanes are classified by classify_batch: per-bus diff masks come
+  // word-wide from the engine (they scale with the SIMD width), and only
+  // instruction-word decodes remain scalar per lane. gate.classify_lanes
+  // counts that residual scalar work.
+  static obs::Counter& classify_lanes = obs::counter("gate.classify_lanes");
+  const auto classify_diverged = [&](const LaneMask& diff, std::size_t c) {
+    if (!diff.any()) return;
+    classify_lanes.add(diff.count());
+    classify_batch(sim, t, c, g.vals[c], diff, live, out);
   };
 
   if (kind_ == UnitKind::Decoder) {
     // Combinational: one word evaluation covers all live lanes per pattern.
-    for (std::size_t c = 0; c < n && live; ++c) {
-      std::uint64_t act = 0;  // lanes activated by this pattern
-      for (std::uint64_t rest = live; rest;) {
-        const auto k = static_cast<unsigned>(std::countr_zero(rest));
-        rest &= rest - 1;
+    for (std::size_t c = 0; c < n && live.any(); ++c) {
+      LaneMask act;  // lanes activated by this pattern
+      for_each_lane(live, [&](unsigned k) {
         if (g.vals[c][site(k)] != stuck(k)) {
-          act |= std::uint64_t{1} << k;
+          act.set(k);
           out[k].activated = true;
         }
-      }
-      if (!act) continue;
+      });
+      if (!act.any()) continue;
       drive_inputs(sim, t, c);
       if (cone)
         sim.eval_cone(g.vals[c]);
       else
         sim.eval();
+      lane_cycles.add(lanes);
       classify_diverged(sim.diff_observed(g.vals[c]) & act, c);
     }
     return;
   }
 
-  // Sequential: activation is a property of the golden trace alone. Find the
-  // first/last cycle any live lane activates; before `first_any` every lane's
+  // Sequential: activation is a property of the golden trace alone, read
+  // from the precomputed per-net windows. Before `first_any` every lane's
   // overlay is a no-op, so the replay can start from the golden snapshot.
   std::size_t first_any = n, last_any = 0;
-  for (std::uint64_t rest = live; rest;) {
-    const auto k = static_cast<unsigned>(std::countr_zero(rest));
-    rest &= rest - 1;
-    for (std::size_t c = 0; c < n; ++c) {
-      if (g.vals[c][site(k)] != stuck(k)) {
-        out[k].activated = true;
-        first_any = std::min(first_any, c);
-        last_any = std::max(last_any, c);
-      }
-    }
-  }
+  for_each_lane(live, [&](unsigned k) {
+    const GoldenTrace::Window& win = g.windows[site(k)];
+    const std::uint32_t first = stuck(k) ? win.first0 : win.first1;
+    if (first == GoldenTrace::kNoCycle) return;
+    out[k].activated = true;
+    first_any = std::min<std::size_t>(first_any, first);
+    last_any = std::max<std::size_t>(last_any,
+                                     stuck(k) ? win.last0 : win.last1);
+  });
   if (first_any == n) return;  // no live lane ever activates
 
   sim.load_broadcast(g.vals[first_any]);
@@ -717,14 +843,15 @@ void UnitReplayer::run_fault_batch(std::span<const StuckFault> faults,
       sim.eval_cone(g.vals[c]);
     else
       sim.eval();
+    lane_cycles.add(lanes);
     if (cycle_is_issue(t, c))
       classify_diverged(sim.diff_observed(g.vals[c]), c);
-    if (!live) break;
+    if (!live.any()) break;
     if (c + 1 < n) {
       sim.clock();
       // All-quiet early exit: past the last activating cycle, lanes whose
       // DFF state matches the golden machine can never diverge again.
-      if (c >= last_any && sim.state_diff_lanes(g.vals[c + 1]) == 0) break;
+      if (c >= last_any && !sim.state_diff_lanes(g.vals[c + 1]).any()) break;
     }
   }
 }
@@ -745,7 +872,7 @@ std::vector<StuckFault> sampled_fault_list(const Netlist& nl, UnitKind unit,
     }
     faults.resize(max_faults);
   }
-  // Topological order keeps the fanout cones of each 64-fault batch tight
+  // Topological order keeps the fanout cones of each lane-width batch tight
   // and overlapping, which is what makes cone pruning (GPF_CONE) pay off.
   // The sort key is a strict total order, so the resulting id space is as
   // deterministic as the sample itself.
@@ -831,7 +958,7 @@ UnitCampaignResult run_unit_campaign(UnitKind unit, std::span<const UnitTraces> 
     const UnitReplayer::GoldenTrace g = replayer.compute_golden(t);
     if (collapse) act.add(g);
     if (engine == EngineKind::Batch) {
-      constexpr std::size_t kB = BatchFaultSim::kLanes;
+      const std::size_t kB = batch_lane_width();
       const std::size_t batches = (sim_faults.size() + kB - 1) / kB;
       auto work = [&](std::size_t b) {
         const std::size_t lo = b * kB;

@@ -13,11 +13,14 @@
 #include "common/env.hpp"
 #include "common/threadpool.hpp"
 #include "errmodel/models.hpp"
+#include "gate/laneword.hpp"
 #include "gate/sim.hpp"
 #include "gate/trace.hpp"
 #include "gate/units.hpp"
 
 namespace gpf::gate {
+
+class BatchSim;
 
 using gpf::EngineKind;
 
@@ -81,9 +84,20 @@ class UnitReplayer {
   UnitKind kind() const { return kind_; }
   const Netlist& netlist() const { return *nl_; }
 
-  /// Per-trace golden precomputation: full net values for every cycle.
+  /// Per-trace golden precomputation: full net values for every cycle, plus
+  /// per-net activation windows shared by every fault on that net.
   struct GoldenTrace {
+    static constexpr std::uint32_t kNoCycle = 0xffffffffu;
+    /// First/last cycle a net carries each value (kNoCycle when it never
+    /// does). A stuck-at-v fault activates exactly on the cycles where the
+    /// golden value is !v, so replays read their activation window straight
+    /// from this table instead of rescanning the trace per fault.
+    struct Window {
+      std::uint32_t first0 = kNoCycle, last0 = 0;
+      std::uint32_t first1 = kNoCycle, last1 = 0;
+    };
     std::vector<std::vector<std::uint8_t>> vals;  ///< [cycle][net]
+    std::vector<Window> windows;                  ///< [net]
   };
   GoldenTrace compute_golden(const UnitTraces& t) const;
 
@@ -99,10 +113,12 @@ class UnitReplayer {
                  FaultCharacterization& out,
                  EngineKind engine = EngineKind::Event) const;
 
-  /// Evaluate up to 64 faults simultaneously with the bit-parallel (PPSFP)
-  /// engine: lane k of every net word carries the value under faults[k], and
-  /// out[k] receives exactly the characterization run_fault would produce.
-  /// Hung lanes are retired early and stop paying classification cost.
+  /// Evaluate up to batch_lane_width() faults simultaneously with the
+  /// bit-parallel (PPSFP) engine: lane k of every net word carries the value
+  /// under faults[k], and out[k] receives exactly the characterization
+  /// run_fault would produce. The SIMD path (64/256/512 lanes) is dispatched
+  /// per process — see gate/batchsim.hpp. Hung lanes are retired early and
+  /// stop paying classification cost.
   void run_fault_batch(std::span<const StuckFault> faults, const UnitTraces& t,
                        const GoldenTrace& g,
                        std::span<FaultCharacterization> out) const;
@@ -116,6 +132,17 @@ class UnitReplayer {
   void compare_outputs(const UnitTraces& t, std::size_t cycle,
                        const std::vector<std::uint8_t>& golden_vals,
                        const BusReader& faulty, FaultCharacterization& out) const;
+  /// Bit-parallel counterpart of compare_outputs for run_fault_batch: the
+  /// engine supplies per-output-bus diff masks word-wide (they scale with
+  /// the SIMD width), simple bus diffs map one-to-one onto error-model
+  /// increments, and only instruction-word diffs — plus the decoder's
+  /// field-crossing verdict — pay a scalar per-lane decode. Produces exactly
+  /// compare_outputs' result for every lane of `diff`; lanes it hangs are
+  /// retired in `sim` and cleared from `live`.
+  void classify_batch(BatchSim& sim, const UnitTraces& t, std::size_t cycle,
+                      const std::vector<std::uint8_t>& golden_vals,
+                      const LaneMask& diff, LaneMask& live,
+                      std::span<FaultCharacterization> out) const;
 
   std::uint64_t golden_bus(const std::vector<std::uint8_t>& vals,
                            const PortBus& bus) const;
@@ -130,7 +157,7 @@ class UnitReplayer {
 /// The campaign's (possibly sampled) fault list: the full stuck-at list of
 /// `nl` when `max_faults` is 0 or not smaller, else a seeded partial shuffle
 /// taking `max_faults` entries — in either case sorted by topological index
-/// so consecutive 64-fault batches have tight, overlapping fanout cones.
+/// so consecutive lane-width batches have tight, overlapping fanout cones.
 /// Deterministic in (netlist, unit, max_faults, seed) — shards and resumed
 /// runs regenerate the identical list, so a fault's list index is its
 /// durable campaign id in the result store.
@@ -165,8 +192,11 @@ FaultCharacterization expand_collapsed(const FaultCharacterization& rep,
 
 /// Full campaign over (sampled) faults x traces. The engine defaults to the
 /// GPF_ENGINE environment knob (batch unless overridden); with the batch
-/// engine, 64-fault batches are distributed across the pool exactly like
-/// single faults are for the scalar engines.
+/// engine, batch_lane_width()-fault batches are distributed across the pool
+/// exactly like single faults are for the scalar engines. Chunking by lane
+/// width never changes record content — exports are byte-identical at any
+/// width because each fault's characterization is independent of which batch
+/// carried it.
 UnitCampaignResult run_unit_campaign(UnitKind unit, std::span<const UnitTraces> traces,
                                      std::size_t max_faults, std::uint64_t seed,
                                      ThreadPool* pool = nullptr,

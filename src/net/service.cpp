@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/threadpool.hpp"
+#include "gate/batchsim.hpp"
 #include "perfi/campaign.hpp"
 #include "report/gate_experiments.hpp"
 #include "rtl/campaign.hpp"
@@ -22,6 +23,9 @@ UnitFn make_unit_fn(const store::CampaignMeta& meta) {
       if (runner->collapsed())
         std::fprintf(stderr, "[worker] gate campaign: %zu faults collapse to %zu representatives\n",
                      runner->faults().size(), runner->representative_count());
+      const std::size_t lanes = gate::batch_lane_width();
+      std::fprintf(stderr, "[worker] gate campaign: batch lanes %zu (%s)\n",
+                   lanes, gate::batch_simd_path(lanes));
       auto pool = std::make_shared<ThreadPool>();
       return [traces, runner, pool](std::span<const std::uint64_t> ids,
                                     const EmitBytes& emit,

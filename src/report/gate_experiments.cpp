@@ -168,7 +168,7 @@ void GateUnitRunner::run_collapsed(std::span<const std::uint64_t> ids,
   };
 
   if (engine_ == EngineKind::Batch) {
-    constexpr std::size_t kB = gate::BatchFaultSim::kLanes;
+    const std::size_t kB = gate::batch_lane_width();
     const std::size_t batches = (jobs.size() + kB - 1) / kB;
     const auto work = [&](std::size_t b) {
       if (stop && stop()) return;
@@ -216,7 +216,7 @@ void GateUnitRunner::run(std::span<const std::uint64_t> ids, const Emit& emit,
   }
   static obs::Counter& retired = obs::counter("gate.faults_retired");
   if (engine_ == EngineKind::Batch) {
-    constexpr std::size_t kB = gate::BatchFaultSim::kLanes;
+    const std::size_t kB = gate::batch_lane_width();
     const std::size_t batches = (ids.size() + kB - 1) / kB;
     const auto work = [&](std::size_t b) {
       if (stop && stop()) return;

@@ -1,11 +1,14 @@
-// The 64-way bit-parallel (PPSFP) engine must be observationally equivalent
-// to both scalar engines: lane-for-lane identical FaultCharacterization
-// (class, activation, hang, per-model error counts) for every fault on every
-// unit over real profiled traces, including a ragged final batch (<64 faults)
-// and both stuck-at polarities.
+// The bit-parallel (PPSFP) engine must be observationally equivalent to both
+// scalar engines at every compiled SIMD width: lane-for-lane identical
+// FaultCharacterization (class, activation, hang, per-model error counts)
+// for every fault on every unit over real profiled traces, including a
+// ragged final batch (< lane-width faults) and both stuck-at polarities.
+// Widths the build or CPU cannot run are skipped, never failed.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
+#include <stdexcept>
 
 #include "common/rng.hpp"
 #include "gate/batchsim.hpp"
@@ -43,44 +46,68 @@ void expect_same(const FaultCharacterization& a, const FaultCharacterization& b,
         << " model " << errmodel::name_of(static_cast<errmodel::ErrorModel>(m));
 }
 
+/// The width matrix every test sweeps: the scalar baseline plus whichever
+/// SIMD widths this build and CPU can actually run.
+std::vector<std::size_t> supported_widths() {
+  std::vector<std::size_t> widths;
+  for (const std::size_t w : {std::size_t{64}, std::size_t{256}, std::size_t{512}})
+    if (batch_width_supported(w)) widths.push_back(w);
+  return widths;
+}
+
+/// Restores lane-width dispatch to "defer to environment" even when an
+/// assertion aborts the test body early.
+struct LaneGuard {
+  ~LaneGuard() { set_batch_lanes_override(0); }
+};
+
 class BatchSimEquivalence : public ::testing::TestWithParam<UnitKind> {};
 
-// Full-campaign equivalence over two real profiled traces. 150 sampled
-// faults force a ragged final batch (64 + 64 + 22 lanes).
-TEST_P(BatchSimEquivalence, CampaignMatchesScalarEngines) {
+// Full-campaign equivalence over two real profiled traces at every supported
+// lane width. 150 sampled faults force a ragged final batch at all widths
+// (150 % 64 = 22; a 256/512-lane run gets one partially filled batch).
+TEST_P(BatchSimEquivalence, CampaignMatchesScalarEnginesAtEveryWidth) {
   const std::vector<UnitTraces> traces = {trace_of("p_tiled_mxm"),
                                           trace_of("p_sort")};
   constexpr std::size_t kFaults = 150;
-  static_assert(kFaults % BatchFaultSim::kLanes != 0,
-                "sample must exercise a ragged final batch");
+  static_assert(kFaults % 64 != 0 && kFaults < 256,
+                "sample must exercise a ragged final batch at every width");
+  LaneGuard guard;
 
   const auto brute = run_unit_campaign(GetParam(), traces, kFaults, 42, nullptr,
                                        EngineKind::Brute);
   const auto event = run_unit_campaign(GetParam(), traces, kFaults, 42, nullptr,
                                        EngineKind::Event);
-  const auto batch = run_unit_campaign(GetParam(), traces, kFaults, 42, nullptr,
-                                       EngineKind::Batch);
-
   ASSERT_EQ(brute.faults.size(), kFaults);
   ASSERT_EQ(event.faults.size(), kFaults);
-  ASSERT_EQ(batch.faults.size(), kFaults);
 
-  // The sample must cover both stuck-at polarities.
-  const auto high = [](const FaultCharacterization& f) {
-    return f.fault.stuck_high;
-  };
-  EXPECT_TRUE(std::any_of(batch.faults.begin(), batch.faults.end(), high));
-  EXPECT_TRUE(std::any_of(batch.faults.begin(), batch.faults.end(),
-                          [&](const auto& f) { return !high(f); }));
+  for (const std::size_t width : supported_widths()) {
+    set_batch_lanes_override(width);
+    const auto batch = run_unit_campaign(GetParam(), traces, kFaults, 42,
+                                         nullptr, EngineKind::Batch);
+    ASSERT_EQ(batch.faults.size(), kFaults) << "width " << width;
 
-  for (std::size_t i = 0; i < kFaults; ++i) {
-    expect_same(brute.faults[i], batch.faults[i], "brute-vs-batch");
-    expect_same(event.faults[i], batch.faults[i], "event-vs-batch");
+    // The sample must cover both stuck-at polarities.
+    const auto high = [](const FaultCharacterization& f) {
+      return f.fault.stuck_high;
+    };
+    EXPECT_TRUE(std::any_of(batch.faults.begin(), batch.faults.end(), high));
+    EXPECT_TRUE(std::any_of(batch.faults.begin(), batch.faults.end(),
+                            [&](const auto& f) { return !high(f); }));
+
+    const std::string label = "width " + std::to_string(width);
+    for (std::size_t i = 0; i < kFaults; ++i) {
+      expect_same(brute.faults[i], batch.faults[i],
+                  ("brute-vs-batch @ " + label).c_str());
+      expect_same(event.faults[i], batch.faults[i],
+                  ("event-vs-batch @ " + label).c_str());
+    }
   }
 }
 
 // Direct run_fault_batch on a small ragged batch must equal per-fault
-// run_fault lane for lane.
+// run_fault lane for lane (at the dispatched width — the batch is far
+// smaller than any width, so every width exercises the ragged path).
 TEST_P(BatchSimEquivalence, RaggedBatchMatchesRunFault) {
   const UnitTraces t = trace_of("p_tiled_mxm");
   UnitReplayer replayer(GetParam());
@@ -99,15 +126,21 @@ TEST_P(BatchSimEquivalence, RaggedBatchMatchesRunFault) {
   if (!saw_high) sample.back().stuck_high = true;
   if (!saw_low) sample.front().stuck_high = false;
 
-  std::vector<FaultCharacterization> batch(sample.size());
-  for (std::size_t k = 0; k < sample.size(); ++k) batch[k].fault = sample[k];
-  replayer.run_fault_batch(sample, t, golden, batch);
+  LaneGuard guard;
+  for (const std::size_t width : supported_widths()) {
+    set_batch_lanes_override(width);
+    std::vector<FaultCharacterization> batch(sample.size());
+    for (std::size_t k = 0; k < sample.size(); ++k) batch[k].fault = sample[k];
+    replayer.run_fault_batch(sample, t, golden, batch);
 
-  for (std::size_t k = 0; k < sample.size(); ++k) {
-    FaultCharacterization scalar;
-    scalar.fault = sample[k];
-    replayer.run_fault(sample[k], t, golden, scalar, EngineKind::Brute);
-    expect_same(scalar, batch[k], "brute-vs-batch(lane)");
+    for (std::size_t k = 0; k < sample.size(); ++k) {
+      FaultCharacterization scalar;
+      scalar.fault = sample[k];
+      replayer.run_fault(sample[k], t, golden, scalar, EngineKind::Brute);
+      expect_same(scalar, batch[k],
+                  ("brute-vs-batch(lane) @ width " + std::to_string(width))
+                      .c_str());
+    }
   }
 }
 
@@ -123,12 +156,14 @@ struct KnobGuard {
 // Fault collapsing and cone pruning are pure optimizations: every
 // (GPF_COLLAPSE, GPF_CONE, engine) combination must produce the identical
 // characterization for every fault as the knobs-off brute-force reference.
+// The batch engine runs at the dispatched width here; the width matrix above
+// covers per-width equivalence.
 TEST_P(BatchSimEquivalence, KnobMatrixClassifiesIdentically) {
   const std::vector<UnitTraces> traces = {trace_of("p_tiled_mxm", 300),
                                           trace_of("p_sort", 300)};
   constexpr std::size_t kFaults = 130;
-  static_assert(kFaults % BatchFaultSim::kLanes != 0,
-                "sample must exercise a ragged final batch");
+  static_assert(kFaults % 64 != 0 && kFaults < 256,
+                "sample must exercise a ragged final batch at every width");
   KnobGuard guard;
 
   set_collapse_override(0);
@@ -166,6 +201,30 @@ INSTANTIATE_TEST_SUITE_P(Units, BatchSimEquivalence,
                            return std::string(unit_name(info.param));
                          });
 
+// The dispatch layer: every compiled width reports a path name, the widest
+// supported width wins by default, and pinning an unsupported width throws
+// instead of silently running the wrong engine.
+TEST(BatchSimDispatch, WidthDispatchIsSaneAndPinnable) {
+  ASSERT_TRUE(batch_width_supported(64));
+  EXPECT_FALSE(batch_width_supported(128));
+  EXPECT_FALSE(batch_width_supported(0));
+  EXPECT_STREQ(batch_simd_path(64), "scalar64");
+  EXPECT_STREQ(batch_simd_path(256), "avx2x256");
+  EXPECT_STREQ(batch_simd_path(512), "avx512x512");
+
+  const std::size_t dispatched = batch_lane_width();
+  EXPECT_TRUE(batch_width_supported(dispatched));
+
+  LaneGuard guard;
+  for (const std::size_t w : supported_widths()) {
+    set_batch_lanes_override(w);
+    EXPECT_EQ(batch_lane_width(), w);
+  }
+  if (!batch_width_supported(512))
+    EXPECT_THROW(set_batch_lanes_override(512), std::invalid_argument);
+  EXPECT_THROW(set_batch_lanes_override(128), std::invalid_argument);
+}
+
 TEST(BatchFaultSimUnit, WordEvalMatchesScalarOnToyNetlist) {
   // Tiny mixed netlist: every gate kind the units use, one DFF.
   Netlist nl;
@@ -185,32 +244,36 @@ TEST(BatchFaultSimUnit, WordEvalMatchesScalarOnToyNetlist) {
     faults.push_back({n, true});
   }
 
-  for (int av = 0; av < 2; ++av) {
-    for (int bv = 0; bv < 2; ++bv) {
-      BatchFaultSim bsim(nl);
-      bsim.begin(faults);
-      std::vector<Simulator> ssims;
-      for (const StuckFault& f : faults) {
-        ssims.emplace_back(nl);
-        ssims.back().set_fault(f);
-      }
-      for (int cycle = 0; cycle < 3; ++cycle) {
-        for (std::size_t k = 0; k < faults.size(); ++k) {
-          ssims[k].set_input(a, av != 0);
-          ssims[k].set_input(b, bv != 0);
-          ssims[k].eval();
+  for (const std::size_t width : supported_widths()) {
+    for (int av = 0; av < 2; ++av) {
+      for (int bv = 0; bv < 2; ++bv) {
+        const std::unique_ptr<BatchSim> bsim = make_batch_sim(nl, width);
+        ASSERT_EQ(bsim->width(), width);
+        bsim->begin(faults);
+        std::vector<Simulator> ssims;
+        for (const StuckFault& f : faults) {
+          ssims.emplace_back(nl);
+          ssims.back().set_fault(f);
         }
-        const PortBus in_a{"a", {a}}, in_b{"b", {b}};
-        bsim.set_bus(in_a, static_cast<std::uint64_t>(av));
-        bsim.set_bus(in_b, static_cast<std::uint64_t>(bv));
-        bsim.eval();
-        for (std::size_t k = 0; k < faults.size(); ++k)
-          for (Net n : {a, b, x1, n1, m, q, o})
-            ASSERT_EQ(bsim.value(n, static_cast<unsigned>(k)), ssims[k].value(n))
-                << "a=" << av << " b=" << bv << " cycle=" << cycle << " lane="
-                << k << " net=" << n;
-        for (auto& s : ssims) s.clock();
-        bsim.clock();
+        for (int cycle = 0; cycle < 3; ++cycle) {
+          for (std::size_t k = 0; k < faults.size(); ++k) {
+            ssims[k].set_input(a, av != 0);
+            ssims[k].set_input(b, bv != 0);
+            ssims[k].eval();
+          }
+          const PortBus in_a{"a", {a}}, in_b{"b", {b}};
+          bsim->set_bus(in_a, static_cast<std::uint64_t>(av));
+          bsim->set_bus(in_b, static_cast<std::uint64_t>(bv));
+          bsim->eval();
+          for (std::size_t k = 0; k < faults.size(); ++k)
+            for (Net n : {a, b, x1, n1, m, q, o})
+              ASSERT_EQ(bsim->value(n, static_cast<unsigned>(k)),
+                        ssims[k].value(n))
+                  << "width=" << width << " a=" << av << " b=" << bv
+                  << " cycle=" << cycle << " lane=" << k << " net=" << n;
+          for (auto& s : ssims) s.clock();
+          bsim->clock();
+        }
       }
     }
   }

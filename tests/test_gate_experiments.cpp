@@ -9,6 +9,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "gate/batchsim.hpp"
 #include "gate/replay.hpp"
 #include "report/gate_experiments.hpp"
 #include "store/export.hpp"
@@ -134,7 +135,14 @@ TEST_F(GateExperimentsTest, KillAndResumeExportIsByteIdentical) {
   }
   const std::string full_json = export_json(path("full.gpfs"));
 
-  // Interrupted run: pause after one 64-fault batch...
+  // Interrupted run at 64 lanes: pause after one 64-fault batch (a wider
+  // dispatched width could retire the whole campaign in one batch, leaving
+  // nothing to resume). The reference above ran at the dispatched width, so
+  // this test also asserts byte-identity across lane widths.
+  struct LaneGuard {
+    ~LaneGuard() { gate::set_batch_lanes_override(0); }
+  } lane_guard;
+  gate::set_batch_lanes_override(64);
   {
     store::CampaignCheckpoint ckpt(path("killed.gpfs"), meta);
     ckpt.set_record_limit(1);
@@ -225,6 +233,37 @@ TEST_F(GateExperimentsTest, CollapsedStoreExportIsByteIdentical) {
   const report::GateUnitRunner runner(traces(), meta);
   EXPECT_TRUE(runner.collapsed());
   EXPECT_EQ(runner.representative_count(), reps);
+}
+
+// Acceptance: campaign store exports are byte-identical across SIMD lane
+// widths — the 64-lane scalar baseline and every wider path this build/CPU
+// supports produce exactly the same bytes, because each fault's record is
+// independent of which batch carried it. This is what lets a fleet mix
+// AVX-512, AVX2 and scalar workers in one campaign.
+TEST_F(GateExperimentsTest, StoreExportIsByteIdenticalAcrossLaneWidths) {
+  const auto unit = gate::UnitKind::WSC;
+  const auto meta = report::gate_campaign_meta(unit, kFaults, kMaxIssues, kSeed,
+                                               EngineKind::Batch);
+  struct LaneGuard {
+    ~LaneGuard() { gate::set_batch_lanes_override(0); }
+  } guard;
+
+  gate::set_batch_lanes_override(64);
+  {
+    store::CampaignCheckpoint ckpt(path("w64.gpfs"), meta);
+    report::run_unit_campaign_store(traces(), ckpt);
+  }
+  const std::string base_json = export_json(path("w64.gpfs"));
+
+  for (const std::size_t w : {std::size_t{256}, std::size_t{512}}) {
+    if (!gate::batch_width_supported(w)) continue;
+    SCOPED_TRACE(w);
+    gate::set_batch_lanes_override(w);
+    const std::string p = path("w" + std::to_string(w) + ".gpfs");
+    store::CampaignCheckpoint ckpt(p, meta);
+    report::run_unit_campaign_store(traces(), ckpt);
+    EXPECT_EQ(export_json(p), base_json);
+  }
 }
 
 // A store written for one unit refuses to resume a different campaign.

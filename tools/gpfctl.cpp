@@ -44,6 +44,7 @@
 #include "campaign_flags.hpp"
 #include "common/env.hpp"
 #include "common/threadpool.hpp"
+#include "gate/batchsim.hpp"
 #include "net/framing.hpp"
 #include "net/protocol.hpp"
 #include "net/service.hpp"
@@ -338,6 +339,11 @@ int cmd_status(const Args& a) {
                       static_cast<double>(s.meta.total) / static_cast<double>(reps));
         std::cout << "  collapsed: " << reps << " representatives simulated for "
                   << s.meta.total << " faults (" << ratio << ")\n";
+      }
+      if (campaign_engine() == EngineKind::Batch) {
+        const std::size_t lanes = gate::batch_lane_width();
+        std::cout << "  batch lanes: " << lanes << " ("
+                  << gate::batch_simd_path(lanes) << ")\n";
       }
     }
   }

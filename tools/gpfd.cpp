@@ -28,6 +28,7 @@
 
 #include "campaign_flags.hpp"
 #include "common/env.hpp"
+#include "gate/batchsim.hpp"
 #include "net/coordinator.hpp"
 #include "net/framing.hpp"
 #include "obs/metrics.hpp"
@@ -101,7 +102,13 @@ int main(int argc, char** argv) {
     cfg.port = port;
     cfg.lease_ms = static_cast<std::uint32_t>(
         a.get_u64("lease-ms", lease_duration_ms()));
-    cfg.unit_size = static_cast<std::size_t>(a.get_u64("unit-size", 64));
+    // Gate work units default to the dispatched SIMD lane width so each
+    // leased unit fills whole batches (a 64-id unit on an AVX-512 build would
+    // run every batch 1/8 full); other campaign kinds keep the historic 64.
+    const std::size_t default_unit =
+        meta.kind == store::CampaignKind::Gate ? gate::batch_lane_width() : 64;
+    cfg.unit_size = static_cast<std::size_t>(
+        a.get_u64("unit-size", default_unit));
     cfg.status_interval_ms =
         static_cast<std::uint32_t>(a.get_u64("status-ms", 5000));
     cfg.verbose = a.has("verbose");

@@ -1,0 +1,177 @@
+// Warehouse query-vs-fullscan benchmark: builds a >=100k-record campaign
+// store, compacts it into a .gpfw segment, and compares answering the EPR
+// summary from the pre-aggregated footer (read_footer) against recomputing
+// it with a full log scan (load_store + compute_rollups). Also times
+// one-shot compaction and an incremental refresh after a small append, and
+// asserts the rollup-vs-full-scan equality invariant on the benchmark store.
+//
+// Results land in BENCH_warehouse.json (next to the binary, or in
+// GPF_BENCH_JSON_DIR) so the speedup is tracked across PRs.
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "store/records.hpp"
+#include "store/result_log.hpp"
+#include "warehouse/compact.hpp"
+#include "warehouse/query.hpp"
+#include "warehouse/rollups.hpp"
+#include "warehouse/segment.hpp"
+
+using namespace gpf;
+
+namespace {
+
+constexpr std::uint64_t kRows = 100000;
+constexpr std::uint64_t kAppendTail = 1000;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Median wall time of `reps` runs of `fn`.
+template <typename Fn>
+double median_seconds(int reps, Fn&& fn) {
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    times.push_back(seconds_since(t0));
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+store::CampaignMeta bench_meta(std::uint64_t total) {
+  store::CampaignMeta m;
+  m.kind = store::CampaignKind::Perfi;
+  m.model = 0;
+  m.seed = 1234;
+  m.total = total;
+  m.app = "bench";
+  return m;
+}
+
+std::vector<std::uint8_t> payload_for(std::uint64_t id) {
+  store::PerfiRecord r;
+  // Mix of outcomes keeps every rollup array populated (a splitmix-style
+  // scramble so neighboring ids land in different buckets).
+  std::uint64_t x = id * 0x9E3779B97F4A7C15ull;
+  x ^= x >> 31;
+  r.outcome = static_cast<store::PerfiOutcome>(x % 7);
+  return store::encode(r);
+}
+
+}  // namespace
+
+int main() {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("gpf-bench-warehouse-" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string store_path = (dir / "bench.gpfs").string();
+  const std::string seg_path = warehouse::warehouse_path_for(store_path);
+
+  std::cout << "building " << kRows << "-record store ... " << std::flush;
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    store::ResultLog log(store_path, bench_meta(kRows + kAppendTail));
+    for (std::uint64_t id = 0; id < kRows; ++id)
+      log.append(id, payload_for(id));
+    std::cout << "done (" << seconds_since(t0) << " s, "
+              << std::filesystem::file_size(store_path) << " bytes)\n";
+  }
+
+  // One-shot compaction.
+  const auto tc0 = std::chrono::steady_clock::now();
+  warehouse::CompactStats cst = warehouse::compact_stores({store_path}, seg_path);
+  const double compact_seconds = seconds_since(tc0);
+  std::cout << "compact: " << cst.rows << " rows -> "
+            << std::filesystem::file_size(seg_path) << " bytes in "
+            << compact_seconds << " s\n";
+
+  // Incremental refresh after a small append (the live-fleet steady state).
+  {
+    store::ResultLog log(store_path, bench_meta(kRows + kAppendTail));
+    for (std::uint64_t id = kRows; id < kRows + kAppendTail; ++id)
+      log.append(id, payload_for(id));
+  }
+  const auto ti0 = std::chrono::steady_clock::now();
+  cst = warehouse::compact_stores({store_path}, seg_path);
+  const double incremental_seconds = seconds_since(ti0);
+  if (!cst.incremental || cst.fresh_records != kAppendTail) {
+    std::cerr << "FAIL: expected incremental refresh of " << kAppendTail
+              << " records (got fresh=" << cst.fresh_records
+              << " incremental=" << cst.incremental << ")\n";
+    return 1;
+  }
+  std::cout << "incremental refresh (+" << kAppendTail
+            << " records): " << incremental_seconds << " s\n";
+
+  // The contenders. Both produce the same EPR summary; the full scan decodes
+  // every record, the query reads only the footer.
+  warehouse::Rollups scan_rollups, query_rollups;
+  const double full_scan_seconds = median_seconds(5, [&] {
+    scan_rollups = warehouse::compute_rollups(store::load_store(store_path));
+  });
+  const double query_seconds = median_seconds(25, [&] {
+    query_rollups = warehouse::read_footer(seg_path).rollups;
+  });
+
+  if (!(scan_rollups == query_rollups)) {
+    std::cerr << "FAIL: rollups from the segment footer differ from the full "
+                 "log scan\n";
+    return 1;
+  }
+  const double speedup =
+      query_seconds > 0 ? full_scan_seconds / query_seconds : 0.0;
+  std::printf("full scan: %.6f s   footer query: %.6f s   speedup: %.1fx\n",
+              full_scan_seconds, query_seconds, speedup);
+
+  const char* out_dir = std::getenv("GPF_BENCH_JSON_DIR");
+  const std::string json_path =
+      std::string(out_dir && *out_dir ? out_dir : ".") + "/BENCH_warehouse.json";
+  std::ofstream os(json_path);
+  if (os) {
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "{\n  \"bench\": \"warehouse\",\n  \"rows\": %llu,\n"
+                  "  \"store_bytes\": %llu,\n  \"segment_bytes\": %llu,\n"
+                  "  \"compact_seconds\": %.6f,\n"
+                  "  \"incremental_refresh_seconds\": %.6f,\n"
+                  "  \"full_scan_seconds\": %.6f,\n"
+                  "  \"query_seconds\": %.6f,\n  \"speedup\": %.1f\n}\n",
+                  static_cast<unsigned long long>(kRows + kAppendTail),
+                  static_cast<unsigned long long>(
+                      std::filesystem::file_size(store_path)),
+                  static_cast<unsigned long long>(
+                      std::filesystem::file_size(seg_path)),
+                  compact_seconds, incremental_seconds, full_scan_seconds,
+                  query_seconds, speedup);
+    os << buf;
+    std::cout << "wrote " << json_path << "\n";
+  } else {
+    std::cerr << "warning: cannot write " << json_path << "\n";
+  }
+
+  std::filesystem::remove_all(dir);
+
+  // The acceptance floor is 50x on a quiet machine; fail below 25x so a
+  // regression that erodes the whole point of the warehouse (O(ms) queries)
+  // turns the bench red without CI-noise flakes.
+  if (speedup < 25.0) {
+    std::cerr << "FAIL: query speedup " << speedup << "x below the 25x floor\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,227 @@
+#include "net/http.hpp"
+
+#include <sys/socket.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "store/export.hpp"
+
+namespace gpf::net {
+
+namespace {
+
+constexpr std::size_t kMaxHeadBytes = 8192;
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+  }
+  return "Unknown";
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string percent_decode(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      const int hi = hex_digit(s[i + 1]), lo = hex_digit(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(s[i] == '+' ? ' ' : s[i]);
+  }
+  return out;
+}
+
+/// Escapes a string for embedding in a JSON value.
+std::string json_str(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+bool parse_http_request(const std::string& head, HttpRequest& out) {
+  const std::size_t line_end = head.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return false;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return false;
+  out.method = line.substr(0, sp1);
+  out.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (out.method.empty() || out.target.empty() || out.target[0] != '/')
+    return false;
+  if (line.compare(sp2 + 1, 5, "HTTP/") != 0) return false;
+
+  const std::size_t q = out.target.find('?');
+  out.path = out.target.substr(0, q);
+  out.params.clear();
+  if (q != std::string::npos) {
+    std::size_t start = q + 1;
+    while (start <= out.target.size()) {
+      std::size_t end = out.target.find('&', start);
+      if (end == std::string::npos) end = out.target.size();
+      const std::string pair = out.target.substr(start, end - start);
+      if (!pair.empty()) {
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos)
+          out.params[percent_decode(pair)] = "";
+        else
+          out.params[percent_decode(pair.substr(0, eq))] =
+              percent_decode(pair.substr(eq + 1));
+      }
+      start = end + 1;
+    }
+  }
+  return true;
+}
+
+std::string serialize_http_response(const HttpResponse& r) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << r.status << " " << status_text(r.status) << "\r\n"
+     << "Content-Type: " << r.content_type << "\r\n"
+     << "Content-Length: " << r.body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << r.body;
+  return os.str();
+}
+
+HttpServer::HttpServer(const std::string& addr, HttpHandler handler)
+    : handler_(std::move(handler)) {
+  const auto [host, port] = parse_addr(addr);
+  listener_ = listen_tcp(host, port);
+  port_ = local_port(listener_);
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::start() {
+  if (thread_.joinable()) return;
+  stop_.store(false);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void HttpServer::stop() {
+  stop_.store(true);
+  if (thread_.joinable()) thread_.join();
+}
+
+void HttpServer::serve_loop() {
+  static obs::Counter& requests = obs::counter("http.requests");
+  static obs::Counter& errors = obs::counter("http.errors");
+  while (!stop_.load(std::memory_order_relaxed)) {
+    Socket client;
+    try {
+      client = accept_client(listener_, 200);
+    } catch (const std::exception&) {
+      break;  // listener died; nothing to serve
+    }
+    if (!client.valid()) continue;
+
+    HttpResponse resp;
+    try {
+      set_recv_timeout(client, 2000);
+      std::string head;
+      char buf[1024];
+      while (head.find("\r\n\r\n") == std::string::npos &&
+             head.size() < kMaxHeadBytes) {
+        const ssize_t n = ::recv(client.fd(), buf, sizeof(buf), 0);
+        if (n <= 0) break;
+        head.append(buf, static_cast<std::size_t>(n));
+      }
+      HttpRequest req;
+      if (!parse_http_request(head, req)) {
+        resp = {400, "application/json", "{\"error\": \"malformed request\"}\n"};
+      } else if (req.method != "GET") {
+        resp = {405, "application/json", "{\"error\": \"GET only\"}\n"};
+      } else {
+        resp = handler_(req);
+      }
+    } catch (const std::exception& e) {
+      resp = {500, "application/json",
+              "{\"error\": " + json_str(e.what()) + "}\n"};
+      errors.add(1);
+    }
+    requests.add(1);
+    try {
+      const std::string wire = serialize_http_response(resp);
+      std::size_t off = 0;
+      while (off < wire.size()) {
+        const ssize_t n = ::send(client.fd(), wire.data() + off,
+                                 wire.size() - off, MSG_NOSIGNAL);
+        if (n <= 0) break;
+        off += static_cast<std::size_t>(n);
+      }
+    } catch (const std::exception&) {
+      // Peer went away mid-response; nothing to do.
+    }
+  }
+}
+
+std::string stats_json(const store::CampaignMeta& meta,
+                       const StatsSnapshot& st) {
+  std::ostringstream os;
+  os << "{\n  \"campaign\": {\"kind\": \""
+     << store::campaign_kind_name(meta.kind) << "\", \"target\": \""
+     << store::target_label(meta) << "\", \"seed\": " << meta.seed
+     << ", \"total\": " << meta.total
+     << ", \"shard_index\": " << meta.shard_index
+     << ", \"shard_count\": " << meta.shard_count << "},\n";
+  os << "  \"progress\": {\"total_ids\": " << st.total_ids
+     << ", \"retired_ids\": " << st.retired_ids
+     << ", \"done_at_open\": " << st.done_at_open
+     << ", \"pending_units\": " << st.pending_units
+     << ", \"leased_units\": " << st.leased_units
+     << ", \"elapsed_ms\": " << st.elapsed_ms
+     << ", \"rate_milli\": " << st.rate_milli << ", \"eta_ms\": " << st.eta_ms
+     << ", \"draining\": " << (st.draining ? "true" : "false") << "},\n";
+  os << "  \"workers\": [\n";
+  for (std::size_t i = 0; i < st.workers.size(); ++i) {
+    const WorkerRow& w = st.workers[i];
+    os << (i ? ",\n" : "") << "    {\"session\": " << w.session
+       << ", \"name\": " << json_str(w.name) << ", \"retired\": " << w.retired
+       << ", \"leased_units\": " << w.leased_units
+       << ", \"idle_ms\": " << w.idle_ms
+       << ", \"connected\": " << (w.connected ? "true" : "false") << "}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace gpf::net

@@ -1,0 +1,79 @@
+// Minimal HTTP/1.1 serving layer for gpfd's observability endpoints.
+//
+// This is deliberately not a web framework: one short-lived connection at a
+// time, GET only, Connection: close, request head capped at 8 KiB. It
+// exists so `curl http://gpfd/v1/stats` and dashboards can read campaign
+// progress and warehouse rollups without speaking the binary frame
+// protocol. Reuses the same Socket/listen/accept utilities as the
+// coordinator, so the two listeners behave identically under drain.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "net/framing.hpp"
+#include "net/protocol.hpp"
+#include "store/result_log.hpp"
+
+namespace gpf::net {
+
+struct HttpRequest {
+  std::string method;  ///< "GET"
+  std::string target;  ///< raw request target, e.g. "/v1/query?metric=epr"
+  std::string path;    ///< target up to '?'
+  std::map<std::string, std::string> params;  ///< decoded query parameters
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Parses an HTTP/1.1 request head (request line + headers, as read off the
+/// wire up to the blank line). Returns false on anything malformed. Query
+/// parameters are split on '&'/'=' and percent-decoded.
+bool parse_http_request(const std::string& head, HttpRequest& out);
+
+/// Serializes status line + headers + body, ready to write to the socket.
+std::string serialize_http_response(const HttpResponse& r);
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// Single-threaded accept-and-respond loop on its own thread. The handler
+/// runs on that thread; it must be internally synchronized (the warehouse
+/// Compactor and Coordinator::snapshot_stats both are). Handler exceptions
+/// become 500 responses; a handler returning status 404 etc. passes through.
+class HttpServer {
+ public:
+  /// Binds host:port immediately (port 0 = kernel-assigned; read back with
+  /// port()). Throws on bind failure. Call start() to begin serving.
+  HttpServer(const std::string& addr, HttpHandler handler);
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  void start();
+  void stop();  ///< idempotent; joins the serving thread
+
+ private:
+  void serve_loop();
+
+  Socket listener_;
+  std::uint16_t port_ = 0;
+  HttpHandler handler_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+};
+
+/// The /v1/stats body: campaign identity plus the same live progress view
+/// `gpfctl top` renders, as JSON.
+std::string stats_json(const store::CampaignMeta& meta,
+                       const StatsSnapshot& st);
+
+}  // namespace gpf::net

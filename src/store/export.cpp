@@ -50,19 +50,7 @@ const char* rtl_site_name(std::uint64_t s) {
   return "?";
 }
 
-std::string target_name(const CampaignMeta& m) {
-  switch (m.kind) {
-    case CampaignKind::Gate: return gate_target_name(m.target);
-    case CampaignKind::Rtl:
-      return std::string(rtl_target_name(m.target)) + "/" +
-             rtl_site_name(m.param0);
-    case CampaignKind::Perfi:
-      return m.app + "/" +
-             std::string(errmodel::name_of(
-                 static_cast<errmodel::ErrorModel>(m.model)));
-  }
-  return "?";
-}
+std::string target_name(const CampaignMeta& m) { return target_label(m); }
 
 void json_meta(const LoadedStore& s, std::ostream& os) {
   const CampaignMeta& m = s.meta;
@@ -273,6 +261,20 @@ void export_perfi(const LoadedStore& s, ExportFormat format, std::ostream& os) {
 }
 
 }  // namespace
+
+std::string target_label(const CampaignMeta& m) {
+  switch (m.kind) {
+    case CampaignKind::Gate: return gate_target_name(m.target);
+    case CampaignKind::Rtl:
+      return std::string(rtl_target_name(m.target)) + "/" +
+             rtl_site_name(m.param0);
+    case CampaignKind::Perfi:
+      return m.app + "/" +
+             std::string(errmodel::name_of(
+                 static_cast<errmodel::ErrorModel>(m.model)));
+  }
+  return "?";
+}
 
 void export_store(const LoadedStore& s, ExportFormat format, std::ostream& os) {
   switch (s.meta.kind) {

@@ -17,6 +17,11 @@ enum class ExportFormat : std::uint8_t { Json, Csv };
 
 void export_store(const LoadedStore& s, ExportFormat format, std::ostream& os);
 
+/// Human-readable target of a campaign ("decoder", "max/fu",
+/// "mxm/IOC", ...) — the same label export/status print, shared with the
+/// warehouse query layer.
+std::string target_label(const CampaignMeta& m);
+
 /// Human-readable one-store status block (meta, progress, summary counts).
 void print_status(const LoadedStore& s, std::ostream& os);
 

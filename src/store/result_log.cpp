@@ -3,11 +3,14 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <stdexcept>
+#include <system_error>
 
 #include "common/env.hpp"
 #include "obs/metrics.hpp"
@@ -30,6 +33,57 @@ void fsync_parent_dir(const std::string& path) {
 
 std::string recovery_tmp_path(const std::string& path) {
   return path + ".recover.tmp";
+}
+
+/// Parses consecutive records at the front of `bytes` (which must begin on a
+/// record boundary), appending them to `out`. Returns the number of bytes
+/// consumed — parsing stops before the first torn record (payload cut short
+/// or CRC mismatch), so the remainder is the torn tail.
+std::size_t parse_records(std::span<const std::uint8_t> bytes,
+                          std::vector<Record>& out) {
+  std::size_t pos = 0;
+  while (pos + 16 <= bytes.size()) {
+    ByteReader r(bytes.subspan(pos, 16));
+    const std::uint64_t id = r.u64();
+    const std::uint32_t len = r.u32();
+    const std::uint32_t want = r.u32();
+    if (pos + 16 + len > bytes.size()) break;  // torn: payload cut short
+    const auto crc_span = bytes.subspan(pos, 8);  // id bytes
+    const auto payload = bytes.subspan(pos + 16, len);
+    if (crc32(payload, crc32(crc_span)) != want) break;  // torn: bad CRC
+    out.push_back({id, {payload.begin(), payload.end()}});
+    pos += 16 + len;
+  }
+  return pos;
+}
+
+/// Reads `path` from byte `from` to EOF. Throws when the file cannot be
+/// opened or is shorter than `from`.
+std::vector<std::uint8_t> read_file_from(const std::string& path,
+                                         std::size_t from) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (!in)
+    throw std::runtime_error("store: cannot open " + path + ": " +
+                             std::strerror(errno));
+  std::vector<std::uint8_t> bytes;
+  std::array<std::uint8_t, 65536> buf;
+  std::size_t skipped = 0;
+  while (skipped < from) {
+    const std::size_t n =
+        std::fread(buf.data(), 1, std::min(buf.size(), from - skipped), in);
+    if (n == 0) break;
+    skipped += n;
+  }
+  if (skipped < from) {
+    std::fclose(in);
+    throw std::runtime_error("store: " + path + " is shorter than offset " +
+                             std::to_string(from) +
+                             " (log truncated since the watermark was taken)");
+  }
+  for (std::size_t n; (n = std::fread(buf.data(), 1, buf.size(), in)) > 0;)
+    bytes.insert(bytes.end(), buf.begin(), buf.begin() + static_cast<long>(n));
+  std::fclose(in);
+  return bytes;
 }
 
 }  // namespace
@@ -162,15 +216,7 @@ void ResultLog::open_existing(const CampaignMeta* expect) {
   // complete trimmed copy — and the leftover is just deleted.
   std::remove(recovery_tmp_path(path_).c_str());
 
-  std::FILE* in = std::fopen(path_.c_str(), "rb");
-  if (!in)
-    throw std::runtime_error("store: cannot open " + path_ + ": " +
-                             std::strerror(errno));
-  std::vector<std::uint8_t> bytes;
-  std::array<std::uint8_t, 65536> buf;
-  for (std::size_t n; (n = std::fread(buf.data(), 1, buf.size(), in)) > 0;)
-    bytes.insert(bytes.end(), buf.begin(), buf.begin() + static_cast<long>(n));
-  std::fclose(in);
+  const std::vector<std::uint8_t> bytes = read_file_from(path_, 0);
 
   meta_ = decode_meta(bytes);
   if (expect && !(*expect == meta_))
@@ -180,22 +226,9 @@ void ResultLog::open_existing(const CampaignMeta* expect) {
         "mismatch) — refusing to resume into it");
 
   // Scan records; stop at the first torn one and truncate it away.
-  std::size_t pos = kHeaderSize;
-  std::size_t valid_end = pos;
-  while (pos + 16 <= bytes.size()) {
-    const std::span<const std::uint8_t> all(bytes);
-    ByteReader r(all.subspan(pos, 16));
-    const std::uint64_t id = r.u64();
-    const std::uint32_t len = r.u32();
-    const std::uint32_t want = r.u32();
-    if (pos + 16 + len > bytes.size()) break;  // torn: payload cut short
-    const auto crc_span = all.subspan(pos, 8);  // id bytes
-    const auto payload = all.subspan(pos + 16, len);
-    if (crc32(payload, crc32(crc_span)) != want) break;  // torn: bad CRC
-    recovered_.push_back({id, {payload.begin(), payload.end()}});
-    pos += 16 + len;
-    valid_end = pos;
-  }
+  const std::size_t valid_end =
+      kHeaderSize +
+      parse_records(std::span(bytes).subspan(kHeaderSize), recovered_);
   torn_bytes_ = bytes.size() - valid_end;
 
   if (torn_bytes_ > 0) {
@@ -264,6 +297,39 @@ void ResultLog::sync() {
   syncs.add(1);
   durable.add(unsynced_bytes_);
   unsynced_bytes_ = 0;
+}
+
+ScannedTail scan_records(const std::string& path, std::size_t from_offset) {
+  if (from_offset < ResultLog::kHeaderSize)
+    throw std::runtime_error("store: scan offset inside the header");
+  ScannedTail out;
+  const std::vector<std::uint8_t> bytes = read_file_from(path, from_offset);
+  out.end_offset = from_offset + parse_records(bytes, out.records);
+  return out;
+}
+
+CampaignMeta read_store_meta(const std::string& path) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (!in)
+    throw std::runtime_error("store: cannot open " + path + ": " +
+                             std::strerror(errno));
+  std::array<std::uint8_t, ResultLog::kHeaderSize> header{};
+  const std::size_t n = std::fread(header.data(), 1, header.size(), in);
+  std::fclose(in);
+  if (n != header.size())
+    throw std::runtime_error("store: " + path + " is shorter than its header");
+  return ResultLog::decode_meta(header);
+}
+
+void create_parent_dirs(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos || slash == 0) return;  // cwd or root
+  const std::string dir = path.substr(0, slash);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec)
+    throw std::runtime_error("store: cannot create output directory " + dir +
+                             ": " + ec.message());
 }
 
 LoadedStore load_store(const std::string& path) {

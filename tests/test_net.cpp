@@ -21,6 +21,7 @@
 #include "net/coordinator.hpp"
 #include "net/dispatch.hpp"
 #include "net/framing.hpp"
+#include "net/http.hpp"
 #include "net/protocol.hpp"
 #include "net/service.hpp"
 #include "net/worker.hpp"
@@ -497,6 +498,130 @@ TEST(NetE2E, StatsObserverSeesLiveProgress) {
   EXPECT_EQ(fin.retired_ids, store::load_store(path).records.size());
   EXPECT_TRUE(fin.draining);
   std::remove(path.c_str());
+}
+
+// --- http ------------------------------------------------------------------
+
+TEST(NetHttp, ParseRequestLineAndQueryParams) {
+  HttpRequest req;
+  ASSERT_TRUE(parse_http_request(
+      "GET /v1/query?metric=epr&format=json HTTP/1.1\r\nHost: x\r\n\r\n", req));
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.path, "/v1/query");
+  EXPECT_EQ(req.params.at("metric"), "epr");
+  EXPECT_EQ(req.params.at("format"), "json");
+
+  ASSERT_TRUE(parse_http_request("GET /v1/stats HTTP/1.1\r\n\r\n", req));
+  EXPECT_EQ(req.path, "/v1/stats");
+  EXPECT_TRUE(req.params.empty());
+
+  // Percent-decoding, '+' as space, and a valueless key.
+  ASSERT_TRUE(parse_http_request(
+      "GET /p?unit=max%2Ffu&q=a+b&flag HTTP/1.1\r\n\r\n", req));
+  EXPECT_EQ(req.params.at("unit"), "max/fu");
+  EXPECT_EQ(req.params.at("q"), "a b");
+  EXPECT_EQ(req.params.at("flag"), "");
+}
+
+TEST(NetHttp, ParseRejectsMalformedRequests) {
+  HttpRequest req;
+  EXPECT_FALSE(parse_http_request("", req));
+  EXPECT_FALSE(parse_http_request("GET\r\n\r\n", req));
+  EXPECT_FALSE(parse_http_request("GET /x\r\n\r\n", req));          // no version
+  EXPECT_FALSE(parse_http_request("GET /x SMTP/1.0\r\n\r\n", req)); // not HTTP
+  EXPECT_FALSE(parse_http_request("GET x HTTP/1.1\r\n\r\n", req));  // no slash
+}
+
+TEST(NetHttp, SerializeResponseCarriesStatusAndLength) {
+  const std::string wire =
+      serialize_http_response({404, "application/json", "{\"error\": \"x\"}"});
+  EXPECT_EQ(wire.find("HTTP/1.1 404 Not Found\r\n"), 0u);
+  EXPECT_NE(wire.find("Content-Length: 14\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("\r\n\r\n{\"error\": \"x\"}"), std::string::npos);
+}
+
+namespace {
+/// Sends one raw request to a local HttpServer and reads to EOF.
+std::string http_roundtrip(std::uint16_t port, const std::string& request) {
+  Socket c = connect_tcp("127.0.0.1", port);
+  std::size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n = ::send(c.fd(), request.data() + off,
+                             request.size() - off, 0);
+    if (n <= 0) {
+      ADD_FAILURE() << "send failed";
+      return "";
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  std::string reply;
+  char buf[1024];
+  for (ssize_t n; (n = ::recv(c.fd(), buf, sizeof(buf), 0)) > 0;)
+    reply.append(buf, static_cast<std::size_t>(n));
+  return reply;
+}
+}  // namespace
+
+TEST(NetHttp, ServerRoutesDispatchesAndReportsErrors) {
+  HttpServer server("127.0.0.1:0", [](const HttpRequest& req) -> HttpResponse {
+    if (req.path == "/boom") throw std::runtime_error("handler exploded");
+    if (req.path == "/echo")
+      return {200, "text/plain", "metric=" + req.params.at("metric")};
+    return {404, "application/json", "{}"};
+  });
+  server.start();
+
+  const std::string ok = http_roundtrip(
+      server.port(), "GET /echo?metric=epr HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_EQ(ok.find("HTTP/1.1 200 OK\r\n"), 0u);
+  EXPECT_NE(ok.find("metric=epr"), std::string::npos);
+
+  const std::string miss =
+      http_roundtrip(server.port(), "GET /nope HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(miss.find("HTTP/1.1 404"), 0u);
+
+  const std::string post =
+      http_roundtrip(server.port(), "POST /echo HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(post.find("HTTP/1.1 405"), 0u);
+
+  const std::string bad = http_roundtrip(server.port(), "garbage\r\n\r\n");
+  EXPECT_EQ(bad.find("HTTP/1.1 400"), 0u);
+
+  // Handler exceptions surface as 500 with the reason in the JSON body, and
+  // the server keeps serving afterwards.
+  const std::string boom =
+      http_roundtrip(server.port(), "GET /boom HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(boom.find("HTTP/1.1 500"), 0u);
+  EXPECT_NE(boom.find("handler exploded"), std::string::npos);
+  const std::string again =
+      http_roundtrip(server.port(), "GET /echo?metric=x HTTP/1.1\r\n\r\n");
+  EXPECT_NE(again.find("metric=x"), std::string::npos);
+
+  server.stop();
+}
+
+TEST(NetHttp, StatsJsonCarriesProgressAndWorkers) {
+  const store::CampaignMeta meta = perfi_meta(40, 7);
+  StatsSnapshot st;
+  st.total_ids = 40;
+  st.retired_ids = 25;
+  st.pending_units = 3;
+  st.leased_units = 1;
+  st.draining = true;
+  WorkerRow w;
+  w.session = 9;
+  w.name = "w\"quoted\"";
+  w.retired = 25;
+  w.connected = true;
+  st.workers.push_back(w);
+
+  const std::string json = stats_json(meta, st);
+  EXPECT_NE(json.find("\"kind\": \"perfi\""), std::string::npos);
+  EXPECT_NE(json.find("\"total_ids\": 40"), std::string::npos);
+  EXPECT_NE(json.find("\"retired_ids\": 25"), std::string::npos);
+  EXPECT_NE(json.find("\"draining\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"w\\\"quoted\\\"\""), std::string::npos);
 }
 
 TEST(NetE2E, WorkerGivesUpWhenNoCoordinator) {

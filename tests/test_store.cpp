@@ -277,6 +277,66 @@ TEST_F(StoreTest, RecordCodecsRoundTrip) {
   EXPECT_THROW(store::decode_gate(store::encode(p)), std::runtime_error);
 }
 
+TEST_F(StoreTest, ScanRecordsIsReadOnlyAndResumable) {
+  const std::string p = path("scan.gpfs");
+  {
+    store::ResultLog log(p, gate_meta());
+    log.append(1, gate_payload(1, false));
+    log.append(2, gate_payload(2, false));
+  }
+  const auto before = std::filesystem::file_size(p);
+
+  store::ScannedTail t1 = store::scan_records(p, store::ResultLog::kHeaderSize);
+  ASSERT_EQ(t1.records.size(), 2u);
+  EXPECT_EQ(t1.records[0].id, 1u);
+  EXPECT_EQ(t1.end_offset, before);
+
+  // Resuming from the watermark sees only what was appended after it.
+  {
+    store::ResultLog log(p, gate_meta());
+    log.append(3, gate_payload(3, true));
+  }
+  const store::ScannedTail t2 = store::scan_records(p, t1.end_offset);
+  ASSERT_EQ(t2.records.size(), 1u);
+  EXPECT_EQ(t2.records[0].id, 3u);
+  EXPECT_EQ(t2.end_offset, std::filesystem::file_size(p));
+
+  // A torn tail ends the scan without touching the file (unlike ResultLog's
+  // open-time recovery, which rewrites it).
+  {
+    std::ofstream out(p, std::ios::binary | std::ios::app);
+    out.write("torn!", 5);
+  }
+  const auto torn_size = std::filesystem::file_size(p);
+  const store::ScannedTail t3 =
+      store::scan_records(p, store::ResultLog::kHeaderSize);
+  EXPECT_EQ(t3.records.size(), 3u);
+  EXPECT_EQ(t3.end_offset, torn_size - 5);
+  EXPECT_EQ(std::filesystem::file_size(p), torn_size);
+
+  // Offsets inside the header or beyond EOF are caller bugs (a stale
+  // watermark against a truncated log) and throw instead of misparsing.
+  EXPECT_THROW(store::scan_records(p, 0), std::runtime_error);
+  EXPECT_THROW(store::scan_records(p, torn_size + 1), std::runtime_error);
+}
+
+TEST_F(StoreTest, MergeCreatesMissingOutputDirectories) {
+  const std::string a = path("in-a.gpfs");
+  const std::string b = path("in-b.gpfs");
+  {
+    store::ResultLog la(a, gate_meta(0, 2));
+    la.append(0, gate_payload(0, false));
+    store::ResultLog lb(b, gate_meta(1, 2));
+    lb.append(1, gate_payload(1, false));
+  }
+  const std::string out = path("fresh/nested/dir/merged.gpfs");
+  const store::MergeStats st = store::merge_store_files({a, b}, out);
+  EXPECT_EQ(st.records, 2u);
+  const store::LoadedStore merged = store::load_store(out);
+  EXPECT_EQ(merged.records.size(), 2u);
+  EXPECT_EQ(merged.meta.shard_count, 1u);
+}
+
 TEST_F(StoreTest, ExportIsDeterministicAndSorted) {
   const std::string p = path("exp.gpfs");
   {

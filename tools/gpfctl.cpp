@@ -21,6 +21,11 @@
 //   gpfctl merge -o OUT FILE...      combine shard stores (conflict-checked)
 //   gpfctl export FILE [--format json|csv] [-o FILE]
 //   gpfctl status [FILE...]          no files: scan the store dir, aggregate
+//   gpfctl compact [FILE...|DIR]     roll store(s) into .gpfw warehouse
+//                                    segments (incremental, watermark-based)
+//   gpfctl query STORE|SEGMENT|DIR   answer from pre-aggregated rollups in
+//                                    O(ms); --verify cross-checks against a
+//                                    full log scan
 //   gpfctl top [--addr HOST:PORT] [--interval-ms N] [--count N]
 //                                    live per-worker view of a running gpfd
 #include <unistd.h>
@@ -57,6 +62,9 @@
 #include "store/checkpoint.hpp"
 #include "store/export.hpp"
 #include "store/merge.hpp"
+#include "warehouse/compact.hpp"
+#include "warehouse/query.hpp"
+#include "warehouse/rollups.hpp"
 #include "workloads/workload.hpp"
 
 using namespace gpf;
@@ -82,6 +90,9 @@ int usage(const char* msg = nullptr) {
       "  gpfctl merge -o OUT FILE...\n"
       "  gpfctl export FILE [--format json|csv] [-o FILE]\n"
       "  gpfctl status [FILE...]\n"
+      "  gpfctl compact [FILE...|DIR] [-o OUT.gpfw]\n"
+      "  gpfctl query STORE|SEGMENT|DIR [--metric epr|classes|syndromes|workers]\n"
+      "               [--format json|csv|table] [--unit TARGET] [--verify]\n"
       "  gpfctl top [--addr HOST:PORT] [--interval-ms N] [--count N]\n";
   return 2;
 }
@@ -90,6 +101,22 @@ int usage(const char* msg = nullptr) {
 std::uint64_t owned_ids(const store::CampaignMeta& m) {
   return m.total / m.shard_count +
          (m.shard_index < m.total % m.shard_count ? 1 : 0);
+}
+
+/// End-of-campaign warehouse compaction: keeps the .gpfw segment beside the
+/// store current so `gpfctl query` answers without a log scan. Gated by
+/// GPF_WAREHOUSE; a failure warns instead of failing the campaign (the log
+/// is the source of truth, the segment is derived).
+void compact_campaign_store(const std::string& store_path) {
+  if (!warehouse_enabled()) return;
+  try {
+    const std::string seg = warehouse::warehouse_path_for(store_path);
+    const warehouse::CompactStats st = warehouse::compact_stores({store_path}, seg);
+    std::cout << "[gpfctl] warehouse: " << st.rows << " rows -> " << seg
+              << (st.incremental ? " (incremental)" : "") << "\n";
+  } catch (const std::exception& e) {
+    std::cerr << "[gpfctl] warehouse compaction failed: " << e.what() << "\n";
+  }
 }
 
 /// Drops the end-of-campaign metrics next to the store(s) we just drove.
@@ -211,6 +238,7 @@ int cmd_run(const Args& a) {
               << meta.shard_count << ", id space " << meta.total << ")\n";
     store::CampaignCheckpoint ckpt(path, meta);
     drive_campaign(ckpt, limit);
+    compact_campaign_store(path);
     last_path = path;
   }
   if (!last_path.empty()) write_campaign_metrics(last_path);
@@ -257,6 +285,7 @@ int cmd_resume(const Args& a) {
       std::cout << "[gpfctl] " << path << ": dropped "
                 << ckpt.torn_bytes_dropped() << " torn tail bytes\n";
     drive_campaign(ckpt, limit);
+    compact_campaign_store(path);
   }
   if (!a.positional.empty()) write_campaign_metrics(a.positional.back());
   obs::flush_trace();
@@ -287,6 +316,7 @@ int cmd_export(const Args& a) {
 
   const store::LoadedStore s = store::load_store(a.positional.front());
   if (a.has("out")) {
+    store::create_parent_dirs(a.get("out"));
     std::ofstream out(a.get("out"), std::ios::binary);
     if (!out) throw std::runtime_error("cannot write " + a.get("out"));
     store::export_store(s, format, out);
@@ -348,6 +378,164 @@ int cmd_status(const Args& a) {
     }
   }
   if (stores.size() > 1) store::print_aggregate_status(stores, std::cout);
+  return 0;
+}
+
+/// Resolves compact/query inputs to store files: explicit .gpfs paths pass
+/// through; a directory is scanned for every .gpfs in it (sorted).
+std::vector<std::string> resolve_store_paths(
+    const std::vector<std::string>& inputs, const std::string& fallback_dir) {
+  std::vector<std::string> paths;
+  const auto scan_dir = [&paths](const std::string& dir) {
+    for (const auto& e : std::filesystem::directory_iterator(dir))
+      if (e.is_regular_file() && e.path().extension() == ".gpfs")
+        paths.push_back(e.path().string());
+  };
+  if (inputs.empty()) {
+    scan_dir(fallback_dir);
+  } else {
+    for (const std::string& in : inputs) {
+      if (std::filesystem::is_directory(in))
+        scan_dir(in);
+      else
+        paths.push_back(in);
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+/// Groups store paths into campaigns (same_campaign) by header meta alone —
+/// no record scan, so grouping a directory of large stores stays cheap.
+std::vector<std::vector<std::string>> group_campaign_stores(
+    const std::vector<std::string>& paths) {
+  std::vector<std::vector<std::string>> groups;
+  std::vector<store::CampaignMeta> group_meta;
+  for (const std::string& p : paths) {
+    const store::CampaignMeta m = store::read_store_meta(p);
+    bool placed = false;
+    for (std::size_t g = 0; g < groups.size(); ++g)
+      if (group_meta[g].same_campaign(m)) {
+        groups[g].push_back(p);
+        placed = true;
+        break;
+      }
+    if (!placed) {
+      groups.push_back({p});
+      group_meta.push_back(m);
+    }
+  }
+  return groups;
+}
+
+/// Canonical segment path for one campaign group: a lone store maps to its
+/// own name with .gpfw; a shard set maps to the unsharded store name (the
+/// same name `gpfctl merge` output would get).
+std::string segment_path_for_group(const std::vector<std::string>& group) {
+  if (group.size() == 1) return warehouse::warehouse_path_for(group.front());
+  store::CampaignMeta m = store::read_store_meta(group.front());
+  m.shard_index = 0;
+  m.shard_count = 1;
+  const std::string dir =
+      std::filesystem::path(group.front()).parent_path().string();
+  return warehouse::warehouse_path_for(
+      gpfcli::store_path_for(m, dir.empty() ? "." : dir));
+}
+
+int cmd_compact(const Args& a) {
+  const auto paths = resolve_store_paths(a.positional, a.get("store", store_dir()));
+  if (paths.empty()) return usage("compact: no .gpfs stores found");
+  const auto groups = group_campaign_stores(paths);
+  if (a.has("out") && groups.size() != 1)
+    return usage("compact: -o needs exactly one campaign's stores");
+
+  for (const auto& group : groups) {
+    const std::string seg =
+        a.has("out") ? a.get("out") : segment_path_for_group(group);
+    const warehouse::CompactStats st = warehouse::compact_stores(group, seg);
+    std::cout << "[gpfctl] compacted " << group.size() << " store(s) -> " << seg
+              << " (" << st.rows << " rows, " << st.fresh_records
+              << " fresh records"
+              << (st.incremental ? ", incremental" : "")
+              << (st.wrote ? "" : ", unchanged") << ")\n";
+  }
+  return 0;
+}
+
+int cmd_query(const Args& a) {
+  if (a.positional.size() != 1)
+    return usage("query: exactly one store file, segment file, or directory");
+  const std::string input = a.positional.front();
+
+  warehouse::Metric metric = warehouse::Metric::Epr;
+  if (!warehouse::parse_metric(a.get("metric", "epr"), metric))
+    return usage("query: --metric must be epr|classes|syndromes|workers");
+  warehouse::QueryFormat format = warehouse::QueryFormat::Table;
+  if (!warehouse::parse_format(a.get("format", "table"), format))
+    return usage("query: --format must be json|csv|table");
+
+  // Resolve the input to (segment path, source store paths). A .gpfw is
+  // served as-is; a .gpfs or directory goes through its canonical segment,
+  // compacted on the fly when missing or stale.
+  std::string seg;
+  std::vector<std::string> sources;
+  if (input.size() > 5 && input.ends_with(".gpfw")) {
+    seg = input;
+    const std::string sibling = input.substr(0, input.size() - 5) + ".gpfs";
+    if (std::filesystem::exists(sibling)) sources.push_back(sibling);
+  } else {
+    auto paths = resolve_store_paths({input}, ".");
+    if (paths.empty()) return usage("query: no .gpfs stores found");
+    auto groups = group_campaign_stores(paths);
+    if (a.has("unit")) {
+      const std::string want = a.get("unit");
+      std::erase_if(groups, [&want](const std::vector<std::string>& g) {
+        return store::target_label(store::read_store_meta(g.front())) != want;
+      });
+      if (groups.empty())
+        return usage(("query: no campaign with target " + want).c_str());
+    }
+    if (groups.size() != 1)
+      return usage("query: stores span several campaigns; pick one with "
+                   "--unit TARGET");
+    sources = groups.front();
+    seg = segment_path_for_group(sources);
+    // Refresh the segment when missing or older than any source log. The
+    // mtime check is a cheap staleness heuristic; the compaction itself is
+    // incremental either way.
+    bool stale = !std::filesystem::exists(seg);
+    if (!stale) {
+      const auto seg_t = std::filesystem::last_write_time(seg);
+      for (const std::string& s : sources)
+        if (std::filesystem::last_write_time(s) > seg_t) stale = true;
+    }
+    if (stale) warehouse::compact_stores(sources, seg);
+  }
+
+  const warehouse::Footer footer = warehouse::read_footer(seg);
+
+  if (a.has("verify")) {
+    if (sources.empty())
+      throw std::runtime_error(
+          "query: --verify needs the source .gpfs store(s) next to " + seg);
+    std::vector<store::LoadedStore> loaded;
+    loaded.reserve(sources.size());
+    for (const std::string& s : sources) loaded.push_back(store::load_store(s));
+    const store::LoadedStore merged =
+        loaded.size() == 1 ? std::move(loaded.front())
+                           : store::merge_stores(loaded);
+    const warehouse::Rollups ref = warehouse::compute_rollups(merged);
+    if (!(ref == footer.rollups)) {
+      std::cerr << "[gpfctl] VERIFY FAILED: rollups in " << seg
+                << " disagree with a full scan of " << sources.size()
+                << " store(s) — recompact\n";
+      return 1;
+    }
+    std::cerr << "[gpfctl] verify: rollups match full log scan (" << ref.rows
+              << " rows, " << sources.size() << " store(s))\n";
+  }
+
+  render_metric(footer, metric, format, std::cout);
   return 0;
 }
 
@@ -445,13 +633,15 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
-    const Args a = Args::parse(argc, argv, 2, /*boolean=*/{"verbose"});
+    const Args a = Args::parse(argc, argv, 2, /*boolean=*/{"verbose", "verify"});
     if (cmd == "run") return cmd_run(a);
     if (cmd == "worker") return cmd_worker(a);
     if (cmd == "resume") return cmd_resume(a);
     if (cmd == "merge") return cmd_merge(a);
     if (cmd == "export") return cmd_export(a);
     if (cmd == "status") return cmd_status(a);
+    if (cmd == "compact") return cmd_compact(a);
+    if (cmd == "query") return cmd_query(a);
     if (cmd == "top") return cmd_top(a);
     return usage(("unknown command: " + cmd).c_str());
   } catch (const UsageError& e) {

@@ -20,9 +20,12 @@
 #include <csignal>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <thread>
 
 #include <filesystem>
 
@@ -31,11 +34,14 @@
 #include "gate/batchsim.hpp"
 #include "net/coordinator.hpp"
 #include "net/framing.hpp"
+#include "net/http.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "store/checkpoint.hpp"
 #include "store/export.hpp"
 #include "store/result_log.hpp"
+#include "warehouse/compact.hpp"
+#include "warehouse/query.hpp"
 
 using namespace gpf;
 using gpfcli::Args;
@@ -61,8 +67,42 @@ int usage(const char* msg = nullptr) {
       "  gpfd --resume FILE\n"
       "    common: [--addr HOST:PORT] [--lease-ms N] [--unit-size N]\n"
       "            [--seed S] [--store DIR] [--shard-index I]\n"
-      "            [--shard-count K] [--status-ms N] [--verbose]\n";
+      "            [--shard-count K] [--status-ms N] [--verbose]\n"
+      "            [--http HOST:PORT] [--compact-ms N]\n";
   return 2;
+}
+
+/// Routes gpfd's observability endpoints: /v1/stats (live coordinator view)
+/// and /v1/query (warehouse rollups; ?metric=epr|classes|syndromes|workers,
+/// ?format=json|csv|table).
+net::HttpResponse handle_http(const net::HttpRequest& req,
+                              const store::CampaignMeta& meta,
+                              net::Coordinator& coordinator,
+                              warehouse::Compactor* compactor) {
+  if (req.path == "/v1/stats")
+    return {200, "application/json",
+            net::stats_json(meta, coordinator.snapshot_stats())};
+  if (req.path == "/v1/query") {
+    if (!compactor)
+      return {404, "application/json",
+              "{\"error\": \"warehouse disabled (GPF_WAREHOUSE=0)\"}\n"};
+    warehouse::Metric metric = warehouse::Metric::Epr;
+    warehouse::QueryFormat format = warehouse::QueryFormat::Json;
+    const auto m = req.params.find("metric");
+    if (m != req.params.end() && !warehouse::parse_metric(m->second, metric))
+      return {400, "application/json",
+              "{\"error\": \"unknown metric; expected "
+              "epr|classes|syndromes|workers\"}\n"};
+    const auto f = req.params.find("format");
+    if (f != req.params.end() && !warehouse::parse_format(f->second, format))
+      return {400, "application/json",
+              "{\"error\": \"unknown format; expected json|csv|table\"}\n"};
+    return {200,
+            format == warehouse::QueryFormat::Json ? "application/json"
+                                                   : "text/plain",
+            render_metric(compactor->footer(), metric, format)};
+  }
+  return {404, "application/json", "{\"error\": \"no such endpoint\"}\n"};
 }
 
 }  // namespace
@@ -126,12 +166,64 @@ int main(int argc, char** argv) {
               << ckpt.done().size() << "/" << meta.total
               << " already retired)\n";
 
+    // Warehouse compaction: roll the store into its .gpfw segment now, then
+    // keep it fresh on a timer while serving (--compact-ms 0 = at exit only).
+    std::unique_ptr<warehouse::Compactor> compactor;
+    if (warehouse_enabled())
+      compactor = std::make_unique<warehouse::Compactor>(
+          std::vector<std::string>{path}, warehouse::warehouse_path_for(path));
+    const auto compact_ms = static_cast<std::uint32_t>(
+        a.get_u64("compact-ms", compact_interval_ms()));
+    std::atomic<bool> serve_done{false};
+    std::thread compact_thread;
+    if (compactor) {
+      compactor->refresh();
+      if (compact_ms > 0)
+        compact_thread = std::thread([&] {
+          while (!serve_done.load(std::memory_order_relaxed)) {
+            for (std::uint32_t waited = 0;
+                 waited < compact_ms &&
+                 !serve_done.load(std::memory_order_relaxed);
+                 waited += 50)
+              std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            if (serve_done.load(std::memory_order_relaxed)) break;
+            try {
+              compactor->refresh();
+            } catch (const std::exception& e) {
+              std::cerr << "[gpfd] compaction: " << e.what() << "\n";
+            }
+          }
+        });
+    }
+
+    // HTTP observability endpoint (off unless --http / GPF_HTTP_ADDR).
+    std::unique_ptr<net::HttpServer> http;
+    const std::string http_bind = a.get("http", http_addr());
+    if (!http_bind.empty()) {
+      http = std::make_unique<net::HttpServer>(
+          http_bind, [&meta, &coordinator, &compactor](
+                         const net::HttpRequest& req) {
+            return handle_http(req, meta, coordinator, compactor.get());
+          });
+      http->start();
+      std::cout << "[gpfd] http on " << http_bind << " (port " << http->port()
+                << "): GET /v1/stats, /v1/query\n";
+    }
+
     net::Coordinator::Stats st;
     {
       obs::TraceSpan serve_span("campaign", "gpfd serve " + path);
       st = coordinator.serve();
     }
     g_coordinator.store(nullptr);
+    serve_done.store(true);
+    if (compact_thread.joinable()) compact_thread.join();
+    if (compactor) {
+      const warehouse::CompactStats cst = compactor->refresh();
+      std::cout << "[gpfd] warehouse: " << cst.rows << " rows -> "
+                << compactor->segment_path() << "\n";
+    }
+    if (http) http->stop();
 
     std::cout << "[gpfd] " << (st.drained ? "drained" : "complete") << ": "
               << st.appended << " results appended (" << st.duplicates

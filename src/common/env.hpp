@@ -9,6 +9,9 @@
 //   GPF_ENGINE            gate fault-simulation engine: brute | event | batch
 //   GPF_COLLAPSE          structural stuck-at fault collapsing: 1 | 0 (default 1)
 //   GPF_CONE              batch-engine fanout-cone pruning: 1 | 0 (default 1)
+//   GPF_FUSE              gate-program optimizer (fold/fuse/DCE/vreg): 1 | 0 (default 1)
+//   GPF_JIT               native-code gate eval: on | off | auto (default auto)
+//   GPF_JIT_CACHE_DIR     compiled-netlist .so cache (default <tmp>/gpf-jit)
 //   GPF_SIMD              batch-engine SIMD path: native | scalar | avx2 | avx512
 //   GPF_LANES             batch-engine lane width: 64 | 256 | 512 (0 = auto)
 //   GPF_THREADS           campaign thread-pool width (0 = hardware threads)
@@ -87,6 +90,39 @@ bool cone_enabled();
 /// re-execing): -1 = defer to the environment, 0 = off, 1 = on.
 void set_collapse_override(int v);
 void set_cone_override(int v);
+
+/// GPF_FUSE environment variable: when on (the default), the gate engines run
+/// the optimized gate program (constant folding, buf/not-chain and
+/// AND-OR-INVERT superop fusion, dead-gate elimination, virtual-register
+/// allocation — see gate/gateprog.hpp); when off they run the unoptimized 1:1
+/// program. Classifications and exports are identical either way. Same
+/// off-spellings as GPF_COLLAPSE. Override: -1 = defer to environment.
+bool fuse_enabled();
+void set_fuse_override(int v);
+
+/// GPF_JIT environment variable: whether the batch engine compiles the gate
+/// program to native code with the system C++ compiler (see gate/jit.hpp).
+///   off   never JIT; always use the direct-threaded interpreter
+///   on    JIT every netlist (even tiny ones; tests use this)
+///   auto  JIT netlists large enough to amortize the compile (the default);
+///         silently falls back to the interpreter when no compiler exists
+/// Unrecognized values warn on stderr and mean auto.
+enum class JitMode : std::uint8_t { Off, On, Auto };
+const char* jit_mode_name(JitMode m);
+JitMode jit_mode();
+
+/// Override for GPF_JIT: -1 = defer to environment, 0 = off, 1 = on,
+/// 2 = auto. Tests toggle this without re-execing.
+void set_jit_override(int v);
+
+/// GPF_JIT_CACHE_DIR environment variable: directory where JIT-compiled
+/// netlist shared objects are cached across processes, keyed by a
+/// netlist+width+codegen-version hash (default "<system temp>/gpf-jit").
+std::string jit_cache_dir();
+
+/// Override for GPF_JIT_CACHE_DIR (tests point it at a scratch dir without
+/// re-execing). An empty string defers to the environment.
+void set_jit_cache_dir_override(const std::string& dir);
 
 /// Batch-engine SIMD path requested via GPF_SIMD (default native = widest
 /// the CPU supports). The request is resolved against the build's compiled

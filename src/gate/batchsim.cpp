@@ -34,6 +34,7 @@ std::unique_ptr<BatchSim> make_batch_sim_512(const Netlist& nl);
 namespace {
 
 std::atomic<std::size_t> g_lanes_override{0};
+std::atomic<bool> g_legacy_engine{false};
 
 bool cpu_supports_avx2() {
 #if defined(__x86_64__) || defined(__i386__)
@@ -85,6 +86,14 @@ void set_batch_lanes_override(std::size_t lanes) {
                                 std::to_string(lanes) +
                                 " not supported by this build/CPU");
   g_lanes_override.store(lanes, std::memory_order_relaxed);
+}
+
+void set_batch_legacy_engine(bool on) {
+  g_legacy_engine.store(on, std::memory_order_relaxed);
+}
+
+bool batch_legacy_engine() {
+  return g_legacy_engine.load(std::memory_order_relaxed);
 }
 
 std::size_t batch_lane_width() {

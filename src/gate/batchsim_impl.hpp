@@ -5,6 +5,35 @@
 // -mavx512f safe: wide vector code exists solely in TUs guarded by the
 // runtime cpuid dispatch in batchsim.cpp, so a pre-AVX2 machine never
 // executes (or even links in statically-chosen copies of) ymm/zmm code.
+//
+// Since PR 9 the engine runs the optimized gate program (gate/gateprog.hpp)
+// in one of three modes:
+//
+//   legacy  the PR 6 inner loop — opcode switch over CompiledNetlist slots
+//           with a per-store force overlay. Kept behind
+//           set_batch_legacy_engine() as the bench/test baseline.
+//   full    GPF_FUSE=0: the 1:1 instruction stream, direct-threaded
+//           (computed goto), stuck-at forces applied as sparse fixups
+//           between instructions instead of per store.
+//   fused   GPF_FUSE=1 (default): the folded/fused/DCE'd/vreg-renamed
+//           stream, optionally JIT-compiled to native code (GPF_JIT).
+//
+// Exactness of the fused mode under arbitrary fault sites, per batch:
+//   - a forced net the stream writes (own index or vreg slot) gets a fixup
+//     right after the writing instruction — exact because the stream is
+//     levelized (all consumers run later);
+//   - a forced interior of a fused superop re-expands that superop to its
+//     original slots for the batch (patch), materializing the site;
+//   - a forced net whose constant value folding consumed re-expands every
+//     folded op (patch), restoring the original data flow;
+//   - a forced dead net needs nothing: no live net depends on it, so every
+//     classification read (observed buses, DFF state) is untouched — the
+//     same Benign/Latent outcome the unoptimized engine computes.
+//   - an observed net the fused stream doesn't keep value-exact pins the
+//     instance to the full stream (only exotic tests observe non-bus nets).
+// JIT full evaluation is used for a batch when its fanout cone would not
+// prune enough to beat native straight-line code; patched batches always
+// interpret.
 #pragma once
 
 #include <algorithm>
@@ -14,6 +43,8 @@
 #include "common/env.hpp"
 #include "gate/batchsim.hpp"
 #include "gate/compiled.hpp"
+#include "gate/gateprog.hpp"
+#include "gate/jit.hpp"
 #include "obs/metrics.hpp"
 
 namespace gpf::gate {
@@ -23,20 +54,69 @@ class BatchFaultSimT final : public BatchSim {
  public:
   using W = LaneWord<N>;
   static constexpr std::size_t kLanes = N;
+  // Below this in-cone fraction the interpreted cone program beats JIT'd
+  // full evaluation; above it, native straight-line code wins.
+  static constexpr double kJitConeThreshold = 0.35;
+  // The interpreter keeps its cone longer than the JIT (its per-op cost is
+  // higher, so skipped ops are worth more), but once the union cone covers
+  // most of the netlist the per-cycle frontier refresh and cone-restricted
+  // bookkeeping cost more than the out-of-cone ops they avoid.
+  static constexpr double kInterpConeThreshold = 0.55;
 
   explicit BatchFaultSimT(const Netlist& nl)
       : nl_(nl),
         cn_(nl.compiled()),
-        val_(nl.num_nets(), W::zero()),
-        force0_(nl.num_nets(), W::zero()),
-        force1_(nl.num_nets(), W::zero()),
+        gp_(nl.program()),
+        mode_(batch_legacy_engine()   ? Mode::Legacy
+              : gpf::fuse_enabled()   ? Mode::Fused
+                                      : Mode::Full),
+        base_(mode_ == Mode::Fused ? &gp_.fused : &gp_.full),
+        num_nets_(nl.num_nets()),
+        val_(mode_ == Mode::Legacy ? num_nets_ : gp_.storage_size, W::zero()),
+        force0_(num_nets_, W::zero()),
+        force1_(num_nets_, W::zero()),
+        forced_flag_(num_nets_, 0),
         dff_next_(nl.dffs().size(), W::zero()),
         cone_enabled_(gpf::cone_enabled()) {
     if (!nl.finalized()) throw std::logic_error("netlist not finalized");
+    if (mode_ != Mode::Legacy) jit_ = jit_module(gp_, *base_, N);
+    // Latch-order partition: only a DFF whose out net feeds another DFF's
+    // D/EN pin needs the two-phase (compute-all-then-store) latch; the rest
+    // can compute and store in one pass, saving a word load+store per DFF
+    // per clock. Reading any dff out during phase A still sees the
+    // pre-clock value, because direct stores touch only nets no DFF reads.
+    dff_deferred_flag_.assign(cn_.dff_out.size(), 0);
+    {
+      std::vector<std::uint8_t> is_pin(num_nets_, 0);
+      for (std::size_t i = 0; i < cn_.dff_out.size(); ++i) {
+        if (cn_.dff_d[i] != kNoNet)
+          is_pin[static_cast<std::size_t>(cn_.dff_d[i])] = 1;
+        if (cn_.dff_en[i] != kNoNet)
+          is_pin[static_cast<std::size_t>(cn_.dff_en[i])] = 1;
+      }
+      for (std::size_t i = 0; i < cn_.dff_out.size(); ++i) {
+        // The legacy engine is the frozen PR 6 baseline: keep its latch
+        // two-phase for every DFF so bench comparisons measure the real
+        // historical engine.
+        dff_deferred_flag_[i] =
+            mode_ == Mode::Legacy ||
+            is_pin[static_cast<std::size_t>(cn_.dff_out[i])];
+        (dff_deferred_flag_[i] ? dff_deferred_ : dff_direct_)
+            .push_back(static_cast<std::uint32_t>(i));
+      }
+    }
   }
 
   std::size_t width() const override { return kLanes; }
   const char* path_name() const override { return batch_simd_path(kLanes); }
+  const char* engine_desc() const override {
+    switch (mode_) {
+      case Mode::Legacy: return "legacy";
+      case Mode::Full: return jit_ ? "full+jit" : "full";
+      case Mode::Fused: return jit_ ? "fused+jit" : "fused";
+    }
+    return "?";
+  }
 
   void begin(std::span<const StuckFault> faults) override {
     if (faults.size() > kLanes)
@@ -46,15 +126,33 @@ class BatchFaultSimT final : public BatchSim {
     static obs::Counter& lanes = obs::counter("gate.batch_lanes");
     batches.add(1);
     lanes.add(faults.size());
+    // Plan reuse: the campaign driver replays the same fault batch against
+    // every trace through one engine. The per-batch plan — fixups, patched
+    // stream, cone program — depends only on the fault set, so an unchanged
+    // set keeps it (the legacy engine predates the plan and stays as-is).
+    const bool same_faults =
+        mode_ != Mode::Legacy && plan_ready_ &&
+        faults.size() == prev_faults_.size() &&
+        std::equal(faults.begin(), faults.end(), prev_faults_.begin(),
+                   [](const StuckFault& x, const StuckFault& y) {
+                     return x.net == y.net && x.stuck_high == y.stuck_high;
+                   });
+    if (!same_faults) prev_faults_.assign(faults.begin(), faults.end());
     for (const Net n : forced_nets_) {
       force0_[static_cast<std::size_t>(n)] = W::zero();
       force1_[static_cast<std::size_t>(n)] = W::zero();
+      forced_flag_[static_cast<std::size_t>(n)] = 0;
     }
     forced_nets_.clear();
     source_sites_.clear();
     sites_.clear();
     lane_mask_ = W::zero();
-    cone_live_ = false;  // the cone is per-batch; rebuilt on first eval_cone()
+    // The cone is per-batch: invalidated on a fault-set change, kept (with
+    // the rest of the plan) when the same batch replays another trace.
+    if (!same_faults) {
+      cone_built_ = false;
+      cone_eval_live_ = false;
+    }
     std::fill(val_.begin(), val_.end(), W::zero());
 
     for (std::size_t k = 0; k < faults.size(); ++k) {
@@ -62,28 +160,44 @@ class BatchFaultSimT final : public BatchSim {
       const auto site = static_cast<std::size_t>(f.net);
       sites_.push_back(f.net);
       lane_mask_.set(static_cast<unsigned>(k));
-      if (!force0_[site].any() && !force1_[site].any())
+      if (!force0_[site].any() && !force1_[site].any()) {
         forced_nets_.push_back(f.net);
+        forced_flag_[site] = 1;
+      }
       (f.stuck_high ? force1_ : force0_)[site].set(static_cast<unsigned>(k));
       const GateKind kind = nl_.gate(f.net).kind;
       if (kind == GateKind::Input || kind == GateKind::Const0 ||
           kind == GateKind::Const1 || kind == GateKind::Dff)
         source_sites_.push_back(f.net);
     }
+    if (mode_ != Mode::Legacy && !same_faults) {
+      plan_batch();
+      plan_ready_ = true;
+    }
+    static obs::Counter& jit_batches = obs::counter("gate.jit.batches");
+    static obs::Counter& patch_batches = obs::counter("gate.patched_batches");
+    if (use_jit_) jit_batches.add(1);
+    if (patched_) patch_batches.add(1);
   }
 
   std::size_t num_lanes() const override { return sites_.size(); }
   LaneMask lane_mask() const override { return lane_mask_.to_mask(); }
 
   void set_observed(std::span<const Net> nets) override {
+    if (!std::equal(nets.begin(), nets.end(), observed_.begin(),
+                    observed_.end()))
+      plan_ready_ = false;  // the plan's stream choice depends on this set
     observed_.assign(nets.begin(), nets.end());
+    observed_exact_ = true;
+    for (const Net n : observed_)
+      if (!gp_.value_exact(n)) observed_exact_ = false;
   }
   bool cone_active() const override {
-    return cone_enabled_ && lane_mask_.any();
+    return cone_enabled_ && lane_mask_.any() && !use_jit_ && !skip_cone_;
   }
 
   void load_broadcast(const std::vector<std::uint8_t>& vals) override {
-    for (std::size_t i = 0; i < val_.size(); ++i)
+    for (std::size_t i = 0; i < vals.size(); ++i)
       val_[i] = W::broadcast(vals[i]);
   }
 
@@ -97,33 +211,68 @@ class BatchFaultSimT final : public BatchSim {
     for (const auto& [n, v] : nl_.constants())
       val_[static_cast<std::size_t>(n)] = W::broadcast(v);
     apply_source_overlays();
-    eval_slots(AllSlots{});
+    switch (mode_) {
+      case Mode::Legacy:
+        eval_slots(AllSlots{});
+        return;
+      default:
+        if (use_jit_) {
+          jit_eval();
+        } else {
+          run_code(active_code_.data(), active_code_.size(),
+                   std::span<const Fixup>(fixups_), nullptr);
+        }
+        return;
+    }
+  }
+
+  /// Refresh the out-of-cone values the cone code reads. Frontier nets are
+  /// never fault sites (every site seeds the cone BFS) and are only ever
+  /// written by whole-word broadcasts, so their lanes stay uniform — one
+  /// chunk identifies the current value and most cycles skip the store.
+  void refresh_frontier(const std::vector<std::uint8_t>& golden) {
+    for (const Net n : frontier_) {
+      const auto i = static_cast<std::size_t>(n);
+      const std::uint64_t want = golden[i] ? ~std::uint64_t{0} : 0;
+      if (val_[i].v[0] != want) val_[i] = W::broadcast(golden[i]);
+    }
   }
 
   void eval_cone(const std::vector<std::uint8_t>& golden) override {
-    ensure_cone();
-    for (const Net n : frontier_) {
-      const auto i = static_cast<std::size_t>(n);
-      val_[i] = W::broadcast(golden[i]);
+    // Only here does cone-restricted EVAL go live: clock() may skip
+    // out-of-cone DFFs solely because this path never recomputes their
+    // inputs. A caller that sticks to plain eval() keeps full latching even
+    // though the cone sets exist for the diff/retire read restrictions.
+    cone_eval_live_ = true;
+    if (mode_ == Mode::Legacy) {
+      ensure_cone_legacy();
+      refresh_frontier(golden);
+      apply_source_overlays();
+      for (const std::uint32_t s : cone_slots_) eval_slot(s);
+      return;
     }
+    ensure_cone_program();
+    refresh_frontier(golden);
     apply_source_overlays();
-    eval_slots(std::span<const std::uint32_t>(cone_slots_));
+    run_code(cone_code_.data(), cone_code_.size(),
+             std::span<const Fixup>(cone_fixups_), golden.data());
   }
 
   void clock() override {
-    if (cone_live_) {
+    if (cone_eval_live_) {
       // Out-of-cone DFFs cannot diverge (all their pins carry golden values),
       // and their words are refreshed through the frontier when read — so only
-      // in-cone registers need the two-phase latch.
-      for (const std::uint32_t i : cone_dffs_) latch(i);
-      for (const std::uint32_t i : cone_dffs_)
+      // in-cone registers need latching at all.
+      for (const std::uint32_t i : cone_dffs_def_) latch(i);
+      for (const std::uint32_t i : cone_dffs_dir_) latch_direct(i);
+      for (const std::uint32_t i : cone_dffs_def_)
         val_[static_cast<std::size_t>(cn_.dff_out[i])] = dff_next_[i];
       apply_source_overlays();
       return;
     }
-    for (std::size_t i = 0; i < cn_.dff_out.size(); ++i)
-      latch(static_cast<std::uint32_t>(i));
-    for (std::size_t i = 0; i < cn_.dff_out.size(); ++i)
+    for (const std::uint32_t i : dff_deferred_) latch(i);
+    for (const std::uint32_t i : dff_direct_) latch_direct(i);
+    for (const std::uint32_t i : dff_deferred_)
       val_[static_cast<std::size_t>(cn_.dff_out[i])] = dff_next_[i];
     apply_source_overlays();
   }
@@ -143,8 +292,9 @@ class BatchFaultSimT final : public BatchSim {
                       const std::vector<std::uint8_t>& golden,
                       const LaneMask& lanes, std::uint64_t golden_value,
                       std::span<std::uint64_t> out) const override {
-    for_each_lane(lanes, [&](unsigned k) { out[k] = golden_value; });
     const W sel = W::from_mask(lanes) & lane_mask_;
+    if (!sel.any()) return {};
+    for_each_lane(lanes, [&](unsigned k) { out[k] = golden_value; });
     W diff = W::zero();
     for (std::size_t i = 0; i < bus.nets.size(); ++i) {
       const auto n = static_cast<std::size_t>(bus.nets[i]);
@@ -168,15 +318,18 @@ class BatchFaultSimT final : public BatchSim {
   }
 
   LaneMask diff_observed(const std::vector<std::uint8_t>& golden) const override {
-    return diff_lanes(cone_live_ ? std::span<const Net>(observed_cone_)
-                                 : std::span<const Net>(observed_),
+    // Divergence is confined to the fan-out cone no matter how values are
+    // computed (forces only exist at in-cone sites), so the read restriction
+    // applies whenever the sets exist — even under full-stream JIT eval.
+    return diff_lanes(cone_built_ ? std::span<const Net>(observed_cone_)
+                                  : std::span<const Net>(observed_),
                       golden);
   }
 
   LaneMask state_diff_lanes(
       const std::vector<std::uint8_t>& golden) const override {
     W m = W::zero();
-    if (cone_live_) {
+    if (cone_built_) {
       for (const std::uint32_t di : cone_dffs_) {
         const auto i = static_cast<std::size_t>(cn_.dff_out[di]);
         m |= val_[i] ^ W::broadcast(golden[i]);
@@ -198,7 +351,7 @@ class BatchFaultSimT final : public BatchSim {
     lane_mask_.clear(lane);
     const W bit = W::bit(lane);
     const W keep = ~bit;
-    if (cone_live_) {
+    if (cone_built_) {
       // Out-of-cone nets already track the golden machine in every lane.
       for (const Net n : cone_nets_) {
         const auto i = static_cast<std::size_t>(n);
@@ -206,20 +359,38 @@ class BatchFaultSimT final : public BatchSim {
       }
       return;
     }
-    for (std::size_t i = 0; i < val_.size(); ++i)
+    // vreg tail slots (beyond golden.size()) need no reset: every vreg is
+    // written before it is read within each eval pass.
+    for (std::size_t i = 0; i < golden.size(); ++i)
       val_[i] = (val_[i] & keep) | (W::broadcast(golden[i]) & bit);
   }
 
   std::size_t cone_gate_count() override {
-    if (!cone_enabled_ || !lane_mask_.any()) return cn_.num_slots();
-    ensure_cone();
-    return cone_slots_.size();
+    if (!cone_enabled_ || !lane_mask_.any() || use_jit_ || skip_cone_)
+      return cn_.num_slots();
+    if (mode_ == Mode::Legacy) {
+      ensure_cone_legacy();
+      return cone_slots_.size();
+    }
+    ensure_cone_program();
+    return cone_covered_;
   }
 
   std::size_t total_gate_count() const override { return cn_.num_slots(); }
 
  private:
+  enum class Mode : std::uint8_t { Legacy, Full, Fused };
   struct AllSlots {};  ///< tag: iterate every compiled slot in program order
+
+  /// A pending stuck-at overlay: applied to storage index `storage` right
+  /// after instruction `pos` of the active code, using net `net`'s force
+  /// masks. Forces stay indexed by NET (not storage) so a reused vreg slot
+  /// shared by two forced nets cannot cross-contaminate.
+  struct Fixup {
+    std::uint32_t pos;
+    std::uint32_t storage;
+    Net net;
+  };
 
   void latch(std::uint32_t i) {
     const Net en_n = cn_.dff_en[i];
@@ -230,6 +401,238 @@ class BatchFaultSimT final : public BatchSim {
     const W d = d_n == kNoNet ? cur : val_[static_cast<std::size_t>(d_n)];
     dff_next_[i] = (en & d) | (~en & cur);
   }
+
+  /// Single-pass latch for DFFs no other DFF reads: compute and store.
+  void latch_direct(std::uint32_t i) {
+    const Net en_n = cn_.dff_en[i];
+    const W en =
+        en_n == kNoNet ? W::ones() : val_[static_cast<std::size_t>(en_n)];
+    W& out = val_[static_cast<std::size_t>(cn_.dff_out[i])];
+    const Net d_n = cn_.dff_d[i];
+    const W d = d_n == kNoNet ? out : val_[static_cast<std::size_t>(d_n)];
+    out = (en & d) | (~en & out);
+  }
+
+  void overlay(std::uint32_t storage, Net net) {
+    const auto f = static_cast<std::size_t>(net);
+    val_[storage] = (val_[storage] & ~force0_[f]) | force1_[f];
+  }
+
+  void apply_source_overlays() {
+    for (const Net n : source_sites_) {
+      const auto i = static_cast<std::size_t>(n);
+      val_[i] = (val_[i] & ~force0_[i]) | force1_[i];
+    }
+  }
+
+  // ---- per-batch execution plan (full/fused modes) -----------------------
+
+  void plan_batch() {
+    use_jit_ = false;
+    patched_ = false;
+    const Stream* S = base_;
+    if (mode_ == Mode::Fused) {
+      if (!observed_exact_) {
+        S = &gp_.full;  // exotic observed set: run the exact 1:1 stream
+      } else {
+        patch_ops_.clear();
+        bool fold_patch = false;
+        for (const Net n : forced_nets_) {
+          const std::uint8_t fl = gp_.net_flags[static_cast<std::size_t>(n)];
+          if (fl & kNetFoldedUse) fold_patch = true;
+          if (fl & kNetInterior)
+            patch_ops_.push_back(gp_.head_of[static_cast<std::size_t>(n)]);
+        }
+        if (fold_patch)
+          for (std::size_t i = 0; i < gp_.fused.meta.size(); ++i)
+            if (gp_.fused.meta[i].folded)
+              patch_ops_.push_back(static_cast<std::uint32_t>(i));
+        if (!patch_ops_.empty()) build_patch();
+      }
+    }
+    active_stream_ = patched_ ? nullptr : S;
+    if (!patched_) {
+      active_code_ = S->code;
+      active_meta_ = S->meta;
+      fixups_.clear();
+      for (const Net n : forced_nets_) {
+        const std::uint32_t w = S->write_op[static_cast<std::size_t>(n)];
+        if (w != kNoOp) fixups_.push_back(Fixup{w, S->code[w].out, n});
+      }
+      std::sort(fixups_.begin(), fixups_.end(),
+                [](const Fixup& x, const Fixup& y) { return x.pos < y.pos; });
+    }
+    // JIT'd full evaluation versus interpreted cone program: only the
+    // unpatched base stream has compiled code, and it only wins when the
+    // union cone is a large fraction of the netlist.
+    if (jit_ && !patched_ && S == base_) {
+      if (!cone_enabled_ || !lane_mask_.any()) {
+        use_jit_ = true;
+      } else {
+        ensure_cone_program();
+        use_jit_ = static_cast<double>(cone_covered_) >=
+                   kJitConeThreshold * static_cast<double>(cn_.num_slots());
+      }
+    }
+    // Same call for the interpreter at a higher threshold: a cone covering
+    // most of the netlist is pure overhead, so run the plain active stream.
+    skip_cone_ = false;
+    if (!use_jit_ && cone_enabled_ && lane_mask_.any()) {
+      ensure_cone_program();
+      skip_cone_ = static_cast<double>(cone_covered_) >=
+                   kInterpConeThreshold * static_cast<double>(cn_.num_slots());
+    }
+  }
+
+  /// Rebuilds the fused stream for this batch with the ops in patch_ops_
+  /// re-expanded to their original compiled slots (gateprog.cpp::expand_op),
+  /// so every fault site this batch forces is materialized at a fixup-able
+  /// storage index.
+  void build_patch() {
+    patched_ = true;
+    std::sort(patch_ops_.begin(), patch_ops_.end());
+    patch_ops_.erase(std::unique(patch_ops_.begin(), patch_ops_.end()),
+                     patch_ops_.end());
+    patch_code_.clear();
+    patch_meta_.clear();
+    std::size_t pi = 0;
+    for (std::size_t i = 0; i < gp_.fused.code.size(); ++i) {
+      if (pi < patch_ops_.size() && patch_ops_[pi] == i) {
+        expand_op(gp_, gp_.fused, static_cast<std::uint32_t>(i), patch_code_,
+                  patch_meta_);
+        ++pi;
+      } else {
+        patch_code_.push_back(gp_.fused.code[i]);
+        patch_meta_.push_back(gp_.fused.meta[i]);
+      }
+    }
+    active_code_ = patch_code_;
+    active_meta_ = patch_meta_;
+    fixups_.clear();
+    for (std::size_t i = 0; i < patch_meta_.size(); ++i)
+      if (forced_flag_[static_cast<std::size_t>(patch_meta_[i].out_net)])
+        fixups_.push_back(Fixup{static_cast<std::uint32_t>(i),
+                                patch_code_[i].out, patch_meta_[i].out_net});
+  }
+
+  void jit_eval() {
+    W* const v = val_.data();
+    std::size_t fi = 0;
+    const std::size_t nfix = fixups_.size();
+    // fixups_ is in stream order, which is level order.
+    for (std::size_t l = 1; l < jit_->levels.size(); ++l) {
+      if (const JitModule::LevelFn fn = jit_->levels[l]) fn(v);
+      while (fi < nfix &&
+             static_cast<std::size_t>(
+                 active_meta_[fixups_[fi].pos].level) == l) {
+        overlay(fixups_[fi].storage, fixups_[fi].net);
+        ++fi;
+      }
+    }
+  }
+
+  // ---- direct-threaded interpreter ---------------------------------------
+
+  void run_code(const Instr* code, std::size_t n, std::span<const Fixup> fx,
+                const std::uint8_t* golden) {
+    std::size_t start = 0;
+    for (const Fixup& f : fx) {
+      exec_range(code, start, f.pos + 1, golden);
+      overlay(f.storage, f.net);
+      start = f.pos + 1;
+    }
+    exec_range(code, start, n, golden);
+  }
+
+  void exec_range(const Instr* code, std::size_t i, std::size_t end,
+                  const std::uint8_t* golden) {
+    if (i >= end) return;
+    W* const v = val_.data();
+#if defined(__GNUC__) || defined(__clang__)
+    static const void* const tbl[kNumOps] = {
+        &&l_c0, &&l_c1, &&l_cp, &&l_nc, &&l_and, &&l_or,  &&l_nand, &&l_nor,
+        &&l_xor, &&l_xnor, &&l_mux, &&l_mat, &&l_f0, &&l_f1, &&l_f2, &&l_f3,
+        &&l_f4, &&l_f5, &&l_f6, &&l_f7, &&l_f8, &&l_f9, &&l_f10, &&l_f11,
+        &&l_f12, &&l_f13, &&l_f14, &&l_f15, &&l_x3, &&l_xn3};
+#define GPF_NEXT()          \
+  do {                      \
+    if (++i >= end) return; \
+    goto* tbl[code[i].op];  \
+  } while (0)
+#define GPF_OP(label, expr)                  \
+  label : {                                  \
+    const Instr& q = code[i];                \
+    v[q.out] = (expr);                       \
+  }                                          \
+  GPF_NEXT()
+    goto* tbl[code[i].op];
+    GPF_OP(l_c0, W::zero());
+    GPF_OP(l_c1, W::ones());
+    GPF_OP(l_cp, v[q.a]);
+    GPF_OP(l_nc, ~v[q.a]);
+    GPF_OP(l_and, v[q.a] & v[q.b]);
+    GPF_OP(l_or, v[q.a] | v[q.b]);
+    GPF_OP(l_nand, ~(v[q.a] & v[q.b]));
+    GPF_OP(l_nor, ~(v[q.a] | v[q.b]));
+    GPF_OP(l_xor, v[q.a] ^ v[q.b]);
+    GPF_OP(l_xnor, ~(v[q.a] ^ v[q.b]));
+    GPF_OP(l_mux, (v[q.a] & v[q.c]) | (~v[q.a] & v[q.b]));
+    GPF_OP(l_mat, W::broadcast(golden[q.a]));
+    GPF_OP(l_f0, (v[q.a] & v[q.b]) & v[q.c]);
+    GPF_OP(l_f1, (v[q.a] | v[q.b]) & v[q.c]);
+    GPF_OP(l_f2, (v[q.a] & v[q.b]) | v[q.c]);
+    GPF_OP(l_f3, (v[q.a] | v[q.b]) | v[q.c]);
+    GPF_OP(l_f4, ~(v[q.a] & v[q.b]) & v[q.c]);
+    GPF_OP(l_f5, ~(v[q.a] | v[q.b]) & v[q.c]);
+    GPF_OP(l_f6, ~(v[q.a] & v[q.b]) | v[q.c]);
+    GPF_OP(l_f7, ~(v[q.a] | v[q.b]) | v[q.c]);
+    GPF_OP(l_f8, ~((v[q.a] & v[q.b]) & v[q.c]));
+    GPF_OP(l_f9, ~((v[q.a] | v[q.b]) & v[q.c]));
+    GPF_OP(l_f10, ~((v[q.a] & v[q.b]) | v[q.c]));
+    GPF_OP(l_f11, ~((v[q.a] | v[q.b]) | v[q.c]));
+    GPF_OP(l_f12, ~(~(v[q.a] & v[q.b]) & v[q.c]));
+    GPF_OP(l_f13, ~(~(v[q.a] | v[q.b]) & v[q.c]));
+    GPF_OP(l_f14, ~(~(v[q.a] & v[q.b]) | v[q.c]));
+    GPF_OP(l_f15, ~(~(v[q.a] | v[q.b]) | v[q.c]));
+    GPF_OP(l_x3, v[q.a] ^ v[q.b] ^ v[q.c]);
+    GPF_OP(l_xn3, ~(v[q.a] ^ v[q.b] ^ v[q.c]));
+#undef GPF_OP
+#undef GPF_NEXT
+#else
+    for (; i < end; ++i) {
+      const Instr& q = code[i];
+      switch (static_cast<Op>(q.op)) {
+        case Op::Const0: v[q.out] = W::zero(); break;
+        case Op::Const1: v[q.out] = W::ones(); break;
+        case Op::Copy: v[q.out] = v[q.a]; break;
+        case Op::NCopy: v[q.out] = ~v[q.a]; break;
+        case Op::And: v[q.out] = v[q.a] & v[q.b]; break;
+        case Op::Or: v[q.out] = v[q.a] | v[q.b]; break;
+        case Op::Nand: v[q.out] = ~(v[q.a] & v[q.b]); break;
+        case Op::Nor: v[q.out] = ~(v[q.a] | v[q.b]); break;
+        case Op::Xor: v[q.out] = v[q.a] ^ v[q.b]; break;
+        case Op::Xnor: v[q.out] = ~(v[q.a] ^ v[q.b]); break;
+        case Op::Mux:
+          v[q.out] = (v[q.a] & v[q.c]) | (~v[q.a] & v[q.b]);
+          break;
+        case Op::Mat: v[q.out] = W::broadcast(golden[q.a]); break;
+        case Op::Xor3: v[q.out] = v[q.a] ^ v[q.b] ^ v[q.c]; break;
+        case Op::Xnor3: v[q.out] = ~(v[q.a] ^ v[q.b] ^ v[q.c]); break;
+        default: {
+          const std::uint32_t bits =
+              q.op - static_cast<std::uint32_t>(Op::Fuse2_0);
+          W mid = (bits & 1) ? (v[q.a] | v[q.b]) : (v[q.a] & v[q.b]);
+          if (bits & 4) mid = ~mid;
+          W r = (bits & 2) ? (mid | v[q.c]) : (mid & v[q.c]);
+          v[q.out] = (bits & 8) ? ~r : r;
+          break;
+        }
+      }
+    }
+#endif
+  }
+
+  // ---- legacy (PR 6) inner loop ------------------------------------------
 
   /// Word-evaluates one compiled slot and stores through the force overlay.
   void eval_slot(std::size_t s) {
@@ -260,36 +663,23 @@ class BatchFaultSimT final : public BatchSim {
   void eval_slots(AllSlots) {
     for (std::size_t s = 0; s < cn_.num_slots(); ++s) eval_slot(s);
   }
-  void eval_slots(std::span<const std::uint32_t> slots) {
-    for (const std::uint32_t s : slots) eval_slot(s);
-  }
 
-  void apply_source_overlays() {
-    for (const Net n : source_sites_) {
-      const auto i = static_cast<std::size_t>(n);
-      val_[i] = (val_[i] & ~force0_[i]) | force1_[i];
-    }
-  }
+  // ---- fanout cone --------------------------------------------------------
 
-  void ensure_cone() {
-    if (cone_live_) return;
-    cone_live_ = true;
+  /// BFS over the fan-out CSR from the fault sites: fills cone_nets_ (the
+  /// worklist doubles as the result), cone_dffs_, the in-cone stamps, and
+  /// splits observed_ into in-cone/frontier. Shared by both cone builders.
+  void build_cone_sets() {
     if (cone_stamp_.empty()) {
       cone_stamp_.assign(cn_.num_nets(), 0);
       frontier_stamp_.assign(cn_.num_nets(), 0);
     }
     ++cone_epoch_;
-    cone_slots_.clear();
     cone_dffs_.clear();
     cone_nets_.clear();
     frontier_.clear();
     observed_cone_.clear();
 
-    const auto in_cone = [&](Net n) {
-      return cone_stamp_[static_cast<std::size_t>(n)] == cone_epoch_;
-    };
-    // BFS over the fan-out CSR from the fault sites; cone_nets_ doubles as the
-    // worklist (every reached net stays in it).
     for (const Net s : forced_nets_) {
       if (in_cone(s)) continue;
       cone_stamp_[static_cast<std::size_t>(s)] = cone_epoch_;
@@ -301,31 +691,30 @@ class BatchFaultSimT final : public BatchSim {
         cone_stamp_[static_cast<std::size_t>(t)] = cone_epoch_;
         cone_nets_.push_back(t);
       }
-
-    for (const Net n : cone_nets_) {
-      const auto i = static_cast<std::size_t>(n);
-      if (cn_.slot_of[i] != kNoSlot) cone_slots_.push_back(cn_.slot_of[i]);
-      if (cn_.dff_index[i] >= 0)
-        cone_dffs_.push_back(static_cast<std::uint32_t>(cn_.dff_index[i]));
-    }
-    std::sort(cone_slots_.begin(), cone_slots_.end());  // levelized order
+    for (const Net n : cone_nets_)
+      if (cn_.dff_index[static_cast<std::size_t>(n)] >= 0)
+        cone_dffs_.push_back(
+            static_cast<std::uint32_t>(cn_.dff_index[static_cast<std::size_t>(n)]));
     std::sort(cone_dffs_.begin(), cone_dffs_.end());
+    cone_dffs_dir_.clear();
+    cone_dffs_def_.clear();
+    for (const std::uint32_t i : cone_dffs_)
+      (dff_deferred_flag_[i] ? cone_dffs_def_ : cone_dffs_dir_).push_back(i);
+  }
 
-    // Frontier: every out-of-cone net some in-cone gate/DFF reads, plus the
-    // observed outputs — eval_cone() broadcasts their golden values so reads
-    // through bus_value()/diff_observed() need no cone awareness.
-    const auto add_frontier = [&](Net n) {
-      if (n == kNoNet || in_cone(n)) return;
-      auto& st = frontier_stamp_[static_cast<std::size_t>(n)];
-      if (st == cone_epoch_) return;
-      st = cone_epoch_;
-      frontier_.push_back(n);
-    };
-    for (const std::uint32_t s : cone_slots_) {
-      add_frontier(cn_.a[s]);
-      add_frontier(cn_.b[s]);
-      add_frontier(cn_.c[s]);
-    }
+  bool in_cone(Net n) const {
+    return cone_stamp_[static_cast<std::size_t>(n)] == cone_epoch_;
+  }
+
+  void add_frontier(Net n) {
+    if (n == kNoNet || in_cone(n)) return;
+    auto& st = frontier_stamp_[static_cast<std::size_t>(n)];
+    if (st == cone_epoch_) return;
+    st = cone_epoch_;
+    frontier_.push_back(n);
+  }
+
+  void finish_cone(std::size_t covered) {
     for (const std::uint32_t i : cone_dffs_) {
       add_frontier(cn_.dff_d[i]);
       add_frontier(cn_.dff_en[i]);
@@ -336,38 +725,147 @@ class BatchFaultSimT final : public BatchSim {
       else
         add_frontier(n);
     }
-
     // Cone fraction = cone_gates / cone_total_gates across all builds.
     static obs::Counter& builds = obs::counter("gate.cone_builds");
     static obs::Counter& cone_gates = obs::counter("gate.cone_gates");
     static obs::Counter& total_gates = obs::counter("gate.cone_total_gates");
     builds.add(1);
-    cone_gates.add(cone_slots_.size());
+    cone_gates.add(covered);
     total_gates.add(cn_.num_slots());
+  }
+
+  void ensure_cone_legacy() {
+    if (cone_built_) return;
+    cone_built_ = true;
+    build_cone_sets();
+    cone_slots_.clear();
+    for (const Net n : cone_nets_) {
+      const auto i = static_cast<std::size_t>(n);
+      if (cn_.slot_of[i] != kNoSlot) cone_slots_.push_back(cn_.slot_of[i]);
+    }
+    std::sort(cone_slots_.begin(), cone_slots_.end());  // levelized order
+    for (const std::uint32_t s : cone_slots_) {
+      add_frontier(cn_.a[s]);
+      add_frontier(cn_.b[s]);
+      add_frontier(cn_.c[s]);
+    }
+    finish_cone(cone_slots_.size());
+  }
+
+  /// Builds the per-batch cone PROGRAM: the in-cone subsequence of the
+  /// active code, with Mat pseudo-ops materializing out-of-cone values that
+  /// live in vreg slots (a frontier broadcast cannot reach those), and the
+  /// batch's force fixups re-positioned for the compacted code.
+  void ensure_cone_program() {
+    if (cone_built_) return;
+    cone_built_ = true;
+    build_cone_sets();
+    cone_code_.clear();
+    cone_fixups_.clear();
+    cone_covered_ = 0;
+    // Collect the in-cone op indices. With an unpatched stream this is
+    // O(|cone|) through write_op (index order == levelized order after the
+    // sort); only patched batches pay a full-stream scan.
+    cone_ops_.clear();
+    if (active_stream_) {
+      for (const Net n : cone_nets_) {
+        const std::uint32_t w =
+            active_stream_->write_op[static_cast<std::size_t>(n)];
+        if (w != kNoOp) cone_ops_.push_back(w);
+      }
+      std::sort(cone_ops_.begin(), cone_ops_.end());
+    } else {
+      for (std::size_t i = 0; i < active_code_.size(); ++i)
+        if (in_cone(active_meta_[i].out_net))
+          cone_ops_.push_back(static_cast<std::uint32_t>(i));
+    }
+    for (const std::uint32_t i : cone_ops_) {
+      const OpMeta& m = active_meta_[i];
+      const Instr& q = active_code_[i];
+      const Net srcs[3] = {m.src_a, m.src_b, m.src_c};
+      const std::uint32_t stor[3] = {q.a, q.b, q.c};
+      for (int k = 0; k < 3; ++k) {
+        const Net s = srcs[k];
+        if (s == kNoNet || in_cone(s)) continue;
+        if (stor[k] >= num_nets_) {
+          // Out-of-cone producer renamed to a vreg slot: materialize its
+          // golden value right before the (single) consumer.
+          Instr mat;
+          mat.op = static_cast<std::uint32_t>(Op::Mat);
+          mat.a = static_cast<std::uint32_t>(s);
+          mat.out = stor[k];
+          cone_code_.push_back(mat);
+        } else {
+          add_frontier(s);
+        }
+      }
+      if (forced_flag_[static_cast<std::size_t>(m.out_net)])
+        cone_fixups_.push_back(
+            Fixup{static_cast<std::uint32_t>(cone_code_.size()), q.out,
+                  m.out_net});
+      cone_code_.push_back(q);
+      cone_covered_ += m.cover_count;
+    }
+    finish_cone(cone_covered_);
   }
 
   const Netlist& nl_;
   const CompiledNetlist& cn_;
-  std::vector<W> val_;       ///< [net] -> N fault lanes
+  const GateProgram& gp_;
+  const Mode mode_;          ///< legacy / full / fused, latched at ctor
+  const Stream* base_;       ///< the mode's default stream
+  const std::size_t num_nets_;
+  std::shared_ptr<const JitModule> jit_;  ///< nullptr = interpret
+  std::vector<W> val_;       ///< [storage] -> N fault lanes (nets then vregs)
   std::vector<W> force0_;    ///< per-net stuck-at-0 lane masks
   std::vector<W> force1_;    ///< per-net stuck-at-1 lane masks
+  std::vector<std::uint8_t> forced_flag_;  ///< per-net: forced in this batch
   std::vector<W> dff_next_;  ///< reusable clock() sample buffer
   std::vector<Net> forced_nets_;  ///< fault sites (dedup'd)
   std::vector<Net> source_sites_; ///< Input/Const/Dff fault sites
   std::vector<Net> sites_;        ///< per-lane fault site
   W lane_mask_ = W::zero();
 
-  // Cone state (valid for the current batch once cone_live_).
+  // Per-batch execution plan (full/fused modes).
+  std::span<const Instr> active_code_;
+  std::span<const OpMeta> active_meta_;
+  const Stream* active_stream_ = nullptr;  ///< null when patched
+  std::vector<Fixup> fixups_;  ///< sorted by pos; level order too
+  bool use_jit_ = false;
+  bool skip_cone_ = false;  ///< cone covers too much; run the full stream
+  bool patched_ = false;
+  bool plan_ready_ = false;  ///< plan below is valid for prev_faults_
+  std::vector<StuckFault> prev_faults_;
+  std::vector<std::uint32_t> patch_ops_;
+  std::vector<Instr> patch_code_;
+  std::vector<OpMeta> patch_meta_;
+  std::vector<Net> observed_;  ///< classification read set
+  bool observed_exact_ = true;
+
+  // Cone state (valid for the current batch once cone_built_).
   const bool cone_enabled_;  ///< GPF_CONE knob, latched at ctor
-  bool cone_live_ = false;   ///< cone built for current batch
+  bool cone_built_ = false;  ///< cone sets/program built for current batch
+  bool cone_eval_live_ = false;  ///< driver called eval_cone() this batch, so
+                                 ///< clock() may latch in-cone DFFs only; any
+                                 ///< full-stream eval (plain eval(), JIT,
+                                 ///< cone-skip) keeps full latching while the
+                                 ///< sets keep restricting diff/retire reads
   std::uint32_t cone_epoch_ = 0;
   std::vector<std::uint32_t> cone_stamp_;      ///< per-net in-cone epoch
   std::vector<std::uint32_t> frontier_stamp_;  ///< per-net frontier epoch
-  std::vector<std::uint32_t> cone_slots_;      ///< in-cone program slots
+  std::vector<std::uint32_t> cone_slots_;      ///< legacy: in-cone slots
+  std::vector<std::uint32_t> cone_ops_;        ///< in-cone active-code indices
+  std::vector<Instr> cone_code_;               ///< in-cone program + Mat ops
+  std::vector<Fixup> cone_fixups_;
+  std::size_t cone_covered_ = 0;  ///< compiled slots covered by cone_code_
   std::vector<std::uint32_t> cone_dffs_;       ///< in-cone DFF indices
+  std::vector<std::uint32_t> cone_dffs_dir_;   ///< in-cone, single-pass latch
+  std::vector<std::uint32_t> cone_dffs_def_;   ///< in-cone, two-phase latch
+  std::vector<std::uint32_t> dff_direct_;      ///< single-pass latch set
+  std::vector<std::uint32_t> dff_deferred_;    ///< two-phase latch set
+  std::vector<std::uint8_t> dff_deferred_flag_;  ///< per-DFF partition bit
   std::vector<Net> cone_nets_;                 ///< all in-cone nets
   std::vector<Net> frontier_;                  ///< golden-refreshed nets
-  std::vector<Net> observed_;                  ///< classification read set
   std::vector<Net> observed_cone_;             ///< observed_ ∩ cone
 };
 

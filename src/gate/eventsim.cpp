@@ -4,10 +4,12 @@
 #include <stdexcept>
 
 #include "gate/compiled.hpp"
+#include "gate/gateprog.hpp"
 
 namespace gpf::gate {
 
-EventFaultSim::EventFaultSim(const Netlist& nl) : nl_(nl), cn_(nl.compiled()) {
+EventFaultSim::EventFaultSim(const Netlist& nl)
+    : nl_(nl), cn_(nl.compiled()), gp_(nl.program()) {
   if (!nl.finalized()) throw std::logic_error("netlist not finalized");
   const std::size_t n = nl.num_nets();
 
@@ -20,6 +22,7 @@ EventFaultSim::EventFaultSim(const Netlist& nl) : nl_(nl), cn_(nl.compiled()) {
   faulty_val_.assign(n, 0);
   queued_.assign(n, 0);
   dff_touched_epoch_.assign(n, 0);
+  scratch_.assign(n, 0);
 }
 
 void EventFaultSim::begin(const StuckFault& f) {
@@ -81,21 +84,16 @@ bool EventFaultSim::eval_cycle(const std::vector<std::uint8_t>& golden) {
     for (std::size_t i = 0; i < bucket.size(); ++i) {
       const Net n = bucket[i];
       // Every bucketed net is a combinational gate (DFFs are diverted in
-      // enqueue_fanout), so it has a program slot.
+      // enqueue_fanout), so it has a slot in the program's 1:1 full stream.
+      // Stage the operands' faulty-or-golden values at their net indices,
+      // then run the same Instr every other engine executes.
       const std::uint32_t s = cn_.slot_of[static_cast<std::size_t>(n)];
-      bool v;
-      switch (cn_.kind[s]) {
-        case GateKind::Buf: v = fv(cn_.a[s]); break;
-        case GateKind::Not: v = !fv(cn_.a[s]); break;
-        case GateKind::And: v = fv(cn_.a[s]) && fv(cn_.b[s]); break;
-        case GateKind::Or: v = fv(cn_.a[s]) || fv(cn_.b[s]); break;
-        case GateKind::Nand: v = !(fv(cn_.a[s]) && fv(cn_.b[s])); break;
-        case GateKind::Nor: v = !(fv(cn_.a[s]) || fv(cn_.b[s])); break;
-        case GateKind::Xor: v = fv(cn_.a[s]) != fv(cn_.b[s]); break;
-        case GateKind::Xnor: v = fv(cn_.a[s]) == fv(cn_.b[s]); break;
-        case GateKind::Mux: v = fv(cn_.a[s]) ? fv(cn_.c[s]) : fv(cn_.b[s]); break;
-        default: continue;
-      }
+      const Instr& in = gp_.full.code[s];
+      const OpMeta& m = gp_.full.meta[s];
+      for (const Net src : {m.src_a, m.src_b, m.src_c})
+        if (src != kNoNet)
+          scratch_[static_cast<std::size_t>(src)] = fv(src) ? 1 : 0;
+      bool v = GateProgram::eval_scalar(in, scratch_.data()) != 0;
       if (n == fault_.net) v = fault_.stuck_high;
       if (v != (golden[static_cast<std::size_t>(n)] != 0)) {
         mark(n, v);

@@ -16,6 +16,7 @@
 namespace gpf::gate {
 
 struct CompiledNetlist;
+struct GateProgram;
 
 class EventFaultSim {
  public:
@@ -57,6 +58,7 @@ class EventFaultSim {
 
   const Netlist& nl_;
   const CompiledNetlist& cn_;  ///< levels + CSR fan-out, lowered at finalize()
+  const GateProgram& gp_;      ///< shared gate program (full stream)
 
   StuckFault fault_{};
   std::uint32_t epoch_ = 0;
@@ -69,6 +71,8 @@ class EventFaultSim {
   std::vector<std::pair<Net, std::uint8_t>> divergent_state_;
   std::vector<Net> touched_dffs_;          ///< DFF candidates this cycle
   std::vector<std::uint32_t> dff_touched_epoch_;
+  std::vector<std::uint8_t> scratch_;      ///< per-net operand staging for
+                                           ///< GateProgram::eval_scalar
 };
 
 }  // namespace gpf::gate

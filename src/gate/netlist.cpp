@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "gate/compiled.hpp"
+#include "gate/gateprog.hpp"
 
 namespace gpf::gate {
 
@@ -117,11 +118,17 @@ void Netlist::finalize() {
   }
   finalized_ = true;
   compiled_ = std::make_shared<const CompiledNetlist>(*this, level);
+  program_ = std::make_shared<const GateProgram>(*this, compiled_);
 }
 
 const CompiledNetlist& Netlist::compiled() const {
   if (!compiled_) throw std::logic_error("netlist not finalized");
   return *compiled_;
+}
+
+const GateProgram& Netlist::program() const {
+  if (!program_) throw std::logic_error("netlist not finalized");
+  return *program_;
 }
 
 std::size_t Netlist::cell_count() const {

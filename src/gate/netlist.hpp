@@ -13,6 +13,7 @@
 namespace gpf::gate {
 
 struct CompiledNetlist;
+struct GateProgram;
 
 enum class GateKind : std::uint8_t {
   Input,   ///< primary input (value set externally)
@@ -91,6 +92,12 @@ class Netlist {
   /// execute this instead of chasing gate(n) through eval_order().
   const CompiledNetlist& compiled() const;
 
+  /// Optimized executable gate program (gate/gateprog.hpp) lowered from the
+  /// compiled form by finalize(): the folded 1:1 `full` stream every engine
+  /// shares, plus the fused/DCE'd/register-allocated `fused` stream the batch
+  /// engine and JIT run.
+  const GateProgram& program() const;
+
   /// Total combinational + sequential cell count (excludes Input/Const).
   std::size_t cell_count() const;
   /// Area estimate in um^2 from per-cell areas of a 15nm-class library.
@@ -105,6 +112,7 @@ class Netlist {
   std::vector<std::pair<Net, std::uint8_t>> constants_;
   // shared_ptr so Netlist stays copyable; the compiled form is immutable.
   std::shared_ptr<const CompiledNetlist> compiled_;
+  std::shared_ptr<const GateProgram> program_;
   std::vector<PortBus> inputs_;
   std::vector<PortBus> outputs_;
   bool finalized_ = false;

@@ -592,13 +592,88 @@ void UnitReplayer::classify_batch(BatchSim& sim, const UnitTraces& t,
   };
   switch (kind_) {
     case UnitKind::Decoder: {
-      // The decoder verdict crosses ~10 buses with value-level checks
-      // (invalid-opcode probe, enable gating), so its diverged lanes are
-      // classified individually through compare_outputs.
-      for_each_lane(diff, [&](unsigned k) {
-        compare_outputs(
-            t, c, gv,
-            [&](const PortBus& b) { return sim.bus_value(b, k); }, out[k]);
+      // Word-wide mirror of compare_outputs's decoder case: each bus is read
+      // once per cycle with a vector pass (bus_values/diff_lanes) instead of
+      // a scalar bus walk per diverged lane, and only lanes whose bits
+      // actually differ pay the faulty-word reassembly + decode.
+      const DecoderPattern& pat = t.decoder[c];
+      const auto n = static_cast<std::uint32_t>(pat.count);
+      LaneMask alive = diff;
+      // Valid drop first: a lane that silently swallows a valid instruction
+      // hangs, and nothing else about its outputs counts.
+      const std::uint64_t g_valid = golden_bus(gv, *p.d_valid);
+      const LaneMask d_valid =
+          sim.bus_values(*p.d_valid, gv, alive, g_valid, words);
+      if (g_valid != 0) {
+        for_each_lane(d_valid, [&](unsigned k) {
+          if (words[k] == 0) {
+            out[k].hang = true;
+            alive.clear(k);
+            retire(k);
+          }
+        });
+        if (!alive.any()) return;
+      }
+      const PortBus* const fields[10] = {
+          p.d_opcode, p.d_guard, p.d_guard_neg, p.d_use_imm, p.d_space,
+          p.d_rd,     p.d_rs1,   p.d_rs2,       p.d_rs3,     p.d_imm};
+      std::uint64_t gf[10];
+      std::array<std::array<std::uint64_t, LaneMask::kMaxLanes>, 10> fw;
+      LaneMask d_fields;
+      for (int i = 0; i < 10; ++i) {
+        gf[i] = golden_bus(gv, *fields[i]);
+        d_fields |= sim.bus_values(*fields[i], gv, alive, gf[i], fw[i]);
+      }
+      const std::uint64_t gw = word_from_decoder_fields(
+          gf[0], gf[1], gf[2], gf[3], gf[4], gf[5], gf[6], gf[7], gf[8],
+          gf[9]);
+      const isa::DecodeResult gd = isa::decode(gw);
+      // Memory-resource enables: a corrupted read enable misdirects operand
+      // loading (IMS); a corrupted write enable misdirects result storing
+      // (IMD). Only meaningful when the golden instruction uses that port.
+      const LaneMask d_rd_en =
+          golden_bus(gv, *p.d_mem_rd_en) != 0
+              ? sim.diff_lanes(p.d_mem_rd_en->nets, gv) & alive
+              : LaneMask{};
+      const LaneMask d_wr_en =
+          golden_bus(gv, *p.d_mem_wr_en) != 0
+              ? sim.diff_lanes(p.d_mem_wr_en->nets, gv) & alive
+              : LaneMask{};
+      // Dispatch-class signal corruption without a field diff still routes
+      // the instruction to the wrong unit: an operation error.
+      LaneMask d_class;
+      for (const PortBus* cls : p.d_class)
+        d_class |= sim.diff_lanes(cls->nets, gv);
+      d_class &= alive;
+      const LaneMask todo = (d_fields | d_rd_en | d_wr_en | d_class) & alive;
+      for_each_lane(todo, [&](unsigned k) {
+        if (!isa::is_valid_opcode(static_cast<std::uint8_t>(fw[0][k]))) {
+          add(out[k].error_counts, ErrorModel::IVOC, n);
+          return;
+        }
+        const std::uint64_t fwk = word_from_decoder_fields(
+            fw[0][k], fw[1][k], fw[2][k], fw[3][k], fw[4][k], fw[5][k],
+            fw[6][k], fw[7][k], fw[8][k], fw[9][k]);
+        std::array<std::uint32_t, errmodel::kNumErrorModels> local{};
+        bool hang = false;
+        bool any = false;
+        if (fwk != gw && gd.ok) {
+          const isa::DecodeResult fd = isa::decode(fwk);
+          any = classify_instr_diff(gd.instr, fd.instr, fd.ok,
+                                    pat.regs_per_thread, local, hang);
+        }
+        if (d_rd_en.test(k)) {
+          add(local, ErrorModel::IMS);
+          any = true;
+        }
+        if (d_wr_en.test(k)) {
+          add(local, ErrorModel::IMD);
+          any = true;
+        }
+        if (!any && d_class.test(k)) add(local, ErrorModel::IOC);
+        for (unsigned m = 0; m < errmodel::kNumErrorModels; ++m)
+          out[k].error_counts[m] += local[m] * n;
+        out[k].hang |= hang;
         if (out[k].hang) retire(k);
       });
       return;
@@ -751,12 +826,19 @@ void UnitReplayer::run_fault(const StuckFault& fault, const UnitTraces& t,
 void UnitReplayer::run_fault_batch(std::span<const StuckFault> faults,
                                    const UnitTraces& t, const GoldenTrace& g,
                                    std::span<FaultCharacterization> out) const {
+  if (num_cycles(t) == 0 || faults.empty()) return;
+  const std::unique_ptr<BatchSim> sim = make_batch_sim(*nl_);
+  run_fault_batch(*sim, faults, t, g, out);
+}
+
+void UnitReplayer::run_fault_batch(BatchSim& sim,
+                                   std::span<const StuckFault> faults,
+                                   const UnitTraces& t, const GoldenTrace& g,
+                                   std::span<FaultCharacterization> out) const {
   const std::size_t n = num_cycles(t);
   const std::size_t lanes = faults.size();
   if (n == 0 || lanes == 0) return;
 
-  const std::unique_ptr<BatchSim> sim_owner = make_batch_sim(*nl_);
-  BatchSim& sim = *sim_owner;
   if (lanes > sim.width())
     throw std::invalid_argument("run_fault_batch: more faults than lanes");
   sim.set_observed(ports_->observed);
@@ -954,33 +1036,48 @@ UnitCampaignResult run_unit_campaign(UnitKind unit, std::span<const UnitTraces> 
     sim_out[j].fault = sim_faults[j];
   ActivationSummary act(collapse ? replayer.netlist().num_nets() : 0);
 
-  for (const UnitTraces& t : traces) {
-    const UnitReplayer::GoldenTrace g = replayer.compute_golden(t);
-    if (collapse) act.add(g);
-    if (engine == EngineKind::Batch) {
-      const std::size_t kB = batch_lane_width();
-      const std::size_t batches = (sim_faults.size() + kB - 1) / kB;
-      auto work = [&](std::size_t b) {
-        const std::size_t lo = b * kB;
-        const std::size_t len = std::min(kB, sim_faults.size() - lo);
+  if (engine == EngineKind::Batch) {
+    // Batch-major order: one engine per fault batch replays every trace, so
+    // the engine's per-batch plan (fixups, patched stream, cone program) is
+    // built once and reused across traces. Golden traces are shared by all
+    // batches and precomputed up front.
+    std::vector<UnitReplayer::GoldenTrace> goldens;
+    goldens.reserve(traces.size());
+    for (const UnitTraces& t : traces) {
+      goldens.push_back(replayer.compute_golden(t));
+      if (collapse) act.add(goldens.back());
+    }
+    const std::size_t kB = batch_lane_width();
+    const std::size_t batches = (sim_faults.size() + kB - 1) / kB;
+    auto work = [&](std::size_t b) {
+      const std::size_t lo = b * kB;
+      const std::size_t len = std::min(kB, sim_faults.size() - lo);
+      const std::unique_ptr<BatchSim> sim =
+          make_batch_sim(replayer.netlist());
+      for (std::size_t ti = 0; ti < traces.size(); ++ti) {
         obs::TraceSpan batch_span("gate", "batch");
         batch_span.arg("lanes", len);
-        replayer.run_fault_batch(std::span(sim_faults).subspan(lo, len), t, g,
+        replayer.run_fault_batch(*sim, std::span(sim_faults).subspan(lo, len),
+                                 traces[ti], goldens[ti],
                                  std::span(sim_out).subspan(lo, len));
-      };
-      if (pool)
-        pool->parallel_for(batches, work);
-      else
-        for (std::size_t b = 0; b < batches; ++b) work(b);
-      continue;
-    }
-    auto work = [&](std::size_t i) {
-      replayer.run_fault(sim_faults[i], t, g, sim_out[i], engine);
+      }
     };
     if (pool)
-      pool->parallel_for(sim_faults.size(), work);
+      pool->parallel_for(batches, work);
     else
-      for (std::size_t i = 0; i < sim_faults.size(); ++i) work(i);
+      for (std::size_t b = 0; b < batches; ++b) work(b);
+  } else {
+    for (const UnitTraces& t : traces) {
+      const UnitReplayer::GoldenTrace g = replayer.compute_golden(t);
+      if (collapse) act.add(g);
+      auto work = [&](std::size_t i) {
+        replayer.run_fault(sim_faults[i], t, g, sim_out[i], engine);
+      };
+      if (pool)
+        pool->parallel_for(sim_faults.size(), work);
+      else
+        for (std::size_t i = 0; i < sim_faults.size(); ++i) work(i);
+    }
   }
 
   if (collapse) {

@@ -123,6 +123,15 @@ class UnitReplayer {
                        const GoldenTrace& g,
                        std::span<FaultCharacterization> out) const;
 
+  /// Same, but with a caller-owned engine. Replaying the same fault batch
+  /// against many traces through one engine lets the engine keep its
+  /// per-batch execution plan (fixups, patched stream, fanout-cone program)
+  /// across traces — begin() detects the unchanged fault set and skips the
+  /// rebuild. The campaign driver runs one engine per batch this way.
+  void run_fault_batch(BatchSim& sim, std::span<const StuckFault> faults,
+                       const UnitTraces& t, const GoldenTrace& g,
+                       std::span<FaultCharacterization> out) const;
+
  private:
   std::size_t num_cycles(const UnitTraces& t) const;
   template <class Sim>

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "gate/compiled.hpp"
+#include "gate/gateprog.hpp"
 
 namespace gpf::gate {
 
@@ -39,23 +40,14 @@ void Simulator::eval() {
   for (const auto& [n, v] : nl_.constants()) val_[static_cast<std::size_t>(n)] = v;
   apply_fault_at_sources();
 
-  const CompiledNetlist& cn = nl_.compiled();
-  const auto va = [&](Net x) { return val_[static_cast<std::size_t>(x)]; };
-  for (std::size_t s = 0; s < cn.num_slots(); ++s) {
-    std::uint8_t v = 0;
-    switch (cn.kind[s]) {
-      case GateKind::Buf: v = va(cn.a[s]); break;
-      case GateKind::Not: v = !va(cn.a[s]); break;
-      case GateKind::And: v = va(cn.a[s]) & va(cn.b[s]); break;
-      case GateKind::Or: v = va(cn.a[s]) | va(cn.b[s]); break;
-      case GateKind::Nand: v = !(va(cn.a[s]) & va(cn.b[s])); break;
-      case GateKind::Nor: v = !(va(cn.a[s]) | va(cn.b[s])); break;
-      case GateKind::Xor: v = va(cn.a[s]) ^ va(cn.b[s]); break;
-      case GateKind::Xnor: v = !(va(cn.a[s]) ^ va(cn.b[s])); break;
-      case GateKind::Mux: v = va(cn.a[s]) ? va(cn.c[s]) : va(cn.b[s]); break;
-      default: continue;
-    }
-    const Net n = cn.out[s];
+  // Run the shared gate program's full (1:1) stream: every engine executes
+  // the same lowered instructions, so scalar, event and batch results agree
+  // by construction.
+  const Stream& st = nl_.program().full;
+  for (std::size_t s = 0; s < st.code.size(); ++s) {
+    const Instr& in = st.code[s];
+    std::uint8_t v = GateProgram::eval_scalar(in, val_.data());
+    const Net n = st.meta[s].out_net;
     if (n == fault_.net) {
       golden_at_fault_ = v;
       v = fault_.stuck_high ? 1 : 0;

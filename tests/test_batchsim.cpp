@@ -7,11 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <memory>
 #include <stdexcept>
+#include <string>
 
 #include "common/rng.hpp"
 #include "gate/batchsim.hpp"
+#include "gate/jit.hpp"
 #include "gate/profiler.hpp"
 #include "gate/replay.hpp"
 #include "workloads/workload.hpp"
@@ -194,6 +197,51 @@ TEST_P(BatchSimEquivalence, KnobMatrixClassifiesIdentically) {
   }
 }
 
+// The gate-program engines are pure optimizations too: the legacy slot
+// interpreter, the optimized streams with fusion on/off, and the JIT'd
+// native code must all characterize every fault identically. JIT rows are
+// skipped (not failed) when the container has no C++ compiler.
+TEST_P(BatchSimEquivalence, EngineKnobMatrixClassifiesIdentically) {
+  const std::vector<UnitTraces> traces = {trace_of("p_tiled_mxm", 250)};
+  constexpr std::size_t kFaults = 130;
+  KnobGuard guard;
+  struct EngineGuard {
+    ~EngineGuard() {
+      set_batch_legacy_engine(false);
+      set_fuse_override(-1);
+      set_jit_override(-1);
+      set_jit_cache_dir_override("");
+      jit_reset_for_tests();
+    }
+  } engine_guard;
+  const std::string jit_dir = ::testing::TempDir() + "gpf-jit-knobmatrix";
+  set_jit_cache_dir_override(jit_dir);
+
+  set_jit_override(0);
+  set_batch_legacy_engine(true);
+  const auto reference = run_unit_campaign(GetParam(), traces, kFaults, 42,
+                                           nullptr, EngineKind::Batch);
+  ASSERT_EQ(reference.faults.size(), kFaults);
+  set_batch_legacy_engine(false);
+
+  for (const int fuse : {0, 1}) {
+    for (const int jit : {0, 1}) {
+      if (jit == 1 && !jit_compiler_available()) continue;
+      set_fuse_override(fuse);
+      set_jit_override(jit);
+      jit_reset_for_tests();
+      const auto res = run_unit_campaign(GetParam(), traces, kFaults, 42,
+                                         nullptr, EngineKind::Batch);
+      const std::string label = std::string("fuse=") + std::to_string(fuse) +
+                                " jit=" + std::to_string(jit) + " vs legacy";
+      ASSERT_EQ(res.faults.size(), reference.faults.size()) << label;
+      for (std::size_t i = 0; i < kFaults; ++i)
+        expect_same(reference.faults[i], res.faults[i], label.c_str());
+    }
+  }
+  std::filesystem::remove_all(jit_dir);
+}
+
 INSTANTIATE_TEST_SUITE_P(Units, BatchSimEquivalence,
                          ::testing::Values(UnitKind::Decoder, UnitKind::Fetch,
                                            UnitKind::WSC),
@@ -249,6 +297,11 @@ TEST(BatchFaultSimUnit, WordEvalMatchesScalarOnToyNetlist) {
       for (int bv = 0; bv < 2; ++bv) {
         const std::unique_ptr<BatchSim> bsim = make_batch_sim(nl, width);
         ASSERT_EQ(bsim->width(), width);
+        // This test probes value() on interior nets, so declare them as read:
+        // the optimized engine only keeps declared (and output/DFF) nets
+        // positionally exact.
+        const std::vector<Net> probe{a, b, x1, n1, m, q, o};
+        bsim->set_observed(probe);
         bsim->begin(faults);
         std::vector<Simulator> ssims;
         for (const StuckFault& f : faults) {

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "gate/batchsim.hpp"
+#include "gate/jit.hpp"
 #include "gate/replay.hpp"
 #include "report/gate_experiments.hpp"
 #include "store/export.hpp"
@@ -263,6 +264,51 @@ TEST_F(GateExperimentsTest, StoreExportIsByteIdenticalAcrossLaneWidths) {
     store::CampaignCheckpoint ckpt(p, meta);
     report::run_unit_campaign_store(traces(), ckpt);
     EXPECT_EQ(export_json(p), base_json);
+  }
+}
+
+// Acceptance: exports are also byte-identical across the gate ENGINE knobs —
+// the legacy slot interpreter, the optimized streams with fusion on or off,
+// and the JIT'd native code all retire exactly the same record for every
+// fault. JIT rows are skipped (not failed) without a system compiler.
+TEST_F(GateExperimentsTest, StoreExportIsByteIdenticalAcrossEngineKnobs) {
+  const auto unit = gate::UnitKind::Fetch;
+  const auto meta = report::gate_campaign_meta(unit, kFaults, kMaxIssues, kSeed,
+                                               EngineKind::Batch);
+  struct EngineGuard {
+    ~EngineGuard() {
+      gate::set_batch_legacy_engine(false);
+      set_fuse_override(-1);
+      set_jit_override(-1);
+      set_jit_cache_dir_override("");
+      gate::jit_reset_for_tests();
+    }
+  } guard;
+  set_jit_cache_dir_override(path("jit-cache"));
+
+  set_jit_override(0);
+  gate::set_batch_legacy_engine(true);
+  {
+    store::CampaignCheckpoint ckpt(path("legacy.gpfs"), meta);
+    report::run_unit_campaign_store(traces(), ckpt);
+  }
+  const std::string base_json = export_json(path("legacy.gpfs"));
+  gate::set_batch_legacy_engine(false);
+
+  for (const int fuse : {0, 1}) {
+    for (const int jit : {0, 1}) {
+      if (jit == 1 && !gate::jit_compiler_available()) continue;
+      SCOPED_TRACE("fuse=" + std::to_string(fuse) +
+                   " jit=" + std::to_string(jit));
+      set_fuse_override(fuse);
+      set_jit_override(jit);
+      gate::jit_reset_for_tests();
+      const std::string p =
+          path("f" + std::to_string(fuse) + "j" + std::to_string(jit) + ".gpfs");
+      store::CampaignCheckpoint ckpt(p, meta);
+      report::run_unit_campaign_store(traces(), ckpt);
+      EXPECT_EQ(export_json(p), base_json);
+    }
   }
 }
 

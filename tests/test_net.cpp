@@ -11,6 +11,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <set>
 #include <sstream>
 #include <string>
@@ -18,6 +19,8 @@
 #include <tuple>
 #include <vector>
 
+#include "gate/batchsim.hpp"
+#include "gate/jit.hpp"
 #include "net/coordinator.hpp"
 #include "net/dispatch.hpp"
 #include "net/framing.hpp"
@@ -26,6 +29,7 @@
 #include "net/service.hpp"
 #include "net/worker.hpp"
 #include "perfi/campaign.hpp"
+#include "report/gate_experiments.hpp"
 #include "store/bytes.hpp"
 #include "store/checkpoint.hpp"
 #include "store/export.hpp"
@@ -381,6 +385,48 @@ TEST(NetE2E, FleetExportMatchesSingleProcessByteForByte) {
 
   std::remove(solo_path.c_str());
   std::remove(fleet_path.c_str());
+}
+
+// Engine knobs cannot leak into fleet results: a two-worker fleet running
+// the optimized engine (JIT'd when the container has a compiler) must export
+// the same bytes as a single-process run on the legacy slot interpreter.
+TEST(NetE2E, GateFleetJitExportMatchesLegacySingleProcess) {
+  constexpr std::size_t kMaxIssues = 30;
+  const store::CampaignMeta meta = report::gate_campaign_meta(
+      gate::UnitKind::Decoder, /*faults_per_unit=*/48, kMaxIssues, /*seed=*/5,
+      EngineKind::Batch);
+  const auto traces = report::collect_profiling_traces(kMaxIssues);
+  struct EngineGuard {
+    ~EngineGuard() {
+      gate::set_batch_legacy_engine(false);
+      set_jit_override(-1);
+      set_jit_cache_dir_override("");
+      gate::jit_reset_for_tests();
+    }
+  } guard;
+
+  set_jit_override(0);
+  gate::set_batch_legacy_engine(true);
+  const std::string solo_path = temp_store_path("gate_solo");
+  {
+    store::CampaignCheckpoint ckpt(solo_path, meta);
+    report::run_unit_campaign_store(traces, ckpt);
+  }
+
+  gate::set_batch_legacy_engine(false);
+  set_jit_override(gate::jit_compiler_available() ? 1 : 0);
+  set_jit_cache_dir_override(testing::TempDir() + "gpf-jit-fleet");
+  gate::jit_reset_for_tests();
+  const std::string fleet_path = temp_store_path("gate_fleet");
+  {
+    store::CampaignCheckpoint ckpt(fleet_path, meta);
+    run_fleet(ckpt, /*n_workers=*/2, /*lease_ms=*/5000, /*unit_size=*/8);
+  }
+
+  EXPECT_EQ(export_json(solo_path), export_json(fleet_path));
+  std::remove(solo_path.c_str());
+  std::remove(fleet_path.c_str());
+  std::filesystem::remove_all(testing::TempDir() + "gpf-jit-fleet");
 }
 
 TEST(NetE2E, FleetResumesPartialStore) {

@@ -50,6 +50,7 @@
 #include "common/env.hpp"
 #include "common/threadpool.hpp"
 #include "gate/batchsim.hpp"
+#include "gate/jit.hpp"
 #include "net/framing.hpp"
 #include "net/protocol.hpp"
 #include "net/service.hpp"
@@ -373,7 +374,8 @@ int cmd_status(const Args& a) {
       if (campaign_engine() == EngineKind::Batch) {
         const std::size_t lanes = gate::batch_lane_width();
         std::cout << "  batch lanes: " << lanes << " ("
-                  << gate::batch_simd_path(lanes) << ")\n";
+                  << gate::batch_simd_path(lanes) << ", "
+                  << gate::batch_engine_tag() << ")\n";
       }
     }
   }

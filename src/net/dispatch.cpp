@@ -100,6 +100,27 @@ std::size_t LeaseDispatcher::leased_units_for(std::uint64_t session) const {
       }));
 }
 
+std::uint64_t DrrScheduler::pick(
+    const std::vector<std::pair<std::uint64_t, std::uint32_t>>& eligible) {
+  if (eligible.empty())
+    throw std::runtime_error("dispatch: DRR pick from empty eligible set");
+  std::int64_t round_cost = 0;
+  for (const auto& [key, weight] : eligible) {
+    if (weight == 0)
+      throw std::runtime_error("dispatch: DRR weight must be >= 1");
+    deficit_[key] += weight;
+    round_cost += weight;
+  }
+  std::uint64_t best = eligible.front().first;
+  for (const auto& [key, weight] : eligible) {
+    if (deficit_[key] > deficit_[best] ||
+        (deficit_[key] == deficit_[best] && key < best))
+      best = key;
+  }
+  deficit_[best] -= round_cost;
+  return best;
+}
+
 void LeaseDispatcher::requeue(std::uint64_t unit_id) {
   Unit& u = units_[unit_id];
   if (u.outstanding.empty()) {

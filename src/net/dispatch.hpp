@@ -100,4 +100,29 @@ class LeaseDispatcher {
   std::uint64_t retired_ = 0;   ///< ids retired since construction
 };
 
+/// Deficit round-robin fair-share picker over weighted keys (campaigns).
+///
+/// Each pick, every eligible key's deficit grows by its weight and the key
+/// with the largest deficit wins (ties to the smaller key, so the order is
+/// deterministic); the winner then pays the sum of all eligible weights.
+/// Over a full cycle each key is picked in exact proportion to its weight —
+/// e.g. weights 3:1 yield picks {A,B,A,A} per cycle — while keys that are
+/// temporarily ineligible (no pending units) neither accrue nor lose
+/// standing, so a campaign that drains and refills is not owed a burst.
+///
+/// Not thread-safe; the coordinator serializes access like LeaseDispatcher.
+class DrrScheduler {
+ public:
+  /// Picks one key from the eligible (key, weight) set; `eligible` must be
+  /// non-empty and weights must be >= 1.
+  std::uint64_t pick(
+      const std::vector<std::pair<std::uint64_t, std::uint32_t>>& eligible);
+
+  /// Drops a key's accrued deficit (its campaign left the registry).
+  void forget(std::uint64_t key) { deficit_.erase(key); }
+
+ private:
+  std::unordered_map<std::uint64_t, std::int64_t> deficit_;
+};
+
 }  // namespace gpf::net

@@ -1,6 +1,7 @@
 #include "net/framing.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -130,7 +131,14 @@ void set_recv_timeout(const Socket& s, int timeout_ms) {
     sys_error("setsockopt SO_RCVTIMEO");
 }
 
-void send_frame(const Socket& s, const Frame& f) {
+void set_nonblocking(const Socket& s, bool on) {
+  const int flags = ::fcntl(s.fd(), F_GETFL, 0);
+  if (flags < 0) sys_error("fcntl F_GETFL");
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(s.fd(), F_SETFL, want) != 0) sys_error("fcntl F_SETFL");
+}
+
+std::vector<std::uint8_t> frame_bytes(const Frame& f) {
   std::vector<std::uint8_t> wire;
   wire.reserve(4 + 2 + f.payload.size() + 4);
   store::ByteWriter w(wire);
@@ -141,7 +149,41 @@ void send_frame(const Socket& s, const Frame& f) {
   wire.insert(wire.end(), f.payload.begin(), f.payload.end());
   w.u32(store::crc32(
       std::span(wire).subspan(body_start, 2 + f.payload.size())));
+  return wire;
+}
 
+bool extract_frame(const std::vector<std::uint8_t>& buf, std::size_t& off,
+                   Frame& out) {
+  if (buf.size() - off < 4) return false;
+  const std::uint32_t len = static_cast<std::uint32_t>(buf[off]) |
+                            static_cast<std::uint32_t>(buf[off + 1]) << 8 |
+                            static_cast<std::uint32_t>(buf[off + 2]) << 16 |
+                            static_cast<std::uint32_t>(buf[off + 3]) << 24;
+  if (len < 2 || len > kMaxFrameBytes)
+    throw std::runtime_error("net: bad frame length " + std::to_string(len));
+  if (buf.size() - off < 4 + std::size_t{len} + 4) return false;
+
+  const std::span<const std::uint8_t> body(buf.data() + off + 4, len + 4);
+  const std::uint32_t want = store::crc32(body.subspan(0, len));
+  store::ByteReader crc_r(body.subspan(len, 4));
+  if (crc_r.u32() != want) {
+    static obs::Counter& rejects = obs::counter("net.crc_rejects");
+    rejects.add(1);
+    throw std::runtime_error("net: frame CRC mismatch (corrupt stream)");
+  }
+  out.type = static_cast<std::uint16_t>(body[0]) |
+             static_cast<std::uint16_t>(static_cast<std::uint16_t>(body[1]) << 8);
+  out.payload.assign(body.begin() + 2, body.begin() + len);
+  off += 4 + std::size_t{len} + 4;
+  static obs::Counter& frames = obs::counter("net.frames_in");
+  static obs::Counter& bytes = obs::counter("net.bytes_in");
+  frames.add(1);
+  bytes.add(8 + len);
+  return true;
+}
+
+void send_frame(const Socket& s, const Frame& f) {
+  const std::vector<std::uint8_t> wire = frame_bytes(f);
   std::size_t off = 0;
   while (off < wire.size()) {
     const ssize_t n =

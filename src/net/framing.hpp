@@ -75,6 +75,20 @@ std::pair<Socket, Socket> socket_pair();
 /// SO_RCVTIMEO: recv_frame returns Timeout instead of blocking forever.
 void set_recv_timeout(const Socket& s, int timeout_ms);
 
+/// O_NONBLOCK toggle, for sockets driven by the coordinator's epoll loop.
+void set_nonblocking(const Socket& s, bool on);
+
+/// Serializes one frame to its wire form (len | type | payload | crc).
+std::vector<std::uint8_t> frame_bytes(const Frame& f);
+
+/// Non-blocking frame reassembly: tries to extract one whole, CRC-valid
+/// frame from `buf` starting at `off`. Returns true and advances `off` past
+/// the frame; returns false when the buffer holds only a partial frame
+/// (read more bytes and retry). Throws on corruption (bad length or CRC) —
+/// the stream can never resynchronize, exactly like recv_frame.
+bool extract_frame(const std::vector<std::uint8_t>& buf, std::size_t& off,
+                   Frame& out);
+
 /// Sends one frame (handles short writes; MSG_NOSIGNAL, so a dead peer
 /// surfaces as an exception, not SIGPIPE). Throws on any send failure.
 void send_frame(const Socket& s, const Frame& f);

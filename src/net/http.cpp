@@ -194,24 +194,50 @@ void HttpServer::serve_loop() {
   }
 }
 
-std::string stats_json(const store::CampaignMeta& meta,
-                       const StatsSnapshot& st) {
+namespace {
+
+const char* campaign_state_name(std::uint8_t state) {
+  switch (state) {
+    case 0: return "running";
+    case 1: return "removing";
+    case 2: return "done";
+  }
+  return "?";
+}
+
+void append_campaign_row(std::ostringstream& os, const CampaignRow& c) {
+  os << "{\"name\": " << json_str(c.name) << ", \"kind\": \""
+     << store::campaign_kind_name(static_cast<store::CampaignKind>(c.kind))
+     << "\", \"state\": \"" << campaign_state_name(c.state)
+     << "\", \"priority\": " << c.priority
+     << ", \"total_ids\": " << c.total_ids
+     << ", \"retired_ids\": " << c.retired_ids
+     << ", \"pending_units\": " << c.pending_units
+     << ", \"leased_units\": " << c.leased_units << "}";
+}
+
+}  // namespace
+
+std::string stats_json(const StatsSnapshot& st) {
   std::ostringstream os;
-  os << "{\n  \"campaign\": {\"kind\": \""
-     << store::campaign_kind_name(meta.kind) << "\", \"target\": \""
-     << store::target_label(meta) << "\", \"seed\": " << meta.seed
-     << ", \"total\": " << meta.total
-     << ", \"shard_index\": " << meta.shard_index
-     << ", \"shard_count\": " << meta.shard_count << "},\n";
-  os << "  \"progress\": {\"total_ids\": " << st.total_ids
+  os << "{\n  \"progress\": {\"total_ids\": " << st.total_ids
      << ", \"retired_ids\": " << st.retired_ids
      << ", \"done_at_open\": " << st.done_at_open
      << ", \"pending_units\": " << st.pending_units
      << ", \"leased_units\": " << st.leased_units
      << ", \"elapsed_ms\": " << st.elapsed_ms
      << ", \"rate_milli\": " << st.rate_milli << ", \"eta_ms\": " << st.eta_ms
-     << ", \"draining\": " << (st.draining ? "true" : "false") << "},\n";
-  os << "  \"workers\": [\n";
+     << ", \"draining\": " << (st.draining ? "true" : "false")
+     << ", \"connected_workers\": " << st.connected_workers
+     << ", \"desired_workers\": " << st.desired_workers
+     << ", \"evicted_workers\": " << st.evicted_workers
+     << ", \"evicted_retired\": " << st.evicted_retired << "},\n";
+  os << "  \"campaigns\": [\n";
+  for (std::size_t i = 0; i < st.campaigns.size(); ++i) {
+    os << (i ? ",\n" : "") << "    ";
+    append_campaign_row(os, st.campaigns[i]);
+  }
+  os << "\n  ],\n  \"workers\": [\n";
   for (std::size_t i = 0; i < st.workers.size(); ++i) {
     const WorkerRow& w = st.workers[i];
     os << (i ? ",\n" : "") << "    {\"session\": " << w.session
@@ -219,6 +245,17 @@ std::string stats_json(const store::CampaignMeta& meta,
        << ", \"leased_units\": " << w.leased_units
        << ", \"idle_ms\": " << w.idle_ms
        << ", \"connected\": " << (w.connected ? "true" : "false") << "}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+std::string campaigns_json(const std::vector<CampaignRow>& rows) {
+  std::ostringstream os;
+  os << "{\n  \"campaigns\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    os << (i ? ",\n" : "") << "    ";
+    append_campaign_row(os, rows[i]);
   }
   os << "\n  ]\n}\n";
   return os.str();

@@ -71,9 +71,12 @@ class HttpServer {
   std::atomic<bool> stop_{false};
 };
 
-/// The /v1/stats body: campaign identity plus the same live progress view
-/// `gpfctl top` renders, as JSON.
-std::string stats_json(const store::CampaignMeta& meta,
-                       const StatsSnapshot& st);
+/// The /v1/stats body: the same live progress view `gpfctl top` renders —
+/// aggregate (or campaign-scoped) progress, the campaign registry, and the
+/// worker table — as JSON.
+std::string stats_json(const StatsSnapshot& st);
+
+/// The /v1/campaigns body: the registry rows, as JSON.
+std::string campaigns_json(const std::vector<CampaignRow>& rows);
 
 }  // namespace gpf::net

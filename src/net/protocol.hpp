@@ -2,29 +2,40 @@
 //
 // The protocol is strictly request/response and worker-driven: every message
 // a worker sends gets exactly one coordinator reply, so both sides can use
-// plain blocking sockets with no reordering logic.
+// plain sockets with no reordering logic (the coordinator itself multiplexes
+// many such conversations over one epoll loop).
 //
 //   worker                     coordinator
 //   ------                     -----------
 //   Hello                 -->
-//                         <--  HelloAck        (campaign meta + lease_ms)
-//   LeaseRequest          -->
-//                         <--  LeaseGrant      (unit id + fault ids)
+//                         <--  HelloAck        (lease_ms)
+//   LeaseRequest          -->                  (optionally campaign-pinned)
+//                         <--  LeaseGrant      (campaign + meta + unit + ids)
 //                              | NoWork        (retry later / drained)
 //   Result                -->
 //                         <--  Ack             (drain / lost_lease flags)
+//                              | Busy          (backpressure: retry later)
 //   Heartbeat             -->
 //                         <--  Ack
 //   UnitDone              -->
 //                         <--  Ack
 //   StatsRequest          -->
-//                         <--  StatsSnapshot   (live campaign/worker stats)
+//                         <--  StatsSnapshot   (live fleet/campaign stats)
+//   SubmitCampaign        -->
+//                         <--  OpResult        (admission control verdict)
+//   RemoveCampaign        -->
+//                         <--  OpResult
+//   ListCampaigns         -->
+//                         <--  CampaignList
 //
-// Result and Heartbeat both renew the sender's lease on the named unit; the
-// Ack's lost_lease flag tells a worker its lease expired and was reassigned,
-// so it must abandon the unit and request a fresh lease. Campaign identity
-// rides in HelloAck as the store's own 80-byte encoded header, which the
-// worker compares against the campaign it was asked to serve.
+// v3 made the coordinator multi-campaign: one gpfd serves many named
+// campaigns concurrently, so campaign identity moved out of HelloAck into
+// each LeaseGrant (name + campaign_id + the store's 80-byte meta header),
+// and Result/Heartbeat/UnitDone carry the campaign_id their unit belongs
+// to. Hello/LeaseRequest/StatsRequest may name a campaign to pin to (empty
+// = any). SubmitCampaign/RemoveCampaign/ListCampaigns manage the registry
+// while the fleet runs; Busy is the coordinator's explicit backpressure
+// reply when a connection's outstanding-append queue is full.
 #pragma once
 
 #include <cstdint>
@@ -36,8 +47,10 @@
 
 namespace gpf::net {
 
-// v2 added StatsRequest/StatsSnapshot (the gpfctl top observer path).
-constexpr std::uint32_t kProtocolVersion = 2;
+// v2 added StatsRequest/StatsSnapshot; v3 the multi-campaign registry
+// (campaign-scoped leases, Submit/Remove/ListCampaigns, Busy backpressure,
+// autoscale hints).
+constexpr std::uint32_t kProtocolVersion = 3;
 
 enum class MsgType : std::uint16_t {
   Hello = 1,
@@ -51,34 +64,52 @@ enum class MsgType : std::uint16_t {
   Ack = 9,
   StatsRequest = 10,
   StatsSnapshot = 11,
+  SubmitCampaign = 12,
+  RemoveCampaign = 13,
+  ListCampaigns = 14,
+  CampaignList = 15,
+  OpResult = 16,
+  Busy = 17,
 };
 const char* msg_type_name(MsgType t);
 
 /// Worker introduction. A version mismatch is a coordinator-side error
-/// (the fleet must be homogeneous).
+/// (the fleet must be homogeneous). `campaign` pins the worker to one named
+/// campaign ("" = serve whatever the fair-share scheduler hands out).
 struct Hello {
   std::uint32_t version = kProtocolVersion;
   std::string worker_name;
+  std::string campaign;
 };
 
-/// Coordinator's reply: the authoritative campaign identity plus the lease
-/// duration workers must renew within.
+/// Coordinator's reply: the lease duration workers must renew within.
+/// Campaign identity rides in each LeaseGrant since v3.
 struct HelloAck {
-  store::CampaignMeta meta;
   std::uint32_t lease_ms = 0;
 };
 
+/// Lease solicitation; `campaign` restricts the grant to one named campaign
+/// ("" = any, fair-share across the registry).
+struct LeaseRequest {
+  std::string campaign;
+};
+
 /// One leased work unit: a batch of fault ids owned by the worker until the
-/// deadline. ids are campaign ids (pure inputs: the worker derives the whole
-/// injection from id + meta, nothing else).
+/// deadline. `campaign_id` is the registry token every follow-up message
+/// (Result/Heartbeat/UnitDone) must carry; `meta` is the campaign's own
+/// 80-byte store header, from which the worker derives the whole injection
+/// (ids are pure inputs).
 struct LeaseGrant {
+  std::uint64_t campaign_id = 0;
+  std::string campaign;  ///< registry name, e.g. "perfi-mxm-IOC"
+  store::CampaignMeta meta;
   std::uint64_t unit_id = 0;
   std::vector<std::uint64_t> ids;
 };
 
-/// No lease available. drained=false means "all units currently leased,
-/// retry after a backoff"; drained=true means the campaign is complete or
-/// the coordinator is shutting down — the worker should exit.
+/// No lease available. drained=false means "nothing grantable right now,
+/// retry after a backoff"; drained=true means the pinned campaign (or the
+/// whole coordinator) is complete or draining — the worker should exit.
 struct NoWork {
   bool drained = false;
 };
@@ -86,6 +117,7 @@ struct NoWork {
 /// A batch of retired results for a leased unit. Streaming results renews
 /// the lease, so a slow-but-alive worker never loses its unit.
 struct ResultMsg {
+  std::uint64_t campaign_id = 0;
   std::uint64_t unit_id = 0;
   std::vector<store::Record> records;
 };
@@ -93,24 +125,76 @@ struct ResultMsg {
 /// Explicit lease renewal for compute phases that retire nothing for a
 /// while (e.g. a long golden run before the first result).
 struct Heartbeat {
+  std::uint64_t campaign_id = 0;
   std::uint64_t unit_id = 0;
 };
 
 /// All ids of the unit have been submitted.
 struct UnitDone {
+  std::uint64_t campaign_id = 0;
   std::uint64_t unit_id = 0;
 };
 
 /// Coordinator's reply to Result / Heartbeat / UnitDone. drain asks the
 /// worker to finish its current unit and not request another; lost_lease
-/// tells it the unit was reassigned (stop working on it immediately).
+/// tells it the unit was reassigned or its campaign was removed (stop
+/// working on it immediately).
 struct Ack {
   bool drain = false;
   bool lost_lease = false;
 };
 
+/// Backpressure reply to a Result whose records would overflow the
+/// connection's outstanding-append queue: the message was NOT accepted;
+/// resend it after retry_after_ms.
+struct Busy {
+  std::uint32_t retry_after_ms = 0;
+};
+
+/// Registers a new campaign with the running coordinator. The store is
+/// created (or resumed) as <coordinator store dir>/<name>.gpfs; `name` must
+/// be the canonical campaign name for `meta` so every submitter derives the
+/// same identity. Higher `priority` earns proportionally more lease grants
+/// under deficit-round-robin fair share.
+struct SubmitCampaign {
+  std::string name;
+  std::uint32_t priority = 1;
+  store::CampaignMeta meta;
+};
+
+/// Gracefully retires a named campaign: no new leases are granted for it,
+/// outstanding leases finish (or expire) undisturbed, then its store is
+/// synced and the campaign leaves the registry.
+struct RemoveCampaign {
+  std::string name;
+};
+
+/// Coordinator's verdict on SubmitCampaign / RemoveCampaign.
+struct OpResult {
+  bool ok = false;
+  std::string message;
+};
+
+/// One campaign's row in CampaignList / StatsSnapshot.
+struct CampaignRow {
+  std::string name;
+  std::uint8_t kind = 0;      ///< store::CampaignKind
+  std::uint8_t state = 0;     ///< 0 running, 1 removing (drain-one), 2 done
+  std::uint32_t priority = 1;
+  std::uint64_t total_ids = 0;
+  std::uint64_t retired_ids = 0;
+  std::uint32_t pending_units = 0;
+  std::uint32_t leased_units = 0;
+};
+
+struct CampaignList {
+  std::vector<CampaignRow> campaigns;
+};
+
 /// One row of the live per-worker table in a StatsSnapshot. A row outlives
-/// its connection (connected=false) so `gpfctl top` shows dead workers too.
+/// its connection (connected=false) so `gpfctl top` shows dead workers too;
+/// rows dead longer than the session TTL are folded into the snapshot's
+/// evicted_* aggregates.
 struct WorkerRow {
   std::uint64_t session = 0;     ///< coordinator-assigned connection id
   std::string name;              ///< worker's self-reported --name
@@ -120,46 +204,70 @@ struct WorkerRow {
   std::uint8_t connected = 0;
 };
 
-/// Coordinator's reply to StatsRequest: a consistent view of campaign
-/// progress for observers (`gpfctl top`). Rates are fixed-point (x1000) so
-/// the wire stays integer-only.
+/// Coordinator's reply to StatsRequest: a consistent view of fleet progress
+/// for observers (`gpfctl top`). When the request named a campaign, the id
+/// and unit counts are scoped to it; otherwise they aggregate the whole
+/// registry. Rates are fixed-point (x1000) so the wire stays integer-only.
 struct StatsSnapshot {
-  std::uint64_t total_ids = 0;       ///< this shard's id-space size
-  std::uint64_t retired_ids = 0;     ///< records in the store (incl. resume)
+  std::uint64_t total_ids = 0;       ///< id-space size (scoped or aggregate)
+  std::uint64_t retired_ids = 0;     ///< records in store(s) (incl. resume)
   std::uint64_t done_at_open = 0;    ///< records recovered at store open
   std::uint32_t pending_units = 0;
   std::uint32_t leased_units = 0;
   std::uint64_t elapsed_ms = 0;      ///< since the coordinator started serving
-  std::uint64_t rate_milli = 0;      ///< recent faults/s x1000
+  std::uint64_t rate_milli = 0;      ///< recent results/s x1000
   std::uint64_t eta_ms = 0;          ///< 0 = unknown (no recent progress)
   std::uint8_t draining = 0;
+  /// Autoscale hints: how many workers are connected vs how many units the
+  /// registry could keep busy right now (the fleet can usefully grow to
+  /// `desired_workers`; surplus workers will mostly idle on NoWork).
+  std::uint32_t connected_workers = 0;
+  std::uint32_t desired_workers = 0;
+  /// TTL-evicted session aggregates: evicted rows leave `workers` but their
+  /// retired counts stay accounted here, so sums remain exact under churn.
+  std::uint64_t evicted_workers = 0;
+  std::uint64_t evicted_retired = 0;
+  std::vector<CampaignRow> campaigns;
   std::vector<WorkerRow> workers;
 };
 
 Frame encode(const Hello& m);
 Frame encode(const HelloAck& m);
+Frame encode(const LeaseRequest& m);
 Frame encode(const LeaseGrant& m);
 Frame encode(const NoWork& m);
 Frame encode(const ResultMsg& m);
 Frame encode(const Heartbeat& m);
 Frame encode(const UnitDone& m);
 Frame encode(const Ack& m);
+Frame encode(const Busy& m);
+Frame encode(const SubmitCampaign& m);
+Frame encode(const RemoveCampaign& m);
+Frame encode(const OpResult& m);
+Frame encode(const CampaignList& m);
 Frame encode(const StatsSnapshot& m);
-/// LeaseRequest carries no payload.
-Frame encode_lease_request();
-/// StatsRequest carries no payload.
-Frame encode_stats_request();
+/// ListCampaigns carries no payload.
+Frame encode_list_campaigns();
+/// StatsRequest carries an optional campaign name ("" = aggregate).
+Frame encode_stats_request(const std::string& campaign = "");
 
 /// Decoders throw on a type mismatch or malformed payload (protocol error —
 /// the connection is torn down).
 Hello decode_hello(const Frame& f);
 HelloAck decode_hello_ack(const Frame& f);
+LeaseRequest decode_lease_request(const Frame& f);
 LeaseGrant decode_lease_grant(const Frame& f);
 NoWork decode_no_work(const Frame& f);
 ResultMsg decode_result(const Frame& f);
 Heartbeat decode_heartbeat(const Frame& f);
 UnitDone decode_unit_done(const Frame& f);
 Ack decode_ack(const Frame& f);
+Busy decode_busy(const Frame& f);
+SubmitCampaign decode_submit_campaign(const Frame& f);
+RemoveCampaign decode_remove_campaign(const Frame& f);
+OpResult decode_op_result(const Frame& f);
+CampaignList decode_campaign_list(const Frame& f);
+std::string decode_stats_request(const Frame& f);
 StatsSnapshot decode_stats_snapshot(const Frame& f);
 
 }  // namespace gpf::net

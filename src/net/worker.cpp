@@ -1,14 +1,13 @@
 #include "net/worker.hpp"
 
-#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <deque>
 #include <exception>
+#include <map>
 #include <mutex>
-#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -36,6 +35,25 @@ Frame recv_reply(const Socket& sock) {
   return f;
 }
 
+/// Sends one Result, resending after each Busy reply (coordinator
+/// backpressure: the message was refused whole, so a verbatim resend is
+/// exactly once from the store's point of view).
+Ack send_result(const Socket& sock, const ResultMsg& msg, WorkerStats& stats) {
+  static obs::Counter& busy_retries = obs::counter("net.worker_busy_retries");
+  while (true) {
+    send_frame(sock, encode(msg));
+    const Frame f = recv_reply(sock);
+    if (static_cast<MsgType>(f.type) == MsgType::Busy) {
+      const Busy b = decode_busy(f);
+      ++stats.busy_retries;
+      busy_retries.add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(b.retry_after_ms));
+      continue;
+    }
+    return decode_ack(f);
+  }
+}
+
 struct UnitOutcome {
   bool lost = false;
   bool drain = false;
@@ -48,7 +66,7 @@ UnitOutcome work_unit(const Socket& sock, const LeaseGrant& grant,
                       const UnitFn& fn, const WorkerConfig& cfg,
                       std::uint32_t lease_ms, WorkerStats& stats) {
   const auto heartbeat_every =
-      std::chrono::milliseconds(std::max<std::uint32_t>(lease_ms / 3, 1));
+      std::chrono::milliseconds(heartbeat_interval_ms(lease_ms));
 
   std::mutex mu;
   std::condition_variable cv;
@@ -93,21 +111,23 @@ UnitOutcome work_unit(const Socket& sock, const LeaseGrant& grant,
       Ack ack;
       if (!batch.empty()) {
         ResultMsg msg;
+        msg.campaign_id = grant.campaign_id;
         msg.unit_id = grant.unit_id;
         msg.records = std::move(batch);
         const std::size_t n = msg.records.size();
-        send_frame(sock, encode(msg));
-        ack = decode_ack(recv_reply(sock));
+        ack = send_result(sock, msg, stats);
         stats.retired += n;
       } else if (finished) {
         if (compute_err) break;  // rethrown after the join below
         UnitDone done;
+        done.campaign_id = grant.campaign_id;
         done.unit_id = grant.unit_id;
         send_frame(sock, encode(done));
         ack = decode_ack(recv_reply(sock));
         if (!ack.lost_lease) ++stats.units;
       } else {
         Heartbeat hb;
+        hb.campaign_id = grant.campaign_id;
         hb.unit_id = grant.unit_id;
         static obs::Histogram& rtt = obs::histogram("net.heartbeat_rtt_us");
         obs::ScopedTimerUs timer(rtt);
@@ -140,12 +160,32 @@ UnitOutcome work_unit(const Socket& sock, const LeaseGrant& grant,
   return out;
 }
 
+Socket handshake(const std::string& host, std::uint16_t port,
+                 const std::string& name, const std::string& campaign,
+                 std::uint32_t* lease_ms_out) {
+  Socket sock = connect_tcp(host, port);
+  // Replies are immediate in this protocol; a full lease duration of
+  // silence means the coordinator is wedged or gone.
+  set_recv_timeout(sock, 30000);
+  Hello hello;
+  hello.worker_name = name;
+  hello.campaign = campaign;
+  send_frame(sock, encode(hello));
+  const HelloAck ack = decode_hello_ack(recv_reply(sock));
+  if (lease_ms_out) *lease_ms_out = std::max<std::uint32_t>(ack.lease_ms, 1);
+  return sock;
+}
+
 }  // namespace
 
 WorkerStats run_worker(const WorkerConfig& cfg, const UnitFnFactory& make_fn) {
   WorkerStats stats;
-  UnitFn fn;
-  std::optional<store::CampaignMeta> meta;
+  // One work function per campaign, built from the first LeaseGrant that
+  // names it and cached for the process lifetime; the cached meta pins the
+  // campaign's identity (a name reused for a different campaign mid-fleet
+  // is a fatal config error, not something to silently recompute).
+  std::map<std::string, UnitFn> fns;
+  std::map<std::string, store::CampaignMeta> metas;
 
   std::uint32_t backoff = std::max<std::uint32_t>(cfg.backoff_ms, 1);
   const std::uint32_t backoff_cap = backoff * 64;
@@ -156,19 +196,7 @@ WorkerStats run_worker(const WorkerConfig& cfg, const UnitFnFactory& make_fn) {
     Socket sock;
     std::uint32_t lease_ms = 0;
     try {
-      sock = connect_tcp(cfg.host, cfg.port);
-      // Replies are immediate in this protocol; a full lease duration of
-      // silence means the coordinator is wedged or gone.
-      set_recv_timeout(sock, 30000);
-      Hello hello;
-      hello.worker_name = cfg.name;
-      send_frame(sock, encode(hello));
-      const HelloAck ack = decode_hello_ack(recv_reply(sock));
-      if (meta && !(*meta == ack.meta))
-        throw FatalWorkerError(
-            "worker: coordinator campaign changed across reconnects");
-      meta = ack.meta;
-      lease_ms = std::max<std::uint32_t>(ack.lease_ms, 1);
+      sock = handshake(cfg.host, cfg.port, cfg.name, cfg.campaign, &lease_ms);
       set_recv_timeout(sock, static_cast<int>(std::max<std::uint32_t>(
                                  lease_ms, 30000)));
     } catch (const FatalWorkerError&) {
@@ -195,11 +223,12 @@ WorkerStats run_worker(const WorkerConfig& cfg, const UnitFnFactory& make_fn) {
     connected_before = true;
     failures = 0;
     backoff = std::max<std::uint32_t>(cfg.backoff_ms, 1);
-    if (!fn) fn = make_fn(*meta);
 
     try {
       while (true) {
-        send_frame(sock, encode_lease_request());
+        LeaseRequest req;
+        req.campaign = cfg.campaign;
+        send_frame(sock, encode(req));
         const Frame f = recv_reply(sock);
         if (static_cast<MsgType>(f.type) == MsgType::NoWork) {
           const NoWork nw = decode_no_work(f);
@@ -213,12 +242,25 @@ WorkerStats run_worker(const WorkerConfig& cfg, const UnitFnFactory& make_fn) {
           continue;
         }
         const LeaseGrant grant = decode_lease_grant(f);
+        if (const auto it = metas.find(grant.campaign); it != metas.end()) {
+          if (!(it->second == grant.meta))
+            throw FatalWorkerError("worker: campaign '" + grant.campaign +
+                                   "' changed identity mid-fleet");
+        } else {
+          metas.emplace(grant.campaign, grant.meta);
+          fns.emplace(grant.campaign, make_fn(grant.meta));
+          ++stats.campaigns;
+          if (cfg.verbose)
+            std::fprintf(stderr, "[%s] serving campaign '%s'\n",
+                         cfg.name.c_str(), grant.campaign.c_str());
+        }
         if (cfg.verbose)
-          std::fprintf(stderr, "[%s] leased unit %llu (%zu ids)\n",
-                       cfg.name.c_str(),
+          std::fprintf(stderr, "[%s] leased '%s' unit %llu (%zu ids)\n",
+                       cfg.name.c_str(), grant.campaign.c_str(),
                        static_cast<unsigned long long>(grant.unit_id),
                        grant.ids.size());
-        const UnitOutcome out = work_unit(sock, grant, fn, cfg, lease_ms, stats);
+        const UnitOutcome out = work_unit(sock, grant, fns.at(grant.campaign),
+                                          cfg, lease_ms, stats);
         if (out.drain) {
           stats.drained = true;
           return stats;
@@ -237,17 +279,45 @@ WorkerStats run_worker(const WorkerConfig& cfg, const UnitFnFactory& make_fn) {
   }
 }
 
-std::pair<store::CampaignMeta, StatsSnapshot> fetch_stats(
-    const std::string& host, std::uint16_t port) {
-  Socket sock = connect_tcp(host, port);
+StatsSnapshot fetch_stats(const std::string& host, std::uint16_t port,
+                          const std::string& campaign) {
+  // Observers report no worker_name, keeping them out of the worker table.
+  Socket sock = handshake(host, port, "", "", nullptr);
   set_recv_timeout(sock, 10000);
-  Hello hello;
-  hello.worker_name = "";  // observers stay out of the worker table
-  send_frame(sock, encode(hello));
-  const HelloAck ack = decode_hello_ack(recv_reply(sock));
-  send_frame(sock, encode_stats_request());
-  const StatsSnapshot s = decode_stats_snapshot(recv_reply(sock));
-  return {ack.meta, s};
+  send_frame(sock, encode_stats_request(campaign));
+  return decode_stats_snapshot(recv_reply(sock));
+}
+
+std::vector<CampaignRow> fetch_campaigns(const std::string& host,
+                                         std::uint16_t port) {
+  Socket sock = handshake(host, port, "", "", nullptr);
+  set_recv_timeout(sock, 10000);
+  send_frame(sock, encode_list_campaigns());
+  return decode_campaign_list(recv_reply(sock)).campaigns;
+}
+
+OpResult submit_campaign(const std::string& host, std::uint16_t port,
+                         const std::string& name,
+                         const store::CampaignMeta& meta,
+                         std::uint32_t priority) {
+  Socket sock = handshake(host, port, "", "", nullptr);
+  set_recv_timeout(sock, 10000);
+  SubmitCampaign msg;
+  msg.name = name;
+  msg.priority = priority;
+  msg.meta = meta;
+  send_frame(sock, encode(msg));
+  return decode_op_result(recv_reply(sock));
+}
+
+OpResult remove_campaign(const std::string& host, std::uint16_t port,
+                         const std::string& name) {
+  Socket sock = handshake(host, port, "", "", nullptr);
+  set_recv_timeout(sock, 10000);
+  RemoveCampaign msg;
+  msg.name = name;
+  send_frame(sock, encode(msg));
+  return decode_op_result(recv_reply(sock));
 }
 
 }  // namespace gpf::net

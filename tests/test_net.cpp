@@ -1,8 +1,10 @@
 // Tests for the distributed campaign service (src/net): frame/codec
-// round-trips, CRC rejection, the lease state machine (expiry ->
-// reassignment, retire-driven completion), and an in-process
-// coordinator/fleet e2e run whose store must match a single-process run
-// byte for byte.
+// round-trips (protocol v3, incl. the registry messages), CRC rejection,
+// the lease state machine, deficit-round-robin fair share, the rate/ETA
+// window, backpressure (Busy) on both sides of the wire, connection-churn
+// and session-TTL accounting, and in-process fleet e2e runs — single- and
+// multi-campaign — whose stores must match single-process runs byte for
+// byte.
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
@@ -12,13 +14,14 @@
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
 #include <thread>
-#include <tuple>
 #include <vector>
 
+#include "errmodel/models.hpp"
 #include "gate/batchsim.hpp"
 #include "gate/jit.hpp"
 #include "net/coordinator.hpp"
@@ -46,10 +49,12 @@ std::string temp_store_path(const char* tag) {
          std::to_string(counter.fetch_add(1)) + ".gpfs";
 }
 
-store::CampaignMeta perfi_meta(std::uint64_t total, std::uint64_t seed) {
+store::CampaignMeta perfi_meta(std::uint64_t total, std::uint64_t seed,
+                               errmodel::ErrorModel model =
+                                   errmodel::ErrorModel::IOC) {
   const workloads::Workload* w = workloads::find("vectoradd");
   EXPECT_NE(w, nullptr);
-  return perfi::epr_campaign_meta(*w, errmodel::ErrorModel::IOC, total, seed);
+  return perfi::epr_campaign_meta(*w, model, total, seed);
 }
 
 // --- framing ---------------------------------------------------------------
@@ -123,6 +128,42 @@ TEST(NetFraming, OversizedLengthRejected) {
   EXPECT_THROW(recv_frame(b, in), std::runtime_error);
 }
 
+TEST(NetFraming, ExtractFrameReassemblesSplitInput) {
+  // The epoll loop's incremental decoder: bytes arrive in arbitrary chunks
+  // and frames pop out exactly at their boundaries.
+  Frame f1{3, {0x10, 0x20}};
+  Frame f2{4, {0x30}};
+  const std::vector<std::uint8_t> w1 = frame_bytes(f1);
+  const std::vector<std::uint8_t> w2 = frame_bytes(f2);
+
+  std::vector<std::uint8_t> buf;
+  std::size_t off = 0;
+  Frame out;
+  // Feed the first frame one byte short: no frame yet.
+  buf.insert(buf.end(), w1.begin(), w1.end() - 1);
+  EXPECT_FALSE(extract_frame(buf, off, out));
+  EXPECT_EQ(off, 0u);
+  // Complete it and append the second whole frame: both extract in order.
+  buf.push_back(w1.back());
+  buf.insert(buf.end(), w2.begin(), w2.end());
+  ASSERT_TRUE(extract_frame(buf, off, out));
+  EXPECT_EQ(out.type, 3);
+  EXPECT_EQ(out.payload, f1.payload);
+  ASSERT_TRUE(extract_frame(buf, off, out));
+  EXPECT_EQ(out.type, 4);
+  EXPECT_EQ(out.payload, f2.payload);
+  EXPECT_FALSE(extract_frame(buf, off, out));
+  EXPECT_EQ(off, buf.size());
+}
+
+TEST(NetFraming, ExtractFrameRejectsCorruption) {
+  std::vector<std::uint8_t> wire = frame_bytes(Frame{9, {1, 2, 3, 4}});
+  wire[6] ^= 0x01;
+  std::size_t off = 0;
+  Frame out;
+  EXPECT_THROW(extract_frame(wire, off, out), std::runtime_error);
+}
+
 TEST(NetFraming, ParseAddr) {
   const auto [host, port] = parse_addr("10.1.2.3:9777");
   EXPECT_EQ(host, "10.1.2.3");
@@ -137,36 +178,49 @@ TEST(NetFraming, ParseAddr) {
 TEST(NetProtocol, HelloRoundTrip) {
   Hello m;
   m.worker_name = "worker-42";
+  m.campaign = "perfi-vectoradd-IOC";
   const Hello d = decode_hello(encode(m));
   EXPECT_EQ(d.version, kProtocolVersion);
   EXPECT_EQ(d.worker_name, "worker-42");
+  EXPECT_EQ(d.campaign, "perfi-vectoradd-IOC");
+  EXPECT_TRUE(decode_hello(encode(Hello{})).campaign.empty());
 }
 
-TEST(NetProtocol, HelloAckCarriesCampaignMeta) {
+TEST(NetProtocol, HelloAckAndLeaseRequestRoundTrip) {
   HelloAck m;
-  m.meta = perfi_meta(1234, 99);
-  m.meta.shard_index = 1;
-  m.meta.shard_count = 3;
   m.lease_ms = 2500;
-  const HelloAck d = decode_hello_ack(encode(m));
-  EXPECT_TRUE(d.meta == m.meta);
-  EXPECT_EQ(d.lease_ms, 2500u);
+  EXPECT_EQ(decode_hello_ack(encode(m)).lease_ms, 2500u);
+
+  LeaseRequest r;
+  r.campaign = "gate-decoder";
+  EXPECT_EQ(decode_lease_request(encode(r)).campaign, "gate-decoder");
+  EXPECT_TRUE(decode_lease_request(encode(LeaseRequest{})).campaign.empty());
 }
 
 TEST(NetProtocol, LeaseGrantResultRoundTrip) {
   LeaseGrant g;
+  g.campaign_id = 6;
+  g.campaign = "perfi-vectoradd-IOC";
+  g.meta = perfi_meta(1234, 99);
+  g.meta.shard_index = 1;
+  g.meta.shard_count = 3;
   g.unit_id = 17;
   g.ids = {3, 5, 8, 13, 21};
   const LeaseGrant dg = decode_lease_grant(encode(g));
+  EXPECT_EQ(dg.campaign_id, 6u);
+  EXPECT_EQ(dg.campaign, "perfi-vectoradd-IOC");
+  EXPECT_TRUE(dg.meta == g.meta);
   EXPECT_EQ(dg.unit_id, 17u);
   EXPECT_EQ(dg.ids, g.ids);
 
   ResultMsg r;
+  r.campaign_id = 6;
   r.unit_id = 17;
   r.records.push_back({3, {0x01}});
   r.records.push_back({5, {0x02, 0x03}});
   r.records.push_back({8, {}});
   const ResultMsg dr = decode_result(encode(r));
+  EXPECT_EQ(dr.campaign_id, 6u);
   EXPECT_EQ(dr.unit_id, 17u);
   ASSERT_EQ(dr.records.size(), 3u);
   EXPECT_EQ(dr.records[1].id, 5u);
@@ -177,18 +231,70 @@ TEST(NetProtocol, LeaseGrantResultRoundTrip) {
 TEST(NetProtocol, SmallMessagesRoundTrip) {
   EXPECT_FALSE(decode_no_work(encode(NoWork{false})).drained);
   EXPECT_TRUE(decode_no_work(encode(NoWork{true})).drained);
-  EXPECT_EQ(decode_heartbeat(encode(Heartbeat{7})).unit_id, 7u);
-  EXPECT_EQ(decode_unit_done(encode(UnitDone{9})).unit_id, 9u);
+  const Heartbeat hb = decode_heartbeat(encode(Heartbeat{5, 7}));
+  EXPECT_EQ(hb.campaign_id, 5u);
+  EXPECT_EQ(hb.unit_id, 7u);
+  const UnitDone ud = decode_unit_done(encode(UnitDone{5, 9}));
+  EXPECT_EQ(ud.campaign_id, 5u);
+  EXPECT_EQ(ud.unit_id, 9u);
   const Ack a = decode_ack(encode(Ack{true, false}));
   EXPECT_TRUE(a.drain);
   EXPECT_FALSE(a.lost_lease);
-  EXPECT_EQ(static_cast<MsgType>(encode_lease_request().type),
-            MsgType::LeaseRequest);
+  EXPECT_EQ(decode_busy(encode(Busy{350})).retry_after_ms, 350u);
+}
+
+TEST(NetProtocol, RegistryMessagesRoundTrip) {
+  SubmitCampaign s;
+  s.name = "perfi-extra";
+  s.priority = 4;
+  s.meta = perfi_meta(500, 12);
+  const SubmitCampaign ds = decode_submit_campaign(encode(s));
+  EXPECT_EQ(ds.name, "perfi-extra");
+  EXPECT_EQ(ds.priority, 4u);
+  EXPECT_TRUE(ds.meta == s.meta);
+
+  EXPECT_EQ(decode_remove_campaign(encode(RemoveCampaign{"gate-wsc"})).name,
+            "gate-wsc");
+
+  const OpResult r = decode_op_result(encode(OpResult{true, "registered"}));
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.message, "registered");
+
+  CampaignList list;
+  CampaignRow row;
+  row.name = "rtl-tmxm-0-site1";
+  row.kind = static_cast<std::uint8_t>(store::CampaignKind::Rtl);
+  row.state = 1;
+  row.priority = 3;
+  row.total_ids = 4000;
+  row.retired_ids = 1500;
+  row.pending_units = 9;
+  row.leased_units = 2;
+  list.campaigns.push_back(row);
+  list.campaigns.push_back({});
+  const CampaignList dl = decode_campaign_list(encode(list));
+  ASSERT_EQ(dl.campaigns.size(), 2u);
+  EXPECT_EQ(dl.campaigns[0].name, "rtl-tmxm-0-site1");
+  EXPECT_EQ(dl.campaigns[0].kind,
+            static_cast<std::uint8_t>(store::CampaignKind::Rtl));
+  EXPECT_EQ(dl.campaigns[0].state, 1);
+  EXPECT_EQ(dl.campaigns[0].priority, 3u);
+  EXPECT_EQ(dl.campaigns[0].total_ids, 4000u);
+  EXPECT_EQ(dl.campaigns[0].retired_ids, 1500u);
+  EXPECT_EQ(dl.campaigns[0].pending_units, 9u);
+  EXPECT_EQ(dl.campaigns[0].leased_units, 2u);
+
+  EXPECT_EQ(static_cast<MsgType>(encode_list_campaigns().type),
+            MsgType::ListCampaigns);
+  EXPECT_EQ(decode_stats_request(encode_stats_request("gate-fetch")),
+            "gate-fetch");
+  EXPECT_TRUE(decode_stats_request(encode_stats_request()).empty());
 }
 
 TEST(NetProtocol, TypeMismatchRejected) {
-  EXPECT_THROW(decode_ack(encode(Heartbeat{1})), std::runtime_error);
+  EXPECT_THROW(decode_ack(encode(Heartbeat{1, 1})), std::runtime_error);
   EXPECT_THROW(decode_lease_grant(encode(NoWork{})), std::runtime_error);
+  EXPECT_THROW(decode_busy(encode(Ack{})), std::runtime_error);
 }
 
 TEST(NetProtocol, StatsSnapshotRoundTrip) {
@@ -202,6 +308,17 @@ TEST(NetProtocol, StatsSnapshotRoundTrip) {
   s.rate_milli = 4321;  // 4.321 results/s
   s.eta_ms = 55000;
   s.draining = 1;
+  s.connected_workers = 4;
+  s.desired_workers = 11;
+  s.evicted_workers = 6;
+  s.evicted_retired = 4321;
+  CampaignRow c;
+  c.name = "gate-decoder";
+  c.kind = static_cast<std::uint8_t>(store::CampaignKind::Gate);
+  c.priority = 2;
+  c.total_ids = 5000;
+  c.retired_ids = 1234;
+  s.campaigns.push_back(c);
   s.workers.push_back({/*session=*/7, "w0", /*retired=*/600, 2, 150, 1});
   s.workers.push_back({/*session=*/9, "w1", /*retired=*/434, 1, 12000, 0});
 
@@ -215,6 +332,13 @@ TEST(NetProtocol, StatsSnapshotRoundTrip) {
   EXPECT_EQ(d.rate_milli, 4321u);
   EXPECT_EQ(d.eta_ms, 55000u);
   EXPECT_EQ(d.draining, 1);
+  EXPECT_EQ(d.connected_workers, 4u);
+  EXPECT_EQ(d.desired_workers, 11u);
+  EXPECT_EQ(d.evicted_workers, 6u);
+  EXPECT_EQ(d.evicted_retired, 4321u);
+  ASSERT_EQ(d.campaigns.size(), 1u);
+  EXPECT_EQ(d.campaigns[0].name, "gate-decoder");
+  EXPECT_EQ(d.campaigns[0].priority, 2u);
   ASSERT_EQ(d.workers.size(), 2u);
   EXPECT_EQ(d.workers[0].session, 7u);
   EXPECT_EQ(d.workers[0].name, "w0");
@@ -227,7 +351,8 @@ TEST(NetProtocol, StatsSnapshotRoundTrip) {
 
   EXPECT_EQ(static_cast<MsgType>(encode_stats_request().type),
             MsgType::StatsRequest);
-  EXPECT_THROW(decode_stats_snapshot(encode(Heartbeat{1})), std::runtime_error);
+  EXPECT_THROW(decode_stats_snapshot(encode(Heartbeat{1, 1})),
+               std::runtime_error);
 }
 
 // --- lease dispatcher ------------------------------------------------------
@@ -321,6 +446,96 @@ TEST(NetDispatch, ReleaseSessionRequeuesItsUnits) {
   EXPECT_EQ(d.pending_units(), 2u);
 }
 
+// --- deficit-round-robin fair share ----------------------------------------
+
+TEST(NetDispatch, DrrSharesGrantsInPriorityProportion) {
+  DrrScheduler s;
+  const std::vector<std::pair<std::uint64_t, std::uint32_t>> eligible = {
+      {1, 3}, {2, 1}};
+  std::map<std::uint64_t, int> picks;
+  for (int i = 0; i < 40; ++i) ++picks[s.pick(eligible)];
+  EXPECT_EQ(picks[1], 30);  // exactly 3:1 over any whole number of rounds
+  EXPECT_EQ(picks[2], 10);
+}
+
+TEST(NetDispatch, DrrAdaptsWhenEligibilityChanges) {
+  DrrScheduler s;
+  // Key 2 alone: always picked, no starvation debt accumulates against it.
+  EXPECT_EQ(s.pick({{2, 1}}), 2u);
+  EXPECT_EQ(s.pick({{2, 1}}), 2u);
+  // A higher-priority campaign appears: it earns its share immediately.
+  std::map<std::uint64_t, int> picks;
+  for (int i = 0; i < 12; ++i) ++picks[s.pick({{1, 2}, {2, 1}})];
+  EXPECT_EQ(picks[1], 8);
+  EXPECT_EQ(picks[2], 4);
+  // After forget(), a re-registered key starts from a clean deficit.
+  s.forget(1);
+  EXPECT_EQ(s.pick({{1, 1}, {2, 1}}), 1u);  // tie -> smaller key
+}
+
+TEST(NetDispatch, DrrRejectsDegenerateInput) {
+  DrrScheduler s;
+  EXPECT_THROW(s.pick({}), std::runtime_error);
+  EXPECT_THROW(s.pick({{1, 0}}), std::runtime_error);
+}
+
+// --- worker-side cadences --------------------------------------------------
+
+TEST(NetWorker, HeartbeatIntervalClampedToFloor) {
+  // lease/3 for normal leases, but a tiny test lease must not become a
+  // heartbeat flood (the old max(lease/3, 1ms) bug).
+  EXPECT_EQ(heartbeat_interval_ms(10000), 3333u);
+  EXPECT_EQ(heartbeat_interval_ms(9000), 3000u);
+  EXPECT_EQ(heartbeat_interval_ms(300), kMinHeartbeatMs);
+  EXPECT_EQ(heartbeat_interval_ms(50), kMinHeartbeatMs);
+  EXPECT_EQ(heartbeat_interval_ms(0), kMinHeartbeatMs);
+}
+
+// --- rate / ETA window -----------------------------------------------------
+
+constexpr auto kSec = std::chrono::seconds(1);
+
+TEST(NetCoordinator, RateWindowUnknownWithoutProgress) {
+  RateWindow rw;
+  const auto t0 = Clock::now();
+  rw.sample(t0, 100);
+  EXPECT_EQ(rw.rate_milli(), 0u);
+  EXPECT_EQ(rw.eta_ms(50), 0u);  // unknown, not "0s"
+  rw.sample(t0 + kSec, 100);
+  rw.sample(t0 + 2 * kSec, 100);
+  EXPECT_EQ(rw.rate_milli(), 0u);
+  EXPECT_EQ(rw.eta_ms(50), 0u);
+}
+
+TEST(NetCoordinator, RateWindowMeasuresSteadyThroughput) {
+  RateWindow rw;
+  const auto t0 = Clock::now();
+  for (int i = 0; i <= 5; ++i)
+    rw.sample(t0 + i * kSec, 100 + 10 * static_cast<std::uint64_t>(i));
+  EXPECT_EQ(rw.rate_milli(), 10000u);  // 10 ids/s
+  EXPECT_EQ(rw.eta_ms(100), 10000u);   // 100 ids at 10/s = 10s
+  EXPECT_EQ(rw.eta_ms(0), 0u);         // done: unknown/none, render "--"
+}
+
+TEST(NetCoordinator, RateWindowRestartsAfterIdleGap) {
+  RateWindow rw;
+  rw.idle_reset_ms = 5000;
+  const auto t0 = Clock::now();
+  // Progress at 10 ids/s for 4 seconds...
+  for (int i = 0; i <= 3; ++i)
+    rw.sample(t0 + i * kSec, 10 * static_cast<std::uint64_t>(i));
+  // ...then a 7-second stall (fleet gone), sampled throughout...
+  for (int i = 4; i <= 9; ++i) rw.sample(t0 + i * kSec, 30);
+  // ...then progress resumes at 10 ids/s.
+  rw.sample(t0 + 10 * kSec, 40);
+  rw.sample(t0 + 11 * kSec, 50);
+  rw.sample(t0 + 12 * kSec, 60);
+  // The window restarted at resumption: the rate reflects the active
+  // period, not an average diluted across the stall (which would report
+  // 5/s here and double every ETA).
+  EXPECT_EQ(rw.rate_milli(), 10000u);
+}
+
 // --- end-to-end ------------------------------------------------------------
 
 /// Runs a coordinator over a checkpoint plus `n_workers` in-process workers;
@@ -331,6 +546,7 @@ void run_fleet(store::CampaignCheckpoint& ckpt, int n_workers,
   ccfg.port = 0;  // ephemeral
   ccfg.lease_ms = lease_ms;
   ccfg.unit_size = unit_size;
+  ccfg.status_interval_ms = 0;
   Coordinator coord(ckpt, ccfg);
 
   std::thread serve([&] { coord.serve(); });
@@ -458,6 +674,137 @@ TEST(NetE2E, FleetResumesPartialStore) {
   std::remove(fleet_path.c_str());
 }
 
+// The tentpole e2e: one coordinator serving mixed-kind campaigns to eight
+// workers under fair share, with a fourth campaign submitted and a ballast
+// campaign removed while the fleet runs. Every completed campaign's store
+// must export byte-identically to its single-process reference.
+TEST(NetE2E, MultiCampaignFleetWithMidRunSubmitAndRemove) {
+  const workloads::Workload* vec = workloads::find("vectoradd");
+  ASSERT_NE(vec, nullptr);
+  constexpr std::size_t kMaxIssues = 20;
+  const store::CampaignMeta meta_a = perfi_meta(40, 2027);
+  const store::CampaignMeta meta_b =
+      perfi_meta(32, 3, errmodel::ErrorModel::IRA);
+  const store::CampaignMeta meta_gate = report::gate_campaign_meta(
+      gate::UnitKind::Decoder, /*faults_per_unit=*/24, kMaxIssues, /*seed=*/5,
+      EngineKind::Batch);
+  const store::CampaignMeta meta_ballast = perfi_meta(2500, 9);
+  const store::CampaignMeta meta_extra = perfi_meta(24, 77);
+
+  // Single-process references for the campaigns that must complete.
+  std::map<std::string, std::string> ref;  // name -> export json
+  const auto solo_perfi = [&](const char* tag, const store::CampaignMeta& m) {
+    const std::string p = temp_store_path(tag);
+    store::CampaignCheckpoint ckpt(p, m);
+    perfi::run_epr_cell_store(*vec, ckpt);
+    ref[tag] = export_json(p);
+    std::remove(p.c_str());
+  };
+  solo_perfi("mc_a", meta_a);
+  solo_perfi("mc_b", meta_b);
+  solo_perfi("mc_extra", meta_extra);
+  {
+    const std::string p = temp_store_path("mc_gate");
+    store::CampaignCheckpoint ckpt(p, meta_gate);
+    report::run_unit_campaign_store(report::collect_profiling_traces(kMaxIssues),
+                                    ckpt);
+    ref["mc_gate"] = export_json(p);
+    std::remove(p.c_str());
+  }
+
+  const std::string submit_dir =
+      testing::TempDir() + "gpf_net_submit_" + std::to_string(::getpid());
+  std::filesystem::create_directories(submit_dir);
+  const std::string path_a = submit_dir + "/mc-a.gpfs";
+  const std::string path_b = submit_dir + "/mc-b.gpfs";
+  const std::string path_gate = submit_dir + "/mc-gate.gpfs";
+  const std::string path_ballast = submit_dir + "/mc-ballast.gpfs";
+  const std::string path_extra = submit_dir + "/mc-extra.gpfs";
+
+  store::CampaignCheckpoint ckpt_a(path_a, meta_a);
+  store::CampaignCheckpoint ckpt_b(path_b, meta_b);
+  store::CampaignCheckpoint ckpt_gate(path_gate, meta_gate);
+  store::CampaignCheckpoint ckpt_ballast(path_ballast, meta_ballast);
+
+  CoordinatorConfig ccfg;
+  ccfg.port = 0;
+  ccfg.lease_ms = 5000;
+  ccfg.unit_size = 4;
+  ccfg.status_interval_ms = 0;
+  ccfg.store_dir = submit_dir;
+  Coordinator coord(ccfg);
+  coord.add_campaign(ckpt_a, /*priority=*/2);
+  coord.add_campaign(ckpt_b);
+  coord.add_campaign(ckpt_gate);
+  coord.add_campaign(ckpt_ballast);
+
+  Coordinator::Stats cs;
+  std::thread serve([&] { cs = coord.serve(); });
+  std::vector<std::thread> workers;
+  std::vector<WorkerStats> wstats(8);
+  for (int i = 0; i < 8; ++i) {
+    workers.emplace_back([&, i] {
+      WorkerConfig wcfg;
+      wcfg.port = coord.port();
+      wcfg.name = "mw" + std::to_string(i);
+      wcfg.backoff_ms = 20;
+      wstats[static_cast<std::size_t>(i)] = run_worker(wcfg, make_unit_fn);
+    });
+  }
+
+  // Once the fleet is visibly rolling, grow and shrink the registry.
+  for (int tries = 0; tries < 1000; ++tries) {
+    if (coord.snapshot_stats().retired_ids > 20) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const OpResult sub =
+      submit_campaign("127.0.0.1", coord.port(), "mc-extra", meta_extra,
+                      /*priority=*/3);
+  EXPECT_TRUE(sub.ok) << sub.message;
+  // Submitting the same campaign again is idempotent, a conflicting meta
+  // under the same name is not.
+  EXPECT_TRUE(
+      submit_campaign("127.0.0.1", coord.port(), "mc-extra", meta_extra).ok);
+  EXPECT_FALSE(
+      submit_campaign("127.0.0.1", coord.port(), "mc-extra", meta_a).ok);
+  const std::vector<CampaignRow> live =
+      fetch_campaigns("127.0.0.1", coord.port());
+  EXPECT_EQ(live.size(), 5u);
+  bool saw_extra = false;
+  for (const CampaignRow& c : live)
+    if (c.name == "mc-extra") {
+      saw_extra = true;
+      EXPECT_EQ(c.priority, 3u);
+    }
+  EXPECT_TRUE(saw_extra);
+
+  const OpResult rem = remove_campaign("127.0.0.1", coord.port(), "mc-ballast");
+  EXPECT_TRUE(rem.ok) << rem.message;
+  EXPECT_FALSE(remove_campaign("127.0.0.1", coord.port(), "nope").ok);
+
+  for (auto& w : workers) w.join();
+  serve.join();
+  for (const WorkerStats& s : wstats) {
+    EXPECT_TRUE(s.drained);
+    EXPECT_FALSE(s.gave_up);
+  }
+  EXPECT_EQ(cs.campaigns_submitted, 1u);
+  EXPECT_EQ(cs.campaigns_removed, 1u);
+
+  // Completed campaigns: byte-identical to their single-process references.
+  EXPECT_EQ(export_json(path_a), ref["mc_a"]);
+  EXPECT_EQ(export_json(path_b), ref["mc_b"]);
+  EXPECT_EQ(export_json(path_gate), ref["mc_gate"]);
+  EXPECT_EQ(export_json(path_extra), ref["mc_extra"]);
+  // The removed ballast: partial but well-formed, resumable later.
+  const store::LoadedStore ballast = store::load_store(path_ballast);
+  EXPECT_LT(ballast.records.size(), 2500u);
+  EXPECT_EQ(ballast.duplicate_records, 0u);
+  EXPECT_TRUE(ballast.meta == meta_ballast);
+
+  std::filesystem::remove_all(submit_dir);
+}
+
 TEST(NetE2E, DrainStopsGrantingAndExitsCleanly) {
   const store::CampaignMeta meta = perfi_meta(20000, 11);
   const std::string path = temp_store_path("drain");
@@ -467,6 +814,7 @@ TEST(NetE2E, DrainStopsGrantingAndExitsCleanly) {
   ccfg.port = 0;
   ccfg.lease_ms = 5000;
   ccfg.unit_size = 8;
+  ccfg.status_interval_ms = 0;
   Coordinator coord(ckpt, ccfg);
   std::thread serve([&] { coord.serve(); });
 
@@ -519,20 +867,30 @@ TEST(NetE2E, StatsObserverSeesLiveProgress) {
 
   // Poll until the fleet has visibly retired work.
   StatsSnapshot seen;
-  store::CampaignMeta seen_meta;
   for (int tries = 0; tries < 500; ++tries) {
-    std::tie(seen_meta, seen) = fetch_stats("127.0.0.1", coord.port());
+    seen = fetch_stats("127.0.0.1", coord.port());
     if (seen.retired_ids > 0 && !seen.workers.empty()) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
-  EXPECT_TRUE(seen_meta.same_campaign(meta));
   EXPECT_EQ(seen.total_ids, 5000u);
   EXPECT_GT(seen.retired_ids, 0u);
   EXPECT_EQ(seen.done_at_open, 0u);
+  ASSERT_EQ(seen.campaigns.size(), 1u);
+  EXPECT_EQ(seen.campaigns[0].kind,
+            static_cast<std::uint8_t>(store::CampaignKind::Perfi));
+  EXPECT_EQ(seen.campaigns[0].total_ids, 5000u);
+  EXPECT_EQ(seen.connected_workers, 1u);
+  EXPECT_GT(seen.desired_workers, 0u);
   ASSERT_EQ(seen.workers.size(), 1u);  // the observer itself is not listed
   EXPECT_EQ(seen.workers[0].name, "statsworker");
   EXPECT_GT(seen.workers[0].retired, 0u);
   EXPECT_TRUE(seen.workers[0].connected);
+
+  // A campaign-scoped request for an unknown name reports an empty scope
+  // rather than the aggregate.
+  const StatsSnapshot scoped =
+      fetch_stats("127.0.0.1", coord.port(), "no-such-campaign");
+  EXPECT_EQ(scoped.total_ids, 0u);
 
   coord.request_drain();
   worker.join();
@@ -544,6 +902,321 @@ TEST(NetE2E, StatsObserverSeesLiveProgress) {
   EXPECT_EQ(fin.retired_ids, store::load_store(path).records.size());
   EXPECT_TRUE(fin.draining);
   std::remove(path.c_str());
+}
+
+// The thread-per-connection leak regression: ~500 sequential
+// connect/disconnect cycles against a serving coordinator must leave no
+// per-connection state behind (the epoll loop retires each connection as
+// the peer hangs up — there is no thread handle to leak anymore).
+TEST(NetE2E, ConnectionChurnLeavesNoResidue) {
+  const store::CampaignMeta meta = perfi_meta(100000, 17);
+  const std::string path = temp_store_path("churn");
+  store::CampaignCheckpoint ckpt(path, meta);
+
+  CoordinatorConfig ccfg;
+  ccfg.port = 0;
+  ccfg.status_interval_ms = 0;
+  Coordinator coord(ckpt, ccfg);
+  Coordinator::Stats cs;
+  std::thread serve([&] { cs = coord.serve(); });
+
+  for (int i = 0; i < 500; ++i) {
+    Socket c = connect_tcp("127.0.0.1", coord.port());
+    Hello hello;
+    hello.worker_name = "churn";
+    send_frame(c, encode(hello));
+    Frame reply;
+    ASSERT_EQ(recv_frame(c, reply), RecvStatus::Ok);
+    EXPECT_EQ(decode_hello_ack(reply).lease_ms, ccfg.lease_ms);
+    c.close();
+  }
+
+  // The loop reaps hangups as it notices them; poll briefly for the count
+  // to return to the zero baseline.
+  for (int tries = 0; tries < 500 && coord.connection_count() != 0; ++tries)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(coord.connection_count(), 0u);
+  EXPECT_EQ(coord.session_rows(), 0u);  // observers never become stat rows
+  EXPECT_EQ(coord.snapshot_stats().connected_workers, 0u);
+
+  coord.request_drain();
+  serve.join();
+  EXPECT_EQ(cs.sessions, 500u);
+  std::remove(path.c_str());
+}
+
+// Disconnected session rows are TTL-evicted but their retired counts stay
+// in the snapshot aggregates, so `sessions_` stays bounded under reconnect
+// churn without stats going silently wrong.
+TEST(NetE2E, SessionRowsTtlEvictIntoAggregates) {
+  const store::CampaignMeta meta = perfi_meta(64, 19);
+  const std::string path = temp_store_path("ttl");
+  store::CampaignCheckpoint ckpt(path, meta);
+
+  CoordinatorConfig ccfg;
+  ccfg.port = 0;
+  ccfg.lease_ms = 5000;
+  ccfg.unit_size = 4;
+  ccfg.status_interval_ms = 0;
+  ccfg.session_ttl_ms = 150;
+  Coordinator coord(ckpt, ccfg);
+  Coordinator::Stats cs;
+  std::thread serve([&] { cs = coord.serve(); });
+
+  // A scripted worker: lease one unit, retire all 4 ids, vanish.
+  {
+    Socket c = connect_tcp("127.0.0.1", coord.port());
+    Hello hello;
+    hello.worker_name = "shortlived";
+    send_frame(c, encode(hello));
+    Frame reply;
+    ASSERT_EQ(recv_frame(c, reply), RecvStatus::Ok);
+    send_frame(c, encode(LeaseRequest{}));
+    ASSERT_EQ(recv_frame(c, reply), RecvStatus::Ok);
+    const LeaseGrant g = decode_lease_grant(reply);
+    ASSERT_EQ(g.ids.size(), 4u);
+    ResultMsg r;
+    r.campaign_id = g.campaign_id;
+    r.unit_id = g.unit_id;
+    for (const std::uint64_t id : g.ids) r.records.push_back({id, {0x5A}});
+    send_frame(c, encode(r));
+    ASSERT_EQ(recv_frame(c, reply), RecvStatus::Ok);
+    EXPECT_FALSE(decode_ack(reply).lost_lease);
+    send_frame(c, encode(UnitDone{g.campaign_id, g.unit_id}));
+    ASSERT_EQ(recv_frame(c, reply), RecvStatus::Ok);
+    c.close();
+  }
+
+  // The row exists while fresh (connected=false), then folds into the
+  // evicted aggregates once it outlives the TTL.
+  StatsSnapshot s = coord.snapshot_stats();
+  for (int tries = 0; tries < 500; ++tries) {
+    s = coord.snapshot_stats();
+    if (s.evicted_workers == 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(s.evicted_workers, 1u);
+  EXPECT_EQ(s.evicted_retired, 4u);
+  EXPECT_TRUE(s.workers.empty());
+  EXPECT_EQ(coord.session_rows(), 0u);
+  EXPECT_EQ(s.retired_ids, 4u);  // progress accounting is unaffected
+
+  coord.request_drain();
+  serve.join();
+  EXPECT_EQ(cs.evicted_sessions, 1u);
+  EXPECT_EQ(cs.appended, 4u);
+  std::remove(path.c_str());
+}
+
+// Backpressure, coordinator side: a client that pipelines Results past the
+// admission bound gets an explicit Busy (the refused message is not
+// appended), and a verbatim resend after the appends drain is accepted.
+TEST(NetE2E, PipelinedResultsPastBoundGetBusy) {
+  const store::CampaignMeta meta = perfi_meta(8, 23);
+  const std::string path = temp_store_path("busy");
+  store::CampaignCheckpoint ckpt(path, meta);
+
+  CoordinatorConfig ccfg;
+  ccfg.port = 0;
+  ccfg.lease_ms = 5000;
+  ccfg.unit_size = 8;
+  ccfg.status_interval_ms = 0;
+  ccfg.max_outstanding_appends = 2;
+  ccfg.busy_retry_ms = 7;
+  Coordinator coord(ckpt, ccfg);
+  Coordinator::Stats cs;
+  std::thread serve([&] { cs = coord.serve(); });
+
+  Socket c = connect_tcp("127.0.0.1", coord.port());
+  Hello hello;
+  hello.worker_name = "pipeliner";
+  send_frame(c, encode(hello));
+  Frame reply;
+  ASSERT_EQ(recv_frame(c, reply), RecvStatus::Ok);
+  send_frame(c, encode(LeaseRequest{}));
+  ASSERT_EQ(recv_frame(c, reply), RecvStatus::Ok);
+  const LeaseGrant g = decode_lease_grant(reply);
+  ASSERT_EQ(g.ids.size(), 8u);
+
+  ResultMsg first;
+  first.campaign_id = g.campaign_id;
+  first.unit_id = g.unit_id;
+  for (int i = 0; i < 4; ++i) first.records.push_back({g.ids[i], {0x11}});
+  ResultMsg second;
+  second.campaign_id = g.campaign_id;
+  second.unit_id = g.unit_id;
+  for (int i = 4; i < 8; ++i) second.records.push_back({g.ids[i], {0x22}});
+
+  // One ::send carrying both frames guarantees they land in a single read
+  // batch: the first is admitted (an empty queue always accepts one
+  // message), the second trips the bound. The coordinator answers the Busy
+  // immediately but defers the first Ack until its records hit the store,
+  // so the Busy arrives first.
+  std::vector<std::uint8_t> wire = frame_bytes(encode(first));
+  const std::vector<std::uint8_t> w2 = frame_bytes(encode(second));
+  wire.insert(wire.end(), w2.begin(), w2.end());
+  ASSERT_EQ(::send(c.fd(), wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+
+  ASSERT_EQ(recv_frame(c, reply), RecvStatus::Ok);
+  EXPECT_EQ(decode_busy(reply).retry_after_ms, 7u);
+  ASSERT_EQ(recv_frame(c, reply), RecvStatus::Ok);
+  EXPECT_FALSE(decode_ack(reply).lost_lease);
+
+  // Resend the refused message verbatim: the queue has drained, so it is
+  // admitted and acknowledged.
+  send_frame(c, encode(second));
+  ASSERT_EQ(recv_frame(c, reply), RecvStatus::Ok);
+  EXPECT_FALSE(decode_ack(reply).lost_lease);
+  send_frame(c, encode(UnitDone{g.campaign_id, g.unit_id}));
+  ASSERT_EQ(recv_frame(c, reply), RecvStatus::Ok);
+  c.close();
+
+  serve.join();  // all 8 ids retired -> campaign complete
+  EXPECT_EQ(cs.busy_rejections, 1u);
+  EXPECT_EQ(cs.appended, 8u);
+  EXPECT_EQ(cs.duplicates, 0u);
+  EXPECT_EQ(store::load_store(path).records.size(), 8u);
+  std::remove(path.c_str());
+}
+
+// Backpressure, worker side: a scripted coordinator answers the first
+// Result with Busy; run_worker must resend the same message after the
+// retry delay and carry on to a clean drain.
+TEST(NetE2E, WorkerResendsResultAfterBusy) {
+  Socket listener = listen_tcp("127.0.0.1", 0);
+  const std::uint16_t port = local_port(listener);
+
+  std::thread script([&] {
+    Socket c;
+    while (!c.valid()) c = accept_client(listener, 200);
+    ResultMsg refused;
+    bool sent_busy = false;
+    bool awaiting_resend = false;
+    Frame f;
+    while (recv_frame(c, f) == RecvStatus::Ok) {
+      switch (static_cast<MsgType>(f.type)) {
+        case MsgType::Hello: {
+          HelloAck ack;
+          ack.lease_ms = 10000;
+          send_frame(c, encode(ack));
+          break;
+        }
+        case MsgType::LeaseRequest: {
+          if (sent_busy) {  // unit finished: wind the worker down
+            send_frame(c, encode(NoWork{true}));
+            break;
+          }
+          LeaseGrant g;
+          g.campaign_id = 1;
+          g.campaign = "scripted";
+          g.meta = perfi_meta(4, 1);
+          g.unit_id = 0;
+          g.ids = {0, 1, 2, 3};
+          send_frame(c, encode(g));
+          break;
+        }
+        case MsgType::Result: {
+          const ResultMsg r = decode_result(f);
+          if (!sent_busy) {  // refuse the worker's very first batch
+            refused = r;
+            sent_busy = true;
+            awaiting_resend = true;
+            send_frame(c, encode(Busy{5}));
+            break;
+          }
+          if (awaiting_resend) {
+            // The message right after a Busy must be the refused one
+            // verbatim, not a re-batched or partial one.
+            awaiting_resend = false;
+            EXPECT_EQ(r.campaign_id, refused.campaign_id);
+            EXPECT_EQ(r.unit_id, refused.unit_id);
+            ASSERT_EQ(r.records.size(), refused.records.size());
+            for (std::size_t i = 0; i < r.records.size(); ++i) {
+              EXPECT_EQ(r.records[i].id, refused.records[i].id);
+              EXPECT_EQ(r.records[i].payload, refused.records[i].payload);
+            }
+          }
+          send_frame(c, encode(Ack{}));
+          break;
+        }
+        case MsgType::Heartbeat:
+        case MsgType::UnitDone:
+          send_frame(c, encode(Ack{}));
+          break;
+        default:
+          ADD_FAILURE() << "unexpected message type " << f.type;
+          return;
+      }
+    }
+  });
+
+  WorkerConfig cfg;
+  cfg.port = port;
+  cfg.name = "busyworker";
+  cfg.backoff_ms = 20;
+  cfg.max_connect_failures = 3;
+  const WorkerStats st =
+      run_worker(cfg, [](const store::CampaignMeta&) -> UnitFn {
+        return [](std::span<const std::uint64_t> ids, const EmitBytes& emit,
+                  const std::function<bool()>&) {
+          for (const std::uint64_t id : ids)
+            emit(id, {static_cast<std::uint8_t>(id)});
+        };
+      });
+  script.join();
+  EXPECT_TRUE(st.drained);
+  EXPECT_EQ(st.busy_retries, 1u);
+  EXPECT_EQ(st.retired, 4u);
+  EXPECT_EQ(st.units, 1u);
+  EXPECT_EQ(st.campaigns, 1u);
+}
+
+// A worker pinned to one campaign only ever receives that campaign's
+// leases, and drains as soon as its campaign (not the fleet) finishes.
+TEST(NetE2E, CampaignPinnedWorkerServesOnlyItsCampaign) {
+  const store::CampaignMeta meta_mine = perfi_meta(24, 31);
+  const store::CampaignMeta meta_other = perfi_meta(4000, 37);
+  const std::string path_mine = temp_store_path("pin_mine");
+  const std::string path_other = temp_store_path("pin_other");
+  store::CampaignCheckpoint ckpt_mine(path_mine, meta_mine);
+  store::CampaignCheckpoint ckpt_other(path_other, meta_other);
+
+  CoordinatorConfig ccfg;
+  ccfg.port = 0;
+  ccfg.lease_ms = 5000;
+  ccfg.unit_size = 4;
+  ccfg.status_interval_ms = 0;
+  Coordinator coord(ccfg);
+  coord.add_campaign(ckpt_mine);
+  coord.add_campaign(ckpt_other);
+  std::thread serve([&] { coord.serve(); });
+
+  const std::string mine_name =
+      std::filesystem::path(path_mine).stem().string();
+  WorkerStats ws;
+  std::thread worker([&] {
+    WorkerConfig wcfg;
+    wcfg.port = coord.port();
+    wcfg.name = "pinned";
+    wcfg.campaign = mine_name;
+    wcfg.backoff_ms = 20;
+    ws = run_worker(wcfg, make_unit_fn);
+  });
+  worker.join();
+
+  // The pinned worker exits once its campaign completes; the other
+  // campaign is untouched beyond whatever it never leased.
+  EXPECT_TRUE(ws.drained);
+  EXPECT_EQ(ws.campaigns, 1u);
+  EXPECT_EQ(ws.retired, 24u);
+  EXPECT_EQ(ckpt_mine.done_count(), 24u);
+  EXPECT_EQ(ckpt_other.done_count(), 0u);
+
+  coord.request_drain();
+  serve.join();
+  std::remove(path_mine.c_str());
+  std::remove(path_other.c_str());
 }
 
 // --- http ------------------------------------------------------------------
@@ -647,14 +1320,25 @@ TEST(NetHttp, ServerRoutesDispatchesAndReportsErrors) {
   server.stop();
 }
 
-TEST(NetHttp, StatsJsonCarriesProgressAndWorkers) {
-  const store::CampaignMeta meta = perfi_meta(40, 7);
+TEST(NetHttp, StatsJsonCarriesProgressCampaignsAndWorkers) {
   StatsSnapshot st;
   st.total_ids = 40;
   st.retired_ids = 25;
   st.pending_units = 3;
   st.leased_units = 1;
   st.draining = true;
+  st.connected_workers = 2;
+  st.desired_workers = 4;
+  st.evicted_workers = 1;
+  st.evicted_retired = 9;
+  CampaignRow c;
+  c.name = "perfi-vectoradd-IOC";
+  c.kind = static_cast<std::uint8_t>(store::CampaignKind::Perfi);
+  c.state = 1;
+  c.priority = 2;
+  c.total_ids = 40;
+  c.retired_ids = 25;
+  st.campaigns.push_back(c);
   WorkerRow w;
   w.session = 9;
   w.name = "w\"quoted\"";
@@ -662,12 +1346,21 @@ TEST(NetHttp, StatsJsonCarriesProgressAndWorkers) {
   w.connected = true;
   st.workers.push_back(w);
 
-  const std::string json = stats_json(meta, st);
-  EXPECT_NE(json.find("\"kind\": \"perfi\""), std::string::npos);
+  const std::string json = stats_json(st);
   EXPECT_NE(json.find("\"total_ids\": 40"), std::string::npos);
   EXPECT_NE(json.find("\"retired_ids\": 25"), std::string::npos);
   EXPECT_NE(json.find("\"draining\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"connected_workers\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"desired_workers\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"evicted_workers\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"perfi\""), std::string::npos);
+  EXPECT_NE(json.find("\"state\": \"removing\""), std::string::npos);
   EXPECT_NE(json.find("\"name\": \"w\\\"quoted\\\"\""), std::string::npos);
+
+  const std::string reg = campaigns_json(st.campaigns);
+  EXPECT_NE(reg.find("\"campaigns\""), std::string::npos);
+  EXPECT_NE(reg.find("\"name\": \"perfi-vectoradd-IOC\""), std::string::npos);
+  EXPECT_NE(reg.find("\"priority\": 2"), std::string::npos);
 }
 
 TEST(NetE2E, WorkerGivesUpWhenNoCoordinator) {

@@ -116,8 +116,10 @@ inline std::string shard_suffix(const gpf::store::CampaignMeta& m) {
          std::to_string(m.shard_count);
 }
 
-inline std::string store_path_for(const gpf::store::CampaignMeta& m,
-                                  const std::string& dir) {
+/// Canonical campaign name for a meta: the store filename stem, which is
+/// also the registry name a multi-campaign coordinator serves it under
+/// (gpfd derives it back from the path, so submit/resume/export all agree).
+inline std::string campaign_name_for(const gpf::store::CampaignMeta& m) {
   using gpf::store::CampaignKind;
   std::string name;
   switch (m.kind) {
@@ -135,7 +137,12 @@ inline std::string store_path_for(const gpf::store::CampaignMeta& m,
                  static_cast<gpf::errmodel::ErrorModel>(m.model)));
       break;
   }
-  return dir + "/" + name + shard_suffix(m) + ".gpfs";
+  return name + shard_suffix(m);
+}
+
+inline std::string store_path_for(const gpf::store::CampaignMeta& m,
+                                  const std::string& dir) {
+  return dir + "/" + campaign_name_for(m) + ".gpfs";
 }
 
 /// Builds the campaign metas described by `run`-style flags (--campaign,

@@ -16,7 +16,12 @@
 //     common run flags: [--seed S] [--store DIR] [--shard-index I]
 //                       [--shard-count K] [--limit N] [--jobs N]
 //   gpfctl worker [--addr HOST:PORT] [--name NAME] [--jobs N]
-//                 [--backoff-ms N] [--max-failures N] [--verbose]
+//                 [--campaign NAME] [--backoff-ms N] [--max-failures N]
+//                 [--verbose]
+//   gpfctl submit --campaign ... [--addr HOST:PORT] [--priority N]
+//                                    register campaign(s) on a running gpfd
+//   gpfctl campaigns [--addr HOST:PORT] [--remove NAME]
+//                                    list (or drain) a gpfd's campaigns
 //   gpfctl resume FILE...            continue killed/paused campaigns
 //   gpfctl merge -o OUT FILE...      combine shard stores (conflict-checked)
 //   gpfctl export FILE [--format json|csv] [-o FILE]
@@ -26,8 +31,8 @@
 //   gpfctl query STORE|SEGMENT|DIR   answer from pre-aggregated rollups in
 //                                    O(ms); --verify cross-checks against a
 //                                    full log scan
-//   gpfctl top [--addr HOST:PORT] [--interval-ms N] [--count N]
-//                                    live per-worker view of a running gpfd
+//   gpfctl top [--addr HOST:PORT] [--campaign NAME] [--interval-ms N]
+//              [--count N]          live fleet/worker view of a running gpfd
 #include <unistd.h>
 
 #include <algorithm>
@@ -86,7 +91,10 @@ int usage(const char* msg = nullptr) {
       "    common:  [--seed S] [--store DIR] [--shard-index I] [--shard-count K]\n"
       "             [--limit N] [--jobs N]\n"
       "  gpfctl worker [--addr HOST:PORT] [--name NAME] [--jobs N]\n"
-      "                [--backoff-ms N] [--max-failures N] [--verbose]\n"
+      "                [--campaign NAME] [--backoff-ms N] [--max-failures N]\n"
+      "                [--verbose]\n"
+      "  gpfctl submit --campaign ... [--addr HOST:PORT] [--priority N]\n"
+      "  gpfctl campaigns [--addr HOST:PORT] [--remove NAME]\n"
       "  gpfctl resume FILE...\n"
       "  gpfctl merge -o OUT FILE...\n"
       "  gpfctl export FILE [--format json|csv] [-o FILE]\n"
@@ -94,7 +102,8 @@ int usage(const char* msg = nullptr) {
       "  gpfctl compact [FILE...|DIR] [-o OUT.gpfw]\n"
       "  gpfctl query STORE|SEGMENT|DIR [--metric epr|classes|syndromes|workers]\n"
       "               [--format json|csv|table] [--unit TARGET] [--verify]\n"
-      "  gpfctl top [--addr HOST:PORT] [--interval-ms N] [--count N]\n";
+      "  gpfctl top [--addr HOST:PORT] [--campaign NAME] [--interval-ms N]\n"
+      "             [--count N]\n";
   return 2;
 }
 
@@ -256,6 +265,7 @@ int cmd_worker(const Args& a) {
   cfg.host = host;
   cfg.port = port;
   cfg.name = a.get("name", "worker-" + std::to_string(::getpid()));
+  cfg.campaign = a.get("campaign");
   cfg.backoff_ms =
       static_cast<std::uint32_t>(a.get_u64("backoff-ms", worker_backoff_ms()));
   cfg.max_connect_failures =
@@ -263,15 +273,66 @@ int cmd_worker(const Args& a) {
   cfg.verbose = a.has("verbose");
 
   std::cout << "[gpfctl] worker " << cfg.name << " -> " << cfg.host << ":"
-            << cfg.port << "\n";
+            << cfg.port
+            << (cfg.campaign.empty() ? "" : " (campaign " + cfg.campaign + ")")
+            << "\n";
   const net::WorkerStats st = net::run_worker(cfg, net::make_unit_fn);
   std::cout << "[gpfctl] worker " << cfg.name << ": " << st.retired
-            << " results over " << st.units << " units, " << st.lost_leases
-            << " lost leases, " << st.reconnects << " reconnects"
-            << (st.drained ? " (campaign drained)" : "")
+            << " results over " << st.units << " units across "
+            << st.campaigns << " campaign(s), " << st.lost_leases
+            << " lost leases, " << st.reconnects << " reconnects, "
+            << st.busy_retries << " busy retries"
+            << (st.drained ? " (fleet drained)" : "")
             << (st.gave_up ? " (coordinator unreachable, gave up)" : "")
             << "\n";
   return st.drained ? 0 : 2;
+}
+
+int cmd_submit(const Args& a) {
+  const auto [host, port] = net::parse_addr(a.get("addr", coord_addr()));
+  const auto priority = static_cast<std::uint32_t>(a.get_u64("priority", 1));
+  int rc = 0;
+  for (const store::CampaignMeta& meta : gpfcli::metas_from_flags(a)) {
+    const std::string name = gpfcli::campaign_name_for(meta);
+    const net::OpResult r =
+        net::submit_campaign(host, port, name, meta, priority);
+    std::cout << "[gpfctl] submit " << name << " (priority " << priority
+              << "): " << (r.ok ? "ok" : "rejected")
+              << (r.message.empty() ? "" : " — " + r.message) << "\n";
+    if (!r.ok) rc = 1;
+  }
+  return rc;
+}
+
+int cmd_campaigns(const Args& a) {
+  const auto [host, port] = net::parse_addr(a.get("addr", coord_addr()));
+  if (a.has("remove")) {
+    const std::string name = a.get("remove");
+    const net::OpResult r = net::remove_campaign(host, port, name);
+    std::cout << "[gpfctl] remove " << name << ": "
+              << (r.ok ? "ok" : "rejected")
+              << (r.message.empty() ? "" : " — " + r.message) << "\n";
+    return r.ok ? 0 : 1;
+  }
+  const std::vector<net::CampaignRow> rows = net::fetch_campaigns(host, port);
+  std::cout << "  " << std::left << std::setw(28) << "CAMPAIGN" << std::setw(8)
+            << "KIND" << std::setw(10) << "STATE" << std::setw(6) << "PRI"
+            << std::setw(22) << "RETIRED/TOTAL" << std::setw(10) << "PENDING"
+            << "LEASED\n";
+  for (const net::CampaignRow& c : rows) {
+    const char* state = c.state == 1 ? "removing" : c.state == 2 ? "done"
+                                                                 : "running";
+    std::cout << "  " << std::left << std::setw(28) << c.name << std::setw(8)
+              << store::campaign_kind_name(
+                     static_cast<store::CampaignKind>(c.kind))
+              << std::setw(10) << state << std::setw(6) << c.priority
+              << std::setw(22)
+              << (std::to_string(c.retired_ids) + "/" +
+                  std::to_string(c.total_ids))
+              << std::setw(10) << c.pending_units << c.leased_units << "\n";
+  }
+  if (rows.empty()) std::cout << "  (no campaigns registered)\n";
+  return 0;
 }
 
 int cmd_resume(const Args& a) {
@@ -541,30 +602,42 @@ int cmd_query(const Args& a) {
   return 0;
 }
 
-/// One `top` refresh: headline (progress, rate, ETA, lease health) plus a
-/// per-worker table. Per-worker rates come from retired deltas between our
-/// own polls, so the first frame shows "-".
-void render_top(const store::CampaignMeta& meta, const net::StatsSnapshot& s,
+/// One `top` refresh: headline (progress, rate, ETA, fleet sizing), the
+/// campaign registry, and a per-worker table. Per-worker rates come from
+/// retired deltas between our own polls, so the first frame shows "-".
+/// ETA renders "--" when the coordinator has no usable rate yet (an idle or
+/// freshly started fleet), never a misleading "0s".
+void render_top(const std::string& scope, const net::StatsSnapshot& s,
                 std::map<std::uint64_t, std::pair<std::uint64_t, double>>& prev,
                 double now_s) {
   const double pct =
       s.total_ids ? 100.0 * static_cast<double>(s.retired_ids) /
                         static_cast<double>(s.total_ids)
                   : 100.0;
+  const std::string eta =
+      s.rate_milli == 0 || s.eta_ms == 0
+          ? "--"
+          : std::to_string(s.eta_ms / 1000) + "s";
   char head[256];
   std::snprintf(head, sizeof head,
-                "[gpfctl top] %s shard %u/%u: %llu/%llu retired (%.1f%%), "
-                "%.1f results/s, ETA %s, units %u pending / %u leased%s\n",
-                store::campaign_kind_name(meta.kind), meta.shard_index,
-                meta.shard_count,
+                "[gpfctl top] %s: %llu/%llu retired (%.1f%%), "
+                "%.1f results/s, ETA %s, units %u pending / %u leased, "
+                "workers %u up / %u wanted%s\n",
+                scope.empty() ? "fleet" : scope.c_str(),
                 static_cast<unsigned long long>(s.retired_ids),
                 static_cast<unsigned long long>(s.total_ids), pct,
-                static_cast<double>(s.rate_milli) / 1000.0,
-                s.eta_ms ? (std::to_string(s.eta_ms / 1000) + "s").c_str()
-                         : "-",
-                s.pending_units, s.leased_units,
-                s.draining ? " [draining]" : "");
+                static_cast<double>(s.rate_milli) / 1000.0, eta.c_str(),
+                s.pending_units, s.leased_units, s.connected_workers,
+                s.desired_workers, s.draining ? " [draining]" : "");
   std::cout << head;
+
+  for (const net::CampaignRow& c : s.campaigns) {
+    const char* state = c.state == 1 ? " [removing]" : c.state == 2 ? " [done]"
+                                                                    : "";
+    std::cout << "  campaign " << std::left << std::setw(28) << c.name
+              << " pri " << c.priority << "  " << c.retired_ids << "/"
+              << c.total_ids << state << "\n";
+  }
 
   if (!s.workers.empty())
     std::cout << "  " << std::left << std::setw(20) << "WORKER"
@@ -597,16 +670,16 @@ void render_top(const store::CampaignMeta& meta, const net::StatsSnapshot& s,
 int cmd_top(const Args& a) {
   const auto [host, port] = net::parse_addr(a.get("addr", coord_addr()));
   const auto interval_ms = a.get_u64("interval-ms", 1000);
-  const auto count = a.get_u64("count", 0);  // 0 = until the campaign ends
+  const auto count = a.get_u64("count", 0);  // 0 = until the fleet ends
+  const std::string scope = a.get("campaign");  // "" = aggregate view
 
   std::map<std::uint64_t, std::pair<std::uint64_t, double>> prev;
   const auto t0 = std::chrono::steady_clock::now();
   bool connected_once = false;
   for (std::uint64_t polls = 0;;) {
-    store::CampaignMeta meta;
     net::StatsSnapshot s;
     try {
-      std::tie(meta, s) = net::fetch_stats(host, port);
+      s = net::fetch_stats(host, port, scope);
     } catch (const std::exception& e) {
       // A coordinator that served us at least once and then went away is a
       // normal end of campaign, not an error.
@@ -615,13 +688,13 @@ int cmd_top(const Args& a) {
       return 0;
     }
     connected_once = true;
-    render_top(meta, s, prev,
+    render_top(scope, s, prev,
                std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                              t0)
                    .count());
     if (count && ++polls >= count) return 0;
     if (s.retired_ids >= s.total_ids && s.leased_units == 0) {
-      std::cout << "[gpfctl top] campaign complete\n";
+      std::cout << "[gpfctl top] fleet complete\n";
       return 0;
     }
     std::this_thread::sleep_for(
@@ -638,6 +711,8 @@ int main(int argc, char** argv) {
     const Args a = Args::parse(argc, argv, 2, /*boolean=*/{"verbose", "verify"});
     if (cmd == "run") return cmd_run(a);
     if (cmd == "worker") return cmd_worker(a);
+    if (cmd == "submit") return cmd_submit(a);
+    if (cmd == "campaigns") return cmd_campaigns(a);
     if (cmd == "resume") return cmd_resume(a);
     if (cmd == "merge") return cmd_merge(a);
     if (cmd == "export") return cmd_export(a);
